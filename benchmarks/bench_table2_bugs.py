@@ -1,0 +1,73 @@
+"""Experiment T2 — Table 2: bugs found by the full pipeline.
+
+The paper's Table 2 lists 17 issues (14 bugs + 3 benign races) found in
+Linux 5.3.10 / 5.12-rc3.  Here the full Snowboard pipeline runs over the
+mini-kernel with the strategies combined (as for 5.3.10 in section 5.1)
+and we report which catalogued bug analogues were discovered, at what
+test index, and their type/triage — the same columns as Table 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detect.catalog import spec_by_id
+from repro.orchestrate.pipeline import DUPLICATE_PAIRING, RANDOM_PAIRING
+
+# The combined battery (section 5.1: "All clustering strategies combined").
+STRATEGIES = (
+    "S-INS-PAIR",
+    "S-INS",
+    "S-CH-NULL",
+    "S-CH-UNALIGNED",
+    "S-CH-DOUBLE",
+    "S-MEM",
+    "S-CH",
+    DUPLICATE_PAIRING,
+    RANDOM_PAIRING,
+)
+BUDGET_PER_STRATEGY = 70
+
+
+def run_combined_campaigns(snowboard):
+    """Run every strategy with an equal budget; merge discovered bugs."""
+    found = {}
+    campaigns = []
+    for strategy in STRATEGIES:
+        campaign = snowboard.run_campaign(strategy, test_budget=BUDGET_PER_STRATEGY)
+        campaigns.append(campaign)
+        for bug_id, at in campaign.bugs_found().items():
+            found.setdefault(bug_id, (strategy, at))
+    return found, campaigns
+
+
+def test_table2_bug_inventory(snowboard, benchmark):
+    found, campaigns = benchmark.pedantic(
+        run_combined_campaigns, args=(snowboard,), rounds=1, iterations=1
+    )
+
+    print("\n== Table 2 (reproduction): issues found by Snowboard ==")
+    print(f"{'ID':<6} {'Type':<4} {'Triage':<8} {'Found by':<18} {'@test':<6} Summary")
+    for bug_id in sorted(found):
+        spec = spec_by_id(bug_id)
+        strategy, at = found[bug_id]
+        print(
+            f"{bug_id:<6} {spec.bug_type:<4} {spec.triage.value:<8} "
+            f"{strategy:<18} {at:<6} {spec.summary}"
+        )
+    missing = {f"SB{i:02d}" for i in range(1, 18)} - set(found)
+    print(f"Missing from this run: {sorted(missing) or 'none'}")
+
+    benchmark.extra_info["bugs_found"] = sorted(found)
+    benchmark.extra_info["missing"] = sorted(missing)
+    benchmark.extra_info["tests_executed"] = sum(c.tested_pmcs for c in campaigns)
+
+    # Paper shape: the combined battery finds a broad set of distinct
+    # issues, including non-data-race bugs (AV/OV) and benign races.
+    assert len(found) >= 12
+    types_found = {spec_by_id(b).bug_type for b in found}
+    assert "AV" in types_found  # non-data-race atomicity violations
+    assert "SB12" in found  # the Figure 1 order violation
+    # The ubiquitous benign allocator race is found (paper: #13 found by
+    # every strategy).
+    assert "SB13" in found

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+One prepared Snowboard instance (booted kernel, fuzzed corpus, profiles,
+identified PMCs) is shared across the whole benchmark session — the
+equivalent of the paper's per-machine Snowboard instance.  Campaign
+benches rebuild their own campaign state from it but never re-fuzz.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestrate.pipeline import Snowboard, SnowboardConfig
+
+# The benchmark-scale configuration: big enough that every strategy has
+# clusters to choose from, small enough that the full battery finishes in
+# minutes on one core.
+BENCH_CONFIG = SnowboardConfig(
+    seed=7,
+    corpus_budget=260,
+    trials_per_pmc=16,
+    max_instructions=60_000,
+)
+
+
+@pytest.fixture(scope="session")
+def snowboard() -> Snowboard:
+    return Snowboard(BENCH_CONFIG).prepare()
+
+
+@pytest.fixture(scope="session")
+def executor(snowboard):
+    return snowboard.executor
+
+
+@pytest.fixture(scope="session")
+def kernel(snowboard):
+    return snowboard.kernel

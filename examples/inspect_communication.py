@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Inspect the inter-thread communication structure of a corpus.
+
+Before running a campaign it is worth seeing *where* tests can
+communicate: which subsystems share memory, which addresses are hot, and
+what the PMC population looks like per clustering strategy.  This is the
+developer-facing view of the data Snowboard's selection stage consumes.
+
+Run:  python examples/inspect_communication.py
+"""
+
+from repro import Snowboard, SnowboardConfig
+from repro.pmc.clustering import ALL_STRATEGIES
+from repro.pmc.selection import cluster_stats
+from repro.profile.trace import (
+    access_breakdown,
+    communication_matrix,
+    hot_addresses,
+    shared_objects,
+)
+
+
+def main() -> None:
+    snowboard = Snowboard(SnowboardConfig(seed=7, corpus_budget=200)).prepare()
+    profiles = snowboard.profiles
+
+    print("== per-subsystem shared accesses (reads, writes) ==")
+    all_accesses = [
+        a for entry in snowboard.corpus for a in entry.result.shared_accesses()
+    ]
+    for subsystem, (reads, writes) in access_breakdown(all_accesses).items():
+        print(f"  {subsystem:<12} R={reads:<6} W={writes}")
+
+    print("\n== hottest shared addresses ==")
+    named = {addr: name for name, addr in snowboard.kernel.globals.items()}
+    heap_base = snowboard.kernel.machine.regions.heap_base
+    for addr, count in hot_addresses(all_accesses, top=8):
+        if addr >= heap_base:
+            label = "heap object"
+        else:
+            base = max((a for a in named if a <= addr), default=None)
+            label = named.get(base, "?") if base is not None else "?"
+        print(f"  {addr:#10x}  {count:>6} accesses  ({label})")
+
+    print("\n== shared kernel objects (coalesced access ranges) ==")
+    objects = shared_objects(profiles)
+    print(f"  {len(objects)} objects; largest:")
+    for obj in sorted(objects, key=lambda o: -o.size)[:5]:
+        print(
+            f"  [{obj.start:#x}, {obj.end:#x}) {obj.size:>5} bytes  "
+            f"readers={obj.readers} writers={obj.writers}"
+        )
+
+    print("\n== inter-subsystem communication channels (write -> read) ==")
+    matrix = communication_matrix(profiles)
+    for (writer, reader), count in sorted(matrix.items(), key=lambda kv: -kv[1])[:10]:
+        print(f"  {writer:>10} -> {reader:<10} {count:>7} overlaps")
+
+    print("\n== PMC population per clustering strategy ==")
+    pmcs = snowboard.pmcset.all_pmcs()
+    print(f"  identified PMCs: {len(pmcs)}")
+    for strategy in ALL_STRATEGIES:
+        nclusters, members = cluster_stats(pmcs, strategy)
+        print(f"  {strategy.name:<16} {nclusters:>6} clusters over {members:>6} PMCs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Snowboard reproduction — systematic inter-thread communication analysis.
+
+A from-scratch Python reproduction of *Snowboard: Finding Kernel
+Concurrency Bugs through Systematic Inter-thread Communication Analysis*
+(Gong, Altınbüken, Fonseca, Maniatis — SOSP 2021), including every
+substrate the paper depends on: a deterministic simulated machine with
+instruction-granular scheduling (the modified-QEMU/SKI stand-in), a
+miniature kernel with planted concurrency bugs mirroring the paper's
+Table 2, a Syzkaller-like coverage-guided sequential fuzzer, the PMC
+analysis pipeline (Algorithm 1, the Table 1 clustering strategies,
+uncommon-first selection), the PMC-hinted scheduler (Algorithm 2), and
+the bug oracles.
+
+Quickstart::
+
+    from repro import Snowboard, SnowboardConfig
+
+    sb = Snowboard(SnowboardConfig(seed=7)).prepare()
+    campaign = sb.run_campaign("S-INS-PAIR", test_budget=60)
+    print(campaign.summary())
+"""
+
+from repro.detect import (
+    BUG_CATALOG,
+    BugObservation,
+    ConsoleChecker,
+    RaceDetector,
+    RaceReport,
+    Triage,
+    match_observations,
+    observe,
+)
+from repro.fuzz import Call, Program, ProgramGenerator, Res, build_corpus, prog
+from repro.kernel import Kernel, boot_kernel
+from repro.machine import Machine, MemoryAccess, Snapshot
+from repro.orchestrate import (
+    CampaignResult,
+    ConcurrentTest,
+    Snowboard,
+    SnowboardConfig,
+)
+from repro.pmc import (
+    ALL_STRATEGIES,
+    PMC,
+    STRATEGIES_BY_NAME,
+    AccessKey,
+    ClusteringStrategy,
+    identify_pmcs,
+    select_exemplars,
+)
+from repro.profile import Profiler, TestProfile, profile_corpus
+from repro.sched import (
+    Executor,
+    RandomScheduler,
+    SkiScheduler,
+    SnowboardScheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BUG_CATALOG",
+    "BugObservation",
+    "ConsoleChecker",
+    "RaceDetector",
+    "RaceReport",
+    "Triage",
+    "match_observations",
+    "observe",
+    "Call",
+    "Program",
+    "ProgramGenerator",
+    "Res",
+    "build_corpus",
+    "prog",
+    "Kernel",
+    "boot_kernel",
+    "Machine",
+    "MemoryAccess",
+    "Snapshot",
+    "CampaignResult",
+    "ConcurrentTest",
+    "Snowboard",
+    "SnowboardConfig",
+    "ALL_STRATEGIES",
+    "PMC",
+    "STRATEGIES_BY_NAME",
+    "AccessKey",
+    "ClusteringStrategy",
+    "identify_pmcs",
+    "select_exemplars",
+    "Profiler",
+    "TestProfile",
+    "profile_corpus",
+    "Executor",
+    "RandomScheduler",
+    "SkiScheduler",
+    "SnowboardScheduler",
+    "__version__",
+]

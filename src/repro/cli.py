@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``campaign``  — run one strategy campaign and print the results.
+* ``table3``    — run every generation method with an equal budget.
+* ``case``      — reproduce one of the paper's case-study figures.
+* ``strategies``— list the Table 1 clustering strategies.
+* ``bugs``      — list the Table 2 bug catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.detect.catalog import BUG_CATALOG, spec_by_id
+from repro.orchestrate.pipeline import (
+    DUPLICATE_PAIRING,
+    RANDOM_PAIRING,
+    RANDOM_S_INS_PAIR,
+    Snowboard,
+    SnowboardConfig,
+)
+from repro.orchestrate.results import TABLE3_HEADER
+from repro.pmc.clustering import ALL_STRATEGIES
+
+ALL_METHODS = tuple(s.name for s in ALL_STRATEGIES) + (
+    RANDOM_S_INS_PAIR,
+    RANDOM_PAIRING,
+    DUPLICATE_PAIRING,
+)
+
+CASES = ("l2tp", "mac", "rhashtable")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Snowboard (SOSP 2021) reproduction over a simulated mini-kernel",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser("campaign", help="run one strategy campaign")
+    campaign.add_argument("--strategy", default="S-INS-PAIR", choices=ALL_METHODS)
+    campaign.add_argument("--budget", type=int, default=50, help="concurrent tests")
+    campaign.add_argument("--trials", type=int, default=16, help="trials per PMC")
+    campaign.add_argument("--seed", type=int, default=7)
+    campaign.add_argument("--corpus", type=int, default=260, help="fuzzer budget")
+    campaign.add_argument(
+        "--fixed",
+        action="store_true",
+        help="run against the patched kernel (expects zero findings)",
+    )
+
+    table3 = sub.add_parser("table3", help="compare all generation methods")
+    table3.add_argument("--budget", type=int, default=40)
+    table3.add_argument("--seed", type=int, default=7)
+    table3.add_argument("--corpus", type=int, default=260)
+
+    case = sub.add_parser("case", help="reproduce a case-study figure")
+    case.add_argument("name", choices=CASES)
+
+    run = sub.add_parser("run", help="run textual program(s) on the kernel")
+    run.add_argument("programs", nargs="+", help="1 (sequential) or 2 (concurrent) program files")
+    run.add_argument("--seed", type=int, default=0, help="schedule seed (concurrent)")
+    run.add_argument("--trials", type=int, default=16, help="interleavings (concurrent)")
+    run.add_argument("--fixed", action="store_true", help="use the patched kernel")
+
+    replay = sub.add_parser("replay", help="replay a reproduction package")
+    replay.add_argument("package", help="path to a ReproPackage JSON file")
+    replay.add_argument(
+        "--minimize", action="store_true", help="ddmin the schedule first"
+    )
+
+    sub.add_parser("strategies", help="list the clustering strategies")
+    sub.add_parser("bugs", help="list the Table 2 bug catalog")
+    return parser
+
+
+def _cmd_campaign(args) -> int:
+    config = SnowboardConfig(
+        seed=args.seed,
+        corpus_budget=args.corpus,
+        trials_per_pmc=args.trials,
+        fixed_kernel=args.fixed,
+    )
+    snowboard = Snowboard(config).prepare()
+    print(
+        f"corpus={len(snowboard.corpus)} tests, pmcs={len(snowboard.pmcset)}, "
+        f"strategy={args.strategy}, budget={args.budget}"
+    )
+    campaign = snowboard.run_campaign(args.strategy, test_budget=args.budget)
+    print(TABLE3_HEADER)
+    print(campaign.table_row())
+    print(f"accuracy: {campaign.accuracy:.1%} of tested PMCs exercised")
+    for bug_id, at in sorted(campaign.bugs_found().items()):
+        spec = spec_by_id(bug_id)
+        print(f"  {bug_id} [{spec.bug_type}/{spec.triage.value}] @{at}: {spec.summary}")
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    config = SnowboardConfig(seed=args.seed, corpus_budget=args.corpus)
+    snowboard = Snowboard(config).prepare()
+    print(TABLE3_HEADER)
+    for method in ALL_METHODS:
+        campaign = snowboard.run_campaign(method, test_budget=args.budget)
+        print(campaign.table_row())
+    return 0
+
+
+def _run_case(name: str) -> int:
+    """Inline case-study runner (mirrors the examples/ scripts)."""
+    from repro.fuzz.prog import Call, Res, prog
+    from repro.kernel.kernel import boot_kernel
+    from repro.pmc.identify import identify_pmcs
+    from repro.profile.profiler import profile_from_result
+    from repro.sched.executor import Executor
+    from repro.sched.snowboard import SnowboardScheduler
+
+    setups = {
+        "l2tp": (
+            prog(Call("socket", (2,)), Call("connect", (Res(0), 1))),
+            prog(
+                Call("socket", (2,)),
+                Call("connect", (Res(0), 1)),
+                Call("sendmsg", (Res(0), 5)),
+            ),
+            lambda p: "l2tp_tunnel_register" in p.write.ins,
+            lambda result: result.panicked,
+        ),
+        "mac": (
+            prog(Call("socket", (0,)), Call("ioctl", (Res(0), 4, 0xFFEEDDCCBBAA))),
+            prog(Call("socket", (0,)), Call("ioctl", (Res(0), 5, 0))),
+            lambda p: "ioctl_set_mac" in p.write.ins and "ioctl_get_mac" in p.read.ins,
+            lambda result: len(result.returns[1]) > 1
+            and result.returns[1][1] not in (0x0250_5600_0000, 0xFFEE_DDCC_BBAA),
+        ),
+        "rhashtable": (
+            prog(Call("msgget", (2,)), Call("msgctl", (2, 0))),
+            prog(Call("msgget", (2,))),
+            lambda p: "rht_insert" in p.write.ins and "rht_ptr" in p.read.ins,
+            lambda result: result.panicked,
+        ),
+    }
+    writer, reader, predicate, oracle = setups[name]
+    kernel, snapshot = boot_kernel()
+    executor = Executor(kernel, snapshot)
+    pw = profile_from_result(0, writer, executor.run_sequential(writer))
+    pr = profile_from_result(1, reader, executor.run_sequential(reader))
+    pmcset = identify_pmcs([pw, pr])
+    pmc = next(p for p in pmcset if (0, 1) in pmcset.pairs(p) and predicate(p))
+    print(f"scheduling hint: {pmc}")
+    scheduler = SnowboardScheduler(pmc, seed=5)
+    for trial in range(128):
+        scheduler.begin_trial(trial)
+        result = executor.run_concurrent([writer, reader], scheduler=scheduler)
+        if oracle(result):
+            print(f"exposed at trial {trial}")
+            for line in result.console:
+                print(f"  {line}")
+            if name == "mac":
+                print(f"  torn MAC returned to user space: {result.returns[1][1]:#x}")
+            return 0
+        scheduler.end_trial(result)
+    print("not exposed in 128 trials")
+    return 1
+
+
+def _cmd_run(args) -> int:
+    from repro.detect.datarace import RaceDetector
+    from repro.detect.report import observe
+    from repro.fuzz.text import parse_program
+    from repro.kernel.kernel import boot_kernel
+    from repro.sched.executor import Executor
+    from repro.sched.random_sched import RandomScheduler
+
+    programs = []
+    for path in args.programs:
+        with open(path) as handle:
+            programs.append(parse_program(handle.read()))
+    kernel, snapshot = boot_kernel(fixed=args.fixed)
+    executor = Executor(kernel, snapshot)
+
+    if len(programs) == 1:
+        result = executor.run_sequential(programs[0])
+        print(f"returns: {result.returns[0]}")
+        for line in result.console:
+            print(f"console: {line}")
+        return 0 if result.completed else 1
+
+    findings = {}
+    for trial in range(args.trials):
+        scheduler = RandomScheduler(seed=args.seed + trial, switch_probability=0.35)
+        scheduler.begin_trial(0)
+        detector = RaceDetector(nthreads=len(programs))
+        result = executor.run_concurrent(
+            programs, scheduler=scheduler, race_detector=detector
+        )
+        for obs in observe(result):
+            findings.setdefault(obs.key, obs)
+        if result.panicked:
+            break
+    print(f"{args.trials} interleavings explored; {len(findings)} distinct findings")
+    for obs in findings.values():
+        print(f"  {obs}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.kernel.kernel import boot_kernel
+    from repro.orchestrate.persistence import ReproPackage, reproduce
+    from repro.sched.executor import Executor
+    from repro.sched.minimize import minimize_schedule
+
+    package = ReproPackage.load(args.package)
+    print(package.render_report())
+    kernel, snapshot = boot_kernel()
+    executor = Executor(kernel, snapshot)
+    if args.minimize:
+        minimal = minimize_schedule(
+            executor,
+            [package.writer, package.reader],
+            package.switch_points,
+            oracle=lambda r: (
+                r.panic_message == package.expected_panic
+                if package.expected_panic
+                else r.console == package.expected_console
+            ),
+        )
+        print(f"\nminimised schedule: {package.switch_points} -> {minimal}")
+        package.switch_points = minimal
+        package.expected_console = []  # transcripts differ under the minimal set
+    result = reproduce(executor, package)
+    print(f"\nreplay: panicked={result.panicked} console={result.console}")
+    return 0
+
+
+def _cmd_strategies(_args) -> int:
+    for strategy in ALL_STRATEGIES:
+        keys = "two keys (ins_w; ins_r)" if len(strategy.keys) == 2 else "one key"
+        print(f"{strategy.name:<16} {keys}")
+    print(f"{RANDOM_S_INS_PAIR:<16} S-INS-PAIR clusters, random order")
+    print(f"{RANDOM_PAIRING:<16} no analysis: random test pairs")
+    print(f"{DUPLICATE_PAIRING:<16} no analysis: identical test pairs")
+    return 0
+
+
+def _cmd_bugs(_args) -> int:
+    for spec in BUG_CATALOG:
+        print(
+            f"{spec.id}  #{spec.paper_id:<3} {spec.bug_type:<3} "
+            f"{spec.triage.value:<8} {spec.subsystem:<16} {spec.summary}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "table3":
+        return _cmd_table3(args)
+    if args.command == "case":
+        return _run_case(args.name)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "strategies":
+        return _cmd_strategies(args)
+    if args.command == "bugs":
+        return _cmd_bugs(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Bug oracles.
+
+Snowboard itself never raises a false alarm: bugs are only reported when
+a dynamic detector fires during concurrent execution.  We provide the
+same stock detectors the paper uses — a DataCollider-style data race
+detector (ours is a precise vector-clock happens-before detector rather
+than a sampling one) and a kernel-console checker for panics and
+filesystem errors — plus the catalog that maps raw observations onto the
+Table 2 bug inventory for the evaluation harness.
+"""
+
+from repro.detect.catalog import BUG_CATALOG, BugSpec, match_observations
+from repro.detect.console import ConsoleChecker, ConsoleFinding
+from repro.detect.datarace import RaceDetector, RaceReport
+from repro.detect.postmortem import (
+    PostmortemReport,
+    analyze_all,
+    analyze_race,
+    decode_ins,
+)
+from repro.detect.report import BugObservation, Triage, observe
+
+__all__ = [
+    "BUG_CATALOG",
+    "BugSpec",
+    "match_observations",
+    "ConsoleChecker",
+    "ConsoleFinding",
+    "RaceDetector",
+    "RaceReport",
+    "PostmortemReport",
+    "analyze_all",
+    "analyze_race",
+    "decode_ins",
+    "BugObservation",
+    "Triage",
+    "observe",
+]

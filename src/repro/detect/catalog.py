@@ -1,0 +1,293 @@
+"""The bug catalog: mapping raw observations to the Table 2 inventory.
+
+Each planted bug in the mini-kernel corresponds to one row of Table 2 in
+the paper.  Matchers key on the *kernel symbols* involved (the qualified
+function names embedded in instruction addresses) and on console
+patterns — the same signals a kernel developer uses to identify an oops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Set
+
+from repro.detect.report import BugObservation, Triage
+
+Matcher = Callable[[BugObservation], bool]
+
+
+@dataclass(frozen=True)
+class BugSpec:
+    """One catalogued bug (a row of Table 2)."""
+
+    id: str
+    paper_id: int
+    summary: str
+    subsystem: str
+    bug_type: str  # "DR" | "AV" | "OV"
+    triage: Triage
+    input_shape: str  # "distinct" | "duplicate"
+    matcher: Matcher
+
+    def matches(self, obs: BugObservation) -> bool:
+        return self.matcher(obs)
+
+
+def _race_between(a: str, b: str) -> Matcher:
+    """Race whose two instructions mention ``a`` and ``b`` respectively."""
+
+    def match(obs: BugObservation) -> bool:
+        if obs.kind != "race":
+            return False
+        r = obs.race
+        return (a in r.ins_a and b in r.ins_b) or (a in r.ins_b and b in r.ins_a)
+
+    return match
+
+
+def _race_involving(*needles: str) -> Matcher:
+    """Race where every needle appears in at least one instruction."""
+
+    def match(obs: BugObservation) -> bool:
+        if obs.kind != "race":
+            return False
+        return all(obs.involves(n) for n in needles)
+
+    return match
+
+
+def _console(pattern: str, rip: str = "") -> Matcher:
+    """Console finding containing ``pattern`` (and ``rip`` if given)."""
+
+    def match(obs: BugObservation) -> bool:
+        if obs.kind != "console":
+            return False
+        line = obs.console.line
+        return pattern in line and (not rip or rip in line)
+
+    return match
+
+
+def _any(*matchers: Matcher) -> Matcher:
+    def match(obs: BugObservation) -> bool:
+        return any(m(obs) for m in matchers)
+
+    return match
+
+
+BUG_CATALOG: List[BugSpec] = [
+    BugSpec(
+        id="SB01",
+        paper_id=1,
+        summary="BUG: unable to handle page fault (rhashtable double fetch)",
+        subsystem="lib/rhashtable",
+        bug_type="DR",
+        triage=Triage.HARMFUL,
+        input_shape="distinct",
+        matcher=_any(
+            _console("BUG:", rip="rht_"),
+            _race_involving("rhashtable.py"),
+        ),
+    ),
+    BugSpec(
+        id="SB02",
+        paper_id=2,
+        summary="EXT4-fs error: swap_inode_boot_loader: checksum invalid",
+        subsystem="fs/ext4",
+        bug_type="AV",
+        triage=Triage.HARMFUL,
+        input_shape="duplicate",
+        matcher=_console("swap_inode_boot_loader", rip="checksum invalid"),
+    ),
+    BugSpec(
+        id="SB03",
+        paper_id=3,
+        summary="EXT4-fs error: ext4_ext_check_inode: invalid magic",
+        subsystem="fs/ext4",
+        bug_type="AV",
+        triage=Triage.UNKNOWN,
+        input_shape="duplicate",
+        matcher=_console("ext4_ext_check_inode"),
+    ),
+    BugSpec(
+        id="SB04",
+        paper_id=4,
+        summary="Blk_update_request: I/O error",
+        subsystem="fs",
+        bug_type="AV",
+        triage=Triage.HARMFUL,
+        input_shape="distinct",
+        matcher=_console("Blk_update_request: I/O error"),
+    ),
+    BugSpec(
+        id="SB05",
+        paper_id=5,
+        summary="Data race: blkdev_ioctl() / generic_fadvise()",
+        subsystem="block,mm",
+        bug_type="DR",
+        triage=Triage.HARMFUL,
+        input_shape="distinct",
+        matcher=_race_between("sample_ra_pages", "ioctl_blkraset"),
+    ),
+    BugSpec(
+        id="SB06",
+        paper_id=6,
+        summary="Data race: do_mpage_readpage() / set_blocksize()",
+        subsystem="fs",
+        bug_type="DR",
+        triage=Triage.UNKNOWN,
+        input_shape="distinct",
+        matcher=_race_between("sample_blocksize", "ioctl_set_blocksize"),
+    ),
+    BugSpec(
+        id="SB07",
+        paper_id=7,
+        summary="Data race: rawv6_send_hdrinc() / __dev_set_mtu()",
+        subsystem="net",
+        bug_type="DR",
+        triage=Triage.HARMFUL,
+        input_shape="distinct",
+        matcher=_race_between("rawv6_send_hdrinc", "ioctl_set_mtu"),
+    ),
+    BugSpec(
+        id="SB08",
+        paper_id=8,
+        summary="Data race: packet_getname() / e1000_set_mac()",
+        subsystem="net",
+        bug_type="DR",
+        triage=Triage.HARMFUL,
+        input_shape="distinct",
+        matcher=_race_between("sys_getsockname", "ioctl_set_mac"),
+    ),
+    BugSpec(
+        id="SB09",
+        paper_id=9,
+        summary="Data race: dev_ifsioc_locked() / eth_commit_mac_addr_change()",
+        subsystem="net",
+        bug_type="DR",
+        triage=Triage.HARMFUL,
+        input_shape="distinct",
+        matcher=_race_between("ioctl_get_mac", "ioctl_set_mac"),
+    ),
+    BugSpec(
+        id="SB10",
+        paper_id=10,
+        summary="Data race: fib6_get_cookie_safe() / fib6_clean_node()",
+        subsystem="net",
+        bug_type="DR",
+        triage=Triage.BENIGN,
+        input_shape="distinct",
+        matcher=_race_between("rawv6_send_hdrinc", "sys_route_update"),
+    ),
+    BugSpec(
+        id="SB11",
+        paper_id=11,
+        summary="BUG: kernel NULL pointer dereference (configfs lookup)",
+        subsystem="fs/configfs",
+        bug_type="DR",
+        triage=Triage.HARMFUL,
+        input_shape="distinct",
+        matcher=_any(
+            _console("NULL pointer dereference", rip="sys_lookup"),
+            _race_between("sys_mkdir", "sys_lookup"),
+        ),
+    ),
+    BugSpec(
+        id="SB12",
+        paper_id=12,
+        summary="BUG: kernel NULL pointer dereference (l2tp tunnel sock)",
+        subsystem="net/l2tp",
+        bug_type="OV",
+        triage=Triage.HARMFUL,
+        input_shape="distinct",
+        matcher=_console("NULL pointer dereference", rip="pppol2tp_sendmsg"),
+    ),
+    BugSpec(
+        id="SB13",
+        paper_id=13,
+        summary="Data race: cache_alloc_refill() / free_block() (slab stats)",
+        subsystem="mm",
+        bug_type="DR",
+        triage=Triage.BENIGN,
+        input_shape="duplicate",
+        matcher=_race_involving("alloc.py"),
+    ),
+    BugSpec(
+        id="SB14",
+        paper_id=14,
+        summary="Data race: tty_port_open() / uart_do_autoconfig()",
+        subsystem="drivers/tty",
+        bug_type="DR",
+        triage=Triage.HARMFUL,
+        input_shape="distinct",
+        matcher=_any(
+            _race_between("sys_tty_open", "ioctl_autoconfig"),
+            _console("tty_port_open: port type unknown"),
+        ),
+    ),
+    BugSpec(
+        id="SB15",
+        paper_id=15,
+        summary="Data race: snd_ctl_elem_add() (quota accounting)",
+        subsystem="sound/core",
+        bug_type="DR",
+        triage=Triage.HARMFUL,
+        input_shape="distinct",
+        matcher=_race_involving("sys_snd_ctl_add"),
+    ),
+    BugSpec(
+        id="SB16",
+        paper_id=16,
+        summary="Data race: tcp default congestion control",
+        subsystem="net/ipv4",
+        bug_type="DR",
+        triage=Triage.BENIGN,
+        input_shape="distinct",
+        matcher=_any(
+            _race_between("sys_connect", "sys_setsockopt"),
+            _race_involving("sys_setsockopt", "net.py"),
+        ),
+    ),
+    BugSpec(
+        id="SB17",
+        paper_id=17,
+        summary="Data race: fanout_demux_rollover() / __fanout_unlink()",
+        subsystem="net/packet",
+        bug_type="DR",
+        triage=Triage.HARMFUL,
+        input_shape="distinct",
+        matcher=_any(
+            _race_between("fanout_demux_rollover", "fanout_unlink"),
+            _race_between("fanout_demux_rollover", "fanout_add"),
+        ),
+    ),
+]
+
+
+def match_observations(
+    observations: Iterable[BugObservation],
+) -> Dict[str, List[BugObservation]]:
+    """Group observations by catalog bug id (first matching spec wins).
+
+    Observations matching no spec are grouped under ``"unmatched"``.
+    """
+    grouped: Dict[str, List[BugObservation]] = {}
+    for obs in observations:
+        bug_id = "unmatched"
+        for spec in BUG_CATALOG:
+            if spec.matches(obs):
+                bug_id = spec.id
+                break
+        grouped.setdefault(bug_id, []).append(obs)
+    return grouped
+
+
+def catalog_ids() -> Set[str]:
+    return {spec.id for spec in BUG_CATALOG}
+
+
+def spec_by_id(bug_id: str) -> BugSpec:
+    for spec in BUG_CATALOG:
+        if spec.id == bug_id:
+            return spec
+    raise KeyError(bug_id)

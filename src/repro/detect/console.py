@@ -1,0 +1,62 @@
+"""Kernel console checker.
+
+The paper's ``is_bug`` oracle captures guest console output and matches
+failure patterns: panics, NULL dereferences, filesystem errors and I/O
+errors.  This module scans the console lines a trial produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+# (pattern substring, finding kind) in match priority order.
+CONSOLE_PATTERNS: Tuple[Tuple[str, str], ...] = (
+    ("BUG: kernel NULL pointer dereference", "null-deref"),
+    ("BUG: unable to handle page fault", "page-fault"),
+    ("Kernel panic", "panic"),
+    ("EXT4-fs error", "ext4-error"),
+    ("Blk_update_request: I/O error", "io-error"),
+    ("tty_port_open: port type unknown", "tty-error"),
+)
+
+
+@dataclass(frozen=True)
+class ConsoleFinding:
+    """One console line that matched a failure pattern."""
+
+    kind: str
+    line: str
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Dedup key: the kind plus the line with addresses normalised."""
+        return (self.kind, _normalise(self.line))
+
+
+class ConsoleChecker:
+    """Scans console transcripts for failure patterns."""
+
+    def __init__(self, patterns: Sequence[Tuple[str, str]] = CONSOLE_PATTERNS):
+        self.patterns = tuple(patterns)
+
+    def scan(self, console: Sequence[str]) -> List[ConsoleFinding]:
+        """Return one finding per matching console line (first pattern wins)."""
+        findings = []
+        for line in console:
+            for pattern, kind in self.patterns:
+                if pattern in line:
+                    findings.append(ConsoleFinding(kind=kind, line=line))
+                    break
+        return findings
+
+
+def _normalise(line: str) -> str:
+    """Strip hex addresses so identical bugs at different addresses dedup."""
+    out = []
+    for token in line.split():
+        if token.startswith("0x"):
+            out.append("0xADDR")
+        else:
+            out.append(token)
+    return " ".join(out)

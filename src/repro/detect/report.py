@@ -1,0 +1,74 @@
+"""Unified bug observations and triage.
+
+An observation is anything an oracle flagged during one trial: a data
+race report, a console failure line, or a deadlock.  The evaluation
+harness deduplicates observations across trials and matches them against
+the bug catalog (our analogue of the manual inspection step in section
+5.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.detect.console import ConsoleChecker, ConsoleFinding
+from repro.detect.datarace import RaceReport
+
+
+class Triage(enum.Enum):
+    """Manual-triage verdict analogue."""
+
+    HARMFUL = "harmful"
+    BENIGN = "benign"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class BugObservation:
+    """One oracle firing: a race, a console failure, or a deadlock."""
+
+    kind: str  # "race" | "console" | "deadlock"
+    race: Optional[RaceReport] = None
+    console: Optional[ConsoleFinding] = None
+    detail: str = ""
+
+    @property
+    def key(self) -> Tuple:
+        """Stable dedup key across trials."""
+        if self.kind == "race":
+            return ("race", self.race.key)
+        if self.kind == "console":
+            return ("console", self.console.key)
+        return ("deadlock", self.detail)
+
+    def involves(self, needle: str) -> bool:
+        """True when the observation mentions ``needle`` (ins or text)."""
+        if self.kind == "race":
+            return self.race.involves(needle)
+        if self.kind == "console":
+            return needle in self.console.line
+        return needle in self.detail
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind == "race":
+            return str(self.race)
+        if self.kind == "console":
+            return f"console: {self.console.line}"
+        return f"deadlock: {self.detail}"
+
+
+def observe(result, checker: Optional[ConsoleChecker] = None) -> List[BugObservation]:
+    """Extract all bug observations from one execution result."""
+    checker = checker or ConsoleChecker()
+    observations: List[BugObservation] = []
+    for race in result.races:
+        observations.append(BugObservation(kind="race", race=race))
+    for finding in checker.scan(result.console):
+        observations.append(BugObservation(kind="console", console=finding))
+    if result.deadlocked:
+        observations.append(
+            BugObservation(kind="deadlock", detail="all threads stuck")
+        )
+    return observations

@@ -1,0 +1,33 @@
+"""Sequential test generation — the Syzkaller stand-in.
+
+Provides the syscall descriptions of the mini-kernel, a seeded random
+program generator with mutation operators, and a coverage-guided corpus
+that keeps only tests contributing new edge coverage (the test-selection
+step of section 4.1).
+"""
+
+from repro.fuzz.corpus import Corpus, CorpusEntry, build_corpus
+from repro.fuzz.coverage import edge_coverage
+from repro.fuzz.generator import ProgramGenerator
+from repro.fuzz.prog import Arg, Call, Program, Res, prog, resolve_arg
+from repro.fuzz.spec import SYSCALL_SPECS, SyscallSpec
+from repro.fuzz.text import ProgramParseError, format_program, parse_program
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "build_corpus",
+    "edge_coverage",
+    "ProgramGenerator",
+    "Arg",
+    "Call",
+    "Program",
+    "Res",
+    "prog",
+    "resolve_arg",
+    "SYSCALL_SPECS",
+    "SyscallSpec",
+    "ProgramParseError",
+    "format_program",
+    "parse_program",
+]

@@ -1,0 +1,33 @@
+"""Edge coverage over instruction traces.
+
+The Syzkaller stand-in exports edge coverage — consecutive pairs of
+instruction addresses executed by the test's kernel thread — which the
+corpus distiller uses to keep only tests that contribute new behaviour
+(section 4.1: "Snowboard uses the edge coverage metric, exported by
+Syzkaller, to select tests").
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.machine.accesses import MemoryAccess
+
+Edge = Tuple[str, str]
+
+
+def edge_coverage(accesses: Iterable[MemoryAccess], thread: int = 0) -> FrozenSet[Edge]:
+    """Edges (consecutive instruction-address pairs) of one thread's trace.
+
+    Stack accesses are included on purpose: coverage is a control-flow
+    notion, unlike the shared-memory profile used for PMCs.
+    """
+    edges = set()
+    prev = None
+    for access in accesses:
+        if access.thread != thread:
+            continue
+        if prev is not None and prev != access.ins:
+            edges.add((prev, access.ins))
+        prev = access.ins
+    return frozenset(edges)

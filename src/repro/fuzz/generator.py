@@ -1,0 +1,188 @@
+"""Seeded random program generation and mutation.
+
+A deliberately simple feedback-free generator (the corpus layer adds the
+coverage feedback): programs are short call sequences over the syscall
+specs, with typed fd arguments wired to earlier compatible fd-producing
+calls — the resource discipline Syzkaller enforces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.fuzz.prog import Call, Program, Res
+from repro.fuzz.spec import (
+    DOMAINS,
+    FD_ANY,
+    FD_KINDS,
+    SYSCALL_SPECS,
+    SyscallSpec,
+    spec_of_call,
+)
+
+MAX_PROGRAM_LEN = 6
+
+
+def _fd_resource(kind: str) -> Optional[str]:
+    """The resource type an fd arg kind requires (None for fd:any)."""
+    resource = kind.split(":", 1)[1]
+    return None if resource == "any" else resource
+
+
+class ProgramGenerator:
+    """Generates and mutates sequential test programs deterministically."""
+
+    def __init__(self, seed: int = 0, max_len: int = MAX_PROGRAM_LEN):
+        self.rng = random.Random(seed)
+        self.max_len = max_len
+        self._weighted_specs: List[SyscallSpec] = []
+        for spec in SYSCALL_SPECS:
+            self._weighted_specs.extend([spec] * spec.weight)
+
+    # -- generation ---------------------------------------------------------
+
+    def generate(self, length: Optional[int] = None) -> Program:
+        """Generate one fresh random program."""
+        length = length or self.rng.randint(1, self.max_len)
+        calls: List[Call] = []
+        for _ in range(length):
+            producers = self._producers(calls, len(calls))
+            spec = self._pick_spec(producers)
+            calls.append(self._make_call(spec, producers))
+        return Program(tuple(calls))
+
+    def mutate(self, program: Program) -> Program:
+        """Apply one random mutation: insert, drop, or retune arguments."""
+        choice = self.rng.random()
+        if choice < 0.4 or len(program) == 0:
+            return self._insert(program)
+        if choice < 0.6 and len(program) > 1:
+            return self._drop(program)
+        return self._retune(program)
+
+    # -- internals --------------------------------------------------------------
+
+    def _producers(self, calls: List[Call], upto: int) -> Dict[str, List[int]]:
+        """Resource type -> indices of producing calls before ``upto``."""
+        producers: Dict[str, List[int]] = {}
+        for i, call in enumerate(calls[:upto]):
+            makes = spec_of_call(call).makes
+            if makes:
+                producers.setdefault(makes, []).append(i)
+        return producers
+
+    def _satisfiable(self, spec: SyscallSpec, producers: Dict[str, List[int]]) -> bool:
+        for kind in spec.args:
+            if isinstance(kind, str) and kind in FD_KINDS:
+                resource = _fd_resource(kind)
+                if resource is None:
+                    if not any(producers.values()):
+                        return False
+                elif not producers.get(resource):
+                    return False
+        return True
+
+    def _pick_spec(self, producers: Dict[str, List[int]]) -> SyscallSpec:
+        while True:
+            spec = self.rng.choice(self._weighted_specs)
+            if self._satisfiable(spec, producers):
+                return spec
+
+    def _make_call(self, spec: SyscallSpec, producers: Dict[str, List[int]]) -> Call:
+        args = []
+        for kind in spec.args:
+            if isinstance(kind, tuple):  # ("const", value)
+                args.append(kind[1])
+            elif kind in FD_KINDS:
+                resource = _fd_resource(kind)
+                if resource is None:
+                    pool = [i for pool in producers.values() for i in pool]
+                else:
+                    pool = producers.get(resource, [])
+                if pool:
+                    args.append(Res(self.rng.choice(pool)))
+                else:
+                    # No producer in scope: a constant invalid fd, like
+                    # real fuzzer corpora contain.
+                    args.append(0)
+            else:
+                args.append(self.rng.choice(DOMAINS[kind]))
+        return Call(spec.name, tuple(args))
+
+    def _insert(self, program: Program) -> Program:
+        calls = list(program.calls)
+        if len(calls) >= self.max_len:
+            return self._retune(program)
+        pos = self.rng.randint(0, len(calls))
+        producers = self._producers(calls, pos)
+        spec = self._pick_spec(producers)
+        call = self._make_call(spec, producers)
+        calls.insert(pos, call)
+        fixed = []
+        for i, c in enumerate(calls):
+            if i <= pos:
+                fixed.append(c)
+                continue
+            fixed.append(self._shift_refs(c, pos))
+        return Program(tuple(fixed))
+
+    def _drop(self, program: Program) -> Program:
+        calls = list(program.calls)
+        pos = self.rng.randrange(len(calls))
+        del calls[pos]
+        fixed: List[Call] = []
+        for call in calls:
+            fixed.append(self._heal_refs(call, pos, fixed))
+        return Program(tuple(fixed))
+
+    def _retune(self, program: Program) -> Program:
+        calls = list(program.calls)
+        pos = self.rng.randrange(len(calls))
+        spec = spec_of_call(calls[pos])
+        producers = self._producers(calls, pos)
+        calls[pos] = self._make_call(spec, producers)
+        # A retuned call keeps its resource-producing status, so later
+        # references stay valid.
+        return Program(tuple(calls))
+
+    def _shift_refs(self, call: Call, inserted_at: int) -> Call:
+        args = tuple(
+            Res(a.index + 1) if isinstance(a, Res) and a.index >= inserted_at else a
+            for a in call.args
+        )
+        return Call(call.name, args)
+
+    def _heal_refs(self, call: Call, dropped: int, earlier: List[Call]) -> Call:
+        """Repair resource references after a call was removed."""
+        spec = spec_of_call(call)
+        producers = self._producers(earlier, len(earlier))
+        args = []
+        for position, arg in enumerate(call.args):
+            if not isinstance(arg, Res):
+                args.append(arg)
+                continue
+            kind = spec.args[position] if position < len(spec.args) else FD_ANY
+            resource = _fd_resource(kind) if isinstance(kind, str) else None
+            index = arg.index
+            if index == dropped:
+                index = -1
+            elif index > dropped:
+                index -= 1
+            valid = (
+                0 <= index < len(earlier)
+                and spec_of_call(earlier[index]).makes is not None
+                and (resource is None or spec_of_call(earlier[index]).makes == resource)
+            )
+            if not valid:
+                if resource is None:
+                    pool = [i for p in producers.values() for i in p]
+                else:
+                    pool = producers.get(resource, [])
+                if pool:
+                    index = self.rng.choice(pool)
+                else:
+                    args.append(0)
+                    continue
+            args.append(Res(index))
+        return Call(call.name, tuple(args))

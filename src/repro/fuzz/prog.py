@@ -1,0 +1,78 @@
+"""Sequential test programs.
+
+A program is a short sequence of syscalls with constant arguments and
+resource references: ``Res(i)`` names the return value of the ``i``-th
+call, mirroring Syzkaller's ``r0 = socket(...); connect(r0, ...)``
+resource model.  Programs are immutable and hashable so they can serve
+as corpus keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+@dataclass(frozen=True, slots=True)
+class Res:
+    """A reference to the result of an earlier call in the same program."""
+
+    index: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"r{self.index}"
+
+
+Arg = Union[int, Res]
+
+
+@dataclass(frozen=True, slots=True)
+class Call:
+    """One syscall invocation: a name and its arguments."""
+
+    name: str
+    args: Tuple[Arg, ...] = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({args})"
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    """An immutable sequential test: a tuple of calls."""
+
+    calls: Tuple[Call, ...]
+
+    def __post_init__(self) -> None:
+        for i, call in enumerate(self.calls):
+            for arg in call.args:
+                if isinstance(arg, Res) and not 0 <= arg.index < i:
+                    raise ValueError(
+                        f"call {i} ({call.name}) references r{arg.index}, "
+                        f"which is not an earlier call"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = "; ".join(f"r{i}={call!r}" for i, call in enumerate(self.calls))
+        return f"Program[{body}]"
+
+
+def prog(*calls: Call) -> Program:
+    """Convenience constructor: ``prog(Call("open", (1,)), ...)``."""
+    return Program(tuple(calls))
+
+
+def resolve_arg(arg: Arg, results: list) -> int:
+    """Resolve an argument against the results of earlier calls.
+
+    Failed syscalls return negative values; passing those through (like a
+    real fuzzer would) simply makes the consuming call fail fd validation.
+    """
+    if isinstance(arg, Res):
+        value = results[arg.index]
+        return int(value)
+    return int(arg)

@@ -1,0 +1,228 @@
+"""Syscall descriptions for the mini-kernel.
+
+The Syzkaller-equivalent type system, shrunk to what the mini-kernel
+understands:
+
+* **Typed fd resources** — ``open`` produces a ``file`` fd, ``socket`` a
+  ``sock`` fd, ``tty_open`` a ``tty`` fd; consumers declare which kind
+  they need (``fd:file`` etc.), exactly like Syzkaller resource types.
+* **ioctl variants** — one spec per command with the right fd type and a
+  constant command argument, mirroring Syzkaller's ``ioctl$CMD`` forms.
+* **Small constant domains** — keys, paths and tunnel ids are drawn from
+  a few values so independent tests collide on the same kernel objects,
+  the way a real distilled corpus does.
+* **Seed programs** — canonical per-subsystem flows (the hand-written
+  seeds every kernel fuzzer ships with) that guarantee each subsystem's
+  deep paths are reachable from the initial corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.fuzz.prog import Call, Program, Res, prog
+
+# Argument domain kinds.
+FD_FILE = "fd:file"
+FD_SOCK = "fd:sock"
+FD_TTY = "fd:tty"
+FD_FIFO = "fd:fifo"
+FD_ANY = "fd:any"
+FD_KINDS = (FD_FILE, FD_SOCK, FD_TTY, FD_FIFO, FD_ANY)
+
+PATH = "path"
+KEY = "key"
+PROTO = "proto"
+SMALL = "small"
+VALUE = "value"
+SOCKOPT = "sockopt"
+NAME = "name"
+
+# Const arguments are spelled ("const", value).
+Const = Tuple[str, int]
+ArgKind = Union[str, Const]
+
+
+def const(value: int) -> Const:
+    return ("const", value)
+
+
+@dataclass(frozen=True)
+class SyscallSpec:
+    """Static description of one syscall (or ioctl variant)."""
+
+    name: str
+    args: Tuple[ArgKind, ...] = ()
+    makes: Optional[str] = None  # resource type produced ("file"/"sock"/"tty")
+    weight: int = 1
+    variant: str = ""
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}${self.variant}" if self.variant else self.name
+
+
+# Domains: kind -> candidate constant values.
+DOMAINS = {
+    PATH: tuple(range(6)) + (100, 101),
+    KEY: tuple(range(4)),
+    PROTO: (0, 1, 2, 3),
+    SMALL: tuple(range(8)),
+    VALUE: (0, 1, 7, 64, 255, 0x1234, 0xDEAD, 0xA1B2C3D4E5),
+    SOCKOPT: (1, 2, 3),
+    NAME: tuple(range(4)),
+}
+
+# ioctl command numbers (kept in sync with the subsystems).
+IOCTL_SWAP_BOOT = 1
+IOCTL_SET_BLOCKSIZE = 2
+IOCTL_BLKRASET = 3
+IOCTL_SET_MAC = 4
+IOCTL_GET_MAC = 5
+IOCTL_SET_MTU = 6
+IOCTL_TTY_AUTOCONF = 7
+
+
+SYSCALL_SPECS: Tuple[SyscallSpec, ...] = (
+    # Filesystem.
+    SyscallSpec("open", (PATH,), makes="file", weight=3),
+    SyscallSpec("close", (FD_ANY,)),
+    SyscallSpec("read", (FD_FILE, SMALL), weight=2),
+    SyscallSpec("write", (FD_FILE, VALUE), weight=2),
+    SyscallSpec("fsync", (FD_FILE,)),
+    SyscallSpec("fadvise", (FD_FILE,)),
+    SyscallSpec("mkdir", (NAME,)),
+    SyscallSpec("lookup", (NAME,)),
+    # Block device ioctls (on file fds).
+    SyscallSpec("ioctl", (FD_FILE, const(IOCTL_SWAP_BOOT), VALUE), variant="swap_boot"),
+    SyscallSpec("ioctl", (FD_FILE, const(IOCTL_SET_BLOCKSIZE), SMALL), variant="set_blocksize"),
+    SyscallSpec("ioctl", (FD_FILE, const(IOCTL_BLKRASET), SMALL), variant="blkraset"),
+    # IPC.
+    SyscallSpec("msgget", (KEY,), weight=2),
+    SyscallSpec("msgctl", (KEY, SMALL)),
+    SyscallSpec("msgsnd", (KEY, VALUE)),
+    SyscallSpec("msgrcv", (KEY,)),
+    # Network.
+    SyscallSpec("socket", (PROTO,), makes="sock", weight=3),
+    SyscallSpec("connect", (FD_SOCK, SMALL), weight=2),
+    SyscallSpec("sendmsg", (FD_SOCK, VALUE), weight=2),
+    SyscallSpec("getsockname", (FD_SOCK,)),
+    SyscallSpec("setsockopt", (FD_SOCK, SOCKOPT, VALUE)),
+    SyscallSpec("route_update", (VALUE,)),
+    SyscallSpec("ioctl", (FD_SOCK, const(IOCTL_SET_MAC), VALUE), variant="set_mac"),
+    SyscallSpec("ioctl", (FD_SOCK, const(IOCTL_GET_MAC), const(0)), variant="get_mac"),
+    SyscallSpec("ioctl", (FD_SOCK, const(IOCTL_SET_MTU), VALUE), variant="set_mtu"),
+    # TTY.
+    SyscallSpec("tty_open", (), makes="tty"),
+    SyscallSpec("ioctl", (FD_TTY, const(IOCTL_TTY_AUTOCONF), const(0)), variant="tty_autoconf"),
+    # Sound.
+    SyscallSpec("snd_ctl_add", (VALUE,)),
+    SyscallSpec("snd_ctl_info", ()),
+    # Semaphores (a second rhashtable user).
+    SyscallSpec("semget", (KEY,)),
+    SyscallSpec("semctl", (KEY, SMALL)),
+    SyscallSpec("semop", (KEY, SMALL)),
+    # FIFOs (properly locked shared rings).
+    SyscallSpec("fifo_open", (SMALL,), makes="fifo"),
+    SyscallSpec("fifo_write", ("fd:fifo", VALUE)),
+    SyscallSpec("fifo_read", ("fd:fifo",)),
+    # /proc-like statistics.
+    SyscallSpec("sysinfo", ()),
+)
+
+
+SPEC_BY_NAME = {}
+for _spec in SYSCALL_SPECS:
+    SPEC_BY_NAME.setdefault(_spec.name, _spec)
+
+
+def specs_for(name: str) -> Tuple[SyscallSpec, ...]:
+    """All variants of one syscall name."""
+    return tuple(s for s in SYSCALL_SPECS if s.name == name)
+
+
+def spec_of_call(call: Call) -> SyscallSpec:
+    """The (variant) spec a concrete call was built from.
+
+    Variants are distinguished by their constant arguments (the ioctl
+    command); a call matching no variant's constants maps to the first
+    variant, which is only reachable for hand-written programs.
+    """
+    candidates = specs_for(call.name)
+    if not candidates:
+        raise KeyError(f"unknown syscall {call.name!r}")
+    if len(candidates) == 1:
+        return candidates[0]
+    for candidate in candidates:
+        matches = True
+        for i, kind in enumerate(candidate.args):
+            if isinstance(kind, tuple):
+                if i >= len(call.args) or call.args[i] != kind[1]:
+                    matches = False
+                    break
+        if matches:
+            return candidate
+    return candidates[0]
+
+
+# Canonical per-subsystem seed programs: the hand-written corpus seeds.
+DEFAULT_SEEDS: Tuple[Program, ...] = (
+    # ext4: write + checksum + swap-boot-loader.
+    prog(
+        Call("open", (1,)),
+        Call("write", (Res(0), 0x1234)),
+        Call("ioctl", (Res(0), IOCTL_SWAP_BOOT, 0)),
+        Call("fsync", (Res(0),)),
+    ),
+    # Block device: blocksize + readahead + readers.
+    prog(
+        Call("open", (2,)),
+        Call("ioctl", (Res(0), IOCTL_SET_BLOCKSIZE, 1)),
+        Call("read", (Res(0), 2)),
+        Call("fadvise", (Res(0),)),
+    ),
+    prog(Call("open", (3,)), Call("ioctl", (Res(0), IOCTL_BLKRASET, 4))),
+    # configfs.
+    prog(Call("mkdir", (1,)), Call("lookup", (1,))),
+    # IPC over the rhashtable.
+    prog(Call("msgget", (2,)), Call("msgsnd", (2, 7)), Call("msgctl", (2, 0))),
+    # L2TP: the Figure 1 flow.
+    prog(Call("socket", (2,)), Call("connect", (Res(0), 1)), Call("sendmsg", (Res(0), 5))),
+    # MAC address ioctls.
+    prog(
+        Call("socket", (0,)),
+        Call("ioctl", (Res(0), IOCTL_SET_MAC, 0xA1B2C3D4E5)),
+        Call("ioctl", (Res(0), IOCTL_GET_MAC, 0)),
+        Call("getsockname", (Res(0),)),
+    ),
+    # Raw IPv6 + routes.
+    prog(
+        Call("socket", (3,)),
+        Call("ioctl", (Res(0), IOCTL_SET_MTU, 900)),
+        Call("sendmsg", (Res(0), 4000)),
+        Call("route_update", (7,)),
+    ),
+    # Packet fanout.
+    prog(
+        Call("socket", (1,)),
+        Call("setsockopt", (Res(0), 3, 0)),
+        Call("sendmsg", (Res(0), 1)),
+        Call("close", (Res(0),)),
+    ),
+    # TTY autoconfig.
+    prog(Call("tty_open", ()), Call("ioctl", (Res(0), IOCTL_TTY_AUTOCONF, 0))),
+    # Sound controls.
+    prog(Call("snd_ctl_add", (100,)), Call("snd_ctl_info", ())),
+    # Semaphores over the second rhashtable.
+    prog(Call("semget", (1,)), Call("semop", (1, 6)), Call("semctl", (1, 0))),
+    # FIFO ring traffic.
+    prog(
+        Call("fifo_open", (0,)),
+        Call("fifo_write", (Res(0), 11)),
+        Call("fifo_write", (Res(0), 22)),
+        Call("fifo_read", (Res(0),)),
+    ),
+    # Statistics reader.
+    prog(Call("sysinfo", ()), Call("msgget", (0,)), Call("sysinfo", ())),
+)

@@ -1,0 +1,33 @@
+"""The miniature guest kernel.
+
+This package is the reproduction's stand-in for the Linux guest: a small
+operating-system kernel (syscall table, slab allocator, synchronisation
+primitives, rhashtable, filesystem, block layer, network stack, L2TP, IPC
+message queues, TTY and sound subsystems) whose every memory access is an
+interpreted instruction visible to the hypervisor-side tracer.
+
+The subsystems contain planted concurrency bugs that are structural
+analogues of the 17 issues Snowboard found in Linux (Table 2 of the
+paper): the same bug classes (data races, atomicity violations, an order
+violation, a double fetch), the same synchronisation idioms (RCU publish,
+mismatched locks, seqlock-free counters), and the same triggering shapes.
+"""
+
+from repro.kernel.context import KernelContext
+from repro.kernel.errors import KernelBug, KernelPanicError, SyscallError
+from repro.kernel.kernel import Kernel, boot_kernel
+from repro.kernel.ops import CasOp, MemOp, PanicOp, PrintkOp, SyncOp
+
+__all__ = [
+    "KernelContext",
+    "KernelBug",
+    "KernelPanicError",
+    "SyscallError",
+    "Kernel",
+    "boot_kernel",
+    "CasOp",
+    "MemOp",
+    "PanicOp",
+    "PrintkOp",
+    "SyncOp",
+]

@@ -1,0 +1,151 @@
+"""Slab-style kernel memory allocator.
+
+All allocator state — the bump pointer, per-size-class freelist heads and
+the statistics counters — lives in guest memory, so allocator metadata
+participates in PMC analysis exactly like Linux's slab internals do.
+
+Planted bug (analogue of Table 2 issue #13, the benign mm/ data race
+between ``cache_alloc_refill()`` and ``free_block()``): the statistics
+counters are updated with plain read-modify-write sequences *outside* the
+freelist lock.  Because nearly every syscall allocates memory, this race
+is reachable from almost any pair of tests — which is why, in the paper,
+issue #13 was found by every strategy including the naive baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.kernel.context import KernelContext, WORD
+from repro.kernel.errors import SyscallError, ENOMEM
+from repro.kernel.sync import spin_lock, spin_unlock
+from repro.machine.layout import Struct, field
+
+# Size classes, like kmalloc caches.
+SIZE_CLASSES = (16, 32, 64, 128, 256, 512, 1024)
+
+# Allocator global state block (lives in the globals region).
+ALLOC_STATE = Struct(
+    "kmalloc_state",
+    field("lock", 4),
+    field("pad", 4),
+    field("heap_next", WORD),
+    field("heap_end", WORD),
+    # One freelist head per size class.
+    *[field(f"free_{size}", WORD) for size in SIZE_CLASSES],
+    # Racy statistics counters (bug #13 analogue).
+    field("total_allocs", WORD),
+    field("total_frees", WORD),
+    field("bytes_in_use", WORD),
+)
+
+
+def size_class(size: int) -> int:
+    """Smallest size class that fits ``size`` bytes."""
+    for cls in SIZE_CLASSES:
+        if size <= cls:
+            return cls
+    raise ValueError(f"allocation of {size} bytes exceeds the largest slab class")
+
+
+class Allocator:
+    """Handle to the in-memory allocator state.
+
+    Created at boot with the address of its state block; stateless on the
+    Python side (snapshots capture everything).  With ``fixed=True`` the
+    statistics updates move inside the freelist lock (the upstream fix
+    for the #13-style race).
+    """
+
+    def __init__(self, state_addr: int, fixed: bool = False):
+        self.state = state_addr
+        self.fixed = fixed
+
+    def _field(self, name: str) -> int:
+        return ALLOC_STATE.addr(self.state, name)
+
+    # -- boot-time (non-traced) initialisation is done by Kernel ------------
+
+    def kmalloc(self, ctx: KernelContext, size: int) -> Generator:
+        """Allocate ``size`` bytes; returns the chunk address.
+
+        Freelist manipulation is properly locked; the statistics update
+        afterwards deliberately is not.
+        """
+        cls = size_class(size)
+        head_addr = self._field(f"free_{cls}")
+        lock = self._field("lock")
+
+        yield from spin_lock(ctx, lock)
+        chunk = yield from ctx.load_word(head_addr)
+        if chunk != 0:
+            # Pop: the freelist next pointer lives in the chunk's first word.
+            next_free = yield from ctx.load_word(chunk)
+            yield from ctx.store_word(head_addr, next_free)
+        else:
+            chunk = yield from self._bump(ctx, cls)
+        if self.fixed and chunk != 0:
+            # Patched kernel: account under the lock.
+            yield from self._account(ctx, +1, +cls, "total_allocs")
+        yield from spin_unlock(ctx, lock)
+
+        if chunk == 0:
+            raise SyscallError(ENOMEM, "kmalloc: out of heap")
+
+        if not self.fixed:
+            # Racy statistics (no lock): plain load-add-store (#13).
+            allocs = yield from ctx.load_word(self._field("total_allocs"))
+            yield from ctx.store_word(self._field("total_allocs"), allocs + 1)
+            in_use = yield from ctx.load_word(self._field("bytes_in_use"))
+            yield from ctx.store_word(self._field("bytes_in_use"), in_use + cls)
+        return chunk
+
+    def kzalloc(self, ctx: KernelContext, size: int) -> Generator:
+        """Allocate and zero-fill ``size`` bytes."""
+        chunk = yield from self.kmalloc(ctx, size)
+        yield from ctx.memset(chunk, 0, size_class(size))
+        return chunk
+
+    def kfree(self, ctx: KernelContext, addr: int, size: int) -> Generator:
+        """Return a chunk to its size-class freelist."""
+        if addr == 0:
+            return
+        cls = size_class(size)
+        head_addr = self._field(f"free_{cls}")
+        lock = self._field("lock")
+
+        yield from spin_lock(ctx, lock)
+        head = yield from ctx.load_word(head_addr)
+        yield from ctx.store_word(addr, head)
+        yield from ctx.store_word(head_addr, addr)
+        if self.fixed:
+            yield from self._account(ctx, +1, -cls, "total_frees")
+        yield from spin_unlock(ctx, lock)
+
+        if not self.fixed:
+            # Racy statistics again (the other side of the #13 analogue).
+            frees = yield from ctx.load_word(self._field("total_frees"))
+            yield from ctx.store_word(self._field("total_frees"), frees + 1)
+            in_use = yield from ctx.load_word(self._field("bytes_in_use"))
+            yield from ctx.store_word(self._field("bytes_in_use"), in_use - cls)
+
+    def _account(self, ctx: KernelContext, count: int, bytes_delta: int, counter: str) -> Generator:
+        """Locked statistics update (the patched-kernel path).
+
+        Stores are marked (WRITE_ONCE) so lockless statistics readers
+        like ``sysinfo()`` can pair with READ_ONCE — the standard kernel
+        pattern for counters with unlocked readers.
+        """
+        value = yield from ctx.load_word(self._field(counter))
+        yield from ctx.store_word(self._field(counter), value + count, atomic=True)
+        in_use = yield from ctx.load_word(self._field("bytes_in_use"))
+        yield from ctx.store_word(self._field("bytes_in_use"), in_use + bytes_delta, atomic=True)
+
+    def _bump(self, ctx: KernelContext, cls: int) -> Generator:
+        """Carve a fresh chunk off the top of the heap (lock held)."""
+        next_addr = yield from ctx.load_word(self._field("heap_next"))
+        end = yield from ctx.load_word(self._field("heap_end"))
+        if next_addr + cls > end:
+            return 0
+        yield from ctx.store_word(self._field("heap_next"), next_addr + cls)
+        return next_addr

@@ -1,0 +1,212 @@
+"""Kernel execution context: the instruction-level memory access API.
+
+All kernel code runs as generators and performs every memory access
+through a :class:`KernelContext`, which yields one op per interpreted
+instruction to the executor.  The context also captures the *instruction
+address* of each access — the source location of the kernel code line
+performing it — deterministically via the call frame, which is the
+analogue of the guest program counter that the real Snowboard reads from
+QEMU.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Generator, Optional
+
+from repro.machine.accesses import AccessType
+from repro.machine.layout import Struct
+from repro.kernel.ops import CasOp, MemOp, PanicOp, PauseOp, PrintkOp
+
+WORD = 8  # native pointer/word size of the mini-kernel, in bytes
+
+
+def _ins(depth: int) -> str:
+    """Instruction address of the kernel code frame ``depth`` levels up.
+
+    Returns ``file.py:qualified_function:line`` of the caller — stable
+    across executions because kernel source locations do not move at
+    runtime, and qualified so bug matchers can key on function names the
+    way kernel oops reports name symbols.
+    """
+    frame = sys._getframe(depth)
+    code = frame.f_code
+    return f"{os.path.basename(code.co_filename)}:{code.co_qualname}:{frame.f_lineno}"
+
+
+class KernelContext:
+    """Per-thread kernel execution context.
+
+    One context exists per kernel thread under test.  It carries the
+    thread index, the per-thread kernel stack allocator, and the handle to
+    the booted :class:`~repro.kernel.kernel.Kernel` (for global addresses
+    and the syscall table — never for direct memory access).
+    """
+
+    def __init__(self, kernel, thread: int, proc=None):
+        self.kernel = kernel
+        self.thread = thread
+        self.proc = proc
+        machine = kernel.machine
+        self._stack_base = machine.stack_base(thread)
+        self._stack_size = machine.regions.stack_size
+        self._stack_ptr = self._stack_base
+
+    # -- loads and stores ----------------------------------------------------
+
+    def load(
+        self, addr: int, size: int, *, atomic: bool = False, _depth: int = 0
+    ) -> Generator:
+        """Load ``size`` bytes at ``addr``; returns the unsigned value."""
+        value = yield MemOp(AccessType.READ, addr, size, None, _ins(2 + _depth), atomic)
+        return value
+
+    def store(
+        self, addr: int, size: int, value: int, *, atomic: bool = False, _depth: int = 0
+    ) -> Generator:
+        """Store ``value`` as ``size`` little-endian bytes at ``addr``."""
+        yield MemOp(AccessType.WRITE, addr, size, value, _ins(2 + _depth), atomic)
+
+    def load_word(self, addr: int, *, atomic: bool = False, _depth: int = 0) -> Generator:
+        """Load one native word (pointer-sized)."""
+        value = yield MemOp(AccessType.READ, addr, WORD, None, _ins(2 + _depth), atomic)
+        return value
+
+    def store_word(
+        self, addr: int, value: int, *, atomic: bool = False, _depth: int = 0
+    ) -> Generator:
+        """Store one native word (pointer-sized)."""
+        yield MemOp(AccessType.WRITE, addr, WORD, value, _ins(2 + _depth), atomic)
+
+    def cas(
+        self, addr: int, size: int, expected: int, new: int, *, _depth: int = 0
+    ) -> Generator:
+        """Atomic compare-and-swap; returns the old value (one instruction)."""
+        old = yield CasOp(addr, size, expected, new, _ins(2 + _depth))
+        return old
+
+    # -- struct field access ---------------------------------------------------
+
+    def load_field(
+        self, struct: Struct, base: int, name: str, *, atomic: bool = False, _depth: int = 0
+    ) -> Generator:
+        """Load struct field ``name`` of the instance at ``base``."""
+        f = struct[name]
+        value = yield MemOp(
+            AccessType.READ, base + f.offset, f.size, None, _ins(2 + _depth), atomic
+        )
+        return value
+
+    def store_field(
+        self,
+        struct: Struct,
+        base: int,
+        name: str,
+        value: int,
+        *,
+        atomic: bool = False,
+        _depth: int = 0,
+    ) -> Generator:
+        """Store struct field ``name`` of the instance at ``base``."""
+        f = struct[name]
+        yield MemOp(
+            AccessType.WRITE, base + f.offset, f.size, value, _ins(2 + _depth), atomic
+        )
+
+    # -- bulk copies (chunked, so torn reads/writes are possible) -------------
+
+    def memcpy(self, dst: int, src: int, n: int, *, _depth: int = 0) -> Generator:
+        """Copy ``n`` bytes in word-sized chunks (8/4/2/1).
+
+        Like an inlined kernel ``memcpy``, every chunk is a separate
+        instruction attributed to the call site, and a concurrent writer
+        can interleave between chunks — this is how the MAC-address torn
+        read (bug #9) manifests.
+        """
+        ins = _ins(2 + _depth)
+        copied = 0
+        while copied < n:
+            chunk = _chunk_size(n - copied)
+            value = yield MemOp(AccessType.READ, src + copied, chunk, None, ins, False)
+            yield MemOp(AccessType.WRITE, dst + copied, chunk, value, ins, False)
+            copied += chunk
+
+    def memread(self, src: int, n: int, *, _depth: int = 0) -> Generator:
+        """Read ``n`` bytes chunk-wise; returns the combined integer."""
+        ins = _ins(2 + _depth)
+        out = 0
+        copied = 0
+        while copied < n:
+            chunk = _chunk_size(n - copied)
+            value = yield MemOp(AccessType.READ, src + copied, chunk, None, ins, False)
+            out |= value << (8 * copied)
+            copied += chunk
+        return out
+
+    def memwrite(self, dst: int, n: int, value: int, *, _depth: int = 0) -> Generator:
+        """Write ``n`` bytes of ``value`` chunk-wise (little-endian)."""
+        ins = _ins(2 + _depth)
+        copied = 0
+        while copied < n:
+            chunk = _chunk_size(n - copied)
+            part = (value >> (8 * copied)) & ((1 << (8 * chunk)) - 1)
+            yield MemOp(AccessType.WRITE, dst + copied, chunk, part, ins, False)
+            copied += chunk
+
+    def memset(self, dst: int, byte: int, n: int, *, _depth: int = 0) -> Generator:
+        """Fill ``n`` bytes with ``byte``, chunk-wise."""
+        ins = _ins(2 + _depth)
+        copied = 0
+        while copied < n:
+            chunk = _chunk_size(n - copied)
+            value = int.from_bytes(bytes([byte & 0xFF]) * chunk, "little")
+            yield MemOp(AccessType.WRITE, dst + copied, chunk, value, ins, False)
+            copied += chunk
+
+    # -- kernel stack ----------------------------------------------------------
+
+    def stack_alloc(self, size: int) -> int:
+        """Reserve ``size`` bytes of this thread's kernel stack.
+
+        Stack variables accessed through the returned address produce
+        traced accesses inside the thread's stack range, which the
+        profiler prunes (the ESP-filtering analogue).
+        """
+        aligned = (size + WORD - 1) & ~(WORD - 1)
+        addr = self._stack_ptr
+        if addr + aligned > self._stack_base + self._stack_size:
+            raise MemoryError("kernel stack overflow")
+        self._stack_ptr += aligned
+        return addr
+
+    def reset_stack(self) -> None:
+        """Release all stack allocations (called between syscalls)."""
+        self._stack_ptr = self._stack_base
+
+    # -- console / failure ------------------------------------------------------
+
+    def printk(self, message: str) -> Generator:
+        """Write a line to the kernel console."""
+        yield PrintkOp(message)
+
+    def panic(self, message: str) -> Generator:
+        """BUG(): panic the kernel with a console message."""
+        yield PanicOp(message)
+
+    def bug_on(self, condition: bool, message: str) -> Generator:
+        """Panic when ``condition`` holds (kernel ``BUG_ON``)."""
+        if condition:
+            yield PanicOp(message)
+
+    def cpu_relax(self) -> Generator:
+        """PAUSE-style no-op issued inside spin loops."""
+        yield PauseOp()
+
+
+def _chunk_size(remaining: int) -> int:
+    """Largest power-of-two chunk (<= 8) not exceeding ``remaining``."""
+    for chunk in (8, 4, 2, 1):
+        if remaining >= chunk:
+            return chunk
+    raise ValueError("remaining must be positive")

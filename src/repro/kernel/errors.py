@@ -1,0 +1,46 @@
+"""Kernel and executor error types."""
+
+from __future__ import annotations
+
+
+class KernelBug(Exception):
+    """Base class for guest-kernel failures observed during execution."""
+
+
+class KernelPanicError(KernelBug):
+    """The guest kernel panicked (BUG(), NULL dereference, page fault).
+
+    Thrown *into* the faulting kernel coroutine by the executor, and
+    recorded on the console where the bug oracle picks it up.
+    """
+
+    def __init__(self, message: str):
+        self.message = message
+        super().__init__(message)
+
+
+class SyscallError(Exception):
+    """A syscall returned an error to user space (this is NOT a bug).
+
+    Carries a negative errno-style code, mirroring the kernel ABI.
+    """
+
+    def __init__(self, errno: int, reason: str = ""):
+        self.errno = errno
+        self.reason = reason
+        super().__init__(f"syscall error {errno}: {reason}")
+
+
+# errno values used by the mini-kernel ABI.
+EINVAL = -22
+ENOENT = -2
+ENOMEM = -12
+EEXIST = -17
+EBADF = -9
+EBUSY = -16
+EIO = -5
+ENOSPC = -28
+ENOTCONN = -107
+EISCONN = -106
+EADDRINUSE = -98
+EAGAIN_E = -11

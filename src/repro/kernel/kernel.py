@@ -1,0 +1,243 @@
+"""Kernel boot, syscall table and process plumbing.
+
+`boot_kernel()` builds a machine, lays out all global kernel state,
+boots every subsystem and returns the kernel together with its boot
+snapshot — the fixed initial VM state from which Snowboard profiles all
+sequential tests and replays all concurrent trials (section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Tuple
+
+from repro.kernel.alloc import ALLOC_STATE, Allocator
+from repro.kernel.context import KernelContext, WORD
+from repro.kernel.errors import EBADF, EINVAL, SyscallError
+from repro.kernel.ops import CasOp, MemOp, PanicOp, PauseOp, PrintkOp, SyncOp
+from repro.machine.accesses import AccessType
+from repro.machine.layout import Struct, field
+from repro.machine.machine import Machine
+from repro.machine.snapshot import Snapshot
+
+MAX_FDS = 16
+# Three test-executor processes: two for ordinary concurrent tests, a
+# third for the multi-thread extension discussed in section 6.
+MAX_PROCS = 3
+
+# Per-process descriptor table: MAX_FDS file-pointer words.
+PROC_FDTABLE = Struct("proc_fdtable", *[field(f"fd_{i}", WORD) for i in range(MAX_FDS)])
+
+# A generic open file: a type tag and an object pointer.
+FILE = Struct(
+    "file",
+    field("ftype", 4),
+    field("flags", 4),
+    field("obj", WORD),
+    field("pos", WORD),
+)
+
+# File type tags.
+F_REG = 1
+F_SOCK = 2
+F_TTY = 3
+F_SND = 4
+F_BLK = 5
+F_DIR = 6
+
+SyscallHandler = Callable[..., Generator]
+
+
+class Process:
+    """A user process under test: an index and its kernel-side fd table."""
+
+    def __init__(self, pid: int, fdtable_addr: int):
+        self.pid = pid
+        self.fdtable = fdtable_addr
+
+
+class Kernel:
+    """The booted mini-kernel.
+
+    Holds only *immutable* Python-side state after boot (global addresses,
+    the syscall table, subsystem handles); every mutable kernel object
+    lives in guest memory so snapshots capture complete state.
+    """
+
+    def __init__(self, machine: Machine, fixed: bool = False):
+        self.machine = machine
+        # True boots the "patched" kernel: every planted bug repaired
+        # (correct lock scope, publish ordering, single fetches, marked
+        # accesses).  Used to demonstrate the no-false-positives property:
+        # the same campaigns find nothing on a fixed kernel.
+        self.fixed = fixed
+        self._static_cursor = machine.regions.globals_base
+        self.syscalls: Dict[str, SyscallHandler] = {}
+        self.globals: Dict[str, int] = {}
+        self.allocator: Allocator | None = None
+        self.procs: List[Process] = []
+        self.subsystems: Dict[str, object] = {}
+        self.ioctls: Dict[int, SyscallHandler] = {}
+        self.close_hooks: Dict[int, SyscallHandler] = {}
+
+    # -- boot-time layout ----------------------------------------------------
+
+    def static_alloc(self, name: str, size: int, align: int = WORD) -> int:
+        """Reserve ``size`` bytes of the globals region (boot only)."""
+        addr = (self._static_cursor + align - 1) & ~(align - 1)
+        end = self.machine.regions.globals_base + self.machine.regions.globals_size
+        if addr + size > end:
+            raise MemoryError("globals region exhausted at boot")
+        self._static_cursor = addr + size
+        if name:
+            if name in self.globals:
+                raise ValueError(f"duplicate global {name!r}")
+            self.globals[name] = addr
+        return addr
+
+    def register_syscall(self, name: str, handler: SyscallHandler) -> None:
+        if name in self.syscalls:
+            raise ValueError(f"duplicate syscall {name!r}")
+        self.syscalls[name] = handler
+
+    def register_ioctl(self, cmd: int, handler: SyscallHandler) -> None:
+        if cmd in self.ioctls:
+            raise ValueError(f"duplicate ioctl command {cmd}")
+        self.ioctls[cmd] = handler
+
+    def register_close_hook(self, ftype: int, handler: SyscallHandler) -> None:
+        """Run ``handler(ctx, file_addr)`` when a file of ``ftype`` closes."""
+        self.close_hooks[ftype] = handler
+
+    def sys_ioctl(self, ctx: KernelContext, fd: int, cmd: int, arg: int) -> Generator:
+        """The ioctl multiplexer: route by command to the owning subsystem."""
+        handler = self.ioctls.get(cmd)
+        if handler is None:
+            raise SyscallError(EINVAL, f"unknown ioctl command {cmd}")
+        ret = yield from handler(ctx, fd, arg)
+        return ret
+
+    def boot_run(self, gen: Generator) -> object:
+        """Execute kernel code at boot: ops applied directly, untraced."""
+        memory = self.machine.memory
+        try:
+            op = next(gen)
+            while True:
+                result = None
+                if isinstance(op, MemOp):
+                    if op.type is AccessType.READ:
+                        result = memory.read_int(op.addr, op.size)
+                    else:
+                        memory.write_int(op.addr, op.size, op.value)
+                elif isinstance(op, CasOp):
+                    result = memory.read_int(op.addr, op.size)
+                    if result == op.expected:
+                        memory.write_int(op.addr, op.size, op.new)
+                elif isinstance(op, PrintkOp):
+                    self.machine.printk(op.message)
+                elif isinstance(op, PanicOp):
+                    raise RuntimeError(f"panic during boot: {op.message}")
+                elif isinstance(op, (SyncOp, PauseOp)):
+                    pass
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown boot op {op!r}")
+                op = gen.send(result)
+        except StopIteration as stop:
+            return stop.value
+
+    # -- syscall dispatch ------------------------------------------------------
+
+    def run_syscall(self, ctx: KernelContext, name: str, args: Tuple) -> Generator:
+        """Dispatch one syscall; errors become negative return values."""
+        handler = self.syscalls.get(name)
+        if handler is None:
+            raise KeyError(f"unknown syscall {name!r}")
+        try:
+            ret = yield from handler(ctx, *args)
+        except SyscallError as err:
+            return err.errno
+        return 0 if ret is None else ret
+
+    # -- fd helpers (kernel code: traced accesses) -------------------------------
+
+    def fd_install(self, ctx: KernelContext, ftype: int, obj: int) -> Generator:
+        """Allocate a file struct and the first free fd slot; returns the fd."""
+        file_addr = yield from self.allocator.kzalloc(ctx, FILE.size)
+        yield from ctx.store_field(FILE, file_addr, "ftype", ftype)
+        yield from ctx.store_field(FILE, file_addr, "obj", obj)
+        table = ctx.proc.fdtable
+        for fd in range(MAX_FDS):
+            slot = table + fd * WORD
+            current = yield from ctx.load_word(slot)
+            if current == 0:
+                yield from ctx.store_word(slot, file_addr)
+                return fd
+        yield from self.allocator.kfree(ctx, file_addr, FILE.size)
+        raise SyscallError(EBADF, "fd table full")
+
+    def fd_file(self, ctx: KernelContext, fd: int, expect_type: int = 0) -> Generator:
+        """Resolve an fd to its file struct address (checked)."""
+        if not 0 <= fd < MAX_FDS:
+            raise SyscallError(EBADF, f"fd {fd} out of range")
+        file_addr = yield from ctx.load_word(ctx.proc.fdtable + fd * WORD)
+        if file_addr == 0:
+            raise SyscallError(EBADF, f"fd {fd} not open")
+        if expect_type:
+            ftype = yield from ctx.load_field(FILE, file_addr, "ftype")
+            if ftype != expect_type:
+                raise SyscallError(EBADF, f"fd {fd} has type {ftype}, want {expect_type}")
+        return file_addr
+
+    def fd_object(self, ctx: KernelContext, fd: int, expect_type: int = 0) -> Generator:
+        """Resolve an fd straight to the underlying object pointer."""
+        file_addr = yield from self.fd_file(ctx, fd, expect_type)
+        obj = yield from ctx.load_field(FILE, file_addr, "obj")
+        return obj
+
+    def make_context(self, thread: int, proc_index: int | None = None) -> KernelContext:
+        """Create an execution context for a kernel thread."""
+        proc = self.procs[proc_index if proc_index is not None else thread]
+        return KernelContext(self, thread, proc)
+
+
+def boot_kernel(fixed: bool = False) -> Tuple[Kernel, Snapshot]:
+    """Boot the mini-kernel and capture the fixed initial snapshot.
+
+    Boot is deterministic: every run produces bit-identical machine state,
+    which is the property PMC analysis relies on (same memory layout for
+    profiling and concurrent execution).
+
+    ``fixed=True`` boots the patched-kernel variant with every planted
+    concurrency bug repaired — the regression target.
+    """
+    # Imported here to avoid a cycle: subsystems import kernel helpers.
+    from repro.kernel.subsystems import ALL_SUBSYSTEMS
+
+    machine = Machine()
+    kernel = Kernel(machine, fixed=fixed)
+
+    # Allocator state, heap bounds.
+    state = kernel.static_alloc("kmalloc_state", ALLOC_STATE.size)
+    heap = machine.regions
+    machine.memory.write_int(ALLOC_STATE.addr(state, "heap_next"), WORD, heap.heap_base)
+    machine.memory.write_int(
+        ALLOC_STATE.addr(state, "heap_end"), WORD, heap.heap_base + heap.heap_size
+    )
+    kernel.allocator = Allocator(state, fixed=fixed)
+
+    # Per-process fd tables.
+    for pid in range(MAX_PROCS):
+        table = kernel.static_alloc(f"proc{pid}_fdtable", PROC_FDTABLE.size)
+        kernel.procs.append(Process(pid, table))
+
+    # The ioctl multiplexer (subsystems register individual commands).
+    kernel.register_syscall("ioctl", kernel.sys_ioctl)
+
+    # Boot every subsystem (deterministic order).
+    for subsystem_cls in ALL_SUBSYSTEMS:
+        subsystem = subsystem_cls()
+        subsystem.boot(kernel)
+        kernel.subsystems[subsystem_cls.name] = subsystem
+
+    machine.printk("mini-kernel booted")
+    snapshot = Snapshot.capture(machine, label="post-boot")
+    return kernel, snapshot

@@ -1,0 +1,93 @@
+"""The instruction protocol between kernel code and the executor.
+
+Kernel code is written as Python generators that *yield* operation
+objects; the executor (the hypervisor stand-in) performs each operation
+against the machine, traces it, lets the scheduler decide whether to
+switch vCPUs, and sends the result back into the generator.  One yielded
+op is one interpreted instruction — the granularity at which Snowboard
+and SKI control interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.machine.accesses import AccessType
+
+
+@dataclass(frozen=True, slots=True)
+class MemOp:
+    """A load or store of ``size`` bytes at ``addr``.
+
+    ``value`` is the store value (None for loads).  ``atomic`` marks
+    acquire/release accesses (``rcu_dereference`` / ``rcu_assign_pointer``
+    and friends); the race detector treats atomic accesses as synchronised
+    and derives happens-before edges from release→acquire on the same
+    address, mirroring why RCU-protected publication is not a data race.
+    """
+
+    type: AccessType
+    addr: int
+    size: int
+    value: Optional[int]
+    ins: str
+    atomic: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class CasOp:
+    """An atomic compare-and-swap: one instruction, no preemption inside.
+
+    The executor reads ``size`` bytes at ``addr``; if they equal
+    ``expected`` it writes ``new``.  The old value is sent back.  Both the
+    read and (on success) the write are traced under the same instruction.
+    """
+
+    addr: int
+    size: int
+    expected: int
+    new: int
+    ins: str
+
+
+@dataclass(frozen=True, slots=True)
+class SyncOp:
+    """A synchronisation event (no memory side effect of its own).
+
+    Kinds: ``acquire`` / ``release`` (lock identified by its lock-word
+    address), ``rcu_read_lock`` / ``rcu_read_unlock`` /
+    ``rcu_synchronize``.  These feed the happens-before race detector.
+    """
+
+    kind: str
+    obj: int
+    ins: str
+
+
+@dataclass(frozen=True, slots=True)
+class PrintkOp:
+    """Append a line to the kernel console."""
+
+    message: str
+
+
+@dataclass(frozen=True, slots=True)
+class PanicOp:
+    """An explicit kernel BUG()/panic with a console message."""
+
+    message: str
+
+
+@dataclass(frozen=True, slots=True)
+class PauseOp:
+    """A HALT/PAUSE-style instruction: the thread has nothing to do.
+
+    The liveness heuristic (section 4.4.1) treats repeated pauses as a
+    low-liveness signal and forces a switch to the other vCPU.
+    """
+
+    reason: str = "pause"
+
+
+KernelOp = (MemOp, CasOp, SyncOp, PrintkOp, PanicOp, PauseOp)

@@ -1,0 +1,134 @@
+"""Resizable-hash-table library with the planted double-fetch bug.
+
+Analogue of Table 2 issue #1 ("BUG: unable to handle page fault for
+address", the rhashtable ``rht_ptr`` bug, Figure 4 of the paper).  In the
+real kernel, a GCC extension ternary ``(*bkt & ~BIT(0)) ?: bkt`` caused
+the compiler to *read the bucket head twice*: once for the NULL check and
+once for the returned value.  A concurrent writer zeroing the bucket
+between the two fetches makes the caller dereference NULL.
+
+We reproduce the same shape: :func:`rht_ptr` performs two separate load
+instructions on the bucket head; callers trust the first fetch's NULL
+check but consume the second fetch's value.  During sequential profiling
+the two reads return equal values with no intervening write, so the PMC
+stage marks the first read as a ``df_leader`` — which is what the
+S-CH-DOUBLE clustering strategy keys on.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.kernel.context import KernelContext, WORD
+from repro.kernel.sync import spin_lock, spin_unlock
+from repro.machine.layout import Struct, field
+
+NBUCKETS = 4
+
+# Table header: a writer lock followed by the bucket-head array.
+RHT_TABLE = Struct(
+    "rhashtable",
+    field("lock", 4),
+    field("pad", 4),
+    *[field(f"bucket_{i}", WORD) for i in range(NBUCKETS)],
+)
+
+# Every entry starts with a next pointer and a key; payload follows.
+RHT_ENTRY = Struct(
+    "rht_entry",
+    field("next", WORD),
+    field("key", WORD),
+)
+
+
+def _hash(key: int) -> int:
+    return key % NBUCKETS
+
+
+def bucket_addr(table: int, key: int) -> int:
+    """Address of the bucket head word for ``key``."""
+    return RHT_TABLE.addr(table, f"bucket_{_hash(key)}")
+
+
+def rht_ptr(ctx: KernelContext, bkt_addr: int) -> Generator:
+    """Read a bucket head — with the double fetch.
+
+    Returns None when the bucket is empty (per the *first* fetch), else
+    the head pointer per the *second* fetch.  Callers treat a non-None
+    result as a valid pointer, exactly like the buggy kernel code; if a
+    concurrent writer nulls the bucket between the fetches, the returned
+    "valid" pointer is 0 and the caller faults.
+    """
+    # Patched kernel: a single rcu_dereference-style marked load, and the
+    # checked value is the value used (the upstream __rht_ptr fix).
+    head = yield from ctx.load_word(bkt_addr, atomic=ctx.kernel.fixed)  # fetch 1
+    if head == 0:
+        return None
+    if ctx.kernel.fixed:
+        return head
+    head2 = yield from ctx.load_word(bkt_addr)  # fetch 2: the value used
+    return head2
+
+
+def rht_lookup(ctx: KernelContext, table: int, key: int) -> Generator:
+    """Lockless lookup; returns the entry address or 0 when absent.
+
+    The bucket-head read is unsynchronised with writers (the data race of
+    issue #1) and the double fetch makes a NULL dereference reachable.
+    """
+    fixed = ctx.kernel.fixed
+    bkt = bucket_addr(table, key)
+    node = yield from rht_ptr(ctx, bkt)
+    if node is None:
+        return 0
+    # 'node' is trusted to be a valid pointer from here on.  In the
+    # patched kernel the traversal uses rcu_dereference-style marked
+    # loads, pairing with the writer's release publishes.
+    while True:
+        node_key = yield from ctx.load_field(RHT_ENTRY, node, "key", atomic=fixed)
+        if node_key == key:
+            return node
+        node = yield from ctx.load_field(RHT_ENTRY, node, "next", atomic=fixed)
+        if node == 0:
+            return 0
+
+
+def rht_insert(ctx: KernelContext, table: int, entry: int, key: int) -> Generator:
+    """Insert ``entry`` (headed by RHT_ENTRY) at the front of its bucket."""
+    fixed = ctx.kernel.fixed
+    lock = RHT_TABLE.addr(table, "lock")
+    bkt = bucket_addr(table, key)
+    yield from ctx.store_field(RHT_ENTRY, entry, "key", key)
+    yield from spin_lock(ctx, lock)
+    head = yield from ctx.load_word(bkt)
+    yield from ctx.store_field(RHT_ENTRY, entry, "next", head, atomic=fixed)
+    # The rht_assign_unlock analogue: publish the new head (a release
+    # store in the patched kernel, ordering the key/next initialisation).
+    yield from ctx.store_word(bkt, entry, atomic=fixed)
+    yield from spin_unlock(ctx, lock)
+
+
+def rht_remove(ctx: KernelContext, table: int, key: int) -> Generator:
+    """Unlink and return the entry with ``key`` (0 when absent)."""
+    fixed = ctx.kernel.fixed
+    lock = RHT_TABLE.addr(table, "lock")
+    bkt = bucket_addr(table, key)
+    yield from spin_lock(ctx, lock)
+    prev = 0
+    node = yield from ctx.load_word(bkt)
+    while node != 0:
+        node_key = yield from ctx.load_field(RHT_ENTRY, node, "key")
+        if node_key == key:
+            nxt = yield from ctx.load_field(RHT_ENTRY, node, "next")
+            if prev == 0:
+                # Removing the head: this write zeroes the bucket when the
+                # chain is a singleton — the nullifying store of issue #1.
+                yield from ctx.store_word(bkt, nxt, atomic=fixed)
+            else:
+                yield from ctx.store_field(RHT_ENTRY, prev, "next", nxt, atomic=fixed)
+            yield from spin_unlock(ctx, lock)
+            return node
+        prev = node
+        node = yield from ctx.load_field(RHT_ENTRY, node, "next")
+    yield from spin_unlock(ctx, lock)
+    return 0

@@ -1,0 +1,45 @@
+"""Kernel subsystems.
+
+``ALL_SUBSYSTEMS`` lists every subsystem class in deterministic boot
+order.  Order matters twice: static allocation addresses depend on it
+(and must be identical across boots for PMC analysis to work), and l2tp
+registers protocol handlers with the already-booted net subsystem.
+"""
+
+from repro.kernel.subsystems.blockdev import BlockdevSubsystem
+from repro.kernel.subsystems.fifo import FifoSubsystem
+from repro.kernel.subsystems.fs import FsSubsystem
+from repro.kernel.subsystems.ipc import IpcSubsystem
+from repro.kernel.subsystems.l2tp import L2tpSubsystem
+from repro.kernel.subsystems.net import NetSubsystem
+from repro.kernel.subsystems.procinfo import ProcInfoSubsystem
+from repro.kernel.subsystems.sem import SemSubsystem
+from repro.kernel.subsystems.sound import SoundSubsystem
+from repro.kernel.subsystems.tty import TtySubsystem
+
+ALL_SUBSYSTEMS = (
+    BlockdevSubsystem,
+    FsSubsystem,
+    NetSubsystem,
+    L2tpSubsystem,
+    IpcSubsystem,
+    SemSubsystem,
+    FifoSubsystem,
+    TtySubsystem,
+    SoundSubsystem,
+    ProcInfoSubsystem,
+)
+
+__all__ = [
+    "ALL_SUBSYSTEMS",
+    "BlockdevSubsystem",
+    "FifoSubsystem",
+    "FsSubsystem",
+    "IpcSubsystem",
+    "L2tpSubsystem",
+    "NetSubsystem",
+    "ProcInfoSubsystem",
+    "SemSubsystem",
+    "SoundSubsystem",
+    "TtySubsystem",
+]

@@ -1,0 +1,114 @@
+"""Block device layer.
+
+Planted bugs (writer sides; the reader sides live in
+:mod:`repro.kernel.subsystems.fs`):
+
+* **#6 — data race ``do_mpage_readpage()`` / ``set_blocksize()``:** the
+  ``SET_BLOCKSIZE`` ioctl rewrites the device blocksize under the device
+  lock, transiently storing 0 while the page cache is invalidated.
+  Readers sample the blocksize without the lock.
+
+* **#4 — "Blk_update_request: I/O error":** a reader that observes the
+  transient 0 (or two different sizes across one request) fails the I/O —
+  the console-visible atomicity violation.
+
+* **#5 — data race ``blkdev_ioctl()`` / ``generic_fadvise()``:** the
+  ``BLKRASET`` ioctl writes the readahead setting under the device lock
+  while ``fadvise()`` reads it with no lock at all.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.kernel.context import KernelContext, WORD
+from repro.kernel.errors import EINVAL, SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.sync import spin_lock, spin_unlock
+from repro.machine.layout import Struct, field
+
+BDEV = Struct(
+    "block_device",
+    field("lock", 4),
+    field("pad", 4),
+    field("blocksize", WORD),
+    field("ra_pages", WORD),
+    field("nr_sectors", WORD),
+)
+
+IOCTL_SET_BLOCKSIZE = 2
+IOCTL_BLKRASET = 3
+
+VALID_BLOCKSIZES = (512, 1024, 2048, 4096)
+
+
+class BlockdevSubsystem:
+    """One system block device ("sda")."""
+
+    name = "blockdev"
+
+    def boot(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        memory = kernel.machine.memory
+        self.bdev = kernel.static_alloc("bdev_sda", BDEV.size)
+        memory.write_int(BDEV.addr(self.bdev, "blocksize"), WORD, 4096)
+        memory.write_int(BDEV.addr(self.bdev, "ra_pages"), WORD, 32)
+        memory.write_int(BDEV.addr(self.bdev, "nr_sectors"), WORD, 1 << 20)
+        kernel.register_ioctl(IOCTL_SET_BLOCKSIZE, self.ioctl_set_blocksize)
+        kernel.register_ioctl(IOCTL_BLKRASET, self.ioctl_blkraset)
+
+    # -- unlocked reader-side samplers used by the fs layer --------------------
+
+    def sample_blocksize(self, ctx: KernelContext) -> Generator:
+        """do_mpage_readpage()-style blocksize read.
+
+        Buggy kernel: plain unlocked load (bug #6, and the transient-zero
+        window of bug #4).  Patched kernel: read under the device lock.
+        """
+        if self.kernel.fixed:
+            lock = BDEV.addr(self.bdev, "lock")
+            yield from spin_lock(ctx, lock)
+            bs = yield from ctx.load_field(BDEV, self.bdev, "blocksize")
+            yield from spin_unlock(ctx, lock)
+            return bs
+        bs = yield from ctx.load_field(BDEV, self.bdev, "blocksize")
+        return bs
+
+    def sample_ra_pages(self, ctx: KernelContext) -> Generator:
+        """generic_fadvise()-style readahead read (bug #5 when unlocked)."""
+        if self.kernel.fixed:
+            lock = BDEV.addr(self.bdev, "lock")
+            yield from spin_lock(ctx, lock)
+            ra = yield from ctx.load_field(BDEV, self.bdev, "ra_pages")
+            yield from spin_unlock(ctx, lock)
+            return ra
+        ra = yield from ctx.load_field(BDEV, self.bdev, "ra_pages")
+        return ra
+
+    # -- ioctls -----------------------------------------------------------------
+
+    def ioctl_set_blocksize(self, ctx: KernelContext, fd: int, arg: int) -> Generator:
+        """set_blocksize(): locked, but with a transient invalid window."""
+        yield from self.kernel.fd_file(ctx, fd)
+        size = VALID_BLOCKSIZES[int(arg) % len(VALID_BLOCKSIZES)]
+        lock = BDEV.addr(self.bdev, "lock")
+        yield from spin_lock(ctx, lock)
+        # Invalidate while the (simulated) page cache is being dropped:
+        # the window a racing unlocked reader can observe.
+        yield from ctx.store_field(BDEV, self.bdev, "blocksize", 0)
+        sectors = yield from ctx.load_field(BDEV, self.bdev, "nr_sectors")
+        yield from ctx.store_field(BDEV, self.bdev, "nr_sectors", sectors)
+        yield from ctx.store_field(BDEV, self.bdev, "blocksize", size)
+        yield from spin_unlock(ctx, lock)
+        return 0
+
+    def ioctl_blkraset(self, ctx: KernelContext, fd: int, arg: int) -> Generator:
+        """blkdev_ioctl(BLKRASET): locked write of the readahead setting."""
+        yield from self.kernel.fd_file(ctx, fd)
+        if arg < 0:
+            raise SyscallError(EINVAL, "negative readahead")
+        lock = BDEV.addr(self.bdev, "lock")
+        yield from spin_lock(ctx, lock)
+        yield from ctx.store_field(BDEV, self.bdev, "ra_pages", int(arg) & 0xFFFF)
+        yield from spin_unlock(ctx, lock)
+        return 0

@@ -1,0 +1,368 @@
+"""Miniature ext4-like filesystem plus a configfs-like tree.
+
+Planted bugs (Table 2 analogues):
+
+* **#2 — "EXT4-fs error: swap_inode_boot_loader: checksum invalid"
+  (atomicity violation, duplicate input).**  The ``SWAP_BOOT_LOADER``
+  ioctl swaps an inode's data with the boot-loader inode in one locked
+  section, then recomputes the checksums *from the stale values it read*
+  in a second locked section.  Two concurrent swaps interleave between
+  the sections and leave a checksum that does not match the data.  Every
+  access is lock-protected, so no data race is involved — exactly the
+  non-data-race AV class the paper highlights.
+
+* **#3 — "EXT4-fs error: ext4_ext_check_inode: invalid magic"
+  (atomicity violation, duplicate input).**  ``write()`` invalidates the
+  extent-header magic in one locked section and restores it in a second;
+  a concurrent ``write()`` on the same inode observes the zero magic in
+  between and reports header corruption.
+
+* **#4 — "Blk_update_request: I/O error" (atomicity violation).**
+  ``read()`` samples the block device's blocksize once per block without
+  holding the block-device lock; ``set_blocksize`` transiently zeroes it
+  (see :mod:`repro.kernel.subsystems.blockdev`), so a concurrent reader
+  sees 0 or two different sizes mid-read and fails the I/O.
+
+* **#6 — data race ``do_mpage_readpage()`` / ``set_blocksize()``:** the
+  same unlocked blocksize reads race with the locked writer.
+
+* **#5 — data race ``blkdev_ioctl()`` / ``generic_fadvise()``:**
+  ``fadvise()`` reads the device's readahead setting without the lock
+  the ``BLKRASET`` ioctl writer holds.
+
+* **#11 — "BUG: kernel NULL pointer dereference" in configfs (data
+  race).**  ``mkdir`` links a new dentry into its parent's list *before*
+  initialising the dentry's inode pointer, with plain (unsynchronised)
+  stores; a concurrent ``lookup`` traversing the list dereferences the
+  not-yet-initialised inode pointer and faults.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.kernel.context import KernelContext, WORD
+from repro.kernel.errors import EBADF, EINVAL, EIO, ENOENT, SyscallError
+from repro.kernel.kernel import F_DIR, F_REG, FILE, Kernel
+from repro.kernel.sync import spin_lock, spin_unlock
+from repro.machine.layout import Struct, field
+
+NINODES = 6
+BOOT_INO = 0
+EXT_MAGIC = 0xF30A
+CONFIGFS_PATH_BASE = 100  # path ids >= this live in the configfs tree
+
+INODE = Struct(
+    "inode",
+    field("lock", 4),
+    field("ino", 4),
+    field("data", WORD),
+    field("gen", 4),
+    field("csum", 4),
+    field("eh_magic", 4),
+    field("eh_entries", 4),
+    field("size", WORD),
+)
+
+# configfs dentry: linked into its parent directory's list.
+DENTRY = Struct(
+    "dentry",
+    field("next", WORD),
+    field("name", WORD),
+    field("inode", WORD),
+)
+
+CONFIGFS_DIR = Struct(
+    "configfs_dir",
+    field("lock", 4),
+    field("pad", 4),
+    field("children", WORD),
+)
+
+CONFIGFS_INODE = Struct(
+    "configfs_inode",
+    field("mode", WORD),
+    field("nlink", WORD),
+)
+
+
+def ext4_csum(data: int, gen: int) -> int:
+    """Toy inode checksum: mixes the data word and the generation."""
+    return (data * 2654435761 + gen * 40503) & 0xFFFFFFFF
+
+
+class FsSubsystem:
+    """The filesystem: regular inodes + the configfs tree."""
+
+    name = "fs"
+
+    def boot(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        memory = kernel.machine.memory
+        self.inodes = kernel.static_alloc("inode_table", INODE.size * NINODES)
+        for ino in range(NINODES):
+            base = self.inodes + ino * INODE.size
+            memory.write_int(INODE.addr(base, "ino"), 4, ino)
+            data = 0x1000 + ino
+            gen = ino + 1
+            memory.write_int(INODE.addr(base, "data"), WORD, data)
+            memory.write_int(INODE.addr(base, "gen"), 4, gen)
+            memory.write_int(INODE.addr(base, "csum"), 4, ext4_csum(data, gen))
+            memory.write_int(INODE.addr(base, "eh_magic"), 4, EXT_MAGIC)
+
+        self.configfs_root = kernel.static_alloc("configfs_root", CONFIGFS_DIR.size)
+
+        kernel.register_syscall("open", self.sys_open)
+        kernel.register_syscall("close", self.sys_close)
+        kernel.register_syscall("read", self.sys_read)
+        kernel.register_syscall("write", self.sys_write)
+        kernel.register_syscall("fsync", self.sys_fsync)
+        kernel.register_syscall("fadvise", self.sys_fadvise)
+        kernel.register_syscall("mkdir", self.sys_mkdir)
+        kernel.register_syscall("lookup", self.sys_lookup)
+        kernel.register_ioctl(IOCTL_SWAP_BOOT_LOADER, self.ioctl_swap_boot_loader)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def inode_addr(self, ino: int) -> int:
+        if not 0 <= ino < NINODES:
+            raise SyscallError(ENOENT, f"no inode {ino}")
+        return self.inodes + ino * INODE.size
+
+    # -- syscalls ----------------------------------------------------------------
+
+    def sys_open(self, ctx: KernelContext, path: int) -> Generator:
+        """Open path ``path``.  Small integers name regular inodes."""
+        if path >= CONFIGFS_PATH_BASE:
+            return (yield from self.sys_lookup(ctx, path - CONFIGFS_PATH_BASE))
+        inode = self.inode_addr(path % NINODES)
+        fd = yield from self.kernel.fd_install(ctx, F_REG, inode)
+        return fd
+
+    def sys_close(self, ctx: KernelContext, fd: int) -> Generator:
+        """Close an fd of any type, releasing the file struct."""
+        file_addr = yield from self.kernel.fd_file(ctx, fd)
+        ftype = yield from ctx.load_field(FILE, file_addr, "ftype")
+        # Give type-specific close hooks a chance (e.g. packet fanout unlink).
+        hook = self.kernel.close_hooks.get(ftype)
+        if hook is not None:
+            yield from hook(ctx, file_addr)
+        yield from ctx.store_word(ctx.proc.fdtable + fd * WORD, 0)
+        yield from self.kernel.allocator.kfree(ctx, file_addr, FILE.size)
+        return 0
+
+    def sys_read(self, ctx: KernelContext, fd: int, nblocks: int) -> Generator:
+        """Read ``nblocks`` blocks of the file.
+
+        Samples the device blocksize once per block, without the device
+        lock — the reader side of bugs #4 and #6.
+        """
+        inode = yield from self.kernel.fd_object(ctx, fd, F_REG)
+        blockdev = self.kernel.subsystems["blockdev"]
+        nblocks = max(1, min(int(nblocks), 4))
+        first_bs = None
+        for _ in range(nblocks):
+            bs = yield from blockdev.sample_blocksize(ctx)  # unlocked read
+            if bs == 0 or (first_bs is not None and bs != first_bs):
+                yield from ctx.printk(
+                    "Blk_update_request: I/O error, dev sda, sector 0"
+                )
+                raise SyscallError(EIO, "blocksize changed under read")
+            first_bs = bs
+        lock = INODE.addr(inode, "lock")
+        yield from spin_lock(ctx, lock)
+        value = yield from ctx.load_field(INODE, inode, "data")
+        yield from spin_unlock(ctx, lock)
+        return value & 0x7FFF_FFFF
+
+    def sys_write(self, ctx: KernelContext, fd: int, value: int) -> Generator:
+        """Write to a file, updating the extent header non-atomically (#3)."""
+        inode = yield from self.kernel.fd_object(ctx, fd, F_REG)
+        lock = INODE.addr(inode, "lock")
+
+        # Section 1: check the header, then invalidate it while updating.
+        yield from spin_lock(ctx, lock)
+        magic = yield from ctx.load_field(INODE, inode, "eh_magic")
+        if magic != EXT_MAGIC:
+            ino = yield from ctx.load_field(INODE, inode, "ino")
+            yield from ctx.printk(
+                f"EXT4-fs error (device sda): ext4_ext_check_inode: "
+                f"inode #{ino}: comm test: pblk 0 bad header/extent: invalid magic"
+            )
+            yield from spin_unlock(ctx, lock)
+            raise SyscallError(EIO, "bad extent header")
+        yield from ctx.store_field(INODE, inode, "eh_magic", 0)
+        entries = yield from ctx.load_field(INODE, inode, "eh_entries")
+        yield from ctx.store_field(INODE, inode, "eh_entries", entries + 1)
+        yield from ctx.store_field(INODE, inode, "data", value & 0xFFFF_FFFF)
+        gen = yield from ctx.load_field(INODE, inode, "gen")
+        yield from ctx.store_field(INODE, inode, "csum", ext4_csum(value & 0xFFFF_FFFF, gen))
+        if self.kernel.fixed:
+            # Patched kernel: the magic is restored before the lock drops.
+            yield from ctx.store_field(INODE, inode, "eh_magic", EXT_MAGIC)
+            yield from spin_unlock(ctx, lock)
+            return 0
+        yield from spin_unlock(ctx, lock)
+
+        # Section 2 (atomicity hole between the sections): restore the magic.
+        yield from spin_lock(ctx, lock)
+        yield from ctx.store_field(INODE, inode, "eh_magic", EXT_MAGIC)
+        yield from spin_unlock(ctx, lock)
+        return 0
+
+    def sys_fsync(self, ctx: KernelContext, fd: int) -> Generator:
+        """Verify the inode checksum (the detector side of bug #2)."""
+        inode = yield from self.kernel.fd_object(ctx, fd, F_REG)
+        lock = INODE.addr(inode, "lock")
+        yield from spin_lock(ctx, lock)
+        ok = yield from self._verify_csum(ctx, inode)
+        yield from spin_unlock(ctx, lock)
+        return 0 if ok else EIO
+
+    def sys_fadvise(self, ctx: KernelContext, fd: int) -> Generator:
+        """generic_fadvise(): unlocked read of the device readahead (#5)."""
+        yield from self.kernel.fd_object(ctx, fd, F_REG)
+        blockdev = self.kernel.subsystems["blockdev"]
+        ra_pages = yield from blockdev.sample_ra_pages(ctx)  # unlocked read
+        return min(int(ra_pages), 0x7FFF_FFFF)
+
+    # -- the SWAP_BOOT_LOADER atomicity violation (#2) ------------------------
+
+    def ioctl_swap_boot_loader(self, ctx: KernelContext, fd: int, arg: int) -> Generator:
+        """Swap an inode's data with the boot-loader inode.
+
+        Faithful to the ext4 bug shape: the swap and the checksum update
+        are two separate critical sections, and the checksums are computed
+        from values read in the first section.
+        """
+        inode = yield from self.kernel.fd_object(ctx, fd, F_REG)
+        boot = self.inode_addr(BOOT_INO)
+        if inode == boot:
+            raise SyscallError(EINVAL, "cannot swap the boot inode with itself")
+        lock = INODE.addr(boot, "lock")  # buggy kernel: one lock, the boot inode's
+        if self.kernel.fixed:
+            # Patched kernel: both inode locks, in address order (the
+            # upstream ext4 fix locks both inodes for the whole swap).
+            first, second = sorted((boot, inode))
+            yield from spin_lock(ctx, INODE.addr(first, "lock"))
+            yield from spin_lock(ctx, INODE.addr(second, "lock"))
+            data_i = yield from ctx.load_field(INODE, inode, "data")
+            data_b = yield from ctx.load_field(INODE, boot, "data")
+            gen_i = yield from ctx.load_field(INODE, inode, "gen")
+            gen_b = yield from ctx.load_field(INODE, boot, "gen")
+            yield from ctx.store_field(INODE, inode, "data", data_b)
+            yield from ctx.store_field(INODE, boot, "data", data_i)
+            yield from ctx.store_field(INODE, inode, "csum", ext4_csum(data_b, gen_i))
+            yield from ctx.store_field(INODE, boot, "csum", ext4_csum(data_i, gen_b))
+            ok_i = yield from self._verify_csum(ctx, inode)
+            ok_b = yield from self._verify_csum(ctx, boot)
+            yield from spin_unlock(ctx, INODE.addr(second, "lock"))
+            yield from spin_unlock(ctx, INODE.addr(first, "lock"))
+            return 0 if (ok_i and ok_b) else EIO
+
+        # Section 1: swap the data words.
+        yield from spin_lock(ctx, lock)
+        data_i = yield from ctx.load_field(INODE, inode, "data")
+        data_b = yield from ctx.load_field(INODE, boot, "data")
+        gen_i = yield from ctx.load_field(INODE, inode, "gen")
+        gen_b = yield from ctx.load_field(INODE, boot, "gen")
+        yield from ctx.store_field(INODE, inode, "data", data_b)
+        yield from ctx.store_field(INODE, boot, "data", data_i)
+        if self.kernel.fixed:
+            # Patched kernel: checksums updated in the same critical
+            # section as the swap — no atomicity hole.
+            yield from ctx.store_field(INODE, inode, "csum", ext4_csum(data_b, gen_i))
+            yield from ctx.store_field(INODE, boot, "csum", ext4_csum(data_i, gen_b))
+            yield from spin_unlock(ctx, lock)
+        else:
+            yield from spin_unlock(ctx, lock)
+
+            # Section 2: checksums computed from the (now possibly stale)
+            # values of section 1 — the atomicity hole.
+            yield from spin_lock(ctx, lock)
+            yield from ctx.store_field(INODE, inode, "csum", ext4_csum(data_b, gen_i))
+            yield from ctx.store_field(INODE, boot, "csum", ext4_csum(data_i, gen_b))
+            yield from spin_unlock(ctx, lock)
+
+        # Section 3: ext4 re-verifies the inodes it touched.
+        yield from spin_lock(ctx, lock)
+        ok_i = yield from self._verify_csum(ctx, inode)
+        ok_b = yield from self._verify_csum(ctx, boot)
+        yield from spin_unlock(ctx, lock)
+        return 0 if (ok_i and ok_b) else EIO
+
+    def _verify_csum(self, ctx: KernelContext, inode: int) -> Generator:
+        """Recompute and compare the inode checksum (caller holds the lock)."""
+        data = yield from ctx.load_field(INODE, inode, "data")
+        gen = yield from ctx.load_field(INODE, inode, "gen")
+        csum = yield from ctx.load_field(INODE, inode, "csum")
+        if csum != ext4_csum(data, gen):
+            ino = yield from ctx.load_field(INODE, inode, "ino")
+            yield from ctx.printk(
+                f"EXT4-fs error (device sda): swap_inode_boot_loader:{ino}: "
+                f"comm test: checksum invalid"
+            )
+            return False
+        return True
+
+    # -- configfs (#11) ----------------------------------------------------------
+
+    def sys_mkdir(self, ctx: KernelContext, name: int) -> Generator:
+        """Create a configfs directory entry.
+
+        The dentry is linked into the parent's list *before* its inode
+        pointer is initialised, with plain stores — the data race + NULL
+        dereference of issue #11.
+        """
+        allocator = self.kernel.allocator
+        dentry = yield from allocator.kzalloc(ctx, DENTRY.size)
+        yield from ctx.store_field(DENTRY, dentry, "name", name & 0xFF)
+
+        if self.kernel.fixed:
+            # Patched kernel (the configfs fix): fully initialise the
+            # dentry — inode included — before it becomes reachable, and
+            # publish with release semantics.
+            inode = yield from allocator.kzalloc(ctx, CONFIGFS_INODE.size)
+            yield from ctx.store_field(CONFIGFS_INODE, inode, "mode", 0o755)
+            yield from ctx.store_field(CONFIGFS_INODE, inode, "nlink", 1)
+            yield from ctx.store_field(DENTRY, dentry, "inode", inode)
+
+        root = self.configfs_root
+        lock = CONFIGFS_DIR.addr(root, "lock")
+        yield from spin_lock(ctx, lock)
+        head = yield from ctx.load_field(CONFIGFS_DIR, root, "children")
+        yield from ctx.store_field(DENTRY, dentry, "next", head, atomic=self.kernel.fixed)
+        # Publish; in the buggy kernel this is a plain store with the
+        # inode still unset.
+        yield from ctx.store_field(
+            CONFIGFS_DIR, root, "children", dentry, atomic=self.kernel.fixed
+        )
+        yield from spin_unlock(ctx, lock)
+
+        if not self.kernel.fixed:
+            # Too late: the dentry is already visible without an inode.
+            inode = yield from allocator.kzalloc(ctx, CONFIGFS_INODE.size)
+            yield from ctx.store_field(CONFIGFS_INODE, inode, "mode", 0o755)
+            yield from ctx.store_field(CONFIGFS_INODE, inode, "nlink", 1)
+            yield from ctx.store_field(DENTRY, dentry, "inode", inode)
+        return 0
+
+    def sys_lookup(self, ctx: KernelContext, name: int) -> Generator:
+        """configfs_lookup(): lockless list walk, dereferences d->inode."""
+        root = self.configfs_root
+        fixed = self.kernel.fixed
+        node = yield from ctx.load_field(CONFIGFS_DIR, root, "children", atomic=fixed)
+        while node != 0:
+            node_name = yield from ctx.load_field(DENTRY, node, "name")
+            if node_name == (name & 0xFF):
+                inode = yield from ctx.load_field(DENTRY, node, "inode")
+                # Trusts the inode pointer: faults when mkdir has published
+                # the dentry but not yet set d->inode.
+                mode = yield from ctx.load_field(CONFIGFS_INODE, inode, "mode")
+                fd = yield from self.kernel.fd_install(ctx, F_DIR, node)
+                return fd if mode else fd
+            node = yield from ctx.load_field(DENTRY, node, "next", atomic=fixed)
+        raise SyscallError(ENOENT, f"configfs entry {name} not found")
+
+
+IOCTL_SWAP_BOOT_LOADER = 1

@@ -1,0 +1,120 @@
+"""System V message queues, keyed through the rhashtable library.
+
+This is the syscall surface that detonates the rhashtable double-fetch
+bug (#1, Figure 4): ``msgget()`` looks the key up locklessly through
+``rht_lookup`` while ``msgctl(IPC_RMID)`` zeroes the bucket head under
+the writer lock — the exact ``msgget()``/``msgctl()`` pair the paper
+names as a trigger.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.kernel.context import KernelContext, WORD
+from repro.kernel.errors import EINVAL, ENOENT, SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.rhashtable import (
+    RHT_ENTRY,
+    RHT_TABLE,
+    rht_insert,
+    rht_lookup,
+    rht_remove,
+)
+from repro.kernel.sync import spin_lock, spin_unlock
+from repro.machine.layout import Struct, field
+
+IPC_RMID = 0
+IPC_STAT = 1
+
+# A message queue: rhashtable entry header + payload fields.
+MSQ = Struct(
+    "msg_queue",
+    field("next", WORD),
+    field("key", WORD),
+    field("lock", 4),
+    field("pad", 4),
+    field("qbytes", WORD),
+    field("message", WORD),
+    field("msg_count", WORD),
+)
+
+
+class IpcSubsystem:
+    """msgget / msgctl / msgsnd / msgrcv over the shared rhashtable."""
+
+    name = "ipc"
+
+    def boot(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.table = kernel.static_alloc("ipc_ids_rhashtable", RHT_TABLE.size)
+        kernel.register_syscall("msgget", self.sys_msgget)
+        kernel.register_syscall("msgctl", self.sys_msgctl)
+        kernel.register_syscall("msgsnd", self.sys_msgsnd)
+        kernel.register_syscall("msgrcv", self.sys_msgrcv)
+
+    def _lookup(self, ctx: KernelContext, key: int) -> Generator:
+        entry = yield from rht_lookup(ctx, self.table, key)
+        return entry
+
+    def sys_msgget(self, ctx: KernelContext, key: int) -> Generator:
+        """Get-or-create the queue with ``key``; returns the queue id.
+
+        The initial lookup (ipcget → find_key) walks the bucket with the
+        double-fetch ``rht_ptr`` — the reader side of bug #1.
+        """
+        key = int(key) % 8
+        entry = yield from self._lookup(ctx, key)
+        if entry != 0:
+            return key
+        msq = yield from self.kernel.allocator.kzalloc(ctx, MSQ.size)
+        yield from ctx.store_field(MSQ, msq, "qbytes", 16384)
+        yield from rht_insert(ctx, self.table, msq, key)
+        return key
+
+    def sys_msgctl(self, ctx: KernelContext, key: int, cmd: int) -> Generator:
+        """IPC_RMID removes the queue (the bucket-nulling writer of #1)."""
+        key = int(key) % 8
+        cmd = int(cmd) % 2
+        if cmd == IPC_RMID:
+            entry = yield from rht_remove(ctx, self.table, key)
+            if entry == 0:
+                raise SyscallError(ENOENT, f"no queue with key {key}")
+            yield from self.kernel.allocator.kfree(ctx, entry, MSQ.size)
+            return 0
+        if cmd == IPC_STAT:
+            entry = yield from self._lookup(ctx, key)
+            if entry == 0:
+                raise SyscallError(ENOENT, f"no queue with key {key}")
+            lock = MSQ.addr(entry, "lock")
+            yield from spin_lock(ctx, lock)
+            qbytes = yield from ctx.load_field(MSQ, entry, "qbytes")
+            yield from spin_unlock(ctx, lock)
+            return int(qbytes) & 0x7FFF_FFFF
+        raise SyscallError(EINVAL, f"unknown msgctl cmd {cmd}")
+
+    def sys_msgsnd(self, ctx: KernelContext, key: int, value: int) -> Generator:
+        """Store a message on the queue (lockless lookup, then write)."""
+        key = int(key) % 8
+        entry = yield from self._lookup(ctx, key)
+        if entry == 0:
+            raise SyscallError(ENOENT, f"no queue with key {key}")
+        lock = MSQ.addr(entry, "lock")
+        yield from spin_lock(ctx, lock)
+        yield from ctx.store_field(MSQ, entry, "message", int(value) & 0xFFFF_FFFF)
+        count = yield from ctx.load_field(MSQ, entry, "msg_count")
+        yield from ctx.store_field(MSQ, entry, "msg_count", count + 1)
+        yield from spin_unlock(ctx, lock)
+        return 0
+
+    def sys_msgrcv(self, ctx: KernelContext, key: int) -> Generator:
+        """Fetch the last message from the queue."""
+        key = int(key) % 8
+        entry = yield from self._lookup(ctx, key)
+        if entry == 0:
+            raise SyscallError(ENOENT, f"no queue with key {key}")
+        lock = MSQ.addr(entry, "lock")
+        yield from spin_lock(ctx, lock)
+        message = yield from ctx.load_field(MSQ, entry, "message")
+        yield from spin_unlock(ctx, lock)
+        return int(message) & 0x7FFF_FFFF

@@ -1,0 +1,140 @@
+"""L2TP tunnel management — the Figure 1 order-violation bug (#12).
+
+``connect()`` on a PX_PROTO_OL2TP socket registers a tunnel when none
+with the requested id exists: it allocates the tunnel, publishes it on
+the RCU-protected global tunnel list (`l2tp_tunnel_register()`), and only
+*afterwards* initialises ``tunnel->sock``.  A concurrent ``connect()``
+from another process can retrieve the freshly published tunnel
+(`pppol2tp_connect()` → `l2tp_tunnel_get()`) while ``sock`` is still
+NULL; its subsequent ``sendmsg()`` (`l2tp_xmit_core()`) then dereferences
+the NULL socket and panics.
+
+Crucially — as in the real bug — every access involved is *synchronised*:
+the list is published with ``rcu_assign_pointer`` and traversed with
+``rcu_dereference``, and the ``sock`` field uses WRITE_ONCE/READ_ONCE
+(atomic marked accesses).  There is **no data race**; the bug is a pure
+ordering violation, the class that race-detector-based tools miss.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.kernel.context import KernelContext, WORD
+from repro.kernel.errors import ENOTCONN, SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.subsystems.net import PX_PROTO_OL2TP, SOCK, NetSubsystem
+from repro.kernel.sync import (
+    rcu_assign_pointer,
+    rcu_dereference,
+    rcu_read_lock,
+    rcu_read_unlock,
+    spin_lock,
+    spin_unlock,
+)
+from repro.machine.layout import Struct, field
+
+TUNNEL = Struct(
+    "l2tp_tunnel",
+    field("next", WORD),
+    field("tunnel_id", WORD),
+    field("sock", WORD),
+    field("refcount", WORD),
+)
+
+# The tunnel's kernel socket: first word is its bh lock, so locking a NULL
+# tunnel->sock touches address 0 — the page-fault panic of Figure 1.
+LSOCK = Struct(
+    "l2tp_sock",
+    field("bh_lock", 4),
+    field("pad", 4),
+    field("queued", WORD),
+)
+
+
+class L2tpSubsystem:
+    """The L2TP tunnel registry, layered on the net subsystem."""
+
+    name = "l2tp"
+
+    def boot(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.list_lock = kernel.static_alloc("l2tp_tunnel_list_lock", 4)
+        self.list_head = kernel.static_alloc("l2tp_tunnel_list", WORD)
+        net: NetSubsystem = kernel.subsystems["net"]
+        net.connect_ops[PX_PROTO_OL2TP] = self.pppol2tp_connect
+        net.sendmsg_ops[PX_PROTO_OL2TP] = self.pppol2tp_sendmsg
+
+    # -- lookup (reader side) ------------------------------------------------
+
+    def l2tp_tunnel_get(self, ctx: KernelContext, tunnel_id: int) -> Generator:
+        """Find a tunnel by id on the RCU list; returns address or 0."""
+        yield from rcu_read_lock(ctx)
+        node = yield from rcu_dereference(ctx, self.list_head)
+        found = 0
+        while node != 0:
+            node_id = yield from ctx.load_field(TUNNEL, node, "tunnel_id")
+            if node_id == tunnel_id:
+                found = node
+                break
+            node = yield from ctx.load_field(TUNNEL, node, "next")
+        yield from rcu_read_unlock(ctx)
+        return found
+
+    # -- registration (writer side, with the ordering bug) ---------------------
+
+    def l2tp_tunnel_register(self, ctx: KernelContext, tunnel_id: int) -> Generator:
+        """Create and publish a tunnel; ``sock`` is initialised too late."""
+        allocator = self.kernel.allocator
+        tunnel = yield from allocator.kzalloc(ctx, TUNNEL.size)
+        yield from ctx.store_field(TUNNEL, tunnel, "tunnel_id", tunnel_id)
+        yield from ctx.store_field(TUNNEL, tunnel, "refcount", 1)
+
+        if self.kernel.fixed:
+            # Patched kernel (the upstream fix, commit 69e16d01d1de):
+            # the socket is created and attached *before* the tunnel
+            # becomes reachable on the list.
+            sk = yield from allocator.kzalloc(ctx, LSOCK.size)
+            yield from ctx.store_field(TUNNEL, tunnel, "sock", sk, atomic=True)
+
+        # list_add_rcu under the list lock: the tunnel becomes visible NOW.
+        yield from spin_lock(ctx, self.list_lock)
+        head = yield from ctx.load_word(self.list_head)
+        yield from ctx.store_field(TUNNEL, tunnel, "next", head)
+        yield from rcu_assign_pointer(ctx, self.list_head, tunnel)
+        yield from spin_unlock(ctx, self.list_lock)
+
+        if not self.kernel.fixed:
+            # BUG (order violation): the socket is created and attached
+            # only after publication.  WRITE_ONCE keeps it race-free, not
+            # safe.
+            sk = yield from allocator.kzalloc(ctx, LSOCK.size)
+            yield from ctx.store_field(TUNNEL, tunnel, "sock", sk, atomic=True)
+        return tunnel
+
+    # -- socket operations -------------------------------------------------------
+
+    def pppol2tp_connect(self, ctx: KernelContext, sock: int, arg: int) -> Generator:
+        """connect(): get-or-register the tunnel, attach it to the socket."""
+        tunnel_id = int(arg) % 4
+        tunnel = yield from self.l2tp_tunnel_get(ctx, tunnel_id)
+        if tunnel == 0:
+            tunnel = yield from self.l2tp_tunnel_register(ctx, tunnel_id)
+        yield from ctx.store_field(SOCK, sock, "tunnel", tunnel)
+        yield from ctx.store_field(SOCK, sock, "bound", 1)
+        return 0
+
+    def pppol2tp_sendmsg(self, ctx: KernelContext, sock: int, value: int) -> Generator:
+        """sendmsg() → l2tp_xmit_core(): dereferences tunnel->sock."""
+        tunnel = yield from ctx.load_field(SOCK, sock, "tunnel")
+        if tunnel == 0:
+            raise SyscallError(ENOTCONN, "socket has no tunnel")
+        # READ_ONCE(tunnel->sock): synchronised, but possibly still NULL.
+        sk = yield from ctx.load_field(TUNNEL, tunnel, "sock", atomic=True)
+        # bh_lock_sock(sk): first touch of the socket.  When sk == 0 this
+        # accesses address 0 — "BUG: kernel NULL pointer dereference".
+        yield from spin_lock(ctx, LSOCK.addr(sk, "bh_lock"))
+        queued = yield from ctx.load_field(LSOCK, sk, "queued")
+        yield from ctx.store_field(LSOCK, sk, "queued", queued + 1)
+        yield from spin_unlock(ctx, LSOCK.addr(sk, "bh_lock"))
+        return int(value) & 0x7FFF

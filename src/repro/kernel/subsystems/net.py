@@ -1,0 +1,424 @@
+"""Network stack: devices, sockets, fanout groups, and the FIB.
+
+Planted bugs (Table 2 analogues):
+
+* **#9 — data race ``dev_ifsioc_locked()`` / ``eth_commit_mac_addr_change()``
+  (harmful, Figure 3).**  The writer copies the 6-byte MAC address into
+  ``dev->dev_addr`` in two chunks while holding the RTNL lock; the reader
+  copies it out under ``rcu_read_lock`` only.  Different locks, no mutual
+  exclusion: the reader can return a *torn* MAC (half old, half new) to
+  user space.
+
+* **#8 — data race ``packet_getname()`` / ``e1000_set_mac()``:** a second,
+  completely lockless reader of the same MAC bytes.
+
+* **#7 — data race ``rawv6_send_hdrinc()`` / ``__dev_set_mtu()``:** raw
+  IPv6 send reads ``dev->mtu`` with no lock while the ioctl writer updates
+  it under RTNL.
+
+* **#16 — benign data race on the default congestion control:**
+  ``tcp_set_default_congestion_control()`` writes the global word plainly;
+  ``tcp_set_congestion_control()`` reads it plainly.  Single aligned word,
+  any observed value is valid — benign.
+
+* **#17 — data race ``fanout_demux_rollover()`` / ``__fanout_unlink()``:**
+  the demux path reads ``num_members`` and the member array with no lock
+  while socket close compacts the array under the fanout lock.
+
+* **#10 — benign data race ``fib6_get_cookie_safe()`` / ``fib6_clean_node()``:**
+  the route cookie is written under a seqlock writer section with plain
+  stores and read in a seqlock retry loop with plain loads; the detector
+  flags the race but the retry makes it harmless.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator
+
+from repro.kernel.context import KernelContext, WORD
+from repro.kernel.errors import EBADF, EINVAL, ENOTCONN, SyscallError
+from repro.kernel.kernel import F_SOCK, Kernel
+from repro.kernel.sync import (
+    mutex_lock,
+    mutex_unlock,
+    rcu_read_lock,
+    rcu_read_unlock,
+    read_seqbegin,
+    read_seqretry,
+    spin_lock,
+    spin_unlock,
+    write_seqlock,
+    write_sequnlock,
+)
+from repro.machine.layout import Struct, field
+
+NDEVS = 2
+MAC_LEN = 6
+FANOUT_SLOTS = 4
+
+# Socket protocol families understood by the mini-kernel.
+AF_INET = 0
+AF_PACKET = 1
+PX_PROTO_OL2TP = 2
+AF_INET6 = 3
+
+NETDEV = Struct(
+    "net_device",
+    field("lock", 4),
+    field("ifindex", 4),
+    field("dev_addr", 8),  # 6 MAC bytes + 2 padding
+    field("mtu", WORD),
+    field("flags", WORD),
+)
+
+SOCK = Struct(
+    "sock",
+    field("lock", 4),
+    field("proto", 4),
+    field("dev", WORD),
+    field("tunnel", WORD),
+    field("cc", WORD),
+    field("bound", WORD),
+    field("fanout_on", WORD),
+)
+
+FANOUT = Struct(
+    "packet_fanout",
+    field("lock", 4),
+    field("pad", 4),
+    field("num_members", WORD),
+    *[field(f"arr_{i}", WORD) for i in range(FANOUT_SLOTS)],
+)
+
+FIB6 = Struct(
+    "fib6_table",
+    field("seq", 4),
+    field("seqlock", 4),
+    field("cookie", WORD),
+)
+
+IOCTL_SIOCSIFHWADDR = 4
+IOCTL_SIOCGIFHWADDR = 5
+IOCTL_SIOCSIFMTU = 6
+
+SO_CONGESTION = 1
+SO_DEFAULT_CONGESTION = 2
+SO_PACKET_FANOUT = 3
+
+ConnectHandler = Callable[..., Generator]
+
+
+class NetSubsystem:
+    """Network devices + the socket layer."""
+
+    name = "net"
+
+    def boot(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        memory = kernel.machine.memory
+
+        self.devs = kernel.static_alloc("netdev_table", NETDEV.size * NDEVS)
+        for i in range(NDEVS):
+            base = self.devs + i * NETDEV.size
+            memory.write_int(NETDEV.addr(base, "ifindex"), 4, i)
+            mac = 0x0250_5600_0000 + i  # 02:50:56:00:00:0i, little-endian int
+            memory.write_int(NETDEV.addr(base, "dev_addr"), 8, mac)
+            memory.write_int(NETDEV.addr(base, "mtu"), WORD, 1500)
+
+        self.rtnl_lock = kernel.static_alloc("rtnl_lock", 4)
+        self.default_cc = kernel.static_alloc("tcp_default_cc", WORD)
+        memory.write_int(self.default_cc, WORD, 1)  # "cubic"
+        self.fanout = kernel.static_alloc("packet_fanout_group", FANOUT.size)
+        self.fib6 = kernel.static_alloc("fib6_main_table", FIB6.size)
+        memory.write_int(FIB6.addr(self.fib6, "cookie"), WORD, 0xABCD)
+
+        # Protocol registries; other subsystems (l2tp) add entries.
+        self.create_ops: Dict[int, ConnectHandler] = {}
+        self.connect_ops: Dict[int, ConnectHandler] = {}
+        self.sendmsg_ops: Dict[int, ConnectHandler] = {}
+
+        kernel.register_syscall("socket", self.sys_socket)
+        kernel.register_syscall("connect", self.sys_connect)
+        kernel.register_syscall("sendmsg", self.sys_sendmsg)
+        kernel.register_syscall("getsockname", self.sys_getsockname)
+        kernel.register_syscall("setsockopt", self.sys_setsockopt)
+        kernel.register_syscall("route_update", self.sys_route_update)
+        kernel.register_ioctl(IOCTL_SIOCSIFHWADDR, self.ioctl_set_mac)
+        kernel.register_ioctl(IOCTL_SIOCGIFHWADDR, self.ioctl_get_mac)
+        kernel.register_ioctl(IOCTL_SIOCSIFMTU, self.ioctl_set_mtu)
+        kernel.register_close_hook(F_SOCK, self.sock_close)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def dev_addr_of(self, ifindex: int) -> int:
+        return self.devs + (ifindex % NDEVS) * NETDEV.size
+
+    def alloc_sock(self, ctx: KernelContext, proto: int) -> Generator:
+        sock = yield from self.kernel.allocator.kzalloc(ctx, SOCK.size)
+        yield from ctx.store_field(SOCK, sock, "proto", proto)
+        yield from ctx.store_field(SOCK, sock, "dev", self.dev_addr_of(0))
+        return sock
+
+    def sock_of_fd(self, ctx: KernelContext, fd: int) -> Generator:
+        sock = yield from self.kernel.fd_object(ctx, fd, F_SOCK)
+        return sock
+
+    # -- socket lifecycle ----------------------------------------------------------
+
+    def sys_socket(self, ctx: KernelContext, proto: int) -> Generator:
+        """Create a socket of the given protocol family."""
+        proto = int(proto) % 4
+        creator = self.create_ops.get(proto)
+        if creator is not None:
+            sock = yield from creator(ctx, proto)
+        else:
+            sock = yield from self.alloc_sock(ctx, proto)
+        fd = yield from self.kernel.fd_install(ctx, F_SOCK, sock)
+        return fd
+
+    def sock_close(self, ctx: KernelContext, file_addr: int) -> Generator:
+        """Close hook: unlink packet sockets from their fanout group."""
+        from repro.kernel.kernel import FILE
+
+        sock = yield from ctx.load_field(FILE, file_addr, "obj")
+        if sock == 0:
+            return
+        proto = yield from ctx.load_field(SOCK, sock, "proto")
+        if proto == AF_PACKET:
+            fanout_on = yield from ctx.load_field(SOCK, sock, "fanout_on")
+            if fanout_on:
+                yield from self.fanout_unlink(ctx, sock)
+        yield from self.kernel.allocator.kfree(ctx, sock, SOCK.size)
+
+    def sys_connect(self, ctx: KernelContext, fd: int, arg: int) -> Generator:
+        """Connect: per-family behaviour."""
+        sock = yield from self.sock_of_fd(ctx, fd)
+        proto = yield from ctx.load_field(SOCK, sock, "proto")
+        handler = self.connect_ops.get(proto)
+        if handler is not None:
+            ret = yield from handler(ctx, sock, arg)
+            return ret
+        # Default: bind to a device and adopt the default congestion
+        # control — tcp_set_congestion_control()'s unlocked global read
+        # (bug #16 reader side; READ_ONCE when patched).
+        cc = yield from ctx.load_word(self.default_cc, atomic=self.kernel.fixed)
+        yield from ctx.store_field(SOCK, sock, "cc", cc)
+        yield from ctx.store_field(SOCK, sock, "dev", self.dev_addr_of(int(arg)))
+        yield from ctx.store_field(SOCK, sock, "bound", 1)
+        return 0
+
+    # -- transmit paths -----------------------------------------------------------
+
+    def sys_sendmsg(self, ctx: KernelContext, fd: int, value: int) -> Generator:
+        """sendmsg: per-family transmit."""
+        sock = yield from self.sock_of_fd(ctx, fd)
+        proto = yield from ctx.load_field(SOCK, sock, "proto")
+        handler = self.sendmsg_ops.get(proto)
+        if handler is not None:
+            ret = yield from handler(ctx, sock, value)
+            return ret
+        if proto == AF_PACKET:
+            ret = yield from self.fanout_demux_rollover(ctx, sock, int(value))
+            return ret
+        if proto == AF_INET6:
+            ret = yield from self.rawv6_send_hdrinc(ctx, sock, int(value))
+            return ret
+        # Plain AF_INET send: read the device MAC under the device lock
+        # (a properly synchronised reader, for contrast with #8/#9).
+        dev = yield from ctx.load_field(SOCK, sock, "dev")
+        lock = NETDEV.addr(dev, "lock")
+        yield from spin_lock(ctx, lock)
+        mac = yield from ctx.memread(NETDEV.addr(dev, "dev_addr"), MAC_LEN)
+        yield from spin_unlock(ctx, lock)
+        return mac & 0x7FFF
+
+    def rawv6_send_hdrinc(self, ctx: KernelContext, sock: int, value: int) -> Generator:
+        """Raw IPv6 send: unlocked MTU read (#7) + FIB cookie read (#10)."""
+        dev = yield from ctx.load_field(SOCK, sock, "dev")
+        # Buggy kernel: plain unlocked load (bug #7).  Patched kernel:
+        # READ_ONCE pairing with the writer's WRITE_ONCE.
+        mtu = yield from ctx.load_field(NETDEV, dev, "mtu", atomic=self.kernel.fixed)
+        fragments = 1 + (int(value) % 4096) // max(int(mtu), 1) if mtu else 0
+
+        # fib6_get_cookie_safe(): seqlock read side with plain cookie loads.
+        seq_addr = FIB6.addr(self.fib6, "seq")
+        while True:
+            start = yield from read_seqbegin(ctx, seq_addr)
+            # Plain in the buggy kernel (benign race #10); READ_ONCE when
+            # patched, silencing the detector without changing behaviour.
+            cookie = yield from ctx.load_field(
+                FIB6, self.fib6, "cookie", atomic=self.kernel.fixed
+            )
+            retry = yield from read_seqretry(ctx, seq_addr, start)
+            if not retry:
+                break
+        return (fragments + (cookie & 0xFF)) & 0x7FFF
+
+    # -- MAC address paths (#8 / #9) ------------------------------------------------
+
+    def ioctl_set_mac(self, ctx: KernelContext, fd: int, arg: int) -> Generator:
+        """eth_commit_mac_addr_change(): chunked MAC write under RTNL."""
+        sock = yield from self.sock_of_fd(ctx, fd)
+        dev = yield from ctx.load_field(SOCK, sock, "dev")
+        new_mac = int(arg) & ((1 << (8 * MAC_LEN)) - 1)
+        yield from mutex_lock(ctx, self.rtnl_lock)
+        if self.kernel.fixed:
+            # Patched kernel: also take the device lock, synchronising
+            # with the dev-lock readers (the plain AF_INET send path).
+            yield from spin_lock(ctx, NETDEV.addr(dev, "lock"))
+        # Two store instructions (4 + 2 bytes): the torn-write window.
+        yield from ctx.memwrite(NETDEV.addr(dev, "dev_addr"), MAC_LEN, new_mac)
+        if self.kernel.fixed:
+            yield from spin_unlock(ctx, NETDEV.addr(dev, "lock"))
+        yield from mutex_unlock(ctx, self.rtnl_lock)
+        return 0
+
+    def ioctl_get_mac(self, ctx: KernelContext, fd: int, arg: int) -> Generator:
+        """dev_ifsioc(): chunked MAC read.
+
+        Buggy kernel: under rcu_read_lock only (#9) — no exclusion with
+        the RTNL-holding writer.  Patched kernel (the upstream fix
+        changed the reader's locking scheme): read under RTNL.
+        """
+        sock = yield from self.sock_of_fd(ctx, fd)
+        dev = yield from ctx.load_field(SOCK, sock, "dev")
+        if self.kernel.fixed:
+            yield from mutex_lock(ctx, self.rtnl_lock)
+            mac = yield from ctx.memread(NETDEV.addr(dev, "dev_addr"), MAC_LEN)
+            yield from mutex_unlock(ctx, self.rtnl_lock)
+            return mac & 0xFFFF_FFFF_FFFF
+        yield from rcu_read_lock(ctx)
+        mac = yield from ctx.memread(NETDEV.addr(dev, "dev_addr"), MAC_LEN)
+        yield from rcu_read_unlock(ctx)
+        return mac & 0xFFFF_FFFF_FFFF  # the full 6 MAC bytes (always non-negative)
+
+    def sys_getsockname(self, ctx: KernelContext, fd: int) -> Generator:
+        """packet_getname(): lockless MAC read (#8); locked when fixed."""
+        sock = yield from self.sock_of_fd(ctx, fd)
+        dev = yield from ctx.load_field(SOCK, sock, "dev")
+        if self.kernel.fixed:
+            yield from mutex_lock(ctx, self.rtnl_lock)
+            mac = yield from ctx.memread(NETDEV.addr(dev, "dev_addr"), MAC_LEN)
+            yield from mutex_unlock(ctx, self.rtnl_lock)
+            return mac & 0xFFFF_FFFF_FFFF
+        mac = yield from ctx.memread(NETDEV.addr(dev, "dev_addr"), MAC_LEN)
+        return mac & 0xFFFF_FFFF_FFFF
+
+    def ioctl_set_mtu(self, ctx: KernelContext, fd: int, arg: int) -> Generator:
+        """__dev_set_mtu(): plain store under RTNL (#7 writer)."""
+        sock = yield from self.sock_of_fd(ctx, fd)
+        dev = yield from ctx.load_field(SOCK, sock, "dev")
+        mtu = int(arg)
+        if mtu <= 0 or mtu > 65535:
+            raise SyscallError(EINVAL, f"bad mtu {mtu}")
+        yield from mutex_lock(ctx, self.rtnl_lock)
+        yield from ctx.store_field(NETDEV, dev, "mtu", mtu, atomic=self.kernel.fixed)
+        yield from mutex_unlock(ctx, self.rtnl_lock)
+        return 0
+
+    # -- congestion control (#16) ------------------------------------------------
+
+    def sys_setsockopt(self, ctx: KernelContext, fd: int, opt: int, value: int) -> Generator:
+        sock = yield from self.sock_of_fd(ctx, fd)
+        opt = int(opt)
+        if opt == SO_CONGESTION:
+            # tcp_set_congestion_control(): plain global read (#16 reader);
+            # READ_ONCE in the patched kernel.
+            cc = yield from ctx.load_word(self.default_cc, atomic=self.kernel.fixed)
+            yield from ctx.store_field(SOCK, sock, "cc", cc if value == 0 else value)
+            return 0
+        if opt == SO_DEFAULT_CONGESTION:
+            # tcp_set_default_congestion_control(): plain global write;
+            # WRITE_ONCE in the patched kernel.
+            yield from ctx.store_word(
+                self.default_cc, int(value) & 0xFF, atomic=self.kernel.fixed
+            )
+            return 0
+        if opt == SO_PACKET_FANOUT:
+            ret = yield from self.fanout_add(ctx, sock)
+            return ret
+        raise SyscallError(EINVAL, f"unknown sockopt {opt}")
+
+    # -- packet fanout (#17) -------------------------------------------------------
+
+    def fanout_add(self, ctx: KernelContext, sock: int) -> Generator:
+        """Join the fanout group (locked)."""
+        proto = yield from ctx.load_field(SOCK, sock, "proto")
+        if proto != AF_PACKET:
+            raise SyscallError(EINVAL, "fanout needs a packet socket")
+        lock = FANOUT.addr(self.fanout, "lock")
+        yield from spin_lock(ctx, lock)
+        num = yield from ctx.load_field(FANOUT, self.fanout, "num_members")
+        if num >= FANOUT_SLOTS:
+            yield from spin_unlock(ctx, lock)
+            raise SyscallError(EINVAL, "fanout group full")
+        yield from ctx.store_word(
+            FANOUT.addr(self.fanout, f"arr_{num}"), sock
+        )
+        yield from ctx.store_field(FANOUT, self.fanout, "num_members", num + 1)
+        yield from spin_unlock(ctx, lock)
+        yield from ctx.store_field(SOCK, sock, "fanout_on", 1)
+        return 0
+
+    def fanout_unlink(self, ctx: KernelContext, sock: int) -> Generator:
+        """__fanout_unlink(): locked compaction of the member array."""
+        lock = FANOUT.addr(self.fanout, "lock")
+        yield from spin_lock(ctx, lock)
+        num = yield from ctx.load_field(FANOUT, self.fanout, "num_members")
+        position = -1
+        for i in range(FANOUT_SLOTS):
+            member = yield from ctx.load_word(FANOUT.addr(self.fanout, f"arr_{i}"))
+            if member == sock and position < 0:
+                position = i
+        if position >= 0:
+            for i in range(position, FANOUT_SLOTS - 1):
+                nxt = yield from ctx.load_word(FANOUT.addr(self.fanout, f"arr_{i + 1}"))
+                yield from ctx.store_word(FANOUT.addr(self.fanout, f"arr_{i}"), nxt)
+            yield from ctx.store_word(FANOUT.addr(self.fanout, f"arr_{FANOUT_SLOTS - 1}"), 0)
+            yield from ctx.store_field(FANOUT, self.fanout, "num_members", num - 1)
+        yield from spin_unlock(ctx, lock)
+
+    def fanout_demux_rollover(self, ctx: KernelContext, sock: int, value: int) -> Generator:
+        """fanout_demux_rollover(): lockless group reads (#17).
+
+        The patched kernel takes the fanout lock around the demux, the
+        shape of the upstream fix (which made the accesses consistent).
+        """
+        fixed = self.kernel.fixed
+        lock = FANOUT.addr(self.fanout, "lock")
+        if fixed:
+            yield from spin_lock(ctx, lock)
+        num = yield from ctx.load_field(FANOUT, self.fanout, "num_members")
+        if num == 0:
+            if fixed:
+                yield from spin_unlock(ctx, lock)
+            return 0
+        idx = value % num if num > 0 else 0
+        idx = min(idx, FANOUT_SLOTS - 1)
+        member = yield from ctx.load_word(FANOUT.addr(self.fanout, f"arr_{idx}"))
+        if fixed:
+            # Patched kernel: the member is only dereferenced while the
+            # fanout lock pins it (close() unlinks under the same lock
+            # before freeing), closing the use-after-free window too.
+            proto = 0
+            if member != 0:
+                proto = yield from ctx.load_field(SOCK, member, "proto")
+            yield from spin_unlock(ctx, lock)
+            return int(proto) & 0x7FFF
+        if member == 0:
+            return 0
+        proto = yield from ctx.load_field(SOCK, member, "proto")
+        return int(proto) & 0x7FFF
+
+    # -- FIB cookie writer (#10) -----------------------------------------------------
+
+    def sys_route_update(self, ctx: KernelContext, value: int) -> Generator:
+        """fib6_clean_node(): seqlock writer section with plain stores."""
+        seq_addr = FIB6.addr(self.fib6, "seq")
+        lock_addr = FIB6.addr(self.fib6, "seqlock")
+        yield from write_seqlock(ctx, seq_addr, lock_addr)
+        yield from ctx.store_field(
+            FIB6, self.fib6, "cookie", int(value) & 0xFFFF, atomic=self.kernel.fixed
+        )
+        yield from write_sequnlock(ctx, seq_addr, lock_addr)
+        return 0

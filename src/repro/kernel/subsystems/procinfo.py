@@ -1,0 +1,42 @@
+"""A /proc-like statistics reader.
+
+``sysinfo()`` reads the allocator's statistics counters without taking
+any lock — the same pattern as Linux's lockless ``/proc`` counter reads
+that DataCollider famously flagged and developers declared benign
+("developers chose performance over strong semantics", section 4.3).
+It adds more reader instructions on the #13 memory ranges, which enlarges
+exactly the clusters the S-MEM strategy keys on.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.kernel.alloc import ALLOC_STATE
+from repro.kernel.context import KernelContext, WORD
+from repro.kernel.kernel import Kernel
+
+
+class ProcInfoSubsystem:
+    """Lockless kernel statistics, /proc style."""
+
+    name = "procinfo"
+
+    def boot(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        kernel.register_syscall("sysinfo", self.sys_sysinfo)
+
+    def sys_sysinfo(self, ctx: KernelContext) -> Generator:
+        """Read the allocator counters with plain loads (benign race)."""
+        state = self.kernel.allocator.state
+        fixed = self.kernel.fixed
+        allocs = yield from ctx.load_word(
+            ALLOC_STATE.addr(state, "total_allocs"), atomic=fixed
+        )
+        frees = yield from ctx.load_word(
+            ALLOC_STATE.addr(state, "total_frees"), atomic=fixed
+        )
+        in_use = yield from ctx.load_word(
+            ALLOC_STATE.addr(state, "bytes_in_use"), atomic=fixed
+        )
+        return int(allocs + frees + (in_use & 0xFFFF)) & 0x7FFF_FFFF

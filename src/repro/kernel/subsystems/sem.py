@@ -1,0 +1,96 @@
+"""System V semaphores — a *second* user of the buggy rhashtable.
+
+Section 5.2, Case 3: "Since this is a bug in the rhashtable library, any
+system-call pair that uses it to communicate is affected."  The
+semaphore namespace keys through its own rhashtable instance, so the
+same double-fetch NULL dereference (#1) is reachable from a completely
+different syscall family (``semget`` ‖ ``semctl(IPC_RMID)``), exactly as
+the paper observes for msgctl/msgget and socket/sendmsg.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.kernel.context import KernelContext, WORD
+from repro.kernel.errors import EINVAL, ENOENT, SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.rhashtable import RHT_TABLE, rht_insert, rht_lookup, rht_remove
+from repro.kernel.sync import spin_lock, spin_unlock
+from repro.machine.layout import Struct, field
+
+SEM_RMID = 0
+SEM_GETVAL = 1
+
+# A semaphore set: rhashtable entry header + its value and lock.
+SEM = Struct(
+    "sem_array",
+    field("next", WORD),
+    field("key", WORD),
+    field("lock", 4),
+    field("pad", 4),
+    field("value", WORD),
+    field("ops_done", WORD),
+)
+
+
+class SemSubsystem:
+    """semget / semctl / semop over a private rhashtable instance."""
+
+    name = "sem"
+
+    def boot(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.table = kernel.static_alloc("sem_ids_rhashtable", RHT_TABLE.size)
+        kernel.register_syscall("semget", self.sys_semget)
+        kernel.register_syscall("semctl", self.sys_semctl)
+        kernel.register_syscall("semop", self.sys_semop)
+
+    def sys_semget(self, ctx: KernelContext, key: int) -> Generator:
+        """Get-or-create; the lookup walks the bucket with the double
+        fetch, the reader side of bug #1 in a second syscall family."""
+        key = int(key) % 8
+        entry = yield from rht_lookup(ctx, self.table, key)
+        if entry != 0:
+            return key
+        sem = yield from self.kernel.allocator.kzalloc(ctx, SEM.size)
+        yield from ctx.store_field(SEM, sem, "value", 1)
+        yield from rht_insert(ctx, self.table, sem, key)
+        return key
+
+    def sys_semctl(self, ctx: KernelContext, key: int, cmd: int) -> Generator:
+        key = int(key) % 8
+        cmd = int(cmd) % 2
+        if cmd == SEM_RMID:
+            entry = yield from rht_remove(ctx, self.table, key)
+            if entry == 0:
+                raise SyscallError(ENOENT, f"no semaphore with key {key}")
+            yield from self.kernel.allocator.kfree(ctx, entry, SEM.size)
+            return 0
+        if cmd == SEM_GETVAL:
+            entry = yield from rht_lookup(ctx, self.table, key)
+            if entry == 0:
+                raise SyscallError(ENOENT, f"no semaphore with key {key}")
+            lock = SEM.addr(entry, "lock")
+            yield from spin_lock(ctx, lock)
+            value = yield from ctx.load_field(SEM, entry, "value")
+            yield from spin_unlock(ctx, lock)
+            return int(value) & 0x7FFF_FFFF
+        raise SyscallError(EINVAL, f"unknown semctl cmd {cmd}")
+
+    def sys_semop(self, ctx: KernelContext, key: int, delta: int) -> Generator:
+        """Adjust the semaphore value (locked read-modify-write)."""
+        key = int(key) % 8
+        entry = yield from rht_lookup(ctx, self.table, key)
+        if entry == 0:
+            raise SyscallError(ENOENT, f"no semaphore with key {key}")
+        lock = SEM.addr(entry, "lock")
+        delta = int(delta) % 8 - 4
+        yield from spin_lock(ctx, lock)
+        value = yield from ctx.load_field(SEM, entry, "value")
+        new = max(0, value + delta)
+        yield from ctx.store_field(SEM, entry, "value", new)
+        done = yield from ctx.load_field(SEM, entry, "ops_done")
+        yield from ctx.store_field(SEM, entry, "ops_done", done + 1)
+        yield from spin_unlock(ctx, lock)
+        return int(new) & 0x7FFF

@@ -1,0 +1,74 @@
+"""ALSA-like sound control layer.
+
+Planted bug (**#15 — data race in ``snd_ctl_elem_add()``, harmful**):
+the accounting of user-control memory (``card->user_ctl_alloc_size``) is
+a plain load-add-store sequence with no lock, so two concurrent element
+additions can lose an update and bypass the allocation quota — the exact
+shape of the race Takashi Iwai fixed after the paper's report.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.kernel.context import KernelContext, WORD
+from repro.kernel.errors import ENOMEM, SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.sync import spin_lock, spin_unlock
+from repro.machine.layout import Struct, field
+
+MAX_USER_CTL_BYTES = 4096
+
+SND_CARD = Struct(
+    "snd_card",
+    field("lock", 4),
+    field("pad", 4),
+    field("user_ctl_count", WORD),
+    field("user_ctl_bytes", WORD),
+)
+
+
+class SoundSubsystem:
+    """One sound card with user-defined control elements."""
+
+    name = "sound"
+
+    def boot(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.card = kernel.static_alloc("snd_card0", SND_CARD.size)
+        kernel.register_syscall("snd_ctl_add", self.sys_snd_ctl_add)
+        kernel.register_syscall("snd_ctl_info", self.sys_snd_ctl_info)
+
+    def sys_snd_ctl_add(self, ctx: KernelContext, size: int) -> Generator:
+        """snd_ctl_elem_add(): unsynchronised quota read-modify-write.
+
+        The patched kernel (Takashi Iwai's fix) moves the accounting
+        under the card lock.
+        """
+        size = max(1, int(size) % 1024)
+        fixed = self.kernel.fixed
+        lock = SND_CARD.addr(self.card, "lock")
+        if fixed:
+            yield from spin_lock(ctx, lock)
+        used = yield from ctx.load_field(SND_CARD, self.card, "user_ctl_bytes")
+        if used + size > MAX_USER_CTL_BYTES:
+            if fixed:
+                yield from spin_unlock(ctx, lock)
+            raise SyscallError(ENOMEM, "user control quota exhausted")
+        yield from ctx.store_field(SND_CARD, self.card, "user_ctl_bytes", used + size)
+        count = yield from ctx.load_field(SND_CARD, self.card, "user_ctl_count")
+        yield from ctx.store_field(SND_CARD, self.card, "user_ctl_count", count + 1)
+        if fixed:
+            yield from spin_unlock(ctx, lock)
+        return int(used + size) & 0x7FFF_FFFF
+
+    def sys_snd_ctl_info(self, ctx: KernelContext) -> Generator:
+        """Report the current accounting."""
+        fixed = self.kernel.fixed
+        lock = SND_CARD.addr(self.card, "lock")
+        if fixed:
+            yield from spin_lock(ctx, lock)
+        bytes_used = yield from ctx.load_field(SND_CARD, self.card, "user_ctl_bytes")
+        if fixed:
+            yield from spin_unlock(ctx, lock)
+        return int(bytes_used) & 0x7FFF_FFFF

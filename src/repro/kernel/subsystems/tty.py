@@ -1,0 +1,81 @@
+"""TTY / serial layer.
+
+Planted bug (**#14 — data race ``tty_port_open()`` / ``uart_do_autoconfig()``,
+harmful**): autoconfiguration rewrites the port type under the *port*
+lock, transiently storing the "unknown" type while probing; ``tty_open``
+reads the port type under the *tty* lock.  Two different locks — no
+mutual exclusion — so an opener can observe the transient unknown type
+and fail the open (or worse, bind the wrong driver).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.kernel.context import KernelContext, WORD
+from repro.kernel.errors import EBUSY, SyscallError
+from repro.kernel.kernel import F_TTY, Kernel
+from repro.kernel.sync import spin_lock, spin_unlock
+from repro.machine.layout import Struct, field
+
+PORT_UNKNOWN = 0
+PORT_8250 = 2
+
+UART_PORT = Struct(
+    "uart_port",
+    field("port_lock", 4),
+    field("tty_lock", 4),
+    field("type", WORD),
+    field("line", WORD),
+    field("open_count", WORD),
+)
+
+IOCTL_TIOCAUTOCONF = 7
+
+
+class TtySubsystem:
+    """One serial port, ttyS0."""
+
+    name = "tty"
+
+    def boot(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.port = kernel.static_alloc("uart_ttyS0", UART_PORT.size)
+        kernel.machine.memory.write_int(
+            UART_PORT.addr(self.port, "type"), WORD, PORT_8250
+        )
+        kernel.register_syscall("tty_open", self.sys_tty_open)
+        kernel.register_ioctl(IOCTL_TIOCAUTOCONF, self.ioctl_autoconfig)
+
+    def sys_tty_open(self, ctx: KernelContext) -> Generator:
+        """tty_port_open(): reads the port type under the tty lock only.
+
+        The patched kernel takes the *port* lock — the same lock
+        autoconfig holds — restoring mutual exclusion.
+        """
+        lock_field = "port_lock" if self.kernel.fixed else "tty_lock"
+        tty_lock = UART_PORT.addr(self.port, lock_field)
+        yield from spin_lock(ctx, tty_lock)
+        port_type = yield from ctx.load_field(UART_PORT, self.port, "type")
+        if port_type == PORT_UNKNOWN:
+            yield from ctx.printk("ttyS0: tty_port_open: port type unknown")
+            yield from spin_unlock(ctx, tty_lock)
+            raise SyscallError(EBUSY, "port has no type")
+        count = yield from ctx.load_field(UART_PORT, self.port, "open_count")
+        yield from ctx.store_field(UART_PORT, self.port, "open_count", count + 1)
+        yield from spin_unlock(ctx, tty_lock)
+        fd = yield from self.kernel.fd_install(ctx, F_TTY, self.port)
+        return fd
+
+    def ioctl_autoconfig(self, ctx: KernelContext, fd: int, arg: int) -> Generator:
+        """uart_do_autoconfig(): rewrites the type under the *port* lock."""
+        yield from self.kernel.fd_file(ctx, fd)
+        port_lock = UART_PORT.addr(self.port, "port_lock")
+        yield from spin_lock(ctx, port_lock)
+        yield from ctx.store_field(UART_PORT, self.port, "type", PORT_UNKNOWN)
+        # Probe the hardware (a couple of register-ish accesses).
+        line = yield from ctx.load_field(UART_PORT, self.port, "line")
+        yield from ctx.store_field(UART_PORT, self.port, "line", line)
+        yield from ctx.store_field(UART_PORT, self.port, "type", PORT_8250)
+        yield from spin_unlock(ctx, port_lock)
+        return 0

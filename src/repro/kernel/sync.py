@@ -1,0 +1,124 @@
+"""Kernel synchronisation primitives.
+
+All primitives operate on real lock words in guest memory, so lock
+acquisitions are visible to the tracer (lock words participate in PMCs,
+as in the real kernel).  Besides the memory traffic, the primitives emit
+:class:`~repro.kernel.ops.SyncOp` events that give the happens-before race
+detector its acquire/release edges.
+
+RCU is modelled faithfully for our purposes: readers take no lock
+(``rcu_read_lock`` only marks a read-side critical section), writers
+publish with ``rcu_assign_pointer`` (store-release) and readers traverse
+with ``rcu_dereference`` (load-acquire).  Such accesses are synchronised —
+*not* data races — yet provide no atomicity across the critical section,
+which is exactly the gap the paper's l2tp order-violation bug (#12) slips
+through.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.kernel.context import KernelContext, _ins
+from repro.kernel.ops import SyncOp
+
+LOCK_WORD_SIZE = 4
+
+
+def spin_lock(ctx: KernelContext, lock_addr: int) -> Generator:
+    """Acquire a spinlock by atomic compare-and-swap on its lock word."""
+    while True:
+        old = yield from ctx.cas(lock_addr, LOCK_WORD_SIZE, 0, 1 + ctx.thread, _depth=1)
+        if old == 0:
+            yield SyncOp("acquire", lock_addr, _ins(1))
+            return
+        yield from ctx.cpu_relax()
+
+
+def spin_trylock(ctx: KernelContext, lock_addr: int) -> Generator:
+    """Try to acquire; returns True on success."""
+    old = yield from ctx.cas(lock_addr, LOCK_WORD_SIZE, 0, 1 + ctx.thread, _depth=1)
+    if old == 0:
+        yield SyncOp("acquire", lock_addr, _ins(1))
+        return True
+    return False
+
+
+def spin_unlock(ctx: KernelContext, lock_addr: int) -> Generator:
+    """Release a spinlock."""
+    yield SyncOp("release", lock_addr, _ins(1))
+    yield from ctx.store(lock_addr, LOCK_WORD_SIZE, 0, atomic=True, _depth=1)
+
+
+# Sleeping locks: under the serialised two-thread executor a sleeping lock
+# behaves like a spinlock whose waiter is descheduled by the liveness
+# heuristic, so mutexes delegate to the spin implementation.
+mutex_lock = spin_lock
+mutex_trylock = spin_trylock
+mutex_unlock = spin_unlock
+
+
+def rcu_read_lock(ctx: KernelContext) -> Generator:
+    """Enter an RCU read-side critical section (no exclusion)."""
+    yield SyncOp("rcu_read_lock", 0, _ins(1))
+
+
+def rcu_read_unlock(ctx: KernelContext) -> Generator:
+    """Leave an RCU read-side critical section."""
+    yield SyncOp("rcu_read_unlock", 0, _ins(1))
+
+
+def rcu_assign_pointer(ctx: KernelContext, addr: int, value: int) -> Generator:
+    """Publish a pointer with release semantics (``rcu_assign_pointer``)."""
+    yield from ctx.store_word(addr, value, atomic=True, _depth=1)
+
+
+def rcu_dereference(ctx: KernelContext, addr: int) -> Generator:
+    """Read a published pointer with acquire semantics."""
+    value = yield from ctx.load_word(addr, atomic=True, _depth=1)
+    return value
+
+
+def synchronize_rcu(ctx: KernelContext) -> Generator:
+    """Wait until all current RCU readers have left their sections.
+
+    The executor answers the ``rcu_synchronize`` query with True once no
+    other thread is inside a read-side critical section.
+    """
+    while True:
+        quiescent = yield SyncOp("rcu_synchronize", 0, _ins(1))
+        if quiescent:
+            return
+        yield from ctx.cpu_relax()
+
+
+# -- seqlock -----------------------------------------------------------------
+
+
+def write_seqlock(ctx: KernelContext, seq_addr: int, lock_addr: int) -> Generator:
+    """Writer side of a seqlock: take the lock, bump the sequence (odd)."""
+    yield from spin_lock(ctx, lock_addr)
+    seq = yield from ctx.load(seq_addr, LOCK_WORD_SIZE, atomic=True, _depth=1)
+    yield from ctx.store(seq_addr, LOCK_WORD_SIZE, seq + 1, atomic=True, _depth=1)
+
+
+def write_sequnlock(ctx: KernelContext, seq_addr: int, lock_addr: int) -> Generator:
+    """Writer side: bump the sequence back to even, drop the lock."""
+    seq = yield from ctx.load(seq_addr, LOCK_WORD_SIZE, atomic=True, _depth=1)
+    yield from ctx.store(seq_addr, LOCK_WORD_SIZE, seq + 1, atomic=True, _depth=1)
+    yield from spin_unlock(ctx, lock_addr)
+
+
+def read_seqbegin(ctx: KernelContext, seq_addr: int) -> Generator:
+    """Reader side: wait for an even (stable) sequence and return it."""
+    while True:
+        seq = yield from ctx.load(seq_addr, LOCK_WORD_SIZE, atomic=True, _depth=1)
+        if seq % 2 == 0:
+            return seq
+        yield from ctx.cpu_relax()
+
+
+def read_seqretry(ctx: KernelContext, seq_addr: int, start: int) -> Generator:
+    """Reader side: True when the critical section must be retried."""
+    seq = yield from ctx.load(seq_addr, LOCK_WORD_SIZE, atomic=True, _depth=1)
+    return seq != start

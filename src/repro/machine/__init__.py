@@ -1,0 +1,31 @@
+"""Simulated guest machine.
+
+This package is the stand-in for the modified QEMU/SKI hypervisor used by
+the original Snowboard: a byte-addressable sparse memory with fault
+semantics, a machine object holding memory, console and per-thread kernel
+stack ranges, and whole-machine snapshots used to restart every test from
+one fixed kernel state.
+"""
+
+from repro.machine.accesses import AccessType, MemoryAccess
+from repro.machine.layout import Struct, field
+from repro.machine.machine import (
+    KERNEL_STACK_SIZE,
+    Machine,
+    MachineRegions,
+)
+from repro.machine.memory import Memory, PageFault
+from repro.machine.snapshot import Snapshot
+
+__all__ = [
+    "AccessType",
+    "MemoryAccess",
+    "Struct",
+    "field",
+    "KERNEL_STACK_SIZE",
+    "Machine",
+    "MachineRegions",
+    "Memory",
+    "PageFault",
+    "Snapshot",
+]

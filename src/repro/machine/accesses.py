@@ -1,0 +1,100 @@
+"""Memory access records.
+
+Every interpreted kernel instruction that touches memory produces one
+:class:`MemoryAccess`.  These records are what the Snowboard profiler
+collects and what the PMC identification stage (Algorithm 1 in the paper)
+consumes: address range, access type, value read/written, and the
+instruction address that performed the access.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AccessType(enum.Enum):
+    """Whether an access reads or writes memory."""
+
+    READ = "R"
+    WRITE = "W"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryAccess:
+    """A single dynamic memory access by a kernel thread.
+
+    Attributes:
+        seq: global sequence number within one execution (total order,
+            meaningful because the executor serialises all vCPUs).
+        thread: index of the virtual CPU / kernel thread (0 or 1).
+        type: read or write.
+        addr: start address of the accessed range.
+        size: length of the range in bytes.
+        value: the value read or written, as an unsigned little-endian
+            integer over ``size`` bytes.
+        ins: instruction address — the stable source location of the
+            kernel code performing the access (``file.py:line``), the
+            analogue of a guest program counter.
+        is_stack: True when the range lies within the accessing thread's
+            kernel stack (such accesses are pruned from PMC analysis,
+            mirroring the ESP-based filtering of the paper, section 4.1.1).
+    """
+
+    seq: int
+    thread: int
+    type: AccessType
+    addr: int
+    size: int
+    value: int
+    ins: str
+    is_stack: bool = False
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the accessed range."""
+        return self.addr + self.size
+
+    @property
+    def is_read(self) -> bool:
+        return self.type is AccessType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.type is AccessType.WRITE
+
+    def overlaps(self, other: "MemoryAccess") -> bool:
+        """True when the two byte ranges intersect."""
+        return self.addr < other.end and other.addr < self.end
+
+    def value_bytes(self) -> bytes:
+        """The accessed value as little-endian bytes of length ``size``."""
+        return self.value.to_bytes(self.size, "little")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MemoryAccess(#{self.seq} t{self.thread} {self.type} "
+            f"[{self.addr:#x}+{self.size}] = {self.value:#x} @ {self.ins})"
+        )
+
+
+def project_value(addr: int, size: int, value: int, lo: int, hi: int) -> int:
+    """Project an access value onto the overlap window ``[lo, hi)``.
+
+    This is the ``project_value`` helper of Algorithm 1: given an access
+    covering ``[addr, addr+size)`` with little-endian ``value``, return the
+    integer formed by the bytes that fall inside ``[lo, hi)``.
+
+    Raises:
+        ValueError: if ``[lo, hi)`` is not contained in the access range.
+    """
+    if lo < addr or hi > addr + size or lo >= hi:
+        raise ValueError(
+            f"window [{lo:#x},{hi:#x}) outside access [{addr:#x},{addr + size:#x})"
+        )
+    raw = value.to_bytes(size, "little")
+    window = raw[lo - addr : hi - addr]
+    return int.from_bytes(window, "little")

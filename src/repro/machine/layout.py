@@ -1,0 +1,79 @@
+"""Kernel struct layout DSL.
+
+The mini-kernel stores all of its state in simulated guest memory so that
+the PMC analysis observes real byte-level accesses (making torn reads and
+partial-initialisation windows natural).  This module gives kernel code a
+small, explicit way to describe C-like structs: named fields at fixed
+offsets with fixed sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Field:
+    """One struct member: a name, a byte offset and a byte size."""
+
+    name: str
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+def field(name: str, size: int) -> Tuple[str, int]:
+    """Declare a struct member (offset is assigned by :class:`Struct`)."""
+    if size <= 0:
+        raise ValueError(f"field {name!r} must have positive size")
+    return (name, size)
+
+
+class Struct:
+    """A C-like struct layout: sequentially packed named fields.
+
+    Example::
+
+        TUNNEL = Struct(
+            "l2tp_tunnel",
+            field("tunnel_id", 4),
+            field("sock", 8),
+            field("next", 8),
+        )
+        TUNNEL.size            # total bytes
+        TUNNEL.addr(base, "sock")   # base + offset of 'sock'
+        TUNNEL["sock"].size    # 8
+    """
+
+    def __init__(self, name: str, *members: Tuple[str, int], align: int = 1):
+        self.name = name
+        self._fields: Dict[str, Field] = {}
+        offset = 0
+        for member_name, size in members:
+            if member_name in self._fields:
+                raise ValueError(f"duplicate field {member_name!r} in {name}")
+            self._fields[member_name] = Field(member_name, offset, size)
+            offset += size
+        if align > 1:
+            offset = (offset + align - 1) & ~(align - 1)
+        self.size = offset
+
+    def __getitem__(self, name: str) -> Field:
+        return self._fields[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def addr(self, base: int, name: str) -> int:
+        """Address of field ``name`` in an instance rooted at ``base``."""
+        return base + self._fields[name].offset
+
+    def fields(self) -> Tuple[Field, ...]:
+        return tuple(self._fields.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Struct({self.name}, size={self.size})"

@@ -1,0 +1,93 @@
+"""The simulated guest machine.
+
+A :class:`Machine` bundles guest memory, the kernel console (the bug
+oracle's input), and the per-thread kernel stack ranges used for the
+ESP-style stack filtering described in section 4.1.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.machine.memory import Memory
+
+# Region bases.  The layout is fixed so that every boot produces identical
+# addresses — the premise of PMC analysis is that sequential profiling and
+# concurrent execution share one memory layout.
+GLOBALS_BASE = 0x0100_0000
+GLOBALS_SIZE = 0x0010_0000
+HEAP_BASE = 0x0200_0000
+HEAP_SIZE = 0x0100_0000
+STACKS_BASE = 0x0700_0000
+
+# Linux x86 kernel threads get an 8 KiB, 8 KiB-aligned stack; we mirror that
+# so the stack-range computation is the same masking trick the paper uses.
+KERNEL_STACK_SIZE = 8 * 1024
+MAX_THREADS = 4
+
+
+@dataclass(frozen=True, slots=True)
+class MachineRegions:
+    """Address-space layout constants of the guest machine."""
+
+    globals_base: int = GLOBALS_BASE
+    globals_size: int = GLOBALS_SIZE
+    heap_base: int = HEAP_BASE
+    heap_size: int = HEAP_SIZE
+    stacks_base: int = STACKS_BASE
+    stack_size: int = KERNEL_STACK_SIZE
+    max_threads: int = MAX_THREADS
+
+
+class Machine:
+    """Guest machine: memory + console + kernel stacks.
+
+    The console is an append-only list of strings; bug detectors scan it
+    for panic and filesystem-error patterns, exactly like the paper's
+    kernel-console checker.
+    """
+
+    def __init__(self, regions: MachineRegions | None = None):
+        self.regions = regions or MachineRegions()
+        self.memory = Memory()
+        self.console: List[str] = []
+        r = self.regions
+        self.memory.map_region(r.globals_base, r.globals_size)
+        self.memory.map_region(r.heap_base, r.heap_size)
+        self.memory.map_region(r.stacks_base, r.stack_size * r.max_threads)
+
+    # -- stacks ------------------------------------------------------------
+
+    def stack_base(self, thread: int) -> int:
+        """Base address of thread ``thread``'s kernel stack."""
+        self._check_thread(thread)
+        return self.regions.stacks_base + thread * self.regions.stack_size
+
+    def stack_range(self, thread: int) -> range:
+        """The thread's kernel stack range, computed by ESP-style masking.
+
+        Mirrors ``[ESP & ~(STACK_SIZE-1), (ESP & ~(STACK_SIZE-1)) +
+        STACK_SIZE)`` from the paper: any stack pointer inside the region
+        masks down to the aligned base.
+        """
+        esp = self.stack_base(thread) + self.regions.stack_size // 2
+        base = esp & ~(self.regions.stack_size - 1)
+        return range(base, base + self.regions.stack_size)
+
+    def in_stack(self, thread: int, addr: int, size: int = 1) -> bool:
+        """True when ``[addr, addr+size)`` lies in the thread's stack."""
+        rng = self.stack_range(thread)
+        return addr >= rng.start and addr + size <= rng.stop
+
+    # -- console -----------------------------------------------------------
+
+    def printk(self, message: str) -> None:
+        """Append a line to the kernel console."""
+        self.console.append(message)
+
+    # -- internal ----------------------------------------------------------
+
+    def _check_thread(self, thread: int) -> None:
+        if not 0 <= thread < self.regions.max_threads:
+            raise ValueError(f"thread index {thread} out of range")

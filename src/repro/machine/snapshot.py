@@ -1,0 +1,38 @@
+"""Whole-machine snapshots.
+
+Snowboard profiles every sequential test — and starts every concurrent
+trial — from one fixed post-boot VM snapshot, so that memory layouts
+coincide across executions.  Because the mini-kernel keeps *all* mutable
+state in guest memory (heap objects, allocator metadata, lock words,
+global tables), a snapshot is simply a copy of the mapped pages plus the
+console transcript.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.machine.machine import Machine
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An immutable capture of machine state."""
+
+    pages: Dict[int, bytes]
+    console: tuple
+    label: str = "boot"
+
+    @classmethod
+    def capture(cls, machine: Machine, label: str = "boot") -> "Snapshot":
+        return cls(
+            pages=machine.memory.clone_pages(),
+            console=tuple(machine.console),
+            label=label,
+        )
+
+    def restore(self, machine: Machine) -> None:
+        """Overwrite ``machine`` with this snapshot's state."""
+        machine.memory.restore_pages(self.pages)
+        machine.console[:] = list(self.console)

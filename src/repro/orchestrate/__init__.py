@@ -1,0 +1,26 @@
+"""Pipeline orchestration: the four Snowboard stages end to end.
+
+`Snowboard` (the façade in :mod:`repro.orchestrate.pipeline`) wires
+sequential test generation → profiling → PMC identification → clustered,
+prioritised concurrent execution, and produces campaign statistics in the
+shape of the paper's Tables 2 and 3.
+"""
+
+from repro.orchestrate.pipeline import (
+    ConcurrentTest,
+    Snowboard,
+    SnowboardConfig,
+)
+from repro.orchestrate.queue import Task, WorkQueue, run_workers
+from repro.orchestrate.results import CampaignResult, ObservationRecord
+
+__all__ = [
+    "ConcurrentTest",
+    "Snowboard",
+    "SnowboardConfig",
+    "Task",
+    "WorkQueue",
+    "run_workers",
+    "CampaignResult",
+    "ObservationRecord",
+]

@@ -1,0 +1,167 @@
+"""Persistence: serialise tests, campaign results and repro packages.
+
+A **reproduction package** is the artifact Snowboard hands a developer:
+the two sequential tests, the recorded switch points of the trial that
+exposed the bug, and the expected failure output.  Replaying the package
+on a freshly booted kernel reproduces the bug deterministically
+(section 6: "Snowboard has the benefit of providing a reliable
+environment to replicate bugs once they are found").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.fuzz.prog import Call, Program, Res
+from repro.sched.executor import ExecutionResult, Executor
+
+
+# -- program (de)serialisation --------------------------------------------------
+
+
+def program_to_obj(program: Program) -> List[Dict]:
+    """A JSON-ready representation of a program."""
+    calls = []
+    for call in program.calls:
+        args = []
+        for arg in call.args:
+            if isinstance(arg, Res):
+                args.append({"res": arg.index})
+            else:
+                args.append(int(arg))
+        calls.append({"name": call.name, "args": args})
+    return calls
+
+
+def program_from_obj(obj: List[Dict]) -> Program:
+    """Rebuild a program from :func:`program_to_obj` output."""
+    calls = []
+    for call in obj:
+        args = []
+        for arg in call["args"]:
+            if isinstance(arg, dict) and "res" in arg:
+                args.append(Res(int(arg["res"])))
+            else:
+                args.append(int(arg))
+        calls.append(Call(call["name"], tuple(args)))
+    return Program(tuple(calls))
+
+
+# -- reproduction packages --------------------------------------------------------
+
+
+@dataclass
+class ReproPackage:
+    """A deterministic bug reproduction: tests + schedule + expectation."""
+
+    bug_id: str
+    writer: Program
+    reader: Program
+    switch_points: List[int]
+    expected_console: List[str] = field(default_factory=list)
+    expected_panic: str = ""
+    description: str = ""
+
+    def to_json(self) -> str:
+        from repro.fuzz.text import format_program
+
+        return json.dumps(
+            {
+                "bug_id": self.bug_id,
+                "writer": program_to_obj(self.writer),
+                "reader": program_to_obj(self.reader),
+                # Informational syz-repro-style text (ignored on load).
+                "writer_text": format_program(self.writer),
+                "reader_text": format_program(self.reader),
+                "switch_points": list(self.switch_points),
+                "expected_console": list(self.expected_console),
+                "expected_panic": self.expected_panic,
+                "description": self.description,
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReproPackage":
+        obj = json.loads(text)
+        return cls(
+            bug_id=obj["bug_id"],
+            writer=program_from_obj(obj["writer"]),
+            reader=program_from_obj(obj["reader"]),
+            switch_points=[int(x) for x in obj["switch_points"]],
+            expected_console=list(obj.get("expected_console", [])),
+            expected_panic=obj.get("expected_panic", ""),
+            description=obj.get("description", ""),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "ReproPackage":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def render_report(self) -> str:
+        """A human-readable bug report, the shape one files upstream."""
+        from repro.detect.catalog import spec_by_id
+        from repro.fuzz.text import format_program
+
+        try:
+            spec = spec_by_id(self.bug_id)
+            headline = f"{self.bug_id} [{spec.bug_type}/{spec.triage.value}]: {spec.summary}"
+        except KeyError:
+            headline = f"{self.bug_id}: {self.description or 'uncatalogued observation'}"
+        lines = [headline, ""]
+        if self.expected_panic:
+            lines += ["Crash:", f"  {self.expected_panic}", ""]
+        elif self.expected_console:
+            lines += ["Console:"] + [f"  {l}" for l in self.expected_console] + [""]
+        lines += ["Reproducer (process A):"]
+        lines += [f"  {l}" for l in format_program(self.writer).splitlines()]
+        lines += ["Reproducer (process B):"]
+        lines += [f"  {l}" for l in format_program(self.reader).splitlines()]
+        lines += [
+            "",
+            f"Deterministic schedule: switch vCPUs after instructions "
+            f"{self.switch_points}",
+        ]
+        return "\n".join(lines)
+
+
+def capture_package(
+    bug_id: str,
+    writer: Program,
+    reader: Program,
+    result: ExecutionResult,
+    description: str = "",
+) -> ReproPackage:
+    """Build a package from the trial that exposed the bug."""
+    return ReproPackage(
+        bug_id=bug_id,
+        writer=writer,
+        reader=reader,
+        switch_points=list(result.switch_points),
+        expected_console=list(result.console),
+        expected_panic=result.panic_message,
+        description=description,
+    )
+
+
+def reproduce(executor: Executor, package: ReproPackage) -> ExecutionResult:
+    """Replay a package; raises if the bug does not reproduce."""
+    result = executor.run_concurrent(
+        [package.writer, package.reader],
+        replay_switch_points=package.switch_points,
+    )
+    if package.expected_panic and result.panic_message != package.expected_panic:
+        raise AssertionError(
+            f"replay diverged: expected panic {package.expected_panic!r}, "
+            f"got {result.panic_message!r}"
+        )
+    if package.expected_console and result.console != package.expected_console:
+        raise AssertionError("replay diverged: console transcript differs")
+    return result

@@ -1,0 +1,348 @@
+"""The Snowboard pipeline façade (Figure 2 of the paper).
+
+Stage 1 — sequential test generation & profiling: build a coverage-
+distilled corpus with the fuzzer and profile every kept test from the
+fixed boot snapshot.
+
+Stage 2 — PMC identification: Algorithm 1 over all profiles.
+
+Stage 3 — PMC selection: cluster under a Table 1 strategy, order
+clusters uncommon-first, draw exemplars.
+
+Stage 4 — concurrent test execution: for each exemplar PMC, pick one
+(writer, reader) test pair at random, and explore interleavings with the
+PMC as scheduling hint (Algorithm 2), running the bug oracles on every
+trial.
+
+The baselines of Table 3 (Random pairing, Duplicate pairing, Random
+S-INS-PAIR) are exposed through the same interface.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.detect.datarace import RaceDetector
+from repro.detect.report import observe
+from repro.fuzz.corpus import Corpus, build_corpus
+from repro.fuzz.prog import Program
+from repro.kernel.kernel import boot_kernel
+from repro.pmc.clustering import STRATEGIES_BY_NAME, ClusteringStrategy
+from repro.pmc.identify import PmcSet, identify_pmcs
+from repro.pmc.model import PMC
+from repro.pmc.selection import cluster_pmcs, ordered_exemplars
+from repro.profile.profiler import TestProfile, profile_corpus
+from repro.orchestrate.results import CampaignResult
+from repro.sched.executor import Executor
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.ski import SkiScheduler
+from repro.sched.snowboard import SnowboardScheduler, channel_exercised
+
+# Table 3 row names for the non-clustering generation methods.
+RANDOM_PAIRING = "Random pairing"
+DUPLICATE_PAIRING = "Duplicate pairing"
+RANDOM_S_INS_PAIR = "Random S-INS-PAIR"
+
+
+def derive_initial_state(kernel, snapshot, setup_program: Program):
+    """Run a setup program from a snapshot and capture the new state.
+
+    Section 4.1: test-specific kernel configuration belongs to the tests
+    themselves, but Snowboard "can grow the number of initial kernel
+    states it utilizes to increase diversity" — this helper produces such
+    an additional fixed initial state.
+    """
+    from repro.machine.snapshot import Snapshot
+
+    executor = Executor(kernel, snapshot)
+    result = executor.run_sequential(setup_program)
+    if not result.completed:
+        raise ValueError(
+            f"setup program failed: panic={result.panic_message!r} "
+            f"deadlock={result.deadlocked} budget={result.budget_exceeded}"
+        )
+    return Snapshot.capture(kernel.machine, label="post-setup")
+
+
+@dataclass(frozen=True)
+class SnowboardConfig:
+    """Pipeline knobs (the paper's values, scaled to simulator size)."""
+
+    seed: int = 0
+    corpus_budget: int = 300  # fuzzer candidate executions
+    trials_per_pmc: int = 24  # paper: at most 64 trials per PMC
+    switch_probability: float = 0.5
+    max_instructions: int = 60_000  # per-trial instruction budget
+    stop_test_on_new_bug: bool = True
+    # Boot the patched-kernel variant (every planted bug repaired): the
+    # regression target demonstrating that campaigns raise no alarms on a
+    # correct kernel.
+    fixed_kernel: bool = False
+    # Optional setup program: executed once after boot, and the resulting
+    # state becomes the fixed initial snapshot.  This is how the pipeline
+    # grows the set of reachable initial kernel states (section 4.1) —
+    # e.g. pre-populating IPC queues or tunnels before fuzzing.
+    setup_program: Optional[Program] = None
+    # Incidental-PMC adoption (Algorithm 2 line 27).  Off by default: on a
+    # mini-kernel the adopted PMCs are dominated by hot allocator metadata,
+    # and the extra switch points defocus the search (see the ablation
+    # benchmark bench_ablation_incidental).
+    adopt_incidental_pmcs: bool = False
+
+
+@dataclass(frozen=True)
+class ConcurrentTest:
+    """A generated concurrent test: two sequential tests + scheduling hint."""
+
+    writer: Program
+    reader: Program
+    writer_test: int
+    reader_test: int
+    pmc: Optional[PMC] = None
+
+    @property
+    def duplicate(self) -> bool:
+        return self.writer_test == self.reader_test
+
+
+class Snowboard:
+    """End-to-end Snowboard instance over the mini-kernel."""
+
+    def __init__(self, config: Optional[SnowboardConfig] = None):
+        self.config = config or SnowboardConfig()
+        self.kernel = None
+        self.snapshot = None
+        self.executor: Optional[Executor] = None
+        self.corpus: Optional[Corpus] = None
+        self.profiles: List[TestProfile] = []
+        self.pmcset: Optional[PmcSet] = None
+        self._pair_index: Optional[Dict[Tuple[int, int], List[PMC]]] = None
+        # First reproduction package captured per catalogued bug id.
+        self.repro_packages: Dict[str, "ReproPackage"] = {}
+
+    # -- stages 1 & 2 -----------------------------------------------------------
+
+    def prepare(self) -> "Snowboard":
+        """Boot, fuzz, profile, identify.  Idempotent."""
+        if self.pmcset is not None:
+            return self
+        self.kernel, self.snapshot = boot_kernel(fixed=self.config.fixed_kernel)
+        if self.config.setup_program is not None:
+            self.snapshot = derive_initial_state(
+                self.kernel, self.snapshot, self.config.setup_program
+            )
+        self.executor = Executor(
+            self.kernel, self.snapshot, max_instructions=self.config.max_instructions
+        )
+        from repro.fuzz.spec import DEFAULT_SEEDS
+
+        self.corpus = build_corpus(
+            self.executor,
+            seed=self.config.seed,
+            budget=self.config.corpus_budget,
+            seeds=DEFAULT_SEEDS,
+        )
+        self.profiles = profile_corpus(self.corpus)
+        self.pmcset = identify_pmcs(self.profiles)
+        return self
+
+    def _program(self, test_id: int) -> Program:
+        return self.corpus.entries[test_id].program
+
+    def _pmcs_for_pair(self, pair: Tuple[int, int]) -> List[PMC]:
+        """All identified PMCs exhibited by this (writer, reader) pair."""
+        if self._pair_index is None:
+            index: Dict[Tuple[int, int], List[PMC]] = {}
+            for pmc, pairs in self.pmcset.pmcs.items():
+                for p in pairs:
+                    index.setdefault(p, []).append(pmc)
+            self._pair_index = index
+        return self._pair_index.get(pair, [])
+
+    # -- stage 3: concurrent test generation ---------------------------------------
+
+    def generate_tests(
+        self,
+        strategy: str = "S-INS-PAIR",
+        limit: Optional[int] = None,
+        random_order: bool = False,
+    ) -> Tuple[List[ConcurrentTest], int]:
+        """Exemplar selection under a strategy.
+
+        Returns (tests in uncommon-first order, number of clusters).
+        """
+        self.prepare()
+        rng = random.Random(self.config.seed ^ 0x5B0A)
+        if strategy in (RANDOM_PAIRING, DUPLICATE_PAIRING):
+            return self._generate_baseline(strategy, limit or 100, rng), 0
+        if strategy == RANDOM_S_INS_PAIR:
+            clustering = STRATEGIES_BY_NAME["S-INS-PAIR"]
+            random_order = True
+        else:
+            clustering = STRATEGIES_BY_NAME[strategy]
+        pmcs = self.pmcset.all_pmcs()
+        nclusters = len(cluster_pmcs(pmcs, clustering))
+        exemplars = ordered_exemplars(
+            pmcs, clustering, rng, random_order=random_order, limit=limit
+        )
+        return self.tests_from_exemplars(exemplars, rng), nclusters
+
+    def tests_from_exemplars(
+        self, exemplars: Sequence[PMC], rng: Optional[random.Random] = None
+    ) -> List[ConcurrentTest]:
+        """Turn an exemplar PMC list (any selection/composition scheme)
+        into concurrent tests, choosing one (writer, reader) pair each."""
+        self.prepare()
+        rng = rng or random.Random(self.config.seed ^ 0x7E57)
+        tests = []
+        for pmc in exemplars:
+            pairs = self.pmcset.pairs(pmc)
+            writer_test, reader_test = rng.choice(pairs)
+            tests.append(
+                ConcurrentTest(
+                    writer=self._program(writer_test),
+                    reader=self._program(reader_test),
+                    writer_test=writer_test,
+                    reader_test=reader_test,
+                    pmc=pmc,
+                )
+            )
+        return tests
+
+    def _generate_baseline(
+        self, strategy: str, count: int, rng: random.Random
+    ) -> List[ConcurrentTest]:
+        tests = []
+        n = len(self.corpus)
+        for _ in range(count):
+            writer_test = rng.randrange(n)
+            reader_test = (
+                writer_test if strategy == DUPLICATE_PAIRING else rng.randrange(n)
+            )
+            tests.append(
+                ConcurrentTest(
+                    writer=self._program(writer_test),
+                    reader=self._program(reader_test),
+                    writer_test=writer_test,
+                    reader_test=reader_test,
+                    pmc=None,
+                )
+            )
+        return tests
+
+    # -- stage 4: concurrent execution ----------------------------------------------
+
+    def make_scheduler(self, test: ConcurrentTest, seed: int, kind: str = "snowboard"):
+        """Build the scheduler for one concurrent test."""
+        if test.pmc is None or kind == "random":
+            return RandomScheduler(seed=seed)
+        if kind == "ski":
+            return SkiScheduler(test.pmc, seed=seed)
+        universe = None
+        if self.config.adopt_incidental_pmcs:
+            universe = self._pmcs_for_pair((test.writer_test, test.reader_test))
+        return SnowboardScheduler(
+            test.pmc,
+            seed=seed,
+            switch_probability=self.config.switch_probability,
+            universe=universe,
+        )
+
+    def execute_test(
+        self,
+        test: ConcurrentTest,
+        campaign: CampaignResult,
+        scheduler_kind: str = "snowboard",
+        trials: Optional[int] = None,
+    ) -> bool:
+        """Run all trials of one concurrent test; True if a new bug surfaced."""
+        trials = trials or self.config.trials_per_pmc
+        scheduler = self.make_scheduler(
+            test, seed=self.config.seed + campaign.tested_pmcs, kind=scheduler_kind
+        )
+        test_index = campaign.tested_pmcs
+        campaign.tested_pmcs += 1
+        exercised = False
+        found_new = False
+        for trial in range(trials):
+            scheduler.begin_trial(trial)
+            detector = RaceDetector()
+            result = self.executor.run_concurrent(
+                [test.writer, test.reader], scheduler=scheduler, race_detector=detector
+            )
+            campaign.trials += 1
+            campaign.instructions += result.instructions
+            if test.pmc is not None and not exercised:
+                exercised = channel_exercised(test.pmc, result.accesses)
+            fresh = campaign.record_observations(
+                observe(result), test_index=test_index, trial=trial
+            )
+            scheduler.end_trial(result)
+            if fresh:
+                found_new = True
+                self._capture_packages(test, result, fresh)
+                if self.config.stop_test_on_new_bug:
+                    break
+        if exercised:
+            campaign.exercised_pmcs += 1
+        return found_new
+
+    def _capture_packages(self, test: ConcurrentTest, result, fresh_records) -> None:
+        """Store one deterministic reproduction package per new bug id."""
+        from repro.orchestrate.persistence import capture_package
+
+        for record in fresh_records:
+            bug_id = record.bug_id
+            if bug_id == "unmatched" or bug_id in self.repro_packages:
+                continue
+            self.repro_packages[bug_id] = capture_package(
+                bug_id,
+                test.writer,
+                test.reader,
+                result,
+                description=str(record.observation),
+            )
+
+    def run_campaign(
+        self,
+        strategy: str = "S-INS-PAIR",
+        test_budget: int = 50,
+        scheduler_kind: str = "snowboard",
+        trials: Optional[int] = None,
+    ) -> CampaignResult:
+        """One full Table 3 campaign: generate, prioritise, execute."""
+        tests, nclusters = self.generate_tests(strategy, limit=test_budget)
+        campaign = CampaignResult(strategy=strategy, exemplar_pmcs=nclusters)
+        for test in tests[:test_budget]:
+            self.execute_test(test, campaign, scheduler_kind=scheduler_kind, trials=trials)
+        return campaign
+
+    def run_iterative_campaign(
+        self,
+        strategies: Sequence[str],
+        test_budget: int = 50,
+        trials: Optional[int] = None,
+    ) -> CampaignResult:
+        """The iterative composition of section 4.3's final paragraph.
+
+        "Choose predicate A, test one exemplar from each A-cluster, then
+        choose predicate B, test one exemplar from each B-cluster
+        excluding those tested before" — applied across the given
+        strategy names under one shared test budget.
+        """
+        from repro.pmc.composition import iterative_exemplars
+
+        self.prepare()
+        rng = random.Random(self.config.seed ^ 0x17E8)
+        clusterings = [STRATEGIES_BY_NAME[name] for name in strategies]
+        chosen = iterative_exemplars(
+            self.pmcset.all_pmcs(), clusterings, rng, limit_per_strategy=test_budget
+        )
+        exemplars = [pmc for _, pmc in chosen][:test_budget]
+        name = " -> ".join(strategies)
+        campaign = CampaignResult(strategy=name, exemplar_pmcs=len(chosen))
+        for test in self.tests_from_exemplars(exemplars, rng):
+            self.execute_test(test, campaign, trials=trials)
+        return campaign

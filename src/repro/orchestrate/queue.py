@@ -1,0 +1,99 @@
+"""A lightweight distributed work queue (the Redis-queue analogue).
+
+The paper distributes concurrent tests to cloud workers through a simple
+queue (section 4.4.1).  This module provides the same topology in
+process: a thread-safe FIFO of tasks, workers that pull and execute
+them, and result collection.  Workers that test kernels must each own a
+private kernel instance — the executor mutates machine state — which is
+why ``run_workers`` takes a worker *factory*.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: an id and an opaque payload."""
+
+    task_id: int
+    payload: Any
+
+
+class WorkQueue:
+    """Thread-safe FIFO with completion tracking."""
+
+    def __init__(self):
+        self._queue: "queue.Queue[Optional[Task]]" = queue.Queue()
+        self._results: Dict[int, Any] = {}
+        self._lock = threading.Lock()
+        self._enqueued = 0
+
+    def put(self, payload: Any) -> int:
+        """Enqueue a payload; returns its task id."""
+        with self._lock:
+            task_id = self._enqueued
+            self._enqueued += 1
+        self._queue.put(Task(task_id, payload))
+        return task_id
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Task]:
+        """Dequeue one task (None means shutdown)."""
+        return self._queue.get(timeout=timeout)
+
+    def complete(self, task: Task, result: Any) -> None:
+        with self._lock:
+            self._results[task.task_id] = result
+
+    def shutdown(self, nworkers: int) -> None:
+        """Signal ``nworkers`` workers to exit."""
+        for _ in range(nworkers):
+            self._queue.put(None)
+
+    @property
+    def results(self) -> Dict[int, Any]:
+        with self._lock:
+            return dict(self._results)
+
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+
+def run_workers(
+    work: WorkQueue,
+    worker_factory: Callable[[], Callable[[Any], Any]],
+    nworkers: int = 2,
+) -> Dict[int, Any]:
+    """Run all queued tasks across ``nworkers`` workers; returns results.
+
+    ``worker_factory`` is invoked once per worker to build its private
+    task function (e.g. booting a private kernel), mirroring one
+    Snowboard execution instance per cloud VM.
+    """
+
+    def loop() -> None:
+        execute = worker_factory()
+        while True:
+            task = work.get()
+            if task is None:
+                return
+            try:
+                outcome = execute(task.payload)
+            except Exception as error:  # noqa: BLE001 - workers must survive
+                # A failing task must not kill the worker (and silently
+                # strand the rest of the queue); record the error as the
+                # task's result instead.
+                outcome = error
+            work.complete(task, outcome)
+
+    threads = [threading.Thread(target=loop, daemon=True) for _ in range(nworkers)]
+    work.shutdown(nworkers)  # sentinels queued *after* real tasks: FIFO drains first
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return work.results

@@ -1,0 +1,101 @@
+"""Rendered reports: the paper's tables as text/markdown.
+
+Turns campaign results into the shapes a reader of the paper expects —
+a Table 2-style bug inventory and a Table 3-style strategy comparison —
+in plain text (for terminals and benches) or markdown (for docs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.detect.catalog import BUG_CATALOG, spec_by_id
+from repro.orchestrate.results import CampaignResult
+
+
+def render_table2(
+    found: Mapping[str, Tuple[str, int]],
+    markdown: bool = False,
+) -> str:
+    """Render a Table 2-style inventory.
+
+    ``found`` maps bug id -> (method that found it, tests executed when
+    first found).  Bugs in the catalog but not in ``found`` are listed as
+    missing, mirroring how the paper tracks unconfirmed reports.
+    """
+    header = ["ID", "Paper#", "Type", "Triage", "Subsystem", "Found by", "@test", "Summary"]
+    rows: List[List[str]] = []
+    for spec in BUG_CATALOG:
+        if spec.id in found:
+            method, at = found[spec.id]
+            found_by, at_text = method, str(at)
+        else:
+            found_by, at_text = "-", "-"
+        rows.append(
+            [
+                spec.id,
+                f"#{spec.paper_id}",
+                spec.bug_type,
+                spec.triage.value,
+                spec.subsystem,
+                found_by,
+                at_text,
+                spec.summary,
+            ]
+        )
+    return _render(header, rows, markdown)
+
+
+def render_table3(
+    campaigns: Sequence[CampaignResult],
+    markdown: bool = False,
+) -> str:
+    """Render a Table 3-style strategy comparison."""
+    header = ["Method", "Exemplar PMCs", "Tested", "Trials", "Accuracy", "Issues found (@tests)"]
+    rows = []
+    for campaign in campaigns:
+        bugs = campaign.bugs_found()
+        issues = ", ".join(f"{b} (@{at})" for b, at in sorted(bugs.items())) or "-"
+        rows.append(
+            [
+                campaign.strategy,
+                str(campaign.exemplar_pmcs) if campaign.exemplar_pmcs else "NA",
+                str(campaign.tested_pmcs),
+                str(campaign.trials),
+                f"{campaign.accuracy:.0%}" if campaign.tested_pmcs else "-",
+                issues,
+            ]
+        )
+    return _render(header, rows, markdown)
+
+
+def merge_found(
+    campaigns: Iterable[CampaignResult],
+) -> Dict[str, Tuple[str, int]]:
+    """Merge campaigns into the first-finder map render_table2 expects."""
+    found: Dict[str, Tuple[str, int]] = {}
+    for campaign in campaigns:
+        for bug_id, at in campaign.bugs_found().items():
+            if bug_id not in found or at < found[bug_id][1]:
+                found[bug_id] = (campaign.strategy, at)
+    return found
+
+
+def _render(header: List[str], rows: List[List[str]], markdown: bool) -> str:
+    if markdown:
+        lines = ["| " + " | ".join(header) + " |"]
+        lines.append("|" + "|".join("---" for _ in header) + "|")
+        for row in rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*header)]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(fmt.format(*row))
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Campaign statistics: the raw material of Tables 2 and 3.
+
+A campaign is one strategy run over a test budget.  It records every
+deduplicated bug observation with the position (tests executed so far)
+at which it was first seen — the tests-executed analogue of Table 3's
+"days taken to find".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.detect.catalog import BUG_CATALOG, match_observations
+from repro.detect.report import BugObservation
+
+
+@dataclass
+class ObservationRecord:
+    """First sighting of one deduplicated observation."""
+
+    observation: BugObservation
+    test_index: int  # how many concurrent tests had been executed
+    trial: int  # trial number within that test
+    bug_id: str = "unmatched"
+
+
+@dataclass
+class CampaignResult:
+    """Everything measured during one strategy campaign."""
+
+    strategy: str
+    exemplar_pmcs: int = 0  # number of clusters (selected exemplars)
+    tested_pmcs: int = 0  # concurrent tests actually executed
+    trials: int = 0
+    instructions: int = 0
+    exercised_pmcs: int = 0  # tests whose PMC channel actually occurred
+    records: List[ObservationRecord] = field(default_factory=list)
+    _seen_keys: set = field(default_factory=set, repr=False)
+
+    def record_observations(
+        self, observations: List[BugObservation], test_index: int, trial: int
+    ) -> List[ObservationRecord]:
+        """Dedup and store new observations; returns the fresh ones."""
+        fresh = []
+        for obs in observations:
+            if obs.key in self._seen_keys:
+                continue
+            self._seen_keys.add(obs.key)
+            record = ObservationRecord(obs, test_index, trial)
+            fresh.append(record)
+            self.records.append(record)
+        if fresh:
+            self._match_records()
+        return fresh
+
+    def _match_records(self) -> None:
+        grouped = match_observations([r.observation for r in self.records])
+        assignment: Dict[Tuple, str] = {}
+        for bug_id, obs_list in grouped.items():
+            for obs in obs_list:
+                assignment[obs.key] = bug_id
+        for record in self.records:
+            record.bug_id = assignment.get(record.observation.key, "unmatched")
+
+    # -- summaries -----------------------------------------------------------
+
+    def bugs_found(self) -> Dict[str, int]:
+        """bug id -> tests executed when first found (catalogued bugs only)."""
+        found: Dict[str, int] = {}
+        for record in self.records:
+            if record.bug_id == "unmatched":
+                continue
+            if record.bug_id not in found or record.test_index < found[record.bug_id]:
+                found[record.bug_id] = record.test_index
+        return found
+
+    @property
+    def distinct_bugs(self) -> int:
+        return len(self.bugs_found())
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of tested PMCs whose channel was actually exercised."""
+        if self.tested_pmcs == 0:
+            return 0.0
+        return self.exercised_pmcs / self.tested_pmcs
+
+    def table_row(self) -> str:
+        """One Table 3-style row."""
+        bugs = self.bugs_found()
+        issues = ", ".join(f"{bug_id} (@{at})" for bug_id, at in sorted(bugs.items()))
+        exemplars = str(self.exemplar_pmcs) if self.exemplar_pmcs else "NA"
+        return (
+            f"{self.strategy:<22} {exemplars:>10} {self.tested_pmcs:>12} "
+            f"{issues or '-'}"
+        )
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "exemplar_pmcs": self.exemplar_pmcs,
+            "tested_pmcs": self.tested_pmcs,
+            "trials": self.trials,
+            "instructions": self.instructions,
+            "exercised_pmcs": self.exercised_pmcs,
+            "accuracy": round(self.accuracy, 3),
+            "bugs": self.bugs_found(),
+            "observations": len(self.records),
+        }
+
+
+TABLE3_HEADER = (
+    f"{'Strategy':<22} {'Exemplars':>10} {'Tested':>12} Issues found (@tests executed)"
+)

@@ -1,0 +1,46 @@
+"""Potential memory communication (PMC) analysis — the paper's core.
+
+A PMC is a pair of a write access (from one test's sequential profile)
+and a read access (from another's) whose memory ranges overlap and whose
+values, projected onto the overlap, differ: a data-flow channel that
+*may* occur when the two tests run concurrently (section 2.2).
+
+This package implements Algorithm 1 (identification over an ordered
+nested access index), the eight clustering strategies of Table 1, and
+the uncommon-first exemplar selection of section 4.3.
+"""
+
+from repro.pmc.clustering import (
+    ALL_STRATEGIES,
+    STRATEGIES_BY_NAME,
+    ClusteringStrategy,
+    pmc_features,
+)
+from repro.pmc.composition import (
+    iterative_exemplars,
+    subdivide_clusters,
+    subdivided_exemplars,
+)
+from repro.pmc.identify import PmcSet, identify_pmcs
+from repro.pmc.index import AccessIndex, Overlap
+from repro.pmc.model import PMC, AccessKey
+from repro.pmc.selection import cluster_pmcs, ordered_exemplars, select_exemplars
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "STRATEGIES_BY_NAME",
+    "ClusteringStrategy",
+    "pmc_features",
+    "PmcSet",
+    "identify_pmcs",
+    "AccessIndex",
+    "Overlap",
+    "PMC",
+    "AccessKey",
+    "cluster_pmcs",
+    "ordered_exemplars",
+    "select_exemplars",
+    "iterative_exemplars",
+    "subdivide_clusters",
+    "subdivided_exemplars",
+]

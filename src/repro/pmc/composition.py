@@ -1,0 +1,109 @@
+"""Strategy composition (section 4.3, final paragraph).
+
+Two composition modes the paper describes:
+
+* **Iterative application** — "Choose predicate A, test one exemplar from
+  each A-cluster, then choose predicate B, test one exemplar from each
+  B-cluster excluding those tested before, etc."
+* **Subdivision** — "it is possible to use one strategy to subdivide
+  large clusters produced by another": clusters above a size threshold
+  are re-clustered with a finer strategy, yielding multiple exemplars
+  from behaviours a single coarse cluster would have collapsed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.pmc.clustering import ClusteringStrategy
+from repro.pmc.model import PMC
+from repro.pmc.selection import cluster_pmcs
+
+
+def iterative_exemplars(
+    pmcs: Sequence[PMC],
+    strategies: Sequence[ClusteringStrategy],
+    rng: random.Random,
+    limit_per_strategy: Optional[int] = None,
+) -> List[Tuple[str, PMC]]:
+    """Apply strategies in order, never re-selecting a PMC.
+
+    Returns (strategy name, exemplar) pairs in testing order: all of
+    strategy A's exemplars (uncommon-first), then strategy B's over the
+    remaining PMCs, and so on.
+    """
+    chosen: List[Tuple[str, PMC]] = []
+    taken: Set[PMC] = set()
+    for strategy in strategies:
+        clusters = cluster_pmcs(pmcs, strategy)
+        items = sorted(clusters.items(), key=lambda kv: (len(kv[1]), repr(kv[0])))
+        count = 0
+        for _, members in items:
+            candidates = [p for p in members if p not in taken]
+            if not candidates:
+                continue
+            exemplar = rng.choice(candidates)
+            taken.add(exemplar)
+            chosen.append((strategy.name, exemplar))
+            count += 1
+            if limit_per_strategy is not None and count >= limit_per_strategy:
+                break
+    return chosen
+
+
+def subdivide_clusters(
+    pmcs: Sequence[PMC],
+    outer: ClusteringStrategy,
+    inner: ClusteringStrategy,
+    threshold: int,
+) -> Dict[Tuple, List[PMC]]:
+    """Re-cluster outer clusters larger than ``threshold`` with ``inner``.
+
+    The result maps composite keys to members: small outer clusters keep
+    their key ``("outer", key)``; large ones split into
+    ``("outer+inner", outer_key, inner_key)`` sub-clusters.  PMCs of a
+    large cluster that the inner strategy filters out stay together in a
+    residual ``("outer-rest", key)`` cluster, so nothing is lost.
+    """
+    if threshold < 1:
+        raise ValueError("threshold must be at least 1")
+    out: Dict[Tuple, List[PMC]] = {}
+    for key, members in cluster_pmcs(pmcs, outer).items():
+        if len(members) <= threshold:
+            out[("outer", key)] = list(members)
+            continue
+        subdivided = cluster_pmcs(members, inner)
+        placed: Set[int] = set()
+        for inner_key, inner_members in subdivided.items():
+            out[("outer+inner", key, inner_key)] = list(inner_members)
+            placed.update(id(p) for p in inner_members)
+        rest = [p for p in members if id(p) not in placed]
+        if rest:
+            out[("outer-rest", key)] = rest
+    return out
+
+
+def subdivided_exemplars(
+    pmcs: Sequence[PMC],
+    outer: ClusteringStrategy,
+    inner: ClusteringStrategy,
+    threshold: int,
+    rng: random.Random,
+    limit: Optional[int] = None,
+) -> List[PMC]:
+    """Uncommon-first exemplars over the subdivided cluster map."""
+    clusters = subdivide_clusters(pmcs, outer, inner, threshold)
+    items = sorted(clusters.items(), key=lambda kv: (len(kv[1]), repr(kv[0])))
+    chosen: List[PMC] = []
+    taken: Set[PMC] = set()
+    for _, members in items:
+        candidates = [p for p in members if p not in taken]
+        if not candidates:
+            continue
+        exemplar = rng.choice(candidates)
+        taken.add(exemplar)
+        chosen.append(exemplar)
+        if limit is not None and len(chosen) >= limit:
+            break
+    return chosen

@@ -1,0 +1,78 @@
+"""PMC identification — Algorithm 1 of the paper.
+
+Index every profiled shared access of every sequential test, scan the
+read/write overlaps, project both values onto the overlap window, and
+classify pairs with differing projected values as PMCs.  Each PMC maps
+to the (writer test, reader test) pairs that exhibit it — the raw
+material for concurrent test generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.machine.accesses import project_value
+from repro.pmc.index import AccessIndex
+from repro.pmc.model import PMC, AccessKey
+from repro.profile.profiler import TestProfile
+
+
+@dataclass
+class PmcSet:
+    """The identified PMCs and the tests exhibiting each (the ``C`` map)."""
+
+    pmcs: Dict[PMC, List[Tuple[int, int]]] = field(default_factory=dict)
+    overlaps_scanned: int = 0
+    profiles: Sequence[TestProfile] = ()
+
+    def __len__(self) -> int:
+        return len(self.pmcs)
+
+    def __iter__(self):
+        return iter(self.pmcs)
+
+    def pairs(self, pmc: PMC) -> List[Tuple[int, int]]:
+        """(writer test id, reader test id) pairs exhibiting ``pmc``."""
+        return self.pmcs[pmc]
+
+    def all_pmcs(self) -> List[PMC]:
+        return list(self.pmcs)
+
+    def profile_by_id(self, test_id: int) -> TestProfile:
+        for profile in self.profiles:
+            if profile.test_id == test_id:
+                return profile
+        raise KeyError(test_id)
+
+
+def identify_pmcs(profiles: Sequence[TestProfile]) -> PmcSet:
+    """Algorithm 1: index all tests, scan overlaps, classify PMCs."""
+    index = AccessIndex()
+    for profile in profiles:
+        index.insert_profile(profile)
+
+    result = PmcSet(profiles=tuple(profiles))
+    pmcs = result.pmcs
+    seen_pairs: Dict[PMC, Set[Tuple[int, int]]] = {}
+
+    for overlap in index.read_write_overlaps():
+        result.overlaps_scanned += 1
+        read, write = overlap.read, overlap.write
+        read_value = project_value(read.addr, read.size, read.value, overlap.lo, overlap.hi)
+        write_value = project_value(
+            write.addr, write.size, write.value, overlap.lo, overlap.hi
+        )
+        if read_value == write_value:
+            continue
+        pmc = PMC(
+            write=AccessKey.of(write),
+            read=AccessKey.of(read),
+            df_leader=read.df_leader,
+        )
+        pair = (overlap.write_test, overlap.read_test)
+        holders = seen_pairs.setdefault(pmc, set())
+        if pair not in holders:
+            holders.add(pair)
+            pmcs.setdefault(pmc, []).append(pair)
+    return result

@@ -1,0 +1,131 @@
+"""The ordered nested access index of Algorithm 1 (the ``A`` structure).
+
+As in section 4.2.1: the outer index orders accesses by range start
+address; for one start address, a nested index orders them by range
+length; for one range, accesses are indexed by instruction address.
+``read_write_overlaps()`` scans the index and yields every read/write
+pair with intersecting ranges — without the naive quadratic scan over
+all access pairs, because a read only probes the bounded start-address
+window that can still overlap it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.profile.profiler import ProfiledAccess
+
+# The largest access the kernel context can emit (one word-sized chunk).
+MAX_ACCESS_SIZE = 8
+
+
+@dataclass(frozen=True, slots=True)
+class Overlap:
+    """One read/write pair with intersecting memory ranges."""
+
+    write: ProfiledAccess
+    write_test: int
+    read: ProfiledAccess
+    read_test: int
+    lo: int
+    hi: int
+
+
+class _Bucket:
+    """All accesses of one kind sharing a start address.
+
+    Nested ordering: by range length, then instruction address; each
+    (length, ins) slot keeps the distinct values seen and the tests that
+    produced them.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self):
+        # (size, ins) -> {value -> [(access, test_id), ...]}
+        self.entries: Dict[Tuple[int, str], Dict[int, List[Tuple[ProfiledAccess, int]]]] = {}
+
+    def insert(self, access: ProfiledAccess, test_id: int) -> None:
+        slot = self.entries.setdefault((access.size, access.ins), {})
+        slot.setdefault(access.value, []).append((access, test_id))
+
+    def iter_entries(self) -> Iterator[Tuple[ProfiledAccess, int]]:
+        for by_value in self.entries.values():
+            for holders in by_value.values():
+                yield from holders
+
+    def max_size(self) -> int:
+        return max((size for size, _ in self.entries), default=0)
+
+
+class AccessIndex:
+    """Ordered nested index over profiled accesses of one kind per side."""
+
+    def __init__(self):
+        self._writes: Dict[int, _Bucket] = {}
+        self._reads: Dict[int, _Bucket] = {}
+        self._write_starts: List[int] = []
+        self._starts_dirty = False
+
+    # -- construction -------------------------------------------------------
+
+    def insert(self, access: ProfiledAccess, test_id: int) -> None:
+        """Index one profiled access of one test."""
+        side = self._writes if access.is_write else self._reads
+        bucket = side.get(access.addr)
+        if bucket is None:
+            bucket = side[access.addr] = _Bucket()
+            if access.is_write:
+                self._starts_dirty = True
+        bucket.insert(access, test_id)
+
+    def insert_profile(self, profile) -> None:
+        """Index every access of a test profile."""
+        for access in profile.accesses:
+            self.insert(access, profile.test_id)
+
+    # -- the overlap scan ------------------------------------------------------
+
+    def read_write_overlaps(self) -> Iterator[Overlap]:
+        """Yield every read/write pair whose ranges intersect.
+
+        For each read at [a, a+s), candidate writes start in
+        (a - MAX_ACCESS_SIZE, a + s): a bounded window found by bisection
+        over the ordered write start addresses.
+        """
+        self._refresh_starts()
+        starts = self._write_starts
+        for read_start, read_bucket in self._reads.items():
+            for read, read_test in read_bucket.iter_entries():
+                lo_bound = read.addr - MAX_ACCESS_SIZE + 1
+                first = bisect.bisect_left(starts, lo_bound)
+                last = bisect.bisect_left(starts, read.end)
+                for i in range(first, last):
+                    write_bucket = self._writes[starts[i]]
+                    for write, write_test in write_bucket.iter_entries():
+                        lo = max(write.addr, read.addr)
+                        hi = min(write.end, read.end)
+                        if lo < hi:
+                            yield Overlap(
+                                write=write,
+                                write_test=write_test,
+                                read=read,
+                                read_test=read_test,
+                                lo=lo,
+                                hi=hi,
+                            )
+
+    # -- stats -------------------------------------------------------------------
+
+    def counts(self) -> Tuple[int, int]:
+        """(number of indexed writes, number of indexed reads)."""
+        writes = sum(1 for b in self._writes.values() for _ in b.iter_entries())
+        reads = sum(1 for b in self._reads.values() for _ in b.iter_entries())
+        return writes, reads
+
+    def _refresh_starts(self) -> None:
+        if self._starts_dirty or len(self._write_starts) != len(self._writes):
+            self._write_starts = sorted(self._writes)
+            self._starts_dirty = False

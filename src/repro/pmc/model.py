@@ -1,0 +1,60 @@
+"""PMC data model.
+
+A PMC's identity follows Algorithm 1: the read key and the write key,
+each a (memory range, instruction address, value) triple.  The
+``df_leader`` flag carries the double-fetch annotation from profiling
+into the S-CH-DOUBLE clustering filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.profile.profiler import ProfiledAccess
+
+
+@dataclass(frozen=True, slots=True)
+class AccessKey:
+    """One side of a PMC: (mem range, instruction, value)."""
+
+    addr: int
+    size: int
+    ins: str
+    value: int
+
+    @classmethod
+    def of(cls, access: ProfiledAccess) -> "AccessKey":
+        return cls(addr=access.addr, size=access.size, ins=access.ins, value=access.value)
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+
+@dataclass(frozen=True, slots=True)
+class PMC:
+    """A potential memory communication: write key + read key."""
+
+    write: AccessKey
+    read: AccessKey
+    df_leader: bool = False
+
+    @property
+    def overlap(self) -> Tuple[int, int]:
+        """The common byte window [lo, hi) of the two ranges."""
+        lo = max(self.write.addr, self.read.addr)
+        hi = min(self.write.end, self.read.end)
+        return (lo, hi)
+
+    @property
+    def unaligned(self) -> bool:
+        """True when the two ranges are not identical (S-CH-UNALIGNED)."""
+        return self.write.addr != self.read.addr or self.write.size != self.read.size
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PMC(W {self.write.ins} [{self.write.addr:#x}+{self.write.size}]="
+            f"{self.write.value:#x} -> R {self.read.ins} "
+            f"[{self.read.addr:#x}+{self.read.size}]={self.read.value:#x})"
+        )

@@ -1,0 +1,86 @@
+"""PMC selection: clustering, uncommon-first ordering, exemplar draws.
+
+Section 4.3: cluster all PMCs under a strategy, count cluster
+cardinalities, and test one randomly drawn exemplar per cluster from the
+*least* to the *most* populous cluster — uncommon communication first.
+``Random S-INS-PAIR`` (Table 3) keeps the per-cluster exemplar draw but
+randomises the cluster order instead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.pmc.clustering import ClusteringStrategy
+from repro.pmc.model import PMC
+
+
+def cluster_pmcs(
+    pmcs: Sequence[PMC], strategy: ClusteringStrategy
+) -> Dict[Tuple, List[PMC]]:
+    """Group PMCs by the strategy's cluster key(s), applying its filter."""
+    clusters: Dict[Tuple, List[PMC]] = {}
+    for pmc in pmcs:
+        for key in strategy.cluster_keys(pmc):
+            clusters.setdefault(key, []).append(pmc)
+    return clusters
+
+
+def ordered_exemplars(
+    pmcs: Sequence[PMC],
+    strategy: ClusteringStrategy,
+    rng: random.Random,
+    random_order: bool = False,
+    limit: Optional[int] = None,
+) -> List[PMC]:
+    """One exemplar per cluster, uncommon (smallest) clusters first.
+
+    With ``random_order`` the cluster order is shuffled instead (the
+    Random S-INS-PAIR baseline).  A PMC already chosen as another
+    cluster's exemplar is skipped, so the result has no duplicates (this
+    matters for S-INS, where every PMC sits in two clusters).
+    """
+    clusters = cluster_pmcs(pmcs, strategy)
+    items = list(clusters.items())
+    if random_order:
+        # Stable order first so the shuffle is reproducible from the seed.
+        items.sort(key=lambda kv: repr(kv[0]))
+        rng.shuffle(items)
+    else:
+        items.sort(key=lambda kv: (len(kv[1]), repr(kv[0])))
+
+    chosen: List[PMC] = []
+    taken = set()
+    for _, members in items:
+        candidates = [p for p in members if p not in taken]
+        if not candidates:
+            continue
+        exemplar = rng.choice(candidates)
+        taken.add(exemplar)
+        chosen.append(exemplar)
+        if limit is not None and len(chosen) >= limit:
+            break
+    return chosen
+
+
+def select_exemplars(
+    pmcs: Sequence[PMC],
+    strategy: ClusteringStrategy,
+    seed: int = 0,
+    random_order: bool = False,
+    limit: Optional[int] = None,
+) -> List[PMC]:
+    """Convenience wrapper seeding its own RNG."""
+    return ordered_exemplars(
+        pmcs, strategy, random.Random(seed), random_order=random_order, limit=limit
+    )
+
+
+def cluster_stats(
+    pmcs: Sequence[PMC], strategy: ClusteringStrategy
+) -> Tuple[int, int]:
+    """(number of clusters == exemplar PMCs, number of clustered PMCs)."""
+    clusters = cluster_pmcs(pmcs, strategy)
+    members = sum(len(v) for v in clusters.values())
+    return len(clusters), members

@@ -1,0 +1,11 @@
+"""Sequential test profiling (section 4.1 of the paper).
+
+Runs each sequential test alone from the fixed boot snapshot and distills
+its memory trace into the shared-memory access set used for PMC
+identification: stack accesses pruned (ESP-filter analogue), duplicate
+accesses collapsed, and double-fetch leaders annotated.
+"""
+
+from repro.profile.profiler import ProfiledAccess, Profiler, TestProfile, profile_corpus
+
+__all__ = ["ProfiledAccess", "Profiler", "TestProfile", "profile_corpus"]

@@ -1,0 +1,148 @@
+"""Shared-memory access profiling of sequential tests.
+
+For every test the profiler records the *unique* shared (non-stack)
+memory accesses — (type, range, value, instruction) tuples — and marks
+double-fetch leaders: the first of two reads by different instructions
+that fetch the same region with equal values and no intervening write
+(the ``df_leader`` feature of section 4.3, consumed by S-CH-DOUBLE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.prog import Program
+from repro.machine.accesses import AccessType, MemoryAccess
+from repro.sched.executor import ExecutionResult, Executor
+
+
+@dataclass(frozen=True, slots=True)
+class ProfiledAccess:
+    """One unique shared access of a test's sequential profile."""
+
+    type: AccessType
+    addr: int
+    size: int
+    value: int
+    ins: str
+    df_leader: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    @property
+    def is_write(self) -> bool:
+        return self.type is AccessType.WRITE
+
+    def key(self) -> Tuple:
+        """Identity without the df_leader annotation."""
+        return (self.type, self.addr, self.size, self.value, self.ins)
+
+
+@dataclass(frozen=True)
+class TestProfile:
+    """The distilled profile of one sequential test."""
+
+    __test__ = False  # starts with "Test" but is not a pytest class
+
+    test_id: int
+    program: Program
+    accesses: Tuple[ProfiledAccess, ...]
+    instructions: int
+
+    @property
+    def writes(self) -> Tuple[ProfiledAccess, ...]:
+        return tuple(a for a in self.accesses if a.is_write)
+
+    @property
+    def reads(self) -> Tuple[ProfiledAccess, ...]:
+        return tuple(a for a in self.accesses if not a.is_write)
+
+
+def _find_df_leaders(accesses: Sequence[MemoryAccess]) -> Set[Tuple]:
+    """Keys of read accesses that lead a double fetch.
+
+    A read leads a double fetch when a later read by a *different*
+    instruction covers the same range, returns the same value, and no
+    write touched any byte of the range in between.
+    """
+    leaders: Set[Tuple] = set()
+    # Per exact range: the previous read (ins, value, access key).
+    last_read: Dict[Tuple[int, int], Tuple[str, int, Tuple]] = {}
+    dirty: Set[int] = set()  # bytes written since each range's last read
+
+    for access in accesses:
+        if access.is_stack:
+            continue
+        span = (access.addr, access.size)
+        if access.is_write:
+            dirty.update(range(access.addr, access.end))
+            continue
+        prev = last_read.get(span)
+        if prev is not None:
+            prev_ins, prev_value, prev_key = prev
+            untouched = not any(b in dirty for b in range(access.addr, access.end))
+            if prev_ins != access.ins and prev_value == access.value and untouched:
+                leaders.add(prev_key)
+        key = (AccessType.READ, access.addr, access.size, access.value, access.ins)
+        last_read[span] = (access.ins, access.value, key)
+        for byte in range(access.addr, access.end):
+            dirty.discard(byte)
+    return leaders
+
+
+def profile_from_result(
+    test_id: int, program: Program, result: ExecutionResult
+) -> TestProfile:
+    """Distill an execution result into a test profile."""
+    shared = result.shared_accesses(thread=0)
+    leaders = _find_df_leaders(result.accesses)
+    unique: Dict[Tuple, ProfiledAccess] = {}
+    for access in shared:
+        key = (access.type, access.addr, access.size, access.value, access.ins)
+        if key not in unique:
+            unique[key] = ProfiledAccess(
+                type=access.type,
+                addr=access.addr,
+                size=access.size,
+                value=access.value,
+                ins=access.ins,
+                df_leader=key in leaders,
+            )
+    return TestProfile(
+        test_id=test_id,
+        program=program,
+        accesses=tuple(unique.values()),
+        instructions=result.instructions,
+    )
+
+
+class Profiler:
+    """Profiles sequential tests from the fixed snapshot."""
+
+    def __init__(self, executor: Executor):
+        self.executor = executor
+
+    def profile(self, test_id: int, program: Program) -> TestProfile:
+        """Run one test alone and distill its profile."""
+        result = self.executor.run_sequential(program)
+        return profile_from_result(test_id, program, result)
+
+
+def profile_corpus(corpus: Corpus, executor: Optional[Executor] = None) -> List[TestProfile]:
+    """Profile every corpus entry.
+
+    Corpus entries already carry their sequential execution results, so
+    no re-execution is needed unless an executor is passed explicitly.
+    """
+    profiles = []
+    for entry in corpus:
+        if executor is not None:
+            result = executor.run_sequential(entry.program)
+        else:
+            result = entry.result
+        profiles.append(profile_from_result(entry.test_id, entry.program, result))
+    return profiles

@@ -1,0 +1,115 @@
+"""Trace analysis utilities.
+
+Helpers for understanding what a profile or execution touched: hot
+addresses, per-subsystem access breakdowns, and shared-object summaries.
+These power the inspection example and are what a developer uses when
+deciding which PMC clusters deserve attention.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.machine.accesses import MemoryAccess
+from repro.profile.profiler import ProfiledAccess, TestProfile
+
+
+def subsystem_of(ins: str) -> str:
+    """The kernel subsystem an instruction address belongs to (its file)."""
+    return ins.split(":", 1)[0].removesuffix(".py")
+
+
+def access_breakdown(
+    accesses: Iterable[MemoryAccess],
+) -> Dict[str, Tuple[int, int]]:
+    """Per-subsystem (reads, writes) counts over a trace."""
+    reads: Counter = Counter()
+    writes: Counter = Counter()
+    for access in accesses:
+        subsystem = subsystem_of(access.ins)
+        if access.is_write:
+            writes[subsystem] += 1
+        else:
+            reads[subsystem] += 1
+    out = {}
+    for subsystem in sorted(set(reads) | set(writes)):
+        out[subsystem] = (reads[subsystem], writes[subsystem])
+    return out
+
+
+def hot_addresses(
+    accesses: Iterable[MemoryAccess], top: int = 10
+) -> List[Tuple[int, int]]:
+    """The ``top`` most accessed addresses as (addr, count)."""
+    counts: Counter = Counter()
+    for access in accesses:
+        counts[access.addr] += 1
+    return counts.most_common(top)
+
+
+@dataclass(frozen=True)
+class SharedObject:
+    """A contiguous run of shared accesses: one kernel object's footprint."""
+
+    start: int
+    end: int
+    readers: int
+    writers: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+def shared_objects(
+    profiles: Sequence[TestProfile], gap: int = 8
+) -> List[SharedObject]:
+    """Coalesce profiled access ranges into object-like regions.
+
+    Ranges closer than ``gap`` bytes merge — a cheap reconstruction of
+    "which kernel objects do tests communicate through", the intuition
+    behind the S-MEM clustering strategy.
+    """
+    spans: List[Tuple[int, int, bool]] = []
+    for profile in profiles:
+        for access in profile.accesses:
+            spans.append((access.addr, access.end, access.is_write))
+    spans.sort()
+    objects: List[SharedObject] = []
+    current: Optional[List] = None  # [start, end, readers, writers]
+    for start, end, is_write in spans:
+        if current is not None and start <= current[1] + gap:
+            current[1] = max(current[1], end)
+            current[2] += 0 if is_write else 1
+            current[3] += 1 if is_write else 0
+        else:
+            if current is not None:
+                objects.append(
+                    SharedObject(current[0], current[1], current[2], current[3])
+                )
+            current = [start, end, 0 if is_write else 1, 1 if is_write else 0]
+    if current is not None:
+        objects.append(SharedObject(current[0], current[1], current[2], current[3]))
+    return objects
+
+
+def communication_matrix(
+    profiles: Sequence[TestProfile],
+) -> Dict[Tuple[str, str], int]:
+    """How many (writer subsystem, reader subsystem) range overlaps exist.
+
+    A coarse, human-readable view of the inter-subsystem communication
+    structure the PMC analysis explores at byte granularity.
+    """
+    from repro.pmc.index import AccessIndex
+
+    index = AccessIndex()
+    for profile in profiles:
+        index.insert_profile(profile)
+    matrix: Counter = Counter()
+    for overlap in index.read_write_overlaps():
+        key = (subsystem_of(overlap.write.ins), subsystem_of(overlap.read.ins))
+        matrix[key] += 1
+    return dict(matrix)

@@ -1,0 +1,29 @@
+"""Concurrent test execution: the hypervisor/scheduler stand-in.
+
+The executor runs one or two kernel test threads with full instruction-
+granular control (only one vCPU executes at a time, as in SKI), restores
+the fixed VM snapshot before every trial, and reports every traced
+access to a pluggable scheduler.  Schedulers implement the exploration
+policies compared in the paper: Snowboard's PMC-hinted Algorithm 2, the
+SKI baseline, and random preemption.
+"""
+
+from repro.sched.executor import ExecutionResult, Executor, run_program
+from repro.sched.liveness import LivenessMonitor
+from repro.sched.minimize import default_panic_oracle, minimize_schedule, still_fails
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.ski import SkiScheduler
+from repro.sched.snowboard import SnowboardScheduler
+
+__all__ = [
+    "ExecutionResult",
+    "Executor",
+    "run_program",
+    "LivenessMonitor",
+    "default_panic_oracle",
+    "minimize_schedule",
+    "still_fails",
+    "RandomScheduler",
+    "SkiScheduler",
+    "SnowboardScheduler",
+]

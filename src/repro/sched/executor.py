@@ -1,0 +1,374 @@
+"""The serialised two-vCPU executor.
+
+This is the reproduction's hypervisor: it restores the fixed VM snapshot,
+runs one or two test programs as kernel threads, performs every yielded
+kernel op against the machine, traces all memory accesses, feeds
+synchronisation events to the race detector, consults the scheduler
+after every instruction, and applies the liveness heuristics.  Only one
+vCPU executes at any time, exactly like SKI's controlled schedule
+enforcement (section 4.4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from repro.fuzz.prog import Program, resolve_arg
+from repro.kernel.context import KernelContext
+from repro.kernel.kernel import Kernel
+from repro.kernel.ops import CasOp, MemOp, PanicOp, PauseOp, PrintkOp, SyncOp
+from repro.machine.accesses import AccessType, MemoryAccess
+from repro.machine.memory import PageFault
+from repro.machine.snapshot import Snapshot
+from repro.sched.liveness import LivenessMonitor
+
+DEFAULT_MAX_INSTRUCTIONS = 200_000
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observed during one execution (trial)."""
+
+    accesses: List[MemoryAccess] = dc_field(default_factory=list)
+    console: List[str] = dc_field(default_factory=list)
+    returns: List[List[int]] = dc_field(default_factory=list)
+    panicked: bool = False
+    panic_message: str = ""
+    deadlocked: bool = False
+    budget_exceeded: bool = False
+    instructions: int = 0
+    switches: int = 0
+    races: List = dc_field(default_factory=list)
+    # Instruction indexes at which a vCPU switch occurred (scheduler- or
+    # liveness-driven).  Feeding these back via ``replay_switch_points``
+    # reproduces the execution bit for bit — the deterministic bug
+    # reproduction capability of section 6.
+    switch_points: List[int] = dc_field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        """True when the trial ran to the end without a fatal event."""
+        return not (self.panicked or self.deadlocked or self.budget_exceeded)
+
+    def shared_accesses(self, thread: Optional[int] = None) -> List[MemoryAccess]:
+        """Non-stack accesses (optionally restricted to one thread)."""
+        return [
+            a
+            for a in self.accesses
+            if not a.is_stack and (thread is None or a.thread == thread)
+        ]
+
+
+def run_program(kernel: Kernel, ctx: KernelContext, program: Program) -> Generator:
+    """Kernel-thread coroutine: run all calls of one test program."""
+    results: List[int] = []
+    for call in program.calls:
+        ctx.reset_stack()
+        args = tuple(resolve_arg(arg, results) for arg in call.args)
+        ret = yield from kernel.run_syscall(ctx, call.name, args)
+        results.append(ret)
+    return results
+
+
+class _Thread:
+    """Executor-internal per-vCPU state."""
+
+    __slots__ = ("index", "gen", "ctx", "pending", "done", "returns", "rcu_depth")
+
+    def __init__(self, index: int, gen: Generator, ctx: KernelContext):
+        self.index = index
+        self.gen = gen
+        self.ctx = ctx
+        self.pending = None  # value to send into the generator next
+        self.done = False
+        self.returns: List[int] = []
+        self.rcu_depth = 0
+
+
+class Executor:
+    """Runs sequential or concurrent tests from a fixed snapshot."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        snapshot: Snapshot,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    ):
+        self.kernel = kernel
+        self.snapshot = snapshot
+        self.max_instructions = max_instructions
+
+    # -- public entry points ---------------------------------------------------
+
+    def run_sequential(self, program: Program, proc: int = 0) -> ExecutionResult:
+        """Run one program alone from the snapshot (profiling mode)."""
+        return self._run([program], scheduler=None, procs=[proc])
+
+    def run_concurrent(
+        self,
+        programs: Sequence[Program],
+        scheduler=None,
+        race_detector=None,
+        replay_switch_points: Optional[Sequence[int]] = None,
+    ) -> ExecutionResult:
+        """Run two (or more) programs as concurrent kernel threads.
+
+        With ``replay_switch_points`` (the ``switch_points`` of a prior
+        result) the schedule is replayed exactly: the scheduler and the
+        liveness heuristics are bypassed and switches happen at precisely
+        the recorded instruction indexes, reproducing the execution.
+        """
+        max_procs = len(self.kernel.procs)
+        if not 2 <= len(programs) <= max_procs:
+            raise ValueError(
+                f"concurrent execution takes 2..{max_procs} programs"
+            )
+        return self._run(
+            list(programs),
+            scheduler=scheduler,
+            procs=list(range(len(programs))),
+            race_detector=race_detector,
+            replay_switch_points=replay_switch_points,
+        )
+
+    # -- the interpreter loop ----------------------------------------------------
+
+    def _run(
+        self,
+        programs: List[Program],
+        scheduler,
+        procs: List[int],
+        race_detector=None,
+        replay_switch_points: Optional[Sequence[int]] = None,
+    ) -> ExecutionResult:
+        replay = set(replay_switch_points) if replay_switch_points is not None else None
+        self.snapshot.restore(self.kernel.machine)
+        machine = self.kernel.machine
+        console_start = len(machine.console)
+        result = ExecutionResult()
+
+        threads: List[_Thread] = []
+        for i, program in enumerate(programs):
+            ctx = self.kernel.make_context(thread=i, proc_index=procs[i])
+            gen = run_program(self.kernel, ctx, program)
+            threads.append(_Thread(i, gen, ctx))
+
+        liveness = LivenessMonitor(len(threads))
+        # Sticky low-liveness marks: set while a thread looks stuck, cleared
+        # as soon as its recent behaviour diversifies again.  When every
+        # runnable thread is sticky-stuck at once, nothing can make
+        # progress: dead-/livelock.
+        sticky_stuck = [False] * len(threads)
+        current = 0
+        seq = 0
+
+        while True:
+            runnable = [t for t in threads if not t.done]
+            if not runnable:
+                break
+            if result.instructions >= self.max_instructions:
+                result.budget_exceeded = True
+                break
+
+            thread = threads[current]
+            if thread.done:
+                current = self._other(current, threads)
+                continue
+
+            # Advance the coroutine by one instruction.  A fresh generator
+            # accepts send(None), so no special start-up case is needed.
+            try:
+                op = thread.gen.send(thread.pending)
+            except StopIteration as stop:
+                thread.done = True
+                thread.returns = stop.value or []
+                liveness.note_progress(thread.index)
+                current = self._other(current, threads)
+                continue
+
+            thread.pending = None
+            result.instructions += 1
+            switch = False
+
+            if isinstance(op, MemOp):
+                switch = self._do_mem(
+                    thread, op, seq, result, liveness, scheduler, race_detector
+                )
+                seq += 1
+            elif isinstance(op, CasOp):
+                switch = self._do_cas(
+                    thread, op, seq, result, liveness, scheduler, race_detector
+                )
+                seq += 2
+            elif isinstance(op, SyncOp):
+                self._do_sync(thread, threads, op, race_detector)
+            elif isinstance(op, PrintkOp):
+                machine.printk(op.message)
+            elif isinstance(op, PanicOp):
+                self._panic(op.message, result)
+                break
+            elif isinstance(op, PauseOp):
+                liveness.note_pause(thread.index)
+                switch = True
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown kernel op {op!r}")
+
+            if result.panicked:
+                break
+
+            if replay is not None:
+                # Replay mode: the recorded switch points fully determine
+                # the schedule; scheduler and liveness are bypassed.
+                switch = result.instructions in replay
+            elif liveness.is_stuck(thread.index):
+                # Liveness: force a switch away from a stuck thread; when
+                # every runnable thread is sticky-stuck, the system is
+                # dead(/live)locked.  The mark stays set while the thread
+                # keeps spinning (windows are not reset, so evidence
+                # accumulates).
+                sticky_stuck[thread.index] = True
+                others = [t for t in threads if not t.done and t.index != current]
+                if others and all(sticky_stuck[t.index] for t in others):
+                    result.deadlocked = True
+                    break
+                switch = True
+            else:
+                sticky_stuck[thread.index] = False
+
+            if switch and len(threads) > 1:
+                new = self._other(current, threads)
+                if new != current:
+                    result.switches += 1
+                    result.switch_points.append(result.instructions)
+                    current = new
+
+        result.console = machine.console[console_start:]
+        result.returns = [t.returns for t in threads]
+        if race_detector is not None:
+            result.races = race_detector.reports()
+        return result
+
+    # -- op handlers -----------------------------------------------------------
+
+    def _do_mem(
+        self, thread, op: MemOp, seq, result, liveness, scheduler, race_detector
+    ) -> bool:
+        machine = self.kernel.machine
+        try:
+            if op.type is AccessType.READ:
+                value = machine.memory.read_int(op.addr, op.size)
+            else:
+                machine.memory.write_int(op.addr, op.size, op.value)
+                value = op.value
+        except PageFault as fault:
+            self._page_fault_panic(fault, op.ins, result)
+            return False
+        thread.pending = value if op.type is AccessType.READ else None
+        access = MemoryAccess(
+            seq=seq,
+            thread=thread.index,
+            type=op.type,
+            addr=op.addr,
+            size=op.size,
+            value=value,
+            ins=op.ins,
+            is_stack=machine.in_stack(thread.index, op.addr, op.size),
+        )
+        result.accesses.append(access)
+        liveness.note_access(thread.index, op.ins, op.addr)
+        if race_detector is not None and not access.is_stack:
+            race_detector.on_access(access, atomic=op.atomic)
+        if scheduler is not None:
+            return scheduler.on_access(access)
+        return False
+
+    def _do_cas(
+        self, thread, op: CasOp, seq, result, liveness, scheduler, race_detector
+    ) -> bool:
+        machine = self.kernel.machine
+        try:
+            old = machine.memory.read_int(op.addr, op.size)
+            swapped = old == op.expected
+            if swapped:
+                machine.memory.write_int(op.addr, op.size, op.new)
+        except PageFault as fault:
+            self._page_fault_panic(fault, op.ins, result)
+            return False
+        thread.pending = old
+        is_stack = machine.in_stack(thread.index, op.addr, op.size)
+        read = MemoryAccess(
+            seq=seq,
+            thread=thread.index,
+            type=AccessType.READ,
+            addr=op.addr,
+            size=op.size,
+            value=old,
+            ins=op.ins,
+            is_stack=is_stack,
+        )
+        result.accesses.append(read)
+        accesses = [read]
+        if swapped:
+            write = MemoryAccess(
+                seq=seq + 1,
+                thread=thread.index,
+                type=AccessType.WRITE,
+                addr=op.addr,
+                size=op.size,
+                value=op.new,
+                ins=op.ins,
+                is_stack=is_stack,
+            )
+            result.accesses.append(write)
+            accesses.append(write)
+        liveness.note_access(thread.index, op.ins, op.addr)
+        switch = False
+        for access in accesses:
+            if race_detector is not None and not is_stack:
+                race_detector.on_access(access, atomic=True)
+            if scheduler is not None:
+                switch = scheduler.on_access(access) or switch
+        return switch
+
+    def _do_sync(self, thread, threads, op: SyncOp, race_detector) -> None:
+        if op.kind == "rcu_read_lock":
+            thread.rcu_depth += 1
+        elif op.kind == "rcu_read_unlock":
+            thread.rcu_depth = max(0, thread.rcu_depth - 1)
+        elif op.kind == "rcu_synchronize":
+            others = [t for t in threads if t.index != thread.index and not t.done]
+            thread.pending = all(t.rcu_depth == 0 for t in others)
+        if race_detector is not None:
+            race_detector.on_sync(thread.index, op)
+
+    # -- failure paths -------------------------------------------------------------
+
+    def _page_fault_panic(self, fault: PageFault, ins: str, result: ExecutionResult) -> None:
+        if fault.addr < 4096:
+            message = (
+                f"BUG: kernel NULL pointer dereference, address: "
+                f"{fault.addr:#018x} RIP: {ins}"
+            )
+        else:
+            message = (
+                f"BUG: unable to handle page fault for address: "
+                f"{fault.addr:#018x} RIP: {ins}"
+            )
+        self._panic(message, result)
+
+    def _panic(self, message: str, result: ExecutionResult) -> None:
+        self.kernel.machine.printk(message)
+        self.kernel.machine.printk("Kernel panic - not syncing: Fatal exception")
+        result.panicked = True
+        result.panic_message = message
+
+    @staticmethod
+    def _other(current: int, threads: List[_Thread]) -> int:
+        """Index of the next runnable thread after ``current``."""
+        n = len(threads)
+        for step in range(1, n + 1):
+            candidate = (current + step) % n
+            if not threads[candidate].done:
+                return candidate
+        return current

@@ -1,0 +1,62 @@
+"""Liveness heuristics (the ``is_live`` primitive of Algorithm 2).
+
+Mirrors the SKI-inspired implementation notes of section 4.4.1: a thread
+shows low liveness when it keeps fetching the same memory area (a spin
+loop), executes HALT/PAUSE-style instructions, or has burned through an
+instruction budget without completing a syscall.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+# How many consecutive low-liveness events classify a thread as stuck.
+STUCK_WINDOW = 10
+
+
+class LivenessMonitor:
+    """Tracks per-thread progress signals and classifies stuck threads."""
+
+    def __init__(self, nthreads: int, window: int = STUCK_WINDOW):
+        self.window = window
+        self._recent: Tuple[Deque, ...] = tuple(
+            deque(maxlen=window) for _ in range(nthreads)
+        )
+
+    def note_access(self, thread: int, ins: str, addr: int) -> None:
+        """Record a memory access signature for ``thread``."""
+        self._recent[thread].append(("mem", addr))
+
+    def note_pause(self, thread: int) -> None:
+        """Record a PAUSE/HALT-style instruction."""
+        self._recent[thread].append(("pause", 0))
+
+    def note_progress(self, thread: int) -> None:
+        """Record definite progress (e.g. a syscall completed)."""
+        self._recent[thread].clear()
+
+    def is_stuck(self, thread: int) -> bool:
+        """True when the thread's recent behaviour shows no liveness.
+
+        Stuck means: the window is full and every event is either a pause
+        or an access to one single memory area (a spin loop fetching the
+        same lock word).
+        """
+        recent = self._recent[thread]
+        if len(recent) < self.window:
+            return False
+        addrs = {addr for kind, addr in recent if kind == "mem"}
+        pauses = sum(1 for kind, _ in recent if kind == "pause")
+        if pauses == len(recent):
+            return True
+        # All non-pause events hitting one address = same-area spinning.
+        return len(addrs) <= 1
+
+    def reset(self, thread: Optional[int] = None) -> None:
+        """Forget history for one thread (or all)."""
+        if thread is None:
+            for recent in self._recent:
+                recent.clear()
+        else:
+            self._recent[thread].clear()

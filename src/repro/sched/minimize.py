@@ -1,0 +1,90 @@
+"""Schedule minimisation: shrink a reproduction to its essential switches.
+
+A recorded buggy schedule often contains dozens of incidental vCPU
+switches; only a few interpose the communication that triggers the bug.
+Minimising the switch-point set (ddmin-style) turns a reproduction
+package into a *diagnosis*: the remaining switches point exactly at the
+vulnerable window — e.g. the single preemption between l2tp's publish
+and socket-assignment, or between the two fetches of the rhashtable
+bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.fuzz.prog import Program
+from repro.sched.executor import ExecutionResult, Executor
+
+Oracle = Callable[[ExecutionResult], bool]
+
+
+def default_panic_oracle(result: ExecutionResult) -> bool:
+    """The most common check: did the kernel panic?"""
+    return result.panicked
+
+
+def still_fails(
+    executor: Executor,
+    programs: Sequence[Program],
+    switch_points: Sequence[int],
+    oracle: Oracle,
+) -> bool:
+    """Replay with the candidate switch set and consult the oracle."""
+    result = executor.run_concurrent(
+        list(programs), replay_switch_points=list(switch_points)
+    )
+    return oracle(result)
+
+
+def minimize_schedule(
+    executor: Executor,
+    programs: Sequence[Program],
+    switch_points: Sequence[int],
+    oracle: Oracle = default_panic_oracle,
+    max_rounds: int = 8,
+) -> List[int]:
+    """ddmin over the switch-point set.
+
+    Repeatedly tries to drop chunks of switch points (halving granularity
+    each round, down to single points) while the oracle still fires on
+    replay.  Returns the minimised, still-failing switch set.
+
+    Raises ValueError when the initial schedule does not fail — a
+    minimisation request only makes sense for a reproducing package.
+    """
+    points = list(switch_points)
+    if not still_fails(executor, programs, points, oracle):
+        raise ValueError("the initial schedule does not reproduce the failure")
+
+    granularity = 2
+    rounds = 0
+    while len(points) > 1 and rounds < max_rounds:
+        rounds += 1
+        chunk = max(1, len(points) // granularity)
+        reduced = False
+        start = 0
+        while start < len(points):
+            candidate = points[:start] + points[start + chunk :]
+            if candidate != points and still_fails(
+                executor, programs, candidate, oracle
+            ):
+                points = candidate
+                reduced = True
+                # Re-scan from the beginning at the same granularity.
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity *= 2
+    # Final single-point sweep.
+    index = 0
+    while index < len(points):
+        candidate = points[:index] + points[index + 1 :]
+        if still_fails(executor, programs, candidate, oracle):
+            points = candidate
+        else:
+            index += 1
+    return points

@@ -1,0 +1,32 @@
+"""Random preemption scheduling (the stress-testing baseline).
+
+Switches vCPUs with a fixed probability after every memory access.  This
+is the no-hint baseline paired with *random pairing* / *duplicate
+pairing* test generation in Table 3.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.machine.accesses import MemoryAccess
+
+
+class RandomScheduler:
+    """Uniform random preemption after each access."""
+
+    def __init__(self, seed: int = 0, switch_probability: float = 0.15):
+        self.base_seed = seed
+        self.switch_probability = switch_probability
+        self.rng = random.Random(seed)
+
+    def begin_trial(self, trial: int) -> None:
+        """Reseed so trial ``t`` always sees the same randomness."""
+        self.rng = random.Random(self.base_seed + trial)
+
+    def on_access(self, access: MemoryAccess) -> bool:
+        """Coin-flip a switch after every traced access."""
+        return self.rng.random() < self.switch_probability
+
+    def end_trial(self, result) -> None:
+        """No cross-trial learning."""

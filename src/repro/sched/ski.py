@@ -1,0 +1,83 @@
+"""SKI-style schedule exploration baselines.
+
+Two modes from the paper's comparison (section 5.4):
+
+* :class:`SkiScheduler` — yields whenever it observes the write or read
+  *instruction* involved in the PMC, regardless of the memory target.
+  This is how the paper describes SKI's behaviour when driven by the
+  same concurrent tests: it cannot tell whether the access touches the
+  communicating object, so it explores many more interleavings.
+
+* :class:`PctScheduler` — the PCT algorithm generalised for kernels (as
+  in the SKI paper): random thread priorities with ``depth - 1`` random
+  priority-change points over the expected instruction count; the lower
+  priority thread only runs after a change point demotes the leader.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set
+
+from repro.machine.accesses import MemoryAccess
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # break the sched <-> pmc import cycle
+    from repro.pmc.model import PMC
+
+
+class SkiScheduler:
+    """Yield at PMC instructions, ignoring memory targets."""
+
+    def __init__(self, pmc: "PMC", seed: int = 0, switch_probability: float = 0.5):
+        self.base_seed = seed
+        self.switch_probability = switch_probability
+        self.instructions: Set[str] = {pmc.write.ins, pmc.read.ins}
+        self.rng = random.Random(seed)
+
+    def begin_trial(self, trial: int) -> None:
+        self.rng = random.Random(self.base_seed + trial)
+
+    def on_access(self, access: MemoryAccess) -> bool:
+        """Non-deterministic switch whenever a PMC instruction executes."""
+        if access.ins in self.instructions:
+            return self.rng.random() < self.switch_probability
+        return False
+
+    def end_trial(self, result) -> None:
+        """SKI keeps no cross-trial state."""
+
+
+class PctScheduler:
+    """Probabilistic concurrency testing with priority change points."""
+
+    def __init__(self, seed: int = 0, depth: int = 3, expected_length: int = 2000):
+        self.base_seed = seed
+        self.depth = depth
+        self.expected_length = expected_length
+        self._setup(random.Random(seed))
+
+    def _setup(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.priorities = [rng.random(), rng.random()]
+        self.change_points = sorted(
+            rng.randrange(1, max(2, self.expected_length))
+            for _ in range(max(0, self.depth - 1))
+        )
+        self.executed = 0
+
+    def begin_trial(self, trial: int) -> None:
+        self._setup(random.Random(self.base_seed + trial))
+
+    def on_access(self, access: MemoryAccess) -> bool:
+        """Run the highest-priority thread; demote at change points."""
+        self.executed += 1
+        while self.change_points and self.executed >= self.change_points[0]:
+            self.change_points.pop(0)
+            current = access.thread
+            self.priorities[current] = min(self.priorities) - self.rng.random()
+        other = 1 - access.thread
+        return self.priorities[other] > self.priorities[access.thread]
+
+    def end_trial(self, result) -> None:
+        """PCT keeps no cross-trial state."""

@@ -1,0 +1,166 @@
+"""Snowboard's PMC-hinted interleaving exploration — Algorithm 2.
+
+The scheduler focuses preemption on the accesses of the PMC under test:
+
+* ``performed_pmc_access`` — the access just executed matches a PMC
+  access (type, instruction, memory range); switch non-deterministically
+  and *learn a flag*: the access that immediately preceded it in the
+  same thread will, in future trials, predict that a PMC access is about
+  to happen.
+* ``pmc_access_coming`` — the access matches a learned flag; switch
+  non-deterministically *before* the PMC access executes.
+* At the end of each trial, if a different known PMC had both of its
+  accesses appear in the trial, one such incidental PMC is adopted into
+  the set under test, amortising execution cost (section 4.4).
+
+Trial ``t`` always reseeds with ``SEED + t`` (Algorithm 2 line 5), so
+every trial is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.machine.accesses import AccessType, MemoryAccess
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # break the sched <-> pmc import cycle
+    from repro.pmc.model import PMC
+
+# An access signature: what performed_pmc_access/pmc_access_coming compare.
+Sig = Tuple[AccessType, str, int, int]
+
+
+def access_sig(access: MemoryAccess) -> Sig:
+    return (access.type, access.ins, access.addr, access.size)
+
+
+def pmc_sigs(pmc) -> Tuple[Sig, Sig]:
+    """The write and read signatures of a PMC."""
+    return (
+        (AccessType.WRITE, pmc.write.ins, pmc.write.addr, pmc.write.size),
+        (AccessType.READ, pmc.read.ins, pmc.read.addr, pmc.read.size),
+    )
+
+
+class SnowboardScheduler:
+    """Algorithm 2's execution-exploration scheduler for one concurrent test."""
+
+    def __init__(
+        self,
+        pmc: "PMC",
+        seed: int = 0,
+        switch_probability: float = 0.5,
+        universe: Optional[Iterable["PMC"]] = None,
+        max_adopted: int = 3,
+    ):
+        self.base_seed = seed
+        self.switch_probability = switch_probability
+        self.current_pmcs: Set["PMC"] = {pmc}
+        self.flags: Set[Sig] = set()
+        self.universe: Tuple["PMC", ...] = tuple(universe) if universe else ()
+        # Cap on incidental adoptions: unbounded growth makes every hot
+        # access a switch point and defocuses the search entirely.
+        self.max_adopted = max_adopted
+        self._adopted = 0
+        self.rng = random.Random(seed)
+        self.last_access: Dict[int, Optional[Sig]] = {0: None, 1: None}
+        self._rebuild_sigs()
+
+    def _rebuild_sigs(self) -> None:
+        self._pmc_sigs: Set[Sig] = set()
+        for pmc in self.current_pmcs:
+            self._pmc_sigs.update(pmc_sigs(pmc))
+
+    # -- trial lifecycle ----------------------------------------------------
+
+    def begin_trial(self, trial: int) -> None:
+        """Always the same randomness in trial ``trial`` (line 5)."""
+        self.rng = random.Random(self.base_seed + trial)
+        self.last_access = {0: None, 1: None}
+
+    def end_trial(self, result) -> None:
+        """Adopt one incidental PMC observed in the finished trial."""
+        if not self.universe or self._adopted >= self.max_adopted:
+            return
+        seen: Set[Sig] = {access_sig(a) for a in result.accesses if not a.is_stack}
+        incidental: List["PMC"] = []
+        for pmc in self.universe:
+            if pmc in self.current_pmcs:
+                continue
+            write_sig, read_sig = pmc_sigs(pmc)
+            if write_sig in seen and read_sig in seen:
+                incidental.append(pmc)
+        if incidental:
+            self.current_pmcs.add(self.rng.choice(incidental))
+            self._adopted += 1
+            self._rebuild_sigs()
+
+    # -- the per-access decision (Algorithm 2 lines 15-22) ---------------------
+
+    def on_access(self, access: MemoryAccess) -> bool:
+        switch = False
+        sig = access_sig(access)
+
+        # pmc_access_coming: a learned flag says a PMC access is imminent.
+        if sig in self.flags:
+            switch = self.rng.random() < self.switch_probability
+
+        # performed_pmc_access: this access *was* a PMC access.
+        if sig in self._pmc_sigs:
+            previous = self.last_access[access.thread]
+            if previous is not None:
+                self.flags.add(previous)
+            switch = self.rng.random() < self.switch_probability
+
+        self.last_access[access.thread] = sig
+        return switch
+
+    # -- diagnostics --------------------------------------------------------------
+
+    @property
+    def tracked_pmcs(self) -> int:
+        return len(self.current_pmcs)
+
+
+def channel_exercised(pmc, accesses: Iterable[MemoryAccess]) -> bool:
+    """Did the trial actually exercise the PMC's memory channel?
+
+    True when the writer's PMC write executed and a later read at the
+    PMC's read instruction (by the other thread) fetched a value whose
+    projection onto the overlap equals the written projection — i.e. the
+    predicted data flow happened (the accuracy metric of section 5.3.2).
+    """
+    from repro.machine.accesses import project_value
+
+    lo, hi = pmc.overlap
+    write_seq = None
+    write_thread = None
+    written = None
+    for access in accesses:
+        if access.is_stack:
+            continue
+        if (
+            access.is_write
+            and access.ins == pmc.write.ins
+            and access.addr == pmc.write.addr
+            and access.size == pmc.write.size
+        ):
+            write_seq = access.seq
+            write_thread = access.thread
+            written = project_value(access.addr, access.size, access.value, lo, hi)
+            continue
+        if (
+            write_seq is not None
+            and not access.is_write
+            and access.thread != write_thread
+            and access.ins == pmc.read.ins
+            and access.addr == pmc.read.addr
+            and access.size == pmc.read.size
+            and access.seq > write_seq
+        ):
+            fetched = project_value(access.addr, access.size, access.value, lo, hi)
+            if fetched == written:
+                return True
+    return False

@@ -1,0 +1,41 @@
+"""Shared fixtures.
+
+Booting the kernel is deterministic but not free, so a session-scoped
+kernel/snapshot/executor trio is shared by most tests: every execution
+restores the snapshot first, which makes sharing safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.kernel import boot_kernel
+from repro.sched.executor import Executor
+
+
+@pytest.fixture(scope="session")
+def booted():
+    """(kernel, snapshot) booted once for the whole session."""
+    return boot_kernel()
+
+
+@pytest.fixture(scope="session")
+def kernel(booted):
+    return booted[0]
+
+
+@pytest.fixture(scope="session")
+def snapshot(booted):
+    return booted[1]
+
+
+@pytest.fixture(scope="session")
+def executor(booted):
+    kernel, snapshot = booted
+    return Executor(kernel, snapshot)
+
+
+@pytest.fixture()
+def fresh_kernel():
+    """A private kernel for tests that mutate state outside the executor."""
+    return boot_kernel()

@@ -1,0 +1,99 @@
+"""The detection dichotomy between bug classes.
+
+A precise happens-before detector flags a data race as soon as the two
+conflicting accesses both *execute* without ordering — no interleaving
+luck required (this is why KCSAN-style tools are effective).  Atomicity
+and order violations are different: nothing is wrong with any single
+access, so the bug only manifests when the schedule hits the exact
+vulnerable window.  That asymmetry is the paper's core motivation for
+PMC scheduling hints ("finding non-data-race concurrency bugs is
+typically more challenging because we cannot rely on data race
+detectors", section 5.2) — and it falls out of this reproduction
+measurably.
+"""
+
+import pytest
+
+from repro.detect.catalog import match_observations
+from repro.detect.datarace import RaceDetector
+from repro.detect.report import observe
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.kernel import boot_kernel
+from repro.sched.executor import Executor
+
+# (bug id, writer, reader) for races detectable with zero preemptions.
+DR_SUITE = (
+    ("SB05", prog(Call("open", (1,)), Call("ioctl", (Res(0), 3, 64))),
+     prog(Call("open", (2,)), Call("fadvise", (Res(0),)))),
+    ("SB06", prog(Call("open", (1,)), Call("ioctl", (Res(0), 2, 1))),
+     prog(Call("open", (2,)), Call("read", (Res(0), 2)))),
+    ("SB07", prog(Call("socket", (3,)), Call("ioctl", (Res(0), 6, 900))),
+     prog(Call("socket", (3,)), Call("sendmsg", (Res(0), 4000)))),
+    ("SB08", prog(Call("socket", (0,)), Call("ioctl", (Res(0), 4, 0xAABBCCDDEEFF))),
+     prog(Call("socket", (1,)), Call("getsockname", (Res(0),)))),
+    ("SB09", prog(Call("socket", (0,)), Call("ioctl", (Res(0), 4, 0xAABBCCDDEEFF))),
+     prog(Call("socket", (0,)), Call("ioctl", (Res(0), 5, 0)))),
+    ("SB13", prog(Call("msgget", (1,))), prog(Call("msgget", (2,)))),
+    ("SB14", prog(Call("tty_open", ()), Call("ioctl", (Res(0), 7, 0))),
+     prog(Call("tty_open", ()))),
+    ("SB15", prog(Call("snd_ctl_add", (100,))), prog(Call("snd_ctl_add", (100,)))),
+    ("SB16", prog(Call("socket", (0,)), Call("setsockopt", (Res(0), 2, 5))),
+     prog(Call("socket", (0,)), Call("setsockopt", (Res(0), 1, 0)))),
+)
+
+# The non-data-race bugs: invisible without the right interleaving.
+WINDOW_SUITE = (
+    ("SB02", prog(Call("open", (1,)), Call("ioctl", (Res(0), 1, 0))),
+     prog(Call("open", (1,)), Call("ioctl", (Res(0), 1, 0)))),
+    ("SB03", prog(Call("open", (2,)), Call("write", (Res(0), 9))),
+     prog(Call("open", (2,)), Call("write", (Res(0), 9)))),
+    ("SB12", prog(Call("socket", (2,)), Call("connect", (Res(0), 1))),
+     prog(Call("socket", (2,)), Call("connect", (Res(0), 1)), Call("sendmsg", (Res(0), 5)))),
+)
+
+
+@pytest.fixture(scope="module")
+def ex():
+    kernel, snapshot = boot_kernel()
+    return Executor(kernel, snapshot)
+
+
+def sequential_composition_findings(ex, writer, reader):
+    """Run the pair with ZERO preemptions (thread 0 fully, then thread 1)."""
+    detector = RaceDetector()
+    result = ex.run_concurrent([writer, reader], scheduler=None, race_detector=detector)
+    return match_observations(observe(result))
+
+
+class TestDataRacesNeedNoScheduleLuck:
+    @pytest.mark.parametrize("bug_id,writer,reader", DR_SUITE, ids=[b for b, _, _ in DR_SUITE])
+    def test_flagged_even_without_preemption(self, ex, bug_id, writer, reader):
+        grouped = sequential_composition_findings(ex, writer, reader)
+        assert bug_id in grouped, (
+            f"{bug_id} should be flagged by the HB detector under plain "
+            f"sequential composition"
+        )
+
+
+class TestWindowBugsNeedTheSchedule:
+    @pytest.mark.parametrize(
+        "bug_id,writer,reader", WINDOW_SUITE, ids=[b for b, _, _ in WINDOW_SUITE]
+    )
+    def test_invisible_without_preemption(self, ex, bug_id, writer, reader):
+        grouped = sequential_composition_findings(ex, writer, reader)
+        assert bug_id not in grouped, (
+            f"{bug_id} is an AV/OV: it must not fire under plain "
+            f"sequential composition"
+        )
+
+    def test_sb17_needs_interleaving_too(self, ex):
+        """The fanout race's reader path is gone once close() finishes,
+        so even this DR needs a schedule that overlaps the two."""
+        writer = prog(
+            Call("socket", (1,)), Call("setsockopt", (Res(0), 3, 0)), Call("close", (Res(0),))
+        )
+        reader = prog(
+            Call("socket", (1,)), Call("setsockopt", (Res(0), 3, 0)), Call("sendmsg", (Res(0), 1))
+        )
+        grouped = sequential_composition_findings(ex, writer, reader)
+        assert "SB17" not in grouped

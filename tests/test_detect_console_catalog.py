@@ -1,0 +1,163 @@
+"""Tests for the console checker, observations, and the bug catalog."""
+
+import pytest
+
+from repro.detect.catalog import BUG_CATALOG, catalog_ids, match_observations, spec_by_id
+from repro.detect.console import ConsoleChecker, ConsoleFinding
+from repro.detect.datarace import RaceReport
+from repro.detect.report import BugObservation, Triage, observe
+from repro.sched.executor import ExecutionResult
+
+
+def race_obs(ins_a, ins_b, type_a="W", type_b="R", addr=0x100):
+    report = RaceReport(
+        ins_a=ins_a,
+        ins_b=ins_b,
+        type_a=type_a,
+        type_b=type_b,
+        addr=addr,
+        size=8,
+        value_a=0,
+        value_b=1,
+        thread_a=0,
+        thread_b=1,
+    )
+    return BugObservation(kind="race", race=report)
+
+
+def console_obs(line):
+    checker = ConsoleChecker()
+    (finding,) = checker.scan([line])
+    return BugObservation(kind="console", console=finding)
+
+
+class TestConsoleChecker:
+    def test_detects_null_deref(self):
+        checker = ConsoleChecker()
+        findings = checker.scan(["BUG: kernel NULL pointer dereference, address: 0x0"])
+        assert [f.kind for f in findings] == ["null-deref"]
+
+    def test_detects_ext4_error(self):
+        checker = ConsoleChecker()
+        findings = checker.scan(["EXT4-fs error (device sda): x: checksum invalid"])
+        assert findings[0].kind == "ext4-error"
+
+    def test_clean_console_yields_nothing(self):
+        assert ConsoleChecker().scan(["mini-kernel booted", "hello"]) == []
+
+    def test_key_normalises_addresses(self):
+        a = ConsoleFinding("null-deref", "BUG at 0xdeadbeef now")
+        b = ConsoleFinding("null-deref", "BUG at 0xcafebabe now")
+        assert a.key == b.key
+
+    def test_first_pattern_wins(self):
+        line = "BUG: kernel NULL pointer dereference then Kernel panic"
+        (finding,) = ConsoleChecker().scan([line])
+        assert finding.kind == "null-deref"
+
+
+class TestObserve:
+    def test_collects_races_console_and_deadlock(self):
+        result = ExecutionResult()
+        result.console = ["EXT4-fs error: boom"]
+        result.deadlocked = True
+        result.races = [race_obs("a.py:x:1", "a.py:y:2").race]
+        observations = observe(result)
+        kinds = sorted(o.kind for o in observations)
+        assert kinds == ["console", "deadlock", "race"]
+
+    def test_clean_result_yields_nothing(self):
+        assert observe(ExecutionResult()) == []
+
+    def test_observation_keys_dedup(self):
+        a = race_obs("a.py:x:1", "a.py:y:2")
+        b = race_obs("a.py:y:2", "a.py:x:1", type_a="R", type_b="W")
+        assert a.key == b.key
+
+
+class TestCatalog:
+    def test_catalog_has_17_rows_like_table2(self):
+        assert len(BUG_CATALOG) == 17
+        assert len(catalog_ids()) == 17
+
+    def test_paper_ids_cover_1_to_17(self):
+        assert sorted(s.paper_id for s in BUG_CATALOG) == list(range(1, 18))
+
+    def test_bug_types_match_table2(self):
+        by_type = {}
+        for spec in BUG_CATALOG:
+            by_type.setdefault(spec.bug_type, []).append(spec.paper_id)
+        assert sorted(by_type["AV"]) == [2, 3, 4]
+        assert by_type["OV"] == [12]
+        assert len(by_type["DR"]) == 13
+
+    def test_benign_triage_matches_table2(self):
+        benign = {s.paper_id for s in BUG_CATALOG if s.triage is Triage.BENIGN}
+        assert benign == {10, 13, 16}
+
+    def test_mac_race_matches_sb09(self):
+        obs = race_obs(
+            "net.py:NetSubsystem.ioctl_set_mac:260", "net.py:NetSubsystem.ioctl_get_mac:270"
+        )
+        assert match_observations([obs]) == {"SB09": [obs]}
+
+    def test_getname_race_matches_sb08(self):
+        obs = race_obs(
+            "net.py:NetSubsystem.ioctl_set_mac:260", "net.py:NetSubsystem.sys_getsockname:277"
+        )
+        grouped = match_observations([obs])
+        assert list(grouped) == ["SB08"]
+
+    def test_l2tp_panic_matches_sb12(self):
+        obs = console_obs(
+            "BUG: kernel NULL pointer dereference, address: 0x0 "
+            "RIP: l2tp.py:L2tpSubsystem.pppol2tp_sendmsg:127"
+        )
+        assert list(match_observations([obs])) == ["SB12"]
+
+    def test_rhashtable_panic_matches_sb01(self):
+        obs = console_obs(
+            "BUG: kernel NULL pointer dereference, address: 0x8 "
+            "RIP: rhashtable.py:rht_lookup:81"
+        )
+        assert list(match_observations([obs])) == ["SB01"]
+
+    def test_configfs_panic_matches_sb11(self):
+        obs = console_obs(
+            "BUG: kernel NULL pointer dereference, address: 0x8 "
+            "RIP: fs.py:FsSubsystem.sys_lookup:316"
+        )
+        assert list(match_observations([obs])) == ["SB11"]
+
+    def test_checksum_error_matches_sb02(self):
+        obs = console_obs(
+            "EXT4-fs error (device sda): swap_inode_boot_loader:1: comm test: checksum invalid"
+        )
+        assert list(match_observations([obs])) == ["SB02"]
+
+    def test_alloc_stats_race_matches_sb13(self):
+        obs = race_obs("alloc.py:Allocator.kmalloc:92", "alloc.py:Allocator.kfree:120")
+        assert list(match_observations([obs])) == ["SB13"]
+
+    def test_unknown_race_goes_unmatched(self):
+        obs = race_obs("zzz.py:a:1", "zzz.py:b:2")
+        assert list(match_observations([obs])) == ["unmatched"]
+
+    def test_spec_by_id(self):
+        assert spec_by_id("SB12").bug_type == "OV"
+        with pytest.raises(KeyError):
+            spec_by_id("SB99")
+
+    def test_fanout_race_matches_sb17_not_sb16(self):
+        obs = race_obs(
+            "net.py:NetSubsystem.fanout_unlink:340",
+            "net.py:NetSubsystem.fanout_demux_rollover:356",
+        )
+        assert list(match_observations([obs])) == ["SB17"]
+
+    def test_fib6_race_matches_sb10_not_sb07(self):
+        obs = race_obs(
+            "net.py:NetSubsystem.sys_route_update:380",
+            "net.py:NetSubsystem.rawv6_send_hdrinc:230",
+        )
+        assert list(match_observations([obs])) == ["SB10"]

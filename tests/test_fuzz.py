@@ -1,0 +1,196 @@
+"""Tests for the fuzzing layer: programs, generator, coverage, corpus."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.corpus import Corpus, build_corpus
+from repro.fuzz.coverage import edge_coverage
+from repro.fuzz.generator import ProgramGenerator
+from repro.fuzz.prog import Call, Program, Res, prog, resolve_arg
+from repro.fuzz.spec import (
+    DEFAULT_SEEDS,
+    DOMAINS,
+    FD_KINDS,
+    SPEC_BY_NAME,
+    SYSCALL_SPECS,
+    spec_of_call,
+)
+
+
+class TestProgramModel:
+    def test_valid_resource_reference(self):
+        p = prog(Call("open", (1,)), Call("read", (Res(0), 1)))
+        assert len(p) == 2
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ValueError):
+            prog(Call("read", (Res(0), 1)))
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(ValueError):
+            prog(Call("open", (1,)), Call("read", (Res(1), 1)))
+
+    def test_programs_are_hashable(self):
+        a = prog(Call("open", (1,)))
+        b = prog(Call("open", (1,)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_resolve_constant(self):
+        assert resolve_arg(5, []) == 5
+
+    def test_resolve_resource(self):
+        assert resolve_arg(Res(1), [10, 20]) == 20
+
+
+class TestSpecs:
+    def test_typed_producers_exist_for_every_fd_kind(self):
+        """Every fd resource type consumed has a producing syscall."""
+        produced = {s.makes for s in SYSCALL_SPECS if s.makes}
+        consumed = set()
+        for spec in SYSCALL_SPECS:
+            for kind in spec.args:
+                if isinstance(kind, str) and kind in FD_KINDS and kind != "fd:any":
+                    consumed.add(kind.split(":")[1])
+        assert consumed <= produced
+
+    def test_domains_cover_all_plain_arg_kinds(self):
+        kinds = set()
+        for spec in SYSCALL_SPECS:
+            for kind in spec.args:
+                if isinstance(kind, str) and kind not in FD_KINDS:
+                    kinds.add(kind)
+        assert kinds <= set(DOMAINS)
+
+    def test_spec_lookup(self):
+        assert SPEC_BY_NAME["open"].makes == "file"
+
+    def test_ioctl_variants_resolved_by_constant(self):
+        call = Call("ioctl", (Res(0), 4, 0xAABB))
+        assert spec_of_call(prog(Call("socket", (0,)), call).calls[1]).variant == "set_mac"
+
+    def test_default_seeds_are_valid_programs(self):
+        assert len(DEFAULT_SEEDS) >= 10
+        for seed_prog in DEFAULT_SEEDS:
+            for i, call in enumerate(seed_prog.calls):
+                for arg in call.args:
+                    if isinstance(arg, Res):
+                        assert 0 <= arg.index < i
+
+
+def _validate(program: Program) -> None:
+    """Structural validity: refs point backwards at typed fd producers."""
+    for i, call in enumerate(program.calls):
+        assert call.name in SPEC_BY_NAME
+        for arg in call.args:
+            if isinstance(arg, Res):
+                assert 0 <= arg.index < i
+                assert spec_of_call(program.calls[arg.index]).makes is not None
+
+
+class TestGenerator:
+    def test_generation_is_deterministic(self):
+        a = ProgramGenerator(seed=3)
+        b = ProgramGenerator(seed=3)
+        assert [a.generate() for _ in range(10)] == [b.generate() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = ProgramGenerator(seed=1).generate(length=6)
+        b = ProgramGenerator(seed=2).generate(length=6)
+        assert a != b
+
+    def test_generated_programs_are_valid(self):
+        generator = ProgramGenerator(seed=7)
+        for _ in range(200):
+            _validate(generator.generate())
+
+    def test_mutations_preserve_validity(self):
+        generator = ProgramGenerator(seed=11)
+        program = generator.generate(length=4)
+        for _ in range(300):
+            program = generator.mutate(program)
+            _validate(program)
+
+    def test_length_bounds(self):
+        generator = ProgramGenerator(seed=5, max_len=4)
+        for _ in range(100):
+            assert 1 <= len(generator.generate()) <= 4
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_property_any_seed_generates_valid_programs(seed):
+    generator = ProgramGenerator(seed=seed)
+    program = generator.generate()
+    _validate(program)
+    for _ in range(20):
+        program = generator.mutate(program)
+        _validate(program)
+
+
+class TestCoverage:
+    def test_edges_from_consecutive_instructions(self, executor):
+        from repro.fuzz.prog import Call, prog
+
+        result = executor.run_sequential(prog(Call("msgget", (1,))))
+        edges = edge_coverage(result.accesses)
+        assert edges  # something executed
+        all_ins = {a.ins for a in result.accesses}
+        for src, dst in edges:
+            assert src in all_ins and dst in all_ins
+
+    def test_no_self_edges(self, executor):
+        from repro.fuzz.prog import Call, prog
+
+        result = executor.run_sequential(prog(Call("msgget", (1,)), Call("msgget", (1,))))
+        assert all(src != dst for src, dst in edge_coverage(result.accesses))
+
+    def test_thread_filter(self):
+        from repro.machine.accesses import AccessType, MemoryAccess
+
+        accesses = [
+            MemoryAccess(0, 0, AccessType.READ, 0x1, 1, 0, "a"),
+            MemoryAccess(1, 1, AccessType.READ, 0x1, 1, 0, "x"),
+            MemoryAccess(2, 0, AccessType.READ, 0x1, 1, 0, "b"),
+            MemoryAccess(3, 1, AccessType.READ, 0x1, 1, 0, "y"),
+        ]
+        assert edge_coverage(accesses, thread=0) == frozenset({("a", "b")})
+        assert edge_coverage(accesses, thread=1) == frozenset({("x", "y")})
+
+
+class TestCorpus:
+    def test_distillation_rejects_redundant_tests(self, executor):
+        corpus = Corpus()
+        program = prog(Call("msgget", (1,)))
+        first = corpus.add(program, executor.run_sequential(program))
+        second = corpus.add(program, executor.run_sequential(program))
+        assert first is not None
+        assert second is None
+        assert len(corpus) == 1
+
+    def test_coverage_grows_monotonically(self, executor):
+        corpus = build_corpus(executor, seed=1, budget=60)
+        assert len(corpus) >= 5
+        assert corpus.generated == 60
+        union = set()
+        for entry in corpus:
+            assert not entry.edges <= union  # each entry added something
+            union |= entry.edges
+        assert union == corpus.total_edges
+
+    def test_corpus_is_deterministic(self, executor):
+        a = build_corpus(executor, seed=4, budget=40)
+        b = build_corpus(executor, seed=4, budget=40)
+        assert a.programs() == b.programs()
+
+    def test_seed_programs_enter_first(self, executor):
+        seed_prog = prog(Call("msgget", (3,)))
+        corpus = build_corpus(executor, seed=1, budget=10, seeds=(seed_prog,))
+        assert corpus.entries[0].program == seed_prog
+
+    def test_panicking_tests_are_rejected(self, executor):
+        """Sequential panics are not our target; they must not enter."""
+        corpus = build_corpus(executor, seed=1, budget=30)
+        for entry in corpus:
+            assert entry.result.completed

@@ -1,0 +1,89 @@
+"""Tests for the textual program format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.generator import ProgramGenerator
+from repro.fuzz.prog import Call, Res, prog
+from repro.fuzz.text import ProgramParseError, format_program, parse_program
+
+
+class TestFormat:
+    def test_simple_program(self):
+        program = prog(Call("open", (1,)), Call("write", (Res(0), 0x1234)))
+        assert format_program(program) == "r0 = open(1)\nr1 = write(r0, 0x1234)"
+
+    def test_small_ints_stay_decimal(self):
+        program = prog(Call("msgget", (3,)))
+        assert format_program(program) == "r0 = msgget(3)"
+
+    def test_no_args(self):
+        program = prog(Call("tty_open", ()))
+        assert format_program(program) == "r0 = tty_open()"
+
+
+class TestParse:
+    def test_roundtrip(self):
+        program = prog(
+            Call("socket", (2,)),
+            Call("connect", (Res(0), 1)),
+            Call("sendmsg", (Res(0), 0xDEAD)),
+        )
+        assert parse_program(format_program(program)) == program
+
+    def test_result_prefix_optional(self):
+        program = parse_program("r0 = open(1)\nwrite(r0, 7)")
+        assert program.calls[1] == Call("write", (Res(0), 7))
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # a reproducer
+        r0 = open(1)
+
+        read(r0, 1)  # one block
+        """
+        program = parse_program(text)
+        assert len(program) == 2
+
+    def test_hex_and_negative(self):
+        program = parse_program("msgsnd(1, 0xff)\nmsgsnd(1, -3)")
+        assert program.calls[0].args == (1, 0xFF)
+        assert program.calls[1].args == (1, -3)
+
+    def test_unknown_syscall_rejected(self):
+        with pytest.raises(ProgramParseError) as excinfo:
+            parse_program("bogus(1)")
+        assert "unknown syscall" in str(excinfo.value)
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ProgramParseError) as excinfo:
+            parse_program("read(r1, 1)")
+        assert "not defined yet" in str(excinfo.value)
+
+    def test_misnumbered_result_rejected(self):
+        with pytest.raises(ProgramParseError) as excinfo:
+            parse_program("r5 = open(1)")
+        assert "numbered in order" in str(excinfo.value)
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ProgramParseError):
+            parse_program("this is not a call")
+
+    def test_bad_argument_rejected(self):
+        with pytest.raises(ProgramParseError) as excinfo:
+            parse_program('open("path")')
+        assert "bad argument" in str(excinfo.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ProgramParseError) as excinfo:
+            parse_program("open(1)\nbogus(2)")
+        assert excinfo.value.line_number == 2
+
+
+@given(seed=st.integers(min_value=0, max_value=5000))
+@settings(max_examples=60, deadline=None)
+def test_property_generated_programs_roundtrip(seed):
+    """Any fuzzer-generated program survives format -> parse intact."""
+    program = ProgramGenerator(seed=seed).generate()
+    assert parse_program(format_program(program)) == program

@@ -1,0 +1,81 @@
+"""Tests for multi-initial-state support (section 4.1's diversity knob)."""
+
+import pytest
+
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.kernel import boot_kernel
+from repro.orchestrate.pipeline import (
+    Snowboard,
+    SnowboardConfig,
+    derive_initial_state,
+)
+from repro.sched.executor import Executor
+
+
+class TestDeriveInitialState:
+    def test_setup_state_contains_setup_effects(self):
+        kernel, boot_snap = boot_kernel()
+        setup = prog(Call("msgget", (3,)), Call("msgsnd", (3, 0x77)))
+        derived = derive_initial_state(kernel, boot_snap, setup)
+
+        executor = Executor(kernel, derived)
+        result = executor.run_sequential(prog(Call("msgrcv", (3,))))
+        assert result.returns[0] == [0x77]  # the queue pre-exists
+
+    def test_boot_state_unaffected(self):
+        kernel, boot_snap = boot_kernel()
+        setup = prog(Call("msgget", (3,)))
+        derive_initial_state(kernel, boot_snap, setup)
+
+        executor = Executor(kernel, boot_snap)
+        from repro.kernel.errors import ENOENT
+
+        result = executor.run_sequential(prog(Call("msgrcv", (3,))))
+        assert result.returns[0] == [ENOENT]  # no queue in the boot state
+
+    def test_failing_setup_rejected(self):
+        kernel, boot_snap = boot_kernel()
+
+        def nullread(ctx):
+            value = yield from ctx.load_word(8)
+            return value
+
+        kernel.register_syscall("nullread_setup", nullread)
+        with pytest.raises(ValueError):
+            derive_initial_state(kernel, boot_snap, prog(Call("nullread_setup", ())))
+
+    def test_derived_state_is_deterministic(self):
+        setup = prog(Call("msgget", (1,)), Call("socket", (2,)), Call("connect", (Res(1), 2)))
+        k1, s1 = boot_kernel()
+        k2, s2 = boot_kernel()
+        d1 = derive_initial_state(k1, s1, setup)
+        d2 = derive_initial_state(k2, s2, setup)
+        assert d1.pages == d2.pages
+
+
+class TestPipelineWithSetup:
+    def test_pipeline_profiles_from_derived_state(self):
+        """PMCs identified against the richer initial state differ from
+        the plain boot state — pre-created objects shift the channels."""
+        setup = prog(Call("msgget", (2,)), Call("msgget", (3,)))
+        with_setup = Snowboard(
+            SnowboardConfig(seed=5, corpus_budget=40, setup_program=setup)
+        ).prepare()
+        without = Snowboard(
+            SnowboardConfig(seed=5, corpus_budget=40)
+        ).prepare()
+        assert with_setup.snapshot.label == "post-setup"
+        assert without.snapshot.label == "post-boot"
+        # A corpus msgget(2) from the derived state finds the queue
+        # instead of creating it, so the profiles (and PMCs) diverge.
+        assert len(with_setup.pmcset) != len(without.pmcset)
+
+    def test_campaign_runs_from_derived_state(self):
+        setup = prog(Call("msgget", (2,)))
+        snowboard = Snowboard(
+            SnowboardConfig(
+                seed=5, corpus_budget=60, trials_per_pmc=4, setup_program=setup
+            )
+        ).prepare()
+        campaign = snowboard.run_campaign("S-INS", test_budget=5)
+        assert campaign.tested_pmcs == 5

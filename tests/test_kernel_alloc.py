@@ -1,0 +1,107 @@
+"""Tests for the slab allocator."""
+
+import pytest
+
+from repro.kernel.alloc import ALLOC_STATE, SIZE_CLASSES, size_class
+from repro.kernel.errors import SyscallError
+from repro.kernel.kernel import boot_kernel
+
+
+@pytest.fixture()
+def k():
+    kernel, _ = boot_kernel()
+    return kernel
+
+
+def kmalloc(kernel, size, thread=0):
+    ctx = kernel.make_context(thread)
+    return kernel.boot_run(kernel.allocator.kmalloc(ctx, size))
+
+
+def kfree(kernel, addr, size, thread=0):
+    ctx = kernel.make_context(thread)
+    kernel.boot_run(kernel.allocator.kfree(ctx, addr, size))
+
+
+class TestSizeClasses:
+    def test_rounding_up(self):
+        assert size_class(1) == 16
+        assert size_class(16) == 16
+        assert size_class(17) == 32
+        assert size_class(1024) == 1024
+
+    def test_oversize_rejected(self):
+        with pytest.raises(ValueError):
+            size_class(2048)
+
+    def test_classes_are_sorted_powers(self):
+        assert list(SIZE_CLASSES) == sorted(SIZE_CLASSES)
+
+
+class TestAllocation:
+    def test_allocations_are_disjoint(self, k):
+        a = kmalloc(k, 64)
+        b = kmalloc(k, 64)
+        assert abs(a - b) >= 64
+
+    def test_heap_addresses(self, k):
+        addr = kmalloc(k, 32)
+        heap = k.machine.regions
+        assert heap.heap_base <= addr < heap.heap_base + heap.heap_size
+
+    def test_freelist_reuse_lifo(self, k):
+        a = kmalloc(k, 64)
+        b = kmalloc(k, 64)
+        kfree(k, a, 64)
+        kfree(k, b, 64)
+        assert kmalloc(k, 64) == b  # LIFO
+        assert kmalloc(k, 64) == a
+
+    def test_different_classes_do_not_mix(self, k):
+        a = kmalloc(k, 16)
+        kfree(k, a, 16)
+        b = kmalloc(k, 128)
+        assert b != a
+
+    def test_kzalloc_zeroes_reused_chunk(self, k):
+        ctx = k.make_context(0)
+        a = kmalloc(k, 64)
+        k.machine.memory.write_int(a, 8, 0xDEAD)
+        kfree(k, a, 64)
+        b = k.boot_run(k.allocator.kzalloc(ctx, 64))
+        assert b == a
+        assert k.machine.memory.read_int(b, 8) == 0
+
+    def test_kfree_null_is_noop(self, k):
+        kfree(k, 0, 64)  # must not raise
+
+    def test_determinism_across_boots(self):
+        """Same allocation sequence -> same addresses (the PMC premise)."""
+        k1, _ = boot_kernel()
+        k2, _ = boot_kernel()
+        seq1 = [kmalloc(k1, s) for s in (16, 64, 64, 256)]
+        seq2 = [kmalloc(k2, s) for s in (16, 64, 64, 256)]
+        assert seq1 == seq2
+
+
+class TestStatistics:
+    def _stat(self, k, name):
+        return k.machine.memory.read_int(ALLOC_STATE.addr(k.allocator.state, name), 8)
+
+    def test_counters_track_allocs_and_frees(self, k):
+        base_allocs = self._stat(k, "total_allocs")
+        a = kmalloc(k, 64)
+        assert self._stat(k, "total_allocs") == base_allocs + 1
+        in_use = self._stat(k, "bytes_in_use")
+        kfree(k, a, 64)
+        assert self._stat(k, "bytes_in_use") == in_use - 64
+        assert self._stat(k, "total_frees") >= 1
+
+    def test_exhaustion_raises_enomem(self, k):
+        # Shrink the heap to a sliver, then allocate past the end.
+        state = k.allocator.state
+        next_addr = k.machine.memory.read_int(ALLOC_STATE.addr(state, "heap_next"), 8)
+        k.machine.memory.write_int(ALLOC_STATE.addr(state, "heap_end"), 8, next_addr + 64)
+        kmalloc(k, 64)
+        with pytest.raises(SyscallError):
+            kmalloc(k, 64)

@@ -1,0 +1,124 @@
+"""Tests for the block device layer and its reader-side interactions."""
+
+import pytest
+
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.errors import EIO
+from repro.kernel.kernel import boot_kernel
+from repro.kernel.subsystems.blockdev import BDEV, VALID_BLOCKSIZES
+from repro.sched.executor import Executor
+
+
+@pytest.fixture()
+def booted_bdev():
+    kernel, snapshot = boot_kernel()
+    return kernel, Executor(kernel, snapshot)
+
+
+class TestIoctls:
+    def test_set_blocksize_selects_valid_size(self, booted_bdev):
+        kernel, executor = booted_bdev
+        result = executor.run_sequential(
+            prog(Call("open", (1,)), Call("ioctl", (Res(0), 2, 1)))
+        )
+        assert result.returns[0][1] == 0
+        bdev = kernel.subsystems["blockdev"].bdev
+        bs = kernel.machine.memory.read_int(BDEV.addr(bdev, "blocksize"), 8)
+        assert bs == VALID_BLOCKSIZES[1]
+
+    def test_blkraset_updates_readahead(self, booted_bdev):
+        kernel, executor = booted_bdev
+        result = executor.run_sequential(
+            prog(Call("open", (1,)), Call("ioctl", (Res(0), 3, 64)), Call("fadvise", (Res(0),)))
+        )
+        assert result.returns[0][1] == 0
+        assert result.returns[0][2] == 64
+
+    def test_read_after_set_blocksize_is_clean_sequentially(self, booted_bdev):
+        _, executor = booted_bdev
+        result = executor.run_sequential(
+            prog(Call("open", (1,)), Call("ioctl", (Res(0), 2, 0)), Call("read", (Res(0), 2)))
+        )
+        assert result.returns[0][2] > 0
+        assert result.console == []
+
+
+class TestBlocksizeAV:
+    """Bug #4 analogue: a reader observing the transient 0 fails the I/O."""
+
+    def test_reader_sees_zero_blocksize_and_errors(self, booted_bdev):
+        kernel, executor = booted_bdev
+        bdev = kernel.subsystems["blockdev"].bdev
+        bs_addr = BDEV.addr(bdev, "blocksize")
+        writer = prog(Call("open", (1,)), Call("ioctl", (Res(0), 2, 1)))
+        reader = prog(Call("open", (2,)), Call("read", (Res(0), 2)))
+
+        class ForceZeroWindow:
+            def __init__(self):
+                self.switched = False
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                # Right after the writer invalidates the blocksize.
+                if (
+                    access.thread == 0
+                    and not self.switched
+                    and access.is_write
+                    and access.addr == bs_addr
+                    and access.value == 0
+                ):
+                    self.switched = True
+                    return True
+                return False
+
+        result = executor.run_concurrent([writer, reader], scheduler=ForceZeroWindow())
+        assert result.returns[1][1] == EIO
+        assert any("I/O error" in line for line in result.console)
+
+    def test_mid_read_size_change_also_errors(self, booted_bdev):
+        """Second shape of #4: two different sizes across one request."""
+        kernel, executor = booted_bdev
+        bdev = kernel.subsystems["blockdev"].bdev
+        bs_addr = BDEV.addr(bdev, "blocksize")
+        writer = prog(Call("open", (1,)), Call("ioctl", (Res(0), 2, 1)))
+        reader = prog(Call("open", (2,)), Call("read", (Res(0), 2)))
+
+        class ForceMidRead:
+            """Let the reader sample once, run the whole writer, resume."""
+
+            def __init__(self):
+                self.phase = 0
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                if (
+                    access.thread == 1
+                    and self.phase == 0
+                    and access.is_read
+                    and access.addr == bs_addr
+                ):
+                    self.phase = 1  # reader sampled block 1's size; switch
+                    return True
+                return False
+
+        # Thread 1 (reader) must start first so its first sample precedes
+        # the writer's update; thread 0 runs when the reader yields.
+        class ReaderFirst(ForceMidRead):
+            def on_access(self, access):
+                if self.phase == 0 and access.thread == 0:
+                    return True  # bounce the writer until the reader sampled
+                return super().on_access(access)
+
+        result = executor.run_concurrent([writer, reader], scheduler=ReaderFirst())
+        assert result.returns[1][1] == EIO
+        assert any("I/O error" in line for line in result.console)

@@ -1,0 +1,118 @@
+"""Boot determinism and kernel plumbing tests."""
+
+import pytest
+
+from repro.kernel.kernel import MAX_FDS, Kernel, boot_kernel
+from repro.machine.machine import Machine
+
+
+class TestBootDeterminism:
+    def test_two_boots_produce_identical_memory(self):
+        """The PMC premise: every boot yields bit-identical state."""
+        k1, s1 = boot_kernel()
+        k2, s2 = boot_kernel()
+        assert s1.pages == s2.pages
+        assert s1.console == s2.console
+
+    def test_globals_identical_across_boots(self):
+        k1, _ = boot_kernel()
+        k2, _ = boot_kernel()
+        assert k1.globals == k2.globals
+
+    def test_expected_subsystems_present(self, kernel):
+        for name in ("fs", "blockdev", "net", "l2tp", "ipc", "tty", "sound"):
+            assert name in kernel.subsystems
+
+    def test_expected_syscalls_registered(self, kernel):
+        expected = {
+            "open", "close", "read", "write", "fsync", "fadvise", "ioctl",
+            "mkdir", "lookup", "msgget", "msgctl", "msgsnd", "msgrcv",
+            "socket", "connect", "sendmsg", "getsockname", "setsockopt",
+            "route_update", "tty_open", "snd_ctl_add", "snd_ctl_info",
+        }
+        assert expected <= set(kernel.syscalls)
+
+    def test_processes_have_distinct_fd_tables(self, kernel):
+        assert len(kernel.procs) == 3  # 2 regular + 1 for 3-thread tests
+        tables = {proc.fdtable for proc in kernel.procs}
+        assert len(tables) == len(kernel.procs)
+
+
+class TestStaticAlloc:
+    def test_alignment(self):
+        kernel = Kernel(Machine())
+        a = kernel.static_alloc("a", 3)
+        b = kernel.static_alloc("b", 8)
+        assert b % 8 == 0
+        assert b >= a + 3
+
+    def test_duplicate_name_rejected(self):
+        kernel = Kernel(Machine())
+        kernel.static_alloc("x", 8)
+        with pytest.raises(ValueError):
+            kernel.static_alloc("x", 8)
+
+    def test_anonymous_allocation(self):
+        kernel = Kernel(Machine())
+        addr = kernel.static_alloc("", 16)
+        assert addr not in kernel.globals.values()
+
+    def test_exhaustion_raises(self):
+        kernel = Kernel(Machine())
+        with pytest.raises(MemoryError):
+            kernel.static_alloc("huge", kernel.machine.regions.globals_size + 1)
+
+
+class TestRegistries:
+    def test_duplicate_syscall_rejected(self):
+        kernel = Kernel(Machine())
+        handler = lambda ctx: iter(())
+        kernel.register_syscall("foo", handler)
+        with pytest.raises(ValueError):
+            kernel.register_syscall("foo", handler)
+
+    def test_duplicate_ioctl_rejected(self):
+        kernel = Kernel(Machine())
+        handler = lambda ctx, fd, arg: iter(())
+        kernel.register_ioctl(42, handler)
+        with pytest.raises(ValueError):
+            kernel.register_ioctl(42, handler)
+
+    def test_unknown_syscall_raises_keyerror(self, kernel):
+        ctx = kernel.make_context(0)
+        with pytest.raises(KeyError):
+            # run_syscall is a generator: the dispatch error surfaces on
+            # first advance.
+            next(kernel.run_syscall(ctx, "no_such_call", ()))
+
+
+class TestFdPlumbing:
+    def test_fd_install_and_resolve(self, executor, kernel):
+        from repro.fuzz.prog import Call, prog
+
+        result = executor.run_sequential(prog(Call("open", (1,)), Call("open", (2,))))
+        assert result.returns[0] == [0, 1]  # first two fds
+
+    def test_bad_fd_returns_ebadf(self, executor):
+        from repro.fuzz.prog import Call, prog
+        from repro.kernel.errors import EBADF
+
+        result = executor.run_sequential(prog(Call("read", (7, 1))))
+        assert result.returns[0] == [EBADF]
+
+    def test_fd_reuse_after_close(self, executor):
+        from repro.fuzz.prog import Call, Res, prog
+
+        result = executor.run_sequential(
+            prog(Call("open", (1,)), Call("close", (Res(0),)), Call("open", (2,)))
+        )
+        assert result.returns[0] == [0, 0, 0]  # fd 0 reused
+
+    def test_fd_table_fills_up(self, executor):
+        from repro.fuzz.prog import Call, prog
+        from repro.kernel.errors import EBADF
+
+        calls = tuple(Call("open", (1,)) for _ in range(MAX_FDS + 1))
+        result = executor.run_sequential(prog(*calls))
+        assert result.returns[0][-1] == EBADF
+        assert result.returns[0][:-1] == list(range(MAX_FDS))

@@ -1,0 +1,180 @@
+"""Unit tests for KernelContext: ops, instruction capture, stack, bulk copies."""
+
+import pytest
+
+from repro.kernel.context import KernelContext, _chunk_size
+from repro.kernel.kernel import boot_kernel
+from repro.kernel.ops import CasOp, MemOp, PanicOp
+from repro.machine.accesses import AccessType
+
+
+@pytest.fixture()
+def ctx(kernel):
+    return kernel.make_context(0)
+
+
+def drain(gen, sends=None):
+    """Run a kernel-code generator, feeding canned responses; returns ops."""
+    sends = list(sends or [])
+    ops = []
+    try:
+        op = next(gen)
+        while True:
+            ops.append(op)
+            value = sends.pop(0) if sends else 0
+            op = gen.send(value)
+    except StopIteration:
+        return ops
+
+
+class TestInstructionCapture:
+    def test_ins_names_calling_function_and_line(self, kernel, ctx):
+        def handler():
+            yield from ctx.load(0x100, 4)
+
+        op = next(handler())
+        assert "test_kernel_context.py" in op.ins
+        assert "handler" in op.ins
+
+    def test_ins_is_stable_across_runs(self, ctx):
+        def handler():
+            yield from ctx.load(0x100, 4)
+
+        assert next(handler()).ins == next(handler()).ins
+
+    def test_two_loads_get_distinct_instructions(self, ctx):
+        def handler():
+            yield from ctx.load(0x100, 4)
+            yield from ctx.load(0x100, 4)
+
+        ops = drain(handler())
+        assert ops[0].ins != ops[1].ins
+
+
+class TestMemOps:
+    def test_load_emits_read(self, ctx):
+        def handler():
+            value = yield from ctx.load(0x100, 4)
+            return value
+
+        op = next(handler())
+        assert isinstance(op, MemOp)
+        assert op.type is AccessType.READ
+        assert (op.addr, op.size, op.value) == (0x100, 4, None)
+
+    def test_store_emits_write(self, ctx):
+        def handler():
+            yield from ctx.store(0x200, 2, 0xBEEF)
+
+        op = next(handler())
+        assert op.type is AccessType.WRITE
+        assert (op.addr, op.size, op.value) == (0x200, 2, 0xBEEF)
+
+    def test_atomic_flag_propagates(self, ctx):
+        def handler():
+            yield from ctx.store_word(0x200, 1, atomic=True)
+
+        assert next(handler()).atomic is True
+
+    def test_cas_op(self, ctx):
+        def handler():
+            old = yield from ctx.cas(0x300, 4, 0, 7)
+            return old
+
+        op = next(handler())
+        assert isinstance(op, CasOp)
+        assert (op.expected, op.new) == (0, 7)
+
+    def test_field_ops_compute_addresses(self, ctx):
+        from repro.machine.layout import Struct, field
+
+        S = Struct("s", field("a", 4), field("b", 8))
+
+        def handler():
+            yield from ctx.store_field(S, 0x1000, "b", 5)
+
+        op = next(handler())
+        assert op.addr == 0x1004
+        assert op.size == 8
+
+
+class TestBulkCopies:
+    def test_memcpy_chunks_6_bytes_as_4_plus_2(self, ctx):
+        def handler():
+            yield from ctx.memcpy(0x200, 0x100, 6)
+
+        ops = drain(handler())
+        # read4, write4, read2, write2 — the torn-window shape
+        assert [(o.type, o.size) for o in ops] == [
+            (AccessType.READ, 4),
+            (AccessType.WRITE, 4),
+            (AccessType.READ, 2),
+            (AccessType.WRITE, 2),
+        ]
+        assert all(o.ins == ops[0].ins for o in ops)  # one call site
+
+    def test_memread_assembles_value(self, ctx):
+        def handler():
+            value = yield from ctx.memread(0x100, 6)
+            return value
+
+        gen = handler()
+        next(gen)  # read 4 -> respond 0xDDCCBBAA
+        gen.send(0xDDCCBBAA)  # read 2 -> respond 0xFFEE
+        with pytest.raises(StopIteration) as stop:
+            gen.send(0xFFEE)
+        assert stop.value.value == 0xFFEE_DDCC_BBAA
+
+    def test_memwrite_splits_value(self, ctx):
+        def handler():
+            yield from ctx.memwrite(0x100, 6, 0xFFEE_DDCC_BBAA)
+
+        ops = drain(handler())
+        assert ops[0].value == 0xDDCCBBAA
+        assert ops[1].value == 0xFFEE
+
+    def test_memset_fills(self, ctx):
+        def handler():
+            yield from ctx.memset(0x100, 0xAB, 3)
+
+        ops = drain(handler())
+        assert [(o.size, o.value) for o in ops] == [(2, 0xABAB), (1, 0xAB)]
+
+    def test_chunk_size_table(self):
+        assert [_chunk_size(n) for n in (1, 2, 3, 4, 7, 8, 9)] == [1, 2, 2, 4, 4, 8, 8]
+        with pytest.raises(ValueError):
+            _chunk_size(0)
+
+
+class TestStack:
+    def test_stack_alloc_is_word_aligned_and_in_range(self, kernel):
+        ctx = kernel.make_context(1)
+        addr = ctx.stack_alloc(3)
+        addr2 = ctx.stack_alloc(8)
+        assert addr2 == addr + 8
+        assert kernel.machine.in_stack(1, addr, 8)
+
+    def test_reset_stack_reclaims(self, kernel):
+        ctx = kernel.make_context(0)
+        first = ctx.stack_alloc(16)
+        ctx.reset_stack()
+        assert ctx.stack_alloc(16) == first
+
+    def test_stack_overflow_raises(self, kernel):
+        ctx = kernel.make_context(0)
+        with pytest.raises(MemoryError):
+            for _ in range(10_000):
+                ctx.stack_alloc(1024)
+
+
+class TestFailureHelpers:
+    def test_bug_on_true_panics(self, ctx):
+        ops = drain(ctx.bug_on(True, "boom"))
+        assert isinstance(ops[0], PanicOp)
+
+    def test_bug_on_false_is_noop(self, ctx):
+        assert drain(ctx.bug_on(False, "boom")) == []
+
+    def test_panic_carries_message(self, ctx):
+        op = next(ctx.panic("die"))
+        assert op.message == "die"

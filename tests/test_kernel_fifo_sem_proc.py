@@ -1,0 +1,186 @@
+"""Tests for the FIFO, semaphore and procinfo subsystems."""
+
+import pytest
+
+from repro.detect.datarace import RaceDetector
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.errors import EAGAIN_E, ENOENT
+from repro.kernel.kernel import boot_kernel
+from repro.sched.executor import Executor
+from repro.sched.random_sched import RandomScheduler
+
+
+class TestFifo:
+    def test_write_then_read_roundtrip(self, executor):
+        result = executor.run_sequential(
+            prog(
+                Call("fifo_open", (0,)),
+                Call("fifo_write", (Res(0), 42)),
+                Call("fifo_read", (Res(0),)),
+            )
+        )
+        assert result.returns[0] == [0, 0, 42]
+
+    def test_fifo_order(self, executor):
+        result = executor.run_sequential(
+            prog(
+                Call("fifo_open", (0,)),
+                Call("fifo_write", (Res(0), 1)),
+                Call("fifo_write", (Res(0), 2)),
+                Call("fifo_read", (Res(0),)),
+                Call("fifo_read", (Res(0),)),
+            )
+        )
+        assert result.returns[0][3:] == [1, 2]
+
+    def test_empty_read_is_eagain(self, executor):
+        result = executor.run_sequential(
+            prog(Call("fifo_open", (1,)), Call("fifo_read", (Res(0),)))
+        )
+        assert result.returns[0][1] == EAGAIN_E
+
+    def test_full_write_is_eagain(self, executor):
+        calls = [Call("fifo_open", (0,))]
+        calls += [Call("fifo_write", (Res(0), i)) for i in range(5)]
+        result = executor.run_sequential(prog(*calls))
+        assert result.returns[0][1:5] == [0, 1, 2, 3]
+        assert result.returns[0][5] == EAGAIN_E
+
+    def test_fifos_are_shared_across_processes(self):
+        """Writer in process 0, reader in process 1 — the FIFO is global."""
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        writer = prog(Call("fifo_open", (0,)), Call("fifo_write", (Res(0), 77)))
+        reader = prog(Call("fifo_open", (0,)), Call("fifo_read", (Res(0),)))
+        result = executor.run_concurrent([writer, reader])  # writer first
+        assert result.returns[1][1] == 77
+
+    def test_no_data_races_in_fifo_traffic(self):
+        """The FIFO layer is properly locked: heavy cross-process traffic
+        must never produce a race report."""
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        a = prog(
+            Call("fifo_open", (0,)),
+            Call("fifo_write", (Res(0), 1)),
+            Call("fifo_read", (Res(0),)),
+            Call("fifo_write", (Res(0), 2)),
+        )
+        for seed in range(10):
+            scheduler = RandomScheduler(seed=seed, switch_probability=0.4)
+            scheduler.begin_trial(0)
+            detector = RaceDetector()
+            executor.run_concurrent([a, a], scheduler=scheduler, race_detector=detector)
+            fifo_races = [r for r in detector.reports() if r.involves("fifo")]
+            assert fifo_races == []
+
+
+class TestSem:
+    def test_semget_creates(self, executor):
+        result = executor.run_sequential(prog(Call("semget", (1,))))
+        assert result.returns[0] == [1]
+
+    def test_semop_adjusts_value(self, executor):
+        # delta encoding: (arg % 8) - 4, so arg 6 -> +2.
+        result = executor.run_sequential(
+            prog(Call("semget", (1,)), Call("semop", (1, 6)), Call("semctl", (1, 1)))
+        )
+        assert result.returns[0] == [1, 3, 3]  # 1 + 2
+
+    def test_value_floors_at_zero(self, executor):
+        result = executor.run_sequential(
+            prog(Call("semget", (1,)), Call("semop", (1, 0)), Call("semctl", (1, 1)))
+        )
+        assert result.returns[0][2] == 0  # 1 - 4 floored
+
+    def test_rmid_removes(self, executor):
+        result = executor.run_sequential(
+            prog(Call("semget", (2,)), Call("semctl", (2, 0)), Call("semop", (2, 6)))
+        )
+        assert result.returns[0] == [2, 0, ENOENT]
+
+    def test_sem_rhashtable_is_independent_of_ipc(self, executor):
+        """Key 1 in the sem namespace does not collide with msg key 1."""
+        result = executor.run_sequential(
+            prog(
+                Call("semget", (1,)),
+                Call("msgget", (1,)),
+                Call("semctl", (1, 0)),
+                Call("msgrcv", (1,)),
+            )
+        )
+        assert result.returns[0][2] == 0  # sem removed
+        assert result.returns[0][3] == 0  # msg queue still there (value 0)
+
+    def test_double_fetch_reachable_from_sem_family(self):
+        """Figure 4's point: the rhashtable bug fires from *any* user.
+
+        semget ‖ semctl(IPC_RMID) panics exactly like msgget ‖ msgctl.
+        """
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        writer = prog(Call("semget", (2,)), Call("semctl", (2, 0)))
+        reader = prog(Call("semget", (2,)))
+        from repro.kernel.rhashtable import bucket_addr
+
+        table = kernel.subsystems["sem"].table
+
+        class ForceDoubleFetch:
+            def __init__(self):
+                self.done = set()
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                if (
+                    access.thread == 0
+                    and "rht_insert" in access.ins
+                    and access.is_write
+                    and access.addr == bucket_addr(table, 2)
+                    and "a" not in self.done
+                ):
+                    self.done.add("a")
+                    return True
+                if access.thread == 1 and "rht_ptr" in access.ins and "b" not in self.done:
+                    self.done.add("b")
+                    return True
+                return False
+
+        result = executor.run_concurrent([writer, reader], scheduler=ForceDoubleFetch())
+        assert result.panicked
+        assert "rht_lookup" in result.panic_message
+
+
+class TestProcInfo:
+    def test_sysinfo_reflects_allocations(self, executor):
+        result = executor.run_sequential(
+            prog(Call("sysinfo", ()), Call("msgget", (0,)), Call("sysinfo", ()))
+        )
+        before, _, after = result.returns[0]
+        assert after > before  # the msgget allocated memory
+
+    def test_sysinfo_is_a_new_sb13_reader(self):
+        """sysinfo's lockless reads race with allocator writers (#13)."""
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        reader = prog(Call("sysinfo", ()), Call("sysinfo", ()))
+        writer = prog(Call("msgget", (1,)))
+        found = False
+        for seed in range(30):
+            scheduler = RandomScheduler(seed=seed, switch_probability=0.4)
+            scheduler.begin_trial(0)
+            detector = RaceDetector()
+            executor.run_concurrent(
+                [writer, reader], scheduler=scheduler, race_detector=detector
+            )
+            if any(
+                r.involves("sys_sysinfo") and r.involves("alloc.py")
+                for r in detector.reports()
+            ):
+                found = True
+                break
+        assert found

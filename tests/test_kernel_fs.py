@@ -1,0 +1,217 @@
+"""Tests for the filesystem subsystem: semantics + planted AV/DR bugs."""
+
+import pytest
+
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.errors import EIO, ENOENT
+from repro.kernel.kernel import boot_kernel
+from repro.kernel.subsystems.fs import EXT_MAGIC, INODE, ext4_csum
+from repro.sched.executor import Executor
+
+
+@pytest.fixture()
+def ex():
+    kernel, snapshot = boot_kernel()
+    return Executor(kernel, snapshot)
+
+
+class TestSequentialSemantics:
+    def test_open_read_returns_boot_data(self, ex):
+        result = ex.run_sequential(prog(Call("open", (1,)), Call("read", (Res(0), 1))))
+        assert result.returns[0] == [0, 0x1001]
+
+    def test_write_then_read(self, ex):
+        result = ex.run_sequential(
+            prog(Call("open", (2,)), Call("write", (Res(0), 77)), Call("read", (Res(0), 1)))
+        )
+        assert result.returns[0] == [0, 0, 77]
+
+    def test_write_keeps_checksum_valid(self, ex):
+        result = ex.run_sequential(
+            prog(Call("open", (1,)), Call("write", (Res(0), 5)), Call("fsync", (Res(0),)))
+        )
+        assert result.returns[0][-1] == 0
+        assert result.console == []
+
+    def test_write_keeps_magic_valid(self, ex):
+        result = ex.run_sequential(
+            prog(Call("open", (1,)), Call("write", (Res(0), 5)), Call("write", (Res(0), 6)))
+        )
+        assert result.returns[0] == [0, 0, 0]
+        assert result.console == []
+
+    def test_swap_boot_loader_sequentially_clean(self, ex):
+        result = ex.run_sequential(
+            prog(
+                Call("open", (1,)),
+                Call("ioctl", (Res(0), 1, 0)),
+                Call("fsync", (Res(0),)),
+                Call("read", (Res(0), 1)),
+            )
+        )
+        assert result.returns[0][1] == 0  # swap succeeded
+        assert result.returns[0][2] == 0  # checksum still valid
+        assert result.returns[0][3] == 0x1000  # got the boot inode's data
+        assert result.console == []
+
+    def test_swap_boot_with_boot_inode_rejected(self, ex):
+        from repro.kernel.errors import EINVAL
+
+        result = ex.run_sequential(prog(Call("open", (0,)), Call("ioctl", (Res(0), 1, 0))))
+        assert result.returns[0][1] == EINVAL
+
+    def test_configfs_mkdir_then_lookup(self, ex):
+        result = ex.run_sequential(prog(Call("mkdir", (3,)), Call("lookup", (3,))))
+        assert result.returns[0][0] == 0
+        assert result.returns[0][1] >= 0  # an fd
+
+    def test_configfs_lookup_missing(self, ex):
+        result = ex.run_sequential(prog(Call("lookup", (3,))))
+        assert result.returns[0] == [ENOENT]
+
+    def test_open_via_configfs_path_namespace(self, ex):
+        result = ex.run_sequential(prog(Call("mkdir", (1,)), Call("open", (101,))))
+        assert result.returns[0][1] >= 0
+
+    def test_fadvise_returns_readahead(self, ex):
+        result = ex.run_sequential(prog(Call("open", (1,)), Call("fadvise", (Res(0),))))
+        assert result.returns[0][1] == 32  # boot-time ra_pages
+
+
+class TestChecksumHelper:
+    def test_csum_mixes_generation(self):
+        assert ext4_csum(1, 1) != ext4_csum(1, 2)
+
+    def test_csum_is_32bit(self):
+        assert 0 <= ext4_csum(0xFFFFFFFF, 0xFFFFFFFF) <= 0xFFFFFFFF
+
+
+class _ForceAfterSection1:
+    """Preempt thread 0 right after its first locked section ends.
+
+    The unlock is the store of 0 to the given 4-byte lock word; switching
+    right after it exposes the atomicity hole between the two sections.
+    """
+
+    def __init__(self, lock_addr: int, count: int = 1):
+        self.lock_addr = lock_addr
+        self.remaining = count
+
+    def begin_trial(self, t):
+        pass
+
+    def end_trial(self, r):
+        pass
+
+    def on_access(self, access):
+        if (
+            access.thread == 0
+            and self.remaining
+            and access.is_write
+            and access.addr == self.lock_addr
+            and access.size == 4
+            and access.value == 0
+        ):
+            self.remaining -= 1
+            return True
+        return False
+
+
+class TestSwapBootLoaderAV:
+    """Bug #2 analogue: duplicate concurrent swaps corrupt the checksum."""
+
+    @staticmethod
+    def _boot_lock(kernel):
+        fs = kernel.subsystems["fs"]
+        return INODE.addr(fs.inode_addr(0), "lock")
+
+    def test_concurrent_duplicate_swaps_report_checksum_error(self):
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        test = prog(Call("open", (1,)), Call("ioctl", (Res(0), 1, 0)))
+        scheduler = _ForceAfterSection1(self._boot_lock(kernel))
+        result = executor.run_concurrent([test, test], scheduler=scheduler)
+        assert any("checksum invalid" in line for line in result.console)
+
+    def test_error_message_names_the_function(self):
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        test = prog(Call("open", (1,)), Call("ioctl", (Res(0), 1, 0)))
+        result = executor.run_concurrent(
+            [test, test], scheduler=_ForceAfterSection1(self._boot_lock(kernel))
+        )
+        assert any("swap_inode_boot_loader" in line for line in result.console)
+
+
+class TestExtentMagicAV:
+    """Bug #3 analogue: duplicate concurrent writes observe zero magic."""
+
+    @staticmethod
+    def _inode2_lock(kernel):
+        fs = kernel.subsystems["fs"]
+        return INODE.addr(fs.inode_addr(2), "lock")
+
+    def test_concurrent_writes_report_invalid_magic(self):
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        test = prog(Call("open", (2,)), Call("write", (Res(0), 9)))
+        result = executor.run_concurrent(
+            [test, test], scheduler=_ForceAfterSection1(self._inode2_lock(kernel))
+        )
+        assert any("ext4_ext_check_inode" in line for line in result.console)
+        assert any("invalid magic" in line for line in result.console)
+
+    def test_magic_restored_after_both_writes(self):
+        """Even in the buggy interleaving the magic ends up restored."""
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        test = prog(Call("open", (2,)), Call("write", (Res(0), 9)))
+        executor.run_concurrent(
+            [test, test], scheduler=_ForceAfterSection1(self._inode2_lock(kernel))
+        )
+        fs = kernel.subsystems["fs"]
+        magic = kernel.machine.memory.read_int(
+            INODE.addr(fs.inode_addr(2), "eh_magic"), 4
+        )
+        assert magic == EXT_MAGIC
+
+
+class TestConfigfsNullDeref:
+    """Bug #11 analogue: lookup dereferences a dentry without an inode."""
+
+    def test_forced_schedule_panics(self):
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        writer = prog(Call("mkdir", (2,)))
+        reader = prog(Call("lookup", (2,)))
+
+        class ForcePublishWindow:
+            def __init__(self):
+                self.switched = False
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                # Right after mkdir publishes the dentry (children head store).
+                if (
+                    access.thread == 0
+                    and not self.switched
+                    and "sys_mkdir" in access.ins
+                    and access.is_write
+                    and access.value != 0
+                    and access.size == 8
+                    and access.addr
+                    == kernel.globals["configfs_root"] + 8  # children field
+                ):
+                    self.switched = True
+                    return True
+                return False
+
+        result = executor.run_concurrent([writer, reader], scheduler=ForcePublishWindow())
+        assert result.panicked
+        assert "NULL pointer dereference" in result.panic_message
+        assert "sys_lookup" in result.panic_message

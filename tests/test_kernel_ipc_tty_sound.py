@@ -1,0 +1,179 @@
+"""Tests for the IPC, TTY and sound subsystems."""
+
+import pytest
+
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.errors import EBUSY, ENOENT, ENOMEM
+from repro.kernel.kernel import boot_kernel
+from repro.sched.executor import Executor
+
+
+class TestIpc:
+    def test_msgget_creates_and_returns_key_id(self, executor):
+        result = executor.run_sequential(prog(Call("msgget", (3,))))
+        assert result.returns[0] == [3]
+
+    def test_msgget_is_idempotent(self, executor):
+        result = executor.run_sequential(prog(Call("msgget", (3,)), Call("msgget", (3,))))
+        assert result.returns[0] == [3, 3]
+
+    def test_snd_then_rcv_roundtrip(self, executor):
+        result = executor.run_sequential(
+            prog(Call("msgget", (1,)), Call("msgsnd", (1, 0xABC)), Call("msgrcv", (1,)))
+        )
+        assert result.returns[0] == [1, 0, 0xABC]
+
+    def test_rmid_removes(self, executor):
+        result = executor.run_sequential(
+            prog(Call("msgget", (1,)), Call("msgctl", (1, 0)), Call("msgrcv", (1,)))
+        )
+        assert result.returns[0] == [1, 0, ENOENT]
+
+    def test_rmid_missing_queue(self, executor):
+        result = executor.run_sequential(prog(Call("msgctl", (5, 0))))
+        assert result.returns[0] == [ENOENT]
+
+    def test_stat_reports_qbytes(self, executor):
+        result = executor.run_sequential(prog(Call("msgget", (2,)), Call("msgctl", (2, 1))))
+        assert result.returns[0] == [2, 16384]
+
+    def test_send_to_missing_queue(self, executor):
+        result = executor.run_sequential(prog(Call("msgsnd", (6, 1))))
+        assert result.returns[0] == [ENOENT]
+
+    def test_colliding_keys_share_bucket(self, executor):
+        """Keys 1 and 5 hash to one bucket; both queues must work."""
+        result = executor.run_sequential(
+            prog(
+                Call("msgget", (1,)),
+                Call("msgget", (5,)),
+                Call("msgsnd", (1, 11)),
+                Call("msgsnd", (5, 55)),
+                Call("msgrcv", (1,)),
+                Call("msgrcv", (5,)),
+            )
+        )
+        assert result.returns[0][-2:] == [11, 55]
+
+
+class TestTty:
+    def test_open_returns_fd(self, executor):
+        result = executor.run_sequential(prog(Call("tty_open", ())))
+        assert result.returns[0][0] >= 0
+
+    def test_autoconfig_restores_type(self, executor):
+        result = executor.run_sequential(
+            prog(Call("tty_open", ()), Call("ioctl", (Res(0), 7, 0)), Call("tty_open", ()))
+        )
+        assert result.returns[0][1] == 0
+        assert result.returns[0][2] >= 0  # port type intact afterwards
+
+    def test_open_count_increments(self):
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        from repro.kernel.subsystems.tty import UART_PORT
+
+        executor.run_sequential(prog(Call("tty_open", ()), Call("tty_open", ())))
+        tty = kernel.subsystems["tty"]
+        count = kernel.machine.memory.read_int(
+            UART_PORT.addr(tty.port, "open_count"), 8
+        )
+        assert count == 2
+
+    def test_open_during_autoconfig_window_fails(self):
+        """Bug #14: opener observes the transient unknown port type."""
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        from repro.kernel.subsystems.tty import PORT_UNKNOWN, UART_PORT
+
+        writer = prog(Call("tty_open", ()), Call("ioctl", (Res(0), 7, 0)))
+        reader = prog(Call("tty_open", ()))
+        tty = kernel.subsystems["tty"]
+        type_addr = UART_PORT.addr(tty.port, "type")
+
+        class ForceWindow:
+            def __init__(self):
+                self.switched = False
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                if (
+                    access.thread == 0
+                    and not self.switched
+                    and access.is_write
+                    and access.addr == type_addr
+                    and access.value == PORT_UNKNOWN
+                ):
+                    self.switched = True
+                    return True
+                return False
+
+        result = executor.run_concurrent([writer, reader], scheduler=ForceWindow())
+        assert result.returns[1][0] == EBUSY
+        assert any("port type unknown" in line for line in result.console)
+
+
+class TestSound:
+    def test_add_accounts_bytes(self, executor):
+        result = executor.run_sequential(
+            prog(Call("snd_ctl_add", (100,)), Call("snd_ctl_info", ()))
+        )
+        assert result.returns[0] == [100, 100]
+
+    def test_add_accumulates(self, executor):
+        result = executor.run_sequential(
+            prog(Call("snd_ctl_add", (100,)), Call("snd_ctl_add", (50,)))
+        )
+        assert result.returns[0] == [100, 150]
+
+    def test_quota_enforced_sequentially(self, executor):
+        calls = tuple(Call("snd_ctl_add", (1000,)) for _ in range(5))
+        result = executor.run_sequential(prog(*calls))
+        assert result.returns[0][:4] == [1000, 2000, 3000, 4000]
+        assert result.returns[0][4] == ENOMEM
+
+    def test_quota_bypass_under_race(self):
+        """Bug #15: two adds read the same quota and both pass the check."""
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        from repro.kernel.subsystems.sound import MAX_USER_CTL_BYTES, SND_CARD
+
+        # Two adds of 500 bytes: sequentially the accounting ends at 1000;
+        # racing between check and store, one update is lost.
+        size = 500
+        test = prog(Call("snd_ctl_add", (size,)))
+
+        class ForceBetweenCheckAndStore:
+            def __init__(self):
+                self.switched = False
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                if (
+                    access.thread == 0
+                    and not self.switched
+                    and access.is_read
+                    and "sys_snd_ctl_add" in access.ins
+                ):
+                    self.switched = True
+                    return True
+                return False
+
+        result = executor.run_concurrent([test, test], scheduler=ForceBetweenCheckAndStore())
+        returns = [r[0] for r in result.returns]
+        assert returns == [size, size]  # both saw the same base accounting
+        sound = kernel.subsystems["sound"]
+        used = kernel.machine.memory.read_int(
+            SND_CARD.addr(sound.card, "user_ctl_bytes"), 8
+        )
+        assert used == size  # one update lost: quota undercounts by 500

@@ -1,0 +1,172 @@
+"""Tests for the L2TP subsystem and the Figure 1 order-violation bug."""
+
+import pytest
+
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.errors import ENOTCONN
+from repro.kernel.kernel import boot_kernel
+from repro.kernel.subsystems.l2tp import TUNNEL
+from repro.sched.executor import Executor
+
+
+@pytest.fixture()
+def booted_l2tp():
+    kernel, snapshot = boot_kernel()
+    return kernel, Executor(kernel, snapshot)
+
+
+class TestSequentialSemantics:
+    def test_connect_registers_tunnel(self, booted_l2tp):
+        kernel, executor = booted_l2tp
+        result = executor.run_sequential(
+            prog(Call("socket", (2,)), Call("connect", (Res(0), 1)))
+        )
+        assert result.returns[0] == [0, 0]
+        l2tp = kernel.subsystems["l2tp"]
+        head = kernel.machine.memory.read_int(l2tp.list_head, 8)
+        assert head != 0
+        tid = kernel.machine.memory.read_int(TUNNEL.addr(head, "tunnel_id"), 8)
+        assert tid == 1
+
+    def test_second_connect_reuses_tunnel(self, booted_l2tp):
+        kernel, executor = booted_l2tp
+        result = executor.run_sequential(
+            prog(
+                Call("socket", (2,)),
+                Call("connect", (Res(0), 1)),
+                Call("socket", (2,)),
+                Call("connect", (Res(2), 1)),
+            )
+        )
+        assert result.returns[0] == [0, 0, 1, 0]
+        # Only one tunnel on the list.
+        l2tp = kernel.subsystems["l2tp"]
+        head = kernel.machine.memory.read_int(l2tp.list_head, 8)
+        nxt = kernel.machine.memory.read_int(TUNNEL.addr(head, "next"), 8)
+        assert nxt == 0
+
+    def test_distinct_ids_chain(self, booted_l2tp):
+        kernel, executor = booted_l2tp
+        result = executor.run_sequential(
+            prog(
+                Call("socket", (2,)),
+                Call("connect", (Res(0), 1)),
+                Call("socket", (2,)),
+                Call("connect", (Res(2), 2)),
+            )
+        )
+        assert result.returns[0][-1] == 0
+        l2tp = kernel.subsystems["l2tp"]
+        head = kernel.machine.memory.read_int(l2tp.list_head, 8)
+        nxt = kernel.machine.memory.read_int(TUNNEL.addr(head, "next"), 8)
+        assert nxt != 0
+
+    def test_sendmsg_after_connect_works(self, booted_l2tp):
+        _, executor = booted_l2tp
+        result = executor.run_sequential(
+            prog(Call("socket", (2,)), Call("connect", (Res(0), 1)), Call("sendmsg", (Res(0), 9)))
+        )
+        assert result.returns[0] == [0, 0, 9]
+
+    def test_sendmsg_without_connect_is_enotconn(self, booted_l2tp):
+        _, executor = booted_l2tp
+        result = executor.run_sequential(
+            prog(Call("socket", (2,)), Call("sendmsg", (Res(0), 9)))
+        )
+        assert result.returns[0] == [0, ENOTCONN]
+
+    def test_sock_initialised_after_sequential_register(self, booted_l2tp):
+        kernel, executor = booted_l2tp
+        executor.run_sequential(prog(Call("socket", (2,)), Call("connect", (Res(0), 3))))
+        l2tp = kernel.subsystems["l2tp"]
+        head = kernel.machine.memory.read_int(l2tp.list_head, 8)
+        sock = kernel.machine.memory.read_int(TUNNEL.addr(head, "sock"), 8)
+        assert sock != 0
+
+
+class TestOrderViolation:
+    """Bug #12: the tunnel is published before tunnel->sock is set."""
+
+    def _forced_result(self):
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        writer = prog(Call("socket", (2,)), Call("connect", (Res(0), 1)))
+        reader = prog(
+            Call("socket", (2,)), Call("connect", (Res(0), 1)), Call("sendmsg", (Res(0), 5))
+        )
+        l2tp = kernel.subsystems["l2tp"]
+
+        class ForcePublishWindow:
+            def __init__(self):
+                self.switched = False
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                # Immediately after the writer publishes the tunnel on the
+                # RCU list (and before tunnel->sock is initialised).
+                if (
+                    access.thread == 0
+                    and not self.switched
+                    and access.is_write
+                    and access.addr == l2tp.list_head
+                    and access.value != 0
+                ):
+                    self.switched = True
+                    return True
+                return False
+
+        return executor.run_concurrent([writer, reader], scheduler=ForcePublishWindow())
+
+    def test_forced_schedule_panics_with_null_deref(self):
+        result = self._forced_result()
+        assert result.panicked
+        assert "NULL pointer dereference" in result.panic_message
+        assert "pppol2tp_sendmsg" in result.panic_message
+
+    def test_no_data_race_reported(self):
+        """#12 is an order violation, NOT a data race: all the accesses
+        involved are synchronised (RCU publish + WRITE_ONCE/READ_ONCE)."""
+        from repro.detect.datarace import RaceDetector
+
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        writer = prog(Call("socket", (2,)), Call("connect", (Res(0), 1)))
+        reader = prog(
+            Call("socket", (2,)), Call("connect", (Res(0), 1)), Call("sendmsg", (Res(0), 5))
+        )
+        l2tp = kernel.subsystems["l2tp"]
+
+        class ForcePublishWindow:
+            def __init__(self):
+                self.switched = False
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                if (
+                    access.thread == 0
+                    and not self.switched
+                    and access.is_write
+                    and access.addr == l2tp.list_head
+                    and access.value != 0
+                ):
+                    self.switched = True
+                    return True
+                return False
+
+        detector = RaceDetector()
+        result = executor.run_concurrent(
+            [writer, reader], scheduler=ForcePublishWindow(), race_detector=detector
+        )
+        assert result.panicked  # the bug fired...
+        l2tp_races = [r for r in detector.reports() if r.involves("l2tp")]
+        assert l2tp_races == []  # ...with no data race involved

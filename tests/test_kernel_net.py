@@ -1,0 +1,221 @@
+"""Tests for the network subsystem: sockets, MAC, MTU, fanout, FIB."""
+
+import pytest
+
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.errors import EINVAL
+from repro.kernel.kernel import boot_kernel
+from repro.kernel.subsystems.net import FANOUT, NETDEV
+from repro.sched.executor import Executor
+
+OLD_MAC = 0x0250_5600_0000
+NEW_MAC = 0xFFEE_DDCC_BBAA
+
+
+@pytest.fixture()
+def booted_net():
+    kernel, snapshot = boot_kernel()
+    return kernel, Executor(kernel, snapshot)
+
+
+class TestSockets:
+    def test_socket_returns_fd(self, executor):
+        result = executor.run_sequential(prog(Call("socket", (0,))))
+        assert result.returns[0] == [0]
+
+    def test_connect_binds_and_reads_congestion(self, executor):
+        result = executor.run_sequential(
+            prog(Call("socket", (0,)), Call("connect", (Res(0), 1)))
+        )
+        assert result.returns[0] == [0, 0]
+
+    def test_sendmsg_inet_reads_mac_safely(self, executor):
+        result = executor.run_sequential(
+            prog(Call("socket", (0,)), Call("sendmsg", (Res(0), 1)))
+        )
+        assert result.returns[0][1] >= 0
+
+    def test_getsockname_returns_boot_mac(self, executor):
+        result = executor.run_sequential(
+            prog(Call("socket", (0,)), Call("getsockname", (Res(0),)))
+        )
+        assert result.returns[0][1] == OLD_MAC
+
+    def test_close_frees_socket(self, executor):
+        result = executor.run_sequential(
+            prog(Call("socket", (0,)), Call("close", (Res(0),)), Call("socket", (1,)))
+        )
+        assert result.returns[0] == [0, 0, 0]
+
+
+class TestMacIoctls:
+    def test_set_then_get_mac(self, executor):
+        result = executor.run_sequential(
+            prog(
+                Call("socket", (0,)),
+                Call("ioctl", (Res(0), 4, NEW_MAC)),
+                Call("ioctl", (Res(0), 5, 0)),
+            )
+        )
+        assert result.returns[0][2] == NEW_MAC
+
+    def test_mac_write_is_chunked(self, executor):
+        """The 6-byte MAC store is two instructions — the torn window."""
+        result = executor.run_sequential(
+            prog(Call("socket", (0,)), Call("ioctl", (Res(0), 4, NEW_MAC)))
+        )
+        kernel = executor.kernel
+        dev_addr = NETDEV.addr(kernel.globals["netdev_table"], "dev_addr")
+        writes = [
+            a
+            for a in result.accesses
+            if a.is_write and dev_addr <= a.addr < dev_addr + 6
+        ]
+        assert [w.size for w in writes] == [4, 2]
+        assert all("ioctl_set_mac" in w.ins for w in writes)
+
+    def test_torn_read_under_forced_schedule(self, booted_net):
+        """Reader preempts between the writer's two MAC chunks (#9)."""
+        kernel, executor = booted_net
+        writer = prog(Call("socket", (0,)), Call("ioctl", (Res(0), 4, NEW_MAC)))
+        reader = prog(Call("socket", (0,)), Call("ioctl", (Res(0), 5, 0)))
+
+        dev_addr = NETDEV.addr(kernel.globals["netdev_table"], "dev_addr")
+
+        class ForceTear:
+            def __init__(self):
+                self.torn = False
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                if (
+                    access.thread == 0
+                    and not self.torn
+                    and access.is_write
+                    and access.addr == dev_addr
+                    and access.size == 4
+                ):
+                    self.torn = True
+                    return True  # switch after the first (4-byte) chunk
+                return False
+
+        result = executor.run_concurrent([writer, reader], scheduler=ForceTear())
+        got = result.returns[1][1]
+        assert got not in (OLD_MAC, NEW_MAC)
+        # Low 4 bytes new, high 2 bytes old: the torn value.
+        assert got & 0xFFFF_FFFF == NEW_MAC & 0xFFFF_FFFF
+        assert got >> 32 == OLD_MAC >> 32
+
+
+class TestMtu:
+    def test_set_mtu(self, executor):
+        result = executor.run_sequential(
+            prog(Call("socket", (3,)), Call("ioctl", (Res(0), 6, 900)))
+        )
+        assert result.returns[0][1] == 0
+
+    def test_invalid_mtu_rejected(self, executor):
+        result = executor.run_sequential(
+            prog(Call("socket", (3,)), Call("ioctl", (Res(0), 6, 0)))
+        )
+        assert result.returns[0][1] == EINVAL
+
+    def test_ipv6_send_uses_mtu(self, executor):
+        result = executor.run_sequential(
+            prog(Call("socket", (3,)), Call("sendmsg", (Res(0), 4000)))
+        )
+        assert result.returns[0][1] >= 0
+
+
+class TestFanout:
+    def test_add_and_demux(self, executor):
+        result = executor.run_sequential(
+            prog(
+                Call("socket", (1,)),
+                Call("setsockopt", (Res(0), 3, 0)),
+                Call("sendmsg", (Res(0), 0)),
+            )
+        )
+        assert result.returns[0][1] == 0
+        assert result.returns[0][2] == 1  # demuxed to the AF_PACKET member
+
+    def test_fanout_requires_packet_socket(self, executor):
+        result = executor.run_sequential(
+            prog(Call("socket", (0,)), Call("setsockopt", (Res(0), 3, 0)))
+        )
+        assert result.returns[0][1] == EINVAL
+
+    def test_close_unlinks_member(self, booted_net):
+        kernel, executor = booted_net
+        result = executor.run_sequential(
+            prog(
+                Call("socket", (1,)),
+                Call("setsockopt", (Res(0), 3, 0)),
+                Call("close", (Res(0),)),
+            )
+        )
+        assert result.returns[0] == [0, 0, 0]
+        net = kernel.subsystems["net"]
+        num = kernel.machine.memory.read_int(
+            FANOUT.addr(net.fanout, "num_members"), 8
+        )
+        assert num == 0
+
+    def test_demux_empty_group_returns_zero(self, executor):
+        result = executor.run_sequential(
+            prog(Call("socket", (1,)), Call("sendmsg", (Res(0), 3)))
+        )
+        assert result.returns[0][1] == 0
+
+    def test_group_capacity(self, executor):
+        calls = []
+        for i in range(5):
+            calls.append(Call("socket", (1,)))
+        for i in range(5):
+            calls.append(Call("setsockopt", (Res(i), 3, 0)))
+        result = executor.run_sequential(prog(*calls))
+        assert result.returns[0][5:9] == [0, 0, 0, 0]
+        assert result.returns[0][9] == EINVAL  # fifth member rejected
+
+
+class TestCongestionAndFib:
+    def test_default_congestion_propagates(self, executor):
+        result = executor.run_sequential(
+            prog(
+                Call("socket", (0,)),
+                Call("setsockopt", (Res(0), 2, 5)),  # set default
+                Call("setsockopt", (Res(0), 1, 0)),  # adopt default
+            )
+        )
+        assert result.returns[0] == [0, 0, 0]
+
+    def test_unknown_sockopt_rejected(self, executor):
+        result = executor.run_sequential(
+            prog(Call("socket", (0,)), Call("setsockopt", (Res(0), 9, 0)))
+        )
+        assert result.returns[0][1] == EINVAL
+
+    def test_route_update_changes_cookie_observed_by_send(self, executor):
+        result = executor.run_sequential(
+            prog(
+                Call("socket", (3,)),
+                Call("route_update", (0x42,)),
+                Call("sendmsg", (Res(0), 10)),
+            )
+        )
+        # cookie & 0xFF = 0x42 contributes to the return value.
+        assert result.returns[0][2] == 1 + 0x42
+
+    def test_seqlock_leaves_sequence_even(self, booted_net):
+        kernel, executor = booted_net
+        executor.run_sequential(prog(Call("route_update", (7,))))
+        net = kernel.subsystems["net"]
+        from repro.kernel.subsystems.net import FIB6
+
+        seq = kernel.machine.memory.read_int(FIB6.addr(net.fib6, "seq"), 4)
+        assert seq % 2 == 0

@@ -1,0 +1,123 @@
+"""Tests for the rhashtable library, including the planted double fetch."""
+
+import pytest
+
+from repro.kernel import rhashtable as rht
+from repro.kernel.kernel import boot_kernel
+from repro.machine.snapshot import Snapshot
+from repro.fuzz.prog import Call, prog
+from repro.sched.executor import Executor
+
+
+@pytest.fixture()
+def k():
+    kernel, _ = boot_kernel()
+    kernel.table = kernel.static_alloc("test_rht", rht.RHT_TABLE.size)
+    return kernel
+
+
+def insert(k, key):
+    ctx = k.make_context(0)
+    entry = k.boot_run(k.allocator.kzalloc(ctx, rht.RHT_ENTRY.size + 16))
+    k.boot_run(rht.rht_insert(ctx, k.table, entry, key))
+    return entry
+
+
+class TestBasicOperations:
+    def test_lookup_missing_returns_zero(self, k):
+        ctx = k.make_context(0)
+        assert k.boot_run(rht.rht_lookup(ctx, k.table, 3)) == 0
+
+    def test_insert_then_lookup(self, k):
+        ctx = k.make_context(0)
+        entry = insert(k, 3)
+        assert k.boot_run(rht.rht_lookup(ctx, k.table, 3)) == entry
+
+    def test_chained_bucket(self, k):
+        """Keys 1 and 5 collide (NBUCKETS=4); both must be findable."""
+        ctx = k.make_context(0)
+        e1 = insert(k, 1)
+        e5 = insert(k, 5)
+        assert k.boot_run(rht.rht_lookup(ctx, k.table, 1)) == e1
+        assert k.boot_run(rht.rht_lookup(ctx, k.table, 5)) == e5
+
+    def test_remove_head(self, k):
+        ctx = k.make_context(0)
+        insert(k, 2)
+        removed = k.boot_run(rht.rht_remove(ctx, k.table, 2))
+        assert removed != 0
+        assert k.boot_run(rht.rht_lookup(ctx, k.table, 2)) == 0
+        assert k.machine.memory.read_int(rht.bucket_addr(k.table, 2), 8) == 0
+
+    def test_remove_middle_of_chain(self, k):
+        ctx = k.make_context(0)
+        e1 = insert(k, 1)
+        insert(k, 5)  # becomes the head; e1 is now mid-chain
+        assert k.boot_run(rht.rht_remove(ctx, k.table, 1)) == e1
+        assert k.boot_run(rht.rht_lookup(ctx, k.table, 5)) != 0
+        assert k.boot_run(rht.rht_lookup(ctx, k.table, 1)) == 0
+
+    def test_remove_missing_returns_zero(self, k):
+        ctx = k.make_context(0)
+        assert k.boot_run(rht.rht_remove(ctx, k.table, 7)) == 0
+
+
+class TestDoubleFetch:
+    def test_sequential_lookup_reads_bucket_twice(self, k):
+        """The two fetches of rht_ptr are distinct instructions."""
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        result = executor.run_sequential(prog(Call("msgget", (2,)), Call("msgget", (2,))))
+        fetches = [a for a in result.accesses if "rht_ptr" in a.ins and a.is_read]
+        ins = {a.ins for a in fetches}
+        assert len(ins) == 2  # fetch-1 and fetch-2 are separate instructions
+
+    def test_forced_schedule_null_derefs(self):
+        """Writer nulls the bucket between the reader's two fetches."""
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        writer = prog(Call("msgget", (2,)), Call("msgctl", (2, 0)))
+        reader = prog(Call("msgget", (2,)))
+
+        class ForceDoubleFetch:
+            def __init__(self):
+                self.done = set()
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                if (
+                    access.thread == 0
+                    and "rht_insert" in access.ins
+                    and access.is_write
+                    and access.size == 8
+                    and access.addr == rht.bucket_addr(kernel.subsystems["ipc"].table, 2)
+                    and "a" not in self.done
+                ):
+                    self.done.add("a")
+                    return True
+                if access.thread == 1 and "rht_ptr" in access.ins and "b" not in self.done:
+                    self.done.add("b")
+                    return True
+                return False
+
+        result = executor.run_concurrent([writer, reader], scheduler=ForceDoubleFetch())
+        assert result.panicked
+        assert "NULL pointer dereference" in result.panic_message
+        assert "rht_lookup" in result.panic_message
+
+    def test_profile_marks_df_leader(self):
+        """Sequential profiling marks the first fetch as a double-fetch leader."""
+        from repro.profile.profiler import profile_from_result
+
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        # msgget on an existing key does lookup with two equal fetches.
+        program = prog(Call("msgget", (2,)), Call("msgget", (2,)))
+        profile = profile_from_result(0, program, executor.run_sequential(program))
+        leaders = [a for a in profile.accesses if a.df_leader]
+        assert any("rht_ptr" in a.ins for a in leaders)

@@ -1,0 +1,98 @@
+"""Unit tests for memory-access records and value projection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.accesses import AccessType, MemoryAccess, project_value
+
+
+def access(addr=0x100, size=4, value=0, type=AccessType.READ, **kw):
+    defaults = dict(seq=0, thread=0, ins="k.py:f:1")
+    defaults.update(kw)
+    return MemoryAccess(type=type, addr=addr, size=size, value=value, **defaults)
+
+
+class TestMemoryAccess:
+    def test_end_and_predicates(self):
+        a = access(addr=0x10, size=8, type=AccessType.WRITE)
+        assert a.end == 0x18
+        assert a.is_write and not a.is_read
+
+    def test_overlap_detection(self):
+        a = access(addr=0x100, size=4)
+        assert a.overlaps(access(addr=0x102, size=4))
+        assert a.overlaps(access(addr=0xFE, size=4))
+        assert not a.overlaps(access(addr=0x104, size=4))
+        assert not a.overlaps(access(addr=0xFC, size=4))
+
+    def test_value_bytes_little_endian(self):
+        a = access(size=4, value=0x11223344)
+        assert a.value_bytes() == b"\x44\x33\x22\x11"
+
+    def test_is_frozen(self):
+        a = access()
+        with pytest.raises(AttributeError):
+            a.value = 1
+
+
+class TestProjectValue:
+    def test_full_window_is_identity(self):
+        assert project_value(0x100, 4, 0xAABBCCDD, 0x100, 0x104) == 0xAABBCCDD
+
+    def test_low_byte(self):
+        assert project_value(0x100, 4, 0xAABBCCDD, 0x100, 0x101) == 0xDD
+
+    def test_high_bytes(self):
+        assert project_value(0x100, 4, 0xAABBCCDD, 0x102, 0x104) == 0xAABB
+
+    def test_middle_window(self):
+        assert project_value(0x100, 8, 0x1122334455667788, 0x103, 0x105) == 0x4455
+
+    def test_window_outside_range_rejected(self):
+        with pytest.raises(ValueError):
+            project_value(0x100, 4, 0, 0x103, 0x105)
+        with pytest.raises(ValueError):
+            project_value(0x100, 4, 0, 0xFF, 0x101)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            project_value(0x100, 4, 0, 0x102, 0x102)
+
+    def test_projection_matches_byte_slicing(self):
+        value = 0x0807060504030201
+        # bytes at 0x100..0x108 are 01 02 03 04 05 06 07 08
+        assert project_value(0x100, 8, value, 0x101, 0x104) == 0x040302
+
+
+@given(
+    addr=st.integers(min_value=0, max_value=1 << 32),
+    size=st.integers(min_value=1, max_value=8),
+    value=st.integers(min_value=0),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_projection_consistent_with_bytes(addr, size, value, data):
+    """project_value agrees with slicing the little-endian byte string."""
+    value &= (1 << (8 * size)) - 1
+    lo = data.draw(st.integers(min_value=addr, max_value=addr + size - 1))
+    hi = data.draw(st.integers(min_value=lo + 1, max_value=addr + size))
+    raw = value.to_bytes(size, "little")
+    expected = int.from_bytes(raw[lo - addr : hi - addr], "little")
+    assert project_value(addr, size, value, lo, hi) == expected
+
+
+@given(
+    a_addr=st.integers(min_value=0, max_value=64),
+    a_size=st.integers(min_value=1, max_value=8),
+    b_addr=st.integers(min_value=0, max_value=64),
+    b_size=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_overlap_is_symmetric(a_addr, a_size, b_addr, b_size):
+    a = access(addr=a_addr, size=a_size)
+    b = access(addr=b_addr, size=b_size)
+    assert a.overlaps(b) == b.overlaps(a)
+    # Definitionally: intersection non-empty.
+    expected = max(a_addr, b_addr) < min(a_addr + a_size, b_addr + b_size)
+    assert a.overlaps(b) == expected

@@ -1,0 +1,54 @@
+"""Unit tests for the struct layout DSL."""
+
+import pytest
+
+from repro.machine.layout import Struct, field
+
+
+class TestStruct:
+    def test_sequential_offsets(self):
+        s = Struct("demo", field("a", 4), field("b", 8), field("c", 2))
+        assert s["a"].offset == 0
+        assert s["b"].offset == 4
+        assert s["c"].offset == 12
+        assert s.size == 14
+
+    def test_addr_helper(self):
+        s = Struct("demo", field("a", 4), field("b", 8))
+        assert s.addr(0x1000, "b") == 0x1004
+
+    def test_contains(self):
+        s = Struct("demo", field("a", 4))
+        assert "a" in s
+        assert "z" not in s
+
+    def test_unknown_field_raises(self):
+        s = Struct("demo", field("a", 4))
+        with pytest.raises(KeyError):
+            s.addr(0, "nope")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            Struct("demo", field("a", 4), field("a", 8))
+
+    def test_zero_size_field_rejected(self):
+        with pytest.raises(ValueError):
+            field("bad", 0)
+
+    def test_alignment_pads_total_size(self):
+        s = Struct("demo", field("a", 3), align=8)
+        assert s.size == 8
+
+    def test_fields_tuple_order(self):
+        s = Struct("demo", field("x", 1), field("y", 2))
+        names = [f.name for f in s.fields()]
+        assert names == ["x", "y"]
+
+    def test_field_end(self):
+        s = Struct("demo", field("a", 4), field("b", 8))
+        assert s["b"].end == 12
+
+    def test_empty_struct(self):
+        s = Struct("empty")
+        assert s.size == 0
+        assert s.fields() == ()

@@ -1,0 +1,85 @@
+"""Unit tests for the Machine: regions, stacks, console, snapshots."""
+
+import pytest
+
+from repro.machine.machine import KERNEL_STACK_SIZE, Machine
+from repro.machine.snapshot import Snapshot
+
+
+class TestRegions:
+    def test_boot_regions_mapped(self):
+        machine = Machine()
+        r = machine.regions
+        assert machine.memory.is_mapped(r.globals_base, 8)
+        assert machine.memory.is_mapped(r.heap_base, 8)
+        assert machine.memory.is_mapped(r.stacks_base, 8)
+
+    def test_null_page_unmapped(self):
+        machine = Machine()
+        assert not machine.memory.is_mapped(0, 1)
+        assert not machine.memory.is_mapped(8, 1)
+
+
+class TestStacks:
+    def test_stack_bases_are_aligned_and_disjoint(self):
+        machine = Machine()
+        ranges = [machine.stack_range(t) for t in range(2)]
+        for rng in ranges:
+            assert rng.start % KERNEL_STACK_SIZE == 0
+            assert len(rng) == KERNEL_STACK_SIZE
+        assert ranges[0].stop <= ranges[1].start
+
+    def test_esp_masking_recovers_base(self):
+        """Any pointer inside the stack masks down to the aligned base."""
+        machine = Machine()
+        base = machine.stack_base(1)
+        for offset in (0, 1, 4095, KERNEL_STACK_SIZE - 1):
+            esp = base + offset
+            assert esp & ~(KERNEL_STACK_SIZE - 1) == base
+
+    def test_in_stack(self):
+        machine = Machine()
+        base = machine.stack_base(0)
+        assert machine.in_stack(0, base, 8)
+        assert machine.in_stack(0, base + KERNEL_STACK_SIZE - 8, 8)
+        assert not machine.in_stack(0, base + KERNEL_STACK_SIZE - 4, 8)
+        assert not machine.in_stack(1, base, 8)
+
+    def test_invalid_thread_rejected(self):
+        machine = Machine()
+        with pytest.raises(ValueError):
+            machine.stack_base(99)
+
+
+class TestConsoleAndSnapshot:
+    def test_printk_appends(self):
+        machine = Machine()
+        machine.printk("hello")
+        machine.printk("world")
+        assert machine.console == ["hello", "world"]
+
+    def test_snapshot_restores_memory_and_console(self):
+        machine = Machine()
+        machine.printk("boot")
+        machine.memory.write_int(machine.regions.heap_base, 8, 42)
+        snap = Snapshot.capture(machine)
+
+        machine.printk("later")
+        machine.memory.write_int(machine.regions.heap_base, 8, 99)
+        snap.restore(machine)
+
+        assert machine.console == ["boot"]
+        assert machine.memory.read_int(machine.regions.heap_base, 8) == 42
+
+    def test_snapshot_restore_is_repeatable(self):
+        machine = Machine()
+        snap = Snapshot.capture(machine)
+        for value in (1, 2, 3):
+            machine.memory.write_int(machine.regions.heap_base, 8, value)
+            snap.restore(machine)
+            assert machine.memory.read_int(machine.regions.heap_base, 8) == 0
+
+    def test_snapshot_label(self):
+        machine = Machine()
+        snap = Snapshot.capture(machine, label="post-boot")
+        assert snap.label == "post-boot"

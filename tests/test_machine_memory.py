@@ -1,0 +1,139 @@
+"""Unit tests for the sparse paged memory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.memory import PAGE_SIZE, Memory, PageFault
+
+BASE = 0x10_0000
+
+
+def make_memory(size=4 * PAGE_SIZE) -> Memory:
+    memory = Memory()
+    memory.map_region(BASE, size)
+    return memory
+
+
+class TestMapping:
+    def test_mapped_region_reads_zero(self):
+        memory = make_memory()
+        assert memory.read_bytes(BASE, 16) == b"\x00" * 16
+
+    def test_unmapped_read_faults(self):
+        memory = make_memory()
+        with pytest.raises(PageFault):
+            memory.read_bytes(BASE - PAGE_SIZE, 1)
+
+    def test_unmapped_write_faults_and_reports_write(self):
+        memory = make_memory()
+        with pytest.raises(PageFault) as excinfo:
+            memory.write_bytes(0x9999_0000, b"x")
+        assert excinfo.value.write is True
+
+    def test_null_page_never_mappable(self):
+        memory = Memory()
+        with pytest.raises(ValueError):
+            memory.map_region(0, PAGE_SIZE)
+
+    def test_null_read_faults(self):
+        memory = make_memory()
+        with pytest.raises(PageFault) as excinfo:
+            memory.read_bytes(0, 8)
+        assert excinfo.value.addr == 0
+
+    def test_negative_address_is_unmapped(self):
+        memory = make_memory()
+        assert not memory.is_mapped(-8, 8)
+
+    def test_remap_is_idempotent(self):
+        memory = make_memory()
+        memory.write_bytes(BASE, b"hello")
+        memory.map_region(BASE, PAGE_SIZE)  # must not clear contents
+        assert memory.read_bytes(BASE, 5) == b"hello"
+
+    def test_is_mapped_spanning_boundary(self):
+        memory = make_memory(2 * PAGE_SIZE)
+        assert memory.is_mapped(BASE + PAGE_SIZE - 4, 8)
+        assert not memory.is_mapped(BASE + 2 * PAGE_SIZE - 4, 8)
+
+    def test_zero_size_access_rejected(self):
+        memory = make_memory()
+        with pytest.raises(ValueError):
+            memory.read_int(BASE, 0)
+
+
+class TestByteAccess:
+    def test_roundtrip(self):
+        memory = make_memory()
+        memory.write_bytes(BASE + 10, b"\x01\x02\x03")
+        assert memory.read_bytes(BASE + 10, 3) == b"\x01\x02\x03"
+
+    def test_write_spanning_pages(self):
+        memory = make_memory()
+        addr = BASE + PAGE_SIZE - 2
+        memory.write_bytes(addr, b"ABCD")
+        assert memory.read_bytes(addr, 4) == b"ABCD"
+
+    def test_int_roundtrip_little_endian(self):
+        memory = make_memory()
+        memory.write_int(BASE, 4, 0x11223344)
+        assert memory.read_bytes(BASE, 4) == b"\x44\x33\x22\x11"
+        assert memory.read_int(BASE, 4) == 0x11223344
+
+    def test_int_write_masks_overflow(self):
+        memory = make_memory()
+        memory.write_int(BASE, 2, 0x1FFFF)
+        assert memory.read_int(BASE, 2) == 0xFFFF
+
+    def test_adjacent_writes_do_not_clobber(self):
+        memory = make_memory()
+        memory.write_int(BASE, 4, 0xAAAAAAAA)
+        memory.write_int(BASE + 4, 4, 0xBBBBBBBB)
+        assert memory.read_int(BASE, 4) == 0xAAAAAAAA
+        assert memory.read_int(BASE + 4, 4) == 0xBBBBBBBB
+
+
+class TestSnapshotSupport:
+    def test_clone_then_mutate_then_restore(self):
+        memory = make_memory()
+        memory.write_int(BASE, 8, 123)
+        pages = memory.clone_pages()
+        memory.write_int(BASE, 8, 456)
+        memory.restore_pages(pages)
+        assert memory.read_int(BASE, 8) == 123
+
+    def test_clone_is_immutable_copy(self):
+        memory = make_memory()
+        pages = memory.clone_pages()
+        memory.write_int(BASE, 8, 7)
+        fresh = Memory()
+        fresh.restore_pages(pages)
+        assert fresh.read_int(BASE, 8) == 0
+
+    def test_mapped_bytes_accounting(self):
+        memory = make_memory(3 * PAGE_SIZE)
+        assert memory.mapped_bytes == 3 * PAGE_SIZE
+
+
+@given(
+    offset=st.integers(min_value=0, max_value=2 * PAGE_SIZE),
+    data=st.binary(min_size=1, max_size=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_roundtrip_any_offset(offset, data):
+    """Writes of arbitrary bytes at arbitrary offsets read back intact."""
+    memory = make_memory(4 * PAGE_SIZE)
+    memory.write_bytes(BASE + offset, data)
+    assert memory.read_bytes(BASE + offset, len(data)) == data
+
+
+@given(
+    size=st.integers(min_value=1, max_value=8),
+    value=st.integers(min_value=0),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_int_roundtrip_masks_to_size(size, value):
+    memory = make_memory()
+    memory.write_int(BASE, size, value)
+    assert memory.read_int(BASE, size) == value & ((1 << (8 * size)) - 1)

@@ -1,0 +1,149 @@
+"""Tests for schedule minimisation."""
+
+import pytest
+
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.kernel import boot_kernel
+from repro.sched.executor import Executor
+from repro.sched.minimize import default_panic_oracle, minimize_schedule, still_fails
+
+
+@pytest.fixture(scope="module")
+def booted():
+    kernel, snapshot = boot_kernel()
+    return kernel, Executor(kernel, snapshot)
+
+
+def forced_configfs_schedule(kernel, ex):
+    """The minimal forced configfs NULL-deref run (one critical switch)."""
+    writer = prog(Call("mkdir", (2,)))
+    reader = prog(Call("sysinfo", ()), Call("lookup", (2,)))
+    children = kernel.globals["configfs_root"] + 8
+
+    class Force:
+        def __init__(self):
+            self.switched = False
+
+        def begin_trial(self, t):
+            pass
+
+        def end_trial(self, r):
+            pass
+
+        def on_access(self, access):
+            if (
+                access.thread == 0
+                and not self.switched
+                and access.is_write
+                and access.addr == children
+                and access.value != 0
+            ):
+                self.switched = True
+                return True
+            return False
+
+    result = ex.run_concurrent([writer, reader], scheduler=Force())
+    assert result.panicked
+    return writer, reader, result
+
+
+def pad_schedule(ex, programs, points, oracle, extra=6):
+    """Add verified-benign switch pairs so the schedule has noise to strip."""
+    padded = list(points)
+    candidate_positions = [k for k in range(2, 60, 4) if k not in padded]
+    for k in candidate_positions:
+        if len(padded) >= len(points) + extra:
+            break
+        trial = sorted(set(padded + [k, k + 1]))
+        if still_fails(ex, programs, trial, oracle):
+            padded = trial
+    assert len(padded) > len(points), "could not build a noisy failing schedule"
+    return padded
+
+
+class TestMinimize:
+    def test_minimised_schedule_still_fails(self, booted):
+        kernel, ex = booted
+        writer, reader, result = forced_configfs_schedule(kernel, ex)
+        programs = [writer, reader]
+        padded = pad_schedule(ex, programs, result.switch_points, default_panic_oracle)
+        minimal = minimize_schedule(ex, programs, padded)
+        assert still_fails(ex, programs, minimal, default_panic_oracle)
+
+    def test_minimised_schedule_is_smaller_than_padded(self, booted):
+        kernel, ex = booted
+        writer, reader, result = forced_configfs_schedule(kernel, ex)
+        programs = [writer, reader]
+        padded = pad_schedule(ex, programs, result.switch_points, default_panic_oracle)
+        minimal = minimize_schedule(ex, programs, padded)
+        assert len(minimal) < len(padded)
+
+    def test_minimal_is_1_minimal(self, booted):
+        """No single remaining switch point can be dropped."""
+        kernel, ex = booted
+        writer, reader, result = forced_configfs_schedule(kernel, ex)
+        programs = [writer, reader]
+        padded = pad_schedule(ex, programs, result.switch_points, default_panic_oracle)
+        minimal = minimize_schedule(ex, programs, padded)
+        for i in range(len(minimal)):
+            candidate = minimal[:i] + minimal[i + 1 :]
+            assert not still_fails(ex, programs, candidate, default_panic_oracle)
+
+    def test_already_minimal_schedule_unchanged(self, booted):
+        kernel, ex = booted
+        writer, reader, result = forced_configfs_schedule(kernel, ex)
+        programs = [writer, reader]
+        minimal = minimize_schedule(ex, programs, result.switch_points)
+        # The forced run had exactly one critical switch: nothing to strip.
+        assert minimal == result.switch_points
+
+    def test_non_failing_schedule_rejected(self, booted):
+        _, ex = booted
+        a = prog(Call("msgget", (1,)))
+        with pytest.raises(ValueError):
+            minimize_schedule(ex, [a, a], [])
+
+    def test_custom_console_oracle(self, booted):
+        """Minimise against a console-message oracle instead of panics."""
+        kernel, ex = booted
+        from repro.kernel.subsystems.fs import INODE
+
+        fs = kernel.subsystems["fs"]
+        boot_lock = INODE.addr(fs.inode_addr(0), "lock")
+        test = prog(Call("open", (1,)), Call("ioctl", (Res(0), 1, 0)))
+
+        class Force:
+            def __init__(self):
+                self.done = False
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                if (
+                    access.thread == 0
+                    and not self.done
+                    and access.is_write
+                    and access.addr == boot_lock
+                    and access.value == 0
+                ):
+                    self.done = True
+                    return True
+                return False
+
+        result = ex.run_concurrent([test, test], scheduler=Force())
+        oracle = lambda r: any("checksum invalid" in line for line in r.console)
+        assert oracle(result)
+        programs = [test, test]
+        padded = pad_schedule(ex, programs, result.switch_points, oracle)
+        minimal = minimize_schedule(ex, programs, padded, oracle)
+        assert still_fails(ex, programs, minimal, oracle)
+        # Padding pairs can become entangled with the failure; minimisation
+        # never grows the set and the result is 1-minimal.
+        assert len(minimal) <= len(padded)
+        for i in range(len(minimal)):
+            candidate = minimal[:i] + minimal[i + 1 :]
+            assert not still_fails(ex, programs, candidate, oracle)

@@ -1,0 +1,165 @@
+"""Tests for the orchestration layer: queue, results, pipeline."""
+
+import pytest
+
+from repro.detect.console import ConsoleChecker
+from repro.detect.report import observe
+from repro.orchestrate.pipeline import (
+    DUPLICATE_PAIRING,
+    RANDOM_PAIRING,
+    RANDOM_S_INS_PAIR,
+    Snowboard,
+    SnowboardConfig,
+)
+from repro.orchestrate.queue import WorkQueue, run_workers
+from repro.orchestrate.results import CampaignResult
+from repro.sched.executor import ExecutionResult
+
+
+class TestWorkQueue:
+    def test_fifo_results(self):
+        work = WorkQueue()
+        for i in range(10):
+            work.put(i)
+        results = run_workers(work, lambda: (lambda x: x * 2), nworkers=3)
+        assert results == {i: i * 2 for i in range(10)}
+
+    def test_worker_factory_called_per_worker(self):
+        created = []
+
+        def factory():
+            created.append(1)
+            return lambda x: x
+
+        work = WorkQueue()
+        work.put(0)
+        run_workers(work, factory, nworkers=4)
+        assert len(created) == 4
+
+    def test_empty_queue_completes(self):
+        work = WorkQueue()
+        assert run_workers(work, lambda: (lambda x: x), nworkers=2) == {}
+
+    def test_task_ids_are_sequential(self):
+        work = WorkQueue()
+        ids = [work.put(f"p{i}") for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+
+class TestCampaignResult:
+    def _result_with_console(self, line):
+        result = ExecutionResult()
+        result.console = [line]
+        return result
+
+    def test_deduplicates_across_trials(self):
+        campaign = CampaignResult(strategy="t")
+        obs = observe(self._result_with_console("EXT4-fs error: x: checksum invalid"))
+        first = campaign.record_observations(obs, test_index=0, trial=0)
+        second = campaign.record_observations(obs, test_index=1, trial=0)
+        assert len(first) == 1
+        assert second == []
+
+    def test_bug_matching_and_first_find(self):
+        campaign = CampaignResult(strategy="t")
+        line = (
+            "EXT4-fs error (device sda): swap_inode_boot_loader:1: "
+            "comm test: checksum invalid"
+        )
+        campaign.record_observations(
+            observe(self._result_with_console(line)), test_index=7, trial=3
+        )
+        assert campaign.bugs_found() == {"SB02": 7}
+        assert campaign.distinct_bugs == 1
+
+    def test_accuracy(self):
+        campaign = CampaignResult(strategy="t")
+        campaign.tested_pmcs = 10
+        campaign.exercised_pmcs = 3
+        assert campaign.accuracy == pytest.approx(0.3)
+
+    def test_accuracy_empty(self):
+        assert CampaignResult(strategy="t").accuracy == 0.0
+
+    def test_table_row_and_summary(self):
+        campaign = CampaignResult(strategy="S-CH", exemplar_pmcs=5)
+        campaign.tested_pmcs = 3
+        row = campaign.table_row()
+        assert "S-CH" in row and "5" in row and "3" in row
+        summary = campaign.summary()
+        assert summary["strategy"] == "S-CH"
+        assert summary["bugs"] == {}
+
+
+@pytest.fixture(scope="module")
+def small_snowboard():
+    config = SnowboardConfig(
+        seed=7, corpus_budget=120, trials_per_pmc=8, max_instructions=40_000
+    )
+    return Snowboard(config).prepare()
+
+
+class TestPipeline:
+    def test_prepare_builds_all_stages(self, small_snowboard):
+        sb = small_snowboard
+        assert len(sb.corpus) > 10
+        assert len(sb.profiles) == len(sb.corpus)
+        assert len(sb.pmcset) > 100
+
+    def test_prepare_is_idempotent(self, small_snowboard):
+        pmcs_before = len(small_snowboard.pmcset)
+        small_snowboard.prepare()
+        assert len(small_snowboard.pmcset) == pmcs_before
+
+    def test_generate_tests_all_strategies(self, small_snowboard):
+        for name in ("S-FULL", "S-CH", "S-INS", "S-INS-PAIR", "S-MEM"):
+            tests, nclusters = small_snowboard.generate_tests(name, limit=10)
+            assert nclusters > 0
+            assert 0 < len(tests) <= 10
+            for test in tests:
+                assert test.pmc is not None
+
+    def test_generate_random_pairing_baseline(self, small_snowboard):
+        tests, nclusters = small_snowboard.generate_tests(RANDOM_PAIRING, limit=20)
+        assert nclusters == 0
+        assert len(tests) == 20
+        assert all(t.pmc is None for t in tests)
+
+    def test_generate_duplicate_pairing_is_duplicate(self, small_snowboard):
+        tests, _ = small_snowboard.generate_tests(DUPLICATE_PAIRING, limit=20)
+        assert all(t.duplicate for t in tests)
+
+    def test_random_s_ins_pair_same_clusters_other_order(self, small_snowboard):
+        ordered, n1 = small_snowboard.generate_tests("S-INS-PAIR")
+        shuffled, n2 = small_snowboard.generate_tests(RANDOM_S_INS_PAIR)
+        assert n1 == n2
+        assert len(ordered) == len(shuffled)
+
+    def test_campaign_records_metrics(self, small_snowboard):
+        campaign = small_snowboard.run_campaign("S-INS-PAIR", test_budget=10)
+        assert campaign.tested_pmcs == 10
+        assert campaign.trials >= 10
+        assert campaign.instructions > 0
+        assert 0 <= campaign.exercised_pmcs <= campaign.tested_pmcs
+
+    def test_campaign_determinism(self):
+        config = SnowboardConfig(seed=3, corpus_budget=60, trials_per_pmc=4)
+        a = Snowboard(config).prepare().run_campaign("S-INS", test_budget=5)
+        b = Snowboard(config).prepare().run_campaign("S-INS", test_budget=5)
+        assert a.summary() == b.summary()
+
+    def test_uncommon_first_means_smallest_clusters_lead(self, small_snowboard):
+        from repro.pmc.clustering import STRATEGIES_BY_NAME
+        from repro.pmc.selection import cluster_pmcs
+
+        tests, _ = small_snowboard.generate_tests("S-INS-PAIR", limit=50)
+        strategy = STRATEGIES_BY_NAME["S-INS-PAIR"]
+        clusters = cluster_pmcs(small_snowboard.pmcset.all_pmcs(), strategy)
+        sizes_by_key = {key: len(v) for key, v in clusters.items()}
+
+        def size_of(test):
+            (key,) = strategy.cluster_keys(test.pmc)
+            return sizes_by_key[key]
+
+        sizes = [size_of(t) for t in tests]
+        assert sizes == sorted(sizes)

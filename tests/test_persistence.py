@@ -1,0 +1,120 @@
+"""Tests for persistence: program JSON and reproduction packages."""
+
+import pytest
+
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.kernel import boot_kernel
+from repro.orchestrate.persistence import (
+    ReproPackage,
+    capture_package,
+    program_from_obj,
+    program_to_obj,
+    reproduce,
+)
+from repro.orchestrate.pipeline import Snowboard, SnowboardConfig
+from repro.sched.executor import Executor
+
+
+class TestProgramSerialisation:
+    def test_roundtrip(self):
+        program = prog(
+            Call("socket", (2,)),
+            Call("connect", (Res(0), 1)),
+            Call("sendmsg", (Res(0), 0xDEAD)),
+        )
+        assert program_from_obj(program_to_obj(program)) == program
+
+    def test_json_safe(self):
+        import json
+
+        program = prog(Call("open", (1,)), Call("write", (Res(0), 7)))
+        assert json.loads(json.dumps(program_to_obj(program))) == program_to_obj(program)
+
+
+class TestReproPackage:
+    def _buggy_package(self):
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        writer = prog(Call("mkdir", (2,)))
+        reader = prog(Call("lookup", (2,)))
+        children = kernel.globals["configfs_root"] + 8
+
+        class ForceWindow:
+            def __init__(self):
+                self.switched = False
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                if (
+                    access.thread == 0
+                    and not self.switched
+                    and access.is_write
+                    and access.addr == children
+                    and access.value != 0
+                ):
+                    self.switched = True
+                    return True
+                return False
+
+        result = executor.run_concurrent([writer, reader], scheduler=ForceWindow())
+        assert result.panicked
+        package = capture_package("SB11", writer, reader, result)
+        return executor, package
+
+    def test_capture_and_reproduce(self):
+        executor, package = self._buggy_package()
+        replayed = reproduce(executor, package)
+        assert replayed.panicked
+        assert replayed.panic_message == package.expected_panic
+
+    def test_json_roundtrip(self):
+        _, package = self._buggy_package()
+        restored = ReproPackage.from_json(package.to_json())
+        assert restored.bug_id == package.bug_id
+        assert restored.writer == package.writer
+        assert restored.switch_points == package.switch_points
+        assert restored.expected_panic == package.expected_panic
+
+    def test_reproduce_on_fresh_kernel(self):
+        """A package replays on a *different* kernel instance — the
+        deterministic-boot property makes packages portable."""
+        _, package = self._buggy_package()
+        kernel, snapshot = boot_kernel()
+        replayed = reproduce(Executor(kernel, snapshot), package)
+        assert replayed.panicked
+
+    def test_divergent_package_raises(self):
+        executor, package = self._buggy_package()
+        broken = ReproPackage(
+            bug_id=package.bug_id,
+            writer=package.writer,
+            reader=package.reader,
+            switch_points=[],  # wrong schedule: bug will not fire
+            expected_panic=package.expected_panic,
+        )
+        with pytest.raises(AssertionError):
+            reproduce(executor, broken)
+
+    def test_save_and_load(self, tmp_path):
+        _, package = self._buggy_package()
+        path = tmp_path / "sb11.json"
+        package.save(str(path))
+        restored = ReproPackage.load(str(path))
+        assert restored.bug_id == "SB11"
+
+
+class TestPipelineCapturesPackages:
+    def test_campaign_produces_replayable_packages(self):
+        config = SnowboardConfig(seed=7, corpus_budget=120, trials_per_pmc=10)
+        snowboard = Snowboard(config).prepare()
+        snowboard.run_campaign("S-INS-PAIR", test_budget=25)
+        assert snowboard.repro_packages  # at least one bug was packaged
+        for bug_id, package in snowboard.repro_packages.items():
+            replayed = reproduce(snowboard.executor, package)
+            # The replay reproduces the exact failure transcript.
+            assert replayed.console == package.expected_console, bug_id

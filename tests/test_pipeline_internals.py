@@ -1,0 +1,118 @@
+"""Focused tests for pipeline internals and scheduler selection."""
+
+import pytest
+
+from repro.orchestrate.pipeline import ConcurrentTest, Snowboard, SnowboardConfig
+from repro.orchestrate.queue import WorkQueue, run_workers
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.ski import SkiScheduler
+from repro.sched.snowboard import SnowboardScheduler
+
+
+@pytest.fixture(scope="module")
+def sb():
+    return Snowboard(
+        SnowboardConfig(seed=3, corpus_budget=80, trials_per_pmc=4)
+    ).prepare()
+
+
+class TestSchedulerSelection:
+    def _one_test(self, sb):
+        tests, _ = sb.generate_tests("S-INS-PAIR", limit=1)
+        return tests[0]
+
+    def test_default_is_snowboard(self, sb):
+        scheduler = sb.make_scheduler(self._one_test(sb), seed=0)
+        assert isinstance(scheduler, SnowboardScheduler)
+
+    def test_ski_kind(self, sb):
+        scheduler = sb.make_scheduler(self._one_test(sb), seed=0, kind="ski")
+        assert isinstance(scheduler, SkiScheduler)
+
+    def test_random_kind(self, sb):
+        scheduler = sb.make_scheduler(self._one_test(sb), seed=0, kind="random")
+        assert isinstance(scheduler, RandomScheduler)
+
+    def test_baseline_tests_get_random_scheduler(self, sb):
+        from repro.orchestrate.pipeline import RANDOM_PAIRING
+
+        tests, _ = sb.generate_tests(RANDOM_PAIRING, limit=1)
+        scheduler = sb.make_scheduler(tests[0], seed=0)
+        assert isinstance(scheduler, RandomScheduler)
+
+    def test_incidental_universe_respects_config(self):
+        config = SnowboardConfig(
+            seed=3, corpus_budget=80, trials_per_pmc=4, adopt_incidental_pmcs=True
+        )
+        snowboard = Snowboard(config).prepare()
+        tests, _ = snowboard.generate_tests("S-INS-PAIR", limit=1)
+        scheduler = snowboard.make_scheduler(tests[0], seed=0)
+        assert scheduler.universe  # populated from the pair index
+
+
+class TestPairIndex:
+    def test_pmcs_for_pair_consistent_with_pmcset(self, sb):
+        pmc = sb.pmcset.all_pmcs()[0]
+        pair = sb.pmcset.pairs(pmc)[0]
+        assert pmc in sb._pmcs_for_pair(pair)
+
+    def test_unknown_pair_is_empty(self, sb):
+        assert sb._pmcs_for_pair((9999, 9998)) == []
+
+
+class TestTestsFromExemplars:
+    def test_respects_exemplar_order(self, sb):
+        exemplars = sb.pmcset.all_pmcs()[:5]
+        tests = sb.tests_from_exemplars(exemplars)
+        assert [t.pmc for t in tests] == exemplars
+
+    def test_pairs_come_from_pmcset(self, sb):
+        exemplars = sb.pmcset.all_pmcs()[:5]
+        for test in sb.tests_from_exemplars(exemplars):
+            assert (test.writer_test, test.reader_test) in sb.pmcset.pairs(test.pmc)
+
+    def test_duplicate_flag(self, sb):
+        test = ConcurrentTest(
+            writer=sb.corpus.entries[0].program,
+            reader=sb.corpus.entries[0].program,
+            writer_test=0,
+            reader_test=0,
+        )
+        assert test.duplicate
+
+
+class TestQueueRobustness:
+    def test_worker_survives_task_exception(self):
+        def factory():
+            def execute(x):
+                if x == 2:
+                    raise RuntimeError("task 2 explodes")
+                return x * 10
+
+            return execute
+
+        work = WorkQueue()
+        for i in range(5):
+            work.put(i)
+        results = run_workers(work, factory, nworkers=2)
+        assert results[0] == 0 and results[4] == 40
+        assert isinstance(results[2], RuntimeError)
+        assert len(results) == 5  # nothing stranded
+
+
+class TestIterativeCampaign:
+    def test_runs_strategies_in_order_without_repeats(self, sb):
+        campaign = sb.run_iterative_campaign(
+            ["S-INS-PAIR", "S-CH-NULL"], test_budget=12, trials=4
+        )
+        assert campaign.strategy == "S-INS-PAIR -> S-CH-NULL"
+        assert campaign.tested_pmcs == 12
+        assert campaign.trials >= 12
+
+    def test_single_strategy_matches_plain_selection_size(self, sb):
+        campaign = sb.run_iterative_campaign(["S-INS"], test_budget=6, trials=2)
+        assert campaign.tested_pmcs == 6
+
+    def test_unknown_strategy_rejected(self, sb):
+        with pytest.raises(KeyError):
+            sb.run_iterative_campaign(["NOT-A-STRATEGY"], test_budget=3)

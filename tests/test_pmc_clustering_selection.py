@@ -1,0 +1,172 @@
+"""Tests for the Table 1 clustering strategies and exemplar selection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pmc.clustering import (
+    ALL_STRATEGIES,
+    S_CH,
+    S_CH_DOUBLE,
+    S_CH_NULL,
+    S_CH_UNALIGNED,
+    S_FULL,
+    S_INS,
+    S_INS_PAIR,
+    S_MEM,
+    STRATEGIES_BY_NAME,
+    pmc_features,
+)
+from repro.pmc.model import PMC, AccessKey
+from repro.pmc.selection import cluster_pmcs, cluster_stats, ordered_exemplars, select_exemplars
+
+
+def pmc(ins_w="w:1", addr_w=0x100, byte_w=8, value_w=1, ins_r="r:1", addr_r=0x100, byte_r=8, value_r=0, df=False):
+    return PMC(
+        write=AccessKey(addr=addr_w, size=byte_w, ins=ins_w, value=value_w),
+        read=AccessKey(addr=addr_r, size=byte_r, ins=ins_r, value=value_r),
+        df_leader=df,
+    )
+
+
+class TestStrategyKeys:
+    def test_s_full_separates_by_value(self):
+        a, b = pmc(value_w=1), pmc(value_w=2)
+        assert len(cluster_pmcs([a, b], S_FULL)) == 2
+
+    def test_s_ch_merges_values(self):
+        a, b = pmc(value_w=1), pmc(value_w=2)
+        assert len(cluster_pmcs([a, b], S_CH)) == 1
+
+    def test_s_ch_separates_by_instruction(self):
+        a, b = pmc(ins_w="w:1"), pmc(ins_w="w:2")
+        assert len(cluster_pmcs([a, b], S_CH)) == 2
+
+    def test_s_ch_null_keeps_only_zero_writes(self):
+        a, b = pmc(value_w=0), pmc(value_w=7)
+        clusters = cluster_pmcs([a, b], S_CH_NULL)
+        members = [m for ms in clusters.values() for m in ms]
+        assert members == [a]
+
+    def test_s_ch_unaligned_keeps_only_mismatched_ranges(self):
+        aligned = pmc()
+        shifted = pmc(addr_r=0x104, byte_r=4)
+        clusters = cluster_pmcs([aligned, shifted], S_CH_UNALIGNED)
+        members = [m for ms in clusters.values() for m in ms]
+        assert members == [shifted]
+
+    def test_s_ch_double_keeps_only_df_leaders(self):
+        plain, double = pmc(), pmc(df=True)
+        clusters = cluster_pmcs([plain, double], S_CH_DOUBLE)
+        members = [m for ms in clusters.values() for m in ms]
+        assert members == [double]
+
+    def test_s_ins_puts_each_pmc_in_two_clusters(self):
+        p = pmc()
+        clusters = cluster_pmcs([p], S_INS)
+        assert len(clusters) == 2  # one by ins_w, one by ins_r
+
+    def test_s_ins_merges_across_counterpart(self):
+        """Same write instruction, different readers -> one write cluster."""
+        a, b = pmc(ins_r="r:1"), pmc(ins_r="r:2")
+        clusters = cluster_pmcs([a, b], S_INS)
+        sizes = sorted(len(m) for m in clusters.values())
+        assert sizes == [1, 1, 2]  # two reader clusters + one shared writer
+
+    def test_s_ins_pair_key(self):
+        a = pmc(ins_w="w:1", ins_r="r:1", addr_w=0x100)
+        b = pmc(ins_w="w:1", ins_r="r:1", addr_w=0x200, addr_r=0x200)
+        assert len(cluster_pmcs([a, b], S_INS_PAIR)) == 1
+
+    def test_s_mem_clusters_by_ranges_only(self):
+        a = pmc(ins_w="w:1", ins_r="r:1")
+        b = pmc(ins_w="w:9", ins_r="r:9")
+        assert len(cluster_pmcs([a, b], S_MEM)) == 1
+
+    def test_registry_contains_all_eight(self):
+        assert len(ALL_STRATEGIES) == 8
+        assert set(STRATEGIES_BY_NAME) == {
+            "S-FULL",
+            "S-CH",
+            "S-CH-NULL",
+            "S-CH-UNALIGNED",
+            "S-CH-DOUBLE",
+            "S-INS",
+            "S-INS-PAIR",
+            "S-MEM",
+        }
+
+    def test_features_extraction(self):
+        f = pmc_features(pmc(ins_w="w:9", value_r=3, df=True))
+        assert f.ins_w == "w:9"
+        assert f.value_r == 3
+        assert f.df_leader
+
+
+class TestSelection:
+    def _population(self):
+        # Cluster sizes under S-INS-PAIR: ("w:a", "r:a") x3, ("w:b", "r:b") x2,
+        # ("w:c", "r:c") x1.
+        return (
+            [pmc(ins_w="w:a", ins_r="r:a", value_w=v) for v in (1, 2, 3)]
+            + [pmc(ins_w="w:b", ins_r="r:b", value_w=v) for v in (1, 2)]
+            + [pmc(ins_w="w:c", ins_r="r:c")]
+        )
+
+    def test_uncommon_first_order(self):
+        chosen = ordered_exemplars(
+            self._population(), S_INS_PAIR, random.Random(0)
+        )
+        assert [p.write.ins for p in chosen] == ["w:c", "w:b", "w:a"]
+
+    def test_one_exemplar_per_cluster(self):
+        chosen = ordered_exemplars(self._population(), S_INS_PAIR, random.Random(0))
+        assert len(chosen) == 3
+
+    def test_limit(self):
+        chosen = ordered_exemplars(
+            self._population(), S_INS_PAIR, random.Random(0), limit=2
+        )
+        assert len(chosen) == 2
+
+    def test_no_duplicate_exemplars_under_s_ins(self):
+        """Under S-INS each PMC sits in two clusters but is chosen once."""
+        chosen = ordered_exemplars(self._population(), S_INS, random.Random(0))
+        assert len(chosen) == len(set(chosen))
+
+    def test_random_order_is_seed_deterministic(self):
+        population = self._population()
+        a = select_exemplars(population, S_INS_PAIR, seed=5, random_order=True)
+        b = select_exemplars(population, S_INS_PAIR, seed=5, random_order=True)
+        assert a == b
+
+    def test_random_order_differs_from_sorted(self):
+        population = self._population() * 4  # bigger so orders can differ
+        sorted_order = select_exemplars(population, S_INS_PAIR, seed=1)
+        shuffled = select_exemplars(population, S_INS_PAIR, seed=123, random_order=True)
+        assert set(p.write.ins for p in sorted_order) == set(
+            p.write.ins for p in shuffled
+        )
+
+    def test_cluster_stats(self):
+        nclusters, members = cluster_stats(self._population(), S_INS_PAIR)
+        assert (nclusters, members) == (3, 6)
+
+    def test_empty_population(self):
+        assert ordered_exemplars([], S_CH, random.Random(0)) == []
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_property_exemplars_unique_and_from_population(seed):
+    rng = random.Random(seed)
+    population = [
+        pmc(ins_w=f"w:{rng.randrange(4)}", ins_r=f"r:{rng.randrange(4)}", value_w=rng.randrange(6))
+        for _ in range(rng.randrange(1, 30))
+    ]
+    for strategy in ALL_STRATEGIES:
+        chosen = ordered_exemplars(population, strategy, random.Random(seed))
+        assert len(chosen) == len(set(chosen))
+        assert set(chosen) <= set(population)

@@ -1,0 +1,123 @@
+"""Tests for strategy composition (section 4.3, final paragraph)."""
+
+import random
+
+import pytest
+
+from repro.pmc.clustering import S_CH, S_FULL, S_INS_PAIR, S_MEM
+from repro.pmc.composition import (
+    iterative_exemplars,
+    subdivide_clusters,
+    subdivided_exemplars,
+)
+from repro.pmc.model import PMC, AccessKey
+
+
+def pmc(ins_w="w:1", ins_r="r:1", addr=0x100, value_w=1, value_r=0):
+    return PMC(
+        write=AccessKey(addr=addr, size=8, ins=ins_w, value=value_w),
+        read=AccessKey(addr=addr, size=8, ins=ins_r, value=value_r),
+    )
+
+
+@pytest.fixture()
+def population():
+    # Two instruction pairs; pair "a" has many value variations (a large
+    # S-INS-PAIR cluster that S-FULL can subdivide), pair "b" is rare.
+    a = [pmc(ins_w="w:a", ins_r="r:a", value_w=v) for v in range(1, 7)]
+    b = [pmc(ins_w="w:b", ins_r="r:b")]
+    return a + b
+
+
+class TestIterativeExemplars:
+    def test_no_pmc_selected_twice(self, population):
+        chosen = iterative_exemplars(
+            population, [S_INS_PAIR, S_FULL], random.Random(0)
+        )
+        pmcs = [p for _, p in chosen]
+        assert len(pmcs) == len(set(pmcs))
+
+    def test_second_strategy_extends_coverage(self, population):
+        """After S-INS-PAIR picks one exemplar per pair, S-FULL still has
+        untested value-variants to contribute."""
+        chosen = iterative_exemplars(
+            population, [S_INS_PAIR, S_FULL], random.Random(0)
+        )
+        by_strategy = {}
+        for name, p in chosen:
+            by_strategy.setdefault(name, []).append(p)
+        assert len(by_strategy["S-INS-PAIR"]) == 2  # pairs a and b
+        assert len(by_strategy["S-FULL"]) == 5  # the remaining variants
+
+    def test_limit_per_strategy(self, population):
+        chosen = iterative_exemplars(
+            population, [S_FULL], random.Random(0), limit_per_strategy=3
+        )
+        assert len(chosen) == 3
+
+    def test_uncommon_first_within_each_strategy(self, population):
+        chosen = iterative_exemplars(population, [S_INS_PAIR], random.Random(0))
+        # Pair "b" (cluster of 1) precedes pair "a" (cluster of 6).
+        assert chosen[0][1].write.ins == "w:b"
+
+    def test_deterministic(self, population):
+        a = iterative_exemplars(population, [S_INS_PAIR, S_FULL], random.Random(4))
+        b = iterative_exemplars(population, [S_INS_PAIR, S_FULL], random.Random(4))
+        assert a == b
+
+
+class TestSubdivision:
+    def test_small_clusters_untouched(self, population):
+        clusters = subdivide_clusters(population, S_INS_PAIR, S_FULL, threshold=10)
+        assert all(key[0] == "outer" for key in clusters)
+        assert len(clusters) == 2
+
+    def test_large_cluster_subdivided(self, population):
+        clusters = subdivide_clusters(population, S_INS_PAIR, S_FULL, threshold=3)
+        kinds = {key[0] for key in clusters}
+        assert "outer+inner" in kinds  # pair "a" got split by value
+        assert "outer" in kinds  # pair "b" stayed whole
+        total = sum(len(m) for m in clusters.values())
+        assert total == len(population)  # nothing lost
+
+    def test_filtered_members_kept_in_residual(self, population):
+        """Subdividing with a filtering strategy must not drop PMCs."""
+        from repro.pmc.clustering import S_CH_NULL
+
+        clusters = subdivide_clusters(population, S_INS_PAIR, S_CH_NULL, threshold=3)
+        total = sum(len(m) for m in clusters.values())
+        assert total == len(population)
+        assert any(key[0] == "outer-rest" for key in clusters)
+
+    def test_threshold_validation(self, population):
+        with pytest.raises(ValueError):
+            subdivide_clusters(population, S_INS_PAIR, S_FULL, threshold=0)
+
+    def test_subdivided_exemplars_cover_more_than_coarse(self, population):
+        coarse = subdivided_exemplars(
+            population, S_INS_PAIR, S_FULL, threshold=100, rng=random.Random(0)
+        )
+        fine = subdivided_exemplars(
+            population, S_INS_PAIR, S_FULL, threshold=2, rng=random.Random(0)
+        )
+        assert len(fine) > len(coarse)
+
+    def test_subdivided_exemplars_limit(self, population):
+        chosen = subdivided_exemplars(
+            population, S_INS_PAIR, S_FULL, threshold=2, rng=random.Random(0), limit=3
+        )
+        assert len(chosen) == 3
+
+    def test_with_real_strategies_on_mixed_population(self):
+        rng = random.Random(9)
+        population = [
+            pmc(
+                ins_w=f"w:{rng.randrange(3)}",
+                ins_r=f"r:{rng.randrange(3)}",
+                addr=0x100 + 8 * rng.randrange(4),
+                value_w=rng.randrange(5),
+            )
+            for _ in range(60)
+        ]
+        clusters = subdivide_clusters(population, S_MEM, S_CH, threshold=5)
+        assert sum(len(m) for m in clusters.values()) == len(population)

@@ -1,0 +1,200 @@
+"""Tests for the access index and Algorithm 1 (PMC identification)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.prog import Program
+from repro.machine.accesses import AccessType
+from repro.pmc.identify import identify_pmcs
+from repro.pmc.index import AccessIndex, Overlap
+from repro.pmc.model import PMC, AccessKey
+from repro.profile.profiler import ProfiledAccess, TestProfile
+
+EMPTY = Program(())
+
+
+def pa(type, addr, size, value, ins, df=False):
+    return ProfiledAccess(
+        type=AccessType.READ if type == "R" else AccessType.WRITE,
+        addr=addr,
+        size=size,
+        value=value,
+        ins=ins,
+        df_leader=df,
+    )
+
+
+def profile(test_id, *accesses):
+    return TestProfile(test_id=test_id, program=EMPTY, accesses=tuple(accesses), instructions=0)
+
+
+class TestAccessIndex:
+    def test_overlap_found(self):
+        index = AccessIndex()
+        index.insert(pa("W", 0x100, 8, 1, "w:1"), test_id=0)
+        index.insert(pa("R", 0x104, 4, 2, "r:1"), test_id=1)
+        overlaps = list(index.read_write_overlaps())
+        assert len(overlaps) == 1
+        assert (overlaps[0].lo, overlaps[0].hi) == (0x104, 0x108)
+
+    def test_adjacent_ranges_do_not_overlap(self):
+        index = AccessIndex()
+        index.insert(pa("W", 0x100, 4, 1, "w:1"), test_id=0)
+        index.insert(pa("R", 0x104, 4, 2, "r:1"), test_id=1)
+        assert list(index.read_write_overlaps()) == []
+
+    def test_read_read_pairs_not_returned(self):
+        index = AccessIndex()
+        index.insert(pa("R", 0x100, 4, 1, "r:1"), test_id=0)
+        index.insert(pa("R", 0x100, 4, 2, "r:2"), test_id=1)
+        assert list(index.read_write_overlaps()) == []
+
+    def test_counts(self):
+        index = AccessIndex()
+        index.insert(pa("W", 0x100, 4, 1, "w:1"), test_id=0)
+        index.insert(pa("R", 0x100, 4, 1, "r:1"), test_id=0)
+        index.insert(pa("R", 0x200, 4, 1, "r:2"), test_id=0)
+        assert index.counts() == (1, 2)
+
+    def test_same_test_can_pair_with_itself(self):
+        index = AccessIndex()
+        index.insert(pa("W", 0x100, 8, 1, "w:1"), test_id=3)
+        index.insert(pa("R", 0x100, 8, 0, "r:1"), test_id=3)
+        (overlap,) = index.read_write_overlaps()
+        assert overlap.write_test == overlap.read_test == 3
+
+
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=96),
+            st.integers(min_value=1, max_value=8),
+        ),
+        max_size=12,
+    ),
+    reads=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=96),
+            st.integers(min_value=1, max_value=8),
+        ),
+        max_size=12,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_index_matches_naive_quadratic_scan(writes, reads):
+    """The ordered nested index finds exactly the naive overlap set."""
+    index = AccessIndex()
+    waccs, raccs = [], []
+    for i, (addr, size) in enumerate(writes):
+        access = pa("W", addr, size, i, f"w:{i}")
+        index.insert(access, test_id=i)
+        waccs.append(access)
+    for i, (addr, size) in enumerate(reads):
+        access = pa("R", addr, size, i, f"r:{i}")
+        index.insert(access, test_id=100 + i)
+        raccs.append(access)
+
+    naive = {
+        (w.ins, r.ins)
+        for w in waccs
+        for r in raccs
+        if max(w.addr, r.addr) < min(w.end, r.end)
+    }
+    indexed = {(o.write.ins, o.read.ins) for o in index.read_write_overlaps()}
+    assert indexed == naive
+
+
+class TestIdentifyPmcs:
+    def test_differing_values_make_a_pmc(self):
+        profiles = [
+            profile(0, pa("W", 0x100, 8, 0xAA, "w:1")),
+            profile(1, pa("R", 0x100, 8, 0xBB, "r:1")),
+        ]
+        pmcset = identify_pmcs(profiles)
+        assert len(pmcset) == 1
+        (pmc,) = pmcset
+        assert pmcset.pairs(pmc) == [(0, 1)]
+
+    def test_equal_values_are_not_a_pmc(self):
+        """Algorithm 1 line 11: same projected value -> no communication."""
+        profiles = [
+            profile(0, pa("W", 0x100, 8, 0xAA, "w:1")),
+            profile(1, pa("R", 0x100, 8, 0xAA, "r:1")),
+        ]
+        assert len(identify_pmcs(profiles)) == 0
+
+    def test_projection_on_partial_overlap(self):
+        """Values equal on the overlapping window -> no PMC, even though
+        the full access values differ."""
+        profiles = [
+            # write bytes 0x100..0x108 with low word 0x55 at offset 4..
+            profile(0, pa("W", 0x100, 8, 0x55_00000000, "w:1")),
+            # read bytes 0x104..0x108: sees 0x55 as well
+            profile(1, pa("R", 0x104, 4, 0x55, "r:1")),
+        ]
+        assert len(identify_pmcs(profiles)) == 0
+
+    def test_projection_detects_window_difference(self):
+        profiles = [
+            profile(0, pa("W", 0x100, 8, 0x99_00000000, "w:1")),
+            profile(1, pa("R", 0x104, 4, 0x55, "r:1")),
+        ]
+        pmcset = identify_pmcs(profiles)
+        assert len(pmcset) == 1
+
+    def test_multiple_pairs_map_to_one_pmc(self):
+        """Identical access keys from different tests share the PMC entry."""
+        profiles = [
+            profile(0, pa("W", 0x100, 8, 1, "w:1")),
+            profile(1, pa("W", 0x100, 8, 1, "w:1")),
+            profile(2, pa("R", 0x100, 8, 0, "r:1")),
+        ]
+        pmcset = identify_pmcs(profiles)
+        assert len(pmcset) == 1
+        (pmc,) = pmcset
+        assert set(pmcset.pairs(pmc)) == {(0, 2), (1, 2)}
+
+    def test_df_leader_carried_onto_pmc(self):
+        profiles = [
+            profile(0, pa("W", 0x100, 8, 1, "w:1")),
+            profile(1, pa("R", 0x100, 8, 0, "r:1", df=True)),
+        ]
+        (pmc,) = identify_pmcs(profiles)
+        assert pmc.df_leader
+
+    def test_writes_do_not_pair_with_writes(self):
+        profiles = [
+            profile(0, pa("W", 0x100, 8, 1, "w:1")),
+            profile(1, pa("W", 0x100, 8, 2, "w:2")),
+        ]
+        assert len(identify_pmcs(profiles)) == 0
+
+    def test_pair_order_is_writer_then_reader(self):
+        profiles = [
+            profile(5, pa("R", 0x100, 8, 0, "r:1")),
+            profile(9, pa("W", 0x100, 8, 1, "w:1")),
+        ]
+        (pmc,) = identify_pmcs(profiles)
+        assert identify_pmcs(profiles).pairs(pmc) == [(9, 5)]
+
+
+class TestPmcModel:
+    def test_overlap_window(self):
+        pmc = PMC(
+            write=AccessKey(0x100, 8, "w:1", 1),
+            read=AccessKey(0x104, 8, "r:1", 2),
+        )
+        assert pmc.overlap == (0x104, 0x108)
+
+    def test_unaligned_flag(self):
+        aligned = PMC(write=AccessKey(0x100, 8, "w", 1), read=AccessKey(0x100, 8, "r", 2))
+        unaligned = PMC(write=AccessKey(0x100, 8, "w", 1), read=AccessKey(0x104, 4, "r", 2))
+        assert not aligned.unaligned
+        assert unaligned.unaligned
+
+    def test_pmcs_are_hashable_and_comparable(self):
+        a = PMC(write=AccessKey(0x100, 8, "w", 1), read=AccessKey(0x100, 8, "r", 2))
+        b = PMC(write=AccessKey(0x100, 8, "w", 1), read=AccessKey(0x100, 8, "r", 2))
+        assert a == b
+        assert len({a, b}) == 1

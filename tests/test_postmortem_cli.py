@@ -1,0 +1,234 @@
+"""Tests for the post-mortem analysis tools and the CLI."""
+
+import pytest
+
+from repro.detect.datarace import RaceDetector, RaceReport
+from repro.detect.postmortem import analyze_all, analyze_race, decode_ins
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.kernel import boot_kernel
+from repro.pmc.identify import identify_pmcs
+from repro.profile.profiler import profile_from_result
+from repro.sched.executor import Executor
+from repro.sched.random_sched import RandomScheduler
+
+
+def make_race(ins_a, ins_b, addr=0x100, type_a="W", type_b="R"):
+    return RaceReport(
+        ins_a=ins_a,
+        ins_b=ins_b,
+        type_a=type_a,
+        type_b=type_b,
+        addr=addr,
+        size=8,
+        value_a=1,
+        value_b=0,
+        thread_a=0,
+        thread_b=1,
+    )
+
+
+class TestDecodeIns:
+    def test_decodes_real_kernel_instruction(self):
+        location = decode_ins("rhashtable.py:rht_ptr:62")
+        assert location.file == "rhashtable.py"
+        assert location.function == "rht_ptr"
+        assert location.line == 62
+        assert location.code  # the actual source line was found
+
+    def test_unknown_file_no_snippet(self):
+        location = decode_ins("nosuchfile.py:fn:3")
+        assert location.code == ""
+        assert location.line == 3
+
+    def test_malformed_ins(self):
+        location = decode_ins("garbage")
+        assert location.line == 0
+
+
+class TestAnalyzeRace:
+    def _real_race_and_pmcs(self):
+        kernel, snapshot = boot_kernel()
+        ex = Executor(kernel, snapshot)
+        writer = prog(Call("socket", (0,)), Call("ioctl", (Res(0), 4, 0xAABBCCDDEEFF)))
+        reader = prog(Call("socket", (0,)), Call("ioctl", (Res(0), 5, 0)))
+        pw = profile_from_result(0, writer, ex.run_sequential(writer))
+        pr = profile_from_result(1, reader, ex.run_sequential(reader))
+        pmcset = identify_pmcs([pw, pr])
+        for seed in range(60):
+            scheduler = RandomScheduler(seed=seed, switch_probability=0.3)
+            scheduler.begin_trial(0)
+            detector = RaceDetector()
+            ex.run_concurrent([writer, reader], scheduler=scheduler, race_detector=detector)
+            races = [r for r in detector.reports() if r.involves("ioctl_get_mac")]
+            if races:
+                return races[0], pmcset
+        pytest.fail("MAC race not observed")
+
+    def test_race_confirmed_by_identified_pmc(self):
+        race, pmcset = self._real_race_and_pmcs()
+        report = analyze_race(race, pmcset)
+        assert report.pmc_confirmed
+        assert any("ioctl_set_mac" in p.write.ins for p in report.matching_pmcs)
+
+    def test_render_contains_source_info(self):
+        race, pmcset = self._real_race_and_pmcs()
+        rendered = analyze_race(race, pmcset).render()
+        assert "net.py" in rendered
+        assert "predicted by" in rendered
+
+    def test_unpredicted_race_flagged_incidental(self):
+        race = make_race("zz.py:a:1", "zz.py:b:2")
+        report = analyze_race(race, None)
+        assert not report.pmc_confirmed
+        assert "incidental" in report.render() or "not predicted" in report.render()
+
+    def test_analyze_all_orders_confirmed_first(self):
+        race_real, pmcset = self._real_race_and_pmcs()
+        race_fake = make_race("zz.py:a:1", "zz.py:b:2")
+        reports = analyze_all([race_fake, race_real], pmcset)
+        assert reports[0].pmc_confirmed
+        assert not reports[-1].pmc_confirmed
+
+
+class TestCli:
+    def test_strategies_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "S-INS-PAIR" in out
+        assert "Duplicate pairing" in out
+
+    def test_bugs_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["bugs"]) == 0
+        out = capsys.readouterr().out
+        assert "SB01" in out and "SB17" in out
+        assert "l2tp" in out
+
+    def test_case_rhashtable(self, capsys):
+        from repro.cli import main
+
+        assert main(["case", "rhashtable"]) == 0
+        out = capsys.readouterr().out
+        assert "exposed at trial" in out
+        assert "NULL pointer dereference" in out
+
+    def test_campaign_small(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "campaign",
+                "--strategy",
+                "S-INS",
+                "--budget",
+                "5",
+                "--trials",
+                "4",
+                "--corpus",
+                "60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corpus=" in out
+        assert "S-INS" in out
+
+    def test_unknown_command_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+
+class TestCliReplay:
+    @pytest.fixture(scope="class")
+    def package_path(self, tmp_path_factory):
+        from repro.orchestrate.persistence import capture_package
+        from repro.fuzz.prog import Call, prog
+
+        kernel, snapshot = boot_kernel()
+        ex = Executor(kernel, snapshot)
+        writer = prog(Call("mkdir", (2,)))
+        reader = prog(Call("lookup", (2,)))
+        children = kernel.globals["configfs_root"] + 8
+
+        class Force:
+            def __init__(self):
+                self.switched = False
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                if (
+                    access.thread == 0
+                    and not self.switched
+                    and access.is_write
+                    and access.addr == children
+                    and access.value != 0
+                ):
+                    self.switched = True
+                    return True
+                return False
+
+        result = ex.run_concurrent([writer, reader], scheduler=Force())
+        assert result.panicked
+        package = capture_package("SB11", writer, reader, result)
+        path = tmp_path_factory.mktemp("pkg") / "sb11.json"
+        package.save(str(path))
+        return str(path)
+
+    def test_replay_command(self, package_path, capsys):
+        from repro.cli import main
+
+        assert main(["replay", package_path]) == 0
+        out = capsys.readouterr().out
+        assert "SB11" in out
+        assert "Reproducer (process A):" in out
+        assert "panicked=True" in out
+
+    def test_replay_minimize_command(self, package_path, capsys):
+        from repro.cli import main
+
+        assert main(["replay", package_path, "--minimize"]) == 0
+        out = capsys.readouterr().out
+        assert "minimised schedule" in out
+        assert "panicked=True" in out
+
+
+class TestCliRun:
+    def test_sequential_program_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "p.txt"
+        path.write_text("r0 = msgget(2)\nmsgsnd(2, 0x2a)\nmsgrcv(2)\n")
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "returns: [2, 0, 42]" in out
+
+    def test_concurrent_program_files(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = tmp_path / "a.txt"
+        a.write_text("snd_ctl_add(100)\n")
+        b = tmp_path / "b.txt"
+        b.write_text("snd_ctl_add(100)\n")
+        assert main(["run", str(a), str(b), "--trials", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "interleavings explored" in out
+        assert "snd_ctl_add" in out  # the #15 race shows up
+
+    def test_fixed_kernel_flag_silences(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = tmp_path / "a.txt"
+        a.write_text("snd_ctl_add(100)\n")
+        assert main(["run", str(a), str(a), "--trials", "20", "--fixed"]) == 0
+        out = capsys.readouterr().out
+        assert "0 distinct findings" in out

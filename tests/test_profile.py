@@ -1,0 +1,125 @@
+"""Tests for sequential profiling: filtering, dedup, df_leader."""
+
+import pytest
+
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.kernel import boot_kernel
+from repro.machine.accesses import AccessType
+from repro.machine.snapshot import Snapshot
+from repro.profile.profiler import (
+    Profiler,
+    _find_df_leaders,
+    profile_corpus,
+    profile_from_result,
+)
+from repro.machine.accesses import MemoryAccess
+from repro.sched.executor import Executor
+
+
+def mem(thread, type, addr, size, value, ins, seq=0, stack=False):
+    return MemoryAccess(
+        seq=seq,
+        thread=thread,
+        type=AccessType.READ if type == "R" else AccessType.WRITE,
+        addr=addr,
+        size=size,
+        value=value,
+        ins=ins,
+        is_stack=stack,
+    )
+
+
+class TestProfileDistillation:
+    def test_stack_accesses_pruned(self):
+        kernel, _ = boot_kernel()
+
+        def sys_stacky(ctx):
+            cell = ctx.stack_alloc(8)
+            yield from ctx.store_word(cell, 1)
+            value = yield from ctx.load_word(cell)
+            return value
+
+        kernel.register_syscall("stacky", sys_stacky)
+        snapshot = Snapshot.capture(kernel.machine)
+        executor = Executor(kernel, snapshot)
+        profile = Profiler(executor).profile(0, prog(Call("stacky", ())))
+        assert all("stacky" not in a.ins for a in profile.accesses)
+
+    def test_duplicate_accesses_collapsed(self, executor):
+        # Two identical msgget calls make identical bucket reads.
+        program = prog(Call("msgget", (1,)), Call("msgget", (1,)))
+        profile = Profiler(executor).profile(0, program)
+        keys = [a.key() for a in profile.accesses]
+        assert len(keys) == len(set(keys))
+
+    def test_reads_and_writes_partition(self, executor):
+        profile = Profiler(executor).profile(0, prog(Call("msgget", (1,))))
+        assert set(profile.reads) | set(profile.writes) == set(profile.accesses)
+        assert not set(profile.reads) & set(profile.writes)
+
+    def test_profile_corpus_reuses_results(self, executor):
+        from repro.fuzz.corpus import build_corpus
+
+        corpus = build_corpus(executor, seed=2, budget=30)
+        profiles = profile_corpus(corpus)
+        assert len(profiles) == len(corpus)
+        assert [p.test_id for p in profiles] == [e.test_id for e in corpus]
+
+    def test_profile_ids_match_re_execution(self, executor):
+        """Profiling twice yields identical access sets (determinism)."""
+        program = prog(Call("open", (1,)), Call("write", (Res(0), 9)))
+        p1 = Profiler(executor).profile(0, program)
+        p2 = Profiler(executor).profile(0, program)
+        assert {a.key() for a in p1.accesses} == {a.key() for a in p2.accesses}
+
+
+class TestDfLeaders:
+    def test_two_reads_same_value_different_ins_marks_leader(self):
+        stream = [
+            mem(0, "R", 0x100, 8, 5, "a.py:f:1", seq=0),
+            mem(0, "R", 0x100, 8, 5, "a.py:f:2", seq=1),
+        ]
+        leaders = _find_df_leaders(stream)
+        assert leaders == {(AccessType.READ, 0x100, 8, 5, "a.py:f:1")}
+
+    def test_same_instruction_is_not_a_double_fetch(self):
+        stream = [
+            mem(0, "R", 0x100, 8, 5, "a.py:f:1", seq=0),
+            mem(0, "R", 0x100, 8, 5, "a.py:f:1", seq=1),
+        ]
+        assert _find_df_leaders(stream) == set()
+
+    def test_intervening_write_clears(self):
+        stream = [
+            mem(0, "R", 0x100, 8, 5, "a.py:f:1", seq=0),
+            mem(0, "W", 0x100, 8, 6, "a.py:f:9", seq=1),
+            mem(0, "R", 0x100, 8, 6, "a.py:f:2", seq=2),
+        ]
+        assert _find_df_leaders(stream) == set()
+
+    def test_partial_intervening_write_clears(self):
+        stream = [
+            mem(0, "R", 0x100, 8, 5, "a.py:f:1", seq=0),
+            mem(0, "W", 0x104, 2, 6, "a.py:f:9", seq=1),  # overlaps bytes 4-5
+            mem(0, "R", 0x100, 8, 5, "a.py:f:2", seq=2),
+        ]
+        assert _find_df_leaders(stream) == set()
+
+    def test_different_values_not_a_double_fetch(self):
+        stream = [
+            mem(0, "R", 0x100, 8, 5, "a.py:f:1", seq=0),
+            mem(0, "R", 0x100, 8, 7, "a.py:f:2", seq=1),
+        ]
+        assert _find_df_leaders(stream) == set()
+
+    def test_stack_reads_ignored(self):
+        stream = [
+            mem(0, "R", 0x100, 8, 5, "a.py:f:1", seq=0, stack=True),
+            mem(0, "R", 0x100, 8, 5, "a.py:f:2", seq=1, stack=True),
+        ]
+        assert _find_df_leaders(stream) == set()
+
+    def test_rht_ptr_produces_df_leader_end_to_end(self, executor):
+        program = prog(Call("msgget", (1,)), Call("msgget", (1,)))
+        profile = Profiler(executor).profile(0, program)
+        assert any(a.df_leader and "rht_ptr" in a.ins for a in profile.accesses)

@@ -1,0 +1,111 @@
+"""Tests for the trace analysis utilities."""
+
+import pytest
+
+from repro.fuzz.prog import Call, Res, prog
+from repro.machine.accesses import AccessType, MemoryAccess
+from repro.profile.profiler import ProfiledAccess, TestProfile, profile_from_result
+from repro.profile.trace import (
+    access_breakdown,
+    communication_matrix,
+    hot_addresses,
+    shared_objects,
+    subsystem_of,
+)
+
+EMPTY = prog()
+
+
+def mem(type, addr, size=8, ins="net.py:f:1", thread=0):
+    return MemoryAccess(
+        seq=0,
+        thread=thread,
+        type=AccessType.READ if type == "R" else AccessType.WRITE,
+        addr=addr,
+        size=size,
+        value=0,
+        ins=ins,
+    )
+
+
+def pa(type, addr, size, ins, value=0):
+    return ProfiledAccess(
+        type=AccessType.READ if type == "R" else AccessType.WRITE,
+        addr=addr,
+        size=size,
+        value=value,
+        ins=ins,
+    )
+
+
+class TestSubsystemOf:
+    def test_strips_extension_and_rest(self):
+        assert subsystem_of("net.py:NetSubsystem.f:12") == "net"
+        assert subsystem_of("alloc.py:Allocator.kmalloc:90") == "alloc"
+
+
+class TestBreakdownAndHotness:
+    def test_breakdown_counts(self):
+        accesses = [
+            mem("R", 0x100, ins="net.py:a:1"),
+            mem("W", 0x100, ins="net.py:a:2"),
+            mem("R", 0x200, ins="fs.py:b:3"),
+        ]
+        breakdown = access_breakdown(accesses)
+        assert breakdown["net"] == (1, 1)
+        assert breakdown["fs"] == (1, 0)
+
+    def test_hot_addresses_ordering(self):
+        accesses = [mem("R", 0x100)] * 3 + [mem("R", 0x200)]
+        hot = hot_addresses(accesses, top=2)
+        assert hot[0] == (0x100, 3)
+        assert hot[1] == (0x200, 1)
+
+    def test_real_execution_breakdown(self, executor):
+        result = executor.run_sequential(
+            prog(Call("msgget", (1,)), Call("socket", (0,)))
+        )
+        breakdown = access_breakdown(result.shared_accesses())
+        assert "rhashtable" in breakdown
+        assert "alloc" in breakdown
+
+
+class TestSharedObjects:
+    def _profile(self, *accesses):
+        return TestProfile(test_id=0, program=EMPTY, accesses=tuple(accesses), instructions=0)
+
+    def test_adjacent_ranges_coalesce(self):
+        profile = self._profile(
+            pa("W", 0x100, 8, "a:1"), pa("R", 0x108, 8, "a:2")
+        )
+        objects = shared_objects([profile])
+        assert len(objects) == 1
+        assert objects[0].size == 16
+        assert objects[0].readers == 1 and objects[0].writers == 1
+
+    def test_distant_ranges_stay_separate(self):
+        profile = self._profile(
+            pa("W", 0x100, 8, "a:1"), pa("R", 0x500, 8, "a:2")
+        )
+        assert len(shared_objects([profile])) == 2
+
+    def test_gap_parameter(self):
+        profile = self._profile(
+            pa("W", 0x100, 8, "a:1"), pa("R", 0x110, 8, "a:2")
+        )
+        assert len(shared_objects([profile], gap=4)) == 2
+        assert len(shared_objects([profile], gap=16)) == 1
+
+
+class TestCommunicationMatrix:
+    def test_cross_subsystem_edges(self, executor):
+        writer = prog(Call("msgget", (1,)))
+        reader = prog(Call("semget", (1,)))
+        pw = profile_from_result(0, writer, executor.run_sequential(writer))
+        pr = profile_from_result(1, reader, executor.run_sequential(reader))
+        matrix = communication_matrix([pw, pr])
+        # Both families allocate: allocator metadata overlaps exist.
+        assert any("alloc" in key for key in matrix)
+
+    def test_empty_profiles(self):
+        assert communication_matrix([]) == {}

@@ -1,0 +1,184 @@
+"""Cross-cutting property-based tests: the invariants the system rests on."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detect.datarace import RaceDetector
+from repro.fuzz.generator import ProgramGenerator
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.kernel import boot_kernel
+from repro.machine.accesses import AccessType, MemoryAccess
+from repro.pmc.identify import identify_pmcs
+from repro.profile.profiler import profile_from_result
+from repro.sched.executor import Executor
+from repro.sched.random_sched import RandomScheduler
+
+
+@pytest.fixture(scope="module")
+def ex():
+    kernel, snapshot = boot_kernel()
+    return Executor(kernel, snapshot)
+
+
+class TestExecutionDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_same_everything(self, ex, seed):
+        """Concurrent execution is a pure function of (tests, schedule seed)."""
+        a = prog(Call("msgget", (2,)), Call("msgctl", (2, 0)))
+        b = prog(Call("msgget", (2,)), Call("msgsnd", (2, 9)))
+        r1 = ex.run_concurrent([a, b], scheduler=RandomScheduler(seed=seed))
+        r2 = ex.run_concurrent([a, b], scheduler=RandomScheduler(seed=seed))
+        assert r1.returns == r2.returns
+        assert r1.console == r2.console
+        assert r1.switch_points == r2.switch_points
+        assert [x.value for x in r1.accesses] == [x.value for x in r2.accesses]
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_programs_always_run(self, ex, seed):
+        """Any fuzzer-generated program executes without crashing the
+        harness (kernel panics are legal results, Python errors are not)."""
+        program = ProgramGenerator(seed=seed).generate()
+        result = ex.run_sequential(program)
+        assert result.instructions >= 0
+        assert len(result.returns[0]) <= len(program)
+
+
+class TestKernelInvariants:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_fifo_never_invents_values(self, ex, seed):
+        """Under any interleaving, FIFO reads only return written values
+        (the ring is fully locked — linearizability's cheap cousin)."""
+        writer = prog(
+            Call("fifo_open", (0,)),
+            Call("fifo_write", (Res(0), 101)),
+            Call("fifo_write", (Res(0), 102)),
+        )
+        reader = prog(
+            Call("fifo_open", (0,)),
+            Call("fifo_read", (Res(0),)),
+            Call("fifo_read", (Res(0),)),
+        )
+        result = ex.run_concurrent(
+            [writer, reader], scheduler=RandomScheduler(seed=seed)
+        )
+        assert result.completed
+        reads = [v for v in result.returns[1][1:] if v >= 0]
+        assert all(v in (101, 102) for v in reads)
+        # FIFO order: if both reads succeeded, 101 came first.
+        if len(reads) == 2:
+            assert reads == [101, 102]
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_locked_sem_never_loses_updates(self, ex, seed):
+        """semop is fully locked: concurrent +2/+2 always lands on 5."""
+        test = prog(Call("semget", (1,)), Call("semop", (1, 6)))  # +2 each
+        result = ex.run_concurrent([test, test], scheduler=RandomScheduler(seed=seed))
+        assert result.completed
+        check = ex.run_concurrent(
+            [test, test],
+            scheduler=RandomScheduler(seed=seed),
+        )
+        # Re-query within one execution instead: run a third program.
+        final = ex.run_concurrent(
+            [prog(Call("semget", (1,)), Call("semop", (1, 6)), Call("semctl", (1, 1))),
+             prog(Call("semget", (1,)), Call("semop", (1, 6)))],
+            scheduler=RandomScheduler(seed=seed),
+        )
+        assert final.completed
+        # The value itself is protected by the per-semaphore lock, but
+        # semget's check-then-create has a (realistic) duplicate-creation
+        # race: racing creators can insert two instances for one key, so
+        # GETVAL may land on a fresh instance (1), one increment (3) or
+        # both (5) — but never a torn/lost-update value like 2 or 4.
+        assert final.returns[0][2] in (1, 3, 5)
+
+
+class TestAnalysisInvariants:
+    def _two_profiles(self, ex):
+        a = prog(Call("msgget", (2,)), Call("msgctl", (2, 0)))
+        b = prog(Call("msgget", (2,)))
+        pa = profile_from_result(0, a, ex.run_sequential(a))
+        pb = profile_from_result(1, b, ex.run_sequential(b))
+        return pa, pb
+
+    def test_identification_is_order_insensitive(self, ex):
+        pa, pb = self._two_profiles(ex)
+        forward = identify_pmcs([pa, pb])
+        backward = identify_pmcs([pb, pa])
+        assert set(forward.pmcs) == set(backward.pmcs)
+        for pmc in forward:
+            assert set(forward.pairs(pmc)) == set(backward.pairs(pmc))
+
+    def test_profiling_is_idempotent(self, ex):
+        program = prog(Call("socket", (2,)), Call("connect", (Res(0), 1)))
+        p1 = profile_from_result(0, program, ex.run_sequential(program))
+        p2 = profile_from_result(0, program, ex.run_sequential(program))
+        assert {a.key() for a in p1.accesses} == {a.key() for a in p2.accesses}
+
+    @given(
+        stream=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),  # addr
+                st.sampled_from(["R", "W"]),
+                st.integers(min_value=1, max_value=4),  # size
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_thread_never_races(self, stream):
+        """A one-thread access stream can never produce a race report."""
+        detector = RaceDetector()
+        for seq, (addr, kind, size) in enumerate(stream):
+            detector.on_access(
+                MemoryAccess(
+                    seq=seq,
+                    thread=0,
+                    type=AccessType.READ if kind == "R" else AccessType.WRITE,
+                    addr=addr,
+                    size=size,
+                    value=0,
+                    ins=f"x.py:f:{seq}",
+                )
+            )
+        assert detector.reports() == []
+
+    @given(
+        stream=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),  # thread
+                st.integers(min_value=0, max_value=20),  # addr
+                st.sampled_from(["R", "W"]),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_globally_locked_streams_never_race(self, stream):
+        """If every access happens inside one global lock, the detector
+        must stay silent whatever the interleaving (HB soundness)."""
+        from repro.kernel.ops import SyncOp
+
+        detector = RaceDetector()
+        for seq, (thread, addr, kind) in enumerate(stream):
+            detector.on_sync(thread, SyncOp("acquire", 0x999, "s:1"))
+            detector.on_access(
+                MemoryAccess(
+                    seq=seq,
+                    thread=thread,
+                    type=AccessType.READ if kind == "R" else AccessType.WRITE,
+                    addr=addr,
+                    size=1,
+                    value=0,
+                    ins=f"x.py:f:{seq}",
+                )
+            )
+            detector.on_sync(thread, SyncOp("release", 0x999, "s:1"))
+        assert detector.reports() == []

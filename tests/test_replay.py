@@ -1,0 +1,144 @@
+"""Tests for deterministic bug reproduction (schedule replay, section 6)."""
+
+import pytest
+
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.kernel import boot_kernel
+from repro.sched.executor import Executor
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.snowboard import SnowboardScheduler
+
+
+@pytest.fixture(scope="module")
+def booted():
+    kernel, snapshot = boot_kernel()
+    return kernel, Executor(kernel, snapshot)
+
+
+def find_bug_run(ex, writer, reader, max_seeds=80, probability=0.4):
+    """Random-explore until a panic; returns the buggy result."""
+    for seed in range(max_seeds):
+        scheduler = RandomScheduler(seed=seed, switch_probability=probability)
+        scheduler.begin_trial(0)
+        result = ex.run_concurrent([writer, reader], scheduler=scheduler)
+        if result.panicked:
+            return result
+    pytest.fail("no panic found to replay")
+
+
+class TestSwitchPointRecording:
+    def test_switch_points_recorded(self, booted):
+        _, ex = booted
+        a = prog(Call("msgget", (1,)), Call("msgsnd", (1, 2)))
+        result = ex.run_concurrent(
+            [a, a], scheduler=RandomScheduler(seed=1, switch_probability=0.5)
+        )
+        assert len(result.switch_points) == result.switches
+        assert result.switch_points == sorted(result.switch_points)
+
+    def test_no_scheduler_single_handoff(self, booted):
+        _, ex = booted
+        a = prog(Call("msgget", (1,)))
+        result = ex.run_concurrent([a, a])
+        # Only the handoff when thread 0 finishes; it is not a recorded
+        # scheduler switch (done-thread rotation is implicit).
+        assert result.switch_points == []
+
+
+class TestReplay:
+    def test_replay_reproduces_a_panic(self, booted):
+        """The paper: 'in all cases we evaluated, Snowboard was able to
+        reproduce found bugs.'"""
+        kernel, ex = booted
+        writer = prog(Call("mkdir", (2,)))
+        reader = prog(Call("lookup", (2,)))
+        children = kernel.globals["configfs_root"] + 8
+
+        class ForcePublishWindow:
+            def __init__(self):
+                self.switched = False
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                if (
+                    access.thread == 0
+                    and not self.switched
+                    and access.is_write
+                    and access.addr == children
+                    and access.value != 0
+                ):
+                    self.switched = True
+                    return True
+                return False
+
+        buggy = ex.run_concurrent([writer, reader], scheduler=ForcePublishWindow())
+        assert buggy.panicked
+
+        replayed = ex.run_concurrent(
+            [writer, reader], replay_switch_points=buggy.switch_points
+        )
+        assert replayed.panicked
+        assert replayed.panic_message == buggy.panic_message
+        assert replayed.console == buggy.console
+
+    def test_replay_reproduces_the_full_trace(self, booted):
+        _, ex = booted
+        a = prog(Call("msgget", (2,)), Call("msgctl", (2, 0)))
+        b = prog(Call("msgget", (2,)))
+        original = ex.run_concurrent(
+            [a, b], scheduler=RandomScheduler(seed=5, switch_probability=0.3)
+        )
+        replayed = ex.run_concurrent([a, b], replay_switch_points=original.switch_points)
+        assert [x.value for x in replayed.accesses] == [
+            x.value for x in original.accesses
+        ]
+        assert [x.thread for x in replayed.accesses] == [
+            x.thread for x in original.accesses
+        ]
+        assert replayed.returns == original.returns
+
+    def test_replay_of_snowboard_guided_run(self, booted):
+        """Replays work regardless of which scheduler produced the run."""
+        _, ex = booted
+        from repro.pmc.identify import identify_pmcs
+        from repro.profile.profiler import profile_from_result
+
+        writer = prog(Call("socket", (2,)), Call("connect", (Res(0), 1)))
+        reader = prog(
+            Call("socket", (2,)), Call("connect", (Res(0), 1)), Call("sendmsg", (Res(0), 5))
+        )
+        pw = profile_from_result(0, writer, ex.run_sequential(writer))
+        pr = profile_from_result(1, reader, ex.run_sequential(reader))
+        pmcset = identify_pmcs([pw, pr])
+        pmc = next(
+            p
+            for p in pmcset
+            if (0, 1) in pmcset.pairs(p) and "l2tp_tunnel_register" in p.write.ins
+        )
+        scheduler = SnowboardScheduler(pmc, seed=3)
+        buggy = None
+        for trial in range(64):
+            scheduler.begin_trial(trial)
+            result = ex.run_concurrent([writer, reader], scheduler=scheduler)
+            if result.panicked:
+                buggy = result
+                break
+            scheduler.end_trial(result)
+        assert buggy is not None
+        replayed = ex.run_concurrent(
+            [writer, reader], replay_switch_points=buggy.switch_points
+        )
+        assert replayed.panicked
+        assert replayed.panic_message == buggy.panic_message
+
+    def test_empty_replay_runs_threads_back_to_back(self, booted):
+        _, ex = booted
+        a = prog(Call("msgget", (1,)))
+        result = ex.run_concurrent([a, a], replay_switch_points=[])
+        assert result.completed
+        assert result.switches == 0

@@ -1,0 +1,85 @@
+"""Tests for the rendered reports."""
+
+import pytest
+
+from repro.detect.catalog import BUG_CATALOG
+from repro.orchestrate.reporting import merge_found, render_table2, render_table3
+from repro.orchestrate.results import CampaignResult
+
+
+def campaign_with(strategy: str, bugs: dict) -> CampaignResult:
+    campaign = CampaignResult(strategy=strategy, exemplar_pmcs=10)
+    campaign.tested_pmcs = 5
+    campaign.trials = 50
+    # Inject found bugs directly through records to avoid re-matching.
+    from repro.detect.console import ConsoleFinding
+    from repro.detect.report import BugObservation
+    from repro.orchestrate.results import ObservationRecord
+
+    for bug_id, at in bugs.items():
+        obs = BugObservation(
+            kind="console", console=ConsoleFinding("panic", f"fake {bug_id}")
+        )
+        record = ObservationRecord(observation=obs, test_index=at, trial=0)
+        record.bug_id = bug_id
+        campaign.records.append(record)
+    return campaign
+
+
+class TestRenderTable2:
+    def test_every_catalog_row_present(self):
+        text = render_table2({})
+        for spec in BUG_CATALOG:
+            assert spec.id in text
+
+    def test_found_bug_shows_method_and_position(self):
+        text = render_table2({"SB12": ("S-INS", 11)})
+        line = next(l for l in text.splitlines() if l.startswith("SB12"))
+        assert "S-INS" in line and "11" in line
+
+    def test_missing_bug_shows_dash(self):
+        text = render_table2({})
+        line = next(l for l in text.splitlines() if l.startswith("SB01"))
+        assert " - " in line or line.rstrip().endswith("-") or "-" in line.split()
+
+    def test_markdown_mode(self):
+        text = render_table2({"SB01": ("S-MEM", 3)}, markdown=True)
+        assert text.startswith("| ID |")
+        assert "|---|" in text.replace(" ", "")
+
+
+class TestRenderTable3:
+    def test_rows_in_order(self):
+        campaigns = [
+            campaign_with("S-INS", {"SB13": 0}),
+            campaign_with("Random pairing", {}),
+        ]
+        campaigns[1].exemplar_pmcs = 0
+        text = render_table3(campaigns)
+        lines = text.splitlines()
+        assert "S-INS" in lines[2]
+        assert "Random pairing" in lines[3]
+        assert "NA" in lines[3]
+
+    def test_issue_list_rendered(self):
+        text = render_table3([campaign_with("S-INS", {"SB13": 0, "SB15": 4})])
+        assert "SB13 (@0)" in text
+        assert "SB15 (@4)" in text
+
+    def test_markdown_table3(self):
+        text = render_table3([campaign_with("S-CH", {})], markdown=True)
+        assert text.startswith("| Method |")
+
+
+class TestMergeFound:
+    def test_earliest_finder_wins(self):
+        a = campaign_with("S-INS", {"SB13": 5})
+        b = campaign_with("S-MEM", {"SB13": 2})
+        merged = merge_found([a, b])
+        assert merged["SB13"] == ("S-MEM", 2)
+
+    def test_union_of_bugs(self):
+        a = campaign_with("S-INS", {"SB13": 5})
+        b = campaign_with("S-MEM", {"SB15": 2})
+        merged = merge_found([a, b])
+        assert set(merged) == {"SB13", "SB15"}

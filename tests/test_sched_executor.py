@@ -1,0 +1,197 @@
+"""Tests for the serialised executor: tracing, switching, failure paths."""
+
+import pytest
+
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.kernel import boot_kernel
+from repro.machine.snapshot import Snapshot
+from repro.sched.executor import Executor
+from repro.sched.random_sched import RandomScheduler
+
+
+class TestSequentialExecution:
+    def test_snapshot_restored_between_runs(self, executor):
+        program = prog(Call("msgget", (1,)), Call("msgsnd", (1, 5)))
+        first = executor.run_sequential(program)
+        second = executor.run_sequential(program)
+        assert first.returns == second.returns
+        assert len(first.accesses) == len(second.accesses)
+
+    def test_identical_runs_produce_identical_traces(self, executor):
+        program = prog(Call("open", (1,)), Call("write", (Res(0), 3)))
+        t1 = [(a.type, a.addr, a.size, a.value, a.ins) for a in executor.run_sequential(program).accesses]
+        t2 = [(a.type, a.addr, a.size, a.value, a.ins) for a in executor.run_sequential(program).accesses]
+        assert t1 == t2
+
+    def test_sequence_numbers_are_monotonic(self, executor):
+        result = executor.run_sequential(prog(Call("msgget", (1,))))
+        seqs = [a.seq for a in result.accesses]
+        assert seqs == sorted(seqs)
+
+    def test_stack_accesses_are_flagged(self):
+        kernel, _ = boot_kernel()
+        stack_cell = None
+
+        def sys_stacky(ctx):
+            nonlocal stack_cell
+            stack_cell = ctx.stack_alloc(8)
+            yield from ctx.store_word(stack_cell, 42)
+            value = yield from ctx.load_word(stack_cell)
+            return value
+
+        kernel.register_syscall("stacky", sys_stacky)
+        snapshot = Snapshot.capture(kernel.machine)
+        executor = Executor(kernel, snapshot)
+        result = executor.run_sequential(prog(Call("stacky", ())))
+        assert result.returns[0] == [42]
+        stack_accesses = [a for a in result.accesses if a.is_stack]
+        assert len(stack_accesses) == 2
+        assert all(a.addr == stack_cell for a in stack_accesses)
+        assert result.shared_accesses() == [a for a in result.accesses if not a.is_stack]
+
+    def test_console_capture_only_new_lines(self, executor):
+        result = executor.run_sequential(prog(Call("open", (1,))))
+        assert "mini-kernel booted" not in result.console
+
+
+class TestConcurrentExecution:
+    def test_both_threads_complete(self, executor):
+        a = prog(Call("msgget", (1,)))
+        b = prog(Call("open", (1,)), Call("read", (Res(0), 1)))
+        result = executor.run_concurrent([a, b], scheduler=RandomScheduler(seed=1))
+        assert result.completed
+        assert result.returns[0] == [1]
+        assert result.returns[1] == [0, 0x1001]
+
+    def test_threads_use_separate_processes(self, executor):
+        """fds are per-process: both threads get fd 0."""
+        a = prog(Call("open", (1,)))
+        result = executor.run_concurrent([a, a], scheduler=RandomScheduler(seed=2))
+        assert result.returns[0] == [0]
+        assert result.returns[1] == [0]
+
+    def test_switch_counter(self, executor):
+        a = prog(Call("msgget", (1,)), Call("msgsnd", (1, 2)))
+        result = executor.run_concurrent([a, a], scheduler=RandomScheduler(seed=3, switch_probability=1.0))
+        assert result.switches > 0
+
+    def test_no_scheduler_runs_threads_back_to_back(self, executor):
+        a = prog(Call("msgget", (1,)))
+        result = executor.run_concurrent([a, a], scheduler=None)
+        threads = [a.thread for a in result.accesses]
+        # Without a scheduler, thread 0 finishes before thread 1 starts.
+        boundary = threads.index(1)
+        assert all(t == 1 for t in threads[boundary:])
+
+    def test_concurrent_requires_two_programs(self, executor):
+        with pytest.raises(ValueError):
+            executor.run_concurrent([prog(Call("open", (1,)))])
+
+    def test_determinism_same_seed(self, executor):
+        a = prog(Call("msgget", (2,)), Call("msgctl", (2, 0)))
+        b = prog(Call("msgget", (2,)))
+        r1 = executor.run_concurrent([a, b], scheduler=RandomScheduler(seed=9))
+        r2 = executor.run_concurrent([a, b], scheduler=RandomScheduler(seed=9))
+        assert [x.value for x in r1.accesses] == [x.value for x in r2.accesses]
+        assert r1.switches == r2.switches
+
+
+class TestFailurePaths:
+    def test_explicit_panic_stops_execution(self):
+        kernel, _ = boot_kernel()
+
+        def sys_die(ctx):
+            yield from ctx.panic("deliberate")
+            yield from ctx.printk("unreachable")
+
+        kernel.register_syscall("die", sys_die)
+        snapshot = Snapshot.capture(kernel.machine)
+        executor = Executor(kernel, snapshot)
+        result = executor.run_sequential(prog(Call("die", ())))
+        assert result.panicked
+        assert result.panic_message == "deliberate"
+        assert not any("unreachable" in line for line in result.console)
+        assert any("Kernel panic" in line for line in result.console)
+
+    def test_null_deref_reports_rip(self):
+        kernel, _ = boot_kernel()
+
+        def sys_nullread(ctx):
+            value = yield from ctx.load_word(8)
+            return value
+
+        kernel.register_syscall("nullread", sys_nullread)
+        snapshot = Snapshot.capture(kernel.machine)
+        executor = Executor(kernel, snapshot)
+        result = executor.run_sequential(prog(Call("nullread", ())))
+        assert result.panicked
+        assert "NULL pointer dereference" in result.panic_message
+        assert "sys_nullread" in result.panic_message
+
+    def test_wild_pointer_reports_page_fault(self):
+        kernel, _ = boot_kernel()
+
+        def sys_wild(ctx):
+            value = yield from ctx.load_word(0x5555_0000)
+            return value
+
+        kernel.register_syscall("wild", sys_wild)
+        snapshot = Snapshot.capture(kernel.machine)
+        executor = Executor(kernel, snapshot)
+        result = executor.run_sequential(prog(Call("wild", ())))
+        assert "unable to handle page fault" in result.panic_message
+
+    def test_instruction_budget(self):
+        kernel, _ = boot_kernel()
+
+        def sys_spin_forever(ctx):
+            while True:
+                yield from ctx.load_word(kernel.globals["kmalloc_state"])
+
+        kernel.register_syscall("spin_forever", sys_spin_forever)
+        snapshot = Snapshot.capture(kernel.machine)
+        executor = Executor(kernel, snapshot, max_instructions=500)
+        result = executor.run_sequential(prog(Call("spin_forever", ())))
+        assert result.budget_exceeded
+        assert result.instructions <= 501
+
+    def test_deadlock_detection_two_spinners(self):
+        """Both threads spin on locks the other holds -> deadlock report."""
+        kernel, _ = boot_kernel()
+        from repro.kernel import sync
+
+        lock_a = kernel.static_alloc("dl_a", 4)
+        lock_b = kernel.static_alloc("dl_b", 4)
+
+        def sys_ab(ctx):
+            yield from sync.spin_lock(ctx, lock_a)
+            yield from sync.spin_lock(ctx, lock_b)
+            return 0
+
+        def sys_ba(ctx):
+            yield from sync.spin_lock(ctx, lock_b)
+            yield from sync.spin_lock(ctx, lock_a)
+            return 0
+
+        kernel.register_syscall("ab", sys_ab)
+        kernel.register_syscall("ba", sys_ba)
+        snapshot = Snapshot.capture(kernel.machine)
+        executor = Executor(kernel, snapshot)
+
+        class AfterFirstLock:
+            """Switch each thread right after it takes its first lock."""
+
+            def begin_trial(self, t):
+                pass
+
+            def end_trial(self, r):
+                pass
+
+            def on_access(self, access):
+                return access.is_write and access.size == 4 and access.value in (1, 2)
+
+        result = executor.run_concurrent(
+            [prog(Call("ab", ())), prog(Call("ba", ()))], scheduler=AfterFirstLock()
+        )
+        assert result.deadlocked
+        assert not result.completed

@@ -1,0 +1,239 @@
+"""Tests for the exploration schedulers: Snowboard, SKI, PCT, random."""
+
+import pytest
+
+from repro.machine.accesses import AccessType, MemoryAccess
+from repro.pmc.model import PMC, AccessKey
+from repro.sched.executor import ExecutionResult
+from repro.sched.liveness import LivenessMonitor
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.ski import PctScheduler, SkiScheduler
+from repro.sched.snowboard import SnowboardScheduler, access_sig, channel_exercised, pmc_sigs
+
+_SEQ = [0]
+
+
+def mem(thread, type, addr, size=8, value=0, ins="m.py:f:1", stack=False):
+    _SEQ[0] += 1
+    return MemoryAccess(
+        seq=_SEQ[0],
+        thread=thread,
+        type=AccessType.READ if type == "R" else AccessType.WRITE,
+        addr=addr,
+        size=size,
+        value=value,
+        ins=ins,
+        is_stack=stack,
+    )
+
+
+THE_PMC = PMC(
+    write=AccessKey(addr=0x100, size=8, ins="k.py:w:10", value=7),
+    read=AccessKey(addr=0x100, size=8, ins="k.py:r:20", value=0),
+)
+
+
+class TestSnowboardScheduler:
+    def test_pmc_access_may_switch(self):
+        sched = SnowboardScheduler(THE_PMC, seed=0, switch_probability=1.0)
+        sched.begin_trial(0)
+        assert sched.on_access(mem(0, "W", 0x100, ins="k.py:w:10")) is True
+
+    def test_value_is_not_part_of_runtime_matching(self):
+        """A PMC access matches by (type, ins, range): the runtime value
+        may differ from the profiled one (that is the channel firing)."""
+        sched = SnowboardScheduler(THE_PMC, seed=0, switch_probability=1.0)
+        sched.begin_trial(0)
+        assert sched.on_access(mem(1, "R", 0x100, value=999, ins="k.py:r:20"))
+
+    def test_unrelated_access_never_switches(self):
+        sched = SnowboardScheduler(THE_PMC, seed=0, switch_probability=1.0)
+        sched.begin_trial(0)
+        assert not sched.on_access(mem(0, "W", 0x200, ins="k.py:other:5"))
+
+    def test_same_instruction_different_address_does_not_match(self):
+        """Section 5.4: Snowboard only reschedules on the *precise* access."""
+        sched = SnowboardScheduler(THE_PMC, seed=0, switch_probability=1.0)
+        sched.begin_trial(0)
+        assert not sched.on_access(mem(0, "W", 0x900, ins="k.py:w:10"))
+
+    def test_flag_learning_enables_pmc_access_coming(self):
+        sched = SnowboardScheduler(THE_PMC, seed=0, switch_probability=1.0)
+        sched.begin_trial(0)
+        prelude = mem(0, "R", 0x555, ins="k.py:pre:9")
+        sched.on_access(prelude)  # remembered as last access
+        sched.on_access(mem(0, "W", 0x100, ins="k.py:w:10"))  # PMC: learn flag
+        assert access_sig(prelude) in sched.flags
+        # In a later trial the prelude access itself now triggers a switch.
+        sched.begin_trial(1)
+        assert sched.on_access(mem(0, "R", 0x555, ins="k.py:pre:9")) is True
+
+    def test_trial_reseeding_is_reproducible(self):
+        a = SnowboardScheduler(THE_PMC, seed=42, switch_probability=0.5)
+        b = SnowboardScheduler(THE_PMC, seed=42, switch_probability=0.5)
+        for trial in (0, 1, 2):
+            a.begin_trial(trial)
+            b.begin_trial(trial)
+            stream = [mem(0, "W", 0x100, ins="k.py:w:10") for _ in range(10)]
+            assert [a.on_access(x) for x in stream] == [b.on_access(x) for x in stream]
+
+    def test_incidental_adoption_capped(self):
+        other_pmcs = [
+            PMC(
+                write=AccessKey(addr=0x200 + i * 8, size=8, ins=f"k.py:w:{i}", value=1),
+                read=AccessKey(addr=0x200 + i * 8, size=8, ins=f"k.py:rr:{i}", value=0),
+            )
+            for i in range(10)
+        ]
+        sched = SnowboardScheduler(THE_PMC, seed=0, universe=other_pmcs, max_adopted=2)
+        for i in range(10):
+            result = ExecutionResult()
+            result.accesses = [
+                mem(0, "W", 0x200 + i * 8, ins=f"k.py:w:{i}"),
+                mem(1, "R", 0x200 + i * 8, ins=f"k.py:rr:{i}"),
+            ]
+            sched.end_trial(result)
+        assert sched.tracked_pmcs <= 1 + 2  # the target + the cap
+
+    def test_adoption_requires_both_sides_observed(self):
+        other = PMC(
+            write=AccessKey(addr=0x300, size=8, ins="k.py:w:99", value=1),
+            read=AccessKey(addr=0x300, size=8, ins="k.py:rr:99", value=0),
+        )
+        sched = SnowboardScheduler(THE_PMC, seed=0, universe=[other])
+        result = ExecutionResult()
+        result.accesses = [mem(0, "W", 0x300, ins="k.py:w:99")]  # write only
+        sched.end_trial(result)
+        assert sched.tracked_pmcs == 1
+
+    def test_pmc_sigs(self):
+        write_sig, read_sig = pmc_sigs(THE_PMC)
+        assert write_sig == (AccessType.WRITE, "k.py:w:10", 0x100, 8)
+        assert read_sig == (AccessType.READ, "k.py:r:20", 0x100, 8)
+
+
+class TestChannelExercised:
+    def test_write_then_cross_thread_read_of_value(self):
+        accesses = [
+            mem(0, "W", 0x100, value=7, ins="k.py:w:10"),
+            mem(1, "R", 0x100, value=7, ins="k.py:r:20"),
+        ]
+        assert channel_exercised(THE_PMC, accesses)
+
+    def test_read_before_write_does_not_count(self):
+        accesses = [
+            mem(1, "R", 0x100, value=7, ins="k.py:r:20"),
+            mem(0, "W", 0x100, value=7, ins="k.py:w:10"),
+        ]
+        assert not channel_exercised(THE_PMC, accesses)
+
+    def test_read_of_different_value_does_not_count(self):
+        accesses = [
+            mem(0, "W", 0x100, value=7, ins="k.py:w:10"),
+            mem(1, "R", 0x100, value=3, ins="k.py:r:20"),
+        ]
+        assert not channel_exercised(THE_PMC, accesses)
+
+    def test_same_thread_flow_does_not_count(self):
+        accesses = [
+            mem(0, "W", 0x100, value=7, ins="k.py:w:10"),
+            mem(0, "R", 0x100, value=7, ins="k.py:r:20"),
+        ]
+        assert not channel_exercised(THE_PMC, accesses)
+
+
+class TestSkiScheduler:
+    def test_switches_on_pmc_instruction_any_address(self):
+        sched = SkiScheduler(THE_PMC, seed=0, switch_probability=1.0)
+        sched.begin_trial(0)
+        # Same instruction, unrelated address: SKI still yields.
+        assert sched.on_access(mem(0, "W", 0x9999, ins="k.py:w:10")) is True
+
+    def test_ignores_other_instructions(self):
+        sched = SkiScheduler(THE_PMC, seed=0, switch_probability=1.0)
+        sched.begin_trial(0)
+        assert not sched.on_access(mem(0, "W", 0x100, ins="k.py:zzz:1"))
+
+    def test_reseeding(self):
+        a = SkiScheduler(THE_PMC, seed=9)
+        b = SkiScheduler(THE_PMC, seed=9)
+        a.begin_trial(3)
+        b.begin_trial(3)
+        stream = [mem(0, "W", 0x1, ins="k.py:w:10") for _ in range(20)]
+        assert [a.on_access(x) for x in stream] == [b.on_access(x) for x in stream]
+
+
+class TestPctScheduler:
+    def test_runs_priority_order(self):
+        sched = PctScheduler(seed=1, depth=1)  # no change points
+        sched.begin_trial(0)
+        hi = 0 if sched.priorities[0] > sched.priorities[1] else 1
+        assert sched.on_access(mem(hi, "R", 0x1)) is False
+        assert sched.on_access(mem(1 - hi, "R", 0x1)) is True
+
+    def test_change_points_demote(self):
+        sched = PctScheduler(seed=1, depth=3, expected_length=10)
+        sched.begin_trial(0)
+        decisions = [sched.on_access(mem(0, "R", 0x1)) for _ in range(30)]
+        assert True in decisions  # eventually thread 0 gets demoted
+
+    def test_deterministic_per_trial(self):
+        a = PctScheduler(seed=7, depth=3, expected_length=50)
+        b = PctScheduler(seed=7, depth=3, expected_length=50)
+        a.begin_trial(2)
+        b.begin_trial(2)
+        assert a.priorities == b.priorities
+        assert a.change_points == b.change_points
+
+
+class TestRandomScheduler:
+    def test_probability_zero_never_switches(self):
+        sched = RandomScheduler(seed=0, switch_probability=0.0)
+        sched.begin_trial(0)
+        assert not any(sched.on_access(mem(0, "R", 0x1)) for _ in range(50))
+
+    def test_probability_one_always_switches(self):
+        sched = RandomScheduler(seed=0, switch_probability=1.0)
+        sched.begin_trial(0)
+        assert all(sched.on_access(mem(0, "R", 0x1)) for _ in range(50))
+
+
+class TestLivenessMonitor:
+    def test_varied_accesses_are_live(self):
+        monitor = LivenessMonitor(2)
+        for i in range(20):
+            monitor.note_access(0, "i", 0x100 + i)
+        assert not monitor.is_stuck(0)
+
+    def test_same_address_spin_is_stuck(self):
+        monitor = LivenessMonitor(2)
+        for _ in range(10):
+            monitor.note_access(0, "i", 0x100)
+        assert monitor.is_stuck(0)
+
+    def test_pause_storm_is_stuck(self):
+        monitor = LivenessMonitor(2)
+        for _ in range(10):
+            monitor.note_pause(1)
+        assert monitor.is_stuck(1)
+
+    def test_partial_window_is_live(self):
+        monitor = LivenessMonitor(2)
+        for _ in range(5):
+            monitor.note_access(0, "i", 0x100)
+        assert not monitor.is_stuck(0)
+
+    def test_progress_clears(self):
+        monitor = LivenessMonitor(2)
+        for _ in range(10):
+            monitor.note_access(0, "i", 0x100)
+        monitor.note_progress(0)
+        assert not monitor.is_stuck(0)
+
+    def test_reset_all(self):
+        monitor = LivenessMonitor(2)
+        for t in (0, 1):
+            for _ in range(10):
+                monitor.note_pause(t)
+        monitor.reset()
+        assert not monitor.is_stuck(0) and not monitor.is_stuck(1)

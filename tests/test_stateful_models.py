@@ -1,0 +1,165 @@
+"""Model-based stateful tests (hypothesis RuleBasedStateMachine).
+
+The kernel's data structures are checked against trivially-correct
+Python models under arbitrary sequential operation interleavings: the
+rhashtable against a dict, the FIFO ring against a deque, and the
+semaphore namespace against a counter map.  (Concurrent correctness is
+the race detector's job; these machines pin down the sequential
+semantics everything else builds on.)
+"""
+
+from collections import deque
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel import rhashtable as rht
+from repro.kernel.kernel import boot_kernel
+
+
+class RhashtableMachine(RuleBasedStateMachine):
+    """rhashtable vs dict under insert/lookup/remove."""
+
+    def __init__(self):
+        super().__init__()
+        self.kernel, _ = boot_kernel()
+        self.ctx = self.kernel.make_context(0)
+        self.table = self.kernel.static_alloc("model_rht", rht.RHT_TABLE.size)
+        self.model = {}
+
+    def _lookup(self, key):
+        return self.kernel.boot_run(rht.rht_lookup(self.ctx, self.table, key))
+
+    @rule(key=st.integers(min_value=0, max_value=7))
+    def insert(self, key):
+        if key in self.model:
+            return  # the kernel table is keyed uniquely by callers
+        entry = self.kernel.boot_run(
+            self.kernel.allocator.kzalloc(self.ctx, rht.RHT_ENTRY.size + 16)
+        )
+        self.kernel.boot_run(rht.rht_insert(self.ctx, self.table, entry, key))
+        self.model[key] = entry
+
+    @rule(key=st.integers(min_value=0, max_value=7))
+    def remove(self, key):
+        removed = self.kernel.boot_run(rht.rht_remove(self.ctx, self.table, key))
+        assert removed == self.model.pop(key, 0)
+
+    @rule(key=st.integers(min_value=0, max_value=7))
+    def lookup(self, key):
+        assert self._lookup(key) == self.model.get(key, 0)
+
+    @invariant()
+    def all_model_keys_findable(self):
+        for key, entry in self.model.items():
+            assert self._lookup(key) == entry
+
+
+class FifoMachine(RuleBasedStateMachine):
+    """The FIFO ring vs a bounded deque, via real syscalls."""
+
+    def __init__(self):
+        super().__init__()
+        from repro.machine.snapshot import Snapshot
+        from repro.sched.executor import Executor
+
+        self.kernel, snapshot = boot_kernel()
+        self.executor = Executor(self.kernel, snapshot)
+        self.model = deque()
+        self.ops = [Call("fifo_open", (0,))]
+
+    def _run(self):
+        result = self.executor.run_sequential(prog(*self.ops))
+        assert result.completed
+        return result.returns[0]
+
+    @rule(value=st.integers(min_value=1, max_value=0xFFFF))
+    def write(self, value):
+        self.ops.append(Call("fifo_write", (Res(0), value)))
+        returns = self._run()
+        if len(self.model) < 4:
+            self.model.append(value)
+            assert returns[-1] >= 0
+        else:
+            assert returns[-1] == -11  # EAGAIN when full
+
+    @rule()
+    def read(self):
+        self.ops.append(Call("fifo_read", (Res(0),)))
+        returns = self._run()
+        if self.model:
+            assert returns[-1] == self.model.popleft()
+        else:
+            assert returns[-1] == -11  # EAGAIN when empty
+
+    @invariant()
+    def bounded(self):
+        assert len(self.model) <= 4
+        assert len(self.ops) < 15  # keep replayed programs small
+
+    def teardown(self):
+        pass
+
+
+class SemMachine(RuleBasedStateMachine):
+    """The semaphore namespace vs a counter dict, via real syscalls."""
+
+    def __init__(self):
+        super().__init__()
+        from repro.sched.executor import Executor
+
+        self.kernel, snapshot = boot_kernel()
+        self.executor = Executor(self.kernel, snapshot)
+        self.model = {}
+        self.ops = []
+
+    def _run(self):
+        result = self.executor.run_sequential(prog(*self.ops))
+        assert result.completed
+        return result.returns[0]
+
+    @rule(key=st.integers(min_value=0, max_value=3))
+    def semget(self, key):
+        if len(self.ops) > 10:
+            return
+        self.ops.append(Call("semget", (key,)))
+        assert self._run()[-1] == key
+        self.model.setdefault(key, 1)
+
+    @rule(key=st.integers(min_value=0, max_value=3), arg=st.integers(min_value=0, max_value=7))
+    def semop(self, key, arg):
+        if len(self.ops) > 10:
+            return
+        self.ops.append(Call("semop", (key, arg)))
+        returns = self._run()
+        if key in self.model:
+            expected = max(0, self.model[key] + (arg % 8 - 4))
+            self.model[key] = expected
+            assert returns[-1] == expected
+        else:
+            assert returns[-1] == -2  # ENOENT
+
+    @rule(key=st.integers(min_value=0, max_value=3))
+    def rmid(self, key):
+        if len(self.ops) > 10:
+            return
+        self.ops.append(Call("semctl", (key, 0)))
+        returns = self._run()
+        if key in self.model:
+            del self.model[key]
+            assert returns[-1] == 0
+        else:
+            assert returns[-1] == -2
+
+
+TestRhashtableModel = RhashtableMachine.TestCase
+TestRhashtableModel.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestFifoModel = FifoMachine.TestCase
+TestFifoModel.settings = settings(max_examples=15, stateful_step_count=12, deadline=None)
+TestSemModel = SemMachine.TestCase
+TestSemModel.settings = settings(max_examples=15, stateful_step_count=10, deadline=None)

@@ -1,0 +1,104 @@
+"""The tutorial's code must actually work: each section as a test."""
+
+import pytest
+
+from repro import (
+    Call,
+    Executor,
+    Res,
+    Snowboard,
+    SnowboardConfig,
+    SnowboardScheduler,
+    boot_kernel,
+    identify_pmcs,
+    prog,
+)
+from repro.detect import RaceDetector, analyze_all
+from repro.profile.profiler import profile_from_result
+
+
+@pytest.fixture(scope="module")
+def env():
+    kernel, snapshot = boot_kernel()
+    return kernel, Executor(kernel, snapshot)
+
+
+class TestTutorialSections:
+    def test_section1_boot_and_run(self, env):
+        _, executor = env
+        test = prog(
+            Call("open", (1,)),
+            Call("write", (Res(0), 0x1234)),
+            Call("read", (Res(0), 1)),
+        )
+        result = executor.run_sequential(test)
+        assert result.returns[0] == [0, 0, 4660]
+
+    def test_section2_and_3_pmc_hint_exposes_l2tp(self, env):
+        _, executor = env
+        writer = prog(Call("socket", (2,)), Call("connect", (Res(0), 1)))
+        reader = prog(
+            Call("socket", (2,)),
+            Call("connect", (Res(0), 1)),
+            Call("sendmsg", (Res(0), 5)),
+        )
+        pw = profile_from_result(0, writer, executor.run_sequential(writer))
+        pr = profile_from_result(1, reader, executor.run_sequential(reader))
+        pmcset = identify_pmcs([pw, pr])
+        assert len(pmcset) > 10
+
+        pmc = next(
+            p
+            for p in pmcset
+            if "l2tp_tunnel_register" in p.write.ins and (0, 1) in pmcset.pairs(p)
+        )
+        scheduler = SnowboardScheduler(pmc, seed=3)
+        panicked = False
+        for trial in range(64):
+            scheduler.begin_trial(trial)
+            detector = RaceDetector()
+            result = executor.run_concurrent(
+                [writer, reader], scheduler=scheduler, race_detector=detector
+            )
+            if result.panicked:
+                panicked = True
+                assert [r for r in detector.reports() if r.involves("l2tp")] == []
+                break
+            scheduler.end_trial(result)
+        assert panicked
+
+    def test_sections_4_to_6_pipeline_package_triage(self):
+        sb = Snowboard(
+            SnowboardConfig(seed=7, corpus_budget=120, trials_per_pmc=10)
+        ).prepare()
+        campaign = sb.run_campaign("S-INS-PAIR", test_budget=20)
+        summary = campaign.summary()
+        assert summary["tested_pmcs"] == 20
+
+        if sb.repro_packages:
+            from repro.orchestrate.persistence import reproduce
+
+            bug_id, package = sorted(sb.repro_packages.items())[0]
+            report = package.render_report()
+            assert bug_id in report
+            assert "Reproducer" in report
+            replayed = reproduce(sb.executor, package)
+            assert replayed.console == package.expected_console
+
+        races = [
+            r.observation.race
+            for r in campaign.records
+            if r.observation.kind == "race"
+        ]
+        if races:
+            reports = analyze_all(races, sb.pmcset)
+            assert any(r.pmc_confirmed for r in reports)
+
+    def test_section7_fixed_kernel_is_silent(self):
+        fixed = Snowboard(
+            SnowboardConfig(
+                seed=7, corpus_budget=100, trials_per_pmc=6, fixed_kernel=True
+            )
+        ).prepare()
+        campaign = fixed.run_campaign("S-INS", test_budget=15)
+        assert campaign.records == []
