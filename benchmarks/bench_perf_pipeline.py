@@ -120,3 +120,71 @@ def test_generation_vs_execution_throughput(snowboard, benchmark):
     benchmark.extra_info["generation_per_second"] = round(generation_rate)
     benchmark.extra_info["execution_per_second"] = round(execution_rate)
     assert generation_rate > execution_rate  # the paper's relationship
+
+
+def test_per_trial_reset_speedup(snowboard, benchmark):
+    """Dirty-page restore vs full-copy restore on the standard campaign.
+
+    Every trial restores the boot snapshot; before dirty-page tracking
+    that meant rebuilding every mapped page (~4k pages), dwarfing the work
+    of a typical trial that dirties a handful.  Run the same campaign
+    workload both ways and compare the per-trial reset cost — the
+    simulator-relative analogue of the paper's §5.4 throughput table.
+    """
+    budget = 12
+
+    def run(full_restore):
+        snowboard.executor.full_restore = full_restore
+        try:
+            return snowboard.run_campaign("S-INS-PAIR", test_budget=budget)
+        finally:
+            snowboard.executor.full_restore = False
+
+    before = run(full_restore=True)
+    after = benchmark.pedantic(run, args=(False,), rounds=1, iterations=1)
+
+    # Identical campaign either way: the restore path is behaviour-neutral.
+    assert after.summary() == before.summary()
+
+    reset_before = before.restore_seconds / before.trials
+    reset_after = after.restore_seconds / after.trials
+    speedup = reset_before / reset_after
+    print(
+        f"\nper-trial reset: full-copy {reset_before * 1e6:.0f} us "
+        f"({before.pages_per_trial:.0f} pages) vs dirty-page "
+        f"{reset_after * 1e6:.0f} us ({after.pages_per_trial:.1f} pages) "
+        f"— {speedup:.1f}x"
+    )
+    print(
+        f"executions/min: {before.executions_per_minute:.0f} (full copy) -> "
+        f"{after.executions_per_minute:.0f} (dirty pages); restore fraction "
+        f"{before.restore_fraction:.1%} -> {after.restore_fraction:.1%}"
+    )
+    benchmark.extra_info["reset_speedup"] = round(speedup, 1)
+    benchmark.extra_info["pages_per_trial"] = round(after.pages_per_trial, 1)
+    benchmark.extra_info["executions_per_minute"] = round(after.executions_per_minute)
+    assert after.pages_per_trial < before.pages_per_trial / 10
+    assert speedup >= 3.0
+
+
+def test_parallel_campaign_matches_serial(snowboard, benchmark):
+    """Stage 4 over the work queue: same seed, same bug set as serial."""
+    budget = 12
+    serial = snowboard.run_campaign("S-INS-PAIR", test_budget=budget)
+    parallel = benchmark.pedantic(
+        snowboard.run_campaign,
+        args=("S-INS-PAIR",),
+        kwargs={"test_budget": budget, "workers": 2},
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nserial {serial.executions_per_minute:.0f} exec/min vs parallel "
+        f"(2 workers) {parallel.executions_per_minute:.0f} exec/min; "
+        f"bugs {sorted(parallel.bugs_found())}"
+    )
+    benchmark.extra_info["serial_per_minute"] = round(serial.executions_per_minute)
+    benchmark.extra_info["parallel_per_minute"] = round(parallel.executions_per_minute)
+    assert parallel.bugs_found() == serial.bugs_found()
+    assert parallel.summary() == serial.summary()
+    assert parallel.task_failures == 0

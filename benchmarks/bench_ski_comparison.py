@@ -200,3 +200,55 @@ def test_execution_throughput_vs_ski(ex, benchmark):
     benchmark.extra_info["ski_per_minute"] = round(ski_rate)
     # Same order of magnitude; Snowboard must not be drastically slower.
     assert sb_rate > ski_rate * 0.5
+
+
+def test_execution_throughput_restore_modes(ex, benchmark):
+    """Executions/minute before vs after dirty-page snapshot restore.
+
+    The per-trial reset used to rebuild every mapped page; with dirty-page
+    tracking it copies back only the pages the previous trial touched.
+    Same trials, same results — just a cheaper reset, visible directly in
+    executions/minute.
+    """
+    import time
+
+    writer = prog(Call("socket", (2,)), Call("connect", (Res(0), 1)))
+    reader = prog(Call("socket", (2,)), Call("connect", (Res(0), 1)), Call("sendmsg", (Res(0), 5)))
+    pmc = _pick_pmc(ex, writer, reader, lambda p: "l2tp" in p.write.ins)
+    n = 60
+
+    def run_trials(full_restore):
+        ex.full_restore = full_restore
+        try:
+            scheduler = SnowboardScheduler(pmc, seed=1)
+            restore_seconds = 0.0
+            pages = 0
+            start = time.perf_counter()
+            for trial in range(n):
+                scheduler.begin_trial(trial)
+                result = ex.run_concurrent([writer, reader], scheduler=scheduler)
+                restore_seconds += result.restore_seconds
+                pages += result.pages_restored
+            wall = time.perf_counter() - start
+            return wall, restore_seconds, pages
+        finally:
+            ex.full_restore = False
+
+    full_wall, full_restore_s, full_pages = run_trials(full_restore=True)
+    (inc_wall, inc_restore_s, inc_pages) = benchmark.pedantic(
+        run_trials, args=(False,), rounds=1, iterations=1
+    )
+
+    before_rate = n / full_wall * 60
+    after_rate = n / inc_wall * 60
+    reset_speedup = (full_restore_s / n) / (inc_restore_s / n)
+    print(
+        f"\nexecutions/minute: {before_rate:.0f} (full-copy restore, "
+        f"{full_pages / n:.0f} pages/trial) -> {after_rate:.0f} (dirty-page, "
+        f"{inc_pages / n:.1f} pages/trial); per-trial reset {reset_speedup:.1f}x faster"
+    )
+    benchmark.extra_info["per_minute_full_restore"] = round(before_rate)
+    benchmark.extra_info["per_minute_dirty_pages"] = round(after_rate)
+    benchmark.extra_info["reset_speedup"] = round(reset_speedup, 1)
+    assert inc_pages < full_pages / 10
+    assert reset_speedup >= 3.0

@@ -49,6 +49,13 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=7)
     campaign.add_argument("--corpus", type=int, default=260, help="fuzzer budget")
     campaign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="Stage-4 worker count (>1 runs the work-queue fleet; "
+        "same bug set as serial for the same seed)",
+    )
+    campaign.add_argument(
         "--fixed",
         action="store_true",
         help="run against the patched kernel (expects zero findings)",
@@ -91,10 +98,19 @@ def _cmd_campaign(args) -> int:
         f"corpus={len(snowboard.corpus)} tests, pmcs={len(snowboard.pmcset)}, "
         f"strategy={args.strategy}, budget={args.budget}"
     )
-    campaign = snowboard.run_campaign(args.strategy, test_budget=args.budget)
+    campaign = snowboard.run_campaign(
+        args.strategy, test_budget=args.budget, workers=args.workers
+    )
     print(TABLE3_HEADER)
     print(campaign.table_row())
     print(f"accuracy: {campaign.accuracy:.1%} of tested PMCs exercised")
+    print(
+        f"throughput: {campaign.executions_per_minute:.0f} executions/min "
+        f"({campaign.workers} worker(s), {campaign.pages_per_trial:.1f} pages "
+        f"restored/trial, {campaign.restore_fraction:.1%} of time in restore"
+        + (f", {campaign.task_failures} task failures" if campaign.task_failures else "")
+        + ")"
+    )
     for bug_id, at in sorted(campaign.bugs_found().items()):
         spec = spec_by_id(bug_id)
         print(f"  {bug_id} [{spec.bug_type}/{spec.triage.value}] @{at}: {spec.summary}")

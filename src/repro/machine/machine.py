@@ -8,7 +8,7 @@ ESP-style stack filtering described in section 4.1.1 of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.machine.memory import Memory
 
@@ -52,10 +52,21 @@ class Machine:
         self.regions = regions or MachineRegions()
         self.memory = Memory()
         self.console: List[str] = []
+        # (snapshot, memory epoch) of the last Snapshot.restore; while it
+        # stays valid, restoring the same snapshot copies only dirty pages.
+        self.restore_token: Optional[Tuple[object, int]] = None
         r = self.regions
         self.memory.map_region(r.globals_base, r.globals_size)
         self.memory.map_region(r.heap_base, r.heap_size)
         self.memory.map_region(r.stacks_base, r.stack_size * r.max_threads)
+
+    def invalidate_restore_tracking(self) -> None:
+        """Force the next snapshot restore to be a full copy.
+
+        Escape hatch for code that mutates pages outside the tracked
+        write paths (and for full-vs-incremental restore benchmarks).
+        """
+        self.restore_token = None
 
     # -- stacks ------------------------------------------------------------
 

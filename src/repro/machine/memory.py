@@ -5,11 +5,17 @@ region is explicitly mapped.  Accessing an unmapped address raises
 :class:`PageFault`, which the executor turns into the guest-kernel panic
 message ``BUG: unable to handle page fault for address ...`` — the same
 oracle string the paper's console checker matches (bug #1 in Table 2).
+
+Dirty-page tracking makes snapshot restore O(dirty pages): every write
+records the touched page numbers, and :meth:`restore_pages_incremental`
+copies back only those pages.  The executor restores the boot snapshot
+before *every* trial, so this is the per-execution reset cost the paper's
+throughput numbers (section 5.4) hinge on.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, FrozenSet, Iterator, Set, Tuple
 
 PAGE_SIZE = 4096
 PAGE_MASK = PAGE_SIZE - 1
@@ -35,6 +41,11 @@ class Memory:
 
     def __init__(self) -> None:
         self._pages: Dict[int, bytearray] = {}
+        # Pages written (or newly mapped) since the last restore/clear.
+        self._dirty: Set[int] = set()
+        # Bumped on every wholesale page replacement (full restore): an
+        # incremental restore is only sound while the epoch is unchanged.
+        self._epoch = 0
 
     # -- mapping -----------------------------------------------------------
 
@@ -42,12 +53,16 @@ class Memory:
         """Map (zero-filled) all pages covering ``[addr, addr+size)``."""
         if addr <= 0:
             raise ValueError("cannot map the NULL page or negative addresses")
+        if size <= 0:
+            raise ValueError(f"cannot map a region of size {size}")
         first = addr // PAGE_SIZE
         last = (addr + size - 1) // PAGE_SIZE
         for page in range(first, last + 1):
             if page == 0:
                 raise ValueError("cannot map the NULL page")
-            self._pages.setdefault(page, bytearray(PAGE_SIZE))
+            if page not in self._pages:
+                self._pages[page] = bytearray(PAGE_SIZE)
+                self._dirty.add(page)
 
     def is_mapped(self, addr: int, size: int = 1) -> bool:
         """True when every byte of ``[addr, addr+size)`` is mapped."""
@@ -82,6 +97,7 @@ class Memory:
             page, off = divmod(pos, PAGE_SIZE)
             chunk = min(len(data) - offset, PAGE_SIZE - off)
             self._pages[page][off : off + chunk] = data[offset : offset + chunk]
+            self._dirty.add(page)
             pos += chunk
             offset += chunk
 
@@ -99,9 +115,53 @@ class Memory:
         """Immutable copy of all mapped pages (for snapshots)."""
         return {page: bytes(data) for page, data in self._pages.items()}
 
+    def clone_dirty_pages(self) -> Dict[int, bytes]:
+        """Immutable copy of only the pages dirtied since the last
+        restore/:meth:`clear_dirty` (for delta snapshots)."""
+        return {page: bytes(self._pages[page]) for page in self._dirty}
+
     def restore_pages(self, pages: Dict[int, bytes]) -> None:
         """Replace the full memory contents from a snapshot."""
         self._pages = {page: bytearray(data) for page, data in pages.items()}
+        self._dirty.clear()
+        self._epoch += 1
+
+    def restore_pages_incremental(self, pages: Dict[int, bytes]) -> int:
+        """Copy back only the pages dirtied since the last restore.
+
+        ``pages`` must be the *full* page dict of the snapshot being
+        restored, and the caller is responsible for ensuring every
+        divergence since that snapshot went through the tracked write
+        paths (``write_bytes``/``map_region``) — :class:`~repro.machine.
+        snapshot.Snapshot` enforces this with the machine restore token.
+        Dirty pages absent from the snapshot were mapped afterwards and
+        are unmapped again.  Returns the number of pages restored.
+        """
+        restored = 0
+        for page in self._dirty:
+            data = pages.get(page)
+            if data is None:
+                del self._pages[page]
+            else:
+                self._pages[page][:] = data
+            restored += 1
+        self._dirty.clear()
+        return restored
+
+    # -- dirty tracking ----------------------------------------------------
+
+    def dirty_pages(self) -> FrozenSet[int]:
+        """Page numbers written (or mapped) since the last restore."""
+        return frozenset(self._dirty)
+
+    def clear_dirty(self) -> None:
+        """Forget dirty tracking (start a new tracking window)."""
+        self._dirty.clear()
+
+    @property
+    def epoch(self) -> int:
+        """Generation counter, bumped on every full page replacement."""
+        return self._epoch
 
     def iter_pages(self) -> Iterator[Tuple[int, bytearray]]:
         return iter(self._pages.items())

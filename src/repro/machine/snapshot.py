@@ -6,6 +6,14 @@ coincide across executions.  Because the mini-kernel keeps *all* mutable
 state in guest memory (heap objects, allocator metadata, lock words,
 global tables), a snapshot is simply a copy of the mapped pages plus the
 console transcript.
+
+Restore is O(dirty pages): the machine remembers which snapshot it was
+last restored from (and at which memory epoch), and while that token is
+valid only the pages dirtied since then are copied back.  Anything that
+invalidates the tracked history — restoring a *different* snapshot, a
+wholesale ``restore_pages`` call, or an explicit
+``Machine.invalidate_restore_tracking()`` — falls back to a full-copy
+restore, so correctness never depends on callers resetting tracking.
 """
 
 from __future__ import annotations
@@ -32,7 +40,21 @@ class Snapshot:
             label=label,
         )
 
-    def restore(self, machine: Machine) -> None:
-        """Overwrite ``machine`` with this snapshot's state."""
-        machine.memory.restore_pages(self.pages)
-        machine.console[:] = list(self.console)
+    def restore(self, machine: Machine) -> int:
+        """Overwrite ``machine`` with this snapshot's state.
+
+        Returns the number of memory pages copied back.  When the machine
+        was last restored from this very snapshot and the page set has not
+        been wholesale-replaced since, only the dirtied pages are copied
+        (the common per-trial case); otherwise every page is.
+        """
+        memory = machine.memory
+        token = machine.restore_token
+        if token is not None and token[0] is self and token[1] == memory.epoch:
+            restored = memory.restore_pages_incremental(self.pages)
+        else:
+            memory.restore_pages(self.pages)
+            restored = len(self.pages)
+        machine.restore_token = (self, memory.epoch)
+        machine.console[:] = self.console
+        return restored

@@ -10,15 +10,27 @@ from repro.orchestrate.pipeline import (
     ConcurrentTest,
     Snowboard,
     SnowboardConfig,
+    Stage4Task,
+    TrialOutcome,
 )
-from repro.orchestrate.queue import Task, WorkQueue, run_workers
+from repro.orchestrate.queue import (
+    TIMED_OUT,
+    Task,
+    TaskFailure,
+    WorkQueue,
+    run_workers,
+)
 from repro.orchestrate.results import CampaignResult, ObservationRecord
 
 __all__ = [
     "ConcurrentTest",
     "Snowboard",
     "SnowboardConfig",
+    "Stage4Task",
+    "TrialOutcome",
+    "TIMED_OUT",
     "Task",
+    "TaskFailure",
     "WorkQueue",
     "run_workers",
     "CampaignResult",

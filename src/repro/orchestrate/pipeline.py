@@ -21,6 +21,7 @@ S-INS-PAIR) are exposed through the same interface.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,7 @@ from repro.pmc.identify import PmcSet, identify_pmcs
 from repro.pmc.model import PMC
 from repro.pmc.selection import cluster_pmcs, ordered_exemplars
 from repro.profile.profiler import TestProfile, profile_corpus
+from repro.orchestrate.queue import TaskFailure, WorkQueue, run_workers
 from repro.orchestrate.results import CampaignResult
 from repro.sched.executor import Executor
 from repro.sched.random_sched import RandomScheduler
@@ -105,6 +107,41 @@ class ConcurrentTest:
     @property
     def duplicate(self) -> bool:
         return self.writer_test == self.reader_test
+
+
+@dataclass(frozen=True)
+class Stage4Task:
+    """One parallel Stage-4 work item: run all trials of one test.
+
+    ``task_id`` doubles as the test's position in the campaign, so the
+    scheduler seed (``config.seed + task_id``) matches the serial path's
+    ``config.seed + tested_pmcs`` exactly.
+    """
+
+    task_id: int
+    test: ConcurrentTest
+    trials: int
+    scheduler_kind: str = "snowboard"
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Compact record of one trial, sufficient for deterministic merging.
+
+    Console/switch-point/panic data is kept only for trials that produced
+    observations (the only trials a reproduction package can be captured
+    from), so a task result stays small even over long trial runs.
+    """
+
+    trial: int
+    instructions: int
+    pages_restored: int
+    restore_seconds: float
+    observations: Tuple = ()
+    channel_hit: bool = False
+    switch_points: Tuple[int, ...] = ()
+    console: Tuple[str, ...] = ()
+    panic_message: str = ""
 
 
 class Snowboard:
@@ -274,6 +311,8 @@ class Snowboard:
             )
             campaign.trials += 1
             campaign.instructions += result.instructions
+            campaign.pages_restored += result.pages_restored
+            campaign.restore_seconds += result.restore_seconds
             if test.pmc is not None and not exercised:
                 exercised = channel_exercised(test.pmc, result.accesses)
             fresh = campaign.record_observations(
@@ -305,18 +344,174 @@ class Snowboard:
                 description=str(record.observation),
             )
 
+    # -- parallel stage 4 (the WorkQueue-fed execution fleet) ----------------------
+
+    def _stage4_worker_factory(self):
+        """Build the ``run_workers`` factory: one private kernel per worker.
+
+        Each worker boots its own kernel (buggy or fixed variant), applies
+        the configured setup program, and owns a private executor — the
+        in-process analogue of one Snowboard execution VM in the paper's
+        GCP fleet.  Boot is deterministic, so worker trials are bit-equal
+        to the serial executor's.
+        """
+        config = self.config
+
+        def factory():
+            kernel, snapshot = boot_kernel(fixed=config.fixed_kernel)
+            if config.setup_program is not None:
+                snapshot = derive_initial_state(kernel, snapshot, config.setup_program)
+            executor = Executor(
+                kernel, snapshot, max_instructions=config.max_instructions
+            )
+
+            def execute(task: Stage4Task) -> List[TrialOutcome]:
+                return self._run_test_trials(executor, task)
+
+            return execute
+
+        return factory
+
+    def _run_test_trials(self, executor: Executor, task: Stage4Task) -> List[TrialOutcome]:
+        """Run every trial of one test on a private executor.
+
+        Unlike the serial path, the worker cannot stop at the first fresh
+        observation — freshness is campaign-global, and the campaign state
+        lives with the merger.  It therefore runs the full trial budget and
+        lets :meth:`_merge_task_outcomes` discard trials past the point
+        where the serial campaign would have stopped.
+        """
+        test = task.test
+        scheduler = self.make_scheduler(
+            test, seed=self.config.seed + task.task_id, kind=task.scheduler_kind
+        )
+        outcomes: List[TrialOutcome] = []
+        exercised = False
+        for trial in range(task.trials):
+            scheduler.begin_trial(trial)
+            detector = RaceDetector()
+            result = executor.run_concurrent(
+                [test.writer, test.reader], scheduler=scheduler, race_detector=detector
+            )
+            if test.pmc is not None and not exercised:
+                # Once the channel fired, the prefix-OR the merger computes
+                # is True regardless of later trials; skip the scan.
+                exercised = channel_exercised(test.pmc, result.accesses)
+            observations = tuple(observe(result))
+            outcomes.append(
+                TrialOutcome(
+                    trial=trial,
+                    instructions=result.instructions,
+                    pages_restored=result.pages_restored,
+                    restore_seconds=result.restore_seconds,
+                    observations=observations,
+                    channel_hit=exercised,
+                    switch_points=tuple(result.switch_points) if observations else (),
+                    console=tuple(result.console) if observations else (),
+                    panic_message=result.panic_message if observations else "",
+                )
+            )
+            scheduler.end_trial(result)
+        return outcomes
+
+    def _merge_task_outcomes(
+        self, test: ConcurrentTest, outcomes: Sequence[TrialOutcome], campaign: CampaignResult
+    ) -> bool:
+        """Fold one task's trials into the campaign, mirroring the serial
+        loop of :meth:`execute_test` trial for trial — including the early
+        stop on a fresh observation, so serial and parallel campaigns
+        record identical bug sets, trial counts and first-find positions."""
+        test_index = campaign.tested_pmcs
+        campaign.tested_pmcs += 1
+        exercised = False
+        found_new = False
+        for outcome in outcomes:
+            campaign.trials += 1
+            campaign.instructions += outcome.instructions
+            campaign.pages_restored += outcome.pages_restored
+            campaign.restore_seconds += outcome.restore_seconds
+            if test.pmc is not None and not exercised:
+                exercised = outcome.channel_hit
+            fresh = campaign.record_observations(
+                list(outcome.observations), test_index=test_index, trial=outcome.trial
+            )
+            if fresh:
+                found_new = True
+                self._capture_packages(test, outcome, fresh)
+                if self.config.stop_test_on_new_bug:
+                    break
+        if exercised:
+            campaign.exercised_pmcs += 1
+        return found_new
+
+    def execute_tests_parallel(
+        self,
+        tests: Sequence[ConcurrentTest],
+        campaign: CampaignResult,
+        scheduler_kind: str = "snowboard",
+        trials: Optional[int] = None,
+        workers: int = 2,
+    ) -> None:
+        """Stage 4 across a worker fleet: queue, execute, merge in order.
+
+        Tasks are seeded deterministically (``seed + task_id``) and merged
+        in task order under the campaign-global dedup, so the resulting
+        bug set is identical to a serial campaign over the same tests.
+        Crashed tasks are surfaced via ``campaign.task_failures`` instead
+        of being merged as garbage (they still consume their test index,
+        keeping later first-find positions aligned with the serial run).
+        """
+        trials = trials or self.config.trials_per_pmc
+        work = WorkQueue()
+        for index, test in enumerate(tests):
+            task_id = work.put(
+                Stage4Task(
+                    task_id=index, test=test, trials=trials, scheduler_kind=scheduler_kind
+                )
+            )
+            assert task_id == index
+        results = run_workers(work, self._stage4_worker_factory(), nworkers=workers)
+        for index, test in enumerate(tests):
+            outcome = results.get(index)
+            if isinstance(outcome, TaskFailure):
+                campaign.tested_pmcs += 1
+                campaign.task_failures += 1
+                continue
+            self._merge_task_outcomes(test, outcome, campaign)
+
     def run_campaign(
         self,
         strategy: str = "S-INS-PAIR",
         test_budget: int = 50,
         scheduler_kind: str = "snowboard",
         trials: Optional[int] = None,
+        workers: int = 1,
     ) -> CampaignResult:
-        """One full Table 3 campaign: generate, prioritise, execute."""
+        """One full Table 3 campaign: generate, prioritise, execute.
+
+        ``workers > 1`` runs Stage 4 through the work queue with that many
+        private-kernel workers; results (bug sets, trial counts, first-find
+        positions) are identical to the serial run for the same seed.
+        """
         tests, nclusters = self.generate_tests(strategy, limit=test_budget)
-        campaign = CampaignResult(strategy=strategy, exemplar_pmcs=nclusters)
-        for test in tests[:test_budget]:
-            self.execute_test(test, campaign, scheduler_kind=scheduler_kind, trials=trials)
+        campaign = CampaignResult(
+            strategy=strategy, exemplar_pmcs=nclusters, workers=max(1, workers)
+        )
+        start = time.perf_counter()
+        if workers <= 1:
+            for test in tests[:test_budget]:
+                self.execute_test(
+                    test, campaign, scheduler_kind=scheduler_kind, trials=trials
+                )
+        else:
+            self.execute_tests_parallel(
+                tests[:test_budget],
+                campaign,
+                scheduler_kind=scheduler_kind,
+                trials=trials,
+                workers=workers,
+            )
+        campaign.wall_seconds = time.perf_counter() - start
         return campaign
 
     def run_iterative_campaign(
@@ -324,6 +519,7 @@ class Snowboard:
         strategies: Sequence[str],
         test_budget: int = 50,
         trials: Optional[int] = None,
+        workers: int = 1,
     ) -> CampaignResult:
         """The iterative composition of section 4.3's final paragraph.
 
@@ -342,7 +538,15 @@ class Snowboard:
         )
         exemplars = [pmc for _, pmc in chosen][:test_budget]
         name = " -> ".join(strategies)
-        campaign = CampaignResult(strategy=name, exemplar_pmcs=len(chosen))
-        for test in self.tests_from_exemplars(exemplars, rng):
-            self.execute_test(test, campaign, trials=trials)
+        campaign = CampaignResult(
+            strategy=name, exemplar_pmcs=len(chosen), workers=max(1, workers)
+        )
+        tests = self.tests_from_exemplars(exemplars, rng)
+        start = time.perf_counter()
+        if workers <= 1:
+            for test in tests:
+                self.execute_test(test, campaign, trials=trials)
+        else:
+            self.execute_tests_parallel(tests, campaign, trials=trials, workers=workers)
+        campaign.wall_seconds = time.perf_counter() - start
         return campaign

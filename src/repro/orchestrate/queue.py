@@ -13,7 +13,7 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 
 @dataclass(frozen=True)
@@ -24,6 +24,40 @@ class Task:
     payload: Any
 
 
+@dataclass(frozen=True)
+class TaskFailure:
+    """A task whose payload raised instead of returning.
+
+    Stored as the task's result so that a legitimately-returned exception
+    object is distinguishable from a worker crash.
+    """
+
+    task_id: int
+    error: BaseException
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"task {self.task_id} failed: {self.error!r}"
+
+
+class _TimedOut:
+    """Singleton sentinel for ``WorkQueue.get(timeout=...)`` expiry."""
+
+    _instance: Optional["_TimedOut"] = None
+
+    def __new__(cls) -> "_TimedOut":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "TIMED_OUT"
+
+
+#: Returned by :meth:`WorkQueue.get` when the timeout expires with no task
+#: available — distinct from ``None``, which means shutdown.
+TIMED_OUT = _TimedOut()
+
+
 class WorkQueue:
     """Thread-safe FIFO with completion tracking."""
 
@@ -32,6 +66,9 @@ class WorkQueue:
         self._results: Dict[int, Any] = {}
         self._lock = threading.Lock()
         self._enqueued = 0
+        # Shutdown sentinels currently sitting in the queue; subtracted
+        # from qsize so pending() reports only real tasks.
+        self._sentinels = 0
 
     def put(self, payload: Any) -> int:
         """Enqueue a payload; returns its task id."""
@@ -41,9 +78,21 @@ class WorkQueue:
         self._queue.put(Task(task_id, payload))
         return task_id
 
-    def get(self, timeout: Optional[float] = None) -> Optional[Task]:
-        """Dequeue one task (None means shutdown)."""
-        return self._queue.get(timeout=timeout)
+    def get(self, timeout: Optional[float] = None) -> Union[Task, None, _TimedOut]:
+        """Dequeue one task.
+
+        Returns ``None`` when a shutdown sentinel was drawn (the worker
+        should exit) and :data:`TIMED_OUT` when ``timeout`` elapsed with
+        nothing to dequeue — it never raises ``queue.Empty``.
+        """
+        try:
+            task = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return TIMED_OUT
+        if task is None:
+            with self._lock:
+                self._sentinels = max(0, self._sentinels - 1)
+        return task
 
     def complete(self, task: Task, result: Any) -> None:
         with self._lock:
@@ -51,6 +100,8 @@ class WorkQueue:
 
     def shutdown(self, nworkers: int) -> None:
         """Signal ``nworkers`` workers to exit."""
+        with self._lock:
+            self._sentinels += nworkers
         for _ in range(nworkers):
             self._queue.put(None)
 
@@ -60,7 +111,9 @@ class WorkQueue:
             return dict(self._results)
 
     def pending(self) -> int:
-        return self._queue.qsize()
+        """Real tasks still queued (shutdown sentinels excluded)."""
+        with self._lock:
+            return max(0, self._queue.qsize() - self._sentinels)
 
 
 def run_workers(
@@ -72,22 +125,24 @@ def run_workers(
 
     ``worker_factory`` is invoked once per worker to build its private
     task function (e.g. booting a private kernel), mirroring one
-    Snowboard execution instance per cloud VM.
+    Snowboard execution instance per cloud VM.  A payload that raises
+    must not kill its worker (and silently strand the rest of the
+    queue); its result is recorded as a :class:`TaskFailure` wrapping
+    the exception, which callers can count and report.
     """
 
     def loop() -> None:
         execute = worker_factory()
         while True:
             task = work.get()
+            if task is TIMED_OUT:
+                continue
             if task is None:
                 return
             try:
                 outcome = execute(task.payload)
             except Exception as error:  # noqa: BLE001 - workers must survive
-                # A failing task must not kill the worker (and silently
-                # strand the rest of the queue); record the error as the
-                # task's result instead.
-                outcome = error
+                outcome = TaskFailure(task.task_id, error)
             work.complete(task, outcome)
 
     threads = [threading.Thread(target=loop, daemon=True) for _ in range(nworkers)]

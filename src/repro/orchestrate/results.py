@@ -36,6 +36,12 @@ class CampaignResult:
     instructions: int = 0
     exercised_pmcs: int = 0  # tests whose PMC channel actually occurred
     records: List[ObservationRecord] = field(default_factory=list)
+    # -- throughput bookkeeping (the §5.4 executions/minute story) --------
+    workers: int = 1  # Stage-4 worker count (1 = serial execution)
+    task_failures: int = 0  # parallel tasks that crashed (not merged)
+    pages_restored: int = 0  # snapshot pages copied back across all trials
+    restore_seconds: float = 0.0  # wall time spent in snapshot restore
+    wall_seconds: float = 0.0  # wall time of the whole Stage-4 execution
     _seen_keys: set = field(default_factory=set, repr=False)
 
     def record_observations(
@@ -86,6 +92,46 @@ class CampaignResult:
             return 0.0
         return self.exercised_pmcs / self.tested_pmcs
 
+    # -- throughput (nondeterministic: wall-clock based, so kept out of
+    # -- summary(), which must be bit-stable across identical campaigns) --
+
+    @property
+    def trials_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.trials / self.wall_seconds
+
+    @property
+    def executions_per_minute(self) -> float:
+        """The §5.4 headline number (paper: 193.8 for Snowboard)."""
+        return self.trials_per_second * 60.0
+
+    @property
+    def pages_per_trial(self) -> float:
+        """Mean snapshot pages copied back per trial (reset cost)."""
+        if self.trials == 0:
+            return 0.0
+        return self.pages_restored / self.trials
+
+    @property
+    def restore_fraction(self) -> float:
+        """Fraction of Stage-4 wall time spent restoring snapshots."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return min(1.0, self.restore_seconds / self.wall_seconds)
+
+    def throughput(self) -> Dict[str, object]:
+        """Wall-clock throughput figures (not part of ``summary()``)."""
+        return {
+            "workers": self.workers,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "trials_per_second": round(self.trials_per_second, 2),
+            "executions_per_minute": round(self.executions_per_minute, 1),
+            "pages_per_trial": round(self.pages_per_trial, 2),
+            "restore_fraction": round(self.restore_fraction, 4),
+            "task_failures": self.task_failures,
+        }
+
     def table_row(self) -> str:
         """One Table 3-style row."""
         bugs = self.bugs_found()
@@ -107,6 +153,7 @@ class CampaignResult:
             "accuracy": round(self.accuracy, 3),
             "bugs": self.bugs_found(),
             "observations": len(self.records),
+            "task_failures": self.task_failures,
         }
 
 

@@ -11,6 +11,7 @@ enforcement (section 4.4.1 of the paper).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field as dc_field
 from typing import Generator, List, Optional, Sequence, Tuple
 
@@ -39,6 +40,11 @@ class ExecutionResult:
     budget_exceeded: bool = False
     instructions: int = 0
     switches: int = 0
+    # Per-trial reset cost: pages copied back by the snapshot restore that
+    # preceded this execution, and the wall time it took.  With dirty-page
+    # tracking the page count is O(pages dirtied by the previous run).
+    pages_restored: int = 0
+    restore_seconds: float = 0.0
     races: List = dc_field(default_factory=list)
     # Instruction indexes at which a vCPU switch occurred (scheduler- or
     # liveness-driven).  Feeding these back via ``replay_switch_points``
@@ -98,6 +104,10 @@ class Executor:
         self.kernel = kernel
         self.snapshot = snapshot
         self.max_instructions = max_instructions
+        # Force a full-copy snapshot restore before every run instead of
+        # the dirty-page incremental path (the pre-optimisation behaviour;
+        # kept as a knob for the restore-cost benchmarks).
+        self.full_restore = False
 
     # -- public entry points ---------------------------------------------------
 
@@ -143,10 +153,14 @@ class Executor:
         replay_switch_points: Optional[Sequence[int]] = None,
     ) -> ExecutionResult:
         replay = set(replay_switch_points) if replay_switch_points is not None else None
-        self.snapshot.restore(self.kernel.machine)
+        result = ExecutionResult()
+        if self.full_restore:
+            self.kernel.machine.invalidate_restore_tracking()
+        restore_start = time.perf_counter()
+        result.pages_restored = self.snapshot.restore(self.kernel.machine)
+        result.restore_seconds = time.perf_counter() - restore_start
         machine = self.kernel.machine
         console_start = len(machine.console)
-        result = ExecutionResult()
 
         threads: List[_Thread] = []
         for i, program in enumerate(programs):

@@ -62,6 +62,18 @@ class TestMapping:
         with pytest.raises(ValueError):
             memory.read_int(BASE, 0)
 
+    def test_zero_size_region_rejected(self):
+        # Regression: size <= 0 used to silently map nothing, leaving the
+        # caller's region registry lying about what is mapped.
+        memory = Memory()
+        with pytest.raises(ValueError):
+            memory.map_region(BASE, 0)
+
+    def test_negative_size_region_rejected(self):
+        memory = Memory()
+        with pytest.raises(ValueError):
+            memory.map_region(BASE, -PAGE_SIZE)
+
 
 class TestByteAccess:
     def test_roundtrip(self):
@@ -116,6 +128,70 @@ class TestSnapshotSupport:
         assert memory.mapped_bytes == 3 * PAGE_SIZE
 
 
+class TestDirtyTracking:
+    def test_write_marks_page_dirty(self):
+        memory = make_memory()
+        memory.clear_dirty()
+        memory.write_bytes(BASE + PAGE_SIZE + 5, b"xy")
+        assert memory.dirty_pages() == {(BASE + PAGE_SIZE) // PAGE_SIZE}
+
+    def test_write_spanning_pages_marks_both(self):
+        memory = make_memory()
+        memory.clear_dirty()
+        memory.write_bytes(BASE + PAGE_SIZE - 1, b"ab")
+        first = BASE // PAGE_SIZE
+        assert memory.dirty_pages() == {first, first + 1}
+
+    def test_map_region_marks_new_pages_dirty_but_not_remaps(self):
+        memory = make_memory()
+        memory.clear_dirty()
+        memory.map_region(BASE, PAGE_SIZE)  # already mapped: no-op
+        assert memory.dirty_pages() == set()
+        memory.map_region(BASE + 8 * PAGE_SIZE, PAGE_SIZE)
+        assert memory.dirty_pages() == {BASE // PAGE_SIZE + 8}
+
+    def test_clone_dirty_pages_subset(self):
+        memory = make_memory()
+        memory.clear_dirty()
+        memory.write_bytes(BASE, b"hello")
+        delta = memory.clone_dirty_pages()
+        assert set(delta) == {BASE // PAGE_SIZE}
+        assert delta[BASE // PAGE_SIZE][:5] == b"hello"
+
+    def test_full_restore_clears_dirty_and_bumps_epoch(self):
+        memory = make_memory()
+        pages = memory.clone_pages()
+        memory.write_bytes(BASE, b"x")
+        epoch = memory.epoch
+        memory.restore_pages(pages)
+        assert memory.dirty_pages() == set()
+        assert memory.epoch == epoch + 1
+
+    def test_incremental_restore_reverts_dirty_pages(self):
+        memory = make_memory()
+        memory.write_int(BASE, 8, 123)
+        pages = memory.clone_pages()
+        memory.clear_dirty()
+        memory.write_int(BASE, 8, 456)
+        memory.write_int(BASE + 2 * PAGE_SIZE, 8, 789)
+        restored = memory.restore_pages_incremental(pages)
+        assert restored == 2
+        assert memory.read_int(BASE, 8) == 123
+        assert memory.read_int(BASE + 2 * PAGE_SIZE, 8) == 0
+        assert memory.dirty_pages() == set()
+
+    def test_incremental_restore_unmaps_pages_mapped_after_snapshot(self):
+        memory = make_memory()
+        pages = memory.clone_pages()
+        memory.clear_dirty()
+        extra = BASE + 16 * PAGE_SIZE
+        memory.map_region(extra, PAGE_SIZE)
+        memory.write_bytes(extra, b"late")
+        memory.restore_pages_incremental(pages)
+        assert not memory.is_mapped(extra)
+        assert memory.clone_pages() == pages
+
+
 @given(
     offset=st.integers(min_value=0, max_value=2 * PAGE_SIZE),
     data=st.binary(min_size=1, max_size=64),
@@ -137,3 +213,26 @@ def test_property_int_roundtrip_masks_to_size(size, value):
     memory = make_memory()
     memory.write_int(BASE, size, value)
     assert memory.read_int(BASE, size) == value & ((1 << (8 * size)) - 1)
+
+
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4 * PAGE_SIZE - 64),
+            st.binary(min_size=1, max_size=64),
+        ),
+        max_size=12,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_incremental_restore_matches_snapshot(writes):
+    """After arbitrary dirty writes, an incremental restore yields memory
+    byte-identical to the snapshot (same invariant as a full restore)."""
+    memory = make_memory(4 * PAGE_SIZE)
+    memory.write_bytes(BASE, b"snapshot state")
+    pages = memory.clone_pages()
+    memory.clear_dirty()
+    for offset, data in writes:
+        memory.write_bytes(BASE + offset, data)
+    memory.restore_pages_incremental(pages)
+    assert memory.clone_pages() == pages

@@ -11,7 +11,7 @@ from repro.orchestrate.pipeline import (
     Snowboard,
     SnowboardConfig,
 )
-from repro.orchestrate.queue import WorkQueue, run_workers
+from repro.orchestrate.queue import TIMED_OUT, TaskFailure, WorkQueue, run_workers
 from repro.orchestrate.results import CampaignResult
 from repro.sched.executor import ExecutionResult
 
@@ -44,6 +44,74 @@ class TestWorkQueue:
         work = WorkQueue()
         ids = [work.put(f"p{i}") for i in range(5)]
         assert ids == [0, 1, 2, 3, 4]
+
+    def test_get_timeout_returns_sentinel_not_raises(self):
+        # Regression: a timeout used to leak queue.Empty to the caller
+        # even though the docstring promised "None means shutdown".
+        work = WorkQueue()
+        assert work.get(timeout=0.01) is TIMED_OUT
+
+    def test_timed_out_is_distinct_from_shutdown(self):
+        work = WorkQueue()
+        work.shutdown(nworkers=1)
+        assert work.get(timeout=0.01) is None  # shutdown sentinel
+        assert work.get(timeout=0.01) is TIMED_OUT  # nothing left
+
+    def test_pending_excludes_shutdown_sentinels(self):
+        # Regression: pending() used to count shutdown sentinels as work.
+        work = WorkQueue()
+        work.put("real")
+        work.put("real2")
+        work.shutdown(nworkers=3)
+        assert work.pending() == 2
+        assert work.get() is not None
+        assert work.pending() == 1
+
+    def test_pending_zero_after_drain(self):
+        work = WorkQueue()
+        work.put("only")
+        work.shutdown(nworkers=2)
+        work.get()  # the real task
+        assert work.pending() == 0
+        work.get()  # one sentinel
+        assert work.pending() == 0
+
+    def test_worker_exception_wrapped_as_task_failure(self):
+        # Regression: a worker exception used to be stored bare, making it
+        # indistinguishable from a task that *returns* an exception object.
+        returned_error = ValueError("legitimate result")
+
+        def execute(payload):
+            if payload == "boom":
+                raise RuntimeError("worker crash")
+            return returned_error
+
+        work = WorkQueue()
+        ok_id = work.put("fine")
+        bad_id = work.put("boom")
+        results = run_workers(work, lambda: execute, nworkers=2)
+
+        assert results[ok_id] is returned_error  # not wrapped
+        failure = results[bad_id]
+        assert isinstance(failure, TaskFailure)
+        assert failure.task_id == bad_id
+        assert isinstance(failure.error, RuntimeError)
+
+    def test_failure_does_not_strand_queue(self):
+        def factory():
+            def execute(payload):
+                if payload % 2:
+                    raise RuntimeError("odd payloads crash")
+                return payload
+
+            return execute
+
+        work = WorkQueue()
+        for i in range(8):
+            work.put(i)
+        results = run_workers(work, factory, nworkers=3)
+        assert len(results) == 8
+        assert sum(isinstance(r, TaskFailure) for r in results.values()) == 4
 
 
 class TestCampaignResult:

@@ -1,0 +1,122 @@
+"""Parallel Stage 4: the WorkQueue-fed execution fleet.
+
+The contract under test is the paper's distribution story (section
+4.4.1): concurrent tests are independent work items, so spreading them
+over workers — each owning a private kernel booted from the same
+deterministic snapshot — must find exactly the same bugs as the serial
+loop for the same seed, with the same trial counts and first-find
+positions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.prog import Call, prog
+from repro.orchestrate.pipeline import Snowboard, SnowboardConfig, Stage4Task
+from repro.orchestrate.queue import TaskFailure
+
+
+CONFIG = SnowboardConfig(
+    seed=7, corpus_budget=120, trials_per_pmc=8, max_instructions=40_000
+)
+BUDGET = 10
+
+
+@pytest.fixture(scope="module")
+def serial_campaign():
+    sb = Snowboard(CONFIG).prepare()
+    return sb.run_campaign("S-INS-PAIR", test_budget=BUDGET)
+
+
+@pytest.fixture(scope="module")
+def parallel_run():
+    sb = Snowboard(CONFIG).prepare()
+    campaign = sb.run_campaign("S-INS-PAIR", test_budget=BUDGET, workers=3)
+    return sb, campaign
+
+
+class TestSerialParallelEquivalence:
+    def test_identical_bug_sets(self, serial_campaign, parallel_run):
+        _, parallel = parallel_run
+        assert parallel.bugs_found() == serial_campaign.bugs_found()
+
+    def test_identical_summaries(self, serial_campaign, parallel_run):
+        # Stronger than bug sets: trial counts, instructions, exercised
+        # PMCs and first-find positions all survive parallelisation.
+        _, parallel = parallel_run
+        assert parallel.summary() == serial_campaign.summary()
+
+    def test_identical_repro_packages(self, parallel_run):
+        sb_parallel, _ = parallel_run
+        sb_serial = Snowboard(CONFIG).prepare()
+        sb_serial.run_campaign("S-INS-PAIR", test_budget=BUDGET)
+        assert set(sb_parallel.repro_packages) == set(sb_serial.repro_packages)
+        for bug_id, package in sb_serial.repro_packages.items():
+            assert sb_parallel.repro_packages[bug_id].to_json() == package.to_json()
+
+    def test_worker_count_recorded(self, serial_campaign, parallel_run):
+        _, parallel = parallel_run
+        assert serial_campaign.workers == 1
+        assert parallel.workers == 3
+        assert parallel.task_failures == 0
+
+    def test_throughput_figures_populated(self, parallel_run):
+        _, parallel = parallel_run
+        assert parallel.wall_seconds > 0
+        assert parallel.trials_per_second > 0
+        assert parallel.executions_per_minute == pytest.approx(
+            parallel.trials_per_second * 60
+        )
+        assert parallel.pages_per_trial > 0
+        assert 0 < parallel.restore_fraction <= 1
+
+
+class TestFailureSurfacing:
+    def test_crashed_task_counted_not_merged(self, monkeypatch):
+        sb = Snowboard(CONFIG).prepare()
+        original = Snowboard._run_test_trials
+
+        def crashy(self, executor, task: Stage4Task):
+            if task.task_id == 1:
+                raise RuntimeError("injected worker crash")
+            return original(self, executor, task)
+
+        monkeypatch.setattr(Snowboard, "_run_test_trials", crashy)
+        campaign = sb.run_campaign("S-INS-PAIR", test_budget=4, workers=2)
+        assert campaign.task_failures == 1
+        # The crashed task still consumes its test index, so positions of
+        # later finds stay aligned with a serial run.
+        assert campaign.tested_pmcs == 4
+        assert campaign.summary()["task_failures"] == 1
+
+
+class TestWorkerIsolation:
+    def test_fixed_kernel_campaign_raises_no_alarms_in_parallel(self):
+        config = SnowboardConfig(
+            seed=7,
+            corpus_budget=80,
+            trials_per_pmc=4,
+            max_instructions=40_000,
+            fixed_kernel=True,
+        )
+        sb = Snowboard(config).prepare()
+        campaign = sb.run_campaign("S-INS-PAIR", test_budget=5, workers=2)
+        assert campaign.bugs_found() == {}
+
+    def test_setup_program_honored_by_workers(self):
+        setup = prog(Call("msgget", (3,)))
+        config = SnowboardConfig(
+            seed=5,
+            corpus_budget=60,
+            trials_per_pmc=4,
+            max_instructions=40_000,
+            setup_program=setup,
+        )
+        serial = Snowboard(config).prepare().run_campaign(
+            "S-INS-PAIR", test_budget=4
+        )
+        parallel = Snowboard(config).prepare().run_campaign(
+            "S-INS-PAIR", test_budget=4, workers=2
+        )
+        assert parallel.summary() == serial.summary()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.orchestrate.pipeline import ConcurrentTest, Snowboard, SnowboardConfig
-from repro.orchestrate.queue import WorkQueue, run_workers
+from repro.orchestrate.queue import TaskFailure, WorkQueue, run_workers
 from repro.sched.random_sched import RandomScheduler
 from repro.sched.ski import SkiScheduler
 from repro.sched.snowboard import SnowboardScheduler
@@ -96,7 +96,11 @@ class TestQueueRobustness:
             work.put(i)
         results = run_workers(work, factory, nworkers=2)
         assert results[0] == 0 and results[4] == 40
-        assert isinstance(results[2], RuntimeError)
+        # Failures arrive wrapped, so a task legitimately *returning* an
+        # exception object stays distinguishable from a worker crash.
+        assert isinstance(results[2], TaskFailure)
+        assert results[2].task_id == 2
+        assert isinstance(results[2].error, RuntimeError)
         assert len(results) == 5  # nothing stranded
 
 

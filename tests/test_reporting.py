@@ -3,7 +3,12 @@
 import pytest
 
 from repro.detect.catalog import BUG_CATALOG
-from repro.orchestrate.reporting import merge_found, render_table2, render_table3
+from repro.orchestrate.reporting import (
+    merge_found,
+    render_table2,
+    render_table3,
+    render_throughput,
+)
 from repro.orchestrate.results import CampaignResult
 
 
@@ -83,3 +88,36 @@ class TestMergeFound:
         b = campaign_with("S-MEM", {"SB15": 2})
         merged = merge_found([a, b])
         assert set(merged) == {"SB13", "SB15"}
+
+
+class TestRenderThroughput:
+    def _campaign(self):
+        campaign = campaign_with("S-INS", {})
+        campaign.workers = 4
+        campaign.pages_restored = 250
+        campaign.restore_seconds = 0.5
+        campaign.wall_seconds = 10.0
+        campaign.task_failures = 1
+        return campaign
+
+    def test_throughput_row_contents(self):
+        campaign = self._campaign()
+        text = render_throughput([campaign])
+        line = next(l for l in text.splitlines() if l.startswith("S-INS"))
+        assert "4" in line  # workers
+        assert "300" in line  # 50 trials / 10 s * 60 = 300 exec/min
+        assert "5.0" in line  # 250 pages / 50 trials
+        assert "5.0%" in line  # 0.5 s restore / 10 s wall
+        assert "1" in line  # task failures
+
+    def test_markdown_throughput(self):
+        text = render_throughput([self._campaign()], markdown=True)
+        assert text.startswith("| Method |")
+
+    def test_derived_metrics_handle_empty_campaign(self):
+        campaign = CampaignResult(strategy="empty")
+        assert campaign.trials_per_second == 0.0
+        assert campaign.executions_per_minute == 0.0
+        assert campaign.pages_per_trial == 0.0
+        assert campaign.restore_fraction == 0.0
+        assert "empty" in render_throughput([campaign])

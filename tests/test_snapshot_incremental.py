@@ -1,0 +1,158 @@
+"""Dirty-page snapshot restore: equivalence with full-copy restore.
+
+The per-trial reset is the dominant cost term of concurrent-test
+execution (section 5.4), so ``Snapshot.restore`` copies back only the
+pages dirtied since the last restore.  These tests pin the correctness
+contract: incremental restore is byte-identical to a full restore — for
+raw machines, for full kernel executions, and for bit-exact schedule
+replay — and silently falls back to a full copy whenever the tracked
+history is invalid.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fuzz.prog import Call, Res, prog
+from repro.kernel.kernel import boot_kernel
+from repro.machine.machine import Machine
+from repro.machine.snapshot import Snapshot
+from repro.sched.executor import Executor
+from repro.sched.random_sched import RandomScheduler
+
+
+class TestMachineLevel:
+    def test_first_restore_is_full_copy(self):
+        machine = Machine()
+        snap = Snapshot.capture(machine)
+        assert snap.restore(machine) == len(snap.pages)
+
+    def test_repeated_restore_is_incremental(self):
+        machine = Machine()
+        snap = Snapshot.capture(machine)
+        snap.restore(machine)
+        machine.memory.write_int(machine.regions.heap_base, 8, 7)
+        assert snap.restore(machine) == 1
+
+    def test_incremental_restore_matches_full_state(self):
+        machine = Machine()
+        machine.printk("boot")
+        machine.memory.write_bytes(machine.regions.globals_base, b"fixed")
+        snap = Snapshot.capture(machine)
+        snap.restore(machine)  # arm incremental tracking
+
+        rng = random.Random(11)
+        for _ in range(40):
+            addr = machine.regions.heap_base + rng.randrange(0, 64 * 1024)
+            machine.memory.write_bytes(addr, rng.randbytes(rng.randrange(1, 32)))
+            machine.printk("noise")
+        restored = snap.restore(machine)
+
+        assert 0 < restored < len(snap.pages)
+        assert machine.memory.clone_pages() == snap.pages
+        assert machine.console == ["boot"]
+
+    def test_restoring_other_snapshot_falls_back_to_full(self):
+        machine = Machine()
+        snap_a = Snapshot.capture(machine, label="a")
+        machine.memory.write_int(machine.regions.heap_base, 8, 1)
+        snap_b = Snapshot.capture(machine, label="b")
+        snap_a.restore(machine)
+        assert snap_b.restore(machine) == len(snap_b.pages)
+        assert machine.memory.read_int(machine.regions.heap_base, 8) == 1
+
+    def test_wholesale_page_replacement_invalidates_tracking(self):
+        machine = Machine()
+        snap = Snapshot.capture(machine)
+        snap.restore(machine)
+        # A direct restore_pages bypasses Snapshot bookkeeping; the epoch
+        # bump must force the next restore back onto the full-copy path.
+        machine.memory.restore_pages(machine.memory.clone_pages())
+        assert snap.restore(machine) == len(snap.pages)
+
+    def test_explicit_invalidation_forces_full_copy(self):
+        machine = Machine()
+        snap = Snapshot.capture(machine)
+        snap.restore(machine)
+        machine.invalidate_restore_tracking()
+        assert snap.restore(machine) == len(snap.pages)
+
+
+class TestKernelLevel:
+    """Equivalence over real kernel executions (the executor path)."""
+
+    WRITER = prog(Call("socket", (2,)), Call("connect", (Res(0), 1)))
+    READER = prog(
+        Call("socket", (2,)), Call("connect", (Res(0), 1)), Call("sendmsg", (Res(0), 5))
+    )
+
+    def _trial_fingerprint(self, result):
+        return (
+            [(a.seq, a.thread, a.type, a.addr, a.size, a.value, a.ins) for a in result.accesses],
+            result.console,
+            result.returns,
+            result.panic_message,
+            result.switch_points,
+        )
+
+    def test_incremental_and_full_restore_trials_are_bit_identical(self):
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+
+        def run_trials():
+            fingerprints = []
+            for trial in range(6):
+                scheduler_local = RandomScheduler(seed=5)
+                scheduler_local.begin_trial(trial)
+                result = executor.run_concurrent(
+                    [self.WRITER, self.READER], scheduler=scheduler_local
+                )
+                fingerprints.append(self._trial_fingerprint(result))
+            return fingerprints
+
+        executor.full_restore = True
+        full = run_trials()
+        executor.full_restore = False
+        incremental = run_trials()
+        assert incremental == full
+
+    def test_trials_after_many_restores_stay_deterministic(self):
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        first = executor.run_concurrent(
+            [self.WRITER, self.READER], scheduler=RandomScheduler(seed=9)
+        )
+        for _ in range(5):
+            executor.run_sequential(self.READER)  # dirty + restore repeatedly
+        again = executor.run_concurrent(
+            [self.WRITER, self.READER], scheduler=RandomScheduler(seed=9)
+        )
+        assert self._trial_fingerprint(again) == self._trial_fingerprint(first)
+
+    def test_replay_stays_bit_exact_across_incremental_restores(self):
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        scheduler = RandomScheduler(seed=3)
+        scheduler.begin_trial(0)
+        original = executor.run_concurrent(
+            [self.WRITER, self.READER], scheduler=scheduler
+        )
+        # Intervening executions dirty and incrementally restore the
+        # machine; the replay afterwards must still match bit for bit.
+        for _ in range(4):
+            executor.run_sequential(self.WRITER)
+        replayed = executor.run_concurrent(
+            [self.WRITER, self.READER],
+            replay_switch_points=original.switch_points,
+        )
+        assert self._trial_fingerprint(replayed) == self._trial_fingerprint(original)
+
+    def test_second_trial_restores_few_pages(self):
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        first = executor.run_sequential(self.WRITER)
+        second = executor.run_sequential(self.WRITER)
+        assert first.pages_restored == len(snapshot.pages)
+        assert 0 < second.pages_restored < len(snapshot.pages) // 10
