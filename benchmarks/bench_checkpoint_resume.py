@@ -1,0 +1,62 @@
+"""Experiment — crash-safe campaigns: checkpoint and resume overhead.
+
+The paper's campaigns ran for weeks across a GCP fleet (§4.4.1, §5.4),
+which is only viable when surviving a crash is cheap: journaling each
+merged Stage-4 task must be effectively free, and resuming a killed
+campaign must cost a small fraction of re-running it.  This bench
+measures both and asserts the resume overhead stays under 10% of the
+campaign's Stage-4 wall time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.orchestrate.pipeline import Snowboard
+
+BUDGET = 12
+STRATEGY = "S-INS-PAIR"
+
+
+def test_checkpoint_write_overhead(snowboard, tmp_path):
+    """Journaling every task must not meaningfully slow the campaign."""
+    plain = snowboard.run_campaign(STRATEGY, test_budget=BUDGET)
+    path = str(tmp_path / "journal.jsonl")
+    journaled = snowboard.run_campaign(
+        STRATEGY, test_budget=BUDGET, checkpoint_path=path
+    )
+    assert journaled.summary() == plain.summary()
+    overhead = journaled.wall_seconds - plain.wall_seconds
+    print(
+        f"\njournaling overhead: {overhead * 1000:+.1f} ms on a "
+        f"{plain.wall_seconds:.2f} s campaign "
+        f"({overhead / plain.wall_seconds:+.1%})"
+    )
+    # Generous bound: JSONL appends are microseconds per task; anything
+    # above 10% (+ scheduling noise floor) means journaling regressed.
+    assert journaled.wall_seconds < plain.wall_seconds * 1.10 + 0.05
+
+
+def test_resume_overhead_under_10_percent(snowboard, tmp_path):
+    """Resuming a fully-journaled campaign is pure journal replay; it
+    must cost < 10% of the campaign's execution wall time."""
+    path = str(tmp_path / "journal.jsonl")
+    full = snowboard.run_campaign(STRATEGY, test_budget=BUDGET, checkpoint_path=path)
+
+    # A fresh instance is the new-process analogue.  prepare() (boot +
+    # fuzz + profile) happens before the timer: a resuming process pays
+    # it regardless of checkpointing, so it is not resume overhead.
+    resumer = Snowboard(snowboard.config).prepare()
+    start = time.perf_counter()
+    resumed = resumer.run_campaign(
+        STRATEGY, test_budget=BUDGET, checkpoint_path=path, resume=True
+    )
+    resume_wall = time.perf_counter() - start
+
+    assert resumed.summary() == full.summary()
+    print(
+        f"\nresume replay: {resume_wall * 1000:.1f} ms vs "
+        f"{full.wall_seconds:.2f} s campaign "
+        f"({resume_wall / full.wall_seconds:.1%})"
+    )
+    assert resume_wall < 0.10 * full.wall_seconds

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice:
+#
+#  1. the normal pytest run (full assertion checking), and
+#  2. the same suite under `python -O`, which strips every `assert`
+#     statement from the *source tree*.  Pass 2 exists to catch code
+#     that leans on asserts for control flow or invariant enforcement —
+#     e.g. the old `assert task_id == index` in execute_tests_parallel,
+#     which under -O silently mis-seeded every task from a pre-seeded
+#     queue.  Test-module asserts are also stripped in pass 2 (pytest
+#     warns about this), so it only detects crashes/exceptions; pass 1
+#     remains the source of truth for behavioural assertions.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: python -m pytest =="
+python -m pytest -x -q
+
+echo "== tier-1 under -O (assert-stripped invariant check) =="
+python -O -m pytest -x -q
+
+echo "ci: both passes green"

@@ -60,6 +60,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run against the patched kernel (expects zero findings)",
     )
+    campaign.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="journal every merged Stage-4 task to this JSONL file "
+        "(crash-safe: a killed campaign can be resumed bit-identically)",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay an existing --checkpoint journal and execute only "
+        "the missing tasks (requires --checkpoint)",
+    )
 
     table3 = sub.add_parser("table3", help="compare all generation methods")
     table3.add_argument("--budget", type=int, default=40)
@@ -87,6 +100,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_campaign(args) -> int:
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
     config = SnowboardConfig(
         seed=args.seed,
         corpus_budget=args.corpus,
@@ -99,7 +115,11 @@ def _cmd_campaign(args) -> int:
         f"strategy={args.strategy}, budget={args.budget}"
     )
     campaign = snowboard.run_campaign(
-        args.strategy, test_budget=args.budget, workers=args.workers
+        args.strategy,
+        test_budget=args.budget,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
     )
     print(TABLE3_HEADER)
     print(campaign.table_row())
@@ -109,6 +129,12 @@ def _cmd_campaign(args) -> int:
         f"({campaign.workers} worker(s), {campaign.pages_per_trial:.1f} pages "
         f"restored/trial, {campaign.restore_fraction:.1%} of time in restore"
         + (f", {campaign.task_failures} task failures" if campaign.task_failures else "")
+        + (f", {campaign.task_retries} task retries" if campaign.task_retries else "")
+        + (
+            f", {campaign.worker_respawns} worker respawns"
+            if campaign.worker_respawns
+            else ""
+        )
         + ")"
     )
     for bug_id, at in sorted(campaign.bugs_found().items()):

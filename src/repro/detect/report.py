@@ -59,6 +59,44 @@ class BugObservation:
         return f"deadlock: {self.detail}"
 
 
+def observation_to_obj(obs: BugObservation) -> dict:
+    """A JSON-ready representation of one observation (checkpoint use)."""
+    obj: dict = {"kind": obs.kind, "detail": obs.detail}
+    if obs.kind == "race":
+        r = obs.race
+        obj["race"] = {
+            "ins_a": r.ins_a,
+            "ins_b": r.ins_b,
+            "type_a": r.type_a,
+            "type_b": r.type_b,
+            "addr": r.addr,
+            "size": r.size,
+            "value_a": r.value_a,
+            "value_b": r.value_b,
+            "thread_a": r.thread_a,
+            "thread_b": r.thread_b,
+        }
+    elif obs.kind == "console":
+        obj["console"] = {"kind": obs.console.kind, "line": obs.console.line}
+    return obj
+
+
+def observation_from_obj(obj: dict) -> BugObservation:
+    """Rebuild an observation from :func:`observation_to_obj` output."""
+    kind = obj["kind"]
+    if kind == "race":
+        return BugObservation(
+            kind="race", race=RaceReport(**obj["race"]), detail=obj.get("detail", "")
+        )
+    if kind == "console":
+        return BugObservation(
+            kind="console",
+            console=ConsoleFinding(**obj["console"]),
+            detail=obj.get("detail", ""),
+        )
+    return BugObservation(kind=kind, detail=obj.get("detail", ""))
+
+
 def observe(result, checker: Optional[ConsoleChecker] = None) -> List[BugObservation]:
     """Extract all bug observations from one execution result."""
     checker = checker or ConsoleChecker()

@@ -10,9 +10,11 @@ environment to replicate bugs once they are found").
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.fuzz.prog import Call, Program, Res
 from repro.sched.executor import ExecutionResult, Executor
@@ -151,11 +153,30 @@ def capture_package(
     )
 
 
-def reproduce(executor: Executor, package: ReproPackage) -> ExecutionResult:
-    """Replay a package; raises if the bug does not reproduce."""
+def reproduce(
+    executor: Executor,
+    package: ReproPackage,
+    race_detector=None,
+    verify_bug_id: bool = True,
+) -> ExecutionResult:
+    """Replay a package; raises if the bug does not reproduce.
+
+    The replay runs under a :class:`~repro.detect.datarace.RaceDetector`
+    and the full oracle set, and the observed findings must match the
+    package's ``bug_id`` against the catalog.  This is what makes
+    packages for pure data-race bugs — empty ``expected_panic`` *and*
+    ``expected_console`` — actually validate: before, no oracle ran
+    during replay and such packages succeeded vacuously.
+    """
+    from repro.detect.catalog import catalog_ids, match_observations
+    from repro.detect.datarace import RaceDetector
+    from repro.detect.report import observe
+
+    detector = race_detector if race_detector is not None else RaceDetector()
     result = executor.run_concurrent(
         [package.writer, package.reader],
         replay_switch_points=package.switch_points,
+        race_detector=detector,
     )
     if package.expected_panic and result.panic_message != package.expected_panic:
         raise AssertionError(
@@ -164,4 +185,187 @@ def reproduce(executor: Executor, package: ReproPackage) -> ExecutionResult:
         )
     if package.expected_console and result.console != package.expected_console:
         raise AssertionError("replay diverged: console transcript differs")
+    observations = observe(result)
+    if verify_bug_id and package.bug_id in catalog_ids():
+        grouped = match_observations(observations)
+        if package.bug_id not in grouped:
+            raise AssertionError(
+                f"replay diverged: no observation matching {package.bug_id} "
+                f"(observed: {sorted(k for k in grouped)})"
+            )
+    elif verify_bug_id and not (package.expected_panic or package.expected_console):
+        # Uncatalogued package with no transcript expectation: the replay
+        # must at least produce *some* oracle finding to count.
+        if not observations:
+            raise AssertionError(
+                "replay diverged: no oracle observation during replay"
+            )
     return result
+
+
+# -- campaign checkpoint journal ---------------------------------------------------
+#
+# A campaign checkpoint is an append-only JSONL journal: one header line
+# describing the campaign parameters, then one line per merged Stage-4
+# task.  Each task line carries the *cumulative* campaign counters, the
+# observation records and reproduction packages that task contributed,
+# and a digest of its contribution.  Because tasks are seeded
+# ``seed + task_id``, replaying the journal and executing only the
+# missing task ids reconstructs the uninterrupted campaign bit for bit.
+
+CHECKPOINT_VERSION = 1
+
+#: Header fields that must match between the journal and a resuming
+#: campaign — resuming under different parameters would silently change
+#: seeding and test selection.
+HEADER_GUARD_FIELDS = (
+    "version",
+    "strategy",
+    "seed",
+    "test_budget",
+    "trials",
+    "scheduler_kind",
+    "fixed_kernel",
+    "ntests",
+)
+
+
+class CheckpointMismatch(ValueError):
+    """The journal was written by a campaign with different parameters."""
+
+
+def _task_digest(obj: Dict) -> str:
+    """Stable digest of one task's journalled contribution."""
+    canon = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()[:16]
+
+
+class CheckpointWriter:
+    """Appends one journal record per merged Stage-4 task.
+
+    Records are flushed line by line, so a campaign killed mid-flight
+    leaves a valid journal prefix behind (a torn final line is discarded
+    on load).  Construct with :meth:`create` (fresh journal, truncates)
+    or :meth:`append_to` (resume an existing one).
+    """
+
+    def __init__(self, handle, campaign, packages: Dict[str, ReproPackage]):
+        self._handle = handle
+        self._campaign = campaign
+        self._packages = packages
+        self._nrecords = len(campaign.records)
+        self._package_ids = set(packages)
+
+    @classmethod
+    def create(
+        cls, path: str, header: Dict, campaign, packages: Dict[str, ReproPackage]
+    ) -> "CheckpointWriter":
+        handle = open(path, "w")
+        handle.write(json.dumps({"kind": "header", **header}) + "\n")
+        handle.flush()
+        return cls(handle, campaign, packages)
+
+    @classmethod
+    def append_to(
+        cls, path: str, campaign, packages: Dict[str, ReproPackage]
+    ) -> "CheckpointWriter":
+        return cls(open(path, "a"), campaign, packages)
+
+    def task_done(self, task_id: int, merged: bool = True) -> None:
+        """Journal one task's contribution (call after merging it)."""
+        from repro.orchestrate.results import record_to_obj
+
+        new_records = self._campaign.records[self._nrecords :]
+        self._nrecords = len(self._campaign.records)
+        new_package_ids = [
+            bug_id for bug_id in self._packages if bug_id not in self._package_ids
+        ]
+        self._package_ids.update(new_package_ids)
+        obj = {
+            "kind": "task",
+            "task_id": task_id,
+            "merged": merged,
+            "counters": self._campaign.counters(),
+            "records": [record_to_obj(r) for r in new_records],
+            "packages": {
+                bug_id: json.loads(self._packages[bug_id].to_json())
+                for bug_id in new_package_ids
+            },
+        }
+        obj["digest"] = _task_digest(obj)
+        self._handle.write(json.dumps(obj) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def load_checkpoint(path: str) -> Tuple[Dict, List[Dict]]:
+    """Read a journal: (header, task records in journal order).
+
+    A torn final line (the campaign died mid-write) is discarded; a task
+    record whose digest does not match its contents raises — the journal
+    was corrupted rather than truncated.
+    """
+    header: Optional[Dict] = None
+    tasks: List[Dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail: keep the valid prefix
+            if obj.get("kind") == "header":
+                header = obj
+            elif obj.get("kind") == "task":
+                digest = obj.pop("digest", None)
+                if digest != _task_digest(obj):
+                    raise CheckpointMismatch(
+                        f"checkpoint {path!r}: task {obj.get('task_id')} "
+                        f"record failed its digest check"
+                    )
+                tasks.append(obj)
+    if header is None:
+        raise CheckpointMismatch(f"checkpoint {path!r} has no header record")
+    return header, tasks
+
+
+def verify_checkpoint_header(header: Dict, expected: Dict) -> None:
+    """Raise :class:`CheckpointMismatch` when guarded fields differ."""
+    for name in HEADER_GUARD_FIELDS:
+        if name in expected and header.get(name) != expected[name]:
+            raise CheckpointMismatch(
+                f"checkpoint header mismatch on {name!r}: journal has "
+                f"{header.get(name)!r}, campaign wants {expected[name]!r}"
+            )
+
+
+def restore_campaign(
+    campaign,
+    packages: Dict[str, ReproPackage],
+    task_records: List[Dict],
+) -> Set[int]:
+    """Replay journal task records into a fresh campaign.
+
+    Restores counters (from the last record — they are cumulative),
+    observation records (bug ids re-derived), and reproduction packages.
+    Returns the set of completed task ids to skip on resume.
+    """
+    from repro.orchestrate.results import record_from_obj
+
+    completed: Set[int] = set()
+    restored = []
+    for obj in task_records:
+        completed.add(int(obj["task_id"]))
+        restored.extend(record_from_obj(r) for r in obj.get("records", []))
+        for bug_id, package_obj in obj.get("packages", {}).items():
+            packages.setdefault(
+                bug_id, ReproPackage.from_json(json.dumps(package_obj))
+            )
+    if task_records:
+        campaign.restore_counters(task_records[-1]["counters"])
+    campaign.restore_records(restored)
+    return completed

@@ -20,6 +20,7 @@ S-INS-PAIR) are exposed through the same interface.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, field
@@ -92,6 +93,11 @@ class SnowboardConfig:
     # and the extra switch points defocus the search (see the ablation
     # benchmark bench_ablation_incidental).
     adopt_incidental_pmcs: bool = False
+    # Stage-4 fleet fault tolerance: how many times a crashed task is
+    # deterministically re-executed, and how many times a dead worker
+    # (factory crash or payload BaseException) is respawned.
+    task_retries: int = 1
+    worker_respawns: int = 2
 
 
 @dataclass(frozen=True)
@@ -188,15 +194,24 @@ class Snowboard:
     def _program(self, test_id: int) -> Program:
         return self.corpus.entries[test_id].program
 
-    def _pmcs_for_pair(self, pair: Tuple[int, int]) -> List[PMC]:
-        """All identified PMCs exhibited by this (writer, reader) pair."""
+    def _build_pair_index(self) -> Dict[Tuple[int, int], List[PMC]]:
+        """Build (once) the (writer, reader) pair -> PMCs index.
+
+        Must be called before spawning Stage-4 workers when incidental
+        adoption is on: worker threads all read the index through
+        :meth:`_pmcs_for_pair`, and a lazy build would race.
+        """
         if self._pair_index is None:
             index: Dict[Tuple[int, int], List[PMC]] = {}
             for pmc, pairs in self.pmcset.pmcs.items():
                 for p in pairs:
                     index.setdefault(p, []).append(pmc)
             self._pair_index = index
-        return self._pair_index.get(pair, [])
+        return self._pair_index
+
+    def _pmcs_for_pair(self, pair: Tuple[int, int]) -> List[PMC]:
+        """All identified PMCs exhibited by this (writer, reader) pair."""
+        return self._build_pair_index().get(pair, [])
 
     # -- stage 3: concurrent test generation ---------------------------------------
 
@@ -293,13 +308,20 @@ class Snowboard:
         campaign: CampaignResult,
         scheduler_kind: str = "snowboard",
         trials: Optional[int] = None,
+        task_id: Optional[int] = None,
     ) -> bool:
-        """Run all trials of one concurrent test; True if a new bug surfaced."""
+        """Run all trials of one concurrent test; True if a new bug surfaced.
+
+        ``task_id`` pins the test's campaign position (seed and recorded
+        ``test_index``) explicitly — required when resuming a checkpointed
+        campaign, where tests before the resume point are skipped and
+        ``campaign.tested_pmcs`` no longer equals the loop index.
+        """
         trials = trials or self.config.trials_per_pmc
+        test_index = campaign.tested_pmcs if task_id is None else task_id
         scheduler = self.make_scheduler(
-            test, seed=self.config.seed + campaign.tested_pmcs, kind=scheduler_kind
+            test, seed=self.config.seed + test_index, kind=scheduler_kind
         )
-        test_index = campaign.tested_pmcs
         campaign.tested_pmcs += 1
         exercised = False
         found_new = False
@@ -415,13 +437,17 @@ class Snowboard:
         return outcomes
 
     def _merge_task_outcomes(
-        self, test: ConcurrentTest, outcomes: Sequence[TrialOutcome], campaign: CampaignResult
+        self,
+        test: ConcurrentTest,
+        outcomes: Sequence[TrialOutcome],
+        campaign: CampaignResult,
+        task_id: Optional[int] = None,
     ) -> bool:
         """Fold one task's trials into the campaign, mirroring the serial
         loop of :meth:`execute_test` trial for trial — including the early
         stop on a fresh observation, so serial and parallel campaigns
         record identical bug sets, trial counts and first-find positions."""
-        test_index = campaign.tested_pmcs
+        test_index = campaign.tested_pmcs if task_id is None else task_id
         campaign.tested_pmcs += 1
         exercised = False
         found_new = False
@@ -451,33 +477,124 @@ class Snowboard:
         scheduler_kind: str = "snowboard",
         trials: Optional[int] = None,
         workers: int = 2,
+        completed: Optional[frozenset] = None,
+        on_task_merged=None,
     ) -> None:
         """Stage 4 across a worker fleet: queue, execute, merge in order.
 
         Tasks are seeded deterministically (``seed + task_id``) and merged
         in task order under the campaign-global dedup, so the resulting
         bug set is identical to a serial campaign over the same tests.
-        Crashed tasks are surfaced via ``campaign.task_failures`` instead
-        of being merged as garbage (they still consume their test index,
-        keeping later first-find positions aligned with the serial run).
+        Crashed tasks (their retry and respawn budgets exhausted) and
+        tasks with no result at all (worker pool died) are surfaced via
+        ``campaign.task_failures`` instead of being merged as garbage —
+        they still consume their test index, keeping later first-find
+        positions aligned with the serial run.
+
+        ``completed`` names task ids already merged by a resumed
+        checkpoint (skipped here); ``on_task_merged(task_id)`` is invoked
+        after each merge, in task order — the checkpoint journal hook.
         """
         trials = trials or self.config.trials_per_pmc
+        completed = completed or frozenset()
+        if self.config.adopt_incidental_pmcs:
+            # Worker threads share this index read-only; building it
+            # lazily under concurrency would race (satellite fix).
+            self._build_pair_index()
         work = WorkQueue()
+        queue_ids: Dict[int, int] = {}
         for index, test in enumerate(tests):
-            task_id = work.put(
+            if index in completed:
+                continue
+            queue_id = work.put(
                 Stage4Task(
                     task_id=index, test=test, trials=trials, scheduler_kind=scheduler_kind
                 )
             )
-            assert task_id == index
-        results = run_workers(work, self._stage4_worker_factory(), nworkers=workers)
+            if queue_id != len(queue_ids):
+                # Not an assert: under ``python -O`` a stripped assert
+                # would let a pre-seeded queue silently mis-map results.
+                raise RuntimeError(
+                    f"execute_tests_parallel needs a fresh WorkQueue: task "
+                    f"{index} was assigned queue id {queue_id}, expected "
+                    f"{len(queue_ids)}"
+                )
+            queue_ids[index] = queue_id
+        results = run_workers(
+            work,
+            self._stage4_worker_factory(),
+            nworkers=workers,
+            max_task_retries=self.config.task_retries,
+            max_worker_respawns=self.config.worker_respawns,
+        )
+        campaign.adopt_worker_stats(work.worker_stats)
         for index, test in enumerate(tests):
-            outcome = results.get(index)
-            if isinstance(outcome, TaskFailure):
+            if index in completed:
+                continue
+            outcome = results.get(queue_ids[index])
+            if outcome is None or isinstance(outcome, TaskFailure):
+                # None: the queue never produced a result (all workers
+                # died before claiming the task *and* the drain missed
+                # it) — treat exactly like a recorded failure rather
+                # than crashing the merge loop.
                 campaign.tested_pmcs += 1
                 campaign.task_failures += 1
+                if on_task_merged is not None:
+                    on_task_merged(index, merged=False)
                 continue
-            self._merge_task_outcomes(test, outcome, campaign)
+            self._merge_task_outcomes(test, outcome, campaign, task_id=index)
+            if on_task_merged is not None:
+                on_task_merged(index)
+
+    def _open_checkpoint(
+        self,
+        checkpoint_path: str,
+        resume: bool,
+        campaign: CampaignResult,
+        strategy: str,
+        test_budget: int,
+        scheduler_kind: str,
+        trials: Optional[int],
+        ntests: int,
+    ):
+        """Create or resume the campaign journal.
+
+        Returns (writer, completed task ids).  On resume the journal is
+        validated against the campaign parameters, its records replayed
+        into ``campaign`` and ``self.repro_packages``, and the writer
+        opened in append mode.
+        """
+        from repro.orchestrate.persistence import (
+            CHECKPOINT_VERSION,
+            CheckpointWriter,
+            load_checkpoint,
+            restore_campaign,
+            verify_checkpoint_header,
+        )
+
+        header = {
+            "version": CHECKPOINT_VERSION,
+            "strategy": strategy,
+            "seed": self.config.seed,
+            "test_budget": test_budget,
+            "trials": trials or self.config.trials_per_pmc,
+            "scheduler_kind": scheduler_kind,
+            "fixed_kernel": self.config.fixed_kernel,
+            "ntests": ntests,
+        }
+        if resume and os.path.exists(checkpoint_path):
+            stored, task_records = load_checkpoint(checkpoint_path)
+            verify_checkpoint_header(stored, header)
+            completed = restore_campaign(campaign, self.repro_packages, task_records)
+            writer = CheckpointWriter.append_to(
+                checkpoint_path, campaign, self.repro_packages
+            )
+        else:
+            completed = set()
+            writer = CheckpointWriter.create(
+                checkpoint_path, header, campaign, self.repro_packages
+            )
+        return writer, frozenset(completed)
 
     def run_campaign(
         self,
@@ -486,31 +603,68 @@ class Snowboard:
         scheduler_kind: str = "snowboard",
         trials: Optional[int] = None,
         workers: int = 1,
+        checkpoint_path: Optional[str] = None,
+        resume: bool = False,
     ) -> CampaignResult:
         """One full Table 3 campaign: generate, prioritise, execute.
 
         ``workers > 1`` runs Stage 4 through the work queue with that many
         private-kernel workers; results (bug sets, trial counts, first-find
         positions) are identical to the serial run for the same seed.
+
+        ``checkpoint_path`` journals every merged Stage-4 task to a JSONL
+        file as it completes; with ``resume=True`` an existing journal is
+        replayed first (counters, observations, reproduction packages) and
+        only the missing task ids are executed.  Because tasks are seeded
+        ``seed + task_id``, a killed-and-resumed campaign produces a
+        ``summary()`` bit-identical to an uninterrupted run.
         """
         tests, nclusters = self.generate_tests(strategy, limit=test_budget)
+        tests = tests[:test_budget]
         campaign = CampaignResult(
             strategy=strategy, exemplar_pmcs=nclusters, workers=max(1, workers)
         )
-        start = time.perf_counter()
-        if workers <= 1:
-            for test in tests[:test_budget]:
-                self.execute_test(
-                    test, campaign, scheduler_kind=scheduler_kind, trials=trials
-                )
-        else:
-            self.execute_tests_parallel(
-                tests[:test_budget],
+        writer = None
+        completed: frozenset = frozenset()
+        if checkpoint_path is not None:
+            writer, completed = self._open_checkpoint(
+                checkpoint_path,
+                resume,
                 campaign,
-                scheduler_kind=scheduler_kind,
-                trials=trials,
-                workers=workers,
+                strategy,
+                test_budget,
+                scheduler_kind,
+                trials,
+                len(tests),
             )
+        start = time.perf_counter()
+        try:
+            if workers <= 1:
+                for index, test in enumerate(tests):
+                    if index in completed:
+                        continue
+                    self.execute_test(
+                        test,
+                        campaign,
+                        scheduler_kind=scheduler_kind,
+                        trials=trials,
+                        task_id=index,
+                    )
+                    if writer is not None:
+                        writer.task_done(index)
+            else:
+                self.execute_tests_parallel(
+                    tests,
+                    campaign,
+                    scheduler_kind=scheduler_kind,
+                    trials=trials,
+                    workers=workers,
+                    completed=completed,
+                    on_task_merged=(writer.task_done if writer is not None else None),
+                )
+        finally:
+            if writer is not None:
+                writer.close()
         campaign.wall_seconds = time.perf_counter() - start
         return campaign
 

@@ -6,6 +6,22 @@ process: a thread-safe FIFO of tasks, workers that pull and execute
 them, and result collection.  Workers that test kernels must each own a
 private kernel instance — the executor mutates machine state — which is
 why ``run_workers`` takes a worker *factory*.
+
+Fault model (the §4.4.1 fleet ran for weeks; ours must survive the same
+failure classes in miniature):
+
+* **Task failure** — the payload raises ``Exception``.  The task is
+  retried in place up to ``max_task_retries`` times (payloads are
+  deterministic, so re-execution is bit-identical); if the budget runs
+  out the result is a :class:`TaskFailure`.
+* **Worker death** — the factory raises while building a worker, or the
+  payload raises ``BaseException`` (the in-process analogue of a VM
+  dying mid-task).  The worker is respawned — its factory re-invoked to
+  boot a fresh private kernel — up to ``max_worker_respawns`` times,
+  after which the worker is marked failed and exits.
+* **Pool exhaustion** — every worker is dead.  Remaining queued tasks
+  are drained by the coordinator and recorded as :class:`TaskFailure`,
+  so callers always get one result per task: no hang, no missing key.
 """
 
 from __future__ import annotations
@@ -29,14 +45,38 @@ class TaskFailure:
     """A task whose payload raised instead of returning.
 
     Stored as the task's result so that a legitimately-returned exception
-    object is distinguishable from a worker crash.
+    object is distinguishable from a worker crash.  ``attempts`` counts
+    how many times the payload was executed before giving up (0 when the
+    task never ran — e.g. the worker pool died before claiming it).
     """
 
     task_id: int
     error: BaseException
+    attempts: int = 1
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"task {self.task_id} failed: {self.error!r}"
+        return (
+            f"task {self.task_id} failed after {self.attempts} attempt(s): "
+            f"{self.error!r}"
+        )
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker fleet bookkeeping (tasks done, retries, respawns).
+
+    The in-process analogue of per-VM health counters on the paper's GCP
+    fleet: how much work the worker did, how often its tasks had to be
+    retried, how often the worker itself had to be rebooted, and whether
+    it eventually died for good.
+    """
+
+    worker_id: int
+    tasks_done: int = 0
+    retries: int = 0  # payload attempts that failed and were re-run
+    respawns: int = 0  # factory rebuilds (boot crash or payload BaseException)
+    failed: bool = False  # respawn budget exhausted; worker permanently dead
+    last_error: Optional[BaseException] = field(default=None, repr=False)
 
 
 class _TimedOut:
@@ -69,6 +109,8 @@ class WorkQueue:
         # Shutdown sentinels currently sitting in the queue; subtracted
         # from qsize so pending() reports only real tasks.
         self._sentinels = 0
+        # Per-worker stats of the last run_workers() fleet over this queue.
+        self.worker_stats: List[WorkerStats] = []
 
     def put(self, payload: Any) -> int:
         """Enqueue a payload; returns its task id."""
@@ -98,6 +140,10 @@ class WorkQueue:
         with self._lock:
             self._results[task.task_id] = result
 
+    def has_result(self, task_id: int) -> bool:
+        with self._lock:
+            return task_id in self._results
+
     def shutdown(self, nworkers: int) -> None:
         """Signal ``nworkers`` workers to exit."""
         with self._lock:
@@ -120,35 +166,103 @@ def run_workers(
     work: WorkQueue,
     worker_factory: Callable[[], Callable[[Any], Any]],
     nworkers: int = 2,
+    max_task_retries: int = 0,
+    max_worker_respawns: int = 2,
 ) -> Dict[int, Any]:
     """Run all queued tasks across ``nworkers`` workers; returns results.
 
     ``worker_factory`` is invoked once per worker to build its private
     task function (e.g. booting a private kernel), mirroring one
-    Snowboard execution instance per cloud VM.  A payload that raises
-    must not kill its worker (and silently strand the rest of the
-    queue); its result is recorded as a :class:`TaskFailure` wrapping
-    the exception, which callers can count and report.
-    """
+    Snowboard execution instance per cloud VM.  The fault model is
+    documented at module level: payload ``Exception``s are retried up to
+    ``max_task_retries`` times and then recorded as :class:`TaskFailure`;
+    a factory crash or a payload ``BaseException`` respawns the worker
+    (fresh factory call) up to ``max_worker_respawns`` times; and if the
+    whole pool dies, unclaimed tasks are drained into ``TaskFailure``
+    results so every enqueued task has exactly one result.
 
-    def loop() -> None:
-        execute = worker_factory()
+    Per-worker counters are left in ``work.worker_stats``.
+    """
+    stats_list = [WorkerStats(worker_id=i) for i in range(nworkers)]
+
+    def rebuild(stats: WorkerStats):
+        """(Re)invoke the factory; None when the respawn budget is gone."""
         while True:
+            try:
+                return worker_factory()
+            except Exception as error:  # noqa: BLE001 - boot crash != fatal
+                stats.respawns += 1
+                stats.last_error = error
+                if stats.respawns > max_worker_respawns:
+                    stats.failed = True
+                    return None
+
+    def loop(stats: WorkerStats) -> None:
+        execute = rebuild(stats)
+        while execute is not None:
             task = work.get()
             if task is TIMED_OUT:
                 continue
             if task is None:
                 return
-            try:
-                outcome = execute(task.payload)
-            except Exception as error:  # noqa: BLE001 - workers must survive
-                outcome = TaskFailure(task.task_id, error)
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    outcome = execute(task.payload)
+                    stats.tasks_done += 1
+                    break
+                except Exception as error:  # noqa: BLE001 - workers survive
+                    failure = TaskFailure(task.task_id, error, attempts=attempts)
+                except BaseException as error:  # worker-killing payload
+                    # The in-process analogue of the VM dying mid-task:
+                    # contain the blast radius, respawn a fresh worker,
+                    # and re-run the (deterministic) task on it.
+                    failure = TaskFailure(task.task_id, error, attempts=attempts)
+                    stats.respawns += 1
+                    stats.last_error = error
+                    if stats.respawns > max_worker_respawns:
+                        stats.failed = True
+                        work.complete(task, failure)
+                        return
+                    execute = rebuild(stats)
+                    if execute is None:
+                        work.complete(task, failure)
+                        return
+                if attempts > max_task_retries:
+                    outcome = failure
+                    break
+                stats.retries += 1
             work.complete(task, outcome)
 
-    threads = [threading.Thread(target=loop, daemon=True) for _ in range(nworkers)]
+    threads = [
+        threading.Thread(target=loop, args=(stats,), daemon=True)
+        for stats in stats_list
+    ]
     work.shutdown(nworkers)  # sentinels queued *after* real tasks: FIFO drains first
     for thread in threads:
         thread.start()
     for thread in threads:
         thread.join()
+
+    # Pool-exhaustion containment: workers that died without draining the
+    # queue leave unclaimed tasks behind.  Record a TaskFailure for each
+    # so callers see one result per task instead of a missing key.
+    boot_error = next(
+        (s.last_error for s in stats_list if s.failed and s.last_error), None
+    )
+    while True:
+        task = work.get(timeout=0.001)
+        if task is TIMED_OUT:
+            break
+        if task is None:
+            continue
+        if not work.has_result(task.task_id):
+            error = RuntimeError(
+                f"worker pool exhausted before task {task.task_id} ran"
+            )
+            error.__cause__ = boot_error
+            work.complete(task, TaskFailure(task.task_id, error, attempts=0))
+
+    work.worker_stats = stats_list
     return work.results

@@ -79,10 +79,12 @@ def render_throughput(
     table (193.8/min for Snowboard): per campaign, wall-clock trial
     throughput, mean snapshot pages copied back per trial (the reset
     cost dirty-page tracking shrinks), the fraction of wall time spent
-    restoring, and parallel task failures.
+    restoring, and the fleet health counters (task failures, task
+    retries, worker respawns).
     """
     header = [
-        "Method", "Workers", "Trials", "Exec/min", "Pages/trial", "Restore", "Failures",
+        "Method", "Workers", "Trials", "Exec/min", "Pages/trial", "Restore",
+        "Failures", "Retries", "Respawns",
     ]
     rows = []
     for campaign in campaigns:
@@ -95,6 +97,8 @@ def render_throughput(
                 f"{campaign.pages_per_trial:.1f}",
                 f"{campaign.restore_fraction:.1%}",
                 str(campaign.task_failures),
+                str(campaign.task_retries),
+                str(campaign.worker_respawns),
             ]
         )
     return _render(header, rows, markdown)

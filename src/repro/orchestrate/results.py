@@ -12,7 +12,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.detect.catalog import BUG_CATALOG, match_observations
-from repro.detect.report import BugObservation
+from repro.detect.report import (
+    BugObservation,
+    observation_from_obj,
+    observation_to_obj,
+)
+from repro.orchestrate.queue import WorkerStats
 
 
 @dataclass
@@ -23,6 +28,37 @@ class ObservationRecord:
     test_index: int  # how many concurrent tests had been executed
     trial: int  # trial number within that test
     bug_id: str = "unmatched"
+
+
+def record_to_obj(record: ObservationRecord) -> Dict:
+    """A JSON-ready representation of one record (checkpoint use)."""
+    return {
+        "observation": observation_to_obj(record.observation),
+        "test_index": record.test_index,
+        "trial": record.trial,
+    }
+
+
+def record_from_obj(obj: Dict) -> ObservationRecord:
+    """Rebuild a record from :func:`record_to_obj` output (bug ids are
+    re-derived by the next :meth:`CampaignResult._match_records` pass)."""
+    return ObservationRecord(
+        observation=observation_from_obj(obj["observation"]),
+        test_index=int(obj["test_index"]),
+        trial=int(obj["trial"]),
+    )
+
+
+#: The CampaignResult counters a checkpoint journal snapshots per task.
+COUNTER_FIELDS = (
+    "tested_pmcs",
+    "trials",
+    "instructions",
+    "exercised_pmcs",
+    "task_failures",
+    "pages_restored",
+    "restore_seconds",
+)
 
 
 @dataclass
@@ -39,6 +75,9 @@ class CampaignResult:
     # -- throughput bookkeeping (the §5.4 executions/minute story) --------
     workers: int = 1  # Stage-4 worker count (1 = serial execution)
     task_failures: int = 0  # parallel tasks that crashed (not merged)
+    task_retries: int = 0  # failed task attempts that were re-executed
+    worker_respawns: int = 0  # worker reboots (factory crash / BaseException)
+    worker_stats: List[WorkerStats] = field(default_factory=list, repr=False)
     pages_restored: int = 0  # snapshot pages copied back across all trials
     restore_seconds: float = 0.0  # wall time spent in snapshot restore
     wall_seconds: float = 0.0  # wall time of the whole Stage-4 execution
@@ -59,6 +98,29 @@ class CampaignResult:
         if fresh:
             self._match_records()
         return fresh
+
+    # -- checkpoint restore (orchestrate.persistence journal replay) ---------
+
+    def counters(self) -> Dict[str, object]:
+        """Snapshot of the journalled counters (see COUNTER_FIELDS)."""
+        return {name: getattr(self, name) for name in COUNTER_FIELDS}
+
+    def restore_counters(self, counters: Dict[str, object]) -> None:
+        """Overwrite the journalled counters from a checkpoint snapshot."""
+        for name in COUNTER_FIELDS:
+            if name in counters:
+                setattr(self, name, type(getattr(self, name))(counters[name]))
+
+    def restore_records(self, records: List[ObservationRecord]) -> None:
+        """Re-adopt checkpointed observation records (dedup keys included),
+        then re-derive bug ids — the journal does not trust stored ids."""
+        for record in records:
+            if record.observation.key in self._seen_keys:
+                continue
+            self._seen_keys.add(record.observation.key)
+            self.records.append(record)
+        if self.records:
+            self._match_records()
 
     def _match_records(self) -> None:
         grouped = match_observations([r.observation for r in self.records])
@@ -130,7 +192,15 @@ class CampaignResult:
             "pages_per_trial": round(self.pages_per_trial, 2),
             "restore_fraction": round(self.restore_fraction, 4),
             "task_failures": self.task_failures,
+            "task_retries": self.task_retries,
+            "worker_respawns": self.worker_respawns,
         }
+
+    def adopt_worker_stats(self, stats: List[WorkerStats]) -> None:
+        """Fold one fleet run's per-worker stats into the campaign."""
+        self.worker_stats.extend(stats)
+        self.task_retries += sum(s.retries for s in stats)
+        self.worker_respawns += sum(s.respawns for s in stats)
 
     def table_row(self) -> str:
         """One Table 3-style row."""

@@ -114,6 +114,100 @@ class TestWorkQueue:
         assert sum(isinstance(r, TaskFailure) for r in results.values()) == 4
 
 
+class TestWorkerFaultTolerance:
+    def test_task_retry_recovers_transient_failure(self):
+        attempts = {}
+
+        def factory():
+            def execute(payload):
+                attempts[payload] = attempts.get(payload, 0) + 1
+                if attempts[payload] == 1:
+                    raise RuntimeError("transient")
+                return payload * 10
+
+            return execute
+
+        work = WorkQueue()
+        for i in range(4):
+            work.put(i)
+        results = run_workers(work, factory, nworkers=2, max_task_retries=1)
+        assert results == {i: i * 10 for i in range(4)}
+        assert sum(s.retries for s in work.worker_stats) == 4
+        assert all(not s.failed for s in work.worker_stats)
+
+    def test_retry_budget_exhausted_records_attempts(self):
+        def factory():
+            def execute(payload):
+                raise RuntimeError("deterministic crash")
+
+            return execute
+
+        work = WorkQueue()
+        work.put("x")
+        results = run_workers(work, factory, nworkers=1, max_task_retries=2)
+        failure = results[0]
+        assert isinstance(failure, TaskFailure)
+        assert failure.attempts == 3  # 1 initial + 2 retries
+        assert sum(s.retries for s in work.worker_stats) == 2
+
+    def test_base_exception_respawns_worker_and_retries(self):
+        class WorkerDeath(BaseException):
+            """Not an Exception: kills the worker, not just the task."""
+
+        built = []
+        state = {"killed": False}
+
+        def factory():
+            built.append(1)
+
+            def execute(payload):
+                if payload == "bomb" and not state["killed"]:
+                    state["killed"] = True
+                    raise WorkerDeath()
+                return payload
+
+            return execute
+
+        work = WorkQueue()
+        work.put("ok")
+        work.put("bomb")
+        results = run_workers(
+            work, factory, nworkers=1, max_task_retries=1, max_worker_respawns=2
+        )
+        assert results == {0: "ok", 1: "bomb"}  # retried on the respawn
+        assert len(built) == 2  # original boot + one respawn
+        stats = work.worker_stats[0]
+        assert stats.respawns == 1
+        assert stats.retries == 1
+        assert not stats.failed
+
+    def test_all_factories_crash_drains_every_task(self):
+        def factory():
+            raise RuntimeError("kernel boot failed")
+
+        work = WorkQueue()
+        for i in range(6):
+            work.put(i)
+        results = run_workers(work, factory, nworkers=3, max_worker_respawns=1)
+        assert len(results) == 6  # no missing keys, no hang
+        for i in range(6):
+            failure = results[i]
+            assert isinstance(failure, TaskFailure)
+            assert failure.attempts == 0  # never ran
+            assert "worker pool exhausted" in str(failure.error)
+        assert all(s.failed for s in work.worker_stats)
+        assert all(s.respawns == 2 for s in work.worker_stats)  # 1 + 1 respawn
+
+    def test_worker_stats_count_tasks_done(self):
+        work = WorkQueue()
+        for i in range(10):
+            work.put(i)
+        run_workers(work, lambda: (lambda x: x), nworkers=3)
+        assert sum(s.tasks_done for s in work.worker_stats) == 10
+        assert sum(s.retries for s in work.worker_stats) == 0
+        assert sum(s.respawns for s in work.worker_stats) == 0
+
+
 class TestCampaignResult:
     def _result_with_console(self, line):
         result = ExecutionResult()
@@ -157,6 +251,58 @@ class TestCampaignResult:
         summary = campaign.summary()
         assert summary["strategy"] == "S-CH"
         assert summary["bugs"] == {}
+
+
+class TestObservationSerialisation:
+    def _roundtrip(self, obs):
+        import json
+
+        from repro.detect.report import observation_from_obj, observation_to_obj
+        from repro.orchestrate.results import (
+            ObservationRecord,
+            record_from_obj,
+            record_to_obj,
+        )
+
+        obj = observation_to_obj(obs)
+        assert json.loads(json.dumps(obj)) == obj  # JSON-safe
+        restored = observation_from_obj(obj)
+        assert restored == obs
+        assert restored.key == obs.key
+        record = ObservationRecord(observation=obs, test_index=3, trial=2)
+        back = record_from_obj(record_to_obj(record))
+        assert back.observation == obs
+        assert back.test_index == 3 and back.trial == 2
+
+    def test_race_observation_roundtrip(self):
+        from repro.detect.datarace import RaceReport
+        from repro.detect.report import BugObservation
+
+        race = RaceReport(
+            ins_a="net.py:ioctl_set_mac:3",
+            ins_b="net.py:ioctl_get_mac:1",
+            type_a="write",
+            type_b="read",
+            addr=0x1000,
+            size=8,
+            value_a=0xAB,
+            value_b=0xCD,
+            thread_a=0,
+            thread_b=1,
+        )
+        self._roundtrip(BugObservation(kind="race", race=race))
+
+    def test_console_observation_roundtrip(self):
+        from repro.detect.console import ConsoleFinding
+        from repro.detect.report import BugObservation
+
+        finding = ConsoleFinding(kind="panic", line="BUG: NULL deref at rht_ptr")
+        self._roundtrip(BugObservation(kind="console", console=finding))
+
+    def test_deadlock_observation_roundtrip(self):
+        from repro.detect.report import BugObservation
+
+        self._roundtrip(BugObservation(kind="deadlock", detail="all threads stuck"))
 
 
 @pytest.fixture(scope="module")

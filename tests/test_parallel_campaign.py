@@ -89,6 +89,96 @@ class TestFailureSurfacing:
         # later finds stay aligned with a serial run.
         assert campaign.tested_pmcs == 4
         assert campaign.summary()["task_failures"] == 1
+        # The deterministic crash was retried before being given up on.
+        assert campaign.task_retries >= 1
+
+    def test_all_factories_crash_campaign_terminates(self, monkeypatch):
+        """Every worker boot fails: the campaign must complete cleanly
+        with one task failure per test — no hang, no TypeError from the
+        merge loop iterating a missing result."""
+        sb = Snowboard(CONFIG).prepare()
+
+        def broken_factory(self):
+            def factory():
+                raise RuntimeError("VM refused to boot")
+
+            return factory
+
+        monkeypatch.setattr(Snowboard, "_stage4_worker_factory", broken_factory)
+        campaign = sb.run_campaign("S-INS-PAIR", test_budget=5, workers=3)
+        assert campaign.task_failures == 5
+        assert campaign.tested_pmcs == 5
+        assert campaign.bugs_found() == {}
+        assert campaign.worker_respawns > 0
+        assert campaign.summary()["task_failures"] == 5
+
+    def test_transient_worker_death_is_contained(self, monkeypatch):
+        """A worker dying mid-task (BaseException) is respawned and the
+        task re-executed deterministically — the campaign result is
+        bit-identical to an undisturbed serial run."""
+        serial = Snowboard(CONFIG).prepare().run_campaign(
+            "S-INS-PAIR", test_budget=4
+        )
+
+        class WorkerDeath(BaseException):
+            pass
+
+        sb = Snowboard(CONFIG).prepare()
+        original = Snowboard._run_test_trials
+        state = {"killed": False}
+
+        def dying(self, executor, task: Stage4Task):
+            if task.task_id == 2 and not state["killed"]:
+                state["killed"] = True
+                raise WorkerDeath()
+            return original(self, executor, task)
+
+        monkeypatch.setattr(Snowboard, "_run_test_trials", dying)
+        campaign = sb.run_campaign("S-INS-PAIR", test_budget=4, workers=2)
+        assert campaign.task_failures == 0
+        assert campaign.worker_respawns == 1
+        assert campaign.task_retries == 1
+        assert campaign.summary() == serial.summary()
+
+    def test_missing_result_treated_as_task_failure(self):
+        """A result dict without an entry for a task (dead worker pool
+        edge) must count as a failure, not crash the merge."""
+        sb = Snowboard(CONFIG).prepare()
+        tests, _ = sb.generate_tests("S-INS-PAIR", limit=2)
+        from repro.orchestrate.results import CampaignResult
+
+        campaign = CampaignResult(strategy="t", workers=2)
+        import repro.orchestrate.pipeline as pipeline_mod
+
+        def no_results(work, factory, nworkers, **kwargs):
+            return {}  # simulate: nothing ever completed
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(pipeline_mod, "run_workers", no_results)
+            sb.execute_tests_parallel(tests[:2], campaign, workers=2)
+        assert campaign.task_failures == 2
+        assert campaign.tested_pmcs == 2
+
+
+class TestIncidentalAdoptionParallel:
+    def test_parallel_matches_serial_with_incidental_adoption(self):
+        """adopt_incidental_pmcs shares the pair index across worker
+        threads; it is precomputed before the fleet spawns, so parallel
+        campaigns stay bit-identical to serial ones."""
+        config = SnowboardConfig(
+            seed=7,
+            corpus_budget=100,
+            trials_per_pmc=6,
+            max_instructions=40_000,
+            adopt_incidental_pmcs=True,
+        )
+        serial = Snowboard(config).prepare().run_campaign(
+            "S-INS-PAIR", test_budget=6
+        )
+        sb = Snowboard(config).prepare()
+        parallel = sb.run_campaign("S-INS-PAIR", test_budget=6, workers=3)
+        assert sb._pair_index is not None  # precomputed, not lazily raced
+        assert parallel.summary() == serial.summary()
 
 
 class TestWorkerIsolation:

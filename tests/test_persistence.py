@@ -108,6 +108,90 @@ class TestReproPackage:
         assert restored.bug_id == "SB11"
 
 
+@pytest.fixture(scope="module")
+def race_package():
+    """A reproduction package for a pure data-race bug (SB09): no panic,
+    no console transcript — exactly the package shape that used to
+    replay vacuously because no oracle ran during ``reproduce``."""
+    from repro.detect.catalog import match_observations
+    from repro.detect.datarace import RaceDetector
+    from repro.detect.report import observe
+    from repro.sched.random_sched import RandomScheduler
+
+    kernel, snapshot = boot_kernel()
+    executor = Executor(kernel, snapshot)
+    writer = prog(Call("socket", (0,)), Call("ioctl", (Res(0), 4, 0xFFEEDDCCBBAA)))
+    reader = prog(Call("socket", (0,)), Call("ioctl", (Res(0), 5, 0)))
+    for seed in range(200):
+        scheduler = RandomScheduler(seed=seed, switch_probability=0.5)
+        scheduler.begin_trial(0)
+        result = executor.run_concurrent(
+            [writer, reader], scheduler=scheduler, race_detector=RaceDetector()
+        )
+        if result.panicked or result.console:
+            continue
+        if "SB09" in match_observations(observe(result)):
+            return executor, capture_package("SB09", writer, reader, result)
+    pytest.fail("no SB09 race surfaced to package")
+
+
+class TestRacePackageReplay:
+    def test_pure_race_package_has_no_transcript_expectations(self, race_package):
+        _, package = race_package
+        assert package.expected_panic == ""
+        assert package.expected_console == []
+
+    def test_replay_on_buggy_kernel_validates_the_race(self, race_package):
+        from repro.detect.report import observe
+
+        executor, package = race_package
+        replayed = reproduce(executor, package)
+        # The race detector ran during replay and re-observed the bug.
+        assert any(obs.kind == "race" for obs in observe(replayed))
+
+    def test_replay_on_fresh_buggy_kernel(self, race_package):
+        _, package = race_package
+        kernel, snapshot = boot_kernel()
+        reproduce(Executor(kernel, snapshot), package)  # must not raise
+
+    def test_replay_on_fixed_kernel_raises(self, race_package):
+        """On the patched kernel the race is gone — replay must fail
+        loudly instead of vacuously passing."""
+        _, package = race_package
+        kernel, snapshot = boot_kernel(fixed=True)
+        with pytest.raises(AssertionError, match="SB09"):
+            reproduce(Executor(kernel, snapshot), package)
+
+    def test_uncatalogued_package_without_any_oracle_raises(self):
+        """No expectations, no catalog match, no observation: the replay
+        proves nothing and must say so."""
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        benign = prog()  # touches nothing: replay observes nothing
+        package = ReproPackage(
+            bug_id="custom-unfiled",
+            writer=benign,
+            reader=benign,
+            switch_points=[],
+        )
+        with pytest.raises(AssertionError, match="no oracle observation"):
+            reproduce(executor, package)
+
+    def test_verify_bug_id_opt_out(self):
+        """verify_bug_id=False restores the transcript-only contract for
+        callers replaying deliberately perturbed packages."""
+        kernel, snapshot = boot_kernel()
+        executor = Executor(kernel, snapshot)
+        benign = prog()
+        package = ReproPackage(
+            bug_id="custom-unfiled",
+            writer=benign,
+            reader=benign,
+            switch_points=[],
+        )
+        reproduce(executor, package, verify_bug_id=False)  # must not raise
+
+
 class TestPipelineCapturesPackages:
     def test_campaign_produces_replayable_packages(self):
         config = SnowboardConfig(seed=7, corpus_budget=120, trials_per_pmc=10)
