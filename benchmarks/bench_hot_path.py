@@ -1,0 +1,132 @@
+"""Experiment — interpreter hot-path throughput (the §5.4 lever).
+
+Every Snowboard stage is a multiplier over per-instruction executor
+cost: ~130k sequential profiles and millions of concurrent trials all
+funnel through the same interpreter loop (Figure 2), and the paper's
+own bottleneck analysis is executions/minute (§5.4, 193.8 exec/min).
+This bench measures the three throughputs that loop determines:
+
+* sequential profiling instructions/s (Stage 1, no scheduler/detector),
+* concurrent trial instructions/s (Stage 4, scheduler + race detector),
+* end-to-end executions/min on a fixed campaign.
+
+Results are appended to ``BENCH_hot_path.json`` at the repo root — the
+perf trajectory record ``scripts/bench_gate.py`` gates regressions
+against.  The measurement helpers here are imported by the gate script,
+so bench and gate can never drift apart.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import time
+from typing import Dict, Optional
+
+from repro.orchestrate.pipeline import Snowboard, SnowboardConfig
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_hot_path.json")
+
+# Quick mode: small corpus, small campaign — seconds, for the CI gate.
+QUICK_CONFIG = SnowboardConfig(seed=7, corpus_budget=120, trials_per_pmc=8)
+QUICK_PARAMS = dict(seq_reps=6, test_budget=10, trials=8)
+
+# Full mode: the shared bench-session configuration (conftest.py).
+FULL_PARAMS = dict(seq_reps=10, test_budget=24, trials=16)
+
+
+def measure_hot_path(
+    snowboard: Snowboard, seq_reps: int, test_budget: int, trials: int
+) -> Dict[str, object]:
+    """Measure the three hot-path throughputs on a prepared instance.
+
+    The workload is fully deterministic (fixed seeds); only the
+    wall-clock figures vary run to run.
+    """
+    snowboard.prepare()
+    executor = snowboard.executor
+    programs = [entry.program for entry in snowboard.corpus]
+
+    # -- sequential profiling throughput (Stage 1's inner loop) ----------
+    start = time.perf_counter()
+    seq_instructions = 0
+    for _ in range(seq_reps):
+        for program in programs:
+            result = executor.run_sequential(program)
+            seq_instructions += result.instructions
+    seq_wall = time.perf_counter() - start
+
+    # -- concurrent trial throughput (Stage 4's inner loop) --------------
+    campaign = snowboard.run_campaign(
+        "S-INS-PAIR", test_budget=test_budget, trials=trials
+    )
+
+    return {
+        "sequential_instructions": seq_instructions,
+        "sequential_wall_seconds": round(seq_wall, 4),
+        "sequential_ips": round(seq_instructions / seq_wall, 1),
+        "concurrent_instructions": campaign.instructions,
+        "concurrent_wall_seconds": round(campaign.wall_seconds, 4),
+        "concurrent_ips": round(campaign.instructions / campaign.wall_seconds, 1),
+        "executions_per_min": round(campaign.executions_per_minute, 1),
+        "campaign_trials": campaign.trials,
+        "campaign_summary": campaign.summary(),
+    }
+
+
+#: The figures the regression gate compares (higher is better).
+THROUGHPUT_KEYS = ("sequential_ips", "concurrent_ips", "executions_per_min")
+
+
+def load_results(path: str = RESULTS_PATH) -> Dict[str, object]:
+    """The accumulated perf trajectory ({"baseline": {...}, "records": [...]})."""
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    return {"baseline": {}, "records": []}
+
+
+def append_record(
+    record: Dict[str, object],
+    mode: str,
+    label: str,
+    path: str = RESULTS_PATH,
+    set_baseline: bool = False,
+    date: Optional[str] = None,
+) -> Dict[str, object]:
+    """Append one dated record to the trajectory file.
+
+    ``mode`` ("quick" or "full") namespaces the baseline: the gate only
+    compares records measured under the same workload.  The first record
+    of a mode (or ``set_baseline=True``) becomes that mode's baseline.
+    """
+    results = load_results(path)
+    entry = dict(record)
+    entry["mode"] = mode
+    entry["label"] = label
+    entry["date"] = date or datetime.date.today().isoformat()
+    results.setdefault("records", []).append(entry)
+    baselines = results.setdefault("baseline", {})
+    if set_baseline or mode not in baselines:
+        baselines[mode] = entry
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return entry
+
+
+def test_hot_path_throughput(snowboard):
+    """Measure and record the full-mode hot-path throughput."""
+    record = measure_hot_path(snowboard, **FULL_PARAMS)
+    append_record(record, mode="full", label="bench_hot_path")
+    print(
+        f"\nsequential: {record['sequential_ips']:,.0f} instr/s  "
+        f"concurrent: {record['concurrent_ips']:,.0f} instr/s  "
+        f"campaign: {record['executions_per_min']:,.0f} exec/min"
+    )
+    # Sanity floor, not a perf assertion (the gate owns regressions):
+    # the workload must actually have executed.
+    assert record["sequential_instructions"] > 0
+    assert record["campaign_trials"] > 0

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the interpreter hot path.
+
+Runs the quick-mode hot-path workload (``benchmarks/bench_hot_path.py``
+with the small CI configuration), appends the dated record to the
+``BENCH_hot_path.json`` trajectory at the repo root, and fails when any
+gated throughput drops more than :data:`TOLERANCE` below the stored
+quick-mode baseline.
+
+The tolerance is deliberately loose (20%): wall-clock noise on shared CI
+machines is real, and the gate exists to catch the "someone put an
+allocation back in the per-instruction loop" class of regression — a
+2x cliff, not a 2% wobble.  The baseline is only rewritten explicitly
+(``--set-baseline``), so a slow creep across many PRs still trips it.
+
+Usage:
+    python scripts/bench_gate.py [--label TEXT] [--set-baseline] [--dry-run]
+
+Opt into it from CI with ``PERF=1 scripts/ci.sh``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+
+from bench_hot_path import (  # noqa: E402  (path setup above)
+    QUICK_CONFIG,
+    QUICK_PARAMS,
+    RESULTS_PATH,
+    THROUGHPUT_KEYS,
+    append_record,
+    load_results,
+    measure_hot_path,
+)
+from repro.orchestrate.pipeline import Snowboard  # noqa: E402
+
+# A gated metric may fall at most this fraction below the baseline.
+TOLERANCE = 0.20
+MODE = "quick"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--label", default="bench_gate", help="label stored with the record"
+    )
+    parser.add_argument(
+        "--set-baseline",
+        action="store_true",
+        help="make this run the new quick-mode baseline",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="measure and compare, but do not write the trajectory file",
+    )
+    args = parser.parse_args(argv)
+
+    record = measure_hot_path(Snowboard(QUICK_CONFIG), **QUICK_PARAMS)
+    baseline = load_results().get("baseline", {}).get(MODE)
+    if not args.dry_run:
+        append_record(
+            record,
+            mode=MODE,
+            label=args.label,
+            set_baseline=args.set_baseline,
+        )
+
+    if baseline is None or args.set_baseline:
+        print(f"bench_gate: baseline established at {RESULTS_PATH}")
+        for key in THROUGHPUT_KEYS:
+            print(f"  {key:>20}: {record[key]:>12,.1f}")
+        return 0
+
+    failed = False
+    print(f"bench_gate: comparing against {MODE} baseline ({baseline['label']!r})")
+    for key in THROUGHPUT_KEYS:
+        now, then = record[key], baseline[key]
+        ratio = now / then if then else float("inf")
+        status = "ok"
+        if ratio < 1.0 - TOLERANCE:
+            status = "REGRESSION"
+            failed = True
+        print(f"  {key:>20}: {now:>12,.1f} vs {then:>12,.1f}  ({ratio:5.2f}x) {status}")
+    if failed:
+        print(
+            f"bench_gate: FAILED — throughput fell more than "
+            f"{TOLERANCE:.0%} below the stored baseline"
+        )
+        return 1
+    print("bench_gate: green")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,4 +21,12 @@ python -m pytest -x -q
 echo "== tier-1 under -O (assert-stripped invariant check) =="
 python -O -m pytest -x -q
 
-echo "ci: both passes green"
+# Opt-in perf gate: PERF=1 scripts/ci.sh also runs the quick-mode
+# hot-path benchmark and fails on a >20% throughput regression against
+# the baseline recorded in BENCH_hot_path.json.
+if [[ "${PERF:-0}" == "1" ]]; then
+    echo "== perf gate: scripts/bench_gate.py (quick mode) =="
+    python scripts/bench_gate.py
+fi
+
+echo "ci: all passes green"

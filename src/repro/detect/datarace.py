@@ -90,12 +90,21 @@ class RaceDetector:
     # -- events ------------------------------------------------------------------
 
     def on_access(self, access: MemoryAccess, atomic: bool = False) -> None:
-        """Process one traced (non-stack) memory access."""
+        """Process one traced (non-stack) memory access.
+
+        Check and record are fused into one pass over the byte range —
+        every byte key is distinct, so recording byte ``b`` can never
+        influence the check of byte ``b' != b`` within the same access,
+        and report order is unchanged.  One shared :class:`_Epoch` is
+        recorded for all bytes (it is immutable), instead of one
+        allocation per byte.
+        """
         t = access.thread
         clock = self._clock[t]
+        is_write = access.is_write
 
         if atomic:
-            if access.is_write:
+            if is_write:
                 self._release_clock[access.addr] = self._joined(
                     self._release_clock.get(access.addr), clock
                 )
@@ -104,10 +113,27 @@ class RaceDetector:
                 if rel is not None:
                     self._join_into(clock, rel)
 
+        last_write = self._last_write
+        last_read = self._last_read
+        races = self._races
+        epoch = _Epoch(t, clock[t], access, atomic)
         for byte in range(access.addr, access.end):
-            self._check_byte(byte, access, atomic)
-        for byte in range(access.addr, access.end):
-            self._record_byte(byte, access, atomic)
+            prev_write = last_write.get(byte)
+            if prev_write is not None and races(prev_write, t, clock, atomic):
+                self._report(prev_write.access, access)
+            if is_write:
+                readers = last_read.get(byte)
+                if readers is not None:
+                    for reader in readers.values():
+                        if races(reader, t, clock, atomic):
+                            self._report(reader.access, access)
+                    del last_read[byte]
+                last_write[byte] = epoch
+            else:
+                readers = last_read.get(byte)
+                if readers is None:
+                    readers = last_read[byte] = {}
+                readers[t] = epoch
 
         clock[t] += 1
 
@@ -133,28 +159,6 @@ class RaceDetector:
         return list(self._reports)
 
     # -- internals -----------------------------------------------------------------
-
-    def _check_byte(self, byte: int, access: MemoryAccess, atomic: bool) -> None:
-        t = access.thread
-        clock = self._clock[t]
-
-        last_write = self._last_write.get(byte)
-        if last_write is not None and self._races(last_write, t, clock, atomic):
-            self._report(last_write.access, access)
-
-        if access.is_write:
-            for reader in self._last_read.get(byte, {}).values():
-                if self._races(reader, t, clock, atomic):
-                    self._report(reader.access, access)
-
-    def _record_byte(self, byte: int, access: MemoryAccess, atomic: bool) -> None:
-        t = access.thread
-        epoch = _Epoch(t, self._clock[t][t], access, atomic)
-        if access.is_write:
-            self._last_write[byte] = epoch
-            self._last_read.pop(byte, None)
-        else:
-            self._last_read.setdefault(byte, {})[t] = epoch
 
     def _races(self, prev: _Epoch, thread: int, clock: List[int], atomic: bool) -> bool:
         if prev.thread == thread:

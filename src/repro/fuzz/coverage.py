@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Tuple
 
-from repro.machine.accesses import MemoryAccess
+from repro.machine.accesses import MemoryAccess, iter_access_fields
 
 Edge = Tuple[str, str]
 
@@ -20,14 +20,17 @@ def edge_coverage(accesses: Iterable[MemoryAccess], thread: int = 0) -> FrozenSe
     """Edges (consecutive instruction-address pairs) of one thread's trace.
 
     Stack accesses are included on purpose: coverage is a control-flow
-    notion, unlike the shared-memory profile used for PMCs.
+    notion, unlike the shared-memory profile used for PMCs.  Consumes
+    the trace columnar (only thread and instruction address are read).
     """
     edges = set()
     prev = None
-    for access in accesses:
-        if access.thread != thread:
+    for _seq, t, _type, _addr, _size, _value, ins, _stack in iter_access_fields(
+        accesses
+    ):
+        if t != thread:
             continue
-        if prev is not None and prev != access.ins:
-            edges.add((prev, access.ins))
-        prev = access.ins
+        if prev is not None and prev != ins:
+            edges.add((prev, ins))
+        prev = ins
     return frozenset(edges)

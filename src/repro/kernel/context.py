@@ -21,6 +21,18 @@ from repro.kernel.ops import CasOp, MemOp, PanicOp, PauseOp, PrintkOp
 
 WORD = 8  # native pointer/word size of the mini-kernel, in bytes
 
+# Hot-path constants: _ins() runs once per interpreted instruction, so
+# the enum members, the frame accessor, and the per-code-object address
+# prefix are all resolved once instead of per access.
+_READ = AccessType.READ
+_WRITE = AccessType.WRITE
+_getframe = sys._getframe
+
+# code object -> "file.py:qualified_function:" prefix.  Code objects are
+# immutable and live for the process, so the basename + qualname half of
+# the instruction address never changes; only the line number does.
+_INS_PREFIX: dict = {}
+
 
 def _ins(depth: int) -> str:
     """Instruction address of the kernel code frame ``depth`` levels up.
@@ -30,9 +42,14 @@ def _ins(depth: int) -> str:
     runtime, and qualified so bug matchers can key on function names the
     way kernel oops reports name symbols.
     """
-    frame = sys._getframe(depth)
+    frame = _getframe(depth)
     code = frame.f_code
-    return f"{os.path.basename(code.co_filename)}:{code.co_qualname}:{frame.f_lineno}"
+    prefix = _INS_PREFIX.get(code)
+    if prefix is None:
+        prefix = _INS_PREFIX[code] = (
+            f"{os.path.basename(code.co_filename)}:{code.co_qualname}:"
+        )
+    return prefix + str(frame.f_lineno)
 
 
 class KernelContext:
@@ -59,25 +76,25 @@ class KernelContext:
         self, addr: int, size: int, *, atomic: bool = False, _depth: int = 0
     ) -> Generator:
         """Load ``size`` bytes at ``addr``; returns the unsigned value."""
-        value = yield MemOp(AccessType.READ, addr, size, None, _ins(2 + _depth), atomic)
+        value = yield MemOp(_READ, addr, size, None, _ins(2 + _depth), atomic)
         return value
 
     def store(
         self, addr: int, size: int, value: int, *, atomic: bool = False, _depth: int = 0
     ) -> Generator:
         """Store ``value`` as ``size`` little-endian bytes at ``addr``."""
-        yield MemOp(AccessType.WRITE, addr, size, value, _ins(2 + _depth), atomic)
+        yield MemOp(_WRITE, addr, size, value, _ins(2 + _depth), atomic)
 
     def load_word(self, addr: int, *, atomic: bool = False, _depth: int = 0) -> Generator:
         """Load one native word (pointer-sized)."""
-        value = yield MemOp(AccessType.READ, addr, WORD, None, _ins(2 + _depth), atomic)
+        value = yield MemOp(_READ, addr, WORD, None, _ins(2 + _depth), atomic)
         return value
 
     def store_word(
         self, addr: int, value: int, *, atomic: bool = False, _depth: int = 0
     ) -> Generator:
         """Store one native word (pointer-sized)."""
-        yield MemOp(AccessType.WRITE, addr, WORD, value, _ins(2 + _depth), atomic)
+        yield MemOp(_WRITE, addr, WORD, value, _ins(2 + _depth), atomic)
 
     def cas(
         self, addr: int, size: int, expected: int, new: int, *, _depth: int = 0
@@ -94,7 +111,7 @@ class KernelContext:
         """Load struct field ``name`` of the instance at ``base``."""
         f = struct[name]
         value = yield MemOp(
-            AccessType.READ, base + f.offset, f.size, None, _ins(2 + _depth), atomic
+            _READ, base + f.offset, f.size, None, _ins(2 + _depth), atomic
         )
         return value
 
@@ -111,7 +128,7 @@ class KernelContext:
         """Store struct field ``name`` of the instance at ``base``."""
         f = struct[name]
         yield MemOp(
-            AccessType.WRITE, base + f.offset, f.size, value, _ins(2 + _depth), atomic
+            _WRITE, base + f.offset, f.size, value, _ins(2 + _depth), atomic
         )
 
     # -- bulk copies (chunked, so torn reads/writes are possible) -------------
@@ -128,8 +145,8 @@ class KernelContext:
         copied = 0
         while copied < n:
             chunk = _chunk_size(n - copied)
-            value = yield MemOp(AccessType.READ, src + copied, chunk, None, ins, False)
-            yield MemOp(AccessType.WRITE, dst + copied, chunk, value, ins, False)
+            value = yield MemOp(_READ, src + copied, chunk, None, ins, False)
+            yield MemOp(_WRITE, dst + copied, chunk, value, ins, False)
             copied += chunk
 
     def memread(self, src: int, n: int, *, _depth: int = 0) -> Generator:
@@ -139,7 +156,7 @@ class KernelContext:
         copied = 0
         while copied < n:
             chunk = _chunk_size(n - copied)
-            value = yield MemOp(AccessType.READ, src + copied, chunk, None, ins, False)
+            value = yield MemOp(_READ, src + copied, chunk, None, ins, False)
             out |= value << (8 * copied)
             copied += chunk
         return out
@@ -151,7 +168,7 @@ class KernelContext:
         while copied < n:
             chunk = _chunk_size(n - copied)
             part = (value >> (8 * copied)) & ((1 << (8 * chunk)) - 1)
-            yield MemOp(AccessType.WRITE, dst + copied, chunk, part, ins, False)
+            yield MemOp(_WRITE, dst + copied, chunk, part, ins, False)
             copied += chunk
 
     def memset(self, dst: int, byte: int, n: int, *, _depth: int = 0) -> Generator:
@@ -161,7 +178,7 @@ class KernelContext:
         while copied < n:
             chunk = _chunk_size(n - copied)
             value = int.from_bytes(bytes([byte & 0xFF]) * chunk, "little")
-            yield MemOp(AccessType.WRITE, dst + copied, chunk, value, ins, False)
+            yield MemOp(_WRITE, dst + copied, chunk, value, ins, False)
             copied += chunk
 
     # -- kernel stack ----------------------------------------------------------

@@ -7,7 +7,12 @@ stack ranges, and whole-machine snapshots used to restart every test from
 one fixed kernel state.
 """
 
-from repro.machine.accesses import AccessType, MemoryAccess
+from repro.machine.accesses import (
+    AccessTrace,
+    AccessType,
+    MemoryAccess,
+    iter_access_fields,
+)
 from repro.machine.layout import Struct, field
 from repro.machine.machine import (
     KERNEL_STACK_SIZE,
@@ -18,8 +23,10 @@ from repro.machine.memory import Memory, PageFault
 from repro.machine.snapshot import Snapshot
 
 __all__ = [
+    "AccessTrace",
     "AccessType",
     "MemoryAccess",
+    "iter_access_fields",
     "Struct",
     "field",
     "KERNEL_STACK_SIZE",

@@ -59,6 +59,12 @@ class Machine:
         self.memory.map_region(r.globals_base, r.globals_size)
         self.memory.map_region(r.heap_base, r.heap_size)
         self.memory.map_region(r.stacks_base, r.stack_size * r.max_threads)
+        # Precomputed per-thread stack bases: in_stack() runs once per
+        # interpreted instruction, so it must not re-derive the range.
+        self._stack_bases = tuple(
+            r.stacks_base + thread * r.stack_size for thread in range(r.max_threads)
+        )
+        self._stack_size = r.stack_size
 
     def invalidate_restore_tracking(self) -> None:
         """Force the next snapshot restore to be a full copy.
@@ -87,9 +93,16 @@ class Machine:
         return range(base, base + self.regions.stack_size)
 
     def in_stack(self, thread: int, addr: int, size: int = 1) -> bool:
-        """True when ``[addr, addr+size)`` lies in the thread's stack."""
-        rng = self.stack_range(thread)
-        return addr >= rng.start and addr + size <= rng.stop
+        """True when ``[addr, addr+size)`` lies in the thread's stack.
+
+        O(1): one bounds check against the precomputed stack base — this
+        runs for every traced instruction, so it neither re-validates the
+        layout nor allocates a range like :meth:`stack_range` does.
+        """
+        if not 0 <= thread < len(self._stack_bases):
+            raise ValueError(f"thread index {thread} out of range")
+        base = self._stack_bases[thread]
+        return base <= addr and addr + size <= base + self._stack_size
 
     # -- console -----------------------------------------------------------
 

@@ -11,6 +11,16 @@ records the touched page numbers, and :meth:`restore_pages_incremental`
 copies back only those pages.  The executor restores the boot snapshot
 before *every* trial, so this is the per-execution reset cost the paper's
 throughput numbers (section 5.4) hinge on.
+
+Reads and writes are the interpreter's innermost operation — every
+traced kernel instruction funnels through :meth:`read_int` or
+:meth:`write_int` — so both carry a single-page fast path: one dict
+probe plus one slice when the range sits inside one mapped page (the
+overwhelmingly common case for word-sized accesses), falling back to the
+page-walking slow path only for page-straddling or unmapped ranges.
+The fast path is taken *only* when the access is fully mapped, so
+:class:`PageFault` behaviour (and its message) is byte-for-byte that of
+the slow path.
 """
 
 from __future__ import annotations
@@ -19,6 +29,12 @@ from typing import Dict, FrozenSet, Iterator, Set, Tuple
 
 PAGE_SIZE = 4096
 PAGE_MASK = PAGE_SIZE - 1
+PAGE_SHIFT = 12  # PAGE_SIZE == 1 << PAGE_SHIFT
+
+# Precomputed value masks for the fast integer-write path (index = size).
+# Kernel-context accesses are at most one word (8 bytes); larger writes
+# compute their mask inline.
+_INT_MASKS = tuple((1 << (8 * size)) - 1 for size in range(9))
 
 
 class PageFault(Exception):
@@ -76,6 +92,16 @@ class Memory:
 
     def read_bytes(self, addr: int, size: int) -> bytes:
         """Read ``size`` bytes, possibly spanning pages."""
+        if 0 < size:
+            off = addr & PAGE_MASK
+            if off + size <= PAGE_SIZE:
+                page = self._pages.get(addr >> PAGE_SHIFT)
+                if page is not None:
+                    return bytes(page[off : off + size])
+        return self._read_bytes_slow(addr, size)
+
+    def _read_bytes_slow(self, addr: int, size: int) -> bytes:
+        """Page-walking read: straddling ranges and fault detection."""
         self._check(addr, size, write=False)
         out = bytearray()
         pos = addr
@@ -90,6 +116,20 @@ class Memory:
 
     def write_bytes(self, addr: int, data: bytes) -> None:
         """Write ``data``, possibly spanning pages."""
+        size = len(data)
+        if 0 < size:
+            off = addr & PAGE_MASK
+            if off + size <= PAGE_SIZE:
+                number = addr >> PAGE_SHIFT
+                page = self._pages.get(number)
+                if page is not None:
+                    page[off : off + size] = data
+                    self._dirty.add(number)
+                    return
+        self._write_bytes_slow(addr, data)
+
+    def _write_bytes_slow(self, addr: int, data: bytes) -> None:
+        """Page-walking write: straddling ranges and fault detection."""
         self._check(addr, len(data), write=True)
         pos = addr
         offset = 0
@@ -103,11 +143,29 @@ class Memory:
 
     def read_int(self, addr: int, size: int) -> int:
         """Read a little-endian unsigned integer of ``size`` bytes."""
-        return int.from_bytes(self.read_bytes(addr, size), "little")
+        if 0 < size:
+            off = addr & PAGE_MASK
+            if off + size <= PAGE_SIZE:
+                page = self._pages.get(addr >> PAGE_SHIFT)
+                if page is not None:
+                    return int.from_bytes(page[off : off + size], "little")
+        return int.from_bytes(self._read_bytes_slow(addr, size), "little")
 
     def write_int(self, addr: int, size: int, value: int) -> None:
         """Write a little-endian unsigned integer of ``size`` bytes."""
-        self.write_bytes(addr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+        if 0 < size:
+            off = addr & PAGE_MASK
+            if off + size <= PAGE_SIZE:
+                number = addr >> PAGE_SHIFT
+                page = self._pages.get(number)
+                if page is not None:
+                    mask = _INT_MASKS[size] if size <= 8 else (1 << (8 * size)) - 1
+                    page[off : off + size] = (value & mask).to_bytes(size, "little")
+                    self._dirty.add(number)
+                    return
+        self.write_bytes(
+            addr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        )
 
     # -- snapshot support --------------------------------------------------
 

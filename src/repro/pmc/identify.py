@@ -10,7 +10,7 @@ material for concurrent test generation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.machine.accesses import project_value
 from repro.pmc.index import AccessIndex
@@ -25,6 +25,12 @@ class PmcSet:
     pmcs: Dict[PMC, List[Tuple[int, int]]] = field(default_factory=dict)
     overlaps_scanned: int = 0
     profiles: Sequence[TestProfile] = ()
+    # Lazily built test_id -> profile index: profile_by_id is called per
+    # exemplar in the composition/inspection paths, and a linear scan
+    # over all profiles there is quadratic in corpus size.
+    _profile_index: Optional[Dict[int, TestProfile]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.pmcs)
@@ -40,10 +46,17 @@ class PmcSet:
         return list(self.pmcs)
 
     def profile_by_id(self, test_id: int) -> TestProfile:
-        for profile in self.profiles:
-            if profile.test_id == test_id:
-                return profile
-        raise KeyError(test_id)
+        index = self._profile_index
+        if index is None:
+            index = {}
+            for profile in self.profiles:
+                # First profile wins, like the linear scan it replaces.
+                index.setdefault(profile.test_id, profile)
+            self._profile_index = index
+        try:
+            return index[test_id]
+        except KeyError:
+            raise KeyError(test_id) from None
 
 
 def identify_pmcs(profiles: Sequence[TestProfile]) -> PmcSet:

@@ -48,16 +48,24 @@ class _Bucket:
         self.entries: Dict[Tuple[int, str], Dict[int, List[Tuple[ProfiledAccess, int]]]] = {}
 
     def insert(self, access: ProfiledAccess, test_id: int) -> None:
-        slot = self.entries.setdefault((access.size, access.ins), {})
-        slot.setdefault(access.value, []).append((access, test_id))
+        # .get instead of setdefault: setdefault allocates a fresh
+        # default dict/list on every call, hit or miss; this path runs
+        # once per profiled access of every test.
+        entries = self.entries
+        key = (access.size, access.ins)
+        slot = entries.get(key)
+        if slot is None:
+            slot = entries[key] = {}
+        holders = slot.get(access.value)
+        if holders is None:
+            slot[access.value] = [(access, test_id)]
+        else:
+            holders.append((access, test_id))
 
     def iter_entries(self) -> Iterator[Tuple[ProfiledAccess, int]]:
         for by_value in self.entries.values():
             for holders in by_value.values():
                 yield from holders
-
-    def max_size(self) -> int:
-        return max((size for size, _ in self.entries), default=0)
 
 
 class AccessIndex:
@@ -68,12 +76,21 @@ class AccessIndex:
         self._reads: Dict[int, _Bucket] = {}
         self._write_starts: List[int] = []
         self._starts_dirty = False
+        # Running totals, maintained on insert so counts() is O(1)
+        # instead of a full re-iteration of every bucket.
+        self._nwrites = 0
+        self._nreads = 0
 
     # -- construction -------------------------------------------------------
 
     def insert(self, access: ProfiledAccess, test_id: int) -> None:
         """Index one profiled access of one test."""
-        side = self._writes if access.is_write else self._reads
+        if access.is_write:
+            side = self._writes
+            self._nwrites += 1
+        else:
+            side = self._reads
+            self._nreads += 1
         bucket = side.get(access.addr)
         if bucket is None:
             bucket = side[access.addr] = _Bucket()
@@ -120,10 +137,8 @@ class AccessIndex:
     # -- stats -------------------------------------------------------------------
 
     def counts(self) -> Tuple[int, int]:
-        """(number of indexed writes, number of indexed reads)."""
-        writes = sum(1 for b in self._writes.values() for _ in b.iter_entries())
-        reads = sum(1 for b in self._reads.values() for _ in b.iter_entries())
-        return writes, reads
+        """(number of indexed writes, number of indexed reads) — O(1)."""
+        return self._nwrites, self._nreads
 
     def _refresh_starts(self) -> None:
         if self._starts_dirty or len(self._write_starts) != len(self._writes):

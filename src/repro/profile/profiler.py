@@ -9,12 +9,13 @@ that fetch the same region with equal values and no intervening write
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.fuzz.corpus import Corpus
 from repro.fuzz.prog import Program
-from repro.machine.accesses import AccessType, MemoryAccess
+from repro.machine.accesses import AccessType, MemoryAccess, iter_access_fields
 from repro.sched.executor import ExecutionResult, Executor
 
 
@@ -62,54 +63,128 @@ class TestProfile:
         return tuple(a for a in self.accesses if not a.is_write)
 
 
-def _find_df_leaders(accesses: Sequence[MemoryAccess]) -> Set[Tuple]:
+class _DirtyIntervals:
+    """Disjoint, sorted byte intervals — the ``dirty`` set of the
+    double-fetch scan, without per-byte set churn.
+
+    Accesses are at most one word, but a busy profile performs tens of
+    thousands of them; tracking ``[lo, hi)`` intervals keeps each write
+    (add), read (subtract) and leader check (overlaps) logarithmic in
+    the number of live intervals instead of linear in touched bytes.
+    """
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+
+    def add(self, lo: int, hi: int) -> None:
+        """Mark ``[lo, hi)`` dirty, merging adjacent/overlapping spans."""
+        starts, ends = self._starts, self._ends
+        i = bisect_right(starts, lo)
+        if i and ends[i - 1] >= lo:
+            i -= 1
+            lo = starts[i]
+        j = i
+        n = len(starts)
+        while j < n and starts[j] <= hi:
+            if ends[j] > hi:
+                hi = ends[j]
+            j += 1
+        starts[i:j] = [lo]
+        ends[i:j] = [hi]
+
+    def subtract(self, lo: int, hi: int) -> None:
+        """Clear ``[lo, hi)``, trimming or splitting covering spans."""
+        starts, ends = self._starts, self._ends
+        i = bisect_right(starts, lo) - 1
+        if i < 0 or ends[i] <= lo:
+            i += 1
+        j = i
+        n = len(starts)
+        keep_starts: List[int] = []
+        keep_ends: List[int] = []
+        while j < n and starts[j] < hi:
+            if starts[j] < lo:
+                keep_starts.append(starts[j])
+                keep_ends.append(lo)
+            if ends[j] > hi:
+                keep_starts.append(hi)
+                keep_ends.append(ends[j])
+            j += 1
+        starts[i:j] = keep_starts
+        ends[i:j] = keep_ends
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """True when any byte of ``[lo, hi)`` is dirty."""
+        starts, ends = self._starts, self._ends
+        i = bisect_right(starts, lo) - 1
+        if i >= 0 and ends[i] > lo:
+            return True
+        i += 1
+        return i < len(starts) and starts[i] < hi
+
+
+def _find_df_leaders(accesses) -> Set[Tuple]:
     """Keys of read accesses that lead a double fetch.
 
     A read leads a double fetch when a later read by a *different*
     instruction covers the same range, returns the same value, and no
-    write touched any byte of the range in between.
+    write touched any byte of the range in between.  Consumes the trace
+    columnar — no record objects are materialised.
     """
     leaders: Set[Tuple] = set()
     # Per exact range: the previous read (ins, value, access key).
     last_read: Dict[Tuple[int, int], Tuple[str, int, Tuple]] = {}
-    dirty: Set[int] = set()  # bytes written since each range's last read
+    dirty = _DirtyIntervals()  # byte spans written since each range's last read
+    READ = AccessType.READ
+    WRITE = AccessType.WRITE
 
-    for access in accesses:
-        if access.is_stack:
+    for _seq, _thread, type_, addr, size, value, ins, is_stack in iter_access_fields(
+        accesses
+    ):
+        if is_stack:
             continue
-        span = (access.addr, access.size)
-        if access.is_write:
-            dirty.update(range(access.addr, access.end))
+        end = addr + size
+        if type_ is WRITE:
+            dirty.add(addr, end)
             continue
+        span = (addr, size)
         prev = last_read.get(span)
         if prev is not None:
             prev_ins, prev_value, prev_key = prev
-            untouched = not any(b in dirty for b in range(access.addr, access.end))
-            if prev_ins != access.ins and prev_value == access.value and untouched:
+            if prev_ins != ins and prev_value == value and not dirty.overlaps(addr, end):
                 leaders.add(prev_key)
-        key = (AccessType.READ, access.addr, access.size, access.value, access.ins)
-        last_read[span] = (access.ins, access.value, key)
-        for byte in range(access.addr, access.end):
-            dirty.discard(byte)
+        key = (READ, addr, size, value, ins)
+        last_read[span] = (ins, value, key)
+        dirty.subtract(addr, end)
     return leaders
 
 
 def profile_from_result(
     test_id: int, program: Program, result: ExecutionResult
 ) -> TestProfile:
-    """Distill an execution result into a test profile."""
-    shared = result.shared_accesses(thread=0)
+    """Distill an execution result into a test profile.
+
+    Iterates the columnar trace directly: the only objects built are the
+    unique :class:`ProfiledAccess` records that survive deduplication.
+    """
     leaders = _find_df_leaders(result.accesses)
     unique: Dict[Tuple, ProfiledAccess] = {}
-    for access in shared:
-        key = (access.type, access.addr, access.size, access.value, access.ins)
+    for _seq, thread, type_, addr, size, value, ins, is_stack in iter_access_fields(
+        result.accesses
+    ):
+        if is_stack or thread != 0:
+            continue
+        key = (type_, addr, size, value, ins)
         if key not in unique:
             unique[key] = ProfiledAccess(
-                type=access.type,
-                addr=access.addr,
-                size=access.size,
-                value=access.value,
-                ins=access.ins,
+                type=type_,
+                addr=addr,
+                size=size,
+                value=value,
+                ins=ins,
                 df_leader=key in leaders,
             )
     return TestProfile(

@@ -19,7 +19,7 @@ from repro.fuzz.prog import Program, resolve_arg
 from repro.kernel.context import KernelContext
 from repro.kernel.kernel import Kernel
 from repro.kernel.ops import CasOp, MemOp, PanicOp, PauseOp, PrintkOp, SyncOp
-from repro.machine.accesses import AccessType, MemoryAccess
+from repro.machine.accesses import AccessTrace, AccessType, MemoryAccess
 from repro.machine.memory import PageFault
 from repro.machine.snapshot import Snapshot
 from repro.sched.liveness import LivenessMonitor
@@ -29,9 +29,14 @@ DEFAULT_MAX_INSTRUCTIONS = 200_000
 
 @dataclass
 class ExecutionResult:
-    """Everything observed during one execution (trial)."""
+    """Everything observed during one execution (trial).
 
-    accesses: List[MemoryAccess] = dc_field(default_factory=list)
+    ``accesses`` is a columnar :class:`AccessTrace`; iterating it (or
+    calling :meth:`shared_accesses`) materialises :class:`MemoryAccess`
+    views on demand.
+    """
+
+    accesses: AccessTrace = dc_field(default_factory=AccessTrace)
     console: List[str] = dc_field(default_factory=list)
     returns: List[List[int]] = dc_field(default_factory=list)
     panicked: bool = False
@@ -168,20 +173,46 @@ class Executor:
             gen = run_program(self.kernel, ctx, program)
             threads.append(_Thread(i, gen, ctx))
 
-        liveness = LivenessMonitor(len(threads))
+        nthreads = len(threads)
+        liveness = LivenessMonitor(nthreads)
         # Sticky low-liveness marks: set while a thread looks stuck, cleared
         # as soon as its recent behaviour diversifies again.  When every
         # runnable thread is sticky-stuck at once, nothing can make
         # progress: dead-/livelock.
-        sticky_stuck = [False] * len(threads)
+        sticky_stuck = [False] * nthreads
         current = 0
         seq = 0
 
-        while True:
-            runnable = [t for t in threads if not t.done]
-            if not runnable:
-                break
-            if result.instructions >= self.max_instructions:
+        # The interpreter inner loop below runs once per instruction over
+        # millions of trials, so everything it touches is pre-resolved:
+        # bound methods instead of attribute chains, a runnable counter
+        # instead of a per-instruction list comprehension, one class
+        # dispatch instead of an isinstance chain, and a local instruction
+        # counter written back to ``result`` only on exit.  Sequential
+        # profiling (no scheduler, no race detector) records accesses
+        # straight into the columnar trace — zero per-access objects —
+        # while concurrent trials build the MemoryAccess records the
+        # scheduler and detector require.
+        memory = machine.memory
+        read_int = memory.read_int
+        write_int = memory.write_int
+        in_stack = machine.in_stack
+        trace = result.accesses
+        append_fields = trace.append_fields
+        append_access = trace.append
+        note_access = liveness.note_access
+        is_stuck = liveness.is_stuck
+        switch_points = result.switch_points
+        sched_on_access = scheduler.on_access if scheduler is not None else None
+        detect_on_access = race_detector.on_access if race_detector is not None else None
+        sequential = sched_on_access is None and detect_on_access is None
+        max_instructions = self.max_instructions
+        READ = AccessType.READ
+        runnable = nthreads
+        ninstr = 0
+
+        while runnable:
+            if ninstr >= max_instructions:
                 result.budget_exceeded = True
                 break
 
@@ -196,46 +227,79 @@ class Executor:
                 op = thread.gen.send(thread.pending)
             except StopIteration as stop:
                 thread.done = True
+                runnable -= 1
                 thread.returns = stop.value or []
                 liveness.note_progress(thread.index)
                 current = self._other(current, threads)
                 continue
 
             thread.pending = None
-            result.instructions += 1
+            ninstr += 1
             switch = False
+            cls = op.__class__
 
-            if isinstance(op, MemOp):
-                switch = self._do_mem(
-                    thread, op, seq, result, liveness, scheduler, race_detector
-                )
+            if cls is MemOp:
+                addr = op.addr
+                size = op.size
+                ins = op.ins
+                try:
+                    if op.type is READ:
+                        value = read_int(addr, size)
+                        thread.pending = value
+                    else:
+                        value = op.value
+                        write_int(addr, size, value)
+                except PageFault as fault:
+                    self._page_fault_panic(fault, ins, result)
+                    break
+                tindex = thread.index
+                is_stack = in_stack(tindex, addr, size)
+                if sequential:
+                    append_fields(seq, tindex, op.type, addr, size, value, ins, is_stack)
+                    note_access(tindex, ins, addr)
+                else:
+                    access = MemoryAccess(
+                        seq=seq,
+                        thread=tindex,
+                        type=op.type,
+                        addr=addr,
+                        size=size,
+                        value=value,
+                        ins=ins,
+                        is_stack=is_stack,
+                    )
+                    append_access(access)
+                    note_access(tindex, ins, addr)
+                    if detect_on_access is not None and not is_stack:
+                        detect_on_access(access, atomic=op.atomic)
+                    if sched_on_access is not None:
+                        switch = sched_on_access(access)
                 seq += 1
-            elif isinstance(op, CasOp):
+            elif cls is CasOp:
                 switch = self._do_cas(
                     thread, op, seq, result, liveness, scheduler, race_detector
                 )
                 seq += 2
-            elif isinstance(op, SyncOp):
+                if result.panicked:
+                    break
+            elif cls is SyncOp:
                 self._do_sync(thread, threads, op, race_detector)
-            elif isinstance(op, PrintkOp):
+            elif cls is PrintkOp:
                 machine.printk(op.message)
-            elif isinstance(op, PanicOp):
+            elif cls is PanicOp:
                 self._panic(op.message, result)
                 break
-            elif isinstance(op, PauseOp):
+            elif cls is PauseOp:
                 liveness.note_pause(thread.index)
                 switch = True
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown kernel op {op!r}")
 
-            if result.panicked:
-                break
-
             if replay is not None:
                 # Replay mode: the recorded switch points fully determine
                 # the schedule; scheduler and liveness are bypassed.
-                switch = result.instructions in replay
-            elif liveness.is_stuck(thread.index):
+                switch = ninstr in replay
+            elif is_stuck(thread.index):
                 # Liveness: force a switch away from a stuck thread; when
                 # every runnable thread is sticky-stuck, the system is
                 # dead(/live)locked.  The mark stays set while the thread
@@ -250,13 +314,14 @@ class Executor:
             else:
                 sticky_stuck[thread.index] = False
 
-            if switch and len(threads) > 1:
+            if switch and nthreads > 1:
                 new = self._other(current, threads)
                 if new != current:
                     result.switches += 1
-                    result.switch_points.append(result.instructions)
+                    switch_points.append(ninstr)
                     current = new
 
+        result.instructions = ninstr
         result.console = machine.console[console_start:]
         result.returns = [t.returns for t in threads]
         if race_detector is not None:
@@ -265,52 +330,40 @@ class Executor:
 
     # -- op handlers -----------------------------------------------------------
 
-    def _do_mem(
-        self, thread, op: MemOp, seq, result, liveness, scheduler, race_detector
-    ) -> bool:
-        machine = self.kernel.machine
-        try:
-            if op.type is AccessType.READ:
-                value = machine.memory.read_int(op.addr, op.size)
-            else:
-                machine.memory.write_int(op.addr, op.size, op.value)
-                value = op.value
-        except PageFault as fault:
-            self._page_fault_panic(fault, op.ins, result)
-            return False
-        thread.pending = value if op.type is AccessType.READ else None
-        access = MemoryAccess(
-            seq=seq,
-            thread=thread.index,
-            type=op.type,
-            addr=op.addr,
-            size=op.size,
-            value=value,
-            ins=op.ins,
-            is_stack=machine.in_stack(thread.index, op.addr, op.size),
-        )
-        result.accesses.append(access)
-        liveness.note_access(thread.index, op.ins, op.addr)
-        if race_detector is not None and not access.is_stack:
-            race_detector.on_access(access, atomic=op.atomic)
-        if scheduler is not None:
-            return scheduler.on_access(access)
-        return False
-
     def _do_cas(
         self, thread, op: CasOp, seq, result, liveness, scheduler, race_detector
     ) -> bool:
         machine = self.kernel.machine
+        memory = machine.memory
         try:
-            old = machine.memory.read_int(op.addr, op.size)
+            old = memory.read_int(op.addr, op.size)
             swapped = old == op.expected
             if swapped:
-                machine.memory.write_int(op.addr, op.size, op.new)
+                memory.write_int(op.addr, op.size, op.new)
         except PageFault as fault:
             self._page_fault_panic(fault, op.ins, result)
             return False
         thread.pending = old
         is_stack = machine.in_stack(thread.index, op.addr, op.size)
+        trace = result.accesses
+        if scheduler is None and race_detector is None:
+            # Sequential profiling: columnar append, no record objects.
+            trace.append_fields(
+                seq, thread.index, AccessType.READ, op.addr, op.size, old, op.ins, is_stack
+            )
+            if swapped:
+                trace.append_fields(
+                    seq + 1,
+                    thread.index,
+                    AccessType.WRITE,
+                    op.addr,
+                    op.size,
+                    op.new,
+                    op.ins,
+                    is_stack,
+                )
+            liveness.note_access(thread.index, op.ins, op.addr)
+            return False
         read = MemoryAccess(
             seq=seq,
             thread=thread.index,
@@ -321,7 +374,7 @@ class Executor:
             ins=op.ins,
             is_stack=is_stack,
         )
-        result.accesses.append(read)
+        trace.append(read)
         accesses = [read]
         if swapped:
             write = MemoryAccess(
@@ -334,7 +387,7 @@ class Executor:
                 ins=op.ins,
                 is_stack=is_stack,
             )
-            result.accesses.append(write)
+            trace.append(write)
             accesses.append(write)
         liveness.note_access(thread.index, op.ins, op.addr)
         switch = False

@@ -4,15 +4,26 @@ Mirrors the SKI-inspired implementation notes of section 4.4.1: a thread
 shows low liveness when it keeps fetching the same memory area (a spin
 loop), executes HALT/PAUSE-style instructions, or has burned through an
 instruction budget without completing a syscall.
+
+The monitor is consulted once per interpreted instruction, so its state
+is maintained incrementally: instead of recomputing the distinct-address
+set over the window on every :meth:`is_stuck` call, each thread keeps a
+sliding window plus a running multiset of the window's memory addresses.
+``is_stuck`` is then O(1): the window is full and it contains at most
+one distinct memory address (a pure pause storm contains zero).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 # How many consecutive low-liveness events classify a thread as stuck.
 STUCK_WINDOW = 10
+
+# Window entry marking a PAUSE/HALT instruction (never counted as an
+# address; identity-compared, so no real address can collide with it).
+_PAUSE = object()
 
 
 class LivenessMonitor:
@@ -20,43 +31,58 @@ class LivenessMonitor:
 
     def __init__(self, nthreads: int, window: int = STUCK_WINDOW):
         self.window = window
-        self._recent: Tuple[Deque, ...] = tuple(
-            deque(maxlen=window) for _ in range(nthreads)
-        )
+        self._recent: Tuple[Deque, ...] = tuple(deque() for _ in range(nthreads))
+        # Multiset of the window's memory addresses (pauses excluded):
+        # len() of it is the distinct-address count is_stuck needs.
+        self._addr_counts: Tuple[Dict, ...] = tuple({} for _ in range(nthreads))
+
+    def _push(self, thread: int, token) -> None:
+        recent = self._recent[thread]
+        counts = self._addr_counts[thread]
+        if len(recent) == self.window:
+            old = recent.popleft()
+            if old is not _PAUSE:
+                left = counts[old] - 1
+                if left:
+                    counts[old] = left
+                else:
+                    del counts[old]
+        recent.append(token)
+        if token is not _PAUSE:
+            counts[token] = counts.get(token, 0) + 1
 
     def note_access(self, thread: int, ins: str, addr: int) -> None:
         """Record a memory access signature for ``thread``."""
-        self._recent[thread].append(("mem", addr))
+        self._push(thread, addr)
 
     def note_pause(self, thread: int) -> None:
         """Record a PAUSE/HALT-style instruction."""
-        self._recent[thread].append(("pause", 0))
+        self._push(thread, _PAUSE)
 
     def note_progress(self, thread: int) -> None:
         """Record definite progress (e.g. a syscall completed)."""
         self._recent[thread].clear()
+        self._addr_counts[thread].clear()
 
     def is_stuck(self, thread: int) -> bool:
         """True when the thread's recent behaviour shows no liveness.
 
         Stuck means: the window is full and every event is either a pause
         or an access to one single memory area (a spin loop fetching the
-        same lock word).
+        same lock word) — i.e. at most one distinct address in the
+        window (a pure pause storm has zero).
         """
-        recent = self._recent[thread]
-        if len(recent) < self.window:
+        if len(self._recent[thread]) < self.window:
             return False
-        addrs = {addr for kind, addr in recent if kind == "mem"}
-        pauses = sum(1 for kind, _ in recent if kind == "pause")
-        if pauses == len(recent):
-            return True
-        # All non-pause events hitting one address = same-area spinning.
-        return len(addrs) <= 1
+        return len(self._addr_counts[thread]) <= 1
 
     def reset(self, thread: Optional[int] = None) -> None:
         """Forget history for one thread (or all)."""
         if thread is None:
             for recent in self._recent:
                 recent.clear()
+            for counts in self._addr_counts:
+                counts.clear()
         else:
             self._recent[thread].clear()
+            self._addr_counts[thread].clear()

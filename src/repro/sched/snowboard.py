@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.machine.accesses import AccessType, MemoryAccess
+from repro.machine.accesses import AccessType, MemoryAccess, iter_access_fields
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # break the sched <-> pmc import cycle
@@ -84,7 +84,13 @@ class SnowboardScheduler:
         """Adopt one incidental PMC observed in the finished trial."""
         if not self.universe or self._adopted >= self.max_adopted:
             return
-        seen: Set[Sig] = {access_sig(a) for a in result.accesses if not a.is_stack}
+        seen: Set[Sig] = {
+            (type_, ins, addr, size)
+            for _seq, _thread, type_, addr, size, _value, ins, is_stack in (
+                iter_access_fields(result.accesses)
+            )
+            if not is_stack
+        }
         incidental: List["PMC"] = []
         for pmc in self.universe:
             if pmc in self.current_pmcs:
@@ -135,32 +141,32 @@ def channel_exercised(pmc, accesses: Iterable[MemoryAccess]) -> bool:
     from repro.machine.accesses import project_value
 
     lo, hi = pmc.overlap
+    WRITE = AccessType.WRITE
+    w_ins, w_addr, w_size = pmc.write.ins, pmc.write.addr, pmc.write.size
+    r_ins, r_addr, r_size = pmc.read.ins, pmc.read.addr, pmc.read.size
     write_seq = None
     write_thread = None
     written = None
-    for access in accesses:
-        if access.is_stack:
+    for seq, thread, type_, addr, size, value, ins, is_stack in iter_access_fields(
+        accesses
+    ):
+        if is_stack:
             continue
-        if (
-            access.is_write
-            and access.ins == pmc.write.ins
-            and access.addr == pmc.write.addr
-            and access.size == pmc.write.size
-        ):
-            write_seq = access.seq
-            write_thread = access.thread
-            written = project_value(access.addr, access.size, access.value, lo, hi)
+        if type_ is WRITE and ins == w_ins and addr == w_addr and size == w_size:
+            write_seq = seq
+            write_thread = thread
+            written = project_value(addr, size, value, lo, hi)
             continue
         if (
             write_seq is not None
-            and not access.is_write
-            and access.thread != write_thread
-            and access.ins == pmc.read.ins
-            and access.addr == pmc.read.addr
-            and access.size == pmc.read.size
-            and access.seq > write_seq
+            and type_ is not WRITE
+            and thread != write_thread
+            and ins == r_ins
+            and addr == r_addr
+            and size == r_size
+            and seq > write_seq
         ):
-            fetched = project_value(access.addr, access.size, access.value, lo, hi)
+            fetched = project_value(addr, size, value, lo, hi)
             if fetched == written:
                 return True
     return False

@@ -1,0 +1,138 @@
+"""Golden-equivalence tests for the interpreter hot-path overhaul.
+
+The optimisation contract is behavioural invisibility: cached
+instruction addresses, single-page memory fast paths, the columnar
+access trace and the class-dispatch executor loop must not change any
+observable result.  The constants below were captured from a fixed-seed
+campaign run at the pre-optimisation commit (d1c5f1d) and hard-code
+what "observable" means:
+
+* the full ``summary()`` of a serial AND a workers=2 campaign,
+* the exact access trace of one known concurrent trial (row digest),
+* its switch points, and that ``replay_switch_points`` reproduces it,
+* the exact sequential profiling trace of one corpus entry.
+
+If any refactor of the executor, memory, trace, scheduler or detector
+shifts a single value, address, or interleaving, these digests move.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.detect.datarace import RaceDetector
+from repro.orchestrate.pipeline import Snowboard, SnowboardConfig
+
+# -- goldens captured at commit d1c5f1d (pre-optimisation) -------------------
+
+GOLDEN_CONFIG = dict(seed=7, corpus_budget=120, trials_per_pmc=8)
+TEST_BUDGET = 8
+
+GOLDEN_SUMMARY = {
+    "strategy": "S-INS-PAIR",
+    "exemplar_pmcs": 298,
+    "tested_pmcs": 8,
+    "trials": 25,
+    "instructions": 3876,
+    "exercised_pmcs": 2,
+    "accuracy": 0.25,
+    "bugs": {"SB01": 4, "SB11": 7, "SB13": 0, "SB17": 2},
+    "observations": 26,
+    "task_failures": 0,
+}
+
+# Trial 0 of the first generated test (scheduler seed = config.seed + 0).
+TRIAL0_ACCESSES = 93
+TRIAL0_SWITCH_POINTS = [50, 57]
+TRIAL0_DIGEST = "c88bfebd7589c48c41585bbcc1ae2a6582e3ba3deb87d36d65670110396895b4"
+
+# Sequential profiling run of corpus entry 0.
+SEQUENTIAL_ACCESSES = 71
+SEQUENTIAL_DIGEST = "ce0a1e354055c7a2b13e7ddc62f54698ae6842d3d0485e4f9321c3381e6a32db"
+
+
+def trace_rows(accesses):
+    """Full materialisation of a trace — every observable field."""
+    return [
+        (a.seq, a.thread, a.type.value, a.addr, a.size, a.value, a.ins, a.is_stack)
+        for a in accesses
+    ]
+
+
+def digest(rows) -> str:
+    return hashlib.sha256(repr(rows).encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def snowboard():
+    return Snowboard(SnowboardConfig(**GOLDEN_CONFIG)).prepare()
+
+
+class TestCampaignEquivalence:
+    def test_serial_summary_matches_pre_optimisation_run(self, snowboard):
+        campaign = snowboard.run_campaign("S-INS-PAIR", test_budget=TEST_BUDGET)
+        assert campaign.summary() == GOLDEN_SUMMARY
+
+    def test_parallel_summary_matches_pre_optimisation_run(self):
+        # A fresh instance: worker kernels boot independently, and the
+        # merged result must still be bit-identical to the golden serial
+        # summary (the determinism contract of execute_tests_parallel).
+        snowboard = Snowboard(SnowboardConfig(**GOLDEN_CONFIG))
+        campaign = snowboard.run_campaign(
+            "S-INS-PAIR", test_budget=TEST_BUDGET, workers=2
+        )
+        assert campaign.summary() == GOLDEN_SUMMARY
+
+
+class TestTraceEquivalence:
+    def run_trial0(self, snowboard):
+        tests, _ = snowboard.generate_tests("S-INS-PAIR", limit=TEST_BUDGET)
+        test = tests[0]
+        scheduler = snowboard.make_scheduler(test, seed=snowboard.config.seed)
+        scheduler.begin_trial(0)
+        return test, snowboard.executor.run_concurrent(
+            [test.writer, test.reader],
+            scheduler=scheduler,
+            race_detector=RaceDetector(),
+        )
+
+    def test_concurrent_trial_trace_bit_identical(self, snowboard):
+        _, result = self.run_trial0(snowboard)
+        rows = trace_rows(result.accesses)
+        assert len(rows) == TRIAL0_ACCESSES
+        assert result.switch_points == TRIAL0_SWITCH_POINTS
+        assert digest(rows) == TRIAL0_DIGEST
+
+    def test_replay_reproduces_trial_trace(self, snowboard):
+        test, result = self.run_trial0(snowboard)
+        replayed = snowboard.executor.run_concurrent(
+            [test.writer, test.reader],
+            replay_switch_points=result.switch_points,
+        )
+        assert trace_rows(replayed.accesses) == trace_rows(result.accesses)
+        assert replayed.switch_points == result.switch_points
+        assert replayed.instructions == result.instructions
+
+    def test_sequential_trace_bit_identical(self, snowboard):
+        program = snowboard.corpus.entries[0].program
+        result = snowboard.executor.run_sequential(program)
+        rows = trace_rows(result.accesses)
+        assert len(rows) == SEQUENTIAL_ACCESSES
+        assert digest(rows) == SEQUENTIAL_DIGEST
+
+    def test_trace_views_agree(self, snowboard):
+        """The columnar trace's lazy rows and raw fields are one dataset."""
+        program = snowboard.corpus.entries[0].program
+        result = snowboard.executor.run_sequential(program)
+        trace = result.accesses
+        assert list(trace.iter_fields()) == [
+            (a.seq, a.thread, a.type, a.addr, a.size, a.value, a.ins, a.is_stack)
+            for a in trace
+        ]
+        assert len(trace) == len(list(trace))
+        assert trace_rows([trace[0], trace[-1]]) == trace_rows(
+            [list(trace)[0], list(trace)[-1]]
+        )
+        assert trace_rows(trace[:3]) == trace_rows(list(trace)[:3])

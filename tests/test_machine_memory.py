@@ -192,6 +192,96 @@ class TestDirtyTracking:
         assert memory.clone_pages() == pages
 
 
+class TestFastPathEdges:
+    """The single-page fast paths must be invisible: page-straddling and
+    unmapped ranges take the slow path with unchanged fault behaviour,
+    and dirty tracking stays exact (snapshot restore depends on it)."""
+
+    def test_int_roundtrip_spanning_pages(self):
+        memory = make_memory()
+        addr = BASE + PAGE_SIZE - 2
+        memory.write_int(addr, 4, 0xAABBCCDD)
+        assert memory.read_int(addr, 4) == 0xAABBCCDD
+        # The bytes really landed across the boundary, little-endian.
+        assert memory.read_bytes(addr, 4) == b"\xdd\xcc\xbb\xaa"
+
+    def test_int_write_spanning_pages_masks_overflow(self):
+        memory = make_memory()
+        addr = BASE + PAGE_SIZE - 1
+        memory.write_int(addr, 2, 0x1FFFF)
+        assert memory.read_int(addr, 2) == 0xFFFF
+
+    def test_access_ending_exactly_at_page_boundary(self):
+        memory = make_memory()
+        addr = BASE + PAGE_SIZE - 8
+        memory.write_int(addr, 8, 0x0102030405060708)
+        assert memory.read_int(addr, 8) == 0x0102030405060708
+
+    def test_unmapped_single_page_probes_fault_with_slow_path_message(self):
+        memory = make_memory()
+        addr = BASE + 64 * PAGE_SIZE  # inside one page, but unmapped
+        with pytest.raises(PageFault) as read_fault:
+            memory.read_int(addr, 8)
+        assert str(read_fault.value) == (
+            f"page fault: read from unmapped address {addr:#x} (+8)"
+        )
+        with pytest.raises(PageFault) as write_fault:
+            memory.write_int(addr, 8, 1)
+        assert str(write_fault.value) == (
+            f"page fault: write to unmapped address {addr:#x} (+8)"
+        )
+        assert read_fault.value.write is False
+        assert write_fault.value.write is True
+
+    def test_straddle_into_unmapped_page_faults(self):
+        memory = make_memory(PAGE_SIZE)  # exactly one mapped page
+        addr = BASE + PAGE_SIZE - 2
+        with pytest.raises(PageFault) as excinfo:
+            memory.read_int(addr, 4)
+        assert excinfo.value.addr == addr
+        assert excinfo.value.size == 4
+        with pytest.raises(PageFault):
+            memory.write_int(addr, 4, 0)
+        # The failed straddling write must not mark anything dirty.
+        memory.clear_dirty()
+        with pytest.raises(PageFault):
+            memory.write_bytes(addr, b"abcd")
+        assert memory.dirty_pages() == set()
+
+    def test_negative_address_faults(self):
+        memory = make_memory()
+        with pytest.raises(PageFault):
+            memory.read_int(-8, 8)
+        with pytest.raises(PageFault):
+            memory.write_int(-8, 8, 1)
+
+    def test_nonpositive_size_still_rejected(self):
+        memory = make_memory()
+        with pytest.raises(ValueError):
+            memory.write_int(BASE, 0, 1)
+        with pytest.raises(ValueError):
+            memory.read_int(BASE, -1)
+
+    def test_fast_write_marks_exactly_one_page_dirty(self):
+        memory = make_memory()
+        memory.clear_dirty()
+        memory.write_int(BASE + 2 * PAGE_SIZE + 8, 8, 7)
+        assert memory.dirty_pages() == {BASE // PAGE_SIZE + 2}
+
+    def test_incremental_restore_reverts_fast_path_writes(self):
+        # The fast write path bypasses _write_bytes_slow's dirty marking;
+        # incremental restore is only sound if it still records the page.
+        memory = make_memory()
+        memory.write_int(BASE, 8, 111)
+        pages = memory.clone_pages()
+        memory.clear_dirty()
+        memory.write_int(BASE, 8, 222)  # fast path
+        memory.write_int(BASE + PAGE_SIZE - 2, 4, 333)  # straddling slow path
+        restored = memory.restore_pages_incremental(pages)
+        assert restored == 2
+        assert memory.clone_pages() == pages
+
+
 @given(
     offset=st.integers(min_value=0, max_value=2 * PAGE_SIZE),
     data=st.binary(min_size=1, max_size=64),
