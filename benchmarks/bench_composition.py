@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.orchestrate.results import CampaignResult
 from repro.pmc.clustering import STRATEGIES_BY_NAME

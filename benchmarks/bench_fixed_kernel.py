@@ -12,7 +12,6 @@ finds 16+ issues on the buggy kernel.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.orchestrate.pipeline import Snowboard, SnowboardConfig
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.fuzz.prog import Call, prog
 from repro.pmc.clustering import ALL_STRATEGIES, STRATEGIES_BY_NAME

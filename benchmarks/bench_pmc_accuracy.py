@@ -10,7 +10,6 @@ flow divergence both occur naturally here).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.orchestrate.results import CampaignResult
 
@@ -45,7 +44,6 @@ def test_pmc_accuracy(snowboard, benchmark):
 def test_mispredictions_exist_from_allocator_divergence(snowboard):
     """When both tests allocate, each gets a different chunk than profiled
     (the first misprediction class of section 5.3.2)."""
-    from repro.pmc.model import PMC
 
     heap_base = snowboard.kernel.machine.regions.heap_base
     heap_end = heap_base + snowboard.kernel.machine.regions.heap_size

@@ -9,7 +9,6 @@ ordering holds on each.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.orchestrate.pipeline import Snowboard, SnowboardConfig
 

@@ -18,7 +18,6 @@ import statistics
 
 import pytest
 
-from repro.detect.console import ConsoleChecker
 from repro.fuzz.prog import Call, Res, prog
 from repro.kernel.kernel import boot_kernel
 from repro.pmc.identify import identify_pmcs

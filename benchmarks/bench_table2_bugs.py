@@ -9,7 +9,6 @@ test index, and their type/triage — the same columns as Table 2.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.detect.catalog import spec_by_id
 from repro.orchestrate.pipeline import DUPLICATE_PAIRING, RANDOM_PAIRING

@@ -15,7 +15,6 @@ least as productive as random cluster order.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.orchestrate.pipeline import (
     DUPLICATE_PAIRING,

@@ -1,25 +1,65 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice:
+# The full CI pipeline, runnable offline on a bare checkout:
 #
-#  1. the normal pytest run (full assertion checking), and
-#  2. the same suite under `python -O`, which strips every `assert`
-#     statement from the *source tree*.  Pass 2 exists to catch code
-#     that leans on asserts for control flow or invariant enforcement —
-#     e.g. the old `assert task_id == index` in execute_tests_parallel,
-#     which under -O silently mis-seeded every task from a pre-seeded
-#     queue.  Test-module asserts are also stripped in pass 2 (pytest
-#     warns about this), so it only detects crashes/exceptions; pass 1
-#     remains the source of truth for behavioural assertions.
+#  0. lint       — ruff over src/tests/benchmarks/scripts (skipped with a
+#                  warning when ruff is not installed; CI installs it via
+#                  the `dev` extra, minimal containers just lose the step).
+#  1. tier-1     — the normal pytest run (full assertion checking).  When
+#                  pytest-cov is available the same run also enforces the
+#                  coverage floor (--cov=repro --cov-fail-under=80), so
+#                  coverage costs no extra suite pass; without pytest-cov
+#                  the run degrades to plain pytest with a warning.
+#  2. tier-1 -O  — the same suite under `python -O`, which strips every
+#                  `assert` statement from the *source tree*.  Pass 2
+#                  exists to catch code that leans on asserts for control
+#                  flow or invariant enforcement — e.g. the old
+#                  `assert task_id == index` in execute_tests_parallel,
+#                  which under -O silently mis-seeded every task from a
+#                  pre-seeded queue.  Test-module asserts are also
+#                  stripped in pass 2 (pytest warns about this), so it
+#                  only detects crashes/exceptions; pass 1 remains the
+#                  source of truth for behavioural assertions.
+#  3. smoke      — one tiny parallel campaign through the installed CLI
+#                  (`python -m repro`) with --checkpoint and --trace-out,
+#                  then `repro stats` over the trace.  Artifacts land in
+#                  $ARTIFACTS_DIR (default: artifacts/) for CI upload.
+#  4. perf gate  — opt-in with PERF=1: the quick-mode hot-path benchmark
+#                  fails on a >20% throughput regression against the
+#                  baseline in BENCH_hot_path.json; the updated
+#                  trajectory JSON is copied into $ARTIFACTS_DIR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+ARTIFACTS_DIR="${ARTIFACTS_DIR:-artifacts}"
+mkdir -p "$ARTIFACTS_DIR"
+
+echo "== lint: ruff check =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks scripts examples
+else
+    echo "warning: ruff not installed, skipping lint (pip install -e '.[dev]')"
+fi
 
 echo "== tier-1: python -m pytest =="
-python -m pytest -x -q
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+    python -m pytest -x -q --cov=repro --cov-fail-under=80 --cov-report=term
+else
+    echo "warning: pytest-cov not installed, running without coverage floor"
+    python -m pytest -x -q
+fi
 
 echo "== tier-1 under -O (assert-stripped invariant check) =="
 python -O -m pytest -x -q
+
+echo "== smoke: parallel campaign through the CLI =="
+SMOKE_TRACE="$ARTIFACTS_DIR/smoke_trace.jsonl"
+SMOKE_CHECKPOINT="$ARTIFACTS_DIR/smoke_checkpoint.jsonl"
+rm -f "$SMOKE_TRACE" "$SMOKE_CHECKPOINT"
+python -m repro campaign \
+    --strategy S-INS-PAIR --budget 4 --trials 4 --seed 7 --corpus 120 \
+    --workers 2 --checkpoint "$SMOKE_CHECKPOINT" --trace-out "$SMOKE_TRACE"
+python -m repro stats "$SMOKE_TRACE"
 
 # Opt-in perf gate: PERF=1 scripts/ci.sh also runs the quick-mode
 # hot-path benchmark and fails on a >20% throughput regression against
@@ -27,6 +67,7 @@ python -O -m pytest -x -q
 if [[ "${PERF:-0}" == "1" ]]; then
     echo "== perf gate: scripts/bench_gate.py (quick mode) =="
     python scripts/bench_gate.py
+    cp BENCH_hot_path.json "$ARTIFACTS_DIR/BENCH_hot_path.json"
 fi
 
-echo "ci: all passes green"
+echo "ci: all passes green (artifacts in $ARTIFACTS_DIR/)"

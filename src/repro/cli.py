@@ -5,6 +5,7 @@ Commands:
 * ``campaign``  — run one strategy campaign and print the results.
 * ``table3``    — run every generation method with an equal budget.
 * ``case``      — reproduce one of the paper's case-study figures.
+* ``stats``     — aggregate a ``--trace-out`` JSONL trace into tables.
 * ``strategies``— list the Table 1 clustering strategies.
 * ``bugs``      — list the Table 2 bug catalog.
 """
@@ -73,6 +74,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replay an existing --checkpoint journal and execute only "
         "the missing tasks (requires --checkpoint)",
     )
+    campaign.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL observability trace (spans, funnel counters, "
+        "events) to FILE; render it later with 'repro stats FILE'",
+    )
+
+    stats = sub.add_parser("stats", help="summarise a --trace-out trace file")
+    stats.add_argument("trace", help="path to a JSONL trace written by --trace-out")
+    stats.add_argument(
+        "--markdown", action="store_true", help="render GitHub-flavoured tables"
+    )
 
     table3 = sub.add_parser("table3", help="compare all generation methods")
     table3.add_argument("--budget", type=int, default=40)
@@ -99,6 +113,23 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_observer(args):
+    """Build the campaign Observer for ``--trace-out`` (None when off)."""
+    if not getattr(args, "trace_out", None):
+        return None
+    from repro.obs import JsonlSink, Observer
+
+    header = {
+        "strategy": args.strategy,
+        "seed": args.seed,
+        "budget": args.budget,
+        "trials": args.trials,
+        "workers": args.workers,
+        "fixed": args.fixed,
+    }
+    return Observer(JsonlSink(args.trace_out, header=header))
+
+
 def _cmd_campaign(args) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=sys.stderr)
@@ -109,20 +140,29 @@ def _cmd_campaign(args) -> int:
         trials_per_pmc=args.trials,
         fixed_kernel=args.fixed,
     )
-    snowboard = Snowboard(config).prepare()
+    observer = _make_observer(args)
+    snowboard = Snowboard(config, observer=observer).prepare()
     print(
         f"corpus={len(snowboard.corpus)} tests, pmcs={len(snowboard.pmcset)}, "
         f"strategy={args.strategy}, budget={args.budget}"
     )
-    campaign = snowboard.run_campaign(
-        args.strategy,
-        test_budget=args.budget,
-        workers=args.workers,
-        checkpoint_path=args.checkpoint,
-        resume=args.resume,
-    )
+    try:
+        campaign = snowboard.run_campaign(
+            args.strategy,
+            test_budget=args.budget,
+            workers=args.workers,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+        )
+    finally:
+        if observer is not None:
+            observer.close()
     print(TABLE3_HEADER)
     print(campaign.table_row())
+    print(
+        f"executed: tests={campaign.tested_pmcs} trials={campaign.trials} "
+        f"observations={len(campaign.records)} bugs={campaign.distinct_bugs}"
+    )
     print(f"accuracy: {campaign.accuracy:.1%} of tested PMCs exercised")
     print(
         f"throughput: {campaign.executions_per_minute:.0f} executions/min "
@@ -140,6 +180,24 @@ def _cmd_campaign(args) -> int:
     for bug_id, at in sorted(campaign.bugs_found().items()):
         spec = spec_by_id(bug_id)
         print(f"  {bug_id} [{spec.bug_type}/{spec.triage.value}] @{at}: {spec.summary}")
+    if args.trace_out:
+        print(f"trace written to {args.trace_out} (render: repro stats {args.trace_out})")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs.sink import TraceError
+    from repro.obs.stats import load_stats, render_stats
+
+    try:
+        stats = load_stats(args.trace)
+    except FileNotFoundError:
+        print(f"error: no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    except TraceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_stats(stats, markdown=args.markdown))
     return 0
 
 
@@ -300,9 +358,23 @@ def _cmd_bugs(_args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(_build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `repro stats ... | head`) closed the
+        # pipe early; detach stdout so the interpreter's shutdown flush
+        # does not raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args) -> int:
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "table3":
         return _cmd_table3(args)
     if args.command == "case":

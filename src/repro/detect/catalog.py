@@ -9,7 +9,7 @@ patterns — the same signals a kernel developer uses to identify an oops.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Set
 
 from repro.detect.report import BugObservation, Triage
 

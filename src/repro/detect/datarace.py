@@ -23,8 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.machine.accesses import MemoryAccess
 from repro.kernel.ops import SyncOp
+from repro.machine.accesses import MemoryAccess
 
 
 @dataclass(frozen=True)
@@ -74,7 +74,7 @@ class _Epoch:
 class RaceDetector:
     """Precise happens-before detector over the serialised execution."""
 
-    def __init__(self, nthreads: int = 2):
+    def __init__(self, nthreads: int = 2, metrics=None):
         self.nthreads = nthreads
         self._clock: List[List[int]] = [[0] * nthreads for _ in range(nthreads)]
         for t in range(nthreads):
@@ -86,6 +86,10 @@ class RaceDetector:
         self._last_read: Dict[int, Dict[int, _Epoch]] = {}
         self._reports: List[RaceReport] = []
         self._seen: set = set()
+        # Optional obs Metrics registry.  Counted only when a *fresh*
+        # report is recorded (rare), never on the per-access hot path,
+        # so an attached registry costs one branch per report.
+        self._metrics = metrics
 
     # -- events ------------------------------------------------------------------
 
@@ -184,6 +188,8 @@ class RaceDetector:
             return
         self._seen.add(report.key)
         self._reports.append(report)
+        if self._metrics is not None:
+            self._metrics.count("detect.races", 1)
 
     def _joined(self, base: Optional[List[int]], other: List[int]) -> List[int]:
         if base is None:

@@ -13,11 +13,11 @@ from __future__ import annotations
 
 import os
 import sys
-from typing import Generator, Optional
+from typing import Generator
 
+from repro.kernel.ops import CasOp, MemOp, PanicOp, PauseOp, PrintkOp
 from repro.machine.accesses import AccessType
 from repro.machine.layout import Struct
-from repro.kernel.ops import CasOp, MemOp, PanicOp, PauseOp, PrintkOp
 
 WORD = 8  # native pointer/word size of the mini-kernel, in bytes
 

@@ -17,7 +17,7 @@ S-CH-DOUBLE clustering strategy keys on.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.kernel.context import KernelContext, WORD
 from repro.kernel.sync import spin_lock, spin_unlock

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.kernel.context import KernelContext, WORD
-from repro.kernel.errors import EAGAIN_E, EINVAL, SyscallError
+from repro.kernel.errors import EAGAIN_E, SyscallError
 from repro.kernel.kernel import Kernel
 from repro.kernel.sync import spin_lock, spin_unlock
 from repro.machine.layout import Struct, field

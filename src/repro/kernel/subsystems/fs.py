@@ -42,7 +42,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.kernel.context import KernelContext, WORD
-from repro.kernel.errors import EBADF, EINVAL, EIO, ENOENT, SyscallError
+from repro.kernel.errors import EINVAL, EIO, ENOENT, SyscallError
 from repro.kernel.kernel import F_DIR, F_REG, FILE, Kernel
 from repro.kernel.sync import spin_lock, spin_unlock
 from repro.machine.layout import Struct, field

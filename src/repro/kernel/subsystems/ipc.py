@@ -15,7 +15,6 @@ from repro.kernel.context import KernelContext, WORD
 from repro.kernel.errors import EINVAL, ENOENT, SyscallError
 from repro.kernel.kernel import Kernel
 from repro.kernel.rhashtable import (
-    RHT_ENTRY,
     RHT_TABLE,
     rht_insert,
     rht_lookup,

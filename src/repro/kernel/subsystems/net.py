@@ -36,7 +36,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator
 
 from repro.kernel.context import KernelContext, WORD
-from repro.kernel.errors import EBADF, EINVAL, ENOTCONN, SyscallError
+from repro.kernel.errors import EINVAL, SyscallError
 from repro.kernel.kernel import F_SOCK, Kernel
 from repro.kernel.sync import (
     mutex_lock,

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.kernel.alloc import ALLOC_STATE
-from repro.kernel.context import KernelContext, WORD
+from repro.kernel.context import KernelContext
 from repro.kernel.kernel import Kernel
 
 

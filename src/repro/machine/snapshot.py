@@ -18,8 +18,8 @@ restore, so correctness never depends on callers resetting tracking.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.machine.machine import Machine
 

@@ -1,0 +1,163 @@
+"""Campaign observability: spans, metrics and the JSONL event stream.
+
+The pipeline is instrumented against the :class:`Observer` facade — one
+object bundling a :class:`~repro.obs.tracer.Tracer`, a
+:class:`~repro.obs.metrics.Metrics` registry and an event sink.  The
+module-level :data:`NULL_OBSERVER` is the disabled path: every call is a
+no-op against shared singletons, so instrumented code costs nothing when
+observability is off (the golden-equivalence tests additionally pin that
+enabling it changes no campaign result).
+
+Typical use::
+
+    from repro.obs import Observer, JsonlSink
+
+    obs = Observer(JsonlSink("trace.jsonl", header={"seed": 7}))
+    snowboard = Snowboard(config, observer=obs)
+    snowboard.run_campaign(...)
+    obs.close()
+
+and ``python -m repro stats trace.jsonl`` renders the funnel afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    NullMetrics,
+)
+from repro.obs.sink import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TraceError,
+    read_trace,
+)
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "Metrics",
+    "NULL_METRICS",
+    "NULL_OBSERVER",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullObserver",
+    "NullSink",
+    "NullTracer",
+    "Observer",
+    "Span",
+    "TraceError",
+    "Tracer",
+    "read_trace",
+]
+
+
+class Observer:
+    """Tracer + metrics + sink, threaded through the pipeline as one."""
+
+    enabled = True
+
+    def __init__(self, sink=None, epoch: Optional[float] = None):
+        self.sink = sink if sink is not None else NullSink()
+        self.tracer = Tracer(self.sink, epoch=epoch)
+        self.metrics = Metrics()
+
+    # -- tracing --------------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        return self.tracer.span(name, **attrs)
+
+    def record_span(self, name: str, duration: float, **attrs) -> None:
+        self.tracer.record(name, duration, **attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Emit a point event (no duration) to the sink."""
+        self.sink.emit({"kind": "event", "name": name, "attrs": attrs})
+
+    # -- metrics --------------------------------------------------------------
+
+    def count(self, name: str, n=1) -> None:
+        self.metrics.count(name, n)
+
+    def gauge(self, name: str, value) -> None:
+        self.metrics.gauge(name, value)
+
+    def observe(self, name: str, value) -> None:
+        self.metrics.observe(name, value)
+
+    def flush_metrics(self) -> None:
+        """Emit a cumulative ``metrics`` snapshot record to the sink.
+
+        Called after every merged Stage-4 task (and at campaign end), so
+        a killed campaign's trace still carries near-current funnel
+        totals — readers keep the last snapshot.
+        """
+        record: Dict = {"kind": "metrics"}
+        record.update(self.metrics.snapshot())
+        self.sink.emit(record)
+
+    def replay(self, events) -> None:
+        """Re-emit buffered records (worker buffers, merged in task order)."""
+        emit = self.sink.emit
+        for record in events:
+            emit(record)
+
+    def close(self) -> None:
+        self.flush_metrics()
+        self.sink.close()
+
+
+class NullObserver:
+    """Disabled observability: every operation is a shared no-op."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    sink = NullSink()
+    tracer = NULL_TRACER
+    metrics = NULL_METRICS
+
+    def span(self, name: str, **attrs):
+        return NULL_SPAN
+
+    def record_span(self, name: str, duration: float, **attrs) -> None:
+        pass
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def count(self, name: str, n=1) -> None:
+        pass
+
+    def gauge(self, name: str, value) -> None:
+        pass
+
+    def observe(self, name: str, value) -> None:
+        pass
+
+    def flush_metrics(self) -> None:
+        pass
+
+    def replay(self, events) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_OBSERVER = NullObserver()

@@ -1,0 +1,185 @@
+"""Typed metrics: counters, gauges and histograms for funnel quantities.
+
+The funnel quantities of the paper's evaluation (PMCs identified,
+clusters kept, tests deduplicated, trials executed, races flagged, …)
+are monotone counts; wall-clock style quantities (campaign wall time,
+distinct bugs so far) are gauges; per-trial distributions (instructions,
+latency) are histograms.
+
+A :class:`Metrics` registry snapshots to one JSON-ready dict (the
+``metrics`` trace record) and merges with another registry — the
+operation parallel Stage 4 uses to fold per-worker registries into the
+campaign one in task order.  Counter merge is addition, gauge merge is
+last-writer-wins, histogram merge is concatenation, so the merged totals
+are independent of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotone additive count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number = 0):
+        self.value = value
+
+    def add(self, n: Number = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number = 0):
+        self.value = value
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A value distribution with nearest-rank percentiles.
+
+    Raw observations are kept (campaign-scale cardinality is small); the
+    snapshot emits summary statistics only, so trace files stay compact.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Optional[List[Number]] = None):
+        self.values: List[Number] = list(values) if values else []
+
+    def observe(self, value: Number) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> Number:
+        return sum(self.values)
+
+    def percentile(self, p: float) -> Number:
+        """Nearest-rank percentile, ``0 <= p <= 100``; 0 when empty."""
+        if not self.values:
+            return 0
+        ordered = sorted(self.values)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without math
+        return ordered[int(rank) - 1]
+
+    def summary(self) -> Dict[str, Number]:
+        if not self.values:
+            return {"count": 0, "sum": 0, "min": 0, "max": 0, "p50": 0, "p95": 0}
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "min": min(self.values),
+            "max": max(self.values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class Metrics:
+    """A registry of named counters, gauges and histograms."""
+
+    enabled = True
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- write side -----------------------------------------------------------
+
+    def count(self, name: str, n: Number = 1) -> None:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter()
+        counter.add(n)
+
+    def gauge(self, name: str, value: Number) -> None:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge()
+        gauge.set(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # -- read side ------------------------------------------------------------
+
+    def counter_value(self, name: str, default: Number = 0) -> Number:
+        counter = self.counters.get(name)
+        return counter.value if counter is not None else default
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A JSON-ready cumulative snapshot (the ``metrics`` record body)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry into this one (worker -> campaign).
+
+        Counters add, gauges take the other's value, histograms
+        concatenate — all order-independent except gauges, which parallel
+        Stage 4 merges in task order to stay deterministic.
+        """
+        for name, counter in other.counters.items():
+            self.count(name, counter.value)
+        for name, gauge in other.gauges.items():
+            self.gauge(name, gauge.value)
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.values.extend(histogram.values)
+
+
+class NullMetrics:
+    """Disabled registry: every write is a no-op."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    counters: Dict[str, Counter] = {}
+    gauges: Dict[str, Gauge] = {}
+    histograms: Dict[str, Histogram] = {}
+
+    def count(self, name: str, n: Number = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: Number) -> None:
+        pass
+
+    def observe(self, name: str, value: Number) -> None:
+        pass
+
+    def counter_value(self, name: str, default: Number = 0) -> Number:
+        return default
+
+    def snapshot(self) -> Dict[str, Dict]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()

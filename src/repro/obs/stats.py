@@ -1,0 +1,232 @@
+"""Trace-file aggregation behind ``repro stats``.
+
+Reads a JSONL trace (written via ``--trace-out``), keeps the last
+cumulative ``metrics`` snapshot, aggregates spans by name, and shapes
+the three views the CLI renders:
+
+* the Stage-1→4 funnel table (the paper's evaluation quantities),
+* the per-stage wall-time breakdown (span totals),
+* trial-latency percentiles (from ``stage4.trial`` span durations).
+
+Rendering itself lives in :mod:`repro.orchestrate.reporting` next to
+the other table renderers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.obs.sink import read_trace
+
+Number = Union[int, float]
+
+
+@dataclass
+class SpanAgg:
+    """All closed spans of one name, aggregated."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+    durations: List[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def add(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+        if duration > self.max:
+            self.max = duration
+        self.durations.append(duration)
+
+
+@dataclass
+class TraceStats:
+    """Everything ``repro stats`` needs, distilled from one trace file."""
+
+    header: Dict
+    counters: Dict[str, Number] = field(default_factory=dict)
+    gauges: Dict[str, Number] = field(default_factory=dict)
+    histograms: Dict[str, Dict] = field(default_factory=dict)
+    spans: Dict[str, SpanAgg] = field(default_factory=dict)
+    nevents: int = 0
+    wall: float = 0.0  # observed span extent (max t0+dur − min t0)
+
+
+def aggregate_trace(header: Dict, events: List[Dict]) -> TraceStats:
+    """Fold raw trace records into :class:`TraceStats`."""
+    stats = TraceStats(header=header)
+    t_min: Optional[float] = None
+    t_max = 0.0
+    for record in events:
+        kind = record.get("kind")
+        if kind == "span":
+            name = record.get("name", "?")
+            agg = stats.spans.get(name)
+            if agg is None:
+                agg = stats.spans[name] = SpanAgg(name)
+            dur = float(record.get("dur", 0.0))
+            agg.add(dur)
+            t0 = float(record.get("t0", 0.0))
+            t_min = t0 if t_min is None or t0 < t_min else t_min
+            t_max = max(t_max, t0 + dur)
+        elif kind == "metrics":
+            # Snapshots are cumulative; the last one wins.
+            stats.counters = dict(record.get("counters", {}))
+            stats.gauges = dict(record.get("gauges", {}))
+            stats.histograms = dict(record.get("histograms", {}))
+        elif kind == "event":
+            stats.nevents += 1
+    if t_min is not None:
+        stats.wall = max(0.0, t_max - t_min)
+    return stats
+
+
+def load_stats(path: str) -> TraceStats:
+    """Read and aggregate one trace file."""
+    header, events = read_trace(path)
+    return aggregate_trace(header, events)
+
+
+# -- the funnel table ----------------------------------------------------------
+
+#: (stage label, metric label, counter/gauge name) in funnel order.  A
+#: row whose name is missing from the trace renders as "-" — older or
+#: partial traces stay readable.
+FUNNEL_LAYOUT: Tuple[Tuple[str, str, str], ...] = (
+    ("1 profiling", "corpus tests kept", "stage1.corpus_tests"),
+    ("1 profiling", "tests profiled", "stage1.profiles"),
+    ("1 profiling", "instructions profiled", "stage1.instructions"),
+    ("2 PMC identification", "overlaps scanned", "stage2.overlaps"),
+    ("2 PMC identification", "PMCs identified", "stage2.pmcs"),
+    ("2 PMC identification", "(writer, reader) pairs", "stage2.pairs"),
+    ("3 selection", "PMCs filtered out", "stage3.filtered"),
+    ("3 selection", "clusters kept", "stage3.clusters"),
+    ("3 selection", "duplicate exemplars skipped", "stage3.duplicates"),
+    ("3 selection", "tests generated", "stage3.tests"),
+    ("4 execution", "tests executed", "stage4.tests"),
+    ("4 execution", "trials executed", "stage4.trials"),
+    ("4 execution", "instructions executed", "stage4.instructions"),
+    ("4 execution", "PMC channels exercised", "stage4.exercised"),
+    ("4 execution", "races flagged", "stage4.races"),
+    ("4 execution", "distinct observations", "stage4.observations"),
+    ("4 execution", "catalogued bugs", "stage4.bugs"),
+    ("4 execution", "snapshot pages restored", "restore.pages"),
+    ("4 execution", "task failures", "fleet.task_failures"),
+    ("4 execution", "task retries", "fleet.task_retries"),
+    ("4 execution", "worker respawns", "fleet.worker_respawns"),
+)
+
+
+def funnel_rows(stats: TraceStats) -> List[List[str]]:
+    """Rows for the Stage-1→4 funnel table."""
+    rows: List[List[str]] = []
+    for stage, label, name in FUNNEL_LAYOUT:
+        value = stats.counters.get(name, stats.gauges.get(name))
+        rows.append([stage, label, "-" if value is None else f"{value:,}"])
+    return rows
+
+
+#: Funnel rows that depend on executor history rather than the campaign
+#: definition: dirty-page restore counts differ between a serial run
+#: (one warm executor) and a fleet (each worker's first restore copies
+#: the full snapshot) — the same reason ``restore_seconds`` is kept out
+#: of ``CampaignResult.summary()``.  Displayed, but not compared.
+HISTORY_DEPENDENT = frozenset({"restore.pages"})
+
+
+def funnel_totals(stats: TraceStats) -> Dict[str, Number]:
+    """The funnel counters/gauges keyed by name (equivalence checks).
+
+    History-dependent quantities (:data:`HISTORY_DEPENDENT`) are left
+    out: serial and parallel campaigns of the same seed must agree on
+    every returned value."""
+    totals: Dict[str, Number] = {}
+    for _stage, _label, name in FUNNEL_LAYOUT:
+        if name in HISTORY_DEPENDENT:
+            continue
+        value = stats.counters.get(name, stats.gauges.get(name))
+        if value is not None:
+            totals[name] = value
+    return totals
+
+
+# -- the per-stage time breakdown ----------------------------------------------
+
+def stage_time_rows(stats: TraceStats) -> List[List[str]]:
+    """Per-span-name wall-time rows, largest total first.
+
+    Share is relative to the observed trace extent; nested spans
+    (``stage4.trial`` inside ``stage4.test``, ``snapshot.restore``
+    inside both) overlap their parents, so shares do not sum to 100%.
+    """
+    rows: List[List[str]] = []
+    for agg in sorted(stats.spans.values(), key=lambda a: -a.total):
+        share = agg.total / stats.wall if stats.wall > 0 else 0.0
+        rows.append(
+            [
+                agg.name,
+                str(agg.count),
+                f"{agg.total:.3f}",
+                f"{agg.mean * 1e3:.2f}",
+                f"{agg.max * 1e3:.2f}",
+                f"{share:.1%}",
+            ]
+        )
+    return rows
+
+
+# -- trial latency -------------------------------------------------------------
+
+def percentile(values: List[float], p: float) -> float:
+    """Nearest-rank percentile; 0.0 on empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * p // 100))
+    return ordered[int(rank) - 1]
+
+
+def trial_latency(stats: TraceStats) -> Dict[str, float]:
+    """p50/p95/mean/max trial latency in milliseconds, plus the count."""
+    agg = stats.spans.get("stage4.trial")
+    durations = agg.durations if agg is not None else []
+    return {
+        "count": len(durations),
+        "p50_ms": percentile(durations, 50) * 1e3,
+        "p95_ms": percentile(durations, 95) * 1e3,
+        "mean_ms": (sum(durations) / len(durations) * 1e3) if durations else 0.0,
+        "max_ms": max(durations) * 1e3 if durations else 0.0,
+    }
+
+
+def render_stats(stats: TraceStats, markdown: bool = False) -> str:
+    """The full ``repro stats`` report: funnel, stage times, latency."""
+    from repro.orchestrate.reporting import (
+        render_funnel,
+        render_stage_times,
+        render_trial_latency,
+    )
+
+    header = stats.header
+    described = ", ".join(
+        f"{key}={header[key]}"
+        for key in ("strategy", "seed", "budget", "trials", "workers")
+        if key in header
+    )
+    parts = []
+    if described:
+        parts.append(f"campaign: {described}")
+    parts.append("== Stage 1 -> 4 funnel ==")
+    parts.append(render_funnel(funnel_rows(stats), markdown=markdown))
+    parts.append("")
+    parts.append("== Per-stage wall time ==")
+    parts.append(render_stage_times(stage_time_rows(stats), markdown=markdown))
+    parts.append("")
+    parts.append("== Trial latency ==")
+    parts.append(render_trial_latency(trial_latency(stats), markdown=markdown))
+    return "\n".join(parts)

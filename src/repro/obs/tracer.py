@@ -1,0 +1,163 @@
+"""Nestable wall-time spans over an event sink.
+
+A span names one unit of pipeline work (``stage1.profile``,
+``stage4.trial``, ``snapshot.restore``) and carries its start offset,
+duration, nesting depth, parent span name and free-form attributes.
+Spans are context managers; the record is emitted to the sink when the
+span closes, so a trace is always ordered by completion time within one
+tracer.
+
+Timing is ``time.perf_counter`` relative to the tracer's ``epoch``.
+Worker tracers in parallel Stage 4 are constructed with the campaign
+tracer's epoch so their offsets stay on the campaign clock.
+
+The :class:`NullTracer` is the disabled path: ``span()`` returns a
+shared no-op singleton, so instrumented code costs two attribute loads
+and no allocations when observability is off.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.sink import NullSink
+
+
+class Span:
+    """One live span; emitted to the sink when the context exits."""
+
+    __slots__ = ("name", "attrs", "depth", "parent", "duration", "_tracer", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict):
+        self.name = name
+        self.attrs = attrs
+        self.depth = 0
+        self.parent: Optional[str] = None
+        self.duration = 0.0
+        self._tracer = tracer
+        self._t0 = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or overwrite) attributes on the live span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack
+        self.depth = len(stack)
+        self.parent = stack[-1].name if stack else None
+        stack.append(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        self.duration = end - self._t0
+        tracer = self._tracer
+        if tracer._stack and tracer._stack[-1] is self:
+            tracer._stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        tracer._emit(self, self._t0)
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span: the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    name = ""
+    attrs: Dict = {}
+    depth = 0
+    parent = None
+    duration = 0.0
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton no-op span — identity-stable so hot paths never allocate.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Factory and stack of nested spans over one sink."""
+
+    enabled = True
+
+    def __init__(self, sink=None, epoch: Optional[float] = None):
+        self.sink = sink if sink is not None else NullSink()
+        self.epoch = time.perf_counter() if epoch is None else epoch
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attrs) -> Span:
+        """A new span, entered via ``with``; nests under the open span."""
+        return Span(self, name, attrs)
+
+    def record(self, name: str, duration: float, **attrs) -> None:
+        """Emit a span for work that was already timed externally.
+
+        Used where the duration is measured anyway (e.g. the executor's
+        snapshot-restore timer) so instrumentation adds no second clock
+        read.  The record nests under the currently open span.
+        """
+        stack = self._stack
+        self.sink.emit(
+            {
+                "kind": "span",
+                "name": name,
+                "t0": round(time.perf_counter() - duration - self.epoch, 6),
+                "dur": round(duration, 6),
+                "depth": len(stack),
+                "parent": stack[-1].name if stack else None,
+                "attrs": attrs,
+            }
+        )
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    def _emit(self, span: Span, t0: float) -> None:
+        self.sink.emit(
+            {
+                "kind": "span",
+                "name": span.name,
+                "t0": round(t0 - self.epoch, 6),
+                "dur": round(span.duration, 6),
+                "depth": span.depth,
+                "parent": span.parent,
+                "attrs": span.attrs,
+            }
+        )
+
+
+class NullTracer:
+    """Disabled tracer: every span is the shared no-op singleton."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    sink = NullSink()
+    epoch = 0.0
+    depth = 0
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def record(self, name: str, duration: float, **attrs) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -12,9 +12,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.fuzz.prog import Call, Program, Res
 from repro.sched.executor import ExecutionResult, Executor

@@ -23,7 +23,7 @@ from __future__ import annotations
 import os
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.detect.datarace import RaceDetector
@@ -31,13 +31,14 @@ from repro.detect.report import observe
 from repro.fuzz.corpus import Corpus, build_corpus
 from repro.fuzz.prog import Program
 from repro.kernel.kernel import boot_kernel
-from repro.pmc.clustering import STRATEGIES_BY_NAME, ClusteringStrategy
+from repro.obs import NULL_OBSERVER, MemorySink, Observer
+from repro.orchestrate.queue import TaskFailure, WorkQueue, run_workers
+from repro.orchestrate.results import CampaignResult
+from repro.pmc.clustering import STRATEGIES_BY_NAME
 from repro.pmc.identify import PmcSet, identify_pmcs
 from repro.pmc.model import PMC
 from repro.pmc.selection import cluster_pmcs, ordered_exemplars
 from repro.profile.profiler import TestProfile, profile_corpus
-from repro.orchestrate.queue import TaskFailure, WorkQueue, run_workers
-from repro.orchestrate.results import CampaignResult
 from repro.sched.executor import Executor
 from repro.sched.random_sched import RandomScheduler
 from repro.sched.ski import SkiScheduler
@@ -143,6 +144,7 @@ class TrialOutcome:
     instructions: int
     pages_restored: int
     restore_seconds: float
+    races: int = 0
     observations: Tuple = ()
     channel_hit: bool = False
     switch_points: Tuple[int, ...] = ()
@@ -153,8 +155,14 @@ class TrialOutcome:
 class Snowboard:
     """End-to-end Snowboard instance over the mini-kernel."""
 
-    def __init__(self, config: Optional[SnowboardConfig] = None):
+    def __init__(
+        self, config: Optional[SnowboardConfig] = None, observer=None
+    ):
         self.config = config or SnowboardConfig()
+        # Observability facade (repro.obs.Observer); NULL_OBSERVER when off.
+        # Instrumentation is passive: it consumes no randomness and alters
+        # no control flow, so campaigns are bit-identical either way.
+        self.obs = observer if observer is not None else NULL_OBSERVER
         self.kernel = None
         self.snapshot = None
         self.executor: Optional[Executor] = None
@@ -162,6 +170,9 @@ class Snowboard:
         self.profiles: List[TestProfile] = []
         self.pmcset: Optional[PmcSet] = None
         self._pair_index: Optional[Dict[Tuple[int, int], List[PMC]]] = None
+        # Per-task worker event buffers (task_id -> {"trials": [...], "tail":
+        # [...]}), replayed into the campaign trace in task order at merge.
+        self._stage4_buffers: Dict[int, Dict] = {}
         # First reproduction package captured per catalogued bug id.
         self.repro_packages: Dict[str, "ReproPackage"] = {}
 
@@ -171,24 +182,30 @@ class Snowboard:
         """Boot, fuzz, profile, identify.  Idempotent."""
         if self.pmcset is not None:
             return self
-        self.kernel, self.snapshot = boot_kernel(fixed=self.config.fixed_kernel)
-        if self.config.setup_program is not None:
-            self.snapshot = derive_initial_state(
-                self.kernel, self.snapshot, self.config.setup_program
-            )
+        obs = self.obs
+        with obs.span("stage1.boot", fixed=self.config.fixed_kernel):
+            self.kernel, self.snapshot = boot_kernel(fixed=self.config.fixed_kernel)
+            if self.config.setup_program is not None:
+                self.snapshot = derive_initial_state(
+                    self.kernel, self.snapshot, self.config.setup_program
+                )
         self.executor = Executor(
             self.kernel, self.snapshot, max_instructions=self.config.max_instructions
         )
+        self.executor.obs = obs
         from repro.fuzz.spec import DEFAULT_SEEDS
 
-        self.corpus = build_corpus(
-            self.executor,
-            seed=self.config.seed,
-            budget=self.config.corpus_budget,
-            seeds=DEFAULT_SEEDS,
-        )
-        self.profiles = profile_corpus(self.corpus)
-        self.pmcset = identify_pmcs(self.profiles)
+        with obs.span("stage1.corpus", budget=self.config.corpus_budget):
+            self.corpus = build_corpus(
+                self.executor,
+                seed=self.config.seed,
+                budget=self.config.corpus_budget,
+                seeds=DEFAULT_SEEDS,
+            )
+        if obs.enabled:
+            obs.count("stage1.corpus_tests", len(self.corpus))
+        self.profiles = profile_corpus(self.corpus, obs=obs)
+        self.pmcset = identify_pmcs(self.profiles, obs=obs)
         return self
 
     def _program(self, test_id: int) -> Program:
@@ -228,7 +245,10 @@ class Snowboard:
         self.prepare()
         rng = random.Random(self.config.seed ^ 0x5B0A)
         if strategy in (RANDOM_PAIRING, DUPLICATE_PAIRING):
-            return self._generate_baseline(strategy, limit or 100, rng), 0
+            tests = self._generate_baseline(strategy, limit or 100, rng)
+            if self.obs.enabled:
+                self.obs.count("stage3.tests", len(tests))
+            return tests, 0
         if strategy == RANDOM_S_INS_PAIR:
             clustering = STRATEGIES_BY_NAME["S-INS-PAIR"]
             random_order = True
@@ -237,9 +257,12 @@ class Snowboard:
         pmcs = self.pmcset.all_pmcs()
         nclusters = len(cluster_pmcs(pmcs, clustering))
         exemplars = ordered_exemplars(
-            pmcs, clustering, rng, random_order=random_order, limit=limit
+            pmcs, clustering, rng, random_order=random_order, limit=limit, obs=self.obs
         )
-        return self.tests_from_exemplars(exemplars, rng), nclusters
+        tests = self.tests_from_exemplars(exemplars, rng)
+        if self.obs.enabled:
+            self.obs.count("stage3.tests", len(tests))
+        return tests, nclusters
 
     def tests_from_exemplars(
         self, exemplars: Sequence[PMC], rng: Optional[random.Random] = None
@@ -323,32 +346,87 @@ class Snowboard:
             test, seed=self.config.seed + test_index, kind=scheduler_kind
         )
         campaign.tested_pmcs += 1
+        obs = self.obs
         exercised = False
         found_new = False
-        for trial in range(trials):
-            scheduler.begin_trial(trial)
-            detector = RaceDetector()
-            result = self.executor.run_concurrent(
-                [test.writer, test.reader], scheduler=scheduler, race_detector=detector
-            )
-            campaign.trials += 1
-            campaign.instructions += result.instructions
-            campaign.pages_restored += result.pages_restored
-            campaign.restore_seconds += result.restore_seconds
-            if test.pmc is not None and not exercised:
-                exercised = channel_exercised(test.pmc, result.accesses)
-            fresh = campaign.record_observations(
-                observe(result), test_index=test_index, trial=trial
-            )
-            scheduler.end_trial(result)
-            if fresh:
-                found_new = True
-                self._capture_packages(test, result, fresh)
-                if self.config.stop_test_on_new_bug:
-                    break
+        with obs.span(
+            "stage4.test",
+            test=test_index,
+            writer=test.writer_test,
+            reader=test.reader_test,
+        ) as test_span:
+            for trial in range(trials):
+                with obs.span(
+                    "stage4.trial", test=test_index, trial=trial
+                ) as trial_span:
+                    scheduler.begin_trial(trial)
+                    detector = RaceDetector()
+                    result = self.executor.run_concurrent(
+                        [test.writer, test.reader],
+                        scheduler=scheduler,
+                        race_detector=detector,
+                    )
+                    campaign.trials += 1
+                    campaign.instructions += result.instructions
+                    campaign.pages_restored += result.pages_restored
+                    campaign.restore_seconds += result.restore_seconds
+                    if test.pmc is not None and not exercised:
+                        exercised = channel_exercised(test.pmc, result.accesses)
+                    fresh = campaign.record_observations(
+                        observe(result), test_index=test_index, trial=trial
+                    )
+                    scheduler.end_trial(result)
+                    if obs.enabled:
+                        races = len(detector.reports())
+                        trial_span.set(
+                            instructions=result.instructions, races=races
+                        )
+                        self._count_trial(
+                            obs,
+                            result.instructions,
+                            result.pages_restored,
+                            races,
+                            len(fresh),
+                        )
+                if fresh:
+                    found_new = True
+                    self._capture_packages(test, result, fresh)
+                    if self.config.stop_test_on_new_bug:
+                        break
+            if obs.enabled:
+                test_span.set(
+                    exercised=exercised,
+                    found_new=found_new,
+                    **self._scheduler_stats(scheduler),
+                )
         if exercised:
             campaign.exercised_pmcs += 1
+        if obs.enabled:
+            obs.count("stage4.tests", 1)
+            if exercised:
+                obs.count("stage4.exercised", 1)
         return found_new
+
+    @staticmethod
+    def _scheduler_stats(scheduler) -> Dict[str, int]:
+        """Exploration diagnostics for span attrs ({} for schedulers
+        without a ``stats()``, e.g. the random baseline)."""
+        stats = getattr(scheduler, "stats", None)
+        return stats() if callable(stats) else {}
+
+    @staticmethod
+    def _count_trial(
+        obs, instructions: int, pages: int, races: int, fresh: int
+    ) -> None:
+        """The per-trial funnel increments, shared verbatim by the serial
+        loop and the parallel merge loop so their totals cannot drift."""
+        obs.count("stage4.trials", 1)
+        obs.count("stage4.instructions", instructions)
+        obs.count("restore.pages", pages)
+        obs.count("stage4.races", races)
+        if fresh:
+            obs.count("stage4.observations", fresh)
+        obs.observe("stage4.trial_instructions", instructions)
 
     def _capture_packages(self, test: ConcurrentTest, result, fresh_records) -> None:
         """Store one deterministic reproduction package per new bug id."""
@@ -407,33 +485,85 @@ class Snowboard:
         scheduler = self.make_scheduler(
             test, seed=self.config.seed + task.task_id, kind=task.scheduler_kind
         )
+        # Worker-side tracing buffers into a private MemorySink (sharing
+        # the campaign tracer's epoch, so timestamps are comparable); the
+        # merger replays it into the trace in task order.  Funnel counters
+        # are NOT incremented here — workers run the full trial budget
+        # while the serial path stops early, so counting happens only at
+        # the merge sites, on exactly the merged trials.
+        sink: Optional[MemorySink] = None
+        obs = NULL_OBSERVER
+        if self.obs.enabled:
+            sink = MemorySink()
+            obs = Observer(sink, epoch=self.obs.tracer.epoch)
+            executor.obs = obs
         outcomes: List[TrialOutcome] = []
+        slices: List[List[Dict]] = []
         exercised = False
-        for trial in range(task.trials):
-            scheduler.begin_trial(trial)
-            detector = RaceDetector()
-            result = executor.run_concurrent(
-                [test.writer, test.reader], scheduler=scheduler, race_detector=detector
-            )
-            if test.pmc is not None and not exercised:
-                # Once the channel fired, the prefix-OR the merger computes
-                # is True regardless of later trials; skip the scan.
-                exercised = channel_exercised(test.pmc, result.accesses)
-            observations = tuple(observe(result))
-            outcomes.append(
-                TrialOutcome(
-                    trial=trial,
-                    instructions=result.instructions,
-                    pages_restored=result.pages_restored,
-                    restore_seconds=result.restore_seconds,
-                    observations=observations,
-                    channel_hit=exercised,
-                    switch_points=tuple(result.switch_points) if observations else (),
-                    console=tuple(result.console) if observations else (),
-                    panic_message=result.panic_message if observations else "",
-                )
-            )
-            scheduler.end_trial(result)
+        try:
+            with obs.span(
+                "stage4.test",
+                test=task.task_id,
+                writer=test.writer_test,
+                reader=test.reader_test,
+            ) as test_span:
+                for trial in range(task.trials):
+                    mark = len(sink.events) if sink is not None else 0
+                    with obs.span(
+                        "stage4.trial", test=task.task_id, trial=trial
+                    ) as trial_span:
+                        scheduler.begin_trial(trial)
+                        detector = RaceDetector()
+                        result = executor.run_concurrent(
+                            [test.writer, test.reader],
+                            scheduler=scheduler,
+                            race_detector=detector,
+                        )
+                        if test.pmc is not None and not exercised:
+                            # Once the channel fired, the prefix-OR the
+                            # merger computes is True regardless of later
+                            # trials; skip the scan.
+                            exercised = channel_exercised(test.pmc, result.accesses)
+                        observations = tuple(observe(result))
+                        races = len(detector.reports())
+                        outcomes.append(
+                            TrialOutcome(
+                                trial=trial,
+                                instructions=result.instructions,
+                                pages_restored=result.pages_restored,
+                                restore_seconds=result.restore_seconds,
+                                races=races,
+                                observations=observations,
+                                channel_hit=exercised,
+                                switch_points=(
+                                    tuple(result.switch_points) if observations else ()
+                                ),
+                                console=tuple(result.console) if observations else (),
+                                panic_message=(
+                                    result.panic_message if observations else ""
+                                ),
+                            )
+                        )
+                        scheduler.end_trial(result)
+                        if sink is not None:
+                            trial_span.set(
+                                instructions=result.instructions, races=races
+                            )
+                    if sink is not None:
+                        slices.append(sink.events[mark:])
+                if sink is not None:
+                    test_span.set(
+                        exercised=exercised, **self._scheduler_stats(scheduler)
+                    )
+        finally:
+            if sink is not None:
+                executor.obs = NULL_OBSERVER
+        if sink is not None:
+            consumed = sum(len(chunk) for chunk in slices)
+            self._stage4_buffers[task.task_id] = {
+                "trials": slices,
+                "tail": sink.events[consumed:],
+            }
         return outcomes
 
     def _merge_task_outcomes(
@@ -449,6 +579,7 @@ class Snowboard:
         record identical bug sets, trial counts and first-find positions."""
         test_index = campaign.tested_pmcs if task_id is None else task_id
         campaign.tested_pmcs += 1
+        obs = self.obs
         exercised = False
         found_new = False
         for outcome in outcomes:
@@ -461,6 +592,14 @@ class Snowboard:
             fresh = campaign.record_observations(
                 list(outcome.observations), test_index=test_index, trial=outcome.trial
             )
+            if obs.enabled:
+                self._count_trial(
+                    obs,
+                    outcome.instructions,
+                    outcome.pages_restored,
+                    outcome.races,
+                    len(fresh),
+                )
             if fresh:
                 found_new = True
                 self._capture_packages(test, outcome, fresh)
@@ -468,6 +607,10 @@ class Snowboard:
                     break
         if exercised:
             campaign.exercised_pmcs += 1
+        if obs.enabled:
+            obs.count("stage4.tests", 1)
+            if exercised:
+                obs.count("stage4.exercised", 1)
         return found_new
 
     def execute_tests_parallel(
@@ -497,6 +640,11 @@ class Snowboard:
         """
         trials = trials or self.config.trials_per_pmc
         completed = completed or frozenset()
+        obs = self.obs
+        if obs.enabled:
+            # Fresh buffers per fleet run; worker threads write disjoint
+            # task_id keys, the merge loop below drains them in order.
+            self._stage4_buffers = {}
         if self.config.adopt_incidental_pmcs:
             # Worker threads share this index read-only; building it
             # lazily under concurrency would race (satellite fix).
@@ -526,6 +674,7 @@ class Snowboard:
             nworkers=workers,
             max_task_retries=self.config.task_retries,
             max_worker_respawns=self.config.worker_respawns,
+            obs=obs,
         )
         campaign.adopt_worker_stats(work.worker_stats)
         for index, test in enumerate(tests):
@@ -539,12 +688,37 @@ class Snowboard:
                 # than crashing the merge loop.
                 campaign.tested_pmcs += 1
                 campaign.task_failures += 1
+                if obs.enabled:
+                    self._stage4_buffers.pop(index, None)  # partial, discard
+                    obs.count("stage4.tests", 1)
+                    obs.event("stage4.task_failed", task=index)
                 if on_task_merged is not None:
                     on_task_merged(index, merged=False)
                 continue
+            merged_from = campaign.trials
             self._merge_task_outcomes(test, outcome, campaign, task_id=index)
+            if obs.enabled:
+                self._replay_task_buffer(index, campaign.trials - merged_from)
+                obs.flush_metrics()
             if on_task_merged is not None:
                 on_task_merged(index)
+
+    def _replay_task_buffer(self, task_id: int, merged_trials: int) -> None:
+        """Replay one task's buffered worker events into the campaign trace.
+
+        Only the spans of the first ``merged_trials`` trials are replayed —
+        the worker ran its full budget, but the merge stopped where the
+        serial campaign would have, and the trace must tell the same story.
+        The tail (the test-level span) is always kept.
+        """
+        buffer = self._stage4_buffers.pop(task_id, None)
+        if buffer is None:
+            return
+        events: List[Dict] = []
+        for chunk in buffer["trials"][:merged_trials]:
+            events.extend(chunk)
+        events.extend(buffer["tail"])
+        self.obs.replay(events)
 
     def _open_checkpoint(
         self,
@@ -650,6 +824,10 @@ class Snowboard:
                         trials=trials,
                         task_id=index,
                     )
+                    if self.obs.enabled:
+                        # Keep the trace's cumulative funnel near-current,
+                        # so a killed campaign still reads sensibly.
+                        self.obs.flush_metrics()
                     if writer is not None:
                         writer.task_done(index)
             else:
@@ -666,7 +844,26 @@ class Snowboard:
             if writer is not None:
                 writer.close()
         campaign.wall_seconds = time.perf_counter() - start
+        self._finish_campaign_obs(campaign)
         return campaign
+
+    def _finish_campaign_obs(self, campaign: CampaignResult) -> None:
+        """End-of-campaign observability tail: fleet health counters,
+        level-style quantities as gauges, and a final metrics snapshot.
+
+        The fleet counters are emitted in serial campaigns too (as zeros),
+        so serial and parallel runs of the same seed report identical
+        funnel totals."""
+        obs = self.obs
+        if not obs.enabled:
+            return
+        obs.count("fleet.task_failures", campaign.task_failures)
+        obs.count("fleet.task_retries", campaign.task_retries)
+        obs.count("fleet.worker_respawns", campaign.worker_respawns)
+        obs.gauge("stage4.bugs", campaign.distinct_bugs)
+        obs.gauge("campaign.workers", campaign.workers)
+        obs.gauge("campaign.wall_seconds", round(campaign.wall_seconds, 6))
+        obs.flush_metrics()
 
     def run_iterative_campaign(
         self,
@@ -703,4 +900,5 @@ class Snowboard:
         else:
             self.execute_tests_parallel(tests, campaign, trials=trials, workers=workers)
         campaign.wall_seconds = time.perf_counter() - start
+        self._finish_campaign_obs(campaign)
         return campaign

@@ -31,6 +31,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
 
+from repro.obs import NULL_OBSERVER
+
 
 @dataclass(frozen=True)
 class Task:
@@ -168,6 +170,7 @@ def run_workers(
     nworkers: int = 2,
     max_task_retries: int = 0,
     max_worker_respawns: int = 2,
+    obs=NULL_OBSERVER,
 ) -> Dict[int, Any]:
     """Run all queued tasks across ``nworkers`` workers; returns results.
 
@@ -265,4 +268,16 @@ def run_workers(
             work.complete(task, TaskFailure(task.task_id, error, attempts=0))
 
     work.worker_stats = stats_list
+    if obs.enabled:
+        # One health event per worker, in worker-id order (the fleet is
+        # already joined, so counters are final and reads are race-free).
+        for stats in stats_list:
+            obs.event(
+                "fleet.worker",
+                worker_id=stats.worker_id,
+                tasks_done=stats.tasks_done,
+                retries=stats.retries,
+                respawns=stats.respawns,
+                failed=stats.failed,
+            )
     return work.results

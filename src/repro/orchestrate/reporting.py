@@ -7,9 +7,9 @@ in plain text (for terminals and benches) or markdown (for docs).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
-from repro.detect.catalog import BUG_CATALOG, spec_by_id
+from repro.detect.catalog import BUG_CATALOG
 from repro.orchestrate.results import CampaignResult
 
 
@@ -101,6 +101,38 @@ def render_throughput(
                 str(campaign.worker_respawns),
             ]
         )
+    return _render(header, rows, markdown)
+
+
+def render_funnel(rows: Sequence[List[str]], markdown: bool = False) -> str:
+    """Render the Stage-1→4 funnel table of ``repro stats``.
+
+    ``rows`` come from :func:`repro.obs.stats.funnel_rows`: (stage,
+    metric, value) triples in funnel order.
+    """
+    return _render(["Stage", "Metric", "Value"], list(rows), markdown)
+
+
+def render_stage_times(rows: Sequence[List[str]], markdown: bool = False) -> str:
+    """Render the per-span wall-time breakdown of ``repro stats``."""
+    header = ["Span", "Count", "Total s", "Mean ms", "Max ms", "Share"]
+    return _render(header, list(rows), markdown)
+
+
+def render_trial_latency(
+    latency: Mapping[str, float], markdown: bool = False
+) -> str:
+    """Render the trial-latency percentile row of ``repro stats``."""
+    header = ["Trials", "p50 ms", "p95 ms", "Mean ms", "Max ms"]
+    rows = [
+        [
+            str(int(latency.get("count", 0))),
+            f"{latency.get('p50_ms', 0.0):.2f}",
+            f"{latency.get('p95_ms', 0.0):.2f}",
+            f"{latency.get('mean_ms', 0.0):.2f}",
+            f"{latency.get('max_ms', 0.0):.2f}",
+        ]
+    ]
     return _render(header, rows, markdown)
 
 

@@ -9,9 +9,9 @@ at which it was first seen — the tests-executed analogue of Table 3's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.detect.catalog import BUG_CATALOG, match_observations
+from repro.detect.catalog import match_observations
 from repro.detect.report import (
     BugObservation,
     observation_from_obj,

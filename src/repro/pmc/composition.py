@@ -14,7 +14,7 @@ Two composition modes the paper describes:
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.pmc.clustering import ClusteringStrategy
 from repro.pmc.model import PMC

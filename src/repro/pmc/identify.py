@@ -10,9 +10,10 @@ material for concurrent test generation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.machine.accesses import project_value
+from repro.obs import NULL_OBSERVER
 from repro.pmc.index import AccessIndex
 from repro.pmc.model import PMC, AccessKey
 from repro.profile.profiler import TestProfile
@@ -59,33 +60,41 @@ class PmcSet:
             raise KeyError(test_id) from None
 
 
-def identify_pmcs(profiles: Sequence[TestProfile]) -> PmcSet:
+def identify_pmcs(profiles: Sequence[TestProfile], obs=NULL_OBSERVER) -> PmcSet:
     """Algorithm 1: index all tests, scan overlaps, classify PMCs."""
-    index = AccessIndex()
-    for profile in profiles:
-        index.insert_profile(profile)
+    with obs.span("stage2.identify", profiles=len(profiles)) as span:
+        index = AccessIndex()
+        for profile in profiles:
+            index.insert_profile(profile)
 
-    result = PmcSet(profiles=tuple(profiles))
-    pmcs = result.pmcs
-    seen_pairs: Dict[PMC, Set[Tuple[int, int]]] = {}
+        result = PmcSet(profiles=tuple(profiles))
+        pmcs = result.pmcs
+        seen_pairs: Dict[PMC, Set[Tuple[int, int]]] = {}
 
-    for overlap in index.read_write_overlaps():
-        result.overlaps_scanned += 1
-        read, write = overlap.read, overlap.write
-        read_value = project_value(read.addr, read.size, read.value, overlap.lo, overlap.hi)
-        write_value = project_value(
-            write.addr, write.size, write.value, overlap.lo, overlap.hi
-        )
-        if read_value == write_value:
-            continue
-        pmc = PMC(
-            write=AccessKey.of(write),
-            read=AccessKey.of(read),
-            df_leader=read.df_leader,
-        )
-        pair = (overlap.write_test, overlap.read_test)
-        holders = seen_pairs.setdefault(pmc, set())
-        if pair not in holders:
-            holders.add(pair)
-            pmcs.setdefault(pmc, []).append(pair)
+        for overlap in index.read_write_overlaps():
+            result.overlaps_scanned += 1
+            read, write = overlap.read, overlap.write
+            read_value = project_value(
+                read.addr, read.size, read.value, overlap.lo, overlap.hi
+            )
+            write_value = project_value(
+                write.addr, write.size, write.value, overlap.lo, overlap.hi
+            )
+            if read_value == write_value:
+                continue
+            pmc = PMC(
+                write=AccessKey.of(write),
+                read=AccessKey.of(read),
+                df_leader=read.df_leader,
+            )
+            pair = (overlap.write_test, overlap.read_test)
+            holders = seen_pairs.setdefault(pmc, set())
+            if pair not in holders:
+                holders.add(pair)
+                pmcs.setdefault(pmc, []).append(pair)
+        span.set(pmcs=len(pmcs), overlaps=result.overlaps_scanned)
+    if obs.enabled:
+        obs.count("stage2.overlaps", result.overlaps_scanned)
+        obs.count("stage2.pmcs", len(pmcs))
+        obs.count("stage2.pairs", sum(len(pairs) for pairs in pmcs.values()))
     return result

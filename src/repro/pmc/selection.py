@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import NULL_OBSERVER
 from repro.pmc.clustering import ClusteringStrategy
 from repro.pmc.model import PMC
 
@@ -33,6 +34,7 @@ def ordered_exemplars(
     rng: random.Random,
     random_order: bool = False,
     limit: Optional[int] = None,
+    obs=NULL_OBSERVER,
 ) -> List[PMC]:
     """One exemplar per cluster, uncommon (smallest) clusters first.
 
@@ -40,27 +42,40 @@ def ordered_exemplars(
     Random S-INS-PAIR baseline).  A PMC already chosen as another
     cluster's exemplar is skipped, so the result has no duplicates (this
     matters for S-INS, where every PMC sits in two clusters).
-    """
-    clusters = cluster_pmcs(pmcs, strategy)
-    items = list(clusters.items())
-    if random_order:
-        # Stable order first so the shuffle is reproducible from the seed.
-        items.sort(key=lambda kv: repr(kv[0]))
-        rng.shuffle(items)
-    else:
-        items.sort(key=lambda kv: (len(kv[1]), repr(kv[0])))
 
-    chosen: List[PMC] = []
-    taken = set()
-    for _, members in items:
-        candidates = [p for p in members if p not in taken]
-        if not candidates:
-            continue
-        exemplar = rng.choice(candidates)
-        taken.add(exemplar)
-        chosen.append(exemplar)
-        if limit is not None and len(chosen) >= limit:
-            break
+    Stage-3 funnel quantities — clusters kept, PMCs dropped by the
+    strategy filter, clusters deduplicated away because their candidates
+    were already exemplars elsewhere — land on ``obs``.
+    """
+    with obs.span("stage3.select", strategy=strategy.name) as span:
+        clusters = cluster_pmcs(pmcs, strategy)
+        items = list(clusters.items())
+        if random_order:
+            # Stable order first so the shuffle is reproducible from the seed.
+            items.sort(key=lambda kv: repr(kv[0]))
+            rng.shuffle(items)
+        else:
+            items.sort(key=lambda kv: (len(kv[1]), repr(kv[0])))
+
+        chosen: List[PMC] = []
+        taken = set()
+        deduped = 0
+        for _, members in items:
+            candidates = [p for p in members if p not in taken]
+            if not candidates:
+                deduped += 1
+                continue
+            exemplar = rng.choice(candidates)
+            taken.add(exemplar)
+            chosen.append(exemplar)
+            if limit is not None and len(chosen) >= limit:
+                break
+        span.set(clusters=len(clusters), exemplars=len(chosen), deduped=deduped)
+    if obs.enabled:
+        obs.count("stage3.clusters", len(clusters))
+        obs.count("stage3.filtered", sum(1 for p in pmcs if not strategy.accepts(p)))
+        obs.count("stage3.duplicates", deduped)
+        obs.count("stage3.exemplars", len(chosen))
     return chosen
 
 

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.fuzz.corpus import Corpus
 from repro.fuzz.prog import Program
-from repro.machine.accesses import AccessType, MemoryAccess, iter_access_fields
+from repro.machine.accesses import AccessType, iter_access_fields
+from repro.obs import NULL_OBSERVER
 from repro.sched.executor import ExecutionResult, Executor
 
 
@@ -207,17 +208,32 @@ class Profiler:
         return profile_from_result(test_id, program, result)
 
 
-def profile_corpus(corpus: Corpus, executor: Optional[Executor] = None) -> List[TestProfile]:
+def profile_corpus(
+    corpus: Corpus, executor: Optional[Executor] = None, obs=NULL_OBSERVER
+) -> List[TestProfile]:
     """Profile every corpus entry.
 
     Corpus entries already carry their sequential execution results, so
     no re-execution is needed unless an executor is passed explicitly.
+    The Stage-1 funnel quantities (tests profiled, instructions covered,
+    unique shared accesses, double-fetch leaders) land on ``obs``.
     """
     profiles = []
-    for entry in corpus:
-        if executor is not None:
-            result = executor.run_sequential(entry.program)
-        else:
-            result = entry.result
-        profiles.append(profile_from_result(entry.test_id, entry.program, result))
+    with obs.span("stage1.profile", tests=len(corpus)):
+        for entry in corpus:
+            if executor is not None:
+                result = executor.run_sequential(entry.program)
+            else:
+                result = entry.result
+            profiles.append(
+                profile_from_result(entry.test_id, entry.program, result)
+            )
+    if obs.enabled:
+        obs.count("stage1.profiles", len(profiles))
+        obs.count("stage1.instructions", sum(p.instructions for p in profiles))
+        obs.count("stage1.accesses", sum(len(p.accesses) for p in profiles))
+        obs.count(
+            "stage1.df_leaders",
+            sum(1 for p in profiles for a in p.accesses if a.df_leader),
+        )
     return profiles

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.machine.accesses import MemoryAccess
-from repro.profile.profiler import ProfiledAccess, TestProfile
+from repro.profile.profiler import TestProfile
 
 
 def subsystem_of(ins: str) -> str:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field as dc_field
-from typing import Generator, List, Optional, Sequence, Tuple
+from typing import Generator, List, Optional, Sequence
 
 from repro.fuzz.prog import Program, resolve_arg
 from repro.kernel.context import KernelContext
@@ -22,6 +22,7 @@ from repro.kernel.ops import CasOp, MemOp, PanicOp, PauseOp, PrintkOp, SyncOp
 from repro.machine.accesses import AccessTrace, AccessType, MemoryAccess
 from repro.machine.memory import PageFault
 from repro.machine.snapshot import Snapshot
+from repro.obs import NULL_OBSERVER
 from repro.sched.liveness import LivenessMonitor
 
 DEFAULT_MAX_INSTRUCTIONS = 200_000
@@ -113,6 +114,9 @@ class Executor:
         # the dirty-page incremental path (the pre-optimisation behaviour;
         # kept as a knob for the restore-cost benchmarks).
         self.full_restore = False
+        # Observability hooks; the shared no-op unless the owning pipeline
+        # (or a Stage-4 worker, per task) installs a live observer.
+        self.obs = NULL_OBSERVER
 
     # -- public entry points ---------------------------------------------------
 
@@ -164,6 +168,15 @@ class Executor:
         restore_start = time.perf_counter()
         result.pages_restored = self.snapshot.restore(self.kernel.machine)
         result.restore_seconds = time.perf_counter() - restore_start
+        obs = self.obs
+        if obs.enabled:
+            # Reuses the restore timer above: tracing adds no clock reads
+            # to the run path, and none of this executes when disabled.
+            obs.record_span(
+                "snapshot.restore",
+                result.restore_seconds,
+                pages=result.pages_restored,
+            )
         machine = self.kernel.machine
         console_start = len(machine.console)
 

@@ -11,7 +11,7 @@ bucket.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Sequence
 
 from repro.fuzz.prog import Program
 from repro.sched.executor import ExecutionResult, Executor

@@ -17,10 +17,9 @@ Two modes from the paper's comparison (section 5.4):
 from __future__ import annotations
 
 import random
-from typing import Optional, Set
+from typing import TYPE_CHECKING, Set
 
 from repro.machine.accesses import MemoryAccess
-from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # break the sched <-> pmc import cycle
     from repro.pmc.model import PMC

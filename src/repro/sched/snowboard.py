@@ -20,10 +20,9 @@ every trial is reproducible.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.machine.accesses import AccessType, MemoryAccess, iter_access_fields
-from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # break the sched <-> pmc import cycle
     from repro.pmc.model import PMC
@@ -128,6 +127,16 @@ class SnowboardScheduler:
     @property
     def tracked_pmcs(self) -> int:
         return len(self.current_pmcs)
+
+    def stats(self) -> Dict[str, int]:
+        """Exploration-state diagnostics, attached to ``stage4.test``
+        spans by the pipeline: PMCs under test (1 + incidental
+        adoptions), learned predictor flags, and adoptions performed."""
+        return {
+            "tracked_pmcs": len(self.current_pmcs),
+            "flags_learned": len(self.flags),
+            "adopted": self._adopted,
+        }
 
 
 def channel_exercised(pmc, accesses: Iterable[MemoryAccess]) -> bool:

@@ -1,0 +1,143 @@
+"""End-to-end CLI smoke test: one tiny fixed-seed campaign via
+``python -m repro`` with checkpointing, two workers and a trace, then
+cross-checks that the console summary, the checkpoint journal and the
+observability trace all agree on what was executed.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+ARGS = [
+    "--strategy", "S-INS-PAIR",
+    "--budget", "4",
+    "--trials", "4",
+    "--seed", "7",
+    "--corpus", "120",
+]
+
+
+def run_cli(*args, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"repro {' '.join(args)} failed ({proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return proc
+
+
+@pytest.fixture(scope="module")
+def smoke(tmp_path_factory):
+    """One traced + checkpointed 2-worker campaign, run once per module."""
+    outdir = tmp_path_factory.mktemp("smoke")
+    checkpoint = str(outdir / "campaign.ckpt")
+    trace = str(outdir / "trace.jsonl")
+    proc = run_cli(
+        "campaign", *ARGS,
+        "--workers", "2",
+        "--checkpoint", checkpoint,
+        "--trace-out", trace,
+    )
+    return proc, checkpoint, trace
+
+
+def parse_executed(stdout: str):
+    match = re.search(
+        r"executed: tests=(\d+) trials=(\d+) observations=(\d+) bugs=(\d+)", stdout
+    )
+    assert match, f"no executed-summary line in output:\n{stdout}"
+    return tuple(int(g) for g in match.groups())
+
+
+class TestCampaignSmoke:
+    def test_campaign_runs_and_reports(self, smoke):
+        proc, _checkpoint, trace = smoke
+        assert "corpus=" in proc.stdout
+        assert "Strategy" in proc.stdout  # the Table 3 header
+        tests, trials, _observations, _bugs = parse_executed(proc.stdout)
+        assert tests == 4
+        assert 4 <= trials <= 16  # early stop can trim, never exceed budget
+        assert f"trace written to {trace}" in proc.stdout
+
+    def test_summary_checkpoint_and_trace_agree(self, smoke):
+        proc, checkpoint, trace = smoke
+        tests, trials, observations, _bugs = parse_executed(proc.stdout)
+
+        from repro.orchestrate.persistence import load_checkpoint
+
+        _header, task_records = load_checkpoint(checkpoint)
+        counters = task_records[-1]["counters"]
+        assert counters["trials"] == trials
+        assert counters["tested_pmcs"] == tests
+
+        from repro.obs.stats import funnel_totals, load_stats
+
+        totals = funnel_totals(load_stats(trace))
+        assert totals["stage4.trials"] == trials
+        assert totals["stage4.tests"] == tests
+        assert totals["stage4.observations"] == observations
+
+    def test_trace_header_records_the_invocation(self, smoke):
+        _proc, _checkpoint, trace = smoke
+        from repro.obs.sink import read_trace
+
+        header, events = read_trace(trace)
+        assert header["strategy"] == "S-INS-PAIR"
+        assert header["seed"] == 7
+        assert header["workers"] == 2
+        assert any(e["kind"] == "span" for e in events)
+        assert any(e["kind"] == "metrics" for e in events)
+
+    def test_serial_rerun_matches_parallel_smoke(self, smoke, tmp_path):
+        """The same invocation with --workers 1 prints the same results."""
+        proc, _checkpoint, _trace = smoke
+        trace = str(tmp_path / "serial.jsonl")
+        serial = run_cli("campaign", *ARGS, "--workers", "1", "--trace-out", trace)
+        assert parse_executed(serial.stdout) == parse_executed(proc.stdout)
+
+        from repro.obs.stats import funnel_totals, load_stats
+
+        parallel_totals = funnel_totals(load_stats(smoke[2]))
+        assert funnel_totals(load_stats(trace)) == parallel_totals
+
+
+class TestStatsSmoke:
+    def test_stats_renders_all_views(self, smoke):
+        _proc, _checkpoint, trace = smoke
+        proc = run_cli("stats", trace)
+        assert "== Stage 1 -> 4 funnel ==" in proc.stdout
+        assert "== Per-stage wall time ==" in proc.stdout
+        assert "== Trial latency ==" in proc.stdout
+        assert "trials executed" in proc.stdout
+
+    def test_stats_markdown(self, smoke):
+        _proc, _checkpoint, trace = smoke
+        proc = run_cli("stats", trace, "--markdown")
+        assert "| Stage" in proc.stdout or "|Stage" in proc.stdout
+
+    def test_stats_missing_file_fails_cleanly(self, tmp_path):
+        proc = run_cli("stats", str(tmp_path / "nope.jsonl"), check=False)
+        assert proc.returncode == 2
+        assert "no such trace file" in proc.stderr
+
+    def test_stats_rejects_headerless_file(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text('{"kind": "event", "name": "x"}\n')
+        proc = run_cli("stats", str(path), check=False)
+        assert proc.returncode == 2

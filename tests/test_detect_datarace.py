@@ -1,6 +1,5 @@
 """Unit tests for the happens-before race detector (synthetic streams)."""
 
-import pytest
 
 from repro.detect.datarace import RaceDetector
 from repro.kernel.ops import SyncOp

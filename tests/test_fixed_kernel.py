@@ -50,7 +50,12 @@ class TestSemanticsUnchanged:
     def test_ipc_over_rhashtable_works(self, fixed):
         _, ex = fixed
         result = ex.run_sequential(
-            prog(Call("msgget", (2,)), Call("msgsnd", (2, 9)), Call("msgrcv", (2,)), Call("msgctl", (2, 0)))
+            prog(
+                Call("msgget", (2,)),
+                Call("msgsnd", (2, 9)),
+                Call("msgrcv", (2,)),
+                Call("msgctl", (2, 0)),
+            )
         )
         assert result.returns[0] == [2, 0, 9, 0]
 
@@ -180,8 +185,16 @@ class TestNoAlarmsUnderRandomExploration:
         ),
         (prog(Call("snd_ctl_add", (100,))), prog(Call("snd_ctl_add", (100,)))),
         (
-            prog(Call("socket", (1,)), Call("setsockopt", (Res(0), 3, 0)), Call("close", (Res(0),))),
-            prog(Call("socket", (1,)), Call("setsockopt", (Res(0), 3, 0)), Call("sendmsg", (Res(0), 1))),
+            prog(
+                Call("socket", (1,)),
+                Call("setsockopt", (Res(0), 3, 0)),
+                Call("close", (Res(0),)),
+            ),
+            prog(
+                Call("socket", (1,)),
+                Call("setsockopt", (Res(0), 3, 0)),
+                Call("sendmsg", (Res(0), 1)),
+            ),
         ),
         (
             prog(Call("socket", (3,)), Call("ioctl", (Res(0), 6, 900))),

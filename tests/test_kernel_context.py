@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.kernel.context import KernelContext, _chunk_size
-from repro.kernel.kernel import boot_kernel
+from repro.kernel.context import _chunk_size
 from repro.kernel.ops import CasOp, MemOp, PanicOp
 from repro.machine.accesses import AccessType
 

@@ -1,6 +1,5 @@
 """Tests for the FIFO, semaphore and procinfo subsystems."""
 
-import pytest
 
 from repro.detect.datarace import RaceDetector
 from repro.fuzz.prog import Call, Res, prog

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.fuzz.prog import Call, Res, prog
-from repro.kernel.errors import EIO, ENOENT
+from repro.kernel.errors import ENOENT
 from repro.kernel.kernel import boot_kernel
 from repro.kernel.subsystems.fs import EXT_MAGIC, INODE, ext4_csum
 from repro.sched.executor import Executor

@@ -1,6 +1,5 @@
 """Tests for the IPC, TTY and sound subsystems."""
 
-import pytest
 
 from repro.fuzz.prog import Call, Res, prog
 from repro.kernel.errors import EBUSY, ENOENT, ENOMEM
@@ -141,7 +140,7 @@ class TestSound:
         """Bug #15: two adds read the same quota and both pass the check."""
         kernel, snapshot = boot_kernel()
         executor = Executor(kernel, snapshot)
-        from repro.kernel.subsystems.sound import MAX_USER_CTL_BYTES, SND_CARD
+        from repro.kernel.subsystems.sound import SND_CARD
 
         # Two adds of 500 bytes: sequentially the accounting ends at 1000;
         # racing between check and store, one update is lost.

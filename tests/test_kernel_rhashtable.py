@@ -2,10 +2,9 @@
 
 import pytest
 
+from repro.fuzz.prog import Call, prog
 from repro.kernel import rhashtable as rht
 from repro.kernel.kernel import boot_kernel
-from repro.machine.snapshot import Snapshot
-from repro.fuzz.prog import Call, prog
 from repro.sched.executor import Executor
 
 

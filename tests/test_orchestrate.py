@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.detect.console import ConsoleChecker
 from repro.detect.report import observe
 from repro.orchestrate.pipeline import (
     DUPLICATE_PAIRING,

@@ -14,7 +14,6 @@ import pytest
 
 from repro.fuzz.prog import Call, prog
 from repro.orchestrate.pipeline import Snowboard, SnowboardConfig, Stage4Task
-from repro.orchestrate.queue import TaskFailure
 
 
 CONFIG = SnowboardConfig(

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -23,7 +22,8 @@ from repro.pmc.model import PMC, AccessKey
 from repro.pmc.selection import cluster_pmcs, cluster_stats, ordered_exemplars, select_exemplars
 
 
-def pmc(ins_w="w:1", addr_w=0x100, byte_w=8, value_w=1, ins_r="r:1", addr_r=0x100, byte_r=8, value_r=0, df=False):
+def pmc(ins_w="w:1", addr_w=0x100, byte_w=8, value_w=1, ins_r="r:1",
+        addr_r=0x100, byte_r=8, value_r=0, df=False):
     return PMC(
         write=AccessKey(addr=addr_w, size=byte_w, ins=ins_w, value=value_w),
         read=AccessKey(addr=addr_r, size=byte_r, ins=ins_r, value=value_r),

@@ -1,13 +1,12 @@
 """Tests for the access index and Algorithm 1 (PMC identification)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fuzz.prog import Program
 from repro.machine.accesses import AccessType
 from repro.pmc.identify import identify_pmcs
-from repro.pmc.index import AccessIndex, Overlap
+from repro.pmc.index import AccessIndex
 from repro.pmc.model import PMC, AccessKey
 from repro.profile.profiler import ProfiledAccess, TestProfile
 

@@ -1,18 +1,11 @@
 """Tests for sequential profiling: filtering, dedup, df_leader."""
 
-import pytest
 
 from repro.fuzz.prog import Call, Res, prog
 from repro.kernel.kernel import boot_kernel
-from repro.machine.accesses import AccessType
+from repro.machine.accesses import AccessType, MemoryAccess
 from repro.machine.snapshot import Snapshot
-from repro.profile.profiler import (
-    Profiler,
-    _find_df_leaders,
-    profile_corpus,
-    profile_from_result,
-)
-from repro.machine.accesses import MemoryAccess
+from repro.profile.profiler import Profiler, _find_df_leaders, profile_corpus
 from repro.sched.executor import Executor
 
 

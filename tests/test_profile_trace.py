@@ -1,8 +1,7 @@
 """Tests for the trace analysis utilities."""
 
-import pytest
 
-from repro.fuzz.prog import Call, Res, prog
+from repro.fuzz.prog import Call, prog
 from repro.machine.accesses import AccessType, MemoryAccess
 from repro.profile.profiler import ProfiledAccess, TestProfile, profile_from_result
 from repro.profile.trace import (

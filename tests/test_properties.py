@@ -1,6 +1,5 @@
 """Cross-cutting property-based tests: the invariants the system rests on."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

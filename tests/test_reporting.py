@@ -1,6 +1,5 @@
 """Tests for the rendered reports."""
 
-import pytest
 
 from repro.detect.catalog import BUG_CATALOG
 from repro.orchestrate.reporting import (

@@ -19,8 +19,9 @@ class TestSequentialExecution:
 
     def test_identical_runs_produce_identical_traces(self, executor):
         program = prog(Call("open", (1,)), Call("write", (Res(0), 3)))
-        t1 = [(a.type, a.addr, a.size, a.value, a.ins) for a in executor.run_sequential(program).accesses]
-        t2 = [(a.type, a.addr, a.size, a.value, a.ins) for a in executor.run_sequential(program).accesses]
+        key = lambda a: (a.type, a.addr, a.size, a.value, a.ins)  # noqa: E731
+        t1 = [key(a) for a in executor.run_sequential(program).accesses]
+        t2 = [key(a) for a in executor.run_sequential(program).accesses]
         assert t1 == t2
 
     def test_sequence_numbers_are_monotonic(self, executor):
@@ -72,7 +73,9 @@ class TestConcurrentExecution:
 
     def test_switch_counter(self, executor):
         a = prog(Call("msgget", (1,)), Call("msgsnd", (1, 2)))
-        result = executor.run_concurrent([a, a], scheduler=RandomScheduler(seed=3, switch_probability=1.0))
+        result = executor.run_concurrent(
+            [a, a], scheduler=RandomScheduler(seed=3, switch_probability=1.0)
+        )
         assert result.switches > 0
 
     def test_no_scheduler_runs_threads_back_to_back(self, executor):

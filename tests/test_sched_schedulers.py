@@ -1,6 +1,5 @@
 """Tests for the exploration schedulers: Snowboard, SKI, PCT, random."""
 
-import pytest
 
 from repro.machine.accesses import AccessType, MemoryAccess
 from repro.pmc.model import PMC, AccessKey

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.fuzz.prog import Call, Res, prog
 from repro.kernel.kernel import boot_kernel

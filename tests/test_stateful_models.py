@@ -10,10 +10,9 @@ semantics everything else builds on.)
 
 from collections import deque
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
-from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.fuzz.prog import Call, Res, prog
 from repro.kernel import rhashtable as rht
@@ -63,7 +62,6 @@ class FifoMachine(RuleBasedStateMachine):
 
     def __init__(self):
         super().__init__()
-        from repro.machine.snapshot import Snapshot
         from repro.sched.executor import Executor
 
         self.kernel, snapshot = boot_kernel()

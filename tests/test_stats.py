@@ -1,0 +1,215 @@
+"""Trace aggregation and the ``repro stats`` views.
+
+Unit tests drive :mod:`repro.obs.stats` over synthetic event lists; the
+integration half runs real traced campaigns and pins the headline
+contracts: tracing changes no campaign result, and serial and parallel
+campaigns of the same seed emit identical funnel totals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Observer, JsonlSink
+from repro.obs.stats import (
+    aggregate_trace,
+    funnel_rows,
+    funnel_totals,
+    load_stats,
+    percentile,
+    render_stats,
+    stage_time_rows,
+    trial_latency,
+)
+from repro.orchestrate.pipeline import Snowboard, SnowboardConfig
+
+
+def span(name, t0, dur, **attrs):
+    return {
+        "kind": "span",
+        "name": name,
+        "t0": t0,
+        "dur": dur,
+        "depth": 0,
+        "parent": None,
+        "attrs": attrs,
+    }
+
+
+class TestAggregation:
+    def test_span_aggregation(self):
+        events = [
+            span("stage4.trial", 0.0, 0.010),
+            span("stage4.trial", 0.1, 0.030),
+            span("stage2.identify", 0.2, 0.500),
+        ]
+        stats = aggregate_trace({}, events)
+        trial = stats.spans["stage4.trial"]
+        assert trial.count == 2
+        assert trial.total == pytest.approx(0.040)
+        assert trial.max == pytest.approx(0.030)
+        assert trial.mean == pytest.approx(0.020)
+        # Wall: earliest start to latest end across all spans.
+        assert stats.wall == pytest.approx(0.7)
+
+    def test_last_metrics_snapshot_wins(self):
+        events = [
+            {"kind": "metrics", "counters": {"stage4.trials": 3}, "gauges": {}},
+            {"kind": "metrics", "counters": {"stage4.trials": 8}, "gauges": {"stage4.bugs": 2}},
+        ]
+        stats = aggregate_trace({}, events)
+        assert stats.counters == {"stage4.trials": 8}
+        assert stats.gauges == {"stage4.bugs": 2}
+
+    def test_point_events_counted(self):
+        events = [{"kind": "event", "name": "fleet.worker", "attrs": {}}] * 3
+        assert aggregate_trace({}, events).nevents == 3
+
+
+class TestFunnel:
+    def test_rows_tolerate_missing_names(self):
+        stats = aggregate_trace(
+            {}, [{"kind": "metrics", "counters": {"stage4.trials": 1234}, "gauges": {}}]
+        )
+        rows = funnel_rows(stats)
+        by_label = {label: value for _stage, label, value in rows}
+        assert by_label["trials executed"] == "1,234"
+        assert by_label["PMCs identified"] == "-"
+
+    def test_totals_exclude_history_dependent_quantities(self):
+        stats = aggregate_trace(
+            {},
+            [
+                {
+                    "kind": "metrics",
+                    "counters": {"stage4.trials": 5, "restore.pages": 9999},
+                    "gauges": {"stage4.bugs": 1},
+                }
+            ],
+        )
+        totals = funnel_totals(stats)
+        assert totals == {"stage4.trials": 5, "stage4.bugs": 1}
+
+    def test_gauges_feed_the_funnel(self):
+        stats = aggregate_trace(
+            {}, [{"kind": "metrics", "counters": {}, "gauges": {"stage4.bugs": 4}}]
+        )
+        by_label = {label: v for _s, label, v in funnel_rows(stats)}
+        assert by_label["catalogued bugs"] == "4"
+
+
+class TestTimeAndLatency:
+    def test_stage_time_rows_sorted_by_total(self):
+        events = [
+            span("fast", 0.0, 0.01),
+            span("slow", 0.0, 1.0),
+            span("fast", 0.5, 0.01),
+        ]
+        rows = stage_time_rows(aggregate_trace({}, events))
+        assert [r[0] for r in rows] == ["slow", "fast"]
+        assert rows[0][1] == "1"  # count
+        assert rows[1][1] == "2"
+
+    def test_trial_latency_percentiles(self):
+        events = [span("stage4.trial", i * 0.1, (i + 1) / 1000.0) for i in range(100)]
+        latency = trial_latency(aggregate_trace({}, events))
+        assert latency["count"] == 100
+        assert latency["p50_ms"] == pytest.approx(50.0)
+        assert latency["p95_ms"] == pytest.approx(95.0)
+        assert latency["max_ms"] == pytest.approx(100.0)
+
+    def test_trial_latency_empty(self):
+        latency = trial_latency(aggregate_trace({}, []))
+        assert latency == {
+            "count": 0, "p50_ms": 0.0, "p95_ms": 0.0, "mean_ms": 0.0, "max_ms": 0.0
+        }
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([5.0], 95) == 5.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+
+
+class TestRendering:
+    def test_render_stats_has_all_three_views(self):
+        stats = aggregate_trace(
+            {"kind": "header", "schema": 1, "strategy": "S-INS-PAIR", "seed": 7},
+            [
+                span("stage4.trial", 0.0, 0.01),
+                {"kind": "metrics", "counters": {"stage4.trials": 1}, "gauges": {}},
+            ],
+        )
+        text = render_stats(stats)
+        assert "campaign: strategy=S-INS-PAIR, seed=7" in text
+        assert "== Stage 1 -> 4 funnel ==" in text
+        assert "== Per-stage wall time ==" in text
+        assert "== Trial latency ==" in text
+
+    def test_markdown_mode(self):
+        stats = aggregate_trace({}, [span("stage4.trial", 0.0, 0.01)])
+        text = render_stats(stats, markdown=True)
+        assert "|" in text and "---" in text
+
+
+# -- integration: real traced campaigns ----------------------------------------
+
+CONFIG = SnowboardConfig(seed=7, corpus_budget=120, trials_per_pmc=8)
+BUDGET = 8
+
+
+def traced_campaign(workers: int, path: str):
+    obs = Observer(JsonlSink(path, header={"seed": CONFIG.seed, "workers": workers}))
+    snowboard = Snowboard(CONFIG, observer=obs)
+    campaign = snowboard.run_campaign("S-INS-PAIR", test_budget=BUDGET, workers=workers)
+    obs.close()
+    return campaign
+
+
+@pytest.fixture(scope="module")
+def serial(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("trace") / "serial.jsonl")
+    return traced_campaign(1, path), path
+
+
+@pytest.fixture(scope="module")
+def parallel(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("trace") / "parallel.jsonl")
+    return traced_campaign(2, path), path
+
+
+class TestTracedCampaigns:
+    def test_tracing_changes_no_results(self, serial):
+        campaign, _path = serial
+        untraced = Snowboard(CONFIG).run_campaign("S-INS-PAIR", test_budget=BUDGET)
+        assert campaign.summary() == untraced.summary()
+
+    def test_serial_and_parallel_summaries_identical(self, serial, parallel):
+        assert serial[0].summary() == parallel[0].summary()
+
+    def test_serial_and_parallel_funnel_totals_identical(self, serial, parallel):
+        totals_serial = funnel_totals(load_stats(serial[1]))
+        totals_parallel = funnel_totals(load_stats(parallel[1]))
+        assert totals_serial == totals_parallel
+        assert totals_serial  # not vacuously equal
+
+    def test_funnel_matches_campaign_counters(self, serial):
+        campaign, path = serial
+        totals = funnel_totals(load_stats(path))
+        assert totals["stage4.trials"] == campaign.trials
+        assert totals["stage4.tests"] == campaign.tested_pmcs
+        assert totals["stage4.instructions"] == campaign.instructions
+        assert totals["stage4.exercised"] == campaign.exercised_pmcs
+        assert totals["stage4.bugs"] == campaign.distinct_bugs
+
+    def test_trial_spans_cover_every_merged_trial(self, serial, parallel):
+        for campaign, path in (serial, parallel):
+            stats = load_stats(path)
+            assert stats.spans["stage4.trial"].count == campaign.trials
+            assert stats.spans["stage4.test"].count == campaign.tested_pmcs
+
+    def test_render_stats_over_real_trace(self, parallel):
+        _campaign, path = parallel
+        text = render_stats(load_stats(path))
+        assert "trials executed" in text
+        assert "stage2.identify" in text
