@@ -1,0 +1,118 @@
+"""Experiment — incremental campaign engine (delta identification payoff).
+
+The round-based engine's claim is algorithmic: when a round adds k
+profiles to a corpus of n, ``identify_delta`` scans only the overlaps
+the new accesses introduce, while re-running ``identify_pmcs`` from
+scratch rescans all O(n^2) of them.  This bench measures that claim two
+ways:
+
+* per-round Stage-2 wall time, delta vs full re-identify, on the same
+  stream of profiles (the speedup the engine buys), and
+* end-to-end executions/minute of a rounds-mode campaign, so the gate
+  catches the round plumbing itself (state threading, history filtering,
+  round spans) getting expensive.
+
+Results are appended to ``BENCH_incremental.json`` at the repo root in
+the same trajectory shape as ``BENCH_hot_path.json``; the file helpers
+are imported from :mod:`bench_hot_path` so the formats cannot drift.
+``scripts/bench_gate.py`` gates both benches.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict
+
+from bench_hot_path import append_record, load_results  # noqa: F401  (re-export)
+
+from repro.orchestrate.pipeline import Snowboard, SnowboardConfig
+from repro.pmc.identify import PmcSet, identify_delta, identify_pmcs
+from repro.pmc.index import AccessIndex
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_incremental.json")
+
+# Quick mode: seconds, for the CI gate.
+QUICK_CONFIG = SnowboardConfig(seed=7, corpus_budget=120, trials_per_pmc=8)
+QUICK_PARAMS = dict(chunks=6, identify_reps=3, rounds=3, round_budget=4)
+
+# Full mode: the shared bench-session configuration (conftest.py).
+FULL_PARAMS = dict(chunks=10, identify_reps=5, rounds=4, round_budget=8)
+
+
+def measure_incremental(
+    snowboard: Snowboard,
+    chunks: int,
+    identify_reps: int,
+    rounds: int,
+    round_budget: int,
+) -> Dict[str, object]:
+    """Measure delta-identify speedup and rounds-mode throughput.
+
+    The profile stream and campaign are fully deterministic (fixed
+    seeds); only the wall-clock figures vary run to run.
+    """
+    snowboard.prepare()
+    profiles = list(snowboard.profiles)
+    size = max(1, len(profiles) // chunks)
+    batches = [profiles[i : i + size] for i in range(0, len(profiles), size)]
+
+    # -- Stage 2, incremental: one persistent index, delta per round -----
+    start = time.perf_counter()
+    for _ in range(identify_reps):
+        pmcset = PmcSet()
+        index = AccessIndex()
+        for batch in batches:
+            identify_delta(pmcset, index, batch)
+    delta_wall = time.perf_counter() - start
+
+    # -- Stage 2, naive: full re-identify over the whole prefix ----------
+    start = time.perf_counter()
+    for _ in range(identify_reps):
+        seen = []
+        for batch in batches:
+            seen.extend(batch)
+            full = identify_pmcs(seen)
+    full_wall = time.perf_counter() - start
+
+    assert set(full.pmcs) == set(pmcset.pmcs)  # same answer, or no bench
+
+    # -- end-to-end rounds-mode campaign ---------------------------------
+    fresh = Snowboard(snowboard.config)
+    campaign = fresh.run_rounds(rounds, round_budget)
+
+    return {
+        "profiles": len(profiles),
+        "rounds_simulated": len(batches),
+        "delta_identify_wall_seconds": round(delta_wall, 4),
+        "full_identify_wall_seconds": round(full_wall, 4),
+        "delta_speedup": round(full_wall / delta_wall, 2) if delta_wall else 0.0,
+        "pmcs_identified": len(pmcset),
+        "campaign_rounds": rounds,
+        "campaign_trials": campaign.trials,
+        "campaign_pmcs": len(fresh.pmcset),
+        "rounds_executions_per_min": round(campaign.executions_per_minute, 1),
+        "campaign_summary": campaign.summary(),
+    }
+
+
+#: The figures the regression gate compares (higher is better).
+THROUGHPUT_KEYS = ("delta_speedup", "rounds_executions_per_min")
+
+
+def test_incremental_engine(snowboard):
+    """Measure and record the full-mode incremental-engine figures."""
+    record = measure_incremental(snowboard, **FULL_PARAMS)
+    append_record(
+        record, mode="full", label="bench_incremental", path=RESULTS_PATH
+    )
+    print(
+        f"\ndelta identify: {record['delta_speedup']:.1f}x over full "
+        f"re-identify ({record['rounds_simulated']} rounds, "
+        f"{record['profiles']} profiles)  "
+        f"rounds campaign: {record['rounds_executions_per_min']:,.0f} exec/min"
+    )
+    # Sanity floor, not a perf assertion (the gate owns regressions).
+    assert record["pmcs_identified"] > 0
+    assert record["campaign_trials"] > 0

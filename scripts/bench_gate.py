@@ -1,10 +1,12 @@
 #!/usr/bin/env python
-"""Perf-regression gate over the interpreter hot path.
+"""Perf-regression gate over the interpreter hot path and the
+incremental campaign engine.
 
-Runs the quick-mode hot-path workload (``benchmarks/bench_hot_path.py``
-with the small CI configuration), appends the dated record to the
-``BENCH_hot_path.json`` trajectory at the repo root, and fails when any
-gated throughput drops more than :data:`TOLERANCE` below the stored
+Runs the quick-mode workloads (``benchmarks/bench_hot_path.py`` and
+``benchmarks/bench_incremental.py`` with their small CI configurations),
+appends the dated records to the ``BENCH_hot_path.json`` /
+``BENCH_incremental.json`` trajectories at the repo root, and fails when
+any gated figure drops more than :data:`TOLERANCE` below the stored
 quick-mode baseline.
 
 The tolerance is deliberately loose (20%): wall-clock noise on shared CI
@@ -29,20 +31,35 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
 
-from bench_hot_path import (  # noqa: E402  (path setup above)
-    QUICK_CONFIG,
-    QUICK_PARAMS,
-    RESULTS_PATH,
-    THROUGHPUT_KEYS,
-    append_record,
-    load_results,
-    measure_hot_path,
-)
+import bench_hot_path  # noqa: E402  (path setup above)
+import bench_incremental  # noqa: E402
+from bench_hot_path import append_record, load_results  # noqa: E402
 from repro.orchestrate.pipeline import Snowboard  # noqa: E402
 
 # A gated metric may fall at most this fraction below the baseline.
 TOLERANCE = 0.20
 MODE = "quick"
+
+#: The gated benches: (name, trajectory path, gated keys, measure thunk).
+BENCHES = (
+    (
+        "hot_path",
+        bench_hot_path.RESULTS_PATH,
+        bench_hot_path.THROUGHPUT_KEYS,
+        lambda: bench_hot_path.measure_hot_path(
+            Snowboard(bench_hot_path.QUICK_CONFIG), **bench_hot_path.QUICK_PARAMS
+        ),
+    ),
+    (
+        "incremental",
+        bench_incremental.RESULTS_PATH,
+        bench_incremental.THROUGHPUT_KEYS,
+        lambda: bench_incremental.measure_incremental(
+            Snowboard(bench_incremental.QUICK_CONFIG),
+            **bench_incremental.QUICK_PARAMS,
+        ),
+    ),
+)
 
 
 def main(argv=None) -> int:
@@ -62,36 +79,44 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    record = measure_hot_path(Snowboard(QUICK_CONFIG), **QUICK_PARAMS)
-    baseline = load_results().get("baseline", {}).get(MODE)
-    if not args.dry_run:
-        append_record(
-            record,
-            mode=MODE,
-            label=args.label,
-            set_baseline=args.set_baseline,
-        )
-
-    if baseline is None or args.set_baseline:
-        print(f"bench_gate: baseline established at {RESULTS_PATH}")
-        for key in THROUGHPUT_KEYS:
-            print(f"  {key:>20}: {record[key]:>12,.1f}")
-        return 0
-
     failed = False
-    print(f"bench_gate: comparing against {MODE} baseline ({baseline['label']!r})")
-    for key in THROUGHPUT_KEYS:
-        now, then = record[key], baseline[key]
-        ratio = now / then if then else float("inf")
-        status = "ok"
-        if ratio < 1.0 - TOLERANCE:
-            status = "REGRESSION"
-            failed = True
-        print(f"  {key:>20}: {now:>12,.1f} vs {then:>12,.1f}  ({ratio:5.2f}x) {status}")
+    for name, path, keys, measure in BENCHES:
+        record = measure()
+        baseline = load_results(path).get("baseline", {}).get(MODE)
+        if not args.dry_run:
+            append_record(
+                record,
+                mode=MODE,
+                label=args.label,
+                path=path,
+                set_baseline=args.set_baseline,
+            )
+
+        if baseline is None or args.set_baseline:
+            print(f"bench_gate[{name}]: baseline established at {path}")
+            for key in keys:
+                print(f"  {key:>25}: {record[key]:>12,.1f}")
+            continue
+
+        print(
+            f"bench_gate[{name}]: comparing against {MODE} baseline "
+            f"({baseline['label']!r})"
+        )
+        for key in keys:
+            now, then = record[key], baseline[key]
+            ratio = now / then if then else float("inf")
+            status = "ok"
+            if ratio < 1.0 - TOLERANCE:
+                status = "REGRESSION"
+                failed = True
+            print(
+                f"  {key:>25}: {now:>12,.1f} vs {then:>12,.1f}  "
+                f"({ratio:5.2f}x) {status}"
+            )
     if failed:
         print(
-            f"bench_gate: FAILED — throughput fell more than "
-            f"{TOLERANCE:.0%} below the stored baseline"
+            f"bench_gate: FAILED — a gated figure fell more than "
+            f"{TOLERANCE:.0%} below its stored baseline"
         )
         return 1
     print("bench_gate: green")

@@ -23,10 +23,17 @@
 #                  (`python -m repro`) with --checkpoint and --trace-out,
 #                  then `repro stats` over the trace.  Artifacts land in
 #                  $ARTIFACTS_DIR (default: artifacts/) for CI upload.
-#  4. perf gate  — opt-in with PERF=1: the quick-mode hot-path benchmark
-#                  fails on a >20% throughput regression against the
-#                  baseline in BENCH_hot_path.json; the updated
-#                  trajectory JSON is copied into $ARTIFACTS_DIR.
+#  4. smoke-inc  — kill-and-resume smoke for the round-based engine
+#                  (scripts/smoke_incremental.py): a 2-round checkpointed
+#                  campaign is killed after round 1, resumed, and the
+#                  resumed summary must be bit-identical to an
+#                  uninterrupted run.
+#  5. perf gate  — opt-in with PERF=1: the quick-mode hot-path and
+#                  incremental-engine benchmarks fail on a >20%
+#                  regression against the baselines in
+#                  BENCH_hot_path.json / BENCH_incremental.json; the
+#                  updated trajectory JSONs are copied into
+#                  $ARTIFACTS_DIR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,13 +68,18 @@ python -m repro campaign \
     --workers 2 --checkpoint "$SMOKE_CHECKPOINT" --trace-out "$SMOKE_TRACE"
 python -m repro stats "$SMOKE_TRACE"
 
+echo "== smoke: round-based kill-and-resume =="
+python scripts/smoke_incremental.py "$ARTIFACTS_DIR/smoke_incremental_checkpoint.jsonl"
+
 # Opt-in perf gate: PERF=1 scripts/ci.sh also runs the quick-mode
-# hot-path benchmark and fails on a >20% throughput regression against
-# the baseline recorded in BENCH_hot_path.json.
+# hot-path and incremental-engine benchmarks and fails on a >20%
+# regression against the baselines recorded in BENCH_hot_path.json and
+# BENCH_incremental.json.
 if [[ "${PERF:-0}" == "1" ]]; then
     echo "== perf gate: scripts/bench_gate.py (quick mode) =="
     python scripts/bench_gate.py
     cp BENCH_hot_path.json "$ARTIFACTS_DIR/BENCH_hot_path.json"
+    cp BENCH_incremental.json "$ARTIFACTS_DIR/BENCH_incremental.json"
 fi
 
 echo "ci: all passes green (artifacts in $ARTIFACTS_DIR/)"

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""CI smoke: kill-and-resume a round-based campaign.
+
+Runs a 2-round checkpointed campaign, kills the process-equivalent
+mid-flight (an exception injected after round 1's last Stage-4 task, so
+the journal ends exactly at a round boundary), resumes from the journal
+in a fresh Snowboard, and asserts the resumed summary is bit-identical
+to an uninterrupted run of the same campaign.  This is the end-to-end
+crash-safety contract of ``run_rounds`` — exercised here through the
+same code path the CLI's ``campaign --rounds --checkpoint --resume``
+uses, cheap enough for every CI run.
+
+Usage:
+    python scripts/smoke_incremental.py [CHECKPOINT_PATH]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.orchestrate.pipeline import Snowboard, SnowboardConfig  # noqa: E402
+
+CONFIG = SnowboardConfig(seed=7, corpus_budget=120, trials_per_pmc=4)
+ROUNDS = 2
+ROUND_BUDGET = 3
+
+
+class Killed(BaseException):
+    """Stands in for SIGKILL: not an Exception, so nothing catches it."""
+
+
+def run_until_killed(path: str, kill_after: int) -> None:
+    """Start the campaign, 'crash' after ``kill_after`` Stage-4 tasks."""
+    sb = Snowboard(CONFIG)
+    executed = 0
+    real = sb.execute_test
+
+    def dying_execute_test(*args, **kwargs):
+        nonlocal executed
+        if executed >= kill_after:
+            raise Killed()
+        executed += 1
+        return real(*args, **kwargs)
+
+    sb.execute_test = dying_execute_test
+    try:
+        sb.run_rounds(ROUNDS, ROUND_BUDGET, checkpoint_path=path)
+    except Killed:
+        return
+    raise AssertionError("campaign finished before the injected kill")
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "smoke_incremental_checkpoint.jsonl"
+    if os.path.exists(path):
+        os.remove(path)
+
+    # The uninterrupted reference run: no checkpoint, same campaign.
+    reference = Snowboard(CONFIG)
+    expected = reference.run_rounds(ROUNDS, ROUND_BUDGET)
+
+    # Round 1 executes min(round_budget, exemplars) tests; kill right
+    # after its last one so the journal ends at the round boundary.
+    round1_tests = reference.state.rounds_log[0].ntests
+    run_until_killed(path, kill_after=round1_tests)
+
+    resumed_sb = Snowboard(CONFIG)
+    resumed = resumed_sb.run_rounds(
+        ROUNDS, ROUND_BUDGET, checkpoint_path=path, resume=True
+    )
+
+    if resumed.summary() != expected.summary():
+        print("smoke_incremental: FAILED — resumed summary diverged")
+        print(f"  expected: {expected.summary()}")
+        print(f"  resumed:  {resumed.summary()}")
+        return 1
+    if resumed_sb.state.rounds_log != reference.state.rounds_log:
+        print("smoke_incremental: FAILED — rounds_log diverged after resume")
+        return 1
+
+    rounds = [
+        (info.round, info.ntests, info.new_pmcs)
+        for info in resumed_sb.state.rounds_log
+    ]
+    print(
+        f"smoke_incremental: green — killed after round 1 "
+        f"({round1_tests} tests), resumed to an identical summary "
+        f"(rounds={rounds}, trials={resumed.trials}, journal={path})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -81,11 +81,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a JSONL observability trace (spans, funnel counters, "
         "events) to FILE; render it later with 'repro stats FILE'",
     )
+    campaign.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run a round-based incremental campaign: N rounds of corpus "
+        "growth, delta PMC identification and selection from clusters "
+        "not tested in earlier rounds (1 round == the batch campaign)",
+    )
+    campaign.add_argument(
+        "--round-budget",
+        type=int,
+        default=None,
+        metavar="M",
+        help="concurrent tests per round (rounds mode; defaults to --budget)",
+    )
+    campaign.add_argument(
+        "--corpus-growth",
+        type=int,
+        default=None,
+        metavar="K",
+        help="fuzzer executions added per round after the first "
+        "(rounds mode; defaults to half of --corpus)",
+    )
 
     stats = sub.add_parser("stats", help="summarise a --trace-out trace file")
     stats.add_argument("trace", help="path to a JSONL trace written by --trace-out")
     stats.add_argument(
         "--markdown", action="store_true", help="render GitHub-flavoured tables"
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as machine-readable JSON instead of tables",
     )
 
     table3 = sub.add_parser("table3", help="compare all generation methods")
@@ -127,12 +156,26 @@ def _make_observer(args):
         "workers": args.workers,
         "fixed": args.fixed,
     }
+    if getattr(args, "rounds", None):
+        header["rounds"] = args.rounds
+        header["round_budget"] = args.round_budget or args.budget
     return Observer(JsonlSink(args.trace_out, header=header))
 
 
 def _cmd_campaign(args) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.rounds is not None and args.rounds < 1:
+        print("error: --rounds must be at least 1", file=sys.stderr)
+        return 2
+    if args.rounds is None and (
+        args.round_budget is not None or args.corpus_growth is not None
+    ):
+        print(
+            "error: --round-budget/--corpus-growth require --rounds",
+            file=sys.stderr,
+        )
         return 2
     config = SnowboardConfig(
         seed=args.seed,
@@ -142,21 +185,46 @@ def _cmd_campaign(args) -> int:
     )
     observer = _make_observer(args)
     snowboard = Snowboard(config, observer=observer).prepare()
+    if args.rounds is not None:
+        budget_text = (
+            f"rounds={args.rounds}, "
+            f"round_budget={args.round_budget or args.budget}"
+        )
+    else:
+        budget_text = f"budget={args.budget}"
     print(
         f"corpus={len(snowboard.corpus)} tests, pmcs={len(snowboard.pmcset)}, "
-        f"strategy={args.strategy}, budget={args.budget}"
+        f"strategy={args.strategy}, {budget_text}"
     )
     try:
-        campaign = snowboard.run_campaign(
-            args.strategy,
-            test_budget=args.budget,
-            workers=args.workers,
-            checkpoint_path=args.checkpoint,
-            resume=args.resume,
-        )
+        if args.rounds is not None:
+            campaign = snowboard.run_rounds(
+                args.rounds,
+                round_budget=args.round_budget or args.budget,
+                strategy=args.strategy,
+                workers=args.workers,
+                corpus_growth=args.corpus_growth,
+                checkpoint_path=args.checkpoint,
+                resume=args.resume,
+            )
+        else:
+            campaign = snowboard.run_campaign(
+                args.strategy,
+                test_budget=args.budget,
+                workers=args.workers,
+                checkpoint_path=args.checkpoint,
+                resume=args.resume,
+            )
     finally:
         if observer is not None:
             observer.close()
+    if args.rounds is not None:
+        for info in snowboard.state.rounds_log:
+            print(
+                f"round {info.round}: tests={info.ntests} "
+                f"corpus={info.corpus_size} (+{info.new_corpus_tests}) "
+                f"pmcs={info.pmcs_total} (+{info.new_pmcs})"
+            )
     print(TABLE3_HEADER)
     print(campaign.table_row())
     print(
@@ -187,7 +255,7 @@ def _cmd_campaign(args) -> int:
 
 def _cmd_stats(args) -> int:
     from repro.obs.sink import TraceError
-    from repro.obs.stats import load_stats, render_stats
+    from repro.obs.stats import load_stats, render_stats, stats_to_obj
 
     try:
         stats = load_stats(args.trace)
@@ -197,6 +265,11 @@ def _cmd_stats(args) -> int:
     except TraceError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.json:
+        import json
+
+        print(json.dumps(stats_to_obj(stats), indent=2, sort_keys=False))
+        return 0
     print(render_stats(stats, markdown=args.markdown))
     return 0
 

@@ -57,28 +57,39 @@ class Corpus:
         return [entry.program for entry in self.entries]
 
 
-def build_corpus(
-    executor: "Executor",
-    seed: int = 0,
-    budget: int = 400,
-    mutation_rate: float = 0.5,
-    seeds: Tuple[Program, ...] = (),
-) -> Corpus:
-    """Run the fuzzing loop: generate/mutate, execute, keep what covers.
+def seed_corpus(
+    corpus: Corpus, executor: "Executor", seeds: Tuple[Program, ...]
+) -> int:
+    """Execute the hand-written seed programs and keep the covering ones.
 
-    ``budget`` counts generated candidates (the fuzzer's execution
-    budget); mutation picks a random kept entry and perturbs it, which is
-    how Syzkaller deepens coverage once generation plateaus.
+    Returns the number of entries kept.  Seeds consume no generator
+    randomness, so seeding then growing is byte-equal to the historical
+    one-shot :func:`build_corpus`.
     """
-    generator = ProgramGenerator(seed)
-    corpus = Corpus()
-
+    kept = 0
     for program in seeds:
         result = executor.run_sequential(program)
-        if result.completed:
-            corpus.add(program, result)
+        if result.completed and corpus.add(program, result) is not None:
+            kept += 1
         corpus.generated += 1
+    return kept
 
+
+def grow_corpus(
+    corpus: Corpus,
+    executor: "Executor",
+    generator: ProgramGenerator,
+    budget: int,
+    mutation_rate: float = 0.5,
+) -> int:
+    """Continue the fuzzing loop on an existing corpus; returns kept count.
+
+    This is the round step of a continuous campaign (§4.3, §6): the
+    generator's RNG state carries across calls, and mutation draws from
+    *all* current survivors — including tests kept in earlier rounds —
+    instead of rebuilding the corpus from scratch.
+    """
+    kept = 0
     for _ in range(budget):
         if corpus.entries and generator.rng.random() < mutation_rate:
             base = generator.rng.choice(corpus.entries).program
@@ -91,5 +102,27 @@ def build_corpus(
             # Sequential tests that panic or hang the kernel are rejected
             # from the corpus (they are sequential bugs, not our target).
             continue
-        corpus.add(program, result)
+        if corpus.add(program, result) is not None:
+            kept += 1
+    return kept
+
+
+def build_corpus(
+    executor: "Executor",
+    seed: int = 0,
+    budget: int = 400,
+    mutation_rate: float = 0.5,
+    seeds: Tuple[Program, ...] = (),
+) -> Corpus:
+    """Run the fuzzing loop: generate/mutate, execute, keep what covers.
+
+    ``budget`` counts generated candidates (the fuzzer's execution
+    budget); mutation picks a random kept entry and perturbs it, which is
+    how Syzkaller deepens coverage once generation plateaus.  One seed
+    pass plus one :func:`grow_corpus` round over a fresh corpus.
+    """
+    generator = ProgramGenerator(seed)
+    corpus = Corpus()
+    seed_corpus(corpus, executor, seeds)
+    grow_corpus(corpus, executor, generator, budget, mutation_rate)
     return corpus

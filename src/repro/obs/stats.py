@@ -14,6 +14,7 @@ the other table renderers.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -107,6 +108,7 @@ FUNNEL_LAYOUT: Tuple[Tuple[str, str, str], ...] = (
     ("3 selection", "PMCs filtered out", "stage3.filtered"),
     ("3 selection", "clusters kept", "stage3.clusters"),
     ("3 selection", "duplicate exemplars skipped", "stage3.duplicates"),
+    ("3 selection", "clusters tested in earlier rounds", "stage3.tested_before"),
     ("3 selection", "tests generated", "stage3.tests"),
     ("4 execution", "tests executed", "stage4.tests"),
     ("4 execution", "trials executed", "stage4.trials"),
@@ -153,6 +155,49 @@ def funnel_totals(stats: TraceStats) -> Dict[str, Number]:
         if value is not None:
             totals[name] = value
     return totals
+
+
+# -- the per-round funnel ------------------------------------------------------
+
+#: ``round.N.<metric>`` counter names emitted by ``run_rounds``.
+_ROUND_COUNTER = re.compile(r"^round\.(\d+)\.([a-z_]+)$")
+
+#: Per-round metrics in display order (column label, counter suffix).
+ROUND_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("tests", "tests"),
+    ("trials", "trials"),
+    ("new corpus", "corpus_tests"),
+    ("new profiles", "profiles"),
+    ("new PMCs", "new_pmcs"),
+    ("new bugs", "bugs"),
+)
+
+
+def round_counters(stats: TraceStats) -> Dict[int, Dict[str, Number]]:
+    """Per-round funnel deltas, keyed by round number.
+
+    Empty for batch traces — the presence of ``round.N.*`` counters is
+    what makes a trace round-based."""
+    rounds: Dict[int, Dict[str, Number]] = {}
+    for name, value in stats.counters.items():
+        match = _ROUND_COUNTER.match(name)
+        if match is not None:
+            rounds.setdefault(int(match.group(1)), {})[match.group(2)] = value
+    return rounds
+
+
+def round_rows(stats: TraceStats) -> List[List[str]]:
+    """Rows for the per-round funnel table (empty for batch traces)."""
+    rounds = round_counters(stats)
+    rows: List[List[str]] = []
+    for number in sorted(rounds):
+        data = rounds[number]
+        row = [str(number)]
+        for _label, suffix in ROUND_METRICS:
+            value = data.get(suffix)
+            row.append("-" if value is None else f"{value:,}")
+        rows.append(row)
+    return rows
 
 
 # -- the per-stage time breakdown ----------------------------------------------
@@ -204,10 +249,47 @@ def trial_latency(stats: TraceStats) -> Dict[str, float]:
     }
 
 
+def stats_to_obj(stats: TraceStats) -> Dict:
+    """The machine-readable shape of the report (``repro stats --json``).
+
+    Everything the rendered tables show, as raw numbers: the funnel (by
+    counter name), the per-round deltas when the trace is round-based,
+    per-span wall times, and the trial-latency percentiles.
+    """
+    funnel: Dict[str, Number] = {}
+    for _stage, _label, name in FUNNEL_LAYOUT:
+        value = stats.counters.get(name, stats.gauges.get(name))
+        if value is not None:
+            funnel[name] = value
+    rounds = round_counters(stats)
+    return {
+        "header": dict(stats.header),
+        "funnel": funnel,
+        "rounds": [{"round": n, **rounds[n]} for n in sorted(rounds)],
+        "stage_times": [
+            {
+                "name": agg.name,
+                "count": agg.count,
+                "total_s": agg.total,
+                "mean_ms": agg.mean * 1e3,
+                "max_ms": agg.max * 1e3,
+            }
+            for agg in sorted(stats.spans.values(), key=lambda a: -a.total)
+        ],
+        "trial_latency": trial_latency(stats),
+        "counters": dict(stats.counters),
+        "gauges": dict(stats.gauges),
+        "events": stats.nevents,
+        "wall_seconds": stats.wall,
+    }
+
+
 def render_stats(stats: TraceStats, markdown: bool = False) -> str:
-    """The full ``repro stats`` report: funnel, stage times, latency."""
+    """The full ``repro stats`` report: funnel, stage times, latency —
+    plus the per-round funnel when the trace came from ``run_rounds``."""
     from repro.orchestrate.reporting import (
         render_funnel,
+        render_rounds,
         render_stage_times,
         render_trial_latency,
     )
@@ -215,7 +297,7 @@ def render_stats(stats: TraceStats, markdown: bool = False) -> str:
     header = stats.header
     described = ", ".join(
         f"{key}={header[key]}"
-        for key in ("strategy", "seed", "budget", "trials", "workers")
+        for key in ("strategy", "seed", "budget", "trials", "workers", "rounds")
         if key in header
     )
     parts = []
@@ -223,6 +305,11 @@ def render_stats(stats: TraceStats, markdown: bool = False) -> str:
         parts.append(f"campaign: {described}")
     parts.append("== Stage 1 -> 4 funnel ==")
     parts.append(render_funnel(funnel_rows(stats), markdown=markdown))
+    rounds = round_rows(stats)
+    if rounds:
+        parts.append("")
+        parts.append("== Per-round funnel ==")
+        parts.append(render_rounds(rounds, markdown=markdown))
     parts.append("")
     parts.append("== Per-stage wall time ==")
     parts.append(render_stage_times(stage_time_rows(stats), markdown=markdown))

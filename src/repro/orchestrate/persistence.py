@@ -216,7 +216,10 @@ CHECKPOINT_VERSION = 1
 
 #: Header fields that must match between the journal and a resuming
 #: campaign — resuming under different parameters would silently change
-#: seeding and test selection.
+#: seeding and test selection.  Batch campaigns guard ``test_budget`` and
+#: ``ntests``; round-based campaigns guard ``rounds``, ``round_budget``
+#: and ``corpus_growth`` instead (only fields present in the resuming
+#: campaign's expectation are compared).
 HEADER_GUARD_FIELDS = (
     "version",
     "strategy",
@@ -226,6 +229,9 @@ HEADER_GUARD_FIELDS = (
     "scheduler_kind",
     "fixed_kernel",
     "ntests",
+    "rounds",
+    "round_budget",
+    "corpus_growth",
 )
 
 
@@ -269,6 +275,21 @@ class CheckpointWriter:
         cls, path: str, campaign, packages: Dict[str, ReproPackage]
     ) -> "CheckpointWriter":
         return cls(open(path, "a"), campaign, packages)
+
+    def round_begin(self, info) -> None:
+        """Journal a round boundary (a :class:`RoundInfo`'s summary).
+
+        Written after a round's Stage-1/2/3 work and *before* its first
+        Stage-4 task, so a resumed campaign can verify that its recomputed
+        round (corpus size, PMC totals, test count, first global task id)
+        matches what the interrupted campaign actually ran — any drift
+        means the resume would execute different tests under the same
+        task ids, and must fail loudly instead.
+        """
+        obj = {"kind": "round", **info.to_obj()}
+        obj["digest"] = _task_digest(obj)
+        self._handle.write(json.dumps(obj) + "\n")
+        self._handle.flush()
 
     def task_done(self, task_id: int, merged: bool = True) -> None:
         """Journal one task's contribution (call after merging it)."""
@@ -330,6 +351,45 @@ def load_checkpoint(path: str) -> Tuple[Dict, List[Dict]]:
     if header is None:
         raise CheckpointMismatch(f"checkpoint {path!r} has no header record")
     return header, tasks
+
+
+def load_round_records(path: str) -> Dict[int, Dict]:
+    """Read a journal's round-boundary records, keyed by round number.
+
+    Same torn-tail/digest rules as :func:`load_checkpoint`; journals
+    written by batch campaigns simply have none.
+    """
+    rounds: Dict[int, Dict] = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail: keep the valid prefix
+            if obj.get("kind") != "round":
+                continue
+            digest = obj.pop("digest", None)
+            if digest != _task_digest(obj):
+                raise CheckpointMismatch(
+                    f"checkpoint {path!r}: round {obj.get('round')} "
+                    f"record failed its digest check"
+                )
+            rounds[int(obj["round"])] = obj
+    return rounds
+
+
+def verify_round_record(stored: Dict, info) -> None:
+    """Raise :class:`CheckpointMismatch` when a resumed campaign's
+    recomputed round diverges from the journalled one."""
+    for name, value in info.to_obj().items():
+        if stored.get(name) != value:
+            raise CheckpointMismatch(
+                f"round {info.round} mismatch on {name!r}: journal has "
+                f"{stored.get(name)!r}, resumed campaign computed {value!r}"
+            )
 
 
 def verify_checkpoint_header(header: Dict, expected: Dict) -> None:

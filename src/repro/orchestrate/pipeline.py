@@ -28,17 +28,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.detect.datarace import RaceDetector
 from repro.detect.report import observe
-from repro.fuzz.corpus import Corpus, build_corpus
+from repro.fuzz.corpus import Corpus, grow_corpus, seed_corpus
 from repro.fuzz.prog import Program
 from repro.kernel.kernel import boot_kernel
 from repro.obs import NULL_OBSERVER, MemorySink, Observer
+from repro.orchestrate.campaign import CampaignState, RoundInfo, selection_rng
 from repro.orchestrate.queue import TaskFailure, WorkQueue, run_workers
 from repro.orchestrate.results import CampaignResult
 from repro.pmc.clustering import STRATEGIES_BY_NAME
-from repro.pmc.identify import PmcSet, identify_pmcs
+from repro.pmc.identify import PmcSet, identify_delta
 from repro.pmc.model import PMC
-from repro.pmc.selection import cluster_pmcs, ordered_exemplars
-from repro.profile.profiler import TestProfile, profile_corpus
+from repro.pmc.selection import SelectionHistory, cluster_pmcs, ordered_exemplars
+from repro.profile.profiler import TestProfile, profile_new
 from repro.sched.executor import Executor
 from repro.sched.random_sched import RandomScheduler
 from repro.sched.ski import SkiScheduler
@@ -169,6 +170,9 @@ class Snowboard:
         self.corpus: Optional[Corpus] = None
         self.profiles: List[TestProfile] = []
         self.pmcset: Optional[PmcSet] = None
+        # Incremental campaign memory (generator, access index, tested
+        # history, watermarks); created by prepare(), advanced per round.
+        self.state: Optional[CampaignState] = None
         self._pair_index: Optional[Dict[Tuple[int, int], List[PMC]]] = None
         # Per-task worker event buffers (task_id -> {"trials": [...], "tail":
         # [...]}), replayed into the campaign trace in task order at merge.
@@ -179,7 +183,17 @@ class Snowboard:
     # -- stages 1 & 2 -----------------------------------------------------------
 
     def prepare(self) -> "Snowboard":
-        """Boot, fuzz, profile, identify.  Idempotent."""
+        """Boot, fuzz, profile, identify — round one of the incremental
+        engine.  Idempotent.
+
+        The batch pipeline is the one-round special case: seed the corpus,
+        run one fuzzing pass over the full budget, profile everything, and
+        classify the whole delta against an empty access index.  All of
+        that goes through the same incremental machinery
+        (:func:`grow_corpus`, :func:`profile_new`, :func:`identify_delta`)
+        that :meth:`run_rounds` advances round after round, so the two
+        paths cannot drift.
+        """
         if self.pmcset is not None:
             return self
         obs = self.obs
@@ -195,28 +209,70 @@ class Snowboard:
         self.executor.obs = obs
         from repro.fuzz.spec import DEFAULT_SEEDS
 
+        self.state = CampaignState.fresh(self.config.seed)
+        self.corpus = Corpus()
+        self.pmcset = PmcSet()
         with obs.span("stage1.corpus", budget=self.config.corpus_budget):
-            self.corpus = build_corpus(
+            seed_corpus(self.corpus, self.executor, DEFAULT_SEEDS)
+            grow_corpus(
+                self.corpus,
                 self.executor,
-                seed=self.config.seed,
-                budget=self.config.corpus_budget,
-                seeds=DEFAULT_SEEDS,
+                self.state.generator,
+                self.config.corpus_budget,
             )
+        self.state.corpus_epoch = 1
         if obs.enabled:
             obs.count("stage1.corpus_tests", len(self.corpus))
-        self.profiles = profile_corpus(self.corpus, obs=obs)
-        self.pmcset = identify_pmcs(self.profiles, obs=obs)
+        self._ingest_new_tests()
         return self
+
+    def _grow_corpus(self, budget: int) -> int:
+        """One more fuzzing pass over the existing corpus (rounds >= 2).
+
+        The generator's RNG state carries over from earlier passes, and
+        mutation draws from all current survivors; returns entries kept.
+        """
+        obs = self.obs
+        with obs.span("stage1.corpus", budget=budget):
+            kept = grow_corpus(
+                self.corpus, self.executor, self.state.generator, budget
+            )
+        self.state.corpus_epoch += 1
+        if obs.enabled:
+            obs.count("stage1.corpus_tests", kept)
+        return kept
+
+    def _ingest_new_tests(self) -> Tuple[int, int, int]:
+        """Profile the unprofiled corpus tail and classify its delta.
+
+        Advances the profiled-test watermark, runs the delta overlap scan
+        against the accumulated access index (each overlapping pair is
+        classified exactly once across the campaign's lifetime), and
+        rebuilds the eager (writer, reader) pair index.  Returns
+        ``(new_profiles, new_pmcs, new_pairs)``.
+        """
+        state = self.state
+        new_entries = self.corpus.entries[state.profiled_watermark :]
+        new_profiles = profile_new(new_entries, obs=self.obs)
+        self.profiles.extend(new_profiles)
+        state.profiled_watermark = len(self.corpus.entries)
+        new_pmcs, new_pairs = identify_delta(
+            self.pmcset, state.index, new_profiles, obs=self.obs
+        )
+        self._pair_index = None
+        self._build_pair_index()
+        return len(new_profiles), new_pmcs, new_pairs
 
     def _program(self, test_id: int) -> Program:
         return self.corpus.entries[test_id].program
 
     def _build_pair_index(self) -> Dict[Tuple[int, int], List[PMC]]:
-        """Build (once) the (writer, reader) pair -> PMCs index.
+        """Build the (writer, reader) pair -> PMCs index.
 
-        Must be called before spawning Stage-4 workers when incidental
-        adoption is on: worker threads all read the index through
-        :meth:`_pmcs_for_pair`, and a lazy build would race.
+        Built eagerly at the end of every ingest (prepare() and each
+        round's delta), so by the time Stage-4 workers spawn the index is
+        complete and worker threads only ever read it through
+        :meth:`_pmcs_for_pair`.
         """
         if self._pair_index is None:
             index: Dict[Tuple[int, int], List[PMC]] = {}
@@ -237,13 +293,21 @@ class Snowboard:
         strategy: str = "S-INS-PAIR",
         limit: Optional[int] = None,
         random_order: bool = False,
+        rng: Optional[random.Random] = None,
+        history: Optional[SelectionHistory] = None,
     ) -> Tuple[List[ConcurrentTest], int]:
         """Exemplar selection under a strategy.
 
         Returns (tests in uncommon-first order, number of clusters).
+
+        ``rng`` defaults to the batch selection stream (round one of the
+        incremental derivation); round-based campaigns pass the per-round
+        stream and their cross-round ``history`` so clusters and PMCs
+        tested in earlier rounds are excluded (§4.3).
         """
         self.prepare()
-        rng = random.Random(self.config.seed ^ 0x5B0A)
+        if rng is None:
+            rng = selection_rng(self.config.seed, 1)
         if strategy in (RANDOM_PAIRING, DUPLICATE_PAIRING):
             tests = self._generate_baseline(strategy, limit or 100, rng)
             if self.obs.enabled:
@@ -257,7 +321,13 @@ class Snowboard:
         pmcs = self.pmcset.all_pmcs()
         nclusters = len(cluster_pmcs(pmcs, clustering))
         exemplars = ordered_exemplars(
-            pmcs, clustering, rng, random_order=random_order, limit=limit, obs=self.obs
+            pmcs,
+            clustering,
+            rng,
+            random_order=random_order,
+            limit=limit,
+            obs=self.obs,
+            history=history,
         )
         tests = self.tests_from_exemplars(exemplars, rng)
         if self.obs.enabled:
@@ -622,6 +692,7 @@ class Snowboard:
         workers: int = 2,
         completed: Optional[frozenset] = None,
         on_task_merged=None,
+        task_offset: int = 0,
     ) -> None:
         """Stage 4 across a worker fleet: queue, execute, merge in order.
 
@@ -637,6 +708,10 @@ class Snowboard:
         ``completed`` names task ids already merged by a resumed
         checkpoint (skipped here); ``on_task_merged(task_id)`` is invoked
         after each merge, in task order — the checkpoint journal hook.
+        ``task_offset`` shifts task ids to the tests' global campaign
+        positions (round-based campaigns hand each round's tests
+        separately, but ids — and hence scheduler seeds and journal
+        records — stay campaign-global).
         """
         trials = trials or self.config.trials_per_pmc
         completed = completed or frozenset()
@@ -645,13 +720,11 @@ class Snowboard:
             # Fresh buffers per fleet run; worker threads write disjoint
             # task_id keys, the merge loop below drains them in order.
             self._stage4_buffers = {}
-        if self.config.adopt_incidental_pmcs:
-            # Worker threads share this index read-only; building it
-            # lazily under concurrency would race (satellite fix).
-            self._build_pair_index()
         work = WorkQueue()
         queue_ids: Dict[int, int] = {}
-        for index, test in enumerate(tests):
+        nqueued = 0
+        for local, test in enumerate(tests):
+            index = task_offset + local
             if index in completed:
                 continue
             queue_id = work.put(
@@ -659,15 +732,16 @@ class Snowboard:
                     task_id=index, test=test, trials=trials, scheduler_kind=scheduler_kind
                 )
             )
-            if queue_id != len(queue_ids):
+            if queue_id != nqueued:
                 # Not an assert: under ``python -O`` a stripped assert
                 # would let a pre-seeded queue silently mis-map results.
                 raise RuntimeError(
                     f"execute_tests_parallel needs a fresh WorkQueue: task "
                     f"{index} was assigned queue id {queue_id}, expected "
-                    f"{len(queue_ids)}"
+                    f"{nqueued}"
                 )
             queue_ids[index] = queue_id
+            nqueued += 1
         results = run_workers(
             work,
             self._stage4_worker_factory(),
@@ -677,7 +751,8 @@ class Snowboard:
             obs=obs,
         )
         campaign.adopt_worker_stats(work.worker_stats)
-        for index, test in enumerate(tests):
+        for local, test in enumerate(tests):
+            index = task_offset + local
             if index in completed:
                 continue
             outcome = results.get(queue_ids[index])
@@ -813,39 +888,69 @@ class Snowboard:
             )
         start = time.perf_counter()
         try:
-            if workers <= 1:
-                for index, test in enumerate(tests):
-                    if index in completed:
-                        continue
-                    self.execute_test(
-                        test,
-                        campaign,
-                        scheduler_kind=scheduler_kind,
-                        trials=trials,
-                        task_id=index,
-                    )
-                    if self.obs.enabled:
-                        # Keep the trace's cumulative funnel near-current,
-                        # so a killed campaign still reads sensibly.
-                        self.obs.flush_metrics()
-                    if writer is not None:
-                        writer.task_done(index)
-            else:
-                self.execute_tests_parallel(
-                    tests,
-                    campaign,
-                    scheduler_kind=scheduler_kind,
-                    trials=trials,
-                    workers=workers,
-                    completed=completed,
-                    on_task_merged=(writer.task_done if writer is not None else None),
-                )
+            self._execute_tests(
+                tests,
+                campaign,
+                scheduler_kind=scheduler_kind,
+                trials=trials,
+                workers=workers,
+                completed=completed,
+                writer=writer,
+            )
         finally:
             if writer is not None:
                 writer.close()
         campaign.wall_seconds = time.perf_counter() - start
         self._finish_campaign_obs(campaign)
         return campaign
+
+    def _execute_tests(
+        self,
+        tests: Sequence[ConcurrentTest],
+        campaign: CampaignResult,
+        scheduler_kind: str,
+        trials: Optional[int],
+        workers: int,
+        completed: frozenset,
+        writer,
+        task_offset: int = 0,
+    ) -> None:
+        """Run one batch of tests serially or across the fleet.
+
+        The single dispatch point shared by :meth:`run_campaign` (one
+        batch) and :meth:`run_rounds` (one call per round, with the
+        round's global ``task_offset``); both paths journal each merged
+        task and skip ids already ``completed`` by a resumed checkpoint.
+        """
+        if workers <= 1:
+            for local, test in enumerate(tests):
+                index = task_offset + local
+                if index in completed:
+                    continue
+                self.execute_test(
+                    test,
+                    campaign,
+                    scheduler_kind=scheduler_kind,
+                    trials=trials,
+                    task_id=index,
+                )
+                if self.obs.enabled:
+                    # Keep the trace's cumulative funnel near-current,
+                    # so a killed campaign still reads sensibly.
+                    self.obs.flush_metrics()
+                if writer is not None:
+                    writer.task_done(index)
+        else:
+            self.execute_tests_parallel(
+                tests,
+                campaign,
+                scheduler_kind=scheduler_kind,
+                trials=trials,
+                workers=workers,
+                completed=completed,
+                on_task_merged=(writer.task_done if writer is not None else None),
+                task_offset=task_offset,
+            )
 
     def _finish_campaign_obs(self, campaign: CampaignResult) -> None:
         """End-of-campaign observability tail: fleet health counters,
@@ -864,6 +969,236 @@ class Snowboard:
         obs.gauge("campaign.workers", campaign.workers)
         obs.gauge("campaign.wall_seconds", round(campaign.wall_seconds, 6))
         obs.flush_metrics()
+
+    # -- round-based incremental campaigns -----------------------------------------
+
+    def _open_rounds_checkpoint(
+        self,
+        checkpoint_path: str,
+        resume: bool,
+        campaign: CampaignResult,
+        strategy: str,
+        rounds: int,
+        round_budget: int,
+        corpus_growth: int,
+        scheduler_kind: str,
+        trials: Optional[int],
+    ):
+        """Create or resume a round-based campaign journal.
+
+        Returns (writer, completed task ids, journalled round records).
+        The header guards the round-shape parameters instead of the batch
+        ``test_budget``/``ntests`` (test counts are per-round facts,
+        validated against the journal's round records as each round is
+        recomputed on resume).
+        """
+        from repro.orchestrate.persistence import (
+            CHECKPOINT_VERSION,
+            CheckpointWriter,
+            load_checkpoint,
+            load_round_records,
+            restore_campaign,
+            verify_checkpoint_header,
+        )
+
+        header = {
+            "version": CHECKPOINT_VERSION,
+            "strategy": strategy,
+            "seed": self.config.seed,
+            "rounds": rounds,
+            "round_budget": round_budget,
+            "corpus_growth": corpus_growth,
+            "trials": trials or self.config.trials_per_pmc,
+            "scheduler_kind": scheduler_kind,
+            "fixed_kernel": self.config.fixed_kernel,
+        }
+        if resume and os.path.exists(checkpoint_path):
+            stored, task_records = load_checkpoint(checkpoint_path)
+            verify_checkpoint_header(stored, header)
+            completed = restore_campaign(campaign, self.repro_packages, task_records)
+            round_records = load_round_records(checkpoint_path)
+            writer = CheckpointWriter.append_to(
+                checkpoint_path, campaign, self.repro_packages
+            )
+        else:
+            completed = set()
+            round_records = {}
+            writer = CheckpointWriter.create(
+                checkpoint_path, header, campaign, self.repro_packages
+            )
+        return writer, frozenset(completed), round_records
+
+    def run_rounds(
+        self,
+        rounds: int,
+        round_budget: int,
+        strategy: str = "S-INS-PAIR",
+        scheduler_kind: str = "snowboard",
+        trials: Optional[int] = None,
+        workers: int = 1,
+        corpus_growth: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        resume: bool = False,
+    ) -> CampaignResult:
+        """A round-based incremental campaign (§4.3, §6 continuous mode).
+
+        Each round: grow the corpus by ``corpus_growth`` fuzzer executions
+        (round one uses :meth:`prepare`'s full ``corpus_budget`` pass),
+        profile only the unprofiled tail, delta-classify the new accesses
+        against the accumulated index, select up to ``round_budget``
+        exemplars from clusters not tested in earlier rounds, and run
+        them through the shared Stage-4 machinery (serial or fleet).
+
+        A one-round campaign whose ``round_budget`` matches the batch
+        ``test_budget`` is bit-identical to :meth:`run_campaign` —
+        summary, trace and replays — which the golden equivalence tests
+        pin.  ``checkpoint_path`` journals round boundaries alongside the
+        per-task records; a killed-and-resumed campaign recomputes rounds
+        from the seed, validates each against its journalled record, and
+        re-executes only the missing global task ids, landing at the
+        correct round with a summary bit-identical to an uninterrupted
+        run.
+
+        Repeated calls on one instance continue the same campaign: the
+        corpus, access index and tested-cluster history carry over, and
+        round numbering resumes where the previous call stopped.
+        """
+        if rounds < 1:
+            raise ValueError(f"rounds must be at least 1, got {rounds}")
+        if round_budget < 1:
+            raise ValueError(f"round_budget must be at least 1, got {round_budget}")
+        self.prepare()
+        growth = (
+            corpus_growth
+            if corpus_growth is not None
+            else max(1, self.config.corpus_budget // 2)
+        )
+        campaign = CampaignResult(strategy=strategy, workers=max(1, workers))
+        writer = None
+        completed: frozenset = frozenset()
+        round_records: Dict[int, Dict] = {}
+        if checkpoint_path is not None:
+            writer, completed, round_records = self._open_rounds_checkpoint(
+                checkpoint_path,
+                resume,
+                campaign,
+                strategy,
+                rounds,
+                round_budget,
+                growth,
+                scheduler_kind,
+                trials,
+            )
+        start = time.perf_counter()
+        try:
+            for _ in range(rounds):
+                self._run_round(
+                    campaign,
+                    strategy=strategy,
+                    round_budget=round_budget,
+                    growth=growth,
+                    scheduler_kind=scheduler_kind,
+                    trials=trials,
+                    workers=workers,
+                    completed=completed,
+                    writer=writer,
+                    round_records=round_records,
+                )
+        finally:
+            if writer is not None:
+                writer.close()
+        campaign.wall_seconds = time.perf_counter() - start
+        self._finish_campaign_obs(campaign)
+        return campaign
+
+    def _run_round(
+        self,
+        campaign: CampaignResult,
+        strategy: str,
+        round_budget: int,
+        growth: int,
+        scheduler_kind: str,
+        trials: Optional[int],
+        workers: int,
+        completed: frozenset,
+        writer,
+        round_records: Dict[int, Dict],
+    ) -> RoundInfo:
+        """Advance the campaign by one round."""
+        from repro.orchestrate.persistence import verify_round_record
+
+        state = self.state
+        obs = self.obs
+        number = state.round + 1
+        trials_before = campaign.trials
+        bugs_before = campaign.distinct_bugs
+        with obs.span(f"round.{number}", strategy=strategy) as span:
+            if number == 1:
+                # Round one's Stage-1/2 work is prepare()'s full-budget
+                # pass; everything in the campaign is new.
+                new_tests = len(self.corpus)
+                new_profiles = len(self.profiles)
+                new_pmcs = len(self.pmcset)
+                new_pairs = self.pmcset.total_pairs()
+            else:
+                new_tests = self._grow_corpus(growth)
+                new_profiles, new_pmcs, new_pairs = self._ingest_new_tests()
+            rng = selection_rng(self.config.seed, number)
+            tests, nclusters = self.generate_tests(
+                strategy, limit=round_budget, rng=rng, history=state.history
+            )
+            tests = tests[:round_budget]
+            campaign.exemplar_pmcs = nclusters
+            info = RoundInfo(
+                round=number,
+                first_test_index=state.next_test_index,
+                ntests=len(tests),
+                corpus_size=len(self.corpus),
+                new_corpus_tests=new_tests,
+                new_profiles=new_profiles,
+                pmcs_total=len(self.pmcset),
+                new_pmcs=new_pmcs,
+                new_pairs=new_pairs,
+                exemplars=tuple(t.pmc for t in tests),
+            )
+            if writer is not None:
+                stored = round_records.get(number)
+                if stored is not None:
+                    # Resumed: the round was journalled before the kill —
+                    # the recomputation must land on the same facts.
+                    verify_round_record(stored, info)
+                else:
+                    writer.round_begin(info)
+            self._execute_tests(
+                tests,
+                campaign,
+                scheduler_kind=scheduler_kind,
+                trials=trials,
+                workers=workers,
+                completed=completed,
+                writer=writer,
+                task_offset=state.next_test_index,
+            )
+            state.next_test_index += len(tests)
+            state.round = number
+            state.rounds_log.append(info)
+            if obs.enabled:
+                span.set(
+                    tests=len(tests),
+                    corpus=len(self.corpus),
+                    pmcs=len(self.pmcset),
+                    new_pmcs=new_pmcs,
+                )
+        if obs.enabled:
+            prefix = f"round.{number}"
+            obs.count(f"{prefix}.tests", len(tests))
+            obs.count(f"{prefix}.trials", campaign.trials - trials_before)
+            obs.count(f"{prefix}.corpus_tests", new_tests)
+            obs.count(f"{prefix}.profiles", new_profiles)
+            obs.count(f"{prefix}.new_pmcs", new_pmcs)
+            obs.count(f"{prefix}.bugs", campaign.distinct_bugs - bugs_before)
+            obs.flush_metrics()
+        return info
 
     def run_iterative_campaign(
         self,

@@ -113,6 +113,20 @@ def render_funnel(rows: Sequence[List[str]], markdown: bool = False) -> str:
     return _render(["Stage", "Metric", "Value"], list(rows), markdown)
 
 
+def render_rounds(rows: Sequence[List[str]], markdown: bool = False) -> str:
+    """Render the per-round funnel of a round-based campaign trace.
+
+    ``rows`` come from :func:`repro.obs.stats.round_rows`: one row per
+    round with that round's deltas (tests, trials, corpus growth, new
+    profiles, new PMCs, new bugs).
+    """
+    header = [
+        "Round", "Tests", "Trials", "New corpus", "New profiles",
+        "New PMCs", "New bugs",
+    ]
+    return _render(header, list(rows), markdown)
+
+
 def render_stage_times(rows: Sequence[List[str]], markdown: bool = False) -> str:
     """Render the per-span wall-time breakdown of ``repro stats``."""
     header = ["Span", "Count", "Total s", "Mean ms", "Max ms", "Share"]

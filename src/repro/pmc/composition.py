@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.pmc.clustering import ClusteringStrategy
 from repro.pmc.model import PMC
-from repro.pmc.selection import cluster_pmcs
+from repro.pmc.selection import SelectionHistory, cluster_pmcs
 
 
 def iterative_exemplars(
@@ -26,26 +26,38 @@ def iterative_exemplars(
     strategies: Sequence[ClusteringStrategy],
     rng: random.Random,
     limit_per_strategy: Optional[int] = None,
+    history: Optional[SelectionHistory] = None,
 ) -> List[Tuple[str, PMC]]:
     """Apply strategies in order, never re-selecting a PMC.
 
     Returns (strategy name, exemplar) pairs in testing order: all of
     strategy A's exemplars (uncommon-first), then strategy B's over the
     remaining PMCs, and so on.
+
+    With a ``history`` (round-based campaigns) the "never re-select"
+    rule extends across rounds: PMCs tested in earlier rounds are
+    excluded up front, clusters already drawn from under the same
+    strategy are skipped, and selections made here are recorded back —
+    so a composed strategy schedule can run round after round without
+    repeating work, exactly the §4.3 loop.
     """
     chosen: List[Tuple[str, PMC]] = []
-    taken: Set[PMC] = set()
+    taken: Set[PMC] = set(history.pmcs) if history is not None else set()
     for strategy in strategies:
         clusters = cluster_pmcs(pmcs, strategy)
         items = sorted(clusters.items(), key=lambda kv: (len(kv[1]), repr(kv[0])))
         count = 0
-        for _, members in items:
+        for key, members in items:
+            if history is not None and history.tested_cluster(strategy.name, key):
+                continue
             candidates = [p for p in members if p not in taken]
             if not candidates:
                 continue
             exemplar = rng.choice(candidates)
             taken.add(exemplar)
             chosen.append((strategy.name, exemplar))
+            if history is not None:
+                history.record(strategy.name, key, exemplar)
             count += 1
             if limit_per_strategy is not None and count >= limit_per_strategy:
                 break

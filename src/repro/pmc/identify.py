@@ -5,6 +5,15 @@ read/write overlaps, project both values onto the overlap window, and
 classify pairs with differing projected values as PMCs.  Each PMC maps
 to the (writer test, reader test) pairs that exhibit it — the raw
 material for concurrent test generation.
+
+Identification is *incremental*: :func:`identify_delta` folds a batch
+of newly profiled tests into an existing :class:`PmcSet` by scanning
+only the overlaps that involve at least one new access
+(:meth:`~repro.pmc.index.AccessIndex.read_write_overlaps_since`).  The
+batch :func:`identify_pmcs` is the degenerate one-round case — an empty
+index plus one delta — so the two paths cannot drift; a property test
+pins that any split of the profiles into deltas yields the same PmcSet
+as the one-shot identification.
 """
 
 from __future__ import annotations
@@ -32,6 +41,12 @@ class PmcSet:
     _profile_index: Optional[Dict[int, TestProfile]] = field(
         default=None, repr=False, compare=False
     )
+    # Per-PMC pair dedup sets, mirroring ``pmcs``.  Kept on the set (not
+    # local to one identify call) so delta rounds keep deduplicating
+    # against everything classified before.
+    _seen_pairs: Dict[PMC, Set[Tuple[int, int]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.pmcs)
@@ -45,6 +60,10 @@ class PmcSet:
 
     def all_pmcs(self) -> List[PMC]:
         return list(self.pmcs)
+
+    def total_pairs(self) -> int:
+        """Total (writer, reader) pairs across all PMCs."""
+        return sum(len(pairs) for pairs in self.pmcs.values())
 
     def profile_by_id(self, test_id: int) -> TestProfile:
         index = self._profile_index
@@ -62,17 +81,43 @@ class PmcSet:
 
 def identify_pmcs(profiles: Sequence[TestProfile], obs=NULL_OBSERVER) -> PmcSet:
     """Algorithm 1: index all tests, scan overlaps, classify PMCs."""
-    with obs.span("stage2.identify", profiles=len(profiles)) as span:
-        index = AccessIndex()
-        for profile in profiles:
+    result = PmcSet()
+    identify_delta(result, AccessIndex(), profiles, obs=obs)
+    return result
+
+
+def identify_delta(
+    pmcset: PmcSet,
+    index: AccessIndex,
+    new_profiles: Sequence[TestProfile],
+    obs=NULL_OBSERVER,
+) -> Tuple[int, int]:
+    """Fold newly profiled tests into ``pmcset``, scanning only the delta.
+
+    Inserts ``new_profiles`` into ``index``, classifies every overlap
+    involving at least one new access, and extends ``pmcset`` in place
+    (new PMCs appended, new pairs appended to existing PMCs, dedup
+    preserved across calls).  Returns ``(new_pmcs, new_pairs)`` — the
+    counts this delta contributed.
+
+    The union over any sequence of deltas equals the one-shot
+    :func:`identify_pmcs` over the concatenated profiles: each
+    overlapping (read, write) pair is scanned exactly once, in the delta
+    where its later access arrived, and classification is per-pair.
+    """
+    with obs.span("stage2.identify", profiles=len(new_profiles)) as span:
+        mark = index.mark()
+        for profile in new_profiles:
             index.insert_profile(profile)
 
-        result = PmcSet(profiles=tuple(profiles))
-        pmcs = result.pmcs
-        seen_pairs: Dict[PMC, Set[Tuple[int, int]]] = {}
+        pmcs = pmcset.pmcs
+        seen_pairs = pmcset._seen_pairs
+        new_pmcs = 0
+        new_pairs = 0
+        delta_overlaps = 0
 
-        for overlap in index.read_write_overlaps():
-            result.overlaps_scanned += 1
+        for overlap in index.read_write_overlaps_since(mark):
+            delta_overlaps += 1
             read, write = overlap.read, overlap.write
             read_value = project_value(
                 read.addr, read.size, read.value, overlap.lo, overlap.hi
@@ -91,10 +136,18 @@ def identify_pmcs(profiles: Sequence[TestProfile], obs=NULL_OBSERVER) -> PmcSet:
             holders = seen_pairs.setdefault(pmc, set())
             if pair not in holders:
                 holders.add(pair)
-                pmcs.setdefault(pmc, []).append(pair)
-        span.set(pmcs=len(pmcs), overlaps=result.overlaps_scanned)
+                if pmc in pmcs:
+                    pmcs[pmc].append(pair)
+                else:
+                    pmcs[pmc] = [pair]
+                    new_pmcs += 1
+                new_pairs += 1
+        pmcset.overlaps_scanned += delta_overlaps
+        pmcset.profiles = tuple(pmcset.profiles) + tuple(new_profiles)
+        pmcset._profile_index = None  # stale: new test ids arrived
+        span.set(pmcs=len(pmcs), new_pmcs=new_pmcs, overlaps=delta_overlaps)
     if obs.enabled:
-        obs.count("stage2.overlaps", result.overlaps_scanned)
-        obs.count("stage2.pmcs", len(pmcs))
-        obs.count("stage2.pairs", sum(len(pairs) for pairs in pmcs.values()))
-    return result
+        obs.count("stage2.overlaps", delta_overlaps)
+        obs.count("stage2.pmcs", new_pmcs)
+        obs.count("stage2.pairs", new_pairs)
+    return new_pmcs, new_pairs

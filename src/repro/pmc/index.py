@@ -7,6 +7,16 @@ length; for one range, accesses are indexed by instruction address.
 pair with intersecting ranges — without the naive quadratic scan over
 all access pairs, because a read only probes the bounded start-address
 window that can still overlap it.
+
+The index is *incremental*: every insert is stamped with a monotone
+sequence number, and ``read_write_overlaps_since(mark)`` yields exactly
+the overlaps involving at least one access inserted at or after
+``mark`` (``mark()`` snapshots the current position).  A continuously
+running campaign (§4.3, §6) profiles new sequential tests round after
+round and re-classifies only the delta instead of rescanning the whole
+corpus; the union of the per-round delta scans provably equals the full
+scan, because each overlapping (read, write) pair is yielded exactly
+once — in the round where its *later* access arrived.
 """
 
 from __future__ import annotations
@@ -38,16 +48,18 @@ class _Bucket:
 
     Nested ordering: by range length, then instruction address; each
     (length, ins) slot keeps the distinct values seen and the tests that
-    produced them.
+    produced them, each stamped with its insertion sequence number.
     """
 
     __slots__ = ("entries",)
 
     def __init__(self):
-        # (size, ins) -> {value -> [(access, test_id), ...]}
-        self.entries: Dict[Tuple[int, str], Dict[int, List[Tuple[ProfiledAccess, int]]]] = {}
+        # (size, ins) -> {value -> [(access, test_id, seq), ...]}
+        self.entries: Dict[
+            Tuple[int, str], Dict[int, List[Tuple[ProfiledAccess, int, int]]]
+        ] = {}
 
-    def insert(self, access: ProfiledAccess, test_id: int) -> None:
+    def insert(self, access: ProfiledAccess, test_id: int, seq: int) -> None:
         # .get instead of setdefault: setdefault allocates a fresh
         # default dict/list on every call, hit or miss; this path runs
         # once per profiled access of every test.
@@ -58,11 +70,11 @@ class _Bucket:
             slot = entries[key] = {}
         holders = slot.get(access.value)
         if holders is None:
-            slot[access.value] = [(access, test_id)]
+            slot[access.value] = [(access, test_id, seq)]
         else:
-            holders.append((access, test_id))
+            holders.append((access, test_id, seq))
 
-    def iter_entries(self) -> Iterator[Tuple[ProfiledAccess, int]]:
+    def iter_entries(self) -> Iterator[Tuple[ProfiledAccess, int, int]]:
         for by_value in self.entries.values():
             for holders in by_value.values():
                 yield from holders
@@ -75,7 +87,11 @@ class AccessIndex:
         self._writes: Dict[int, _Bucket] = {}
         self._reads: Dict[int, _Bucket] = {}
         self._write_starts: List[int] = []
+        self._read_starts: List[int] = []
         self._starts_dirty = False
+        self._read_starts_dirty = False
+        # Monotone insertion stamp: the delta scan's notion of "new".
+        self._seq = 0
         # Running totals, maintained on insert so counts() is O(1)
         # instead of a full re-iteration of every bucket.
         self._nwrites = 0
@@ -96,12 +112,23 @@ class AccessIndex:
             bucket = side[access.addr] = _Bucket()
             if access.is_write:
                 self._starts_dirty = True
-        bucket.insert(access, test_id)
+            else:
+                self._read_starts_dirty = True
+        bucket.insert(access, test_id, self._seq)
+        self._seq += 1
 
     def insert_profile(self, profile) -> None:
         """Index every access of a test profile."""
         for access in profile.accesses:
             self.insert(access, profile.test_id)
+
+    def mark(self) -> int:
+        """Watermark for :meth:`read_write_overlaps_since`.
+
+        Snapshot before inserting a round's new profiles; accesses
+        inserted afterwards count as "new" relative to the mark.
+        """
+        return self._seq
 
     # -- the overlap scan ------------------------------------------------------
 
@@ -112,16 +139,60 @@ class AccessIndex:
         (a - MAX_ACCESS_SIZE, a + s): a bounded window found by bisection
         over the ordered write start addresses.
         """
+        return self.read_write_overlaps_since(0)
+
+    def read_write_overlaps_since(self, mark: int) -> Iterator[Overlap]:
+        """Yield every overlap involving at least one access with
+        insertion stamp ``>= mark``.
+
+        Two passes: new reads against *all* writes, then new writes
+        against *old* reads only (new-read/new-write pairs were already
+        yielded by the first pass), so each qualifying pair appears
+        exactly once.  With ``mark == 0`` the first pass degenerates to
+        the full scan — in the identical iteration order — and the
+        second pass is skipped entirely.
+        """
         self._refresh_starts()
         starts = self._write_starts
+        writes = self._writes
         for read_start, read_bucket in self._reads.items():
-            for read, read_test in read_bucket.iter_entries():
+            for read, read_test, read_seq in read_bucket.iter_entries():
+                if read_seq < mark:
+                    continue
                 lo_bound = read.addr - MAX_ACCESS_SIZE + 1
                 first = bisect.bisect_left(starts, lo_bound)
                 last = bisect.bisect_left(starts, read.end)
                 for i in range(first, last):
-                    write_bucket = self._writes[starts[i]]
-                    for write, write_test in write_bucket.iter_entries():
+                    write_bucket = writes[starts[i]]
+                    for write, write_test, _ in write_bucket.iter_entries():
+                        lo = max(write.addr, read.addr)
+                        hi = min(write.end, read.end)
+                        if lo < hi:
+                            yield Overlap(
+                                write=write,
+                                write_test=write_test,
+                                read=read,
+                                read_test=read_test,
+                                lo=lo,
+                                hi=hi,
+                            )
+        if mark <= 0:
+            return
+        self._refresh_read_starts()
+        rstarts = self._read_starts
+        reads = self._reads
+        for write_start, write_bucket in self._writes.items():
+            for write, write_test, write_seq in write_bucket.iter_entries():
+                if write_seq < mark:
+                    continue
+                lo_bound = write.addr - MAX_ACCESS_SIZE + 1
+                first = bisect.bisect_left(rstarts, lo_bound)
+                last = bisect.bisect_left(rstarts, write.end)
+                for i in range(first, last):
+                    read_bucket = reads[rstarts[i]]
+                    for read, read_test, read_seq in read_bucket.iter_entries():
+                        if read_seq >= mark:
+                            continue  # already paired in the first pass
                         lo = max(write.addr, read.addr)
                         hi = min(write.end, read.end)
                         if lo < hi:
@@ -144,3 +215,8 @@ class AccessIndex:
         if self._starts_dirty or len(self._write_starts) != len(self._writes):
             self._write_starts = sorted(self._writes)
             self._starts_dirty = False
+
+    def _refresh_read_starts(self) -> None:
+        if self._read_starts_dirty or len(self._read_starts) != len(self._reads):
+            self._read_starts = sorted(self._reads)
+            self._read_starts_dirty = False

@@ -208,19 +208,25 @@ class Profiler:
         return profile_from_result(test_id, program, result)
 
 
-def profile_corpus(
-    corpus: Corpus, executor: Optional[Executor] = None, obs=NULL_OBSERVER
+def profile_new(
+    entries, executor: Optional[Executor] = None, obs=NULL_OBSERVER
 ) -> List[TestProfile]:
-    """Profile every corpus entry.
+    """Profile a batch of corpus entries (the per-round delta).
 
-    Corpus entries already carry their sequential execution results, so
-    no re-execution is needed unless an executor is passed explicitly.
+    A continuous campaign keeps a profiled-test watermark into the
+    growing corpus and hands only the unprofiled tail here; the batch
+    :func:`profile_corpus` is the degenerate whole-corpus call.  Corpus
+    entries already carry their sequential execution results, so no
+    re-execution is needed unless an executor is passed explicitly.
     The Stage-1 funnel quantities (tests profiled, instructions covered,
-    unique shared accesses, double-fetch leaders) land on ``obs``.
+    unique shared accesses, double-fetch leaders) land on ``obs`` —
+    counting only this batch, so cumulative round totals equal the batch
+    path's.
     """
+    entries = list(entries)
     profiles = []
-    with obs.span("stage1.profile", tests=len(corpus)):
-        for entry in corpus:
+    with obs.span("stage1.profile", tests=len(entries)):
+        for entry in entries:
             if executor is not None:
                 result = executor.run_sequential(entry.program)
             else:
@@ -237,3 +243,10 @@ def profile_corpus(
             sum(1 for p in profiles for a in p.accesses if a.df_leader),
         )
     return profiles
+
+
+def profile_corpus(
+    corpus: Corpus, executor: Optional[Executor] = None, obs=NULL_OBSERVER
+) -> List[TestProfile]:
+    """Profile every corpus entry — one whole-corpus :func:`profile_new`."""
+    return profile_new(corpus.entries, executor=executor, obs=obs)

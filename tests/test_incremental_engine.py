@@ -1,0 +1,375 @@
+"""Round-based incremental campaign engine (§4.3, §6 continuous mode).
+
+Contracts pinned here:
+
+* **Equivalence guard** — a one-round campaign with the full budget is
+  bit-identical to the batch pipeline: summary, funnel totals and
+  reproduction packages, serially and across a worker fleet.
+* Multi-round campaigns are deterministic across instances, grow the
+  corpus and PMC set monotonically, and never re-test an exemplar PMC
+  in a later round (the §4.3 "excluding those tested before" rule).
+* A checkpointed round campaign killed at or inside any round resumes
+  in a fresh instance, lands at the correct round (validated against
+  the journalled round records), and reproduces the uninterrupted
+  summary bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import JsonlSink, MemorySink, Observer
+from repro.obs.stats import (
+    aggregate_trace,
+    funnel_totals,
+    load_stats,
+    render_stats,
+    round_counters,
+    stats_to_obj,
+)
+from repro.orchestrate.persistence import (
+    CheckpointMismatch,
+    load_checkpoint,
+    load_round_records,
+)
+from repro.orchestrate.pipeline import Snowboard, SnowboardConfig
+
+CONFIG = SnowboardConfig(
+    seed=7, corpus_budget=120, trials_per_pmc=8, max_instructions=40_000
+)
+STRATEGY = "S-INS-PAIR"
+BUDGET = 8  # batch test budget == one-round budget for the equivalence guard
+ROUNDS = 2
+ROUND_BUDGET = 4
+GROWTH = 40  # fuzzer executions added by each round after the first
+
+
+class Killed(BaseException):
+    """Stands in for SIGKILL: not an Exception, nothing may catch it."""
+
+
+@pytest.fixture(scope="module")
+def batch():
+    """The batch campaign the one-round path must match bit for bit."""
+    sb = Snowboard(CONFIG).prepare()
+    return sb, sb.run_campaign(STRATEGY, test_budget=BUDGET)
+
+
+@pytest.fixture(scope="module")
+def one_round():
+    sb = Snowboard(CONFIG).prepare()
+    return sb, sb.run_rounds(1, BUDGET, strategy=STRATEGY)
+
+
+@pytest.fixture(scope="module")
+def multi_round():
+    """The uninterrupted multi-round campaign resumes must reproduce."""
+    sb = Snowboard(CONFIG).prepare()
+    campaign = sb.run_rounds(
+        ROUNDS, ROUND_BUDGET, strategy=STRATEGY, corpus_growth=GROWTH
+    )
+    return sb, campaign
+
+
+class TestOneRoundEquivalence:
+    def test_serial_summary_bit_identical(self, batch, one_round):
+        assert one_round[1].summary() == batch[1].summary()
+
+    def test_exemplar_count_matches_batch(self, batch, one_round):
+        assert one_round[1].exemplar_pmcs == batch[1].exemplar_pmcs
+
+    def test_repro_packages_identical(self, batch, one_round):
+        batch_sb, rounds_sb = batch[0], one_round[0]
+        assert set(rounds_sb.repro_packages) == set(batch_sb.repro_packages)
+        for bug_id, package in batch_sb.repro_packages.items():
+            assert rounds_sb.repro_packages[bug_id].to_json() == package.to_json()
+
+    def test_fleet_summary_bit_identical(self, batch):
+        sb = Snowboard(CONFIG).prepare()
+        campaign = sb.run_rounds(1, BUDGET, strategy=STRATEGY, workers=2)
+        assert campaign.summary() == batch[1].summary()
+
+    def test_funnel_totals_bit_identical(self):
+        """Tracing on: the one-round funnel equals the batch funnel."""
+        sinks = []
+        for rounds in (None, 1):
+            sink = MemorySink()
+            sb = Snowboard(CONFIG, observer=Observer(sink))
+            if rounds is None:
+                sb.run_campaign(STRATEGY, test_budget=BUDGET)
+            else:
+                sb.run_rounds(rounds, BUDGET, strategy=STRATEGY)
+            sinks.append(sink)
+        totals = [funnel_totals(aggregate_trace({}, s.events)) for s in sinks]
+        assert totals[0] == totals[1]
+        assert totals[0]  # not vacuously equal
+
+
+class TestMultiRound:
+    def test_deterministic_across_instances(self, multi_round):
+        sb = Snowboard(CONFIG).prepare()
+        campaign = sb.run_rounds(
+            ROUNDS, ROUND_BUDGET, strategy=STRATEGY, corpus_growth=GROWTH
+        )
+        assert campaign.summary() == multi_round[1].summary()
+        assert sb.state.rounds_log == multi_round[0].state.rounds_log
+
+    def test_round_log_shape(self, multi_round):
+        sb, campaign = multi_round
+        log = sb.state.rounds_log
+        assert [info.round for info in log] == list(range(1, ROUNDS + 1))
+        # Global task ids tile the rounds back to back.
+        offsets = [info.first_test_index for info in log]
+        assert offsets == [sum(i.ntests for i in log[:k]) for k in range(ROUNDS)]
+        assert campaign.tested_pmcs == sum(info.ntests for info in log)
+        # Corpus and PMC totals only ever grow.
+        assert all(a.corpus_size <= b.corpus_size for a, b in zip(log, log[1:]))
+        assert all(a.pmcs_total <= b.pmcs_total for a, b in zip(log, log[1:]))
+        assert sb.state.round == ROUNDS
+        assert sb.state.profiled_watermark == len(sb.corpus.entries)
+
+    def test_later_rounds_add_corpus_and_pmcs(self, multi_round):
+        """The incremental machinery actually advances: round 2 must
+        profile new tests (GROWTH executions find *something* on this
+        corpus/seed) and classify a non-empty PMC delta."""
+        log = multi_round[0].state.rounds_log
+        assert log[1].new_profiles > 0
+        assert log[1].new_pmcs > 0
+        assert log[1].corpus_size > log[0].corpus_size
+
+    def test_no_exemplar_retested_across_rounds(self, multi_round):
+        log = multi_round[0].state.rounds_log
+        seen = set()
+        for info in log:
+            exemplars = set(info.exemplars)
+            assert len(exemplars) == len(info.exemplars)  # no dupes within
+            assert not (exemplars & seen)  # none across rounds
+            seen |= exemplars
+        assert len(multi_round[0].state.history) == sum(i.ntests for i in log)
+
+    def test_fleet_matches_serial(self, multi_round):
+        sb = Snowboard(CONFIG).prepare()
+        campaign = sb.run_rounds(
+            ROUNDS, ROUND_BUDGET, strategy=STRATEGY, corpus_growth=GROWTH, workers=2
+        )
+        assert campaign.summary() == multi_round[1].summary()
+
+    def test_repeated_calls_continue_the_campaign(self, multi_round):
+        """Two run_rounds(1) calls walk the same rounds as one
+        run_rounds(2): corpus, index, history and numbering carry over.
+
+        Only Stage 1-3 state lives in CampaignState: each call returns
+        its own CampaignResult, whose observation dedup (and therefore
+        per-test early stop) starts fresh.  So test counts must tile the
+        single-campaign run exactly, while trial counts may not.
+        """
+        sb = Snowboard(CONFIG).prepare()
+        first = sb.run_rounds(1, ROUND_BUDGET, strategy=STRATEGY, corpus_growth=GROWTH)
+        second = sb.run_rounds(1, ROUND_BUDGET, strategy=STRATEGY, corpus_growth=GROWTH)
+        assert sb.state.rounds_log == multi_round[0].state.rounds_log
+        combined = first.tested_pmcs + second.tested_pmcs
+        assert combined == multi_round[1].tested_pmcs
+
+
+class TestRoundTrace:
+    @pytest.fixture(scope="class")
+    def traced(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("trace") / "rounds.jsonl")
+        obs = Observer(JsonlSink(path, header={"seed": CONFIG.seed, "rounds": ROUNDS}))
+        sb = Snowboard(CONFIG, observer=obs)
+        campaign = sb.run_rounds(
+            ROUNDS, ROUND_BUDGET, strategy=STRATEGY, corpus_growth=GROWTH
+        )
+        obs.close()
+        return sb, campaign, path
+
+    def test_round_counters_match_round_log(self, traced):
+        sb, campaign, path = traced
+        rounds = round_counters(load_stats(path))
+        assert sorted(rounds) == list(range(1, ROUNDS + 1))
+        for info in sb.state.rounds_log:
+            data = rounds[info.round]
+            assert data["tests"] == info.ntests
+            assert data["corpus_tests"] == info.new_corpus_tests
+            assert data["profiles"] == info.new_profiles
+            assert data["new_pmcs"] == info.new_pmcs
+        assert sum(r["trials"] for r in rounds.values()) == campaign.trials
+
+    def test_round_spans_present(self, traced):
+        stats = load_stats(traced[2])
+        for number in range(1, ROUNDS + 1):
+            assert f"round.{number}" in stats.spans
+
+    def test_render_includes_round_funnel(self, traced):
+        text = render_stats(load_stats(traced[2]))
+        assert "== Per-round funnel ==" in text
+
+    def test_stats_to_obj_round_aware(self, traced):
+        obj = stats_to_obj(load_stats(traced[2]))
+        assert [r["round"] for r in obj["rounds"]] == list(range(1, ROUNDS + 1))
+        assert obj["funnel"]["stage4.trials"] == traced[1].trials
+        json.dumps(obj)  # must be JSON-serialisable as-is
+
+    def test_stats_json_cli(self, traced, capsys):
+        from repro.cli import main
+
+        assert main(["stats", traced[2], "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert len(obj["rounds"]) == ROUNDS
+        assert obj["header"]["rounds"] == ROUNDS
+
+    def test_batch_trace_has_no_round_section(self, tmp_path):
+        path = str(tmp_path / "batch.jsonl")
+        obs = Observer(JsonlSink(path, header={}))
+        Snowboard(CONFIG, observer=obs).run_campaign(STRATEGY, test_budget=3)
+        obs.close()
+        stats = load_stats(path)
+        assert round_counters(stats) == {}
+        assert "== Per-round funnel ==" not in render_stats(stats)
+        assert stats_to_obj(stats)["rounds"] == []
+
+
+def _run_rounds_until_killed(path: str, kill_after: int) -> None:
+    """Start a checkpointed round campaign and kill it mid-Stage-4."""
+    sb = Snowboard(CONFIG).prepare()
+    original = Snowboard.execute_test
+    calls = {"n": 0}
+
+    def dying(self, *args, **kwargs):
+        if calls["n"] >= kill_after:
+            raise Killed()
+        calls["n"] += 1
+        return original(self, *args, **kwargs)
+
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(Snowboard, "execute_test", dying)
+        with pytest.raises(Killed):
+            sb.run_rounds(
+                ROUNDS,
+                ROUND_BUDGET,
+                strategy=STRATEGY,
+                corpus_growth=GROWTH,
+                checkpoint_path=path,
+            )
+
+
+def _resume(path: str):
+    sb = Snowboard(CONFIG).prepare()
+    campaign = sb.run_rounds(
+        ROUNDS,
+        ROUND_BUDGET,
+        strategy=STRATEGY,
+        corpus_growth=GROWTH,
+        checkpoint_path=path,
+        resume=True,
+    )
+    return sb, campaign
+
+
+class TestRoundCheckpointResume:
+    def test_uninterrupted_checkpoint_does_not_perturb(self, multi_round, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        sb = Snowboard(CONFIG).prepare()
+        campaign = sb.run_rounds(
+            ROUNDS,
+            ROUND_BUDGET,
+            strategy=STRATEGY,
+            corpus_growth=GROWTH,
+            checkpoint_path=path,
+        )
+        assert campaign.summary() == multi_round[1].summary()
+        header, tasks = load_checkpoint(path)
+        assert header["rounds"] == ROUNDS
+        assert header["round_budget"] == ROUND_BUDGET
+        total = sum(info.ntests for info in sb.state.rounds_log)
+        assert [t["task_id"] for t in tasks] == list(range(total))
+        rounds = load_round_records(path)
+        assert sorted(rounds) == list(range(1, ROUNDS + 1))
+        for info in sb.state.rounds_log:
+            assert rounds[info.round]["ntests"] == info.ntests
+            assert rounds[info.round]["first_test_index"] == info.first_test_index
+
+    def test_kill_at_round_boundary_and_resume(self, multi_round, tmp_path):
+        """Killed right as round 2 starts executing: the resume must land
+        at round 2 and finish it, not rerun round 1."""
+        uninterrupted_sb, uninterrupted = multi_round
+        round1_tests = uninterrupted_sb.state.rounds_log[0].ntests
+        path = str(tmp_path / "journal.jsonl")
+        _run_rounds_until_killed(path, kill_after=round1_tests)
+        # Round 2's boundary record was journalled before its first task.
+        assert sorted(load_round_records(path)) == [1, 2]
+        _, tasks = load_checkpoint(path)
+        assert len(tasks) == round1_tests
+
+        sb, resumed = _resume(path)
+        assert resumed.summary() == uninterrupted.summary()
+        assert sb.state.rounds_log == uninterrupted_sb.state.rounds_log
+        assert set(sb.repro_packages) == set(uninterrupted_sb.repro_packages)
+
+    def test_kill_mid_round_two_and_resume(self, multi_round, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        kill_after = multi_round[0].state.rounds_log[0].ntests + 2
+        _run_rounds_until_killed(path, kill_after=kill_after)
+        _, resumed = _resume(path)
+        assert resumed.summary() == multi_round[1].summary()
+
+    def test_kill_in_round_one_and_resume(self, multi_round, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        _run_rounds_until_killed(path, kill_after=1)
+        assert sorted(load_round_records(path)) == [1]
+        _, resumed = _resume(path)
+        assert resumed.summary() == multi_round[1].summary()
+
+    def test_resume_of_complete_journal_executes_nothing(self, multi_round, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        Snowboard(CONFIG).prepare().run_rounds(
+            ROUNDS,
+            ROUND_BUDGET,
+            strategy=STRATEGY,
+            corpus_growth=GROWTH,
+            checkpoint_path=path,
+        )
+        executed = []
+        original = Snowboard.execute_test
+
+        def counting(self, *args, **kwargs):
+            executed.append(kwargs.get("task_id"))
+            return original(self, *args, **kwargs)
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(Snowboard, "execute_test", counting)
+            _, resumed = _resume(path)
+        assert executed == []
+        assert resumed.summary() == multi_round[1].summary()
+
+    def test_round_shape_header_guard(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        _run_rounds_until_killed(path, kill_after=2)
+        sb = Snowboard(CONFIG).prepare()
+        with pytest.raises(CheckpointMismatch):
+            sb.run_rounds(
+                ROUNDS + 1,  # different round count than journalled
+                ROUND_BUDGET,
+                strategy=STRATEGY,
+                corpus_growth=GROWTH,
+                checkpoint_path=path,
+                resume=True,
+            )
+
+    def test_batch_journal_rejected_by_rounds_resume(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        Snowboard(CONFIG).prepare().run_campaign(
+            STRATEGY, test_budget=3, checkpoint_path=path
+        )
+        sb = Snowboard(CONFIG).prepare()
+        with pytest.raises(CheckpointMismatch):
+            sb.run_rounds(
+                ROUNDS,
+                ROUND_BUDGET,
+                strategy=STRATEGY,
+                corpus_growth=GROWTH,
+                checkpoint_path=path,
+                resume=True,
+            )

@@ -1,11 +1,12 @@
-"""Tests for the access index and Algorithm 1 (PMC identification)."""
+"""Tests for the access index and Algorithm 1 (PMC identification),
+including their incremental (delta) forms."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fuzz.prog import Program
 from repro.machine.accesses import AccessType
-from repro.pmc.identify import identify_pmcs
+from repro.pmc.identify import PmcSet, identify_delta, identify_pmcs
 from repro.pmc.index import AccessIndex
 from repro.pmc.model import PMC, AccessKey
 from repro.profile.profiler import ProfiledAccess, TestProfile
@@ -102,6 +103,240 @@ def test_property_index_matches_naive_quadratic_scan(writes, reads):
     }
     indexed = {(o.write.ins, o.read.ins) for o in index.read_write_overlaps()}
     assert indexed == naive
+
+
+class TestAccessIndexIncremental:
+    """Inserts interleaved with scans: the delta contract and the
+    start-address caches behind ``_refresh_starts``."""
+
+    def test_scan_between_inserts_sees_later_inserts(self):
+        index = AccessIndex()
+        index.insert(pa("W", 0x100, 8, 1, "w:1"), test_id=0)
+        assert list(index.read_write_overlaps()) == []  # caches built here
+        index.insert(pa("R", 0x104, 4, 2, "r:1"), test_id=1)
+        (overlap,) = index.read_write_overlaps()
+        assert (overlap.write.ins, overlap.read.ins) == ("w:1", "r:1")
+
+    def test_delta_scan_yields_only_new_overlaps(self):
+        index = AccessIndex()
+        index.insert(pa("W", 0x100, 8, 1, "w:1"), test_id=0)
+        index.insert(pa("R", 0x100, 8, 2, "r:1"), test_id=1)
+        mark = index.mark()
+        assert len(list(index.read_write_overlaps_since(mark))) == 0
+        # A new read pairs with the old write (pass 1)...
+        index.insert(pa("R", 0x104, 4, 3, "r:2"), test_id=2)
+        # ...and a new write pairs with old and new reads (pass 2 + pass 1).
+        index.insert(pa("W", 0x102, 4, 4, "w:2"), test_id=3)
+        delta = {(o.write.ins, o.read.ins) for o in index.read_write_overlaps_since(mark)}
+        assert delta == {("w:1", "r:2"), ("w:2", "r:2"), ("w:2", "r:1")}
+        # The full scan still sees everything, exactly once.
+        full = [(o.write.ins, o.read.ins) for o in index.read_write_overlaps()]
+        assert sorted(full) == sorted(delta | {("w:1", "r:1")})
+
+    def test_mark_zero_equals_full_scan_in_order(self):
+        index = AccessIndex()
+        for i in range(6):
+            index.insert(pa("W", 0x100 + 4 * i, 8, i, f"w:{i}"), test_id=i)
+            index.insert(pa("R", 0x102 + 4 * i, 8, 100 + i, f"r:{i}"), test_id=10 + i)
+        full = [(o.write.ins, o.read.ins) for o in index.read_write_overlaps()]
+        since_zero = [
+            (o.write.ins, o.read.ins) for o in index.read_write_overlaps_since(0)
+        ]
+        assert full == since_zero  # same pairs, same iteration order
+
+    def test_interleaved_rounds_partition_the_full_scan(self):
+        """Round deltas are disjoint and union to the one-shot scan."""
+        accesses = [
+            pa("W", 0x100, 8, 1, "w:1"),
+            pa("R", 0x104, 4, 2, "r:1"),
+            pa("W", 0x106, 2, 3, "w:2"),
+            pa("R", 0x100, 8, 4, "r:2"),
+            pa("W", 0x0FC, 8, 5, "w:3"),
+            pa("R", 0x107, 1, 6, "r:3"),
+        ]
+        for split in range(len(accesses) + 1):
+            index = AccessIndex()
+            seen = []
+            for chunk in (accesses[:split], accesses[split:]):
+                mark = index.mark()
+                for i, access in enumerate(chunk):
+                    index.insert(access, test_id=i)
+                seen.extend(
+                    (o.write.ins, o.read.ins)
+                    for o in index.read_write_overlaps_since(mark)
+                )
+            full = [(o.write.ins, o.read.ins) for o in index.read_write_overlaps()]
+            assert sorted(seen) == sorted(full)
+            assert len(seen) == len(set(seen))  # each overlap exactly once
+
+    def test_counts_stay_correct_across_rounds(self):
+        index = AccessIndex()
+        index.insert(pa("W", 0x100, 4, 1, "w:1"), test_id=0)
+        list(index.read_write_overlaps())
+        index.insert(pa("R", 0x100, 4, 2, "r:1"), test_id=1)
+        index.insert(pa("R", 0x200, 4, 3, "r:2"), test_id=1)
+        assert index.counts() == (1, 2)
+
+
+@given(
+    accesses=st.lists(
+        st.tuples(
+            st.booleans(),  # is_write
+            st.integers(min_value=0, max_value=64),  # addr
+            st.integers(min_value=1, max_value=8),  # size
+            st.integers(min_value=0, max_value=3),  # value
+        ),
+        max_size=16,
+    ),
+    split=st.integers(min_value=0, max_value=16),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_delta_scans_partition_full_scan(accesses, split):
+    """Any two-round split of the inserts yields each overlap exactly
+    once across the deltas, and the union equals the full scan."""
+    split = min(split, len(accesses))
+    built = [
+        pa("W" if w else "R", addr, size, value, f"{'w' if w else 'r'}:{i}")
+        for i, (w, addr, size, value) in enumerate(accesses)
+    ]
+    index = AccessIndex()
+    delta_pairs = []
+    for chunk in (built[:split], built[split:]):
+        mark = index.mark()
+        for i, access in enumerate(chunk):
+            index.insert(access, test_id=i)
+        delta_pairs.extend(
+            (o.write.ins, o.read.ins) for o in index.read_write_overlaps_since(mark)
+        )
+    full_pairs = [(o.write.ins, o.read.ins) for o in index.read_write_overlaps()]
+    assert sorted(delta_pairs) == sorted(full_pairs)
+
+
+class TestIdentifyDelta:
+    def test_delta_counts_returned(self):
+        pmcset = PmcSet()
+        index = AccessIndex()
+        first = [profile(0, pa("W", 0x100, 8, 0xAA, "w:1"))]
+        second = [profile(1, pa("R", 0x100, 8, 0xBB, "r:1"))]
+        assert identify_delta(pmcset, index, first) == (0, 0)
+        assert identify_delta(pmcset, index, second) == (1, 1)
+        assert len(pmcset) == 1
+        assert pmcset.total_pairs() == 1
+
+    def test_existing_pmc_gains_pair_not_pmc(self):
+        pmcset = PmcSet()
+        index = AccessIndex()
+        identify_delta(
+            pmcset,
+            index,
+            [
+                profile(0, pa("W", 0x100, 8, 1, "w:1")),
+                profile(1, pa("R", 0x100, 8, 0, "r:1")),
+            ],
+        )
+        # A later test with the *same* access keys joins the existing PMC.
+        new_pmcs, new_pairs = identify_delta(
+            pmcset, index, [profile(2, pa("W", 0x100, 8, 1, "w:1"))]
+        )
+        assert (new_pmcs, new_pairs) == (0, 1)
+        (pmc,) = pmcset
+        assert set(pmcset.pairs(pmc)) == {(0, 1), (2, 1)}
+
+    def test_dedup_survives_across_deltas(self):
+        """A pair classified in round 1 is not re-added when round 2's
+        scan happens to cover it again via a new identical access."""
+        pmcset = PmcSet()
+        index = AccessIndex()
+        identify_delta(
+            pmcset,
+            index,
+            [
+                profile(0, pa("W", 0x100, 8, 1, "w:1")),
+                profile(1, pa("R", 0x100, 8, 0, "r:1")),
+            ],
+        )
+        # The same (writer, reader) tests, same keys, inserted again.
+        new_pmcs, new_pairs = identify_delta(
+            pmcset,
+            index,
+            [
+                profile(0, pa("W", 0x100, 8, 1, "w:1")),
+                profile(1, pa("R", 0x100, 8, 0, "r:1")),
+            ],
+        )
+        assert (new_pmcs, new_pairs) == (0, 0)
+        (pmc,) = pmcset
+        assert pmcset.pairs(pmc) == [(0, 1)]
+
+    def test_profiles_accumulate(self):
+        pmcset = PmcSet()
+        index = AccessIndex()
+        identify_delta(pmcset, index, [profile(0, pa("W", 0x100, 8, 1, "w:1"))])
+        identify_delta(pmcset, index, [profile(1, pa("R", 0x100, 8, 0, "r:1"))])
+        assert [p.test_id for p in pmcset.profiles] == [0, 1]
+        assert pmcset.profile_by_id(1).test_id == 1
+
+
+def _access_strategy():
+    return st.tuples(
+        st.booleans(),  # is_write
+        st.integers(min_value=0, max_value=48),  # addr
+        st.integers(min_value=1, max_value=8),  # size
+        st.integers(min_value=0, max_value=2),  # value (small: collisions)
+        st.integers(min_value=0, max_value=3),  # ins tag (collisions)
+    )
+
+
+@given(
+    tests=st.lists(st.lists(_access_strategy(), max_size=6), max_size=8),
+    cuts=st.lists(st.integers(min_value=0, max_value=8), max_size=3),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_identify_delta_over_any_split_equals_one_shot(tests, cuts):
+    """identify_delta over *any* split of the profiles — including empty
+    chunks — matches identify_pmcs: same PMCs, same pair sets, same
+    overlaps_scanned."""
+    profiles = []
+    for tid, accesses in enumerate(tests):
+        built = tuple(
+            pa(
+                "W" if w else "R",
+                addr,
+                size,
+                value,
+                f"{'w' if w else 'r'}:{tag}",
+            )
+            for (w, addr, size, value, tag) in accesses
+        )
+        profiles.append(profile(tid, *built))
+
+    one_shot = identify_pmcs(profiles)
+
+    bounds = sorted(min(c, len(profiles)) for c in cuts)
+    chunks = []
+    prev = 0
+    for bound in bounds + [len(profiles)]:
+        chunks.append(profiles[prev:bound])
+        prev = bound
+
+    incremental = PmcSet()
+    index = AccessIndex()
+    total_new_pmcs = 0
+    total_new_pairs = 0
+    for chunk in chunks:
+        new_pmcs, new_pairs = identify_delta(incremental, index, chunk)
+        total_new_pmcs += new_pmcs
+        total_new_pairs += new_pairs
+
+    assert set(incremental.pmcs) == set(one_shot.pmcs)
+    for pmc in one_shot:
+        assert set(incremental.pairs(pmc)) == set(one_shot.pairs(pmc))
+    assert incremental.overlaps_scanned == one_shot.overlaps_scanned
+    assert incremental.total_pairs() == one_shot.total_pairs() == total_new_pairs
+    assert len(incremental) == len(one_shot) == total_new_pmcs
+    assert [p.test_id for p in incremental.profiles] == [
+        p.test_id for p in one_shot.profiles
+    ]
 
 
 class TestIdentifyPmcs:
