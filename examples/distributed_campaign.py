@@ -1,86 +1,87 @@
 #!/usr/bin/env python3
-"""Distributed concurrent-test execution through the work queue.
+"""Distributed concurrent-test execution over the multi-process fleet.
 
 The paper integrates its execution platform "with a lightweight
 distributed queue so that concurrent tests can be distributed in a cloud
-platform" (section 4.4.1).  This example reproduces the topology in
-process: one analysis instance generates prioritised concurrent tests,
-pushes them onto the queue, and N workers — each owning a *private*
-booted kernel, like one cloud VM each — pull and execute them, reporting
-observations back.
+platform" (section 4.4.1).  This example reproduces that topology with
+real process isolation: one analysis instance (the coordinator)
+generates prioritised concurrent tests and serialises them into
+versioned, fully picklable ``TaskEnvelope``s; N worker *processes* —
+each booting a private kernel, like one cloud VM each — execute them and
+stream back ``ResultEnvelope``s.  Everything crossing the boundary is
+plain picklable data, the same shape a real network transport (Redis,
+gRPC) would carry.
+
+The coordinator owns the fault model too: if a worker process dies
+mid-task its lease is reclaimed and re-dispatched, and the worker is
+respawned with a fresh kernel — run the drills in ``tests/test_fleet.py``
+and ``scripts/smoke_fleet.py`` to see that under fire.
 
 Run:  python examples/distributed_campaign.py [workers]
 """
 
+import pickle
 import sys
 
 from repro import Snowboard, SnowboardConfig
 from repro.detect.catalog import match_observations
-from repro.detect.datarace import RaceDetector
-from repro.detect.report import observe
-from repro.kernel.kernel import boot_kernel
-from repro.orchestrate.queue import WorkQueue, run_workers
-from repro.sched.executor import Executor
-from repro.sched.snowboard import SnowboardScheduler
+from repro.orchestrate.fleet import ProcessFleet, TaskEnvelope, WorkerSpec
+from repro.orchestrate.pipeline import Stage4Task
+from repro.orchestrate.queue import TaskFailure
 
 TRIALS = 12
-
-
-def make_worker():
-    """Build one worker: a private kernel + executor (one 'cloud VM')."""
-    kernel, snapshot = boot_kernel()
-    executor = Executor(kernel, snapshot)
-
-    def execute(payload):
-        test_index, writer, reader, pmc = payload
-        scheduler = (
-            SnowboardScheduler(pmc, seed=test_index) if pmc is not None else None
-        )
-        found = {}
-        for trial in range(TRIALS):
-            if scheduler is not None:
-                scheduler.begin_trial(trial)
-            detector = RaceDetector()
-            result = executor.run_concurrent(
-                [writer, reader], scheduler=scheduler, race_detector=detector
-            )
-            for obs in observe(result):
-                found.setdefault(obs.key, obs)
-            if result.panicked:
-                break  # the trial killed the kernel; test done
-            if scheduler is not None:
-                scheduler.end_trial(result)
-        return test_index, list(found.values())
-
-    return execute
+BUDGET = 12
 
 
 def main() -> None:
-    nworkers = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    nworkers = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    config = SnowboardConfig(seed=7, corpus_budget=200, trials_per_pmc=TRIALS)
 
-    print("== analysis instance: generate prioritised tests ==")
-    snowboard = Snowboard(
-        SnowboardConfig(seed=7, corpus_budget=200)
-    ).prepare()
-    tests, nclusters = snowboard.generate_tests("S-INS-PAIR", limit=24)
+    print("== coordinator: generate prioritised tests ==")
+    snowboard = Snowboard(config).prepare()
+    tests, nclusters = snowboard.generate_tests("S-INS-PAIR", limit=BUDGET)
     print(f"{len(tests)} concurrent tests from {nclusters} clusters")
 
-    print(f"\n== dispatch to {nworkers} workers ==")
-    work = WorkQueue()
-    for i, test in enumerate(tests):
-        work.put((i, test.writer, test.reader, test.pmc))
-    results = run_workers(work, make_worker, nworkers=nworkers)
+    print("\n== serialise onto the wire ==")
+    envelopes = [
+        TaskEnvelope.from_task(
+            Stage4Task(task_id=i, test=test, trials=TRIALS)
+        )
+        for i, test in enumerate(tests)
+    ]
+    wire_bytes = sum(len(pickle.dumps(e)) for e in envelopes)
+    print(
+        f"{len(envelopes)} task envelopes, {wire_bytes:,} bytes pickled "
+        f"(version {envelopes[0].version})"
+    )
+
+    print(f"\n== dispatch to {nworkers} worker processes ==")
+    fleet = ProcessFleet(WorkerSpec(config=config), nworkers=nworkers)
+    results = fleet.run(envelopes)
+    for stats in fleet.worker_stats:
+        print(
+            f"  worker {stats.worker_id}: {stats.tasks_done} tasks, "
+            f"{stats.retries} retries, {stats.respawns} respawns"
+        )
 
     print("\n== collected observations ==")
-    all_obs = [obs for _, obs_list in results.values() for obs in obs_list]
+    all_obs = []
+    for task_id in sorted(results):
+        result = results[task_id]
+        if isinstance(result, TaskFailure):
+            print(f"  task {task_id}: FAILED ({result.message})")
+            continue
+        outcomes, _ = result.decode()
+        for outcome in outcomes:
+            all_obs.extend(outcome.observations)
     grouped = match_observations(all_obs)
     for bug_id, observations in sorted(grouped.items()):
         print(f"  {bug_id}: {len(observations)} observation(s)")
         for obs in observations[:2]:
             print(f"    {obs}")
     if not all_obs:
-        print("  (no console-visible bugs in this slice; races are collected"
-              " by the in-process campaign runner — see quickstart.py)")
+        print("  (no observations in this slice; the campaign runner applies"
+              " race detection and dedup — see quickstart.py)")
 
 
 if __name__ == "__main__":

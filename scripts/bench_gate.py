@@ -1,13 +1,13 @@
 #!/usr/bin/env python
-"""Perf-regression gate over the interpreter hot path and the
-incremental campaign engine.
+"""Perf-regression gate over the interpreter hot path, the incremental
+campaign engine and the worker fleets.
 
-Runs the quick-mode workloads (``benchmarks/bench_hot_path.py`` and
-``benchmarks/bench_incremental.py`` with their small CI configurations),
-appends the dated records to the ``BENCH_hot_path.json`` /
-``BENCH_incremental.json`` trajectories at the repo root, and fails when
-any gated figure drops more than :data:`TOLERANCE` below the stored
-quick-mode baseline.
+Runs the quick-mode workloads (``benchmarks/bench_hot_path.py``,
+``benchmarks/bench_incremental.py`` and ``benchmarks/bench_fleet.py``
+with their small CI configurations), appends the dated records to the
+``BENCH_*.json`` trajectories at the repo root, and fails when any gated
+figure drops more than :data:`TOLERANCE` below the stored quick-mode
+baseline.
 
 The tolerance is deliberately loose (20%): wall-clock noise on shared CI
 machines is real, and the gate exists to catch the "someone put an
@@ -31,7 +31,8 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
 
-import bench_hot_path  # noqa: E402  (path setup above)
+import bench_fleet  # noqa: E402  (path setup above)
+import bench_hot_path  # noqa: E402
 import bench_incremental  # noqa: E402
 from bench_hot_path import append_record, load_results  # noqa: E402
 from repro.orchestrate.pipeline import Snowboard  # noqa: E402
@@ -57,6 +58,14 @@ BENCHES = (
         lambda: bench_incremental.measure_incremental(
             Snowboard(bench_incremental.QUICK_CONFIG),
             **bench_incremental.QUICK_PARAMS,
+        ),
+    ),
+    (
+        "fleet",
+        bench_fleet.RESULTS_PATH,
+        bench_fleet.THROUGHPUT_KEYS,
+        lambda: bench_fleet.measure_fleet(
+            Snowboard(bench_fleet.QUICK_CONFIG), **bench_fleet.QUICK_PARAMS
         ),
     ),
 )

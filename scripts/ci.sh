@@ -28,12 +28,18 @@
 #                  campaign is killed after round 1, resumed, and the
 #                  resumed summary must be bit-identical to an
 #                  uninterrupted run.
-#  5. perf gate  — opt-in with PERF=1: the quick-mode hot-path and
-#                  incremental-engine benchmarks fail on a >20%
-#                  regression against the baselines in
-#                  BENCH_hot_path.json / BENCH_incremental.json; the
-#                  updated trajectory JSONs are copied into
-#                  $ARTIFACTS_DIR.
+#  5. smoke-fleet — the multi-process fleet under fire
+#                  (scripts/smoke_fleet.py): a worker SIGKILLs itself
+#                  mid-task, then a checkpointed process-fleet campaign
+#                  is killed and resumed; both must land bit-identical
+#                  to serial.  A second CLI campaign then runs
+#                  --fleet processes --checkpoint-fsync end to end.
+#  6. perf gate  — opt-in with PERF=1: the quick-mode hot-path,
+#                  incremental-engine and fleet benchmarks fail on a
+#                  >20% regression against the baselines in
+#                  BENCH_hot_path.json / BENCH_incremental.json /
+#                  BENCH_fleet.json; the updated trajectory JSONs are
+#                  copied into $ARTIFACTS_DIR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,15 +77,25 @@ python -m repro stats "$SMOKE_TRACE"
 echo "== smoke: round-based kill-and-resume =="
 python scripts/smoke_incremental.py "$ARTIFACTS_DIR/smoke_incremental_checkpoint.jsonl"
 
+echo "== smoke: process fleet under fire =="
+python scripts/smoke_fleet.py "$ARTIFACTS_DIR/smoke_fleet_checkpoint.jsonl"
+FLEET_CHECKPOINT="$ARTIFACTS_DIR/smoke_fleet_cli_checkpoint.jsonl"
+rm -f "$FLEET_CHECKPOINT"
+python -m repro campaign \
+    --strategy S-INS-PAIR --budget 4 --trials 4 --seed 7 --corpus 120 \
+    --workers 2 --fleet processes \
+    --checkpoint "$FLEET_CHECKPOINT" --checkpoint-fsync
+
 # Opt-in perf gate: PERF=1 scripts/ci.sh also runs the quick-mode
-# hot-path and incremental-engine benchmarks and fails on a >20%
-# regression against the baselines recorded in BENCH_hot_path.json and
-# BENCH_incremental.json.
+# hot-path, incremental-engine and fleet benchmarks and fails on a >20%
+# regression against the baselines recorded in BENCH_hot_path.json,
+# BENCH_incremental.json and BENCH_fleet.json.
 if [[ "${PERF:-0}" == "1" ]]; then
     echo "== perf gate: scripts/bench_gate.py (quick mode) =="
     python scripts/bench_gate.py
     cp BENCH_hot_path.json "$ARTIFACTS_DIR/BENCH_hot_path.json"
     cp BENCH_incremental.json "$ARTIFACTS_DIR/BENCH_incremental.json"
+    cp BENCH_fleet.json "$ARTIFACTS_DIR/BENCH_fleet.json"
 fi
 
 echo "ci: all passes green (artifacts in $ARTIFACTS_DIR/)"

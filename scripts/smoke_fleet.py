@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""CI smoke: the multi-process fleet under fire.
+
+Two end-to-end fault drills against a serial reference run, exercising
+the exact code paths ``campaign --workers N --fleet processes`` uses:
+
+1. **SIGKILLed worker** — a worker process kills itself mid-task
+   (``FleetFault.kill_task_id``); the coordinator must reclaim the
+   lease, respawn the worker, and finish with a summary bit-identical
+   to serial.
+2. **Killed coordinator** — a checkpointed process-fleet campaign is
+   'crashed' after its journal records a few tasks, then resumed by a
+   fresh coordinator over a fresh fleet; the resumed summary must be
+   bit-identical to the uninterrupted serial run.
+
+Usage:
+    python scripts/smoke_fleet.py [CHECKPOINT_PATH]
+
+Environment:
+    FLEET_START_METHOD  multiprocessing start method (default: spawn)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.orchestrate.fleet import FleetFault  # noqa: E402
+from repro.orchestrate.persistence import CheckpointWriter  # noqa: E402
+from repro.orchestrate.pipeline import Snowboard, SnowboardConfig  # noqa: E402
+
+CONFIG = SnowboardConfig(
+    seed=7,
+    corpus_budget=120,
+    trials_per_pmc=4,
+    fleet_start_method=os.environ.get("FLEET_START_METHOD", "spawn"),
+)
+BUDGET = 4
+WORKERS = 2
+STRATEGY = "S-INS-PAIR"
+
+
+class Killed(BaseException):
+    """Stands in for SIGKILL of the coordinator: nothing catches it."""
+
+
+def drill_sigkilled_worker(expected) -> int:
+    """Worker SIGKILLs itself mid-task; campaign must not notice."""
+    sb = Snowboard(CONFIG).prepare()
+    with tempfile.TemporaryDirectory() as tmp:
+        sb.fleet_fault = FleetFault(
+            kill_task_id=1, once_marker=os.path.join(tmp, "kill.marker")
+        )
+        campaign = sb.run_campaign(
+            STRATEGY, test_budget=BUDGET, workers=WORKERS, fleet="processes"
+        )
+    if campaign.summary() != expected.summary():
+        print("smoke_fleet: FAILED — post-SIGKILL summary diverged")
+        print(f"  expected: {expected.summary()}")
+        print(f"  got:      {campaign.summary()}")
+        return 1
+    if campaign.worker_respawns != 1 or campaign.task_failures != 0:
+        print(
+            f"smoke_fleet: FAILED — expected 1 respawn/0 failures, got "
+            f"{campaign.worker_respawns}/{campaign.task_failures}"
+        )
+        return 1
+    return 0
+
+
+def drill_killed_coordinator(expected, path: str) -> int:
+    """Coordinator dies mid-journal; a fresh one resumes bit-identically."""
+    if os.path.exists(path):
+        os.remove(path)
+    original = CheckpointWriter.task_done
+    calls = {"n": 0}
+
+    def dying(self, *args, **kwargs):
+        if calls["n"] >= 2:
+            raise Killed()
+        calls["n"] += 1
+        return original(self, *args, **kwargs)
+
+    CheckpointWriter.task_done = dying
+    try:
+        sb = Snowboard(CONFIG).prepare()
+        try:
+            sb.run_campaign(
+                STRATEGY,
+                test_budget=BUDGET,
+                workers=WORKERS,
+                fleet="processes",
+                checkpoint_path=path,
+            )
+        except Killed:
+            pass
+        else:
+            print("smoke_fleet: FAILED — campaign finished before the kill")
+            return 1
+    finally:
+        CheckpointWriter.task_done = original
+
+    resumed = Snowboard(CONFIG).prepare().run_campaign(
+        STRATEGY,
+        test_budget=BUDGET,
+        workers=WORKERS,
+        fleet="processes",
+        checkpoint_path=path,
+        resume=True,
+    )
+    if resumed.summary() != expected.summary():
+        print("smoke_fleet: FAILED — resumed summary diverged")
+        print(f"  expected: {expected.summary()}")
+        print(f"  resumed:  {resumed.summary()}")
+        return 1
+    return 0
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "smoke_fleet_checkpoint.jsonl"
+
+    reference = Snowboard(CONFIG).prepare()
+    expected = reference.run_campaign(STRATEGY, test_budget=BUDGET)
+
+    status = drill_sigkilled_worker(expected)
+    if status:
+        return status
+    status = drill_killed_coordinator(expected, path)
+    if status:
+        return status
+
+    print(
+        f"smoke_fleet: green — SIGKILLed worker and killed coordinator "
+        f"both recovered to the serial summary "
+        f"(start_method={CONFIG.fleet_start_method}, trials={expected.trials}, "
+        f"journal={path})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,6 +57,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "same bug set as serial for the same seed)",
     )
     campaign.add_argument(
+        "--fleet",
+        choices=("threads", "processes"),
+        default="threads",
+        help="worker substrate for --workers > 1: in-process threads, or "
+        "spawned worker processes behind the picklable wire format "
+        "(bit-identical results either way)",
+    )
+    campaign.add_argument(
         "--fixed",
         action="store_true",
         help="run against the patched kernel (expects zero findings)",
@@ -73,6 +81,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay an existing --checkpoint journal and execute only "
         "the missing tasks (requires --checkpoint)",
+    )
+    campaign.add_argument(
+        "--checkpoint-fsync",
+        action="store_true",
+        help="fsync the checkpoint journal after every record: survives "
+        "machine crashes, not just process kills (requires --checkpoint)",
     )
     campaign.add_argument(
         "--trace-out",
@@ -154,6 +168,7 @@ def _make_observer(args):
         "budget": args.budget,
         "trials": args.trials,
         "workers": args.workers,
+        "fleet": args.fleet,
         "fixed": args.fixed,
     }
     if getattr(args, "rounds", None):
@@ -165,6 +180,16 @@ def _make_observer(args):
 def _cmd_campaign(args) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.checkpoint_fsync and not args.checkpoint:
+        print("error: --checkpoint-fsync requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.fleet == "processes" and args.workers <= 1:
+        print(
+            "error: --fleet processes requires --workers > 1 "
+            "(one worker runs the serial path)",
+            file=sys.stderr,
+        )
         return 2
     if args.rounds is not None and args.rounds < 1:
         print("error: --rounds must be at least 1", file=sys.stderr)
@@ -206,6 +231,8 @@ def _cmd_campaign(args) -> int:
                 corpus_growth=args.corpus_growth,
                 checkpoint_path=args.checkpoint,
                 resume=args.resume,
+                fleet=args.fleet,
+                checkpoint_fsync=args.checkpoint_fsync,
             )
         else:
             campaign = snowboard.run_campaign(
@@ -214,6 +241,8 @@ def _cmd_campaign(args) -> int:
                 workers=args.workers,
                 checkpoint_path=args.checkpoint,
                 resume=args.resume,
+                fleet=args.fleet,
+                checkpoint_fsync=args.checkpoint_fsync,
             )
     finally:
         if observer is not None:

@@ -44,6 +44,7 @@ from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "SCHEMA_VERSION",
+    "buffering_observer",
     "Counter",
     "Gauge",
     "Histogram",
@@ -161,3 +162,18 @@ class NullObserver:
 
 
 NULL_OBSERVER = NullObserver()
+
+
+def buffering_observer(epoch: float):
+    """A worker-side ``(Observer, MemorySink)`` pair for deferred replay.
+
+    Fleet workers (threads or processes) must not write to the campaign
+    sink directly — their events are buffered in a private
+    :class:`MemorySink` and replayed by the merger in task order.  The
+    observer shares the campaign tracer's ``epoch`` so replayed
+    timestamps are comparable with coordinator-side spans
+    (``time.perf_counter`` is machine-global on Linux, so the epoch is
+    meaningful across process boundaries too).
+    """
+    sink = MemorySink()
+    return Observer(sink, epoch=epoch), sink

@@ -6,12 +6,23 @@ prioritised concurrent execution, and produces campaign statistics in the
 shape of the paper's Tables 2 and 3.
 """
 
+from repro.orchestrate.fleet import (
+    WIRE_VERSION,
+    FleetFault,
+    ProcessFleet,
+    ResultEnvelope,
+    TaskEnvelope,
+    WireFormatError,
+    WorkerSpec,
+)
 from repro.orchestrate.pipeline import (
     ConcurrentTest,
     Snowboard,
     SnowboardConfig,
     Stage4Task,
     TrialOutcome,
+    build_scheduler,
+    run_task_trials,
 )
 from repro.orchestrate.queue import (
     TIMED_OUT,
@@ -24,14 +35,23 @@ from repro.orchestrate.results import CampaignResult, ObservationRecord
 
 __all__ = [
     "ConcurrentTest",
+    "FleetFault",
+    "ProcessFleet",
+    "ResultEnvelope",
     "Snowboard",
     "SnowboardConfig",
     "Stage4Task",
+    "TaskEnvelope",
     "TrialOutcome",
     "TIMED_OUT",
     "Task",
     "TaskFailure",
+    "WIRE_VERSION",
+    "WireFormatError",
     "WorkQueue",
+    "WorkerSpec",
+    "build_scheduler",
+    "run_task_trials",
     "run_workers",
     "CampaignResult",
     "ObservationRecord",

@@ -1,0 +1,754 @@
+"""Multi-process campaign fleet: coordinator/worker over a wire format.
+
+The paper's real deployment pushed concurrent tests "to cloud workers
+through a lightweight distributed queue" (§4.4.1) and ran for weeks on a
+GCP fleet.  This module is that topology one rung up from the PR-2
+thread fleet: a coordinator process owning the queue semantics, and N
+worker *processes*, each booting a private kernel, connected only by
+``multiprocessing`` queues.  Everything that crosses the boundary is a
+versioned, fully picklable envelope — the same shape a real network
+transport (Redis, gRPC) would carry.
+
+Topology::
+
+    coordinator ──(TaskEnvelope)──> inq[i] ──> worker i  (private kernel)
+    coordinator <─(ResultEnvelope)─ results <── worker i
+
+Each worker has a *private* dispatch queue and at most one outstanding
+task; the assignment *is* the lease.  The fault model ports PR-2's
+across the process boundary:
+
+* **Task failure** — ``run_task_trials`` raises ``Exception`` in the
+  worker.  The worker survives and reports a ``task_error`` envelope;
+  the coordinator re-dispatches the (deterministic) task up to
+  ``max_task_retries`` times, then records a
+  :class:`~repro.orchestrate.queue.TaskFailure`.
+* **Worker death** — the process exits without reporting (SIGKILL, OOM,
+  a segfaulting extension): detected via ``Process.exitcode``, or via
+  *lease expiry* when the process wedges without dying.  The leased task
+  is reclaimed and re-dispatched (counting one retry, exactly like the
+  thread fleet's ``BaseException`` path), and the worker is respawned —
+  fresh process, fresh kernel — up to ``max_worker_respawns`` times.
+* **Pool exhaustion** — every worker is dead for good.  Unfinished tasks
+  are drained into ``TaskFailure`` results ("worker pool exhausted"),
+  so callers always get one result per task: no hang, no missing key.
+
+Determinism contract: schedulers are seeded ``config.seed + task_id``
+and the coordinator merges results in task order, so a re-run after any
+of the faults above — or a whole campaign under ``--fleet processes`` —
+is bit-identical to serial and to thread workers.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as stdqueue
+import signal
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing as mp
+
+from repro.detect.report import observation_from_obj, observation_to_obj
+from repro.obs import NULL_OBSERVER
+from repro.orchestrate.persistence import program_from_obj, program_to_obj
+from repro.orchestrate.queue import TaskFailure, WorkerStats
+from repro.pmc.model import AccessKey, PMC
+
+#: Version stamp carried by every envelope; a coordinator and a worker
+#: built from different checkouts must fail loudly, not mis-decode.
+WIRE_VERSION = 1
+
+
+class WireFormatError(ValueError):
+    """An envelope from an incompatible peer (version mismatch)."""
+
+
+def _check_version(version: int, what: str) -> None:
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"{what} has wire version {version}, this side speaks {WIRE_VERSION}"
+        )
+
+
+# -- wire format: PMCs, outcomes, tasks, results -----------------------------------
+
+
+def pmc_to_obj(pmc: PMC) -> Dict:
+    """A plain-data representation of a PMC (wire/JSON-ready)."""
+    return {
+        "write": {
+            "addr": pmc.write.addr,
+            "size": pmc.write.size,
+            "ins": pmc.write.ins,
+            "value": pmc.write.value,
+        },
+        "read": {
+            "addr": pmc.read.addr,
+            "size": pmc.read.size,
+            "ins": pmc.read.ins,
+            "value": pmc.read.value,
+        },
+        "df_leader": pmc.df_leader,
+    }
+
+
+def pmc_from_obj(obj: Dict) -> PMC:
+    """Rebuild a PMC from :func:`pmc_to_obj` output."""
+    return PMC(
+        write=AccessKey(**obj["write"]),
+        read=AccessKey(**obj["read"]),
+        df_leader=bool(obj.get("df_leader", False)),
+    )
+
+
+def outcome_to_obj(outcome) -> Dict:
+    """A plain-data representation of one TrialOutcome."""
+    return {
+        "trial": outcome.trial,
+        "instructions": outcome.instructions,
+        "pages_restored": outcome.pages_restored,
+        "restore_seconds": outcome.restore_seconds,
+        "races": outcome.races,
+        "observations": [observation_to_obj(o) for o in outcome.observations],
+        "channel_hit": outcome.channel_hit,
+        "switch_points": list(outcome.switch_points),
+        "console": list(outcome.console),
+        "panic_message": outcome.panic_message,
+    }
+
+
+def outcome_from_obj(obj: Dict):
+    """Rebuild a TrialOutcome from :func:`outcome_to_obj` output."""
+    from repro.orchestrate.pipeline import TrialOutcome
+
+    return TrialOutcome(
+        trial=obj["trial"],
+        instructions=obj["instructions"],
+        pages_restored=obj["pages_restored"],
+        restore_seconds=obj["restore_seconds"],
+        races=obj["races"],
+        observations=tuple(observation_from_obj(o) for o in obj["observations"]),
+        channel_hit=obj["channel_hit"],
+        switch_points=tuple(obj["switch_points"]),
+        console=tuple(obj["console"]),
+        panic_message=obj["panic_message"],
+    )
+
+
+@dataclass(frozen=True)
+class TaskEnvelope:
+    """One Stage-4 task on the wire: everything a worker needs to run it.
+
+    Programs and PMCs travel as plain-data objects (no pipeline classes
+    in the pickle stream); the incidental-adoption ``universe`` is
+    precomputed coordinator-side because workers have no corpus to
+    derive it from.
+    """
+
+    task_id: int
+    writer: Tuple
+    reader: Tuple
+    writer_test: int
+    reader_test: int
+    trials: int
+    scheduler_kind: str = "snowboard"
+    pmc: Optional[Dict] = None
+    universe: Optional[Tuple[Dict, ...]] = None
+    version: int = WIRE_VERSION
+
+    @classmethod
+    def from_task(cls, task, universe: Optional[Sequence[PMC]] = None) -> "TaskEnvelope":
+        test = task.test
+        return cls(
+            task_id=task.task_id,
+            writer=tuple(program_to_obj(test.writer)),
+            reader=tuple(program_to_obj(test.reader)),
+            writer_test=test.writer_test,
+            reader_test=test.reader_test,
+            trials=task.trials,
+            scheduler_kind=task.scheduler_kind,
+            pmc=pmc_to_obj(test.pmc) if test.pmc is not None else None,
+            universe=(
+                tuple(pmc_to_obj(p) for p in universe) if universe is not None else None
+            ),
+        )
+
+    def to_task(self):
+        """Decode back into a Stage4Task (worker side)."""
+        from repro.orchestrate.pipeline import ConcurrentTest, Stage4Task
+
+        _check_version(self.version, f"task envelope {self.task_id}")
+        test = ConcurrentTest(
+            writer=program_from_obj(list(self.writer)),
+            reader=program_from_obj(list(self.reader)),
+            writer_test=self.writer_test,
+            reader_test=self.reader_test,
+            pmc=pmc_from_obj(self.pmc) if self.pmc is not None else None,
+        )
+        return Stage4Task(
+            task_id=self.task_id,
+            test=test,
+            trials=self.trials,
+            scheduler_kind=self.scheduler_kind,
+        )
+
+    def universe_pmcs(self) -> Optional[List[PMC]]:
+        if self.universe is None:
+            return None
+        return [pmc_from_obj(o) for o in self.universe]
+
+
+@dataclass(frozen=True)
+class ResultEnvelope:
+    """One task's result on the wire.
+
+    ``status`` is ``"ok"`` (decode ``outcomes``/obs buffers) or
+    ``"task_error"`` (the worker survived but the task raised; the error
+    travels as the same serializable record :class:`TaskFailure` uses).
+    """
+
+    task_id: int
+    worker_id: int
+    status: str
+    outcomes: Tuple[Dict, ...] = ()
+    obs_trials: Tuple[Tuple[Dict, ...], ...] = ()
+    obs_tail: Tuple[Dict, ...] = ()
+    error_type: str = ""
+    message: str = ""
+    traceback_str: str = ""
+    version: int = WIRE_VERSION
+
+    def decode(self):
+        """Return ``(outcomes, obs_buffer)``; buffer is None when tracing
+        was off in the worker."""
+        _check_version(self.version, f"result envelope {self.task_id}")
+        outcomes = [outcome_from_obj(o) for o in self.outcomes]
+        buffer = None
+        if self.obs_trials or self.obs_tail:
+            buffer = {
+                "trials": [list(chunk) for chunk in self.obs_trials],
+                "tail": list(self.obs_tail),
+            }
+        return outcomes, buffer
+
+
+@dataclass(frozen=True)
+class _BootFailed:
+    """Worker → coordinator: the private kernel failed to boot.
+
+    Carries the worker's spawn ``generation`` so the coordinator can
+    discard a stale report — the exitcode path may have noticed the
+    death and respawned the slot before this message drained, and the
+    replacement must not be punished for its predecessor's crash.
+    """
+
+    worker_id: int
+    generation: int
+    error_type: str
+    message: str
+    traceback_str: str
+
+
+# -- fault injection ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetFault:
+    """Test-only fault injection shipped to workers inside the spec.
+
+    Real campaigns never set one; the fault-injection tests use it to
+    make a worker SIGKILL itself mid-task (``kill_task_id``), wedge
+    without dying (``hang_task_id``, exercising lease expiry) or die
+    during boot (``kill_at_boot``).  ``once_marker`` names a file
+    claimed atomically (O_CREAT|O_EXCL) so the fault fires exactly once
+    across all worker processes and respawns; without it the fault fires
+    every time (e.g. to exhaust the respawn budget).
+    """
+
+    kill_task_id: Optional[int] = None
+    hang_task_id: Optional[int] = None
+    kill_at_boot: bool = False
+    once_marker: Optional[str] = None
+
+    def claim(self) -> bool:
+        """True when this process should fire the fault."""
+        if self.once_marker is None:
+            return True
+        try:
+            fd = os.open(self.once_marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+
+# -- worker process ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs to boot — fully picklable.
+
+    ``config`` is the campaign's SnowboardConfig (seed, budgets, fixed
+    kernel, setup program); ``obs_epoch`` is the coordinator tracer's
+    epoch so buffered worker events replay with comparable timestamps.
+    """
+
+    config: Any
+    obs_enabled: bool = False
+    obs_epoch: float = 0.0
+    fault: Optional[FleetFault] = None
+
+
+def _boot_worker(spec: WorkerSpec):
+    """Boot one worker's private kernel (the §4.4.1 VM analogue)."""
+    from repro.kernel.kernel import boot_kernel
+    from repro.orchestrate.pipeline import derive_initial_state
+    from repro.sched.executor import Executor
+
+    config = spec.config
+    kernel, snapshot = boot_kernel(fixed=config.fixed_kernel)
+    if config.setup_program is not None:
+        snapshot = derive_initial_state(kernel, snapshot, config.setup_program)
+    return Executor(kernel, snapshot, max_instructions=config.max_instructions)
+
+
+def _execute_envelope(executor, spec: WorkerSpec, worker_id: int, envelope: TaskEnvelope):
+    """Run one task envelope; never raises (errors become envelopes)."""
+    from repro.orchestrate.pipeline import build_scheduler, run_task_trials
+
+    try:
+        task = envelope.to_task()
+        scheduler = build_scheduler(
+            spec.config,
+            task.test,
+            seed=spec.config.seed + task.task_id,
+            kind=task.scheduler_kind,
+            universe=envelope.universe_pmcs(),
+        )
+        outcomes, buffer = run_task_trials(
+            executor,
+            task,
+            scheduler,
+            obs_epoch=spec.obs_epoch if spec.obs_enabled else None,
+        )
+    except Exception as error:  # noqa: BLE001 - workers survive task errors
+        return ResultEnvelope(
+            task_id=envelope.task_id,
+            worker_id=worker_id,
+            status="task_error",
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback_str=traceback.format_exc(),
+        )
+    return ResultEnvelope(
+        task_id=envelope.task_id,
+        worker_id=worker_id,
+        status="ok",
+        outcomes=tuple(outcome_to_obj(o) for o in outcomes),
+        obs_trials=(
+            tuple(tuple(chunk) for chunk in buffer["trials"]) if buffer else ()
+        ),
+        obs_tail=tuple(buffer["tail"]) if buffer else (),
+    )
+
+
+def fleet_worker_main(
+    worker_id: int, generation: int, spec: WorkerSpec, inq, outq
+) -> None:
+    """Entry point of one worker process.
+
+    Boot a private kernel (reporting :class:`_BootFailed` and exiting if
+    that raises), then serve envelopes from the private dispatch queue
+    until the ``None`` shutdown sentinel arrives.
+    """
+    fault = spec.fault
+    if fault is not None and fault.kill_at_boot and fault.claim():
+        os.kill(os.getpid(), signal.SIGKILL)
+    try:
+        executor = _boot_worker(spec)
+    except Exception as error:  # noqa: BLE001 - boot crash -> respawn decision
+        outq.put(
+            _BootFailed(
+                worker_id,
+                generation,
+                type(error).__name__,
+                str(error),
+                traceback.format_exc(),
+            )
+        )
+        return
+    while True:
+        envelope = inq.get()
+        if envelope is None:
+            return
+        if fault is not None and envelope.task_id == fault.kill_task_id and fault.claim():
+            os.kill(os.getpid(), signal.SIGKILL)
+        if fault is not None and envelope.task_id == fault.hang_task_id and fault.claim():
+            time.sleep(3600.0)
+        outq.put(_execute_envelope(executor, spec, worker_id, envelope))
+
+
+# -- coordinator -------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerSlot:
+    """Coordinator-side state of one worker: process, dispatch queue,
+    current lease and its deadline, health counters."""
+
+    worker_id: int
+    stats: WorkerStats
+    process: Optional[Any] = None
+    inq: Optional[Any] = None
+    lease: Optional[TaskEnvelope] = None
+    deadline: float = 0.0
+    generation: int = 0
+
+
+class ProcessFleet:
+    """Coordinator over N worker processes (the §4.4.1 queue in miniature).
+
+    :meth:`run` dispatches :class:`TaskEnvelope`s, enforces the lease
+    protocol described in the module docstring, and returns one result —
+    a :class:`ResultEnvelope` or a :class:`TaskFailure` — per envelope.
+    Per-worker health counters are left in :attr:`worker_stats`, in the
+    same shape the thread fleet leaves on its ``WorkQueue``.
+    """
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        nworkers: int = 2,
+        max_task_retries: int = 0,
+        max_worker_respawns: int = 2,
+        lease_timeout: float = 120.0,
+        poll_interval: float = 0.02,
+        start_method: str = "spawn",
+        obs=NULL_OBSERVER,
+    ):
+        self.spec = spec
+        self.nworkers = max(1, nworkers)
+        self.max_task_retries = max_task_retries
+        self.max_worker_respawns = max_worker_respawns
+        self.lease_timeout = lease_timeout
+        self.poll_interval = poll_interval
+        self.obs = obs
+        self._ctx = mp.get_context(start_method)
+        self._results_q = None
+        self.worker_stats: List[WorkerStats] = []
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        """Start (or restart) one worker process with a fresh dispatch
+        queue — fresh so a task dispatched to a dead worker can never be
+        double-claimed by its successor."""
+        slot.generation += 1
+        slot.inq = self._ctx.Queue()
+        slot.process = self._ctx.Process(
+            target=fleet_worker_main,
+            args=(slot.worker_id, slot.generation, self.spec, slot.inq, self._results_q),
+            daemon=True,
+        )
+        slot.process.start()
+        slot.lease = None
+
+    def _retire(self, slot: _WorkerSlot) -> None:
+        """Drop a dead worker's process handle and dispatch queue."""
+        if slot.process is not None:
+            slot.process.join(timeout=5.0)
+            if slot.process.is_alive():  # pragma: no cover - last resort
+                slot.process.kill()
+                slot.process.join(timeout=5.0)
+        slot.process = None
+        if slot.inq is not None:
+            slot.inq.close()
+            slot.inq = None
+
+    def _shutdown(self, slots: List[_WorkerSlot]) -> None:
+        for slot in slots:
+            if slot.process is not None and slot.inq is not None:
+                try:
+                    slot.inq.put(None)
+                except Exception:  # pragma: no cover - feeder already gone
+                    pass
+        for slot in slots:
+            if slot.process is not None:
+                slot.process.join(timeout=5.0)
+                if slot.process.is_alive():  # pragma: no cover - stragglers
+                    slot.process.kill()
+                    slot.process.join(timeout=5.0)
+            slot.process = None
+
+    # -- fault handling -------------------------------------------------------
+
+    def _record_worker_error(self, stats: WorkerStats, message: str) -> None:
+        stats.last_error = RuntimeError(message)
+
+    def _handle_death(
+        self,
+        slot: _WorkerSlot,
+        reason: str,
+        pending: List[TaskEnvelope],
+        results: Dict[int, Any],
+        attempts: Dict[int, int],
+    ) -> None:
+        """One worker died (exitcode, boot failure, or expired lease):
+        reclaim its lease, charge a respawn, restart or retire it.
+
+        Mirrors the thread fleet's ``BaseException`` semantics: the
+        reclaimed task consumes one retry; when the worker's respawn
+        budget is exhausted its leased task fails with it.
+        """
+        stats = slot.stats
+        lease = slot.lease
+        slot.lease = None
+        self._retire(slot)
+        stats.respawns += 1
+        self._record_worker_error(stats, reason)
+        out_of_respawns = stats.respawns > self.max_worker_respawns
+        if out_of_respawns:
+            stats.failed = True
+        if self.obs.enabled:
+            self.obs.event(
+                "fleet.worker_died",
+                worker_id=slot.worker_id,
+                reason=reason,
+                task=lease.task_id if lease is not None else None,
+                respawned=not out_of_respawns,
+            )
+        if lease is not None and lease.task_id not in results:
+            task_id = lease.task_id
+            attempts[task_id] = attempts.get(task_id, 0) + 1
+            if out_of_respawns or attempts[task_id] > self.max_task_retries:
+                results[task_id] = TaskFailure(
+                    task_id=task_id,
+                    error_type="RuntimeError",
+                    message=f"worker {slot.worker_id} died mid-task: {reason}",
+                    attempts=attempts[task_id],
+                )
+            else:
+                stats.retries += 1
+                # Reclaimed leases go to the front: the task was next in
+                # line before the death, and re-running it soonest keeps
+                # retry latency bounded.
+                pending.insert(0, lease)
+                if self.obs.enabled:
+                    self.obs.event(
+                        "fleet.lease_reclaimed", task=task_id, reason=reason
+                    )
+        if not out_of_respawns:
+            self._spawn(slot)
+
+    def _handle_message(
+        self,
+        msg,
+        slots: List[_WorkerSlot],
+        pending: List[TaskEnvelope],
+        results: Dict[int, Any],
+        attempts: Dict[int, int],
+    ) -> None:
+        if isinstance(msg, _BootFailed):
+            slot = slots[msg.worker_id]
+            if msg.generation != slot.generation:
+                return  # stale: the exitcode path already handled this death
+            self._handle_death(
+                slot,
+                f"boot failed: {msg.error_type}: {msg.message}",
+                pending,
+                results,
+                attempts,
+            )
+            return
+        slot = slots[msg.worker_id]
+        if slot.lease is not None and slot.lease.task_id == msg.task_id:
+            lease = slot.lease
+            slot.lease = None
+        else:
+            # A result for a task this worker no longer leases: its lease
+            # expired and the task was reclaimed, but the worker was
+            # merely slow, not dead.  First result wins (both executions
+            # are bit-identical anyway); drop the duplicate.
+            lease = None
+        if msg.task_id in results:
+            return
+        if msg.status == "ok":
+            slot.stats.tasks_done += 1
+            results[msg.task_id] = msg
+            return
+        # task_error: the worker survived; retry on any live worker.
+        attempts[msg.task_id] = attempts.get(msg.task_id, 0) + 1
+        self._record_worker_error(
+            slot.stats, f"{msg.error_type}: {msg.message}"
+        )
+        if attempts[msg.task_id] <= self.max_task_retries:
+            slot.stats.retries += 1
+            envelope = lease if lease is not None else self._envelope_by_id[msg.task_id]
+            pending.insert(0, envelope)
+        else:
+            results[msg.task_id] = TaskFailure(
+                task_id=msg.task_id,
+                error_type=msg.error_type,
+                message=msg.message,
+                traceback_str=msg.traceback_str,
+                attempts=attempts[msg.task_id],
+            )
+
+    # -- main loop ------------------------------------------------------------
+
+    def _assign(
+        self,
+        slots: List[_WorkerSlot],
+        pending: List[TaskEnvelope],
+        results: Dict[int, Any],
+    ) -> None:
+        for slot in slots:
+            if not pending:
+                return
+            if slot.process is None or slot.lease is not None:
+                continue
+            while pending and pending[0].task_id in results:
+                pending.pop(0)  # failed via another path while queued
+            if not pending:
+                return
+            envelope = pending.pop(0)
+            slot.lease = envelope
+            slot.deadline = time.monotonic() + self.lease_timeout
+            slot.inq.put(envelope)
+
+    def _drain(
+        self,
+        slots: List[_WorkerSlot],
+        pending: List[TaskEnvelope],
+        results: Dict[int, Any],
+        attempts: Dict[int, int],
+        block: bool = True,
+    ) -> None:
+        """Process queued results: one blocking poll, then everything
+        immediately available."""
+        try:
+            msg = self._results_q.get(timeout=self.poll_interval if block else 0)
+        except stdqueue.Empty:
+            return
+        self._handle_message(msg, slots, pending, results, attempts)
+        while True:
+            try:
+                msg = self._results_q.get_nowait()
+            except stdqueue.Empty:
+                return
+            self._handle_message(msg, slots, pending, results, attempts)
+
+    def _reap(
+        self,
+        slots: List[_WorkerSlot],
+        pending: List[TaskEnvelope],
+        results: Dict[int, Any],
+        attempts: Dict[int, int],
+    ) -> None:
+        """Detect dead and wedged workers (exitcode / lease expiry)."""
+        now = time.monotonic()
+        for slot in slots:
+            if slot.process is None:
+                continue
+            if slot.process.exitcode is not None:
+                self._handle_death(
+                    slot,
+                    f"process exited with code {slot.process.exitcode}",
+                    pending,
+                    results,
+                    attempts,
+                )
+            elif slot.lease is not None and now > slot.deadline:
+                slot.process.kill()
+                self._handle_death(
+                    slot,
+                    f"lease expired after {self.lease_timeout:.1f}s",
+                    pending,
+                    results,
+                    attempts,
+                )
+
+    def _drain_exhausted(
+        self,
+        slots: List[_WorkerSlot],
+        expected: Sequence[int],
+        results: Dict[int, Any],
+        attempts: Dict[int, int],
+    ) -> None:
+        """Pool exhaustion: every worker is dead for good.  Record a
+        TaskFailure for every unfinished task, chaining the last worker
+        error as the cause (the thread fleet's drain, ported)."""
+        boot_error = next(
+            (
+                str(slot.stats.last_error)
+                for slot in slots
+                if slot.stats.failed and slot.stats.last_error is not None
+            ),
+            "",
+        )
+        for task_id in expected:
+            if task_id in results:
+                continue
+            results[task_id] = TaskFailure(
+                task_id=task_id,
+                error_type="RuntimeError",
+                message=f"worker pool exhausted before task {task_id} ran",
+                attempts=attempts.get(task_id, 0),
+                cause_type="RuntimeError" if boot_error else "",
+                cause_message=boot_error,
+            )
+
+    def run(self, envelopes: Sequence[TaskEnvelope]) -> Dict[int, Any]:
+        """Execute all envelopes; returns a result per task id.
+
+        Values are :class:`ResultEnvelope` (decode for outcomes) or
+        :class:`TaskFailure`.  The mapping always covers every input
+        task id, whatever died along the way.
+        """
+        expected = [e.task_id for e in envelopes]
+        if len(set(expected)) != len(expected):
+            raise ValueError("duplicate task ids in fleet dispatch")
+        if not envelopes:
+            self.worker_stats = [
+                WorkerStats(worker_id=i) for i in range(self.nworkers)
+            ]
+            return {}
+        self._envelope_by_id = {e.task_id: e for e in envelopes}
+        self._results_q = self._ctx.Queue()
+        slots = [_WorkerSlot(i, WorkerStats(worker_id=i)) for i in range(self.nworkers)]
+        self.worker_stats = [slot.stats for slot in slots]
+        pending: List[TaskEnvelope] = sorted(envelopes, key=lambda e: e.task_id)
+        results: Dict[int, Any] = {}
+        attempts: Dict[int, int] = {}
+        for slot in slots:
+            self._spawn(slot)
+        try:
+            while len(results) < len(expected):
+                self._assign(slots, pending, results)
+                self._drain(slots, pending, results, attempts)
+                self._reap(slots, pending, results, attempts)
+                if all(slot.process is None for slot in slots):
+                    # Late messages may still sit in the queue (a worker
+                    # can report and die before the coordinator looks).
+                    self._drain(slots, pending, results, attempts, block=False)
+                    self._drain_exhausted(slots, expected, results, attempts)
+        finally:
+            self._shutdown(slots)
+        if self.obs.enabled:
+            # One health event per worker, in worker-id order — the same
+            # records the thread fleet emits, so traces stay comparable.
+            for slot in slots:
+                stats = slot.stats
+                self.obs.event(
+                    "fleet.worker",
+                    worker_id=stats.worker_id,
+                    tasks_done=stats.tasks_done,
+                    retries=stats.retries,
+                    respawns=stats.respawns,
+                    failed=stats.failed,
+                )
+        return results

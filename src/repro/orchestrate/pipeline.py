@@ -31,7 +31,7 @@ from repro.detect.report import observe
 from repro.fuzz.corpus import Corpus, grow_corpus, seed_corpus
 from repro.fuzz.prog import Program
 from repro.kernel.kernel import boot_kernel
-from repro.obs import NULL_OBSERVER, MemorySink, Observer
+from repro.obs import NULL_OBSERVER, buffering_observer
 from repro.orchestrate.campaign import CampaignState, RoundInfo, selection_rng
 from repro.orchestrate.queue import TaskFailure, WorkQueue, run_workers
 from repro.orchestrate.results import CampaignResult
@@ -100,6 +100,14 @@ class SnowboardConfig:
     # (factory crash or payload BaseException) is respawned.
     task_retries: int = 1
     worker_respawns: int = 2
+    # Process-fleet knobs (``fleet="processes"``): how long a dispatched
+    # task may run before its lease expires and the coordinator reclaims
+    # it (killing the worker), and which multiprocessing start method
+    # boots workers.  The lease must comfortably exceed the slowest
+    # task's trials; expiry is treated as worker death, so an undersized
+    # value turns healthy-but-slow workers into respawn churn.
+    fleet_lease_timeout: float = 120.0
+    fleet_start_method: str = "spawn"
 
 
 @dataclass(frozen=True)
@@ -153,6 +161,138 @@ class TrialOutcome:
     panic_message: str = ""
 
 
+def scheduler_stats(scheduler) -> Dict[str, int]:
+    """Exploration diagnostics for span attrs ({} for schedulers without
+    a ``stats()``, e.g. the random baseline)."""
+    stats = getattr(scheduler, "stats", None)
+    return stats() if callable(stats) else {}
+
+
+def build_scheduler(
+    config: SnowboardConfig,
+    test: ConcurrentTest,
+    seed: int,
+    kind: str = "snowboard",
+    universe: Optional[Sequence[PMC]] = None,
+):
+    """Build the scheduler for one concurrent test.
+
+    Module-level (not a :class:`Snowboard` method) because process-fleet
+    workers rebuild schedulers from wire data without a pipeline
+    instance; ``universe`` is the incidental-adoption PMC list the
+    coordinator precomputed (``None`` when adoption is off).
+    """
+    if test.pmc is None or kind == "random":
+        return RandomScheduler(seed=seed)
+    if kind == "ski":
+        return SkiScheduler(test.pmc, seed=seed)
+    return SnowboardScheduler(
+        test.pmc,
+        seed=seed,
+        switch_probability=config.switch_probability,
+        universe=universe,
+    )
+
+
+def run_task_trials(
+    executor: Executor,
+    task: Stage4Task,
+    scheduler,
+    obs_epoch: Optional[float] = None,
+) -> Tuple[List[TrialOutcome], Optional[Dict]]:
+    """Run every trial of one Stage-4 task on a private executor.
+
+    The single worker body shared by the thread fleet and the process
+    fleet — both execute exactly this code, which is what makes
+    ``--fleet processes`` bit-identical to threads and to serial.
+
+    Unlike the serial path, a worker cannot stop at the first fresh
+    observation — freshness is campaign-global, and the campaign state
+    lives with the merger.  It therefore runs the full trial budget and
+    lets the merge discard trials past the point where the serial
+    campaign would have stopped.
+
+    When ``obs_epoch`` is given, worker-side tracing buffers into a
+    private MemorySink sharing the campaign tracer's epoch; the returned
+    buffer (``{"trials": [per-trial event slices], "tail": [...]}``)
+    is replayed by the merger in task order.  Funnel counters are NOT
+    incremented here — counting happens only at the merge sites, on
+    exactly the merged trials.
+
+    Returns ``(outcomes, buffer)``; ``buffer`` is ``None`` when tracing
+    is off.
+    """
+    test = task.test
+    sink = None
+    obs = NULL_OBSERVER
+    if obs_epoch is not None:
+        obs, sink = buffering_observer(obs_epoch)
+        executor.obs = obs
+    outcomes: List[TrialOutcome] = []
+    slices: List[List[Dict]] = []
+    exercised = False
+    try:
+        with obs.span(
+            "stage4.test",
+            test=task.task_id,
+            writer=test.writer_test,
+            reader=test.reader_test,
+        ) as test_span:
+            for trial in range(task.trials):
+                mark = len(sink.events) if sink is not None else 0
+                with obs.span(
+                    "stage4.trial", test=task.task_id, trial=trial
+                ) as trial_span:
+                    scheduler.begin_trial(trial)
+                    detector = RaceDetector()
+                    result = executor.run_concurrent(
+                        [test.writer, test.reader],
+                        scheduler=scheduler,
+                        race_detector=detector,
+                    )
+                    if test.pmc is not None and not exercised:
+                        # Once the channel fired, the prefix-OR the
+                        # merger computes is True regardless of later
+                        # trials; skip the scan.
+                        exercised = channel_exercised(test.pmc, result.accesses)
+                    observations = tuple(observe(result))
+                    races = len(detector.reports())
+                    outcomes.append(
+                        TrialOutcome(
+                            trial=trial,
+                            instructions=result.instructions,
+                            pages_restored=result.pages_restored,
+                            restore_seconds=result.restore_seconds,
+                            races=races,
+                            observations=observations,
+                            channel_hit=exercised,
+                            switch_points=(
+                                tuple(result.switch_points) if observations else ()
+                            ),
+                            console=tuple(result.console) if observations else (),
+                            panic_message=(
+                                result.panic_message if observations else ""
+                            ),
+                        )
+                    )
+                    scheduler.end_trial(result)
+                    if sink is not None:
+                        trial_span.set(
+                            instructions=result.instructions, races=races
+                        )
+                if sink is not None:
+                    slices.append(sink.events[mark:])
+            if sink is not None:
+                test_span.set(exercised=exercised, **scheduler_stats(scheduler))
+    finally:
+        if sink is not None:
+            executor.obs = NULL_OBSERVER
+    if sink is None:
+        return outcomes, None
+    consumed = sum(len(chunk) for chunk in slices)
+    return outcomes, {"trials": slices, "tail": sink.events[consumed:]}
+
+
 class Snowboard:
     """End-to-end Snowboard instance over the mini-kernel."""
 
@@ -177,6 +317,9 @@ class Snowboard:
         # Per-task worker event buffers (task_id -> {"trials": [...], "tail":
         # [...]}), replayed into the campaign trace in task order at merge.
         self._stage4_buffers: Dict[int, Dict] = {}
+        # Test-only fault injection shipped to process-fleet workers (a
+        # repro.orchestrate.fleet.FleetFault); None in real campaigns.
+        self.fleet_fault = None
         # First reproduction package captured per catalogued bug id.
         self.repro_packages: Dict[str, "ReproPackage"] = {}
 
@@ -381,19 +524,19 @@ class Snowboard:
 
     def make_scheduler(self, test: ConcurrentTest, seed: int, kind: str = "snowboard"):
         """Build the scheduler for one concurrent test."""
-        if test.pmc is None or kind == "random":
-            return RandomScheduler(seed=seed)
-        if kind == "ski":
-            return SkiScheduler(test.pmc, seed=seed)
-        universe = None
-        if self.config.adopt_incidental_pmcs:
-            universe = self._pmcs_for_pair((test.writer_test, test.reader_test))
-        return SnowboardScheduler(
-            test.pmc,
-            seed=seed,
-            switch_probability=self.config.switch_probability,
-            universe=universe,
+        return build_scheduler(
+            self.config, test, seed, kind, universe=self._scheduler_universe(test)
         )
+
+    def _scheduler_universe(self, test: ConcurrentTest) -> Optional[List[PMC]]:
+        """The incidental-adoption PMC universe for one test (or None).
+
+        Precomputed coordinator-side in both fleets: the pair index is
+        built eagerly at ingest, so worker threads only read it, and
+        process workers receive the universe over the wire."""
+        if not self.config.adopt_incidental_pmcs or test.pmc is None:
+            return None
+        return self._pmcs_for_pair((test.writer_test, test.reader_test))
 
     def execute_test(
         self,
@@ -477,12 +620,9 @@ class Snowboard:
                 obs.count("stage4.exercised", 1)
         return found_new
 
-    @staticmethod
-    def _scheduler_stats(scheduler) -> Dict[str, int]:
-        """Exploration diagnostics for span attrs ({} for schedulers
-        without a ``stats()``, e.g. the random baseline)."""
-        stats = getattr(scheduler, "stats", None)
-        return stats() if callable(stats) else {}
+    # Kept as a method alias: module-level ``scheduler_stats`` is the
+    # implementation (process-fleet workers use it without an instance).
+    _scheduler_stats = staticmethod(scheduler_stats)
 
     @staticmethod
     def _count_trial(
@@ -543,97 +683,20 @@ class Snowboard:
         return factory
 
     def _run_test_trials(self, executor: Executor, task: Stage4Task) -> List[TrialOutcome]:
-        """Run every trial of one test on a private executor.
+        """Thread-fleet worker body: delegate to :func:`run_task_trials`.
 
-        Unlike the serial path, the worker cannot stop at the first fresh
-        observation — freshness is campaign-global, and the campaign state
-        lives with the merger.  It therefore runs the full trial budget and
-        lets :meth:`_merge_task_outcomes` discard trials past the point
-        where the serial campaign would have stopped.
+        Builds the task's scheduler from instance state and stashes the
+        worker's obs buffer for the merge loop.  Process-fleet workers
+        run the same :func:`run_task_trials` via the wire format instead
+        of this method.
         """
-        test = task.test
         scheduler = self.make_scheduler(
-            test, seed=self.config.seed + task.task_id, kind=task.scheduler_kind
+            task.test, seed=self.config.seed + task.task_id, kind=task.scheduler_kind
         )
-        # Worker-side tracing buffers into a private MemorySink (sharing
-        # the campaign tracer's epoch, so timestamps are comparable); the
-        # merger replays it into the trace in task order.  Funnel counters
-        # are NOT incremented here — workers run the full trial budget
-        # while the serial path stops early, so counting happens only at
-        # the merge sites, on exactly the merged trials.
-        sink: Optional[MemorySink] = None
-        obs = NULL_OBSERVER
-        if self.obs.enabled:
-            sink = MemorySink()
-            obs = Observer(sink, epoch=self.obs.tracer.epoch)
-            executor.obs = obs
-        outcomes: List[TrialOutcome] = []
-        slices: List[List[Dict]] = []
-        exercised = False
-        try:
-            with obs.span(
-                "stage4.test",
-                test=task.task_id,
-                writer=test.writer_test,
-                reader=test.reader_test,
-            ) as test_span:
-                for trial in range(task.trials):
-                    mark = len(sink.events) if sink is not None else 0
-                    with obs.span(
-                        "stage4.trial", test=task.task_id, trial=trial
-                    ) as trial_span:
-                        scheduler.begin_trial(trial)
-                        detector = RaceDetector()
-                        result = executor.run_concurrent(
-                            [test.writer, test.reader],
-                            scheduler=scheduler,
-                            race_detector=detector,
-                        )
-                        if test.pmc is not None and not exercised:
-                            # Once the channel fired, the prefix-OR the
-                            # merger computes is True regardless of later
-                            # trials; skip the scan.
-                            exercised = channel_exercised(test.pmc, result.accesses)
-                        observations = tuple(observe(result))
-                        races = len(detector.reports())
-                        outcomes.append(
-                            TrialOutcome(
-                                trial=trial,
-                                instructions=result.instructions,
-                                pages_restored=result.pages_restored,
-                                restore_seconds=result.restore_seconds,
-                                races=races,
-                                observations=observations,
-                                channel_hit=exercised,
-                                switch_points=(
-                                    tuple(result.switch_points) if observations else ()
-                                ),
-                                console=tuple(result.console) if observations else (),
-                                panic_message=(
-                                    result.panic_message if observations else ""
-                                ),
-                            )
-                        )
-                        scheduler.end_trial(result)
-                        if sink is not None:
-                            trial_span.set(
-                                instructions=result.instructions, races=races
-                            )
-                    if sink is not None:
-                        slices.append(sink.events[mark:])
-                if sink is not None:
-                    test_span.set(
-                        exercised=exercised, **self._scheduler_stats(scheduler)
-                    )
-        finally:
-            if sink is not None:
-                executor.obs = NULL_OBSERVER
-        if sink is not None:
-            consumed = sum(len(chunk) for chunk in slices)
-            self._stage4_buffers[task.task_id] = {
-                "trials": slices,
-                "tail": sink.events[consumed:],
-            }
+        epoch = self.obs.tracer.epoch if self.obs.enabled else None
+        outcomes, buffer = run_task_trials(executor, task, scheduler, obs_epoch=epoch)
+        if buffer is not None:
+            self._stage4_buffers[task.task_id] = buffer
         return outcomes
 
     def _merge_task_outcomes(
@@ -683,50 +746,19 @@ class Snowboard:
                 obs.count("stage4.exercised", 1)
         return found_new
 
-    def execute_tests_parallel(
+    def _run_thread_fleet(
         self,
-        tests: Sequence[ConcurrentTest],
+        todo: Sequence[Tuple[int, ConcurrentTest]],
         campaign: CampaignResult,
-        scheduler_kind: str = "snowboard",
-        trials: Optional[int] = None,
-        workers: int = 2,
-        completed: Optional[frozenset] = None,
-        on_task_merged=None,
-        task_offset: int = 0,
-    ) -> None:
-        """Stage 4 across a worker fleet: queue, execute, merge in order.
-
-        Tasks are seeded deterministically (``seed + task_id``) and merged
-        in task order under the campaign-global dedup, so the resulting
-        bug set is identical to a serial campaign over the same tests.
-        Crashed tasks (their retry and respawn budgets exhausted) and
-        tasks with no result at all (worker pool died) are surfaced via
-        ``campaign.task_failures`` instead of being merged as garbage —
-        they still consume their test index, keeping later first-find
-        positions aligned with the serial run.
-
-        ``completed`` names task ids already merged by a resumed
-        checkpoint (skipped here); ``on_task_merged(task_id)`` is invoked
-        after each merge, in task order — the checkpoint journal hook.
-        ``task_offset`` shifts task ids to the tests' global campaign
-        positions (round-based campaigns hand each round's tests
-        separately, but ids — and hence scheduler seeds and journal
-        records — stay campaign-global).
-        """
-        trials = trials or self.config.trials_per_pmc
-        completed = completed or frozenset()
-        obs = self.obs
-        if obs.enabled:
-            # Fresh buffers per fleet run; worker threads write disjoint
-            # task_id keys, the merge loop below drains them in order.
-            self._stage4_buffers = {}
+        scheduler_kind: str,
+        trials: int,
+        workers: int,
+    ) -> Dict[int, object]:
+        """Execute ``(task_id, test)`` items over the in-process thread
+        fleet; returns outcome lists / TaskFailures keyed by task id."""
         work = WorkQueue()
         queue_ids: Dict[int, int] = {}
-        nqueued = 0
-        for local, test in enumerate(tests):
-            index = task_offset + local
-            if index in completed:
-                continue
+        for nqueued, (index, test) in enumerate(todo):
             queue_id = work.put(
                 Stage4Task(
                     task_id=index, test=test, trials=trials, scheduler_kind=scheduler_kind
@@ -741,21 +773,136 @@ class Snowboard:
                     f"{nqueued}"
                 )
             queue_ids[index] = queue_id
-            nqueued += 1
         results = run_workers(
             work,
             self._stage4_worker_factory(),
             nworkers=workers,
             max_task_retries=self.config.task_retries,
             max_worker_respawns=self.config.worker_respawns,
-            obs=obs,
+            obs=self.obs,
         )
         campaign.adopt_worker_stats(work.worker_stats)
-        for local, test in enumerate(tests):
-            index = task_offset + local
-            if index in completed:
+        return {index: results.get(queue_ids[index]) for index, _ in todo}
+
+    def _run_process_fleet(
+        self,
+        todo: Sequence[Tuple[int, ConcurrentTest]],
+        campaign: CampaignResult,
+        scheduler_kind: str,
+        trials: int,
+        workers: int,
+    ) -> Dict[int, object]:
+        """Execute ``(task_id, test)`` items over the multi-process fleet.
+
+        Tasks cross the process boundary as :class:`TaskEnvelope`s (the
+        incidental-adoption universe precomputed coordinator-side, since
+        workers have no corpus); results come back as
+        :class:`ResultEnvelope`s and are decoded to the same outcome
+        lists the thread fleet produces, with worker obs buffers
+        installed for in-order replay at merge.
+        """
+        from repro.orchestrate.fleet import ProcessFleet, TaskEnvelope, WorkerSpec
+
+        envelopes = []
+        for index, test in todo:
+            task = Stage4Task(
+                task_id=index, test=test, trials=trials, scheduler_kind=scheduler_kind
+            )
+            envelopes.append(
+                TaskEnvelope.from_task(task, universe=self._scheduler_universe(test))
+            )
+        obs = self.obs
+        spec = WorkerSpec(
+            config=self.config,
+            obs_enabled=obs.enabled,
+            obs_epoch=obs.tracer.epoch if obs.enabled else 0.0,
+            fault=self.fleet_fault,
+        )
+        fleet = ProcessFleet(
+            spec,
+            nworkers=workers,
+            max_task_retries=self.config.task_retries,
+            max_worker_respawns=self.config.worker_respawns,
+            lease_timeout=self.config.fleet_lease_timeout,
+            start_method=self.config.fleet_start_method,
+            obs=obs,
+        )
+        raw = fleet.run(envelopes)
+        campaign.adopt_worker_stats(fleet.worker_stats)
+        out: Dict[int, object] = {}
+        for index, _ in todo:
+            result = raw.get(index)
+            if result is None or isinstance(result, TaskFailure):
+                out[index] = result
                 continue
-            outcome = results.get(queue_ids[index])
+            outcomes, buffer = result.decode()
+            if buffer is not None and obs.enabled:
+                self._stage4_buffers[index] = buffer
+            out[index] = outcomes
+        return out
+
+    def execute_tests_parallel(
+        self,
+        tests: Sequence[ConcurrentTest],
+        campaign: CampaignResult,
+        scheduler_kind: str = "snowboard",
+        trials: Optional[int] = None,
+        workers: int = 2,
+        completed: Optional[frozenset] = None,
+        on_task_merged=None,
+        task_offset: int = 0,
+        fleet: str = "threads",
+    ) -> None:
+        """Stage 4 across a worker fleet: queue, execute, merge in order.
+
+        Tasks are seeded deterministically (``seed + task_id``) and merged
+        in task order under the campaign-global dedup, so the resulting
+        bug set is identical to a serial campaign over the same tests.
+        Crashed tasks (their retry and respawn budgets exhausted) and
+        tasks with no result at all (worker pool died) are surfaced via
+        ``campaign.task_failures`` instead of being merged as garbage —
+        they still consume their test index, keeping later first-find
+        positions aligned with the serial run.
+
+        ``fleet`` picks the worker substrate: ``"threads"`` (private
+        kernels in this process, the PR-2 fleet) or ``"processes"``
+        (:class:`~repro.orchestrate.fleet.ProcessFleet`, private kernels
+        in spawned worker processes behind the picklable wire format).
+        Both run :func:`run_task_trials` verbatim and merge here in task
+        order, so the choice never changes campaign results.
+
+        ``completed`` names task ids already merged by a resumed
+        checkpoint (skipped here); ``on_task_merged(task_id)`` is invoked
+        after each merge, in task order — the checkpoint journal hook.
+        ``task_offset`` shifts task ids to the tests' global campaign
+        positions (round-based campaigns hand each round's tests
+        separately, but ids — and hence scheduler seeds and journal
+        records — stay campaign-global).
+        """
+        if fleet not in ("threads", "processes"):
+            raise ValueError(f"unknown fleet kind {fleet!r}")
+        trials = trials or self.config.trials_per_pmc
+        completed = completed or frozenset()
+        obs = self.obs
+        if obs.enabled:
+            # Fresh buffers per fleet run; workers produce disjoint
+            # task_id keys, the merge loop below drains them in order.
+            self._stage4_buffers = {}
+        todo = [
+            (task_offset + local, test)
+            for local, test in enumerate(tests)
+            if task_offset + local not in completed
+        ]
+        if fleet == "processes":
+            results = self._run_process_fleet(
+                todo, campaign, scheduler_kind, trials, workers
+            )
+        else:
+            results = self._run_thread_fleet(
+                todo, campaign, scheduler_kind, trials, workers
+            )
+        for index, test in todo:
+            outcome = results.get(index)
             if outcome is None or isinstance(outcome, TaskFailure):
                 # None: the queue never produced a result (all workers
                 # died before claiming the task *and* the drain missed
@@ -805,6 +952,7 @@ class Snowboard:
         scheduler_kind: str,
         trials: Optional[int],
         ntests: int,
+        fsync: bool = False,
     ):
         """Create or resume the campaign journal.
 
@@ -836,12 +984,12 @@ class Snowboard:
             verify_checkpoint_header(stored, header)
             completed = restore_campaign(campaign, self.repro_packages, task_records)
             writer = CheckpointWriter.append_to(
-                checkpoint_path, campaign, self.repro_packages
+                checkpoint_path, campaign, self.repro_packages, fsync=fsync
             )
         else:
             completed = set()
             writer = CheckpointWriter.create(
-                checkpoint_path, header, campaign, self.repro_packages
+                checkpoint_path, header, campaign, self.repro_packages, fsync=fsync
             )
         return writer, frozenset(completed)
 
@@ -854,19 +1002,27 @@ class Snowboard:
         workers: int = 1,
         checkpoint_path: Optional[str] = None,
         resume: bool = False,
+        fleet: str = "threads",
+        checkpoint_fsync: bool = False,
     ) -> CampaignResult:
         """One full Table 3 campaign: generate, prioritise, execute.
 
         ``workers > 1`` runs Stage 4 through the work queue with that many
-        private-kernel workers; results (bug sets, trial counts, first-find
-        positions) are identical to the serial run for the same seed.
+        private-kernel workers — in this process (``fleet="threads"``) or
+        in spawned worker processes (``fleet="processes"``); results (bug
+        sets, trial counts, first-find positions) are identical to the
+        serial run for the same seed either way.
 
         ``checkpoint_path`` journals every merged Stage-4 task to a JSONL
         file as it completes; with ``resume=True`` an existing journal is
         replayed first (counters, observations, reproduction packages) and
         only the missing task ids are executed.  Because tasks are seeded
         ``seed + task_id``, a killed-and-resumed campaign produces a
-        ``summary()`` bit-identical to an uninterrupted run.
+        ``summary()`` bit-identical to an uninterrupted run.  The fleet
+        kind is deliberately not a guarded header field: a campaign may
+        be checkpointed under one fleet and resumed under another.
+        ``checkpoint_fsync`` upgrades journal durability from process-kill
+        to machine-crash (fsync per record).
         """
         tests, nclusters = self.generate_tests(strategy, limit=test_budget)
         tests = tests[:test_budget]
@@ -885,6 +1041,7 @@ class Snowboard:
                 scheduler_kind,
                 trials,
                 len(tests),
+                fsync=checkpoint_fsync,
             )
         start = time.perf_counter()
         try:
@@ -896,6 +1053,7 @@ class Snowboard:
                 workers=workers,
                 completed=completed,
                 writer=writer,
+                fleet=fleet,
             )
         finally:
             if writer is not None:
@@ -914,6 +1072,7 @@ class Snowboard:
         completed: frozenset,
         writer,
         task_offset: int = 0,
+        fleet: str = "threads",
     ) -> None:
         """Run one batch of tests serially or across the fleet.
 
@@ -950,6 +1109,7 @@ class Snowboard:
                 completed=completed,
                 on_task_merged=(writer.task_done if writer is not None else None),
                 task_offset=task_offset,
+                fleet=fleet,
             )
 
     def _finish_campaign_obs(self, campaign: CampaignResult) -> None:
@@ -983,6 +1143,7 @@ class Snowboard:
         corpus_growth: int,
         scheduler_kind: str,
         trials: Optional[int],
+        fsync: bool = False,
     ):
         """Create or resume a round-based campaign journal.
 
@@ -1018,13 +1179,13 @@ class Snowboard:
             completed = restore_campaign(campaign, self.repro_packages, task_records)
             round_records = load_round_records(checkpoint_path)
             writer = CheckpointWriter.append_to(
-                checkpoint_path, campaign, self.repro_packages
+                checkpoint_path, campaign, self.repro_packages, fsync=fsync
             )
         else:
             completed = set()
             round_records = {}
             writer = CheckpointWriter.create(
-                checkpoint_path, header, campaign, self.repro_packages
+                checkpoint_path, header, campaign, self.repro_packages, fsync=fsync
             )
         return writer, frozenset(completed), round_records
 
@@ -1039,6 +1200,8 @@ class Snowboard:
         corpus_growth: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
         resume: bool = False,
+        fleet: str = "threads",
+        checkpoint_fsync: bool = False,
     ) -> CampaignResult:
         """A round-based incremental campaign (§4.3, §6 continuous mode).
 
@@ -1088,6 +1251,7 @@ class Snowboard:
                 growth,
                 scheduler_kind,
                 trials,
+                fsync=checkpoint_fsync,
             )
         start = time.perf_counter()
         try:
@@ -1103,6 +1267,7 @@ class Snowboard:
                     completed=completed,
                     writer=writer,
                     round_records=round_records,
+                    fleet=fleet,
                 )
         finally:
             if writer is not None:
@@ -1123,6 +1288,7 @@ class Snowboard:
         completed: frozenset,
         writer,
         round_records: Dict[int, Dict],
+        fleet: str = "threads",
     ) -> RoundInfo:
         """Advance the campaign by one round."""
         from repro.orchestrate.persistence import verify_round_record
@@ -1178,6 +1344,7 @@ class Snowboard:
                 completed=completed,
                 writer=writer,
                 task_offset=state.next_test_index,
+                fleet=fleet,
             )
             state.next_test_index += len(tests)
             state.round = number

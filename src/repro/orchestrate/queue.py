@@ -26,8 +26,10 @@ failure classes in miniature):
 
 from __future__ import annotations
 
+import builtins
 import queue
 import threading
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
 
@@ -50,16 +52,73 @@ class TaskFailure:
     object is distinguishable from a worker crash.  ``attempts`` counts
     how many times the payload was executed before giving up (0 when the
     task never ran — e.g. the worker pool died before claiming it).
+
+    The failure is a *serializable record* of the exception — type name,
+    message, formatted traceback, and the same for its ``__cause__`` —
+    never the live ``BaseException``.  Live exceptions are frequently
+    unpicklable (tracebacks pin frames; exception args can hold locks or
+    whole kernels), which would poison any result channel that crosses a
+    process boundary.  Build one with :meth:`from_exception`; the
+    :attr:`error` property reconstructs a best-effort exception object
+    for callers that want one.
     """
 
     task_id: int
-    error: BaseException
+    error_type: str = "RuntimeError"
+    message: str = ""
+    traceback_str: str = ""
     attempts: int = 1
+    cause_type: str = ""
+    cause_message: str = ""
+
+    @classmethod
+    def from_exception(
+        cls, task_id: int, error: BaseException, attempts: int = 1
+    ) -> "TaskFailure":
+        """Capture a live exception (and its ``__cause__``) as a record."""
+        cause = error.__cause__
+        try:
+            tb = "".join(
+                traceback.format_exception(type(error), error, error.__traceback__)
+            )
+        except Exception:  # pragma: no cover - formatting never should fail
+            tb = ""
+        return cls(
+            task_id=task_id,
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback_str=tb,
+            attempts=attempts,
+            cause_type=type(cause).__name__ if cause is not None else "",
+            cause_message=str(cause) if cause is not None else "",
+        )
+
+    @staticmethod
+    def _rebuild(type_name: str, message: str) -> BaseException:
+        exc_type = getattr(builtins, type_name, None)
+        if not (isinstance(exc_type, type) and issubclass(exc_type, BaseException)):
+            return RuntimeError(f"{type_name}: {message}")
+        try:
+            return exc_type(message)
+        except Exception:  # exotic constructor signature
+            return RuntimeError(f"{type_name}: {message}")
+
+    @property
+    def error(self) -> BaseException:
+        """A reconstructed exception (builtin types keep their class).
+
+        Compatibility shim for callers that predate the serializable
+        record; ``__cause__`` is re-chained when one was captured.
+        """
+        error = self._rebuild(self.error_type, self.message)
+        if self.cause_type:
+            error.__cause__ = self._rebuild(self.cause_type, self.cause_message)
+        return error
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"task {self.task_id} failed after {self.attempts} attempt(s): "
-            f"{self.error!r}"
+            f"{self.error_type}: {self.message}"
         )
 
 
@@ -82,7 +141,14 @@ class WorkerStats:
 
 
 class _TimedOut:
-    """Singleton sentinel for ``WorkQueue.get(timeout=...)`` expiry."""
+    """Singleton sentinel for ``WorkQueue.get(timeout=...)`` expiry.
+
+    The canonical instance is created exactly once, at module import
+    (under the interpreter's import lock, so first instantiation cannot
+    race), and ``__reduce__`` resolves any pickled copy back to it —
+    ``pickle.loads(pickle.dumps(TIMED_OUT)) is TIMED_OUT`` holds even
+    when the sentinel crosses a process boundary.
+    """
 
     _instance: Optional["_TimedOut"] = None
 
@@ -91,8 +157,16 @@ class _TimedOut:
             cls._instance = super().__new__(cls)
         return cls._instance
 
+    def __reduce__(self):
+        return (_restore_timed_out, ())
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "TIMED_OUT"
+
+
+def _restore_timed_out() -> "_TimedOut":
+    """Pickle reconstructor: always the canonical sentinel instance."""
+    return TIMED_OUT
 
 
 #: Returned by :meth:`WorkQueue.get` when the timeout expires with no task
@@ -108,9 +182,10 @@ class WorkQueue:
         self._results: Dict[int, Any] = {}
         self._lock = threading.Lock()
         self._enqueued = 0
-        # Shutdown sentinels currently sitting in the queue; subtracted
-        # from qsize so pending() reports only real tasks.
-        self._sentinels = 0
+        # Real tasks enqueued but not yet dequeued.  Counted here rather
+        # than derived from Queue.qsize(), which is documented-unreliable
+        # and raises NotImplementedError on macOS multiprocessing queues.
+        self._pending = 0
         # Per-worker stats of the last run_workers() fleet over this queue.
         self.worker_stats: List[WorkerStats] = []
 
@@ -119,6 +194,7 @@ class WorkQueue:
         with self._lock:
             task_id = self._enqueued
             self._enqueued += 1
+            self._pending += 1
         self._queue.put(Task(task_id, payload))
         return task_id
 
@@ -133,9 +209,9 @@ class WorkQueue:
             task = self._queue.get(timeout=timeout)
         except queue.Empty:
             return TIMED_OUT
-        if task is None:
+        if task is not None:
             with self._lock:
-                self._sentinels = max(0, self._sentinels - 1)
+                self._pending = max(0, self._pending - 1)
         return task
 
     def complete(self, task: Task, result: Any) -> None:
@@ -148,8 +224,6 @@ class WorkQueue:
 
     def shutdown(self, nworkers: int) -> None:
         """Signal ``nworkers`` workers to exit."""
-        with self._lock:
-            self._sentinels += nworkers
         for _ in range(nworkers):
             self._queue.put(None)
 
@@ -161,7 +235,7 @@ class WorkQueue:
     def pending(self) -> int:
         """Real tasks still queued (shutdown sentinels excluded)."""
         with self._lock:
-            return max(0, self._queue.qsize() - self._sentinels)
+            return self._pending
 
 
 def run_workers(
@@ -216,12 +290,16 @@ def run_workers(
                     stats.tasks_done += 1
                     break
                 except Exception as error:  # noqa: BLE001 - workers survive
-                    failure = TaskFailure(task.task_id, error, attempts=attempts)
+                    failure = TaskFailure.from_exception(
+                        task.task_id, error, attempts=attempts
+                    )
                 except BaseException as error:  # worker-killing payload
                     # The in-process analogue of the VM dying mid-task:
                     # contain the blast radius, respawn a fresh worker,
                     # and re-run the (deterministic) task on it.
-                    failure = TaskFailure(task.task_id, error, attempts=attempts)
+                    failure = TaskFailure.from_exception(
+                        task.task_id, error, attempts=attempts
+                    )
                     stats.respawns += 1
                     stats.last_error = error
                     if stats.respawns > max_worker_respawns:
@@ -265,7 +343,9 @@ def run_workers(
                 f"worker pool exhausted before task {task.task_id} ran"
             )
             error.__cause__ = boot_error
-            work.complete(task, TaskFailure(task.task_id, error, attempts=0))
+            work.complete(
+                task, TaskFailure.from_exception(task.task_id, error, attempts=0)
+            )
 
     work.worker_stats = stats_list
     if obs.enabled:
