@@ -1,0 +1,153 @@
+"""Experiment — out-of-core tiered PMC store overhead (DESIGN.md §2.14).
+
+The disk tier's claim is that a campaign whose access set dwarfs its
+hot-tier budget keeps both its answer and most of its speed: with the
+hot tier forced to a tenth of the in-memory access set, results stay
+bit-identical and end-to-end throughput stays at >= 80% of the fully
+in-memory campaign (EXPERIMENTS.md).  This bench measures that claim:
+
+* executions/minute of the identical rounds-mode campaign, in-memory vs
+  spilled at 1/10 hot capacity (the gated ratio),
+* the raw overlap-scan slowdown of a spilled index at the same forced
+  capacity, on the same access stream, and
+* the tier traffic that proves the spill actually happened (evictions,
+  cold probes, hot-tier hit rate).
+
+Results are appended to ``BENCH_pmc_store.json`` at the repo root in the
+same trajectory shape as ``BENCH_hot_path.json``; the file helpers are
+imported from :mod:`bench_hot_path` so the formats cannot drift.
+``scripts/bench_gate.py`` gates the throughput figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import shutil
+import tempfile
+import time
+from typing import Dict
+
+from bench_hot_path import append_record, load_results  # noqa: F401  (re-export)
+
+from repro.orchestrate.pipeline import Snowboard, SnowboardConfig
+from repro.pmc.index import AccessIndex
+from repro.pmc.store import AccessStore
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_pmc_store.json")
+
+# Quick mode: seconds, for the CI gate.
+QUICK_CONFIG = SnowboardConfig(seed=7, corpus_budget=120, trials_per_pmc=8)
+QUICK_PARAMS = dict(rounds=2, round_budget=4, corpus_growth=40, scan_reps=3)
+
+# Full mode: the shared bench-session configuration (conftest.py).
+FULL_PARAMS = dict(rounds=3, round_budget=6, corpus_growth=60, scan_reps=5)
+
+
+def measure_pmc_store(
+    snowboard: Snowboard,
+    rounds: int,
+    round_budget: int,
+    corpus_growth: int,
+    scan_reps: int,
+) -> Dict[str, object]:
+    """Measure spilled-vs-in-memory campaign and scan throughput.
+
+    Both campaigns are fully deterministic (fixed seeds) and must agree
+    bit for bit; only the wall-clock figures vary run to run.
+    """
+    config = snowboard.config
+
+    # -- in-memory reference campaign ------------------------------------
+    memory_sb = Snowboard(config).prepare()
+    memory = memory_sb.run_rounds(rounds, round_budget, corpus_growth=corpus_growth)
+    writes, reads = memory_sb.state.index.counts()
+    access_set = writes + reads
+    hot_capacity = max(1, access_set // 10)
+
+    # -- the same campaign, spilled at 1/10 hot capacity -----------------
+    spill_root = tempfile.mkdtemp(prefix="bench_pmc_store_")
+    try:
+        spilled_config = dataclasses.replace(
+            config,
+            pmc_spill_dir=os.path.join(spill_root, "pmcstore"),
+            pmc_hot_records=hot_capacity,
+        )
+        spilled_sb = Snowboard(spilled_config).prepare()
+        spilled = spilled_sb.run_rounds(
+            rounds, round_budget, corpus_growth=corpus_growth
+        )
+        assert spilled.summary() == memory.summary()  # same answer, or no bench
+        tier_stats = dict(spilled_sb.state.index.store.stats)
+
+        # -- raw delta-scan throughput on the final access stream --------
+        stream = [
+            (access, profile.test_id)
+            for profile in memory_sb.pmcset.profiles
+            for access in profile.accesses
+        ]
+        start = time.perf_counter()
+        memory_overlaps = 0
+        for _ in range(scan_reps):
+            index = AccessIndex()
+            for access, test_id in stream:
+                index.insert(access, test_id)
+            memory_overlaps += sum(1 for _ in index.read_write_overlaps())
+        memory_scan_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        spilled_overlaps = 0
+        for rep in range(scan_reps):
+            store = AccessStore.open(os.path.join(spill_root, f"scan_{rep}"))
+            index = AccessIndex(store=store, hot_capacity=hot_capacity)
+            for access, test_id in stream:
+                index.insert(access, test_id)
+            spilled_overlaps += sum(1 for _ in index.read_write_overlaps())
+        spilled_scan_wall = time.perf_counter() - start
+        assert spilled_overlaps == memory_overlaps
+    finally:
+        shutil.rmtree(spill_root, ignore_errors=True)
+
+    probes = tier_stats["hot_hits"] + tier_stats["cold_probes"]
+    return {
+        "access_set_records": access_set,
+        "hot_capacity_records": hot_capacity,
+        "memory_exec_per_min": round(memory.executions_per_minute, 1),
+        "spilled_exec_per_min": round(spilled.executions_per_minute, 1),
+        "spilled_fraction_of_memory": round(
+            spilled.executions_per_minute / memory.executions_per_minute, 3
+        )
+        if memory.executions_per_minute
+        else 0.0,
+        "scan_overlaps": memory_overlaps,
+        "memory_scan_wall_seconds": round(memory_scan_wall, 4),
+        "spilled_scan_wall_seconds": round(spilled_scan_wall, 4),
+        "evictions": tier_stats["evictions"],
+        "cold_probes": tier_stats["cold_probes"],
+        "hot_hit_rate": round(tier_stats["hot_hits"] / probes, 3) if probes else 0.0,
+        "spilled_records": tier_stats["spilled_records"],
+        "campaign_summary": spilled.summary(),
+    }
+
+
+#: The figures the regression gate compares (higher is better).
+THROUGHPUT_KEYS = ("spilled_exec_per_min", "spilled_fraction_of_memory")
+
+
+def test_pmc_store(snowboard):
+    """Measure and record the full-mode tiered-store figures."""
+    record = measure_pmc_store(snowboard, **FULL_PARAMS)
+    append_record(record, mode="full", label="bench_pmc_store", path=RESULTS_PATH)
+    print(
+        f"\nspilled campaign at 1/10 hot capacity "
+        f"({record['hot_capacity_records']}/{record['access_set_records']} "
+        f"records): {record['spilled_exec_per_min']:,.0f} exec/min = "
+        f"{record['spilled_fraction_of_memory']:.0%} of in-memory, "
+        f"evictions={record['evictions']}, "
+        f"hot rate={record['hot_hit_rate']:.0%}"
+    )
+    # The EXPERIMENTS.md criterion: a spilled campaign keeps >= 80% of
+    # the in-memory throughput.
+    assert record["spilled_fraction_of_memory"] >= 0.8
+    assert record["evictions"] > 0

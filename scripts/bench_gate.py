@@ -1,13 +1,13 @@
 #!/usr/bin/env python
 """Perf-regression gate over the interpreter hot path, the incremental
-campaign engine and the worker fleets.
+campaign engine, the worker fleets and the out-of-core PMC store.
 
 Runs the quick-mode workloads (``benchmarks/bench_hot_path.py``,
-``benchmarks/bench_incremental.py`` and ``benchmarks/bench_fleet.py``
-with their small CI configurations), appends the dated records to the
-``BENCH_*.json`` trajectories at the repo root, and fails when any gated
-figure drops more than :data:`TOLERANCE` below the stored quick-mode
-baseline.
+``benchmarks/bench_incremental.py``, ``benchmarks/bench_fleet.py`` and
+``benchmarks/bench_pmc_store.py`` with their small CI configurations),
+appends the dated records to the ``BENCH_*.json`` trajectories at the
+repo root, and fails when any gated figure drops more than
+:data:`TOLERANCE` below the stored quick-mode baseline.
 
 The tolerance is deliberately loose (20%): wall-clock noise on shared CI
 machines is real, and the gate exists to catch the "someone put an
@@ -34,6 +34,7 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
 import bench_fleet  # noqa: E402  (path setup above)
 import bench_hot_path  # noqa: E402
 import bench_incremental  # noqa: E402
+import bench_pmc_store  # noqa: E402
 from bench_hot_path import append_record, load_results  # noqa: E402
 from repro.orchestrate.pipeline import Snowboard  # noqa: E402
 
@@ -66,6 +67,15 @@ BENCHES = (
         bench_fleet.THROUGHPUT_KEYS,
         lambda: bench_fleet.measure_fleet(
             Snowboard(bench_fleet.QUICK_CONFIG), **bench_fleet.QUICK_PARAMS
+        ),
+    ),
+    (
+        "pmc_store",
+        bench_pmc_store.RESULTS_PATH,
+        bench_pmc_store.THROUGHPUT_KEYS,
+        lambda: bench_pmc_store.measure_pmc_store(
+            Snowboard(bench_pmc_store.QUICK_CONFIG),
+            **bench_pmc_store.QUICK_PARAMS,
         ),
     ),
 )

@@ -34,12 +34,17 @@
 #                  is killed and resumed; both must land bit-identical
 #                  to serial.  A second CLI campaign then runs
 #                  --fleet processes --checkpoint-fsync end to end.
-#  6. perf gate  — opt-in with PERF=1: the quick-mode hot-path,
-#                  incremental-engine and fleet benchmarks fail on a
-#                  >20% regression against the baselines in
+#  6. smoke-store — kill-and-resume for the out-of-core PMC store
+#                  (scripts/smoke_store.py): a tiny campaign spilled to
+#                  segment files with the hot tier forced to 1/10 of the
+#                  access set is killed mid-round, then resumed from the
+#                  journal and the store manifest bit-identically.
+#  7. perf gate  — opt-in with PERF=1: the quick-mode hot-path,
+#                  incremental-engine, fleet and PMC-store benchmarks
+#                  fail on a >20% regression against the baselines in
 #                  BENCH_hot_path.json / BENCH_incremental.json /
-#                  BENCH_fleet.json; the updated trajectory JSONs are
-#                  copied into $ARTIFACTS_DIR.
+#                  BENCH_fleet.json / BENCH_pmc_store.json; the updated
+#                  trajectory JSONs are copied into $ARTIFACTS_DIR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -86,16 +91,21 @@ python -m repro campaign \
     --workers 2 --fleet processes \
     --checkpoint "$FLEET_CHECKPOINT" --checkpoint-fsync
 
+echo "== smoke: spilled PMC store kill-and-resume =="
+python scripts/smoke_store.py "$ARTIFACTS_DIR/smoke_store_work"
+
 # Opt-in perf gate: PERF=1 scripts/ci.sh also runs the quick-mode
-# hot-path, incremental-engine and fleet benchmarks and fails on a >20%
-# regression against the baselines recorded in BENCH_hot_path.json,
-# BENCH_incremental.json and BENCH_fleet.json.
+# hot-path, incremental-engine, fleet and PMC-store benchmarks and
+# fails on a >20% regression against the baselines recorded in
+# BENCH_hot_path.json, BENCH_incremental.json, BENCH_fleet.json and
+# BENCH_pmc_store.json.
 if [[ "${PERF:-0}" == "1" ]]; then
     echo "== perf gate: scripts/bench_gate.py (quick mode) =="
     python scripts/bench_gate.py
     cp BENCH_hot_path.json "$ARTIFACTS_DIR/BENCH_hot_path.json"
     cp BENCH_incremental.json "$ARTIFACTS_DIR/BENCH_incremental.json"
     cp BENCH_fleet.json "$ARTIFACTS_DIR/BENCH_fleet.json"
+    cp BENCH_pmc_store.json "$ARTIFACTS_DIR/BENCH_pmc_store.json"
 fi
 
 echo "ci: all passes green (artifacts in $ARTIFACTS_DIR/)"

@@ -119,6 +119,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fuzzer executions added per round after the first "
         "(rounds mode; defaults to half of --corpus)",
     )
+    campaign.add_argument(
+        "--pmc-spill-dir",
+        metavar="DIR",
+        default=None,
+        help="spill the PMC access index to append-only segment files in "
+        "DIR (created if missing); results stay bit-identical to the "
+        "in-memory index, and a killed campaign resumes from the store "
+        "manifest",
+    )
+    campaign.add_argument(
+        "--pmc-hot-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="bound the in-memory hot tier of the spilled access index "
+        "to roughly MB megabytes of records; least-recently-touched "
+        "buckets evict to disk (requires --pmc-spill-dir)",
+    )
 
     stats = sub.add_parser("stats", help="summarise a --trace-out trace file")
     stats.add_argument("trace", help="path to a JSONL trace written by --trace-out")
@@ -202,11 +220,23 @@ def _cmd_campaign(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.pmc_hot_mb is not None and not args.pmc_spill_dir:
+        print("error: --pmc-hot-mb requires --pmc-spill-dir", file=sys.stderr)
+        return 2
+    pmc_hot_records = None
+    if args.pmc_hot_mb is not None:
+        from repro.pmc.store import RECORD_SIZE
+
+        # The hot tier holds parsed tuples, not packed records; the
+        # fixed record width is still the natural sizing unit.
+        pmc_hot_records = max(1, int(args.pmc_hot_mb * 1024 * 1024) // RECORD_SIZE)
     config = SnowboardConfig(
         seed=args.seed,
         corpus_budget=args.corpus,
         trials_per_pmc=args.trials,
         fixed_kernel=args.fixed,
+        pmc_spill_dir=args.pmc_spill_dir,
+        pmc_hot_records=pmc_hot_records,
     )
     observer = _make_observer(args)
     snowboard = Snowboard(config, observer=observer).prepare()

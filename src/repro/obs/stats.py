@@ -105,6 +105,9 @@ FUNNEL_LAYOUT: Tuple[Tuple[str, str, str], ...] = (
     ("2 PMC identification", "overlaps scanned", "stage2.overlaps"),
     ("2 PMC identification", "PMCs identified", "stage2.pmcs"),
     ("2 PMC identification", "(writer, reader) pairs", "stage2.pairs"),
+    ("2 PMC identification", "store hot-tier hits", "store.hot_hits"),
+    ("2 PMC identification", "store cold probes", "store.cold_probes"),
+    ("2 PMC identification", "store bucket evictions", "store.evictions"),
     ("3 selection", "PMCs filtered out", "stage3.filtered"),
     ("3 selection", "clusters kept", "stage3.clusters"),
     ("3 selection", "duplicate exemplars skipped", "stage3.duplicates"),
@@ -137,8 +140,13 @@ def funnel_rows(stats: TraceStats) -> List[List[str]]:
 #: definition: dirty-page restore counts differ between a serial run
 #: (one warm executor) and a fleet (each worker's first restore copies
 #: the full snapshot) — the same reason ``restore_seconds`` is kept out
-#: of ``CampaignResult.summary()``.  Displayed, but not compared.
-HISTORY_DEPENDENT = frozenset({"restore.pages"})
+#: of ``CampaignResult.summary()``.  The PMC-store tier counters are the
+#: same class of fact: hot hits, cold probes and evictions describe the
+#: cache configuration, not the campaign, and a spilled run must compare
+#: equal to an in-memory one.  Displayed, but not compared.
+HISTORY_DEPENDENT = frozenset(
+    {"restore.pages", "store.hot_hits", "store.cold_probes", "store.evictions"}
+)
 
 
 def funnel_totals(stats: TraceStats) -> Dict[str, Number]:
@@ -155,6 +163,31 @@ def funnel_totals(stats: TraceStats) -> Dict[str, Number]:
         if value is not None:
             totals[name] = value
     return totals
+
+
+# -- the PMC-store tier table --------------------------------------------------
+
+def store_tiers(stats: TraceStats) -> Optional[Dict[str, Number]]:
+    """Hot/cold tier traffic of the out-of-core PMC store.
+
+    ``None`` for in-memory traces (no ``store.*`` counters); otherwise
+    the probe counts, the hot-tier hit rate, and the eviction count.
+    """
+    hot = stats.counters.get("store.hot_hits")
+    cold = stats.counters.get("store.cold_probes")
+    evictions = stats.counters.get("store.evictions")
+    if hot is None and cold is None and evictions is None:
+        return None
+    hot = hot or 0
+    cold = cold or 0
+    probes = hot + cold
+    return {
+        "hot_hits": hot,
+        "cold_probes": cold,
+        "probes": probes,
+        "hot_rate": (hot / probes) if probes else 0.0,
+        "evictions": evictions or 0,
+    }
 
 
 # -- the per-round funnel ------------------------------------------------------
@@ -265,6 +298,7 @@ def stats_to_obj(stats: TraceStats) -> Dict:
     return {
         "header": dict(stats.header),
         "funnel": funnel,
+        "store_tiers": store_tiers(stats),
         "rounds": [{"round": n, **rounds[n]} for n in sorted(rounds)],
         "stage_times": [
             {
@@ -291,6 +325,7 @@ def render_stats(stats: TraceStats, markdown: bool = False) -> str:
         render_funnel,
         render_rounds,
         render_stage_times,
+        render_store_tiers,
         render_trial_latency,
     )
 
@@ -305,6 +340,11 @@ def render_stats(stats: TraceStats, markdown: bool = False) -> str:
         parts.append(f"campaign: {described}")
     parts.append("== Stage 1 -> 4 funnel ==")
     parts.append(render_funnel(funnel_rows(stats), markdown=markdown))
+    tiers = store_tiers(stats)
+    if tiers is not None:
+        parts.append("")
+        parts.append("== PMC store tiers ==")
+        parts.append(render_store_tiers(tiers, markdown=markdown))
     rounds = round_rows(stats)
     if rounds:
         parts.append("")

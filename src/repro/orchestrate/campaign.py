@@ -70,10 +70,11 @@ class RoundInfo:
     new_pmcs: int  # PMCs this round's delta classification added
     new_pairs: int  # (writer, reader) pairs the delta added
     exemplars: Tuple[Optional[PMC], ...] = ()  # scheduling hints, test order
+    store_digest: str = ""  # PMC-store manifest digest at the round boundary
 
     def to_obj(self) -> dict:
         """The JSON-ready journal record (exemplars stay in memory)."""
-        return {
+        obj = {
             "round": self.round,
             "first_test_index": self.first_test_index,
             "ntests": self.ntests,
@@ -84,6 +85,11 @@ class RoundInfo:
             "new_pmcs": self.new_pmcs,
             "new_pairs": self.new_pairs,
         }
+        # Only spilled campaigns record a digest; in-memory journals
+        # stay byte-identical to the pre-spill format.
+        if self.store_digest:
+            obj["store_digest"] = self.store_digest
+        return obj
 
 
 @dataclass

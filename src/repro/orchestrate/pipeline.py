@@ -108,6 +108,15 @@ class SnowboardConfig:
     # value turns healthy-but-slow workers into respawn churn.
     fleet_lease_timeout: float = 120.0
     fleet_start_method: str = "spawn"
+    # Out-of-core PMC store (DESIGN §2.14): when set, the access index
+    # writes every insert through to an append-only segment store in
+    # this directory, and ``pmc_hot_records`` bounds how many records the
+    # in-memory hot tier may hold before least-recently-touched buckets
+    # are evicted to disk (None = unbounded hot tier, store still
+    # written for durability).  Spilled campaigns are bit-identical to
+    # in-memory ones; only memory footprint and tier hit rates change.
+    pmc_spill_dir: Optional[str] = None
+    pmc_hot_records: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -353,6 +362,24 @@ class Snowboard:
         from repro.fuzz.spec import DEFAULT_SEEDS
 
         self.state = CampaignState.fresh(self.config.seed)
+        if self.config.pmc_spill_dir is not None:
+            from repro.pmc.index import AccessIndex
+            from repro.pmc.store import AccessStore
+
+            # The fingerprint pins the store to this campaign's insert
+            # stream: a manifest written under different Stage-1 params
+            # describes different records and must not be adopted.
+            store = AccessStore.open(
+                self.config.pmc_spill_dir,
+                fingerprint={
+                    "seed": self.config.seed,
+                    "corpus_budget": self.config.corpus_budget,
+                    "fixed_kernel": self.config.fixed_kernel,
+                },
+            )
+            self.state.index = AccessIndex(
+                store=store, hot_capacity=self.config.pmc_hot_records
+            )
         self.corpus = Corpus()
         self.pmcset = PmcSet()
         with obs.span("stage1.corpus", budget=self.config.corpus_budget):
@@ -402,6 +429,10 @@ class Snowboard:
         new_pmcs, new_pairs = identify_delta(
             self.pmcset, state.index, new_profiles, obs=self.obs
         )
+        # Push the round's write-through suffix to its segments so the
+        # hot tier can evict freely and a round-boundary checkpoint only
+        # has the manifest left to write.
+        state.index.flush()
         self._pair_index = None
         self._build_pair_index()
         return len(new_profiles), new_pmcs, new_pairs
@@ -942,6 +973,21 @@ class Snowboard:
         events.extend(buffer["tail"])
         self.obs.replay(events)
 
+    def _stamp_store_header(self, header: Dict) -> None:
+        """Record the PMC store's identity in a journal header.
+
+        Informational (not a guarded field — resuming a spilled journal
+        in memory mode, or vice versa, is legitimate, like switching
+        fleet kinds): the spill dir and the manifest digest current at
+        journal creation, so an operator can tie a journal to the store
+        directory that fed it.  In-memory campaigns add nothing, keeping
+        their headers byte-identical to the pre-spill format.
+        """
+        store = self.state.index.store if self.state is not None else None
+        if store is not None:
+            header["pmc_spill_dir"] = store.root
+            header["store_manifest"] = store.manifest_digest
+
     def _open_checkpoint(
         self,
         checkpoint_path: str,
@@ -979,6 +1025,7 @@ class Snowboard:
             "fixed_kernel": self.config.fixed_kernel,
             "ntests": ntests,
         }
+        self._stamp_store_header(header)
         if resume and os.path.exists(checkpoint_path):
             stored, task_records = load_checkpoint(checkpoint_path)
             verify_checkpoint_header(stored, header)
@@ -1173,6 +1220,7 @@ class Snowboard:
             "scheduler_kind": scheduler_kind,
             "fixed_kernel": self.config.fixed_kernel,
         }
+        self._stamp_store_header(header)
         if resume and os.path.exists(checkpoint_path):
             stored, task_records = load_checkpoint(checkpoint_path)
             verify_checkpoint_header(stored, header)
@@ -1315,6 +1363,13 @@ class Snowboard:
             )
             tests = tests[:round_budget]
             campaign.exemplar_pmcs = nclusters
+            # Round boundary: make the spilled access records durable and
+            # stamp the manifest digest into the round record, so a
+            # resumed campaign proves it re-derived the same store state
+            # ("" in memory mode keeps old journals byte-identical).  On
+            # resume this returns the *historical* digest recorded for
+            # this round, not one recomputed over later rounds' data.
+            store_digest = state.index.checkpoint()
             info = RoundInfo(
                 round=number,
                 first_test_index=state.next_test_index,
@@ -1326,6 +1381,7 @@ class Snowboard:
                 new_pmcs=new_pmcs,
                 new_pairs=new_pairs,
                 exemplars=tuple(t.pmc for t in tests),
+                store_digest=store_digest,
             )
             if writer is not None:
                 stored = round_records.get(number)

@@ -127,6 +127,28 @@ def render_rounds(rows: Sequence[List[str]], markdown: bool = False) -> str:
     return _render(header, list(rows), markdown)
 
 
+def render_store_tiers(
+    tiers: Mapping[str, float], markdown: bool = False
+) -> str:
+    """Render the hot/cold tier traffic of the out-of-core PMC store.
+
+    ``tiers`` comes from :func:`repro.obs.stats.store_tiers`: bucket
+    probes served from the in-memory hot tier vs reconstructed from
+    segment files, the resulting hot-tier hit rate, and how many buckets
+    were evicted to disk.
+    """
+    header = ["Hot hits", "Cold probes", "Hot rate", "Evictions"]
+    rows = [
+        [
+            f"{int(tiers.get('hot_hits', 0)):,}",
+            f"{int(tiers.get('cold_probes', 0)):,}",
+            f"{tiers.get('hot_rate', 0.0):.1%}",
+            f"{int(tiers.get('evictions', 0)):,}",
+        ]
+    ]
+    return _render(header, rows, markdown)
+
+
 def render_stage_times(rows: Sequence[List[str]], markdown: bool = False) -> str:
     """Render the per-span wall-time breakdown of ``repro stats``."""
     header = ["Span", "Count", "Total s", "Mean ms", "Max ms", "Share"]

@@ -78,6 +78,25 @@ class PmcSet:
         except KeyError:
             raise KeyError(test_id) from None
 
+    def extend_profiles(self, new_profiles: Sequence[TestProfile]) -> None:
+        """Append a round's profiles in amortised O(len(new_profiles)).
+
+        The old per-round ``profiles = tuple(profiles) + tuple(new)``
+        re-copied the whole corpus every round — O(corpus²) across a
+        campaign — and discarded ``_profile_index``, re-paying an
+        O(corpus) rebuild on the next ``profile_by_id``.  Instead the
+        profiles live in an internal list that is extended in place, and
+        an already-built index is extended incrementally (first profile
+        still wins, as in the full rebuild).
+        """
+        if not isinstance(self.profiles, list):
+            self.profiles = list(self.profiles)
+        self.profiles.extend(new_profiles)
+        index = self._profile_index
+        if index is not None:
+            for profile in new_profiles:
+                index.setdefault(profile.test_id, profile)
+
 
 def identify_pmcs(profiles: Sequence[TestProfile], obs=NULL_OBSERVER) -> PmcSet:
     """Algorithm 1: index all tests, scan overlaps, classify PMCs."""
@@ -105,6 +124,8 @@ def identify_delta(
     overlapping (read, write) pair is scanned exactly once, in the delta
     where its later access arrived, and classification is per-pair.
     """
+    store = getattr(index, "store", None)
+    tier_before = dict(store.stats) if store is not None else None
     with obs.span("stage2.identify", profiles=len(new_profiles)) as span:
         mark = index.mark()
         for profile in new_profiles:
@@ -143,11 +164,17 @@ def identify_delta(
                     new_pmcs += 1
                 new_pairs += 1
         pmcset.overlaps_scanned += delta_overlaps
-        pmcset.profiles = tuple(pmcset.profiles) + tuple(new_profiles)
-        pmcset._profile_index = None  # stale: new test ids arrived
+        pmcset.extend_profiles(new_profiles)
         span.set(pmcs=len(pmcs), new_pmcs=new_pmcs, overlaps=delta_overlaps)
     if obs.enabled:
         obs.count("stage2.overlaps", delta_overlaps)
         obs.count("stage2.pmcs", new_pmcs)
         obs.count("stage2.pairs", new_pairs)
+        if tier_before is not None:
+            # Tier traffic this delta contributed (store.stats is
+            # cumulative across the store's lifetime).
+            for key in ("hot_hits", "cold_probes", "evictions"):
+                delta = store.stats[key] - tier_before[key]
+                if delta:
+                    obs.count(f"store.{key}", delta)
     return new_pmcs, new_pairs

@@ -17,18 +17,41 @@ round and re-classifies only the delta instead of rescanning the whole
 corpus; the union of the per-round delta scans provably equals the full
 scan, because each overlapping (read, write) pair is yielded exactly
 once — in the round where its *later* access arrived.
+
+The index is also *tiered* (DESIGN.md §2.14): constructed with a
+``store=`` (or ``spill_dir=``) it writes every insert through to an
+:class:`~repro.pmc.store.AccessStore`, and with ``hot_capacity=`` it
+evicts least-recently-touched buckets from RAM once the hot tier
+exceeds that many records.  Evicted buckets leave their key in the
+outer dict (a sentinel preserves outer iteration order — the property
+the golden-equivalence tests pin); a probe of a cold bucket
+reconstructs it by replaying the store's records in seq order, which
+reproduces the exact nested first-occurrence iteration order of the
+in-memory bucket.  A spilled scan therefore yields overlaps in the
+bit-identical order of an unspilled one.
 """
 
 from __future__ import annotations
 
 import bisect
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.profile.profiler import ProfiledAccess
 
 # The largest access the kernel context can emit (one word-sized chunk).
 MAX_ACCESS_SIZE = 8
+
+#: Reconstructed cold buckets kept in RAM between probes.
+DEFAULT_COLD_CACHE = 64
+
+#: Outer-dict slot of a bucket whose records live only in the store.
+#: A sentinel (not deletion) so the dict keeps the bucket's position in
+#: insertion order — outer scan order must survive eviction.
+_COLD = object()
+
+_MUTATED = "index mutated during overlap scan"
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,13 +74,14 @@ class _Bucket:
     produced them, each stamped with its insertion sequence number.
     """
 
-    __slots__ = ("entries",)
+    __slots__ = ("entries", "nrecords")
 
     def __init__(self):
         # (size, ins) -> {value -> [(access, test_id, seq), ...]}
         self.entries: Dict[
             Tuple[int, str], Dict[int, List[Tuple[ProfiledAccess, int, int]]]
         ] = {}
+        self.nrecords = 0
 
     def insert(self, access: ProfiledAccess, test_id: int, seq: int) -> None:
         # .get instead of setdefault: setdefault allocates a fresh
@@ -73,6 +97,7 @@ class _Bucket:
             slot[access.value] = [(access, test_id, seq)]
         else:
             holders.append((access, test_id, seq))
+        self.nrecords += 1
 
     def iter_entries(self) -> Iterator[Tuple[ProfiledAccess, int, int]]:
         for by_value in self.entries.values():
@@ -81,27 +106,77 @@ class _Bucket:
 
 
 class AccessIndex:
-    """Ordered nested index over profiled accesses of one kind per side."""
+    """Ordered nested index over profiled accesses of one kind per side.
 
-    def __init__(self):
-        self._writes: Dict[int, _Bucket] = {}
-        self._reads: Dict[int, _Bucket] = {}
+    With no arguments the index is fully in-memory, exactly as before.
+    ``store=`` (an :class:`~repro.pmc.store.AccessStore`) or
+    ``spill_dir=`` (a directory; a store is opened there) turns on
+    write-through spilling, and ``hot_capacity=`` bounds the number of
+    records the hot tier may hold before least-recently-touched buckets
+    are evicted to their segments.
+    """
+
+    def __init__(
+        self,
+        store=None,
+        spill_dir: Optional[str] = None,
+        hot_capacity: Optional[int] = None,
+        cold_cache_size: int = DEFAULT_COLD_CACHE,
+    ):
+        if store is None and spill_dir is not None:
+            from repro.pmc.store import AccessStore
+
+            store = AccessStore.open(spill_dir)
+        if hot_capacity is not None and store is None:
+            raise ValueError("hot_capacity requires a store (or spill_dir)")
+        self.store = store
+        self.hot_capacity = hot_capacity
+        self._writes: Dict[int, object] = {}
+        self._reads: Dict[int, object] = {}
         self._write_starts: List[int] = []
         self._read_starts: List[int] = []
         self._starts_dirty = False
         self._read_starts_dirty = False
         # Monotone insertion stamp: the delta scan's notion of "new".
         self._seq = 0
+        # Bumped on every insert; a running overlap scan that observes a
+        # bump raises instead of silently using stale start lists.
+        self._generation = 0
         # Running totals, maintained on insert so counts() is O(1)
         # instead of a full re-iteration of every bucket.
         self._nwrites = 0
         self._nreads = 0
+        # Spill bookkeeping (all empty/unused in pure-memory mode):
+        # hot-tier LRU of (is_write, addr) -> _Bucket, total hot records,
+        # per-(side, addr) max seq zone map so delta scans can skip cold
+        # buckets with no new records without loading them, and a small
+        # cache of reconstructed cold buckets.
+        self._hot_lru: "OrderedDict[Tuple[bool, int], _Bucket]" = OrderedDict()
+        self._hot_records = 0
+        self._write_maxseq: Dict[int, int] = {}
+        self._read_maxseq: Dict[int, int] = {}
+        self._cold_cache: "OrderedDict[Tuple[bool, int], _Bucket]" = OrderedDict()
+        self._cold_cache_size = max(1, cold_cache_size)
 
     # -- construction -------------------------------------------------------
 
     def insert(self, access: ProfiledAccess, test_id: int) -> None:
-        """Index one profiled access of one test."""
-        if access.is_write:
+        """Index one profiled access of one test.
+
+        Raises ``ValueError`` for sizes outside ``1..MAX_ACCESS_SIZE``:
+        the overlap scan's bisect window assumes no access is wider than
+        :data:`MAX_ACCESS_SIZE`, so an oversized access would be indexed
+        but its overlaps silently never scanned, and a zero/negative
+        size can never overlap anything yet would still bump counts().
+        """
+        if not 0 < access.size <= MAX_ACCESS_SIZE:
+            raise ValueError(
+                f"access size {access.size} at {access.addr:#x} is outside "
+                f"1..{MAX_ACCESS_SIZE}; the overlap scan window cannot see it"
+            )
+        self._generation += 1
+        is_write = access.is_write
+        if is_write:
             side = self._writes
             self._nwrites += 1
         else:
@@ -110,12 +185,27 @@ class AccessIndex:
         bucket = side.get(access.addr)
         if bucket is None:
             bucket = side[access.addr] = _Bucket()
-            if access.is_write:
+            if is_write:
                 self._starts_dirty = True
             else:
                 self._read_starts_dirty = True
-        bucket.insert(access, test_id, self._seq)
-        self._seq += 1
+            if self.store is not None:
+                self._hot_lru[(is_write, access.addr)] = bucket
+        elif bucket is _COLD:
+            bucket = self._rehydrate(is_write, access.addr)
+        seq = self._seq
+        bucket.insert(access, test_id, seq)
+        self._seq = seq + 1
+        if self.store is not None:
+            self.store.append(access, test_id, seq)
+            if is_write:
+                self._write_maxseq[access.addr] = seq
+            else:
+                self._read_maxseq[access.addr] = seq
+            self._hot_records += 1
+            self._hot_lru.move_to_end((is_write, access.addr))
+            if self.hot_capacity is not None and self._hot_records > self.hot_capacity:
+                self._evict()
 
     def insert_profile(self, profile) -> None:
         """Index every access of a test profile."""
@@ -129,6 +219,91 @@ class AccessIndex:
         inserted afterwards count as "new" relative to the mark.
         """
         return self._seq
+
+    # -- the spill tier -----------------------------------------------------
+
+    def _evict(self) -> None:
+        """Drop least-recently-touched hot buckets down to capacity.
+
+        Write-through makes eviction free: every record of the bucket is
+        already owned by the store (durable segment or pending buffer),
+        so the hot copy is simply dropped and its outer-dict slot turns
+        into the cold sentinel.  At least one bucket — the one just
+        inserted into — always stays hot.
+        """
+        stats = self.store.stats
+        while self._hot_records > self.hot_capacity and len(self._hot_lru) > 1:
+            (is_write, addr), bucket = self._hot_lru.popitem(last=False)
+            side = self._writes if is_write else self._reads
+            side[addr] = _COLD
+            self._hot_records -= bucket.nrecords
+            stats["evictions"] += 1
+
+    def _rehydrate(self, is_write: bool, addr: int) -> _Bucket:
+        """Bring a cold bucket back hot before inserting into it.
+
+        Inserting into a partial bucket would make later probes miss the
+        spilled prefix, so the invariant is: hot buckets are complete.
+        """
+        bucket = self._cold_cache.pop((is_write, addr), None)
+        if bucket is None:
+            bucket = self._build_bucket(is_write, addr)
+        side = self._writes if is_write else self._reads
+        side[addr] = bucket
+        self._hot_lru[(is_write, addr)] = bucket
+        self._hot_records += bucket.nrecords
+        return bucket
+
+    def _build_bucket(self, is_write: bool, addr: int) -> _Bucket:
+        """Reconstruct one bucket from the store.
+
+        Records come back in seq (= original insertion) order, so
+        replaying them through ``_Bucket.insert`` reproduces the exact
+        nested first-occurrence iteration order the in-memory bucket
+        had — the property that keeps spilled scans bit-identical.
+
+        Records at or past the index's own insertion stamp are *future*
+        records: a resumed campaign replays its insert stream against a
+        store whose durable extent already covers later rounds, and a
+        bucket probed mid-replay must contain exactly what the index has
+        re-inserted so far, not what the killed run eventually spilled.
+        """
+        bucket = _Bucket()
+        seq_limit = self._seq
+        for access, test_id, seq in self.store.load_bucket(is_write, addr):
+            if seq >= seq_limit:
+                break  # seq-ordered: everything after is future too
+            bucket.insert(access, test_id, seq)
+        return bucket
+
+    def _cold_bucket(self, is_write: bool, addr: int) -> _Bucket:
+        """A probe of an evicted bucket: cold-cache hit or store load."""
+        key = (is_write, addr)
+        cache = self._cold_cache
+        bucket = cache.get(key)
+        if bucket is not None:
+            cache.move_to_end(key)
+            return bucket
+        bucket = self._build_bucket(is_write, addr)
+        cache[key] = bucket
+        while len(cache) > self._cold_cache_size:
+            cache.popitem(last=False)
+        return bucket
+
+    def flush(self) -> None:
+        """Flush write-through buffers to the store (no-op in memory mode)."""
+        if self.store is not None:
+            self.store.flush()
+
+    def checkpoint(self) -> str:
+        """Make the spilled state durable; returns the manifest digest.
+
+        Returns ``""`` in pure-memory mode so round records stay
+        byte-identical to pre-spill journals.
+        """
+        if self.store is None:
+            return ""
+        return self.store.checkpoint(self._seq)
 
     # -- the overlap scan ------------------------------------------------------
 
@@ -151,11 +326,24 @@ class AccessIndex:
         exactly once.  With ``mark == 0`` the first pass degenerates to
         the full scan — in the identical iteration order — and the
         second pass is skipped entirely.
+
+        The generator snapshots the bisect start lists; an ``insert``
+        while the scan is live would silently probe a stale snapshot, so
+        it is detected via a generation counter and raises
+        ``RuntimeError``, matching dict-iteration semantics.
         """
         self._refresh_starts()
+        gen = self._generation
+        spilled = self.store is not None
+        stats = self.store.stats if spilled else None
         starts = self._write_starts
         writes = self._writes
         for read_start, read_bucket in self._reads.items():
+            if read_bucket is _COLD:
+                if self._read_maxseq.get(read_start, -1) < mark:
+                    continue  # zone map: no new reads spilled here
+                stats["cold_probes"] += 1
+                read_bucket = self._cold_bucket(False, read_start)
             for read, read_test, read_seq in read_bucket.iter_entries():
                 if read_seq < mark:
                     continue
@@ -164,6 +352,12 @@ class AccessIndex:
                 last = bisect.bisect_left(starts, read.end)
                 for i in range(first, last):
                     write_bucket = writes[starts[i]]
+                    if spilled:
+                        if write_bucket is _COLD:
+                            stats["cold_probes"] += 1
+                            write_bucket = self._cold_bucket(True, starts[i])
+                        else:
+                            stats["hot_hits"] += 1
                     for write, write_test, _ in write_bucket.iter_entries():
                         lo = max(write.addr, read.addr)
                         hi = min(write.end, read.end)
@@ -176,12 +370,23 @@ class AccessIndex:
                                 lo=lo,
                                 hi=hi,
                             )
+                            # The generator only resumes here (or at the
+                            # second pass's yield), so this is the one
+                            # place a consumer's insert can first be
+                            # seen — before it corrupts the scan.
+                            if self._generation != gen:
+                                raise RuntimeError(_MUTATED)
         if mark <= 0:
             return
         self._refresh_read_starts()
         rstarts = self._read_starts
         reads = self._reads
         for write_start, write_bucket in self._writes.items():
+            if write_bucket is _COLD:
+                if self._write_maxseq.get(write_start, -1) < mark:
+                    continue  # zone map: no new writes spilled here
+                stats["cold_probes"] += 1
+                write_bucket = self._cold_bucket(True, write_start)
             for write, write_test, write_seq in write_bucket.iter_entries():
                 if write_seq < mark:
                     continue
@@ -190,6 +395,12 @@ class AccessIndex:
                 last = bisect.bisect_left(rstarts, write.end)
                 for i in range(first, last):
                     read_bucket = reads[rstarts[i]]
+                    if spilled:
+                        if read_bucket is _COLD:
+                            stats["cold_probes"] += 1
+                            read_bucket = self._cold_bucket(False, rstarts[i])
+                        else:
+                            stats["hot_hits"] += 1
                     for read, read_test, read_seq in read_bucket.iter_entries():
                         if read_seq >= mark:
                             continue  # already paired in the first pass
@@ -204,12 +415,25 @@ class AccessIndex:
                                 lo=lo,
                                 hi=hi,
                             )
+                            if self._generation != gen:
+                                raise RuntimeError(_MUTATED)
 
     # -- stats -------------------------------------------------------------------
 
     def counts(self) -> Tuple[int, int]:
         """(number of indexed writes, number of indexed reads) — O(1)."""
         return self._nwrites, self._nreads
+
+    def tier_counts(self) -> Tuple[int, int]:
+        """(hot-tier records, spill-eligible records) — O(1).
+
+        In pure-memory mode everything is "hot": returns
+        ``(total, total)``.
+        """
+        total = self._nwrites + self._nreads
+        if self.store is None:
+            return total, total
+        return self._hot_records, total
 
     def _refresh_starts(self) -> None:
         if self._starts_dirty or len(self._write_starts) != len(self._writes):

@@ -1,13 +1,14 @@
 """Tests for the access index and Algorithm 1 (PMC identification),
 including their incremental (delta) forms."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fuzz.prog import Program
 from repro.machine.accesses import AccessType
 from repro.pmc.identify import PmcSet, identify_delta, identify_pmcs
-from repro.pmc.index import AccessIndex
+from repro.pmc.index import MAX_ACCESS_SIZE, AccessIndex
 from repro.pmc.model import PMC, AccessKey
 from repro.profile.profiler import ProfiledAccess, TestProfile
 
@@ -177,6 +178,110 @@ class TestAccessIndexIncremental:
         index.insert(pa("R", 0x200, 4, 3, "r:2"), test_id=1)
         assert index.counts() == (1, 2)
 
+    def test_access_at_mark_is_new_in_pass_one(self):
+        """An access whose seq is *exactly* the mark counts as new: the
+        pass-1 filter is ``read_seq < mark: continue``."""
+        index = AccessIndex()
+        index.insert(pa("W", 0x100, 8, 1, "w:old"), test_id=0)  # seq 0
+        mark = index.mark()  # == 1
+        index.insert(pa("R", 0x100, 8, 2, "r:atmark"), test_id=1)  # seq 1 == mark
+        delta = [(o.write.ins, o.read.ins) for o in index.read_write_overlaps_since(mark)]
+        assert delta == [("w:old", "r:atmark")]
+
+    def test_read_at_mark_excluded_from_pass_two(self):
+        """Pass 2 pairs new writes with *old* reads only: a read whose
+        seq is exactly the mark was already handled by pass 1
+        (``read_seq >= mark`` exclusion), so its pair with the new write
+        must appear exactly once."""
+        index = AccessIndex()
+        index.insert(pa("R", 0x100, 8, 1, "r:old"), test_id=0)  # seq 0
+        mark = index.mark()  # == 1
+        index.insert(pa("R", 0x100, 8, 2, "r:atmark"), test_id=1)  # seq 1 == mark
+        index.insert(pa("W", 0x100, 8, 3, "w:new"), test_id=2)  # seq 2
+        delta = [(o.write.ins, o.read.ins) for o in index.read_write_overlaps_since(mark)]
+        # Pass 1: the at-mark read x all writes; pass 2: the new write x
+        # strictly-old reads.  (w:new, r:atmark) appears exactly once.
+        assert sorted(delta) == [("w:new", "r:atmark"), ("w:new", "r:old")]
+
+    def test_write_at_mark_is_new_in_pass_two(self):
+        index = AccessIndex()
+        index.insert(pa("R", 0x100, 8, 1, "r:old"), test_id=0)  # seq 0
+        mark = index.mark()  # == 1
+        index.insert(pa("W", 0x100, 8, 2, "w:atmark"), test_id=1)  # seq 1 == mark
+        delta = [(o.write.ins, o.read.ins) for o in index.read_write_overlaps_since(mark)]
+        assert delta == [("w:atmark", "r:old")]
+
+
+class TestInsertValidation:
+    """Oversized/empty accesses must be rejected, not silently lost.
+
+    The scan's bisect window assumes ``size <= MAX_ACCESS_SIZE``: an
+    oversized access used to be indexed but its overlaps never scanned;
+    a non-positive size can never satisfy ``lo < hi`` yet still bumped
+    ``counts()``."""
+
+    @pytest.mark.parametrize("size", [0, -1, MAX_ACCESS_SIZE + 1, 1000])
+    def test_bad_sizes_raise_value_error(self, size):
+        index = AccessIndex()
+        with pytest.raises(ValueError):
+            index.insert(pa("W", 0x100, size, 1, "w:1"), test_id=0)
+        with pytest.raises(ValueError):
+            index.insert(pa("R", 0x100, size, 1, "r:1"), test_id=0)
+        assert index.counts() == (0, 0)
+        assert list(index.read_write_overlaps()) == []
+
+    def test_boundary_sizes_accepted(self):
+        index = AccessIndex()
+        index.insert(pa("W", 0x100, 1, 1, "w:1"), test_id=0)
+        index.insert(pa("R", 0x100, MAX_ACCESS_SIZE, 2, "r:1"), test_id=1)
+        assert len(list(index.read_write_overlaps())) == 1
+
+
+class TestMutationDuringScan:
+    """Inserting while an overlap scan is live raises instead of
+    silently probing the scan's stale start-address snapshot."""
+
+    @staticmethod
+    def _index():
+        index = AccessIndex()
+        index.insert(pa("W", 0x100, 4, 1, "w:1"), test_id=0)
+        index.insert(pa("R", 0x100, 4, 2, "r:1"), test_id=1)
+        index.insert(pa("R", 0x102, 4, 2, "r:2"), test_id=1)
+        return index
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            pa("R", 0x100, 4, 9, "r:new"),  # existing bucket: no dict growth
+            pa("W", 0x900, 4, 9, "w:new"),  # new write addr: stale starts
+            pa("R", 0x900, 4, 9, "r:new"),  # new read addr
+        ],
+        ids=["same-bucket", "new-write-start", "new-read-start"],
+    )
+    def test_insert_mid_scan_raises(self, mutation):
+        index = self._index()
+        scan = index.read_write_overlaps()
+        next(scan)
+        index.insert(mutation, test_id=2)
+        with pytest.raises(RuntimeError, match="index mutated during overlap scan"):
+            list(scan)
+
+    def test_insert_mid_delta_scan_raises(self):
+        index = self._index()
+        mark = index.mark()
+        index.insert(pa("W", 0x102, 4, 5, "w:2"), test_id=2)
+        scan = index.read_write_overlaps_since(mark)
+        next(scan)  # a pass-2 overlap (new write x old read)
+        index.insert(pa("W", 0x104, 4, 6, "w:3"), test_id=3)
+        with pytest.raises(RuntimeError, match="index mutated during overlap scan"):
+            list(scan)
+
+    def test_exhausted_scan_then_insert_is_fine(self):
+        index = self._index()
+        list(index.read_write_overlaps())
+        index.insert(pa("W", 0x104, 4, 5, "w:2"), test_id=2)
+        assert len(list(index.read_write_overlaps())) > 0
+
 
 @given(
     accesses=st.lists(
@@ -275,6 +380,41 @@ class TestIdentifyDelta:
         identify_delta(pmcset, index, [profile(1, pa("R", 0x100, 8, 0, "r:1"))])
         assert [p.test_id for p in pmcset.profiles] == [0, 1]
         assert pmcset.profile_by_id(1).test_id == 1
+
+    def test_extend_profiles_extends_built_index_incrementally(self):
+        """Once ``_profile_index`` is built, extend_profiles keeps it in
+        sync instead of discarding it — no O(corpus) rebuild per round."""
+        pmcset = PmcSet()
+        index = AccessIndex()
+        identify_delta(pmcset, index, [profile(0, pa("W", 0x100, 8, 1, "w:1"))])
+        assert pmcset.profile_by_id(0).test_id == 0  # forces index build
+        built = pmcset._profile_index
+        assert built is not None
+        identify_delta(pmcset, index, [profile(1, pa("R", 0x100, 8, 0, "r:1"))])
+        assert pmcset._profile_index is built  # same dict, extended in place
+        assert pmcset.profile_by_id(1).test_id == 1
+
+    def test_extend_profiles_first_profile_still_wins(self):
+        """Duplicate test_ids resolve to the earliest profile, matching
+        the full-rebuild path's ``setdefault`` semantics."""
+        early = profile(0, pa("W", 0x100, 8, 1, "w:early"))
+        late = profile(0, pa("W", 0x100, 8, 2, "w:late"))
+        # Index built before the duplicate arrives (incremental path):
+        pmcset = PmcSet()
+        pmcset.extend_profiles([early])
+        assert pmcset.profile_by_id(0) is early
+        pmcset.extend_profiles([late])
+        assert pmcset.profile_by_id(0) is early
+        # Index built after (rebuild path) must agree:
+        rebuilt = PmcSet()
+        rebuilt.extend_profiles([early])
+        rebuilt.extend_profiles([late])
+        assert rebuilt.profile_by_id(0) is early
+
+    def test_extend_profiles_accepts_tuple_seeded_set(self):
+        seeded = PmcSet(profiles=(profile(0, pa("W", 0x100, 8, 1, "w:1")),))
+        seeded.extend_profiles([profile(1, pa("R", 0x100, 8, 0, "r:1"))])
+        assert [p.test_id for p in seeded.profiles] == [0, 1]
 
 
 def _access_strategy():

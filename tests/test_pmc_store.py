@@ -1,0 +1,593 @@
+"""The out-of-core tiered PMC store (DESIGN.md §2.14).
+
+Contracts pinned here:
+
+* **Record codec** — appended accesses round-trip the fixed-width
+  36-byte record bit for bit, including u64 extremes and both flag bits.
+* **Lifecycle** — reopening adopts a matching manifest (truncating torn
+  segment tails past the checkpoint); a different fingerprint or shard
+  geometry wipes the directory instead of adopting a foreign stream.
+* **Checkpoint digests** — flush-boundary independent, recorded in a
+  history so a resumed campaign re-deriving an old round gets the
+  *historical* digest back, and a divergent stream raises StoreError.
+* **Golden equivalence** — a spilled campaign with the hot tier forced
+  to a fraction of the access set produces the bit-identical summary,
+  repro packages, round log and funnel totals of the in-memory run,
+  with non-zero tier traffic reported by ``repro stats``; kill/resume
+  of a spilled campaign lands on the same summary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.prog import Program
+from repro.machine.accesses import AccessType
+from repro.obs import MemorySink, Observer
+from repro.obs.stats import aggregate_trace, funnel_totals, store_tiers
+from repro.orchestrate.pipeline import Snowboard, SnowboardConfig
+from repro.pmc.index import AccessIndex
+from repro.pmc.store import (
+    MANIFEST_NAME,
+    RECORD_SIZE,
+    AccessStore,
+    StoreError,
+)
+from repro.profile.profiler import ProfiledAccess, TestProfile
+
+EMPTY = Program(())
+
+
+def pa(type, addr, size, value, ins, df=False):
+    return ProfiledAccess(
+        type=AccessType.READ if type == "R" else AccessType.WRITE,
+        addr=addr,
+        size=size,
+        value=value,
+        ins=ins,
+        df_leader=df,
+    )
+
+
+def profile(test_id, *accesses):
+    return TestProfile(
+        test_id=test_id, program=EMPTY, accesses=tuple(accesses), instructions=0
+    )
+
+
+class TestRecordCodec:
+    def test_round_trip_including_flags_and_u64_extremes(self, tmp_path):
+        store = AccessStore.open(str(tmp_path))
+        accesses = [
+            (pa("W", 0x100, 8, (1 << 64) - 1, "w:max", df=True), 7, 0),
+            (pa("R", 0x100, 1, 0, "r:zero"), (1 << 32) - 1, 1),
+            (pa("W", (1 << 64) - 8, 8, 0xDEADBEEF, "w:hi"), 0, 2),
+        ]
+        for access, test_id, seq in accesses:
+            store.append(access, test_id, seq)
+        store.flush()
+        for access, test_id, seq in accesses:
+            ((got, got_test, got_seq),) = store.load_bucket(
+                access.is_write, access.addr
+            )
+            assert got == access
+            assert (got_test, got_seq) == (test_id, seq)
+
+    def test_record_is_36_bytes(self):
+        assert RECORD_SIZE == 36
+
+    def test_segment_holds_fixed_width_records(self, tmp_path):
+        store = AccessStore.open(str(tmp_path))
+        for seq in range(5):
+            store.append(pa("W", 0x100 + seq, 4, seq, f"w:{seq}"), 0, seq)
+        store.flush()
+        sizes = [
+            os.path.getsize(tmp_path / name)
+            for name in os.listdir(tmp_path)
+            if name.endswith(".seg")
+        ]
+        assert sum(sizes) == 5 * RECORD_SIZE
+
+    def test_oversized_values_raise(self, tmp_path):
+        store = AccessStore.open(str(tmp_path))
+        with pytest.raises(StoreError):
+            store.append(pa("W", 0x100, 8, 1 << 64, "w:big"), 0, 0)
+        with pytest.raises(StoreError):
+            store.append(pa("W", 0x100, 8, 1, "w:1"), 1 << 32, 0)
+
+    def test_pending_visible_before_flush(self, tmp_path):
+        store = AccessStore.open(str(tmp_path))
+        store.append(pa("W", 0x100, 4, 1, "w:1"), 0, 0)
+        ((access, _, _),) = store.load_bucket(True, 0x100)
+        assert access.value == 1
+
+    def test_durable_and_pending_merge_in_seq_order(self, tmp_path):
+        store = AccessStore.open(str(tmp_path))
+        store.append(pa("W", 0x100, 4, 1, "w:1"), 0, 0)
+        store.flush()
+        store.append(pa("W", 0x100, 4, 2, "w:2"), 1, 1)
+        records = store.load_bucket(True, 0x100)
+        assert [seq for _, _, seq in records] == [0, 1]
+
+    def test_auto_flush_at_pending_limit(self, tmp_path):
+        store = AccessStore.open(str(tmp_path), pending_limit=3)
+        for seq in range(3):
+            store.append(pa("W", 0x100, 4, seq, f"w:{seq}"), 0, seq)
+        assert store._pending_records == 0  # limit hit -> flushed
+        assert [seq for _, _, seq in store.load_bucket(True, 0x100)] == [0, 1, 2]
+
+
+class TestLifecycle:
+    @staticmethod
+    def _populate(root, n=8):
+        store = AccessStore.open(root)
+        for seq in range(n):
+            store.append(pa("W", 0x100 + 8 * seq, 4, seq, f"w:{seq}"), seq, seq)
+        digest = store.checkpoint(n)
+        return store, digest
+
+    def test_reopen_adopts_matching_manifest(self, tmp_path):
+        root = str(tmp_path)
+        _, digest = self._populate(root)
+        reopened = AccessStore.open(root)
+        assert reopened.durable_seq == 8
+        assert reopened.manifest_digest == digest
+        assert reopened.stats["spilled_records"] == 8
+        ((access, _, seq),) = reopened.load_bucket(True, 0x100)
+        assert (access.value, seq) == (0, 0)
+
+    def test_reopen_truncates_torn_tail(self, tmp_path):
+        root = str(tmp_path)
+        store, _ = self._populate(root)
+        # Un-checkpointed appends, flushed to disk but past the manifest.
+        store.append(pa("W", 0x100, 4, 99, "w:torn"), 99, 8)
+        store.flush()
+        reopened = AccessStore.open(root)
+        records = reopened.load_bucket(True, 0x100)
+        assert [value for (a, _, _) in records for value in [a.value]] == [0]
+
+    def test_resume_skips_durable_prefix(self, tmp_path):
+        """Re-appending the already-durable insert stream must not
+        duplicate records, and the replayed string table must align
+        interned ids with what is on disk."""
+        root = str(tmp_path)
+        self._populate(root)
+        reopened = AccessStore.open(root)
+        for seq in range(10):  # replay 0..7, then genuinely new 8..9
+            reopened.append(pa("W", 0x100 + 8 * seq, 4, seq, f"w:{seq}"), seq, seq)
+        reopened.flush()
+        for seq in range(10):
+            ((access, _, _),) = reopened.load_bucket(True, 0x100 + 8 * seq)
+            assert access.ins == f"w:{seq}"
+
+    def test_fingerprint_mismatch_wipes(self, tmp_path):
+        root = str(tmp_path)
+        store = AccessStore.open(root, fingerprint={"seed": 7})
+        store.append(pa("W", 0x100, 4, 1, "w:1"), 0, 0)
+        store.checkpoint(1)
+        other = AccessStore.open(root, fingerprint={"seed": 8})
+        assert other.durable_seq == 0
+        assert other.load_bucket(True, 0x100) == []
+        assert not os.path.exists(tmp_path / MANIFEST_NAME)
+
+    def test_shard_geometry_mismatch_wipes(self, tmp_path):
+        root = str(tmp_path)
+        self._populate(root)
+        other = AccessStore.open(root, shard_shift=6)
+        assert other.durable_seq == 0
+
+    def test_short_segment_raises(self, tmp_path):
+        root = str(tmp_path)
+        self._populate(root)
+        (seg,) = [n for n in os.listdir(root) if n.endswith(".seg")]
+        with open(os.path.join(root, seg), "r+b") as handle:
+            handle.truncate(RECORD_SIZE)
+        with pytest.raises(StoreError, match="shorter"):
+            AccessStore.open(root)
+
+    def test_misaligned_manifest_length_raises(self, tmp_path):
+        root = str(tmp_path)
+        self._populate(root)
+        path = os.path.join(root, MANIFEST_NAME)
+        with open(path) as handle:
+            manifest = json.load(handle)
+        manifest["shards"][0]["length"] += 1
+        with open(path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(StoreError, match="whole number of records"):
+            AccessStore.open(root)
+
+
+class TestCheckpointDigests:
+    def test_digest_independent_of_flush_boundaries(self, tmp_path):
+        stream = [
+            (pa("W", 0x100 + 8 * seq, 4, seq, f"w:{seq}"), seq, seq)
+            for seq in range(10)
+        ]
+        digests = []
+        for limit in (1, 4, 1000):  # flush every record / sometimes / never
+            root = str(tmp_path / f"lim{limit}")
+            store = AccessStore.open(root, pending_limit=limit)
+            for access, test_id, seq in stream:
+                store.append(access, test_id, seq)
+            digests.append(store.checkpoint(10))
+        assert len(set(digests)) == 1
+
+    def test_historical_digest_returned_on_reopen(self, tmp_path):
+        root = str(tmp_path)
+        store = AccessStore.open(root)
+        store.append(pa("W", 0x100, 4, 1, "w:1"), 0, 0)
+        round1 = store.checkpoint(1)
+        store.append(pa("W", 0x108, 4, 2, "w:2"), 1, 1)
+        round2 = store.checkpoint(2)
+        assert round1 != round2
+        # A resumed campaign replays the stream and re-checkpoints every
+        # round boundary; old rounds must yield their *original* digest.
+        reopened = AccessStore.open(root)
+        reopened.append(pa("W", 0x100, 4, 1, "w:1"), 0, 0)
+        assert reopened.checkpoint(1) == round1
+        reopened.append(pa("W", 0x108, 4, 2, "w:2"), 1, 1)
+        assert reopened.checkpoint(2) == round2
+
+    def test_unknown_historical_checkpoint_is_divergence(self, tmp_path):
+        root = str(tmp_path)
+        store = AccessStore.open(root)
+        store.append(pa("W", 0x100, 4, 1, "w:1"), 0, 0)
+        store.append(pa("W", 0x108, 4, 2, "w:2"), 1, 1)
+        store.checkpoint(2)
+        reopened = AccessStore.open(root)
+        with pytest.raises(StoreError, match="diverges"):
+            reopened.checkpoint(1)  # never checkpointed at seq 1
+
+    def test_checkpoint_below_watermark_raises(self, tmp_path):
+        store = AccessStore.open(str(tmp_path))
+        store.append(pa("W", 0x100, 4, 1, "w:1"), 0, 0)
+        store.append(pa("W", 0x108, 4, 2, "w:2"), 1, 1)
+        with pytest.raises(StoreError, match="already appended"):
+            store.checkpoint(1)
+
+    def test_manifest_digest_empty_before_checkpoint(self, tmp_path):
+        store = AccessStore.open(str(tmp_path))
+        assert store.manifest_digest == ""
+        store.append(pa("W", 0x100, 4, 1, "w:1"), 0, 0)
+        digest = store.checkpoint(1)
+        assert store.manifest_digest == digest
+
+
+# -- spilled index == in-memory index, bit for bit ----------------------------
+
+
+def _spilled_index(tmp_path, name="spill"):
+    """An index with an aggressively tiny hot tier and shard geometry,
+    so even small corpora exercise eviction, cold probes and multiple
+    segment files."""
+    store = AccessStore.open(
+        str(tmp_path / name), shard_shift=4, pending_limit=5, shard_cache_size=2
+    )
+    return AccessIndex(store=store, hot_capacity=4, cold_cache_size=2)
+
+
+def _access_stream():
+    return st.lists(
+        st.tuples(
+            st.booleans(),  # is_write
+            st.integers(min_value=0, max_value=64),  # addr
+            st.integers(min_value=1, max_value=8),  # size
+            st.integers(min_value=0, max_value=3),  # value
+        ),
+        max_size=24,
+    )
+
+
+@given(accesses=_access_stream(), cuts=st.lists(st.integers(0, 24), max_size=3))
+@settings(max_examples=60, deadline=None)
+def test_property_spilled_delta_scans_identical_to_memory(
+    tmp_path_factory, accesses, cuts
+):
+    """Across *any* split of the insert stream into delta rounds, the
+    spilled index yields the same overlaps in the same order as the
+    in-memory index, and each pair exactly once."""
+    built = [
+        pa("W" if w else "R", addr, size, value, f"{'w' if w else 'r'}:{i}")
+        for i, (w, addr, size, value) in enumerate(accesses)
+    ]
+    bounds = sorted(min(c, len(built)) for c in cuts)
+    chunks = []
+    prev = 0
+    for bound in bounds + [len(built)]:
+        chunks.append(built[prev:bound])
+        prev = bound
+
+    memory = AccessIndex()
+    spilled = _spilled_index(tmp_path_factory.mktemp("prop"))
+    memory_pairs = []
+    spilled_pairs = []
+    for chunk in chunks:
+        marks = (memory.mark(), spilled.mark())
+        for i, access in enumerate(chunk):
+            memory.insert(access, test_id=i)
+            spilled.insert(access, test_id=i)
+        memory_pairs.append(
+            [
+                (o.write.ins, o.read.ins, o.lo, o.hi)
+                for o in memory.read_write_overlaps_since(marks[0])
+            ]
+        )
+        spilled_pairs.append(
+            [
+                (o.write.ins, o.read.ins, o.lo, o.hi)
+                for o in spilled.read_write_overlaps_since(marks[1])
+            ]
+        )
+    assert spilled_pairs == memory_pairs  # same overlaps, same order
+    flat = [pair for round_pairs in spilled_pairs for pair in round_pairs]
+    assert sorted(flat) == sorted(
+        (o.write.ins, o.read.ins, o.lo, o.hi)
+        for o in memory.read_write_overlaps()
+    )  # exactly once across rounds
+
+
+@given(accesses=_access_stream(), split=st.integers(0, 24))
+@settings(max_examples=40, deadline=None)
+def test_property_spill_restore_preserves_pair_exactly_once(
+    tmp_path_factory, accesses, split
+):
+    """Kill/resume across an arbitrary round split: round 1 inserts are
+    checkpointed, the store is reopened cold, round 1's stream is
+    replayed (skipped as durable) and round 2 proceeds — the delta scans
+    must still partition the full scan exactly."""
+    split = min(split, len(accesses))
+    built = [
+        pa("W" if w else "R", addr, size, value, f"{'w' if w else 'r'}:{i}")
+        for i, (w, addr, size, value) in enumerate(accesses)
+    ]
+    tmp = tmp_path_factory.mktemp("restore")
+
+    index = _spilled_index(tmp)
+    pairs = []
+    for i, access in enumerate(built[:split]):
+        index.insert(access, test_id=i)
+    pairs.extend(
+        (o.write.ins, o.read.ins) for o in index.read_write_overlaps_since(0)
+    )
+    round1_digest = index.checkpoint()
+    index.store.close()
+
+    # Fresh process: reopen the store, replay round 1 (durable prefix,
+    # append skips it), then run round 2 for real.
+    store = AccessStore.open(
+        str(tmp / "spill"), shard_shift=4, pending_limit=5, shard_cache_size=2
+    )
+    resumed = AccessIndex(store=store, hot_capacity=4, cold_cache_size=2)
+    for i, access in enumerate(built[:split]):
+        resumed.insert(access, test_id=i)
+    assert resumed.checkpoint() == round1_digest
+    mark = resumed.mark()
+    for i, access in enumerate(built[split:]):
+        resumed.insert(access, test_id=i)
+    pairs.extend(
+        (o.write.ins, o.read.ins)
+        for o in resumed.read_write_overlaps_since(mark)
+    )
+
+    memory = AccessIndex()
+    for i, access in enumerate(built):
+        memory.insert(access, test_id=i)
+    full = [(o.write.ins, o.read.ins) for o in memory.read_write_overlaps()]
+    assert sorted(pairs) == sorted(full)
+
+
+class TestIndexSpillMechanics:
+    def test_eviction_keeps_scan_order(self, tmp_path):
+        index = _spilled_index(tmp_path)
+        memory = AccessIndex()
+        stream = [
+            pa("W", 16 * i, 8, i, f"w:{i}") for i in range(8)
+        ] + [pa("R", 16 * i + 4, 8, 100 + i, f"r:{i}") for i in range(8)]
+        for i, access in enumerate(stream):
+            index.insert(access, test_id=i)
+            memory.insert(access, test_id=i)
+        assert index.store.stats["evictions"] > 0
+        spilled = [(o.write.ins, o.read.ins) for o in index.read_write_overlaps()]
+        in_mem = [(o.write.ins, o.read.ins) for o in memory.read_write_overlaps()]
+        assert spilled == in_mem
+
+    def test_tier_counts_bounded_by_capacity_plus_last_bucket(self, tmp_path):
+        index = _spilled_index(tmp_path)
+        for i in range(20):
+            index.insert(pa("W", 16 * i, 4, i, f"w:{i}"), test_id=i)
+        hot, total = index.tier_counts()
+        assert total == 20
+        assert hot <= index.hot_capacity + 1  # the just-touched bucket stays
+
+    def test_hot_capacity_without_store_rejected(self):
+        with pytest.raises(ValueError):
+            AccessIndex(hot_capacity=10)
+
+    def test_memory_mode_checkpoint_is_empty_string(self):
+        assert AccessIndex().checkpoint() == ""
+
+    def test_spill_dir_convenience_opens_store(self, tmp_path):
+        index = AccessIndex(spill_dir=str(tmp_path / "spill"))
+        index.insert(pa("W", 0x100, 4, 1, "w:1"), test_id=0)
+        index.checkpoint()
+        assert os.path.exists(tmp_path / "spill" / MANIFEST_NAME)
+
+
+# -- the golden spilled campaign ----------------------------------------------
+
+CONFIG = SnowboardConfig(
+    seed=7, corpus_budget=120, trials_per_pmc=8, max_instructions=40_000
+)
+STRATEGY = "S-INS-PAIR"
+ROUNDS = 2
+ROUND_BUDGET = 4
+GROWTH = 40
+
+
+class Killed(BaseException):
+    """Stands in for SIGKILL: not an Exception, nothing may catch it."""
+
+
+def _spilled_config(tmp_path, hot_records):
+    return dataclasses.replace(
+        CONFIG,
+        pmc_spill_dir=str(tmp_path / "pmcstore"),
+        pmc_hot_records=hot_records,
+    )
+
+
+@pytest.fixture(scope="module")
+def in_memory():
+    sb = Snowboard(CONFIG).prepare()
+    campaign = sb.run_rounds(
+        ROUNDS, ROUND_BUDGET, strategy=STRATEGY, corpus_growth=GROWTH
+    )
+    return sb, campaign
+
+
+@pytest.fixture(scope="module")
+def hot_tenth(in_memory):
+    """Hot capacity forced to ~1/10 of the in-memory access set."""
+    writes, reads = in_memory[0].state.index.counts()
+    return max(1, (writes + reads) // 10)
+
+
+@pytest.fixture(scope="module")
+def spilled(in_memory, hot_tenth, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("golden")
+    sb = Snowboard(_spilled_config(tmp, hot_tenth)).prepare()
+    campaign = sb.run_rounds(
+        ROUNDS, ROUND_BUDGET, strategy=STRATEGY, corpus_growth=GROWTH
+    )
+    return sb, campaign
+
+
+class TestSpilledCampaignGolden:
+    def test_summary_bit_identical(self, in_memory, spilled):
+        assert spilled[1].summary() == in_memory[1].summary()
+
+    def test_repro_packages_identical(self, in_memory, spilled):
+        memory_sb, spilled_sb = in_memory[0], spilled[0]
+        assert set(spilled_sb.repro_packages) == set(memory_sb.repro_packages)
+        for bug_id, package in memory_sb.repro_packages.items():
+            assert spilled_sb.repro_packages[bug_id].to_json() == package.to_json()
+
+    def test_round_log_identical_modulo_store_digest(self, in_memory, spilled):
+        stripped = [
+            dataclasses.replace(info, store_digest="")
+            for info in spilled[0].state.rounds_log
+        ]
+        assert stripped == in_memory[0].state.rounds_log
+        assert all(info.store_digest for info in spilled[0].state.rounds_log)
+
+    def test_spill_actually_happened(self, in_memory, spilled, hot_tenth):
+        stats = spilled[0].state.index.store.stats
+        assert stats["evictions"] > 0
+        assert stats["cold_probes"] > 0
+        assert stats["spilled_records"] >= sum(in_memory[0].state.index.counts())
+        hot, total = spilled[0].state.index.tier_counts()
+        assert total >= 10 * hot_tenth - 10  # the forced 1/10 ratio held
+        manifest = os.path.join(spilled[0].config.pmc_spill_dir, MANIFEST_NAME)
+        assert os.path.exists(manifest)
+
+    def test_funnel_totals_bit_identical_and_tiers_reported(
+        self, hot_tenth, tmp_path
+    ):
+        sinks = []
+        for config in (CONFIG, _spilled_config(tmp_path, hot_tenth)):
+            sink = MemorySink()
+            sb = Snowboard(config, observer=Observer(sink))
+            sb.run_rounds(ROUNDS, ROUND_BUDGET, strategy=STRATEGY, corpus_growth=GROWTH)
+            sinks.append(sink)
+        stats = [aggregate_trace({}, s.events) for s in sinks]
+        totals = [funnel_totals(s) for s in stats]
+        assert totals[0] == totals[1]
+        assert totals[0]  # not vacuously equal
+        assert store_tiers(stats[0]) is None  # in-memory: no tier table
+        tiers = store_tiers(stats[1])
+        assert tiers is not None
+        assert tiers["evictions"] > 0
+        assert 0.0 <= tiers["hot_rate"] <= 1.0
+
+    def test_spilled_kill_and_resume(self, in_memory, hot_tenth, tmp_path):
+        """Killed mid-round-2, resumed from the journal + store manifest:
+        bit-identical summary, and the round records' store digests
+        verify against the store's checkpoint history."""
+        config = _spilled_config(tmp_path, hot_tenth)
+        journal = str(tmp_path / "journal.jsonl")
+        kill_after = in_memory[0].state.rounds_log[0].ntests + 2
+
+        sb = Snowboard(config).prepare()
+        original = Snowboard.execute_test
+        calls = {"n": 0}
+
+        def dying(self, *args, **kwargs):
+            if calls["n"] >= kill_after:
+                raise Killed()
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(Snowboard, "execute_test", dying)
+            with pytest.raises(Killed):
+                sb.run_rounds(
+                    ROUNDS,
+                    ROUND_BUDGET,
+                    strategy=STRATEGY,
+                    corpus_growth=GROWTH,
+                    checkpoint_path=journal,
+                )
+
+        resumed_sb = Snowboard(config).prepare()
+        resumed = resumed_sb.run_rounds(
+            ROUNDS,
+            ROUND_BUDGET,
+            strategy=STRATEGY,
+            corpus_growth=GROWTH,
+            checkpoint_path=journal,
+            resume=True,
+        )
+        assert resumed.summary() == in_memory[1].summary()
+        stripped = [
+            dataclasses.replace(info, store_digest="")
+            for info in resumed_sb.state.rounds_log
+        ]
+        assert stripped == in_memory[0].state.rounds_log
+
+
+class TestStoreCli:
+    def test_hot_mb_requires_spill_dir(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "--pmc-hot-mb", "1"]) == 2
+        assert "--pmc-spill-dir" in capsys.readouterr().err
+
+    def test_spilled_campaign_via_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "campaign",
+                "--strategy",
+                STRATEGY,
+                "--budget",
+                "2",
+                "--rounds",
+                "1",
+                "--seed",
+                "7",
+                "--pmc-spill-dir",
+                str(tmp_path / "spill"),
+                "--pmc-hot-mb",
+                "0.001",
+            ]
+        )
+        assert rc == 0
+        assert os.path.exists(tmp_path / "spill" / MANIFEST_NAME)
