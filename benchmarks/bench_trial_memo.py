@@ -1,0 +1,159 @@
+"""Experiment — sequential-prefix fork memoization and commuting pruning.
+
+Stage 4 re-executes the writer's deterministic sequential prefix on
+every trial of a task; prefix fork memoization (DESIGN §2.15) replaces
+that re-execution with a delta-snapshot fork, and commuting-schedule
+pruning drops trials whose first switch provably lands in an
+already-tested commuting class.  This bench pins the two acceptance
+figures of the optimisation:
+
+* ``memo_speedup`` — campaign executions/min with memoization over the
+  identical campaign without it (same seeds, bit-identical results).
+  Floor: 1.3x.
+* ``instr_per_obs_reduction_pct`` — how many fewer instructions the
+  memoized *and pruned* campaign spends per observation than the
+  unoptimised one, with the bug table and observation count unchanged.
+  Floor: 30%, and any Table-2 yield loss fails the measurement outright.
+
+Results are appended to ``BENCH_trial_memo.json`` at the repo root;
+``scripts/bench_gate.py`` gates both figures against the stored
+quick-mode baseline like every other trajectory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict
+
+from bench_hot_path import append_record, load_results  # noqa: F401  (re-exported)
+from repro.orchestrate.pipeline import Snowboard, SnowboardConfig
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_trial_memo.json")
+
+# Quick mode: the CI-gate workload.  trials_per_pmc is deliberately above
+# the golden-test budget — memoization amortises the prefix recording
+# over a task's trials, and pruning needs enough budget to bite.
+QUICK_PARAMS = dict(
+    seed=7, corpus_budget=120, trials_per_pmc=24, test_budget=10, reps=2
+)
+
+# Full mode: a longer campaign for the bench session.
+FULL_PARAMS = dict(
+    seed=7, corpus_budget=120, trials_per_pmc=48, test_budget=10, reps=2
+)
+
+#: Acceptance floors (ISSUE 8): memoization alone must buy 1.3x
+#: executions/min; memoization+pruning must cut instructions per
+#: observation by 30% without losing a single bug or observation.
+SPEEDUP_FLOOR = 1.3
+REDUCTION_FLOOR_PCT = 30.0
+
+#: The figures the regression gate compares (higher is better).
+THROUGHPUT_KEYS = ("memo_speedup", "instr_per_obs_reduction_pct", "memo_executions_per_min")
+
+
+def _campaign(seed, corpus_budget, trials_per_pmc, test_budget, prefix_fork, prune):
+    config = SnowboardConfig(
+        seed=seed,
+        corpus_budget=corpus_budget,
+        trials_per_pmc=trials_per_pmc,
+        prefix_fork=prefix_fork,
+        prune_commuting=prune,
+    )
+    snowboard = Snowboard(config).prepare()
+    start = time.perf_counter()
+    campaign = snowboard.run_campaign("S-INS-PAIR", test_budget=test_budget)
+    return campaign, time.perf_counter() - start
+
+
+def _best_of(reps, **kwargs):
+    """Best wall time over ``reps`` identical runs (noise suppression);
+    the campaign itself is deterministic, so any run's summary serves."""
+    best = None
+    for _ in range(max(1, reps)):
+        campaign, wall = _campaign(**kwargs)
+        if best is None or wall < best[1]:
+            best = (campaign, wall)
+    return best
+
+
+def measure_trial_memo(
+    seed: int, corpus_budget: int, trials_per_pmc: int, test_budget: int, reps: int = 2
+) -> Dict[str, object]:
+    """Measure both acceptance figures on one fixed-seed campaign.
+
+    Raises AssertionError when a floor is missed or pruning loses yield —
+    the bench is the acceptance test, not just a trajectory writer.
+    """
+    workload = dict(
+        seed=seed,
+        corpus_budget=corpus_budget,
+        trials_per_pmc=trials_per_pmc,
+        test_budget=test_budget,
+    )
+    baseline, base_wall = _best_of(reps, prefix_fork=False, prune=False, **workload)
+    memoized, memo_wall = _best_of(reps, prefix_fork=True, prune=False, **workload)
+    pruned, pruned_wall = _best_of(reps, prefix_fork=True, prune=True, **workload)
+
+    base_summary = baseline.summary()
+    memo_summary = memoized.summary()
+    pruned_summary = pruned.summary()
+
+    # Memoization is invisible: identical campaign, cheaper wall clock.
+    assert memo_summary == base_summary, "memoization changed campaign results"
+    memo_epm = memoized.trials / memo_wall * 60.0
+    base_epm = baseline.trials / base_wall * 60.0
+    speedup = memo_epm / base_epm
+
+    # Pruning preserves yield: same bugs, same observations, fewer trials.
+    assert pruned_summary["bugs"] == base_summary["bugs"], (
+        f"pruning lost bugs: {base_summary['bugs']} -> {pruned_summary['bugs']}"
+    )
+    assert pruned_summary["observations"] == base_summary["observations"], (
+        "pruning lost observations"
+    )
+    ipo_base = baseline.instructions / max(1, base_summary["observations"])
+    ipo_pruned = pruned.instructions / max(1, pruned_summary["observations"])
+    reduction_pct = (1.0 - ipo_pruned / ipo_base) * 100.0
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"memoization speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor"
+    )
+    assert reduction_pct >= REDUCTION_FLOOR_PCT, (
+        f"instr/obs reduction {reduction_pct:.1f}% below the "
+        f"{REDUCTION_FLOOR_PCT}% floor"
+    )
+
+    return {
+        "baseline_wall_seconds": round(base_wall, 4),
+        "memo_wall_seconds": round(memo_wall, 4),
+        "pruned_wall_seconds": round(pruned_wall, 4),
+        "baseline_executions_per_min": round(base_epm, 1),
+        "memo_executions_per_min": round(memo_epm, 1),
+        "memo_speedup": round(speedup, 3),
+        "baseline_trials": baseline.trials,
+        "pruned_trials": pruned.trials,
+        "baseline_instructions": baseline.instructions,
+        "pruned_instructions": pruned.instructions,
+        "instr_per_obs_baseline": round(ipo_base, 1),
+        "instr_per_obs_pruned": round(ipo_pruned, 1),
+        "instr_per_obs_reduction_pct": round(reduction_pct, 1),
+        "bugs": dict(base_summary["bugs"]),
+        "observations": base_summary["observations"],
+    }
+
+
+def test_trial_memo_throughput():
+    """Measure and record the full-mode memoization/pruning figures."""
+    record = measure_trial_memo(**FULL_PARAMS)
+    append_record(record, mode="full", label="bench_trial_memo", path=RESULTS_PATH)
+    print(
+        f"\nmemo speedup: {record['memo_speedup']:.2f}x  "
+        f"instr/obs: {record['instr_per_obs_baseline']:,.0f} -> "
+        f"{record['instr_per_obs_pruned']:,.0f} "
+        f"(-{record['instr_per_obs_reduction_pct']:.0f}%)  "
+        f"trials: {record['baseline_trials']} -> {record['pruned_trials']}"
+    )
+    assert record["baseline_trials"] > record["pruned_trials"]

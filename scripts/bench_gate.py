@@ -3,8 +3,9 @@
 campaign engine, the worker fleets and the out-of-core PMC store.
 
 Runs the quick-mode workloads (``benchmarks/bench_hot_path.py``,
-``benchmarks/bench_incremental.py``, ``benchmarks/bench_fleet.py`` and
-``benchmarks/bench_pmc_store.py`` with their small CI configurations),
+``benchmarks/bench_incremental.py``, ``benchmarks/bench_fleet.py``,
+``benchmarks/bench_pmc_store.py`` and ``benchmarks/bench_trial_memo.py``
+with their small CI configurations),
 appends the dated records to the ``BENCH_*.json`` trajectories at the
 repo root, and fails when any gated figure drops more than
 :data:`TOLERANCE` below the stored quick-mode baseline.
@@ -35,6 +36,7 @@ import bench_fleet  # noqa: E402  (path setup above)
 import bench_hot_path  # noqa: E402
 import bench_incremental  # noqa: E402
 import bench_pmc_store  # noqa: E402
+import bench_trial_memo  # noqa: E402
 from bench_hot_path import append_record, load_results  # noqa: E402
 from repro.orchestrate.pipeline import Snowboard  # noqa: E402
 
@@ -77,6 +79,14 @@ BENCHES = (
             Snowboard(bench_pmc_store.QUICK_CONFIG),
             **bench_pmc_store.QUICK_PARAMS,
         ),
+    ),
+    (
+        "trial_memo",
+        bench_trial_memo.RESULTS_PATH,
+        bench_trial_memo.THROUGHPUT_KEYS,
+        # Builds its own Snowboard instances: the measurement compares
+        # memo-on, memo-off and pruned campaigns over one workload.
+        lambda: bench_trial_memo.measure_trial_memo(**bench_trial_memo.QUICK_PARAMS),
     ),
 )
 

@@ -39,12 +39,20 @@
 #                  segment files with the hot tier forced to 1/10 of the
 #                  access set is killed mid-round, then resumed from the
 #                  journal and the store manifest bit-identically.
-#  7. perf gate  — opt-in with PERF=1: the quick-mode hot-path,
-#                  incremental-engine, fleet and PMC-store benchmarks
-#                  fail on a >20% regression against the baselines in
-#                  BENCH_hot_path.json / BENCH_incremental.json /
-#                  BENCH_fleet.json / BENCH_pmc_store.json; the updated
-#                  trajectory JSONs are copied into $ARTIFACTS_DIR.
+#  7. smoke-memo — kill-and-resume for the pruned + prefix-memoized
+#                  trial path (scripts/smoke_trial_memo.py): a campaign
+#                  with --prune-commuting and prefix forking on is
+#                  checked for yield preservation against an unoptimised
+#                  reference, killed mid-campaign, and resumed to a
+#                  bit-identical summary.
+#  8. perf gate  — opt-in with PERF=1: the quick-mode hot-path,
+#                  incremental-engine, fleet, PMC-store and trial-memo
+#                  benchmarks fail on a >20% regression against the
+#                  baselines in BENCH_hot_path.json /
+#                  BENCH_incremental.json / BENCH_fleet.json /
+#                  BENCH_pmc_store.json / BENCH_trial_memo.json; the
+#                  updated trajectory JSONs are copied into
+#                  $ARTIFACTS_DIR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -76,7 +84,8 @@ SMOKE_CHECKPOINT="$ARTIFACTS_DIR/smoke_checkpoint.jsonl"
 rm -f "$SMOKE_TRACE" "$SMOKE_CHECKPOINT"
 python -m repro campaign \
     --strategy S-INS-PAIR --budget 4 --trials 4 --seed 7 --corpus 120 \
-    --workers 2 --checkpoint "$SMOKE_CHECKPOINT" --trace-out "$SMOKE_TRACE"
+    --workers 2 --prune-commuting \
+    --checkpoint "$SMOKE_CHECKPOINT" --trace-out "$SMOKE_TRACE"
 python -m repro stats "$SMOKE_TRACE"
 
 echo "== smoke: round-based kill-and-resume =="
@@ -94,11 +103,14 @@ python -m repro campaign \
 echo "== smoke: spilled PMC store kill-and-resume =="
 python scripts/smoke_store.py "$ARTIFACTS_DIR/smoke_store_work"
 
+echo "== smoke: pruned + memoized trial path kill-and-resume =="
+python scripts/smoke_trial_memo.py "$ARTIFACTS_DIR/smoke_trial_memo_checkpoint.jsonl"
+
 # Opt-in perf gate: PERF=1 scripts/ci.sh also runs the quick-mode
-# hot-path, incremental-engine, fleet and PMC-store benchmarks and
-# fails on a >20% regression against the baselines recorded in
-# BENCH_hot_path.json, BENCH_incremental.json, BENCH_fleet.json and
-# BENCH_pmc_store.json.
+# hot-path, incremental-engine, fleet, PMC-store and trial-memo
+# benchmarks and fails on a >20% regression against the baselines
+# recorded in BENCH_hot_path.json, BENCH_incremental.json,
+# BENCH_fleet.json, BENCH_pmc_store.json and BENCH_trial_memo.json.
 if [[ "${PERF:-0}" == "1" ]]; then
     echo "== perf gate: scripts/bench_gate.py (quick mode) =="
     python scripts/bench_gate.py
@@ -106,6 +118,7 @@ if [[ "${PERF:-0}" == "1" ]]; then
     cp BENCH_incremental.json "$ARTIFACTS_DIR/BENCH_incremental.json"
     cp BENCH_fleet.json "$ARTIFACTS_DIR/BENCH_fleet.json"
     cp BENCH_pmc_store.json "$ARTIFACTS_DIR/BENCH_pmc_store.json"
+    cp BENCH_trial_memo.json "$ARTIFACTS_DIR/BENCH_trial_memo.json"
 fi
 
 echo "ci: all passes green (artifacts in $ARTIFACTS_DIR/)"

@@ -137,6 +137,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "to roughly MB megabytes of records; least-recently-touched "
         "buckets evict to disk (requires --pmc-spill-dir)",
     )
+    campaign.add_argument(
+        "--no-prefix-fork",
+        action="store_true",
+        help="disable sequential-prefix fork memoization and restore "
+        "every trial from the boot snapshot (results are bit-identical "
+        "either way; this only trades away the speedup)",
+    )
+    campaign.add_argument(
+        "--prune-commuting",
+        action="store_true",
+        help="prune trials whose first-switch candidates commute "
+        "(partial-order reduction over the recorded prefix); runs fewer "
+        "trials per test, crediting skips to stage4.trials_pruned",
+    )
 
     stats = sub.add_parser("stats", help="summarise a --trace-out trace file")
     stats.add_argument("trace", help="path to a JSONL trace written by --trace-out")
@@ -237,6 +251,8 @@ def _cmd_campaign(args) -> int:
         fixed_kernel=args.fixed,
         pmc_spill_dir=args.pmc_spill_dir,
         pmc_hot_records=pmc_hot_records,
+        prefix_fork=not args.no_prefix_fork,
+        prune_commuting=args.prune_commuting,
     )
     observer = _make_observer(args)
     snowboard = Snowboard(config, observer=observer).prepare()

@@ -162,6 +162,30 @@ class RaceDetector:
         """All deduplicated race reports so far."""
         return list(self._reports)
 
+    def load_state(self, template: "RaceDetector") -> None:
+        """Overwrite this detector's state with a copy of ``template``'s.
+
+        Prefix-fork memoization replays a task's shared sequential prefix
+        into one template detector, then each forked trial's fresh
+        detector adopts that state here.  Vector clocks, the RCU clock
+        and the per-byte reader maps are mutated in place by
+        on_access/on_sync and must be copied per-container; lock/release
+        clock lists are only ever replaced wholesale (``_joined`` builds
+        new lists) and :class:`_Epoch` objects are immutable, so those
+        are shared.
+        """
+        self.nthreads = template.nthreads
+        self._clock = [list(row) for row in template._clock]
+        self._lock_clock = dict(template._lock_clock)
+        self._release_clock = dict(template._release_clock)
+        self._rcu_clock = list(template._rcu_clock)
+        self._last_write = dict(template._last_write)
+        self._last_read = {
+            byte: dict(readers) for byte, readers in template._last_read.items()
+        }
+        self._reports = list(template._reports)
+        self._seen = set(template._seen)
+
     # -- internals -----------------------------------------------------------------
 
     def _races(self, prev: _Epoch, thread: int, clock: List[int], atomic: bool) -> bool:

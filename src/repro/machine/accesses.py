@@ -160,6 +160,22 @@ class AccessTrace:
         self.inss.append(access.ins)
         self.stacks.append(access.is_stack)
 
+    def extend_prefix(self, other: "AccessTrace", count: int) -> None:
+        """Bulk-append the first ``count`` rows of ``other``.
+
+        Used when an execution resumes from a memoized prefix: the rows
+        the prefix already produced are copied column-wise in one slice
+        per array instead of row-by-row.
+        """
+        self.seqs.extend(other.seqs[:count])
+        self.threads.extend(other.threads[:count])
+        self.types.extend(other.types[:count])
+        self.addrs.extend(other.addrs[:count])
+        self.sizes.extend(other.sizes[:count])
+        self.values.extend(other.values[:count])
+        self.inss.extend(other.inss[:count])
+        self.stacks.extend(other.stacks[:count])
+
     # -- views ---------------------------------------------------------------
 
     def __len__(self) -> int:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.machine.machine import Machine
+from repro.machine.memory import PAGE_SHIFT, PAGE_SIZE
 
 
 @dataclass(frozen=True)
@@ -58,3 +59,69 @@ class Snapshot:
         machine.restore_token = (self, memory.epoch)
         machine.console[:] = self.console
         return restored
+
+
+class ForkSnapshotError(Exception):
+    """Raised when a delta capture would record an unsound page set."""
+
+
+@dataclass(frozen=True)
+class ForkSnapshot:
+    """A delta snapshot: a base :class:`Snapshot` plus override pages.
+
+    Mid-trial snapshots must not pay the full ``clone_pages`` cost (the
+    boot image is thousands of pages; a trial prefix dirties a handful).
+    A :class:`ForkSnapshot` therefore stores only the pages dirtied since
+    the base snapshot was restored, which is sound *only* while the
+    machine's restore token still names the base at the current memory
+    epoch — otherwise the dirty set does not describe the divergence from
+    ``base`` and :meth:`capture` refuses with :class:`ForkSnapshotError`
+    rather than silently aliasing another snapshot's tracking window.
+
+    Labels are required to be distinct from the base's so two snapshots
+    can never be confused in traces or error messages.
+    """
+
+    base: Snapshot
+    overrides: Dict[int, bytes]
+    console: tuple
+    label: str
+
+    @classmethod
+    def capture(cls, machine: Machine, base: Snapshot, label: str) -> "ForkSnapshot":
+        token = machine.restore_token
+        memory = machine.memory
+        if token is None or token[0] is not base or token[1] != memory.epoch:
+            raise ForkSnapshotError(
+                f"cannot delta-capture {label!r}: machine was not "
+                f"incrementally tracked against base {base.label!r} "
+                f"(token={token!r}, epoch={memory.epoch})"
+            )
+        if label == base.label:
+            raise ForkSnapshotError(
+                f"fork snapshot label {label!r} collides with its base"
+            )
+        return cls(
+            base=base,
+            overrides=memory.clone_dirty_pages(),
+            console=tuple(machine.console),
+            label=label,
+        )
+
+    def restore(self, machine: Machine) -> int:
+        """Restore the machine to this fork point.
+
+        Restores the base snapshot first (incremental when the token
+        allows), then re-applies the override pages through the tracked
+        write paths so they are dirty again — the *next* base restore
+        must copy them back.  Returns the number of pages copied.
+        """
+        restored = self.base.restore(machine)
+        memory = machine.memory
+        for page, data in self.overrides.items():
+            addr = page << PAGE_SHIFT
+            if not memory.is_mapped(addr, PAGE_SIZE):
+                memory.map_region(addr, PAGE_SIZE)
+            memory.write_bytes(addr, data)
+        machine.console[:] = self.console
+        return restored + len(self.overrides)

@@ -59,7 +59,9 @@ from repro.pmc.model import AccessKey, PMC
 
 #: Version stamp carried by every envelope; a coordinator and a worker
 #: built from different checkouts must fail loudly, not mis-decode.
-WIRE_VERSION = 1
+#: v2: outcome ``forked`` flag, task prefix-fork/prune-commuting knobs,
+#: obs buffer prelude (the prefix-recording span).
+WIRE_VERSION = 2
 
 
 class WireFormatError(ValueError):
@@ -117,6 +119,7 @@ def outcome_to_obj(outcome) -> Dict:
         "switch_points": list(outcome.switch_points),
         "console": list(outcome.console),
         "panic_message": outcome.panic_message,
+        "forked": outcome.forked,
     }
 
 
@@ -135,6 +138,7 @@ def outcome_from_obj(obj: Dict):
         switch_points=tuple(obj["switch_points"]),
         console=tuple(obj["console"]),
         panic_message=obj["panic_message"],
+        forked=bool(obj["forked"]),
     )
 
 
@@ -157,6 +161,8 @@ class TaskEnvelope:
     scheduler_kind: str = "snowboard"
     pmc: Optional[Dict] = None
     universe: Optional[Tuple[Dict, ...]] = None
+    prefix_fork: bool = True
+    prune_commuting: bool = False
     version: int = WIRE_VERSION
 
     @classmethod
@@ -174,6 +180,8 @@ class TaskEnvelope:
             universe=(
                 tuple(pmc_to_obj(p) for p in universe) if universe is not None else None
             ),
+            prefix_fork=task.prefix_fork,
+            prune_commuting=task.prune_commuting,
         )
 
     def to_task(self):
@@ -193,6 +201,8 @@ class TaskEnvelope:
             test=test,
             trials=self.trials,
             scheduler_kind=self.scheduler_kind,
+            prefix_fork=self.prefix_fork,
+            prune_commuting=self.prune_commuting,
         )
 
     def universe_pmcs(self) -> Optional[List[PMC]]:
@@ -214,6 +224,7 @@ class ResultEnvelope:
     worker_id: int
     status: str
     outcomes: Tuple[Dict, ...] = ()
+    obs_prelude: Tuple[Dict, ...] = ()
     obs_trials: Tuple[Tuple[Dict, ...], ...] = ()
     obs_tail: Tuple[Dict, ...] = ()
     error_type: str = ""
@@ -227,8 +238,9 @@ class ResultEnvelope:
         _check_version(self.version, f"result envelope {self.task_id}")
         outcomes = [outcome_from_obj(o) for o in self.outcomes]
         buffer = None
-        if self.obs_trials or self.obs_tail:
+        if self.obs_prelude or self.obs_trials or self.obs_tail:
             buffer = {
+                "prelude": list(self.obs_prelude),
                 "trials": [list(chunk) for chunk in self.obs_trials],
                 "tail": list(self.obs_tail),
             }
@@ -349,6 +361,7 @@ def _execute_envelope(executor, spec: WorkerSpec, worker_id: int, envelope: Task
         worker_id=worker_id,
         status="ok",
         outcomes=tuple(outcome_to_obj(o) for o in outcomes),
+        obs_prelude=tuple(buffer["prelude"]) if buffer else (),
         obs_trials=(
             tuple(tuple(chunk) for chunk in buffer["trials"]) if buffer else ()
         ),

@@ -42,6 +42,7 @@ from repro.pmc.selection import SelectionHistory, cluster_pmcs, ordered_exemplar
 from repro.profile.profiler import TestProfile, profile_new
 from repro.sched.executor import Executor
 from repro.sched.random_sched import RandomScheduler
+from repro.sched.prefixfork import PrefixMemo
 from repro.sched.ski import SkiScheduler
 from repro.sched.snowboard import SnowboardScheduler, channel_exercised
 
@@ -117,6 +118,19 @@ class SnowboardConfig:
     # in-memory ones; only memory footprint and tier hit rates change.
     pmc_spill_dir: Optional[str] = None
     pmc_hot_records: Optional[int] = None
+    # Sequential-prefix fork memoization (DESIGN §2.15).  On by default:
+    # trials of one task fork from a cached mid-trial delta snapshot at
+    # their first switch point instead of re-running the writer's solo
+    # prefix from boot.  Observably invisible — trial streams, funnel
+    # totals and repro packages are bit-identical either way.
+    prefix_fork: bool = True
+    # Commuting-schedule pruning (opt-in): partial-order reduction over
+    # the recorded prefix — commuting first-switch candidates share a
+    # representative trial, and the rest of the budget is skipped (the
+    # skips are credited to ``stage4.trials_pruned``).  Changes how many
+    # trials run, so it is off by default and excluded from the
+    # bit-identity contract (bug *yield* is preserved instead).
+    prune_commuting: bool = False
 
 
 @dataclass(frozen=True)
@@ -147,6 +161,8 @@ class Stage4Task:
     test: ConcurrentTest
     trials: int
     scheduler_kind: str = "snowboard"
+    prefix_fork: bool = True
+    prune_commuting: bool = False
 
 
 @dataclass(frozen=True)
@@ -168,6 +184,9 @@ class TrialOutcome:
     switch_points: Tuple[int, ...] = ()
     console: Tuple[str, ...] = ()
     panic_message: str = ""
+    # True when the trial was served from already-cached prefix state
+    # (counted as ``stage4.prefix_fork_hits`` at the merge sites).
+    forked: bool = False
 
 
 def scheduler_stats(scheduler) -> Dict[str, int]:
@@ -223,10 +242,10 @@ def run_task_trials(
 
     When ``obs_epoch`` is given, worker-side tracing buffers into a
     private MemorySink sharing the campaign tracer's epoch; the returned
-    buffer (``{"trials": [per-trial event slices], "tail": [...]}``)
-    is replayed by the merger in task order.  Funnel counters are NOT
-    incremented here — counting happens only at the merge sites, on
-    exactly the merged trials.
+    buffer (``{"prelude": [pre-trial events], "trials": [per-trial event
+    slices], "tail": [...]}``) is replayed by the merger in task order.
+    Funnel counters are NOT incremented here — counting happens only at
+    the merge sites, on exactly the merged trials.
 
     Returns ``(outcomes, buffer)``; ``buffer`` is ``None`` when tracing
     is off.
@@ -247,18 +266,30 @@ def run_task_trials(
             writer=test.writer_test,
             reader=test.reader_test,
         ) as test_span:
-            for trial in range(task.trials):
+            memo = PrefixMemo(
+                executor,
+                test.writer,
+                test.reader,
+                pmc=test.pmc,
+                enabled=task.prefix_fork,
+                prune=task.prune_commuting,
+            )
+            if memo.active:
+                with obs.span("stage4.prefix_record", test=task.task_id):
+                    memo.prepare()
+            effective, _ = memo.plan_trials(task.trials)
+            # Everything emitted before the first trial (the recording
+            # span) goes into the buffer's prelude so per-trial slices
+            # keep their alignment for the merger's replay.
+            prelude = len(sink.events) if sink is not None else 0
+            for trial in range(effective):
                 mark = len(sink.events) if sink is not None else 0
                 with obs.span(
                     "stage4.trial", test=task.task_id, trial=trial
                 ) as trial_span:
                     scheduler.begin_trial(trial)
                     detector = RaceDetector()
-                    result = executor.run_concurrent(
-                        [test.writer, test.reader],
-                        scheduler=scheduler,
-                        race_detector=detector,
-                    )
+                    result, forked = memo.run_trial(scheduler, detector)
                     if test.pmc is not None and not exercised:
                         # Once the channel fired, the prefix-OR the
                         # merger computes is True regardless of later
@@ -282,6 +313,7 @@ def run_task_trials(
                             panic_message=(
                                 result.panic_message if observations else ""
                             ),
+                            forked=forked,
                         )
                     )
                     scheduler.end_trial(result)
@@ -298,8 +330,12 @@ def run_task_trials(
             executor.obs = NULL_OBSERVER
     if sink is None:
         return outcomes, None
-    consumed = sum(len(chunk) for chunk in slices)
-    return outcomes, {"trials": slices, "tail": sink.events[consumed:]}
+    consumed = prelude + sum(len(chunk) for chunk in slices)
+    return outcomes, {
+        "prelude": sink.events[:prelude],
+        "trials": slices,
+        "tail": sink.events[consumed:],
+    }
 
 
 class Snowboard:
@@ -599,17 +635,25 @@ class Snowboard:
             writer=test.writer_test,
             reader=test.reader_test,
         ) as test_span:
-            for trial in range(trials):
+            memo = PrefixMemo(
+                self.executor,
+                test.writer,
+                test.reader,
+                pmc=test.pmc,
+                enabled=self.config.prefix_fork,
+                prune=self.config.prune_commuting,
+            )
+            if memo.active:
+                with obs.span("stage4.prefix_record", test=test_index):
+                    memo.prepare()
+            effective, pruned = memo.plan_trials(trials)
+            for trial in range(effective):
                 with obs.span(
                     "stage4.trial", test=test_index, trial=trial
                 ) as trial_span:
                     scheduler.begin_trial(trial)
                     detector = RaceDetector()
-                    result = self.executor.run_concurrent(
-                        [test.writer, test.reader],
-                        scheduler=scheduler,
-                        race_detector=detector,
-                    )
+                    result, forked = memo.run_trial(scheduler, detector)
                     campaign.trials += 1
                     campaign.instructions += result.instructions
                     campaign.pages_restored += result.pages_restored
@@ -631,6 +675,7 @@ class Snowboard:
                             result.pages_restored,
                             races,
                             len(fresh),
+                            forked=forked,
                         )
                 if fresh:
                     found_new = True
@@ -649,6 +694,8 @@ class Snowboard:
             obs.count("stage4.tests", 1)
             if exercised:
                 obs.count("stage4.exercised", 1)
+            if pruned:
+                obs.count("stage4.trials_pruned", pruned)
         return found_new
 
     # Kept as a method alias: module-level ``scheduler_stats`` is the
@@ -657,7 +704,12 @@ class Snowboard:
 
     @staticmethod
     def _count_trial(
-        obs, instructions: int, pages: int, races: int, fresh: int
+        obs,
+        instructions: int,
+        pages: int,
+        races: int,
+        fresh: int,
+        forked: bool = False,
     ) -> None:
         """The per-trial funnel increments, shared verbatim by the serial
         loop and the parallel merge loop so their totals cannot drift."""
@@ -667,6 +719,8 @@ class Snowboard:
         obs.count("stage4.races", races)
         if fresh:
             obs.count("stage4.observations", fresh)
+        if forked:
+            obs.count("stage4.prefix_fork_hits", 1)
         obs.observe("stage4.trial_instructions", instructions)
 
     def _capture_packages(self, test: ConcurrentTest, result, fresh_records) -> None:
@@ -736,11 +790,17 @@ class Snowboard:
         outcomes: Sequence[TrialOutcome],
         campaign: CampaignResult,
         task_id: Optional[int] = None,
+        budget_trials: Optional[int] = None,
     ) -> bool:
         """Fold one task's trials into the campaign, mirroring the serial
         loop of :meth:`execute_test` trial for trial — including the early
         stop on a fresh observation, so serial and parallel campaigns
-        record identical bug sets, trial counts and first-find positions."""
+        record identical bug sets, trial counts and first-find positions.
+
+        ``budget_trials`` is the task's configured trial budget; when the
+        worker ran fewer trials than that, the difference was pruned
+        (commuting-schedule reduction) and is credited here, matching the
+        serial path's accounting."""
         test_index = campaign.tested_pmcs if task_id is None else task_id
         campaign.tested_pmcs += 1
         obs = self.obs
@@ -763,6 +823,7 @@ class Snowboard:
                     outcome.pages_restored,
                     outcome.races,
                     len(fresh),
+                    forked=outcome.forked,
                 )
             if fresh:
                 found_new = True
@@ -775,6 +836,10 @@ class Snowboard:
             obs.count("stage4.tests", 1)
             if exercised:
                 obs.count("stage4.exercised", 1)
+            if budget_trials is not None:
+                pruned = budget_trials - len(outcomes)
+                if pruned > 0:
+                    obs.count("stage4.trials_pruned", pruned)
         return found_new
 
     def _run_thread_fleet(
@@ -792,7 +857,12 @@ class Snowboard:
         for nqueued, (index, test) in enumerate(todo):
             queue_id = work.put(
                 Stage4Task(
-                    task_id=index, test=test, trials=trials, scheduler_kind=scheduler_kind
+                    task_id=index,
+                    test=test,
+                    trials=trials,
+                    scheduler_kind=scheduler_kind,
+                    prefix_fork=self.config.prefix_fork,
+                    prune_commuting=self.config.prune_commuting,
                 )
             )
             if queue_id != nqueued:
@@ -837,7 +907,12 @@ class Snowboard:
         envelopes = []
         for index, test in todo:
             task = Stage4Task(
-                task_id=index, test=test, trials=trials, scheduler_kind=scheduler_kind
+                task_id=index,
+                test=test,
+                trials=trials,
+                scheduler_kind=scheduler_kind,
+                prefix_fork=self.config.prefix_fork,
+                prune_commuting=self.config.prune_commuting,
             )
             envelopes.append(
                 TaskEnvelope.from_task(task, universe=self._scheduler_universe(test))
@@ -949,7 +1024,9 @@ class Snowboard:
                     on_task_merged(index, merged=False)
                 continue
             merged_from = campaign.trials
-            self._merge_task_outcomes(test, outcome, campaign, task_id=index)
+            self._merge_task_outcomes(
+                test, outcome, campaign, task_id=index, budget_trials=trials
+            )
             if obs.enabled:
                 self._replay_task_buffer(index, campaign.trials - merged_from)
                 obs.flush_metrics()
@@ -967,7 +1044,7 @@ class Snowboard:
         buffer = self._stage4_buffers.pop(task_id, None)
         if buffer is None:
             return
-        events: List[Dict] = []
+        events: List[Dict] = list(buffer.get("prelude", ()))
         for chunk in buffer["trials"][:merged_trials]:
             events.extend(chunk)
         events.extend(buffer["tail"])

@@ -72,15 +72,54 @@ class ExecutionResult:
         ]
 
 
-def run_program(kernel: Kernel, ctx: KernelContext, program: Program) -> Generator:
-    """Kernel-thread coroutine: run all calls of one test program."""
-    results: List[int] = []
-    for call in program.calls:
+def run_program(
+    kernel: Kernel,
+    ctx: KernelContext,
+    program: Program,
+    start_call: int = 0,
+    results: Optional[List[int]] = None,
+) -> Generator:
+    """Kernel-thread coroutine: run all calls of one test program.
+
+    ``start_call``/``results`` let a memoized prefix rebuild the coroutine
+    mid-program: execution resumes at call index ``start_call`` with the
+    return values of the completed calls pre-seeded (``Res`` argument
+    references resolve against them exactly as in a from-scratch run).
+    """
+    if results is None:
+        results = []
+    for call in program.calls[start_call:]:
         ctx.reset_stack()
         args = tuple(resolve_arg(arg, results) for arg in call.args)
         ret = yield from kernel.run_syscall(ctx, call.name, args)
         results.append(ret)
     return results
+
+
+@dataclass
+class ResumeState:
+    """Mid-trial thread-0 state for a prefix-forked concurrent run.
+
+    Built by :mod:`repro.sched.prefixfork` from a recorded sequential
+    prefix: a delta snapshot of machine memory at the first switch point,
+    the re-positioned thread-0 coroutine, and the bookkeeping the
+    interpreter loop would have accumulated had it executed the prefix
+    itself.  ``trace`` holds the prefix's access rows, of which the first
+    ``trace_rows`` are copied into the resumed result.
+    """
+
+    snapshot: object  # Snapshot/ForkSnapshot: anything with .restore(machine)
+    console_start: int
+    gen: Generator
+    ctx: KernelContext
+    pending: object
+    rcu_depth: int
+    liveness: LivenessMonitor
+    stuck0: bool
+    seq: int
+    ninstr: int
+    trace: AccessTrace
+    trace_rows: int
 
 
 class _Thread:
@@ -130,6 +169,7 @@ class Executor:
         scheduler=None,
         race_detector=None,
         replay_switch_points: Optional[Sequence[int]] = None,
+        resume_from: Optional[ResumeState] = None,
     ) -> ExecutionResult:
         """Run two (or more) programs as concurrent kernel threads.
 
@@ -137,6 +177,12 @@ class Executor:
         result) the schedule is replayed exactly: the scheduler and the
         liveness heuristics are bypassed and switches happen at precisely
         the recorded instruction indexes, reproducing the execution.
+
+        With ``resume_from`` the run starts at a memoized first switch
+        point instead of the boot snapshot: thread 0's coroutine, the
+        liveness window, the access trace and the instruction/sequence
+        counters are restored from the recorded prefix, and execution
+        proceeds on thread 1 exactly as if the prefix had just run.
         """
         max_procs = len(self.kernel.procs)
         if not 2 <= len(programs) <= max_procs:
@@ -149,6 +195,7 @@ class Executor:
             procs=list(range(len(programs))),
             race_detector=race_detector,
             replay_switch_points=replay_switch_points,
+            resume=resume_from,
         )
 
     # -- the interpreter loop ----------------------------------------------------
@@ -160,41 +207,74 @@ class Executor:
         procs: List[int],
         race_detector=None,
         replay_switch_points: Optional[Sequence[int]] = None,
+        resume: Optional[ResumeState] = None,
     ) -> ExecutionResult:
         replay = set(replay_switch_points) if replay_switch_points is not None else None
         result = ExecutionResult()
-        if self.full_restore:
-            self.kernel.machine.invalidate_restore_tracking()
-        restore_start = time.perf_counter()
-        result.pages_restored = self.snapshot.restore(self.kernel.machine)
-        result.restore_seconds = time.perf_counter() - restore_start
-        obs = self.obs
-        if obs.enabled:
-            # Reuses the restore timer above: tracing adds no clock reads
-            # to the run path, and none of this executes when disabled.
-            obs.record_span(
-                "snapshot.restore",
-                result.restore_seconds,
-                pages=result.pages_restored,
-            )
         machine = self.kernel.machine
-        console_start = len(machine.console)
+        if resume is None:
+            if self.full_restore:
+                machine.invalidate_restore_tracking()
+            restore_start = time.perf_counter()
+            result.pages_restored = self.snapshot.restore(machine)
+            result.restore_seconds = time.perf_counter() - restore_start
+            obs = self.obs
+            if obs.enabled:
+                # Reuses the restore timer above: tracing adds no clock
+                # reads to the run path, and none of this executes when
+                # disabled.
+                obs.record_span(
+                    "snapshot.restore",
+                    result.restore_seconds,
+                    pages=result.pages_restored,
+                )
+            console_start = len(machine.console)
+        else:
+            restore_start = time.perf_counter()
+            result.pages_restored = resume.snapshot.restore(machine)
+            result.restore_seconds = time.perf_counter() - restore_start
+            obs = self.obs
+            if obs.enabled:
+                obs.record_span(
+                    "snapshot.fork",
+                    result.restore_seconds,
+                    pages=result.pages_restored,
+                )
+            # Prefix printks belong to this trial's console slice: start
+            # where the *boot* console ended, not where the fork console
+            # ends.
+            console_start = resume.console_start
 
         threads: List[_Thread] = []
         for i, program in enumerate(programs):
+            if resume is not None and i == 0:
+                thread = _Thread(0, resume.gen, resume.ctx)
+                thread.pending = resume.pending
+                thread.rcu_depth = resume.rcu_depth
+                threads.append(thread)
+                continue
             ctx = self.kernel.make_context(thread=i, proc_index=procs[i])
             gen = run_program(self.kernel, ctx, program)
             threads.append(_Thread(i, gen, ctx))
 
         nthreads = len(threads)
-        liveness = LivenessMonitor(nthreads)
-        # Sticky low-liveness marks: set while a thread looks stuck, cleared
-        # as soon as its recent behaviour diversifies again.  When every
-        # runnable thread is sticky-stuck at once, nothing can make
-        # progress: dead-/livelock.
-        sticky_stuck = [False] * nthreads
-        current = 0
-        seq = 0
+        if resume is None:
+            liveness = LivenessMonitor(nthreads)
+            # Sticky low-liveness marks: set while a thread looks stuck,
+            # cleared as soon as its recent behaviour diversifies again.
+            # When every runnable thread is sticky-stuck at once, nothing
+            # can make progress: dead-/livelock.
+            sticky_stuck = [False] * nthreads
+            current = 0
+            seq = 0
+        else:
+            liveness = resume.liveness
+            sticky_stuck = [resume.stuck0] + [False] * (nthreads - 1)
+            current = 1
+            seq = resume.seq
+            result.switches = 1
+            result.switch_points.append(resume.ninstr)
+            result.accesses.extend_prefix(resume.trace, resume.trace_rows)
 
         # The interpreter inner loop below runs once per instruction over
         # millions of trials, so everything it touches is pre-resolved:
@@ -222,7 +302,7 @@ class Executor:
         max_instructions = self.max_instructions
         READ = AccessType.READ
         runnable = nthreads
-        ninstr = 0
+        ninstr = 0 if resume is None else resume.ninstr
 
         while runnable:
             if ninstr >= max_instructions:

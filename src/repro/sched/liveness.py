@@ -76,6 +76,14 @@ class LivenessMonitor:
             return False
         return len(self._addr_counts[thread]) <= 1
 
+    def clone(self) -> "LivenessMonitor":
+        """Independent copy of the current windows (prefix-fork support)."""
+        other = LivenessMonitor(len(self._recent), window=self.window)
+        for i, recent in enumerate(self._recent):
+            other._recent[i].extend(recent)
+            other._addr_counts[i].update(self._addr_counts[i])
+        return other
+
     def reset(self, thread: Optional[int] = None) -> None:
         """Forget history for one thread (or all)."""
         if thread is None:
