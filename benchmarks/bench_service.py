@@ -1,0 +1,127 @@
+"""Experiment E9 — tenant-interleaving overhead of the campaign service.
+
+The service's fairness mechanism is round-granular preemption: each
+scheduler turn is one ``run_rounds(1, ...)`` call against the job's
+checkpoint journal, so a turn pays journal open/replay-verify/close on
+top of the round's real work.  This bench measures that tax: N identical
+campaigns run back-to-back through solo ``run_rounds`` versus the same N
+specs interleaved round-robin through :class:`CampaignService`, in
+aggregate executions/minute.  The summaries must be bit-identical before
+any figure is recorded — the overhead is only interesting because the
+results are exactly the same.
+
+Results are appended to ``BENCH_service.json`` at the repo root in the
+shared trajectory shape.  Not wired into ``scripts/bench_gate.py``: the
+figure is informational (E9), the correctness contract is owned by
+``tests/test_service*.py`` and CI's ``smoke_service.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict
+
+from bench_hot_path import append_record, load_results  # noqa: F401  (re-export)
+
+from repro.orchestrate.pipeline import Snowboard
+from repro.service import TERMINAL_STATES, JobSpec
+from repro.service.daemon import CampaignService
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_service.json")
+
+QUICK_PARAMS = dict(jobs=3, rounds=2, round_budget=5, corpus_budget=60, trials=4)
+FULL_PARAMS = dict(jobs=3, rounds=3, round_budget=6, corpus_budget=120, trials=8)
+
+
+def _spec(seed: int, params: Dict) -> Dict:
+    return dict(
+        rounds=params["rounds"],
+        round_budget=params["round_budget"],
+        seed=seed,
+        corpus_budget=params["corpus_budget"],
+        trials=params["trials"],
+        max_instructions=40_000,
+    )
+
+
+def measure_service(
+    root: str, jobs: int, rounds: int, round_budget: int,
+    corpus_budget: int, trials: int,
+) -> Dict[str, object]:
+    """Interleaved-service vs solo wall time for N identical-shape jobs."""
+    params = dict(
+        rounds=rounds, round_budget=round_budget,
+        corpus_budget=corpus_budget, trials=trials,
+    )
+    spec_objs = {f"tenant-{i}": _spec(11 + 2 * i, params) for i in range(jobs)}
+
+    # -- solo reference: each campaign back to back ----------------------
+    solo_summaries = {}
+    total_trials = 0
+    start = time.perf_counter()
+    for tenant, spec_obj in spec_objs.items():
+        spec = JobSpec.from_obj(spec_obj)
+        result = Snowboard(spec.config()).run_rounds(
+            spec.rounds,
+            round_budget=spec.round_budget,
+            strategy=spec.strategy,
+            scheduler_kind=spec.scheduler_kind,
+            trials=spec.trials,
+            workers=spec.workers,
+            corpus_growth=spec.growth(),
+            fleet=spec.fleet,
+        )
+        solo_summaries[tenant] = result.summary()
+        total_trials += result.trials
+    solo_wall = time.perf_counter() - start
+
+    # -- the same specs interleaved through the service ------------------
+    service = CampaignService(os.path.join(root, "svc"), mirror_trace=False)
+    start = time.perf_counter()
+    ids = {t: service.submit(t, s)["job_id"] for t, s in spec_objs.items()}
+    while any(j["state"] not in TERMINAL_STATES for j in service.jobs()):
+        assert service.run_turn(timeout=0.1)
+    service_wall = time.perf_counter() - start
+
+    for tenant, job_id in ids.items():
+        assert service.summary(job_id) == solo_summaries[tenant], (
+            f"{tenant} diverged under interleaving — overhead figures "
+            f"are meaningless"
+        )
+    service.stop()
+
+    overhead = (service_wall - solo_wall) / solo_wall * 100 if solo_wall else 0.0
+    return {
+        "jobs": jobs,
+        "rounds_per_job": rounds,
+        "total_trials": total_trials,
+        "solo_wall_seconds": round(solo_wall, 4),
+        "interleaved_wall_seconds": round(service_wall, 4),
+        "solo_executions_per_min": round(total_trials / solo_wall * 60, 1),
+        "interleaved_executions_per_min": round(
+            total_trials / service_wall * 60, 1
+        ),
+        "interleaving_overhead_pct": round(overhead, 1),
+    }
+
+
+#: Informational figures (no gate): higher exec/min is better.
+THROUGHPUT_KEYS = ("interleaved_executions_per_min",)
+
+
+def test_service_interleaving_overhead(tmp_path):
+    """Measure and record the full-mode E9 figures."""
+    record = measure_service(str(tmp_path), **FULL_PARAMS)
+    append_record(
+        record, mode="full", label="bench_service", path=RESULTS_PATH
+    )
+    print(
+        f"\nservice interleaving: {record['jobs']} tenants, "
+        f"{record['interleaved_executions_per_min']:,.0f} exec/min vs "
+        f"{record['solo_executions_per_min']:,.0f} solo "
+        f"({record['interleaving_overhead_pct']:+.1f}% wall overhead, "
+        f"bit-identical summaries)"
+    )
+    assert record["total_trials"] > 0

@@ -1,14 +1,27 @@
 #!/usr/bin/env bash
 # The full CI pipeline, runnable offline on a bare checkout:
 #
-#  0. lint       — ruff over src/tests/benchmarks/scripts (skipped with a
-#                  warning when ruff is not installed; CI installs it via
-#                  the `dev` extra, minimal containers just lose the step).
+#     scripts/ci.sh [LEG]
+#
+# LEG selects which slice runs (GitHub Actions runs the legs as parallel
+# jobs; local runs default to `all`):
+#
+#   lint    — step 0 only
+#   tests   — steps 1-2 (tier-1 + the -O pass)
+#   smokes  — steps 3-8 (CLI smoke + every kill-and-resume smoke)
+#   perf    — step 9 (the bench gate, unconditionally)
+#   all     — steps 0-8, plus step 9 when PERF=1 (the default)
+#
+#  0. lint       — ruff over src/tests/benchmarks/scripts.  Missing ruff
+#                  is a warn-and-skip locally but a hard failure when
+#                  CI=true (a lint job that silently skips linting is
+#                  worse than none).
 #  1. tier-1     — the normal pytest run (full assertion checking).  When
 #                  pytest-cov is available the same run also enforces the
 #                  coverage floor (--cov=repro --cov-fail-under=80), so
 #                  coverage costs no extra suite pass; without pytest-cov
-#                  the run degrades to plain pytest with a warning.
+#                  the run degrades to plain pytest — warn locally,
+#                  hard failure when CI=true.
 #  2. tier-1 -O  — the same suite under `python -O`, which strips every
 #                  `assert` statement from the *source tree*.  Pass 2
 #                  exists to catch code that leans on asserts for control
@@ -45,10 +58,16 @@
 #                  checked for yield preservation against an unoptimised
 #                  reference, killed mid-campaign, and resumed to a
 #                  bit-identical summary.
-#  8. perf gate  — opt-in with PERF=1: the quick-mode hot-path,
-#                  incremental-engine, fleet, PMC-store and trial-memo
-#                  benchmarks fail on a >20% regression against the
-#                  baselines in BENCH_hot_path.json /
+#  8. smoke-service — SIGKILL the multi-tenant campaign daemon
+#                  (scripts/smoke_service.py): two tenants' jobs are
+#                  submitted over the HTTP API, the daemon is SIGKILLed
+#                  mid-campaign and restarted on the same data dir, and
+#                  both final summaries must be bit-identical to solo
+#                  run_rounds campaigns.
+#  9. perf gate  — leg `perf` (or PERF=1 with `all`): the quick-mode
+#                  hot-path, incremental-engine, fleet, PMC-store and
+#                  trial-memo benchmarks fail on a >20% regression
+#                  against the baselines in BENCH_hot_path.json /
 #                  BENCH_incremental.json / BENCH_fleet.json /
 #                  BENCH_pmc_store.json / BENCH_trial_memo.json; the
 #                  updated trajectory JSONs are copied into
@@ -56,62 +75,86 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+LEG="${1:-all}"
+case "$LEG" in
+    lint|tests|smokes|perf|all) ;;
+    *)
+        echo "usage: scripts/ci.sh [lint|tests|smokes|perf|all]" >&2
+        exit 2
+        ;;
+esac
+
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 ARTIFACTS_DIR="${ARTIFACTS_DIR:-artifacts}"
 mkdir -p "$ARTIFACTS_DIR"
 
-echo "== lint: ruff check =="
-if command -v ruff >/dev/null 2>&1; then
-    ruff check src tests benchmarks scripts examples
-else
-    echo "warning: ruff not installed, skipping lint (pip install -e '.[dev]')"
+# Warn-and-skip is for bare local checkouts only: under CI=true a
+# missing dev tool fails the leg instead of silently thinning it.
+missing_tool() {
+    local tool="$1" hint="$2"
+    if [[ "${CI:-false}" == "true" ]]; then
+        echo "error: $tool not installed but CI=true ($hint)" >&2
+        exit 1
+    fi
+    echo "warning: $tool not installed, $hint"
+}
+
+if [[ "$LEG" == "lint" || "$LEG" == "all" ]]; then
+    echo "== lint: ruff check =="
+    if command -v ruff >/dev/null 2>&1; then
+        ruff check src tests benchmarks scripts examples
+    else
+        missing_tool ruff "skipping lint (pip install -e '.[dev]')"
+    fi
 fi
 
-echo "== tier-1: python -m pytest =="
-if python -c "import pytest_cov" >/dev/null 2>&1; then
-    python -m pytest -x -q --cov=repro --cov-fail-under=80 --cov-report=term
-else
-    echo "warning: pytest-cov not installed, running without coverage floor"
-    python -m pytest -x -q
+if [[ "$LEG" == "tests" || "$LEG" == "all" ]]; then
+    echo "== tier-1: python -m pytest =="
+    if python -c "import pytest_cov" >/dev/null 2>&1; then
+        python -m pytest -x -q --cov=repro --cov-fail-under=80 --cov-report=term
+    else
+        missing_tool pytest-cov "running without coverage floor"
+        python -m pytest -x -q
+    fi
+
+    echo "== tier-1 under -O (assert-stripped invariant check) =="
+    python -O -m pytest -x -q
 fi
 
-echo "== tier-1 under -O (assert-stripped invariant check) =="
-python -O -m pytest -x -q
+if [[ "$LEG" == "smokes" || "$LEG" == "all" ]]; then
+    echo "== smoke: parallel campaign through the CLI =="
+    SMOKE_TRACE="$ARTIFACTS_DIR/smoke_trace.jsonl"
+    SMOKE_CHECKPOINT="$ARTIFACTS_DIR/smoke_checkpoint.jsonl"
+    rm -f "$SMOKE_TRACE" "$SMOKE_CHECKPOINT"
+    python -m repro campaign \
+        --strategy S-INS-PAIR --budget 4 --trials 4 --seed 7 --corpus 120 \
+        --workers 2 --prune-commuting \
+        --checkpoint "$SMOKE_CHECKPOINT" --trace-out "$SMOKE_TRACE"
+    python -m repro stats "$SMOKE_TRACE"
 
-echo "== smoke: parallel campaign through the CLI =="
-SMOKE_TRACE="$ARTIFACTS_DIR/smoke_trace.jsonl"
-SMOKE_CHECKPOINT="$ARTIFACTS_DIR/smoke_checkpoint.jsonl"
-rm -f "$SMOKE_TRACE" "$SMOKE_CHECKPOINT"
-python -m repro campaign \
-    --strategy S-INS-PAIR --budget 4 --trials 4 --seed 7 --corpus 120 \
-    --workers 2 --prune-commuting \
-    --checkpoint "$SMOKE_CHECKPOINT" --trace-out "$SMOKE_TRACE"
-python -m repro stats "$SMOKE_TRACE"
+    echo "== smoke: round-based kill-and-resume =="
+    python scripts/smoke_incremental.py "$ARTIFACTS_DIR/smoke_incremental_checkpoint.jsonl"
 
-echo "== smoke: round-based kill-and-resume =="
-python scripts/smoke_incremental.py "$ARTIFACTS_DIR/smoke_incremental_checkpoint.jsonl"
+    echo "== smoke: process fleet under fire =="
+    python scripts/smoke_fleet.py "$ARTIFACTS_DIR/smoke_fleet_checkpoint.jsonl"
+    FLEET_CHECKPOINT="$ARTIFACTS_DIR/smoke_fleet_cli_checkpoint.jsonl"
+    rm -f "$FLEET_CHECKPOINT"
+    python -m repro campaign \
+        --strategy S-INS-PAIR --budget 4 --trials 4 --seed 7 --corpus 120 \
+        --workers 2 --fleet processes \
+        --checkpoint "$FLEET_CHECKPOINT" --checkpoint-fsync
 
-echo "== smoke: process fleet under fire =="
-python scripts/smoke_fleet.py "$ARTIFACTS_DIR/smoke_fleet_checkpoint.jsonl"
-FLEET_CHECKPOINT="$ARTIFACTS_DIR/smoke_fleet_cli_checkpoint.jsonl"
-rm -f "$FLEET_CHECKPOINT"
-python -m repro campaign \
-    --strategy S-INS-PAIR --budget 4 --trials 4 --seed 7 --corpus 120 \
-    --workers 2 --fleet processes \
-    --checkpoint "$FLEET_CHECKPOINT" --checkpoint-fsync
+    echo "== smoke: spilled PMC store kill-and-resume =="
+    python scripts/smoke_store.py "$ARTIFACTS_DIR/smoke_store_work"
 
-echo "== smoke: spilled PMC store kill-and-resume =="
-python scripts/smoke_store.py "$ARTIFACTS_DIR/smoke_store_work"
+    echo "== smoke: pruned + memoized trial path kill-and-resume =="
+    python scripts/smoke_trial_memo.py "$ARTIFACTS_DIR/smoke_trial_memo_checkpoint.jsonl"
 
-echo "== smoke: pruned + memoized trial path kill-and-resume =="
-python scripts/smoke_trial_memo.py "$ARTIFACTS_DIR/smoke_trial_memo_checkpoint.jsonl"
+    echo "== smoke: campaign service daemon SIGKILL + restart =="
+    python scripts/smoke_service.py "$ARTIFACTS_DIR/smoke_service_data"
+fi
 
-# Opt-in perf gate: PERF=1 scripts/ci.sh also runs the quick-mode
-# hot-path, incremental-engine, fleet, PMC-store and trial-memo
-# benchmarks and fails on a >20% regression against the baselines
-# recorded in BENCH_hot_path.json, BENCH_incremental.json,
-# BENCH_fleet.json, BENCH_pmc_store.json and BENCH_trial_memo.json.
-if [[ "${PERF:-0}" == "1" ]]; then
+if [[ "$LEG" == "perf" || ( "$LEG" == "all" && "${PERF:-0}" == "1" ) ]]; then
     echo "== perf gate: scripts/bench_gate.py (quick mode) =="
     python scripts/bench_gate.py
     cp BENCH_hot_path.json "$ARTIFACTS_DIR/BENCH_hot_path.json"
@@ -121,4 +164,4 @@ if [[ "${PERF:-0}" == "1" ]]; then
     cp BENCH_trial_memo.json "$ARTIFACTS_DIR/BENCH_trial_memo.json"
 fi
 
-echo "ci: all passes green (artifacts in $ARTIFACTS_DIR/)"
+echo "ci: leg '$LEG' green (artifacts in $ARTIFACTS_DIR/)"

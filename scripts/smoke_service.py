@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""CI smoke: SIGKILL the campaign service daemon, restart, verify.
+
+Starts ``repro serve`` as a real subprocess, submits two tenants' jobs
+over the HTTP API, SIGKILLs the daemon once the rotation is mid-campaign
+(some rounds done, none of the jobs finished), restarts it on the same
+data directory, and waits for both jobs to complete.  Every final
+summary must be bit-identical to the same spec run solo through
+``run_rounds`` — the multi-tenant crash-safety contract, end to end
+through the daemon, registry journal and per-job checkpoint journals.
+
+Usage:
+    python scripts/smoke_service.py [DATA_DIR]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.orchestrate.pipeline import Snowboard  # noqa: E402
+from repro.service import TERMINAL_STATES, JobSpec  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+SPECS = {
+    "alice": dict(
+        rounds=2, round_budget=5, seed=11, corpus_budget=60, trials=4,
+        max_instructions=40_000,
+    ),
+    "bob": dict(
+        rounds=3, round_budget=5, seed=13, corpus_budget=60, trials=4,
+        max_instructions=40_000,
+    ),
+}
+
+
+def solo_summary(spec_obj: dict) -> dict:
+    spec = JobSpec.from_obj(spec_obj)
+    result = Snowboard(spec.config()).run_rounds(
+        spec.rounds,
+        round_budget=spec.round_budget,
+        strategy=spec.strategy,
+        scheduler_kind=spec.scheduler_kind,
+        trials=spec.trials,
+        workers=spec.workers,
+        corpus_growth=spec.growth(),
+        fleet=spec.fleet,
+    )
+    return result.summary()
+
+
+def spawn_daemon(data_dir: str) -> subprocess.Popen:
+    endpoint = os.path.join(data_dir, "endpoint")
+    if os.path.exists(endpoint):  # stale after a SIGKILL
+        os.remove(endpoint)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--data", data_dir],
+        env=env,
+    )
+    deadline = time.monotonic() + 30
+    while not os.path.exists(endpoint):
+        if process.poll() is not None:
+            raise AssertionError("smoke_service: daemon died at startup")
+        if time.monotonic() > deadline:
+            process.kill()
+            raise AssertionError("smoke_service: daemon never published endpoint")
+        time.sleep(0.05)
+    return process
+
+
+def main() -> int:
+    data = sys.argv[1] if len(sys.argv) > 1 else "smoke_service_data"
+    if os.path.exists(data):
+        shutil.rmtree(data)
+    os.makedirs(data)
+
+    expected = {tenant: solo_summary(spec) for tenant, spec in SPECS.items()}
+
+    daemon = spawn_daemon(data)
+    client = ServiceClient.connect(data)
+    ids = {
+        tenant: client.submit(tenant, spec)["job_id"]
+        for tenant, spec in SPECS.items()
+    }
+
+    # Wait for a mid-campaign window: progress made, nothing finished.
+    deadline = time.monotonic() + 120
+    while True:
+        jobs = {j["job_id"]: j for j in client.jobs()}
+        rounds_done = sum(j["rounds_done"] for j in jobs.values())
+        terminal = [j for j in jobs.values() if j["state"] in TERMINAL_STATES]
+        if rounds_done >= 1 and not terminal:
+            break
+        if terminal or time.monotonic() > deadline:
+            daemon.kill()
+            raise AssertionError(
+                f"smoke_service: no mid-campaign kill window ({jobs})"
+            )
+        time.sleep(0.05)
+    daemon.send_signal(signal.SIGKILL)
+    daemon.wait(timeout=30)
+    killed_at = {j["job_id"]: j["rounds_done"] for j in jobs.values()}
+
+    revived = spawn_daemon(data)
+    try:
+        client = ServiceClient.connect(data)
+        deadline = time.monotonic() + 300
+        while True:
+            jobs = {j["job_id"]: j for j in client.jobs()}
+            if all(j["state"] in TERMINAL_STATES for j in jobs.values()):
+                break
+            if time.monotonic() > deadline:
+                raise AssertionError(f"smoke_service: jobs stuck ({jobs})")
+            time.sleep(0.2)
+
+        failures = 0
+        for tenant, job_id in ids.items():
+            state = jobs[job_id]["state"]
+            if state != "done":
+                print(f"smoke_service: FAILED — {job_id} ended {state}")
+                failures += 1
+                continue
+            summary = client.summary(job_id)
+            if summary != expected[tenant]:
+                print(
+                    f"smoke_service: FAILED — {job_id} summary diverged "
+                    f"from solo"
+                )
+                print(f"  expected: {json.dumps(expected[tenant], sort_keys=True)}")
+                print(f"  actual:   {json.dumps(summary, sort_keys=True)}")
+                failures += 1
+        if failures:
+            return 1
+        print(
+            "smoke_service: green — SIGKILLed the daemon at "
+            f"{killed_at}, restarted, and both tenants' summaries are "
+            f"bit-identical to solo runs (data: {data})"
+        )
+        return 0
+    finally:
+        if revived.poll() is None:
+            revived.send_signal(signal.SIGTERM)
+            try:
+                revived.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                revived.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

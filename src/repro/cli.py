@@ -8,6 +8,8 @@ Commands:
 * ``stats``     — aggregate a ``--trace-out`` JSONL trace into tables.
 * ``strategies``— list the Table 1 clustering strategies.
 * ``bugs``      — list the Table 2 bug catalog.
+* ``serve`` / ``submit`` / ``jobs`` / ``job`` / ``watch`` — the
+  multi-tenant campaign service (see :mod:`repro.service.cli`).
 """
 
 from __future__ import annotations
@@ -185,6 +187,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("strategies", help="list the clustering strategies")
     sub.add_parser("bugs", help="list the Table 2 bug catalog")
+
+    from repro.service import cli as service_cli
+
+    service_cli.register(sub)
     return parser
 
 
@@ -535,6 +541,10 @@ def _dispatch(args) -> int:
         return _cmd_strategies(args)
     if args.command == "bugs":
         return _cmd_bugs(args)
+    from repro.service import cli as service_cli
+
+    if service_cli.handles(args.command):
+        return service_cli.dispatch(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

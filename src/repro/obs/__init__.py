@@ -37,6 +37,7 @@ from repro.obs.sink import (
     JsonlSink,
     MemorySink,
     NullSink,
+    TeeSink,
     TraceError,
     read_trace,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "NullTracer",
     "Observer",
     "Span",
+    "TeeSink",
     "TraceError",
     "Tracer",
     "read_trace",

@@ -137,6 +137,21 @@ class Metrics:
             },
         }
 
+    def restore(self, snapshot: Dict[str, Dict]) -> None:
+        """Prime counters and gauges from a :meth:`snapshot` dict.
+
+        The campaign-service restart path: a restarted job's registry
+        reads the last ``metrics`` record out of the job trace and
+        restores it here, so cumulative funnel counters continue across
+        daemon lifetimes instead of resetting to zero.  Histograms are
+        *not* restorable — snapshots keep only their summaries — so
+        post-restart distributions cover the new session only.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] = Counter(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauges[name] = Gauge(value)
+
     def merge(self, other: "Metrics") -> None:
         """Fold another registry into this one (worker -> campaign).
 

@@ -23,6 +23,7 @@ disabled-observability fast path.
 from __future__ import annotations
 
 import json
+import os
 from typing import Dict, List, Optional, Tuple
 
 #: Version of the event schema; bumped on incompatible record changes.
@@ -69,16 +70,26 @@ class JsonlSink:
 
     The header record is written eagerly on construction so that even a
     campaign killed during Stage 1 leaves an identifiable trace behind.
+
+    ``append=True`` reopens an existing trace instead of truncating it
+    and writes the header only when the file is empty or missing — the
+    campaign-service restart path, where one job's trace spans several
+    daemon lifetimes and must stay a single-header stream for
+    :func:`read_trace`.
     """
 
     enabled = True
 
-    def __init__(self, path: str, header: Optional[Dict] = None):
+    def __init__(
+        self, path: str, header: Optional[Dict] = None, append: bool = False
+    ):
         self.path = path
-        self._handle = open(path, "w", encoding="utf-8")
-        record = {"kind": "header", "schema": SCHEMA_VERSION}
-        record.update(header or {})
-        self.emit(record)
+        resumed = append and os.path.exists(path) and os.path.getsize(path) > 0
+        self._handle = open(path, "a" if append else "w", encoding="utf-8")
+        if not resumed:
+            record = {"kind": "header", "schema": SCHEMA_VERSION}
+            record.update(header or {})
+            self.emit(record)
 
     def emit(self, record: Dict) -> None:
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
@@ -87,6 +98,32 @@ class JsonlSink:
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.close()
+
+
+class TeeSink:
+    """Mirrors every record to one owned sink plus any number of shared ones.
+
+    The campaign service tees each job's events into the job's own trace
+    file (the owned ``primary``) and the daemon-wide operations trace
+    (shared across jobs).  ``close()`` closes only the primary — the
+    shared mirrors outlive any single job.
+    """
+
+    enabled = True
+
+    __slots__ = ("primary", "mirrors")
+
+    def __init__(self, primary, *mirrors):
+        self.primary = primary
+        self.mirrors = mirrors
+
+    def emit(self, record: Dict) -> None:
+        self.primary.emit(record)
+        for mirror in self.mirrors:
+            mirror.emit(record)
+
+    def close(self) -> None:
+        self.primary.close()
 
 
 def read_trace(path: str) -> Tuple[Dict, List[Dict]]:

@@ -240,10 +240,19 @@ class CheckpointMismatch(ValueError):
     """The journal was written by a campaign with different parameters."""
 
 
-def _task_digest(obj: Dict) -> str:
-    """Stable digest of one task's journalled contribution."""
+def record_digest(obj: Dict) -> str:
+    """Stable digest of one journal record's contents.
+
+    Shared by the campaign checkpoint journal and the service job
+    registry (``repro.service.registry``) so every append-only journal
+    in the system detects corruption the same way.
+    """
     canon = json.dumps(obj, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canon.encode()).hexdigest()[:16]
+
+
+# Historical internal name, kept for the call sites below.
+_task_digest = record_digest
 
 
 class CheckpointWriter:

@@ -1,0 +1,74 @@
+"""Campaign-as-a-service: a multi-tenant daemon over the round engine.
+
+The service turns :meth:`Snowboard.run_rounds` into a long-running,
+crash-safe facility: tenants submit :class:`CampaignJob` resources over
+a localhost JSON API, a fair round-robin scheduler interleaves their
+campaigns at round granularity, and every job rides the existing
+checkpoint journal — kill the daemon at any moment, restart it on the
+same data directory, and each tenant's campaign resumes bit-identically.
+
+Modules:
+
+* :mod:`repro.service.jobs`      — JobSpec / CampaignJob + state machine
+* :mod:`repro.service.registry`  — durable job table (journal + dirs)
+* :mod:`repro.service.scheduler` — fair round-robin turn queue
+* :mod:`repro.service.runner`    — one ``run_rounds(1)`` call per turn
+* :mod:`repro.service.daemon`    — CampaignService engine + HTTP API
+* :mod:`repro.service.client`    — stdlib client (and ``repro`` verbs)
+"""
+
+from __future__ import annotations
+
+from repro.service.jobs import (
+    ALL_STATES,
+    CANCELLED,
+    DONE,
+    FAILED,
+    PAUSED,
+    PENDING,
+    RUNNING,
+    TERMINAL_STATES,
+    CampaignJob,
+    InvalidTransition,
+    JobSpec,
+)
+from repro.service.registry import JobRegistry, RegistryError
+from repro.service.runner import JobRunner
+from repro.service.scheduler import FairScheduler
+
+__all__ = [
+    "ALL_STATES",
+    "CANCELLED",
+    "CampaignJob",
+    "CampaignService",
+    "DONE",
+    "FAILED",
+    "FairScheduler",
+    "InvalidTransition",
+    "JobRegistry",
+    "JobRunner",
+    "JobSpec",
+    "PAUSED",
+    "PENDING",
+    "RegistryError",
+    "RUNNING",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceDaemon",
+    "ServiceError",
+    "TERMINAL_STATES",
+]
+
+
+def __getattr__(name):
+    # The daemon (http.server) and client are imported lazily so that
+    # `import repro.service` stays cheap for library users of jobs/registry.
+    if name in ("CampaignService", "ServiceDaemon", "ServiceError"):
+        from repro.service import daemon
+
+        return getattr(daemon, name)
+    if name in ("ServiceClient", "ServiceClientError"):
+        from repro.service import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

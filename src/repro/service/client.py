@@ -1,0 +1,183 @@
+"""A thin stdlib client for the campaign service HTTP API.
+
+The client needs only an *endpoint*: either an explicit ``host:port``
+string, or a service data directory — the daemon writes its bound
+address to ``<data>/endpoint`` at startup, so
+
+::
+
+    client = ServiceClient.connect("/var/lib/repro-service")
+    job = client.submit("alice", {"rounds": 3, "seed": 11})
+    client.wait(job["job_id"])
+    print(client.summary(job["job_id"]))
+
+works without any port bookkeeping.  One ``http.client`` connection per
+request keeps the client state-free (safe across daemon restarts: a new
+daemon on the same data dir republishes its endpoint file and every
+later call picks it up).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.service.jobs import TERMINAL_STATES
+
+
+class ServiceClientError(Exception):
+    """An API error response (carries the daemon's HTTP status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def resolve_endpoint(target: str) -> Tuple[str, int]:
+    """``host:port`` from an address string or a service data dir."""
+    if os.path.isdir(target):
+        path = os.path.join(target, "endpoint")
+        if not os.path.exists(path):
+            raise ServiceClientError(
+                0, f"no endpoint file in {target!r}; is the daemon running?"
+            )
+        with open(path, encoding="utf-8") as handle:
+            target = handle.read().strip()
+    host, _, port = target.rpartition(":")
+    if not host or not port.isdigit():
+        raise ServiceClientError(0, f"malformed endpoint {target!r}")
+    return host, int(port)
+
+
+class ServiceClient:
+    """Verb-per-method wrapper over the daemon's JSON API."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def connect(cls, target: str, timeout: float = 30.0) -> "ServiceClient":
+        host, port = resolve_endpoint(target)
+        return cls(host, port, timeout=timeout)
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read().decode("utf-8")
+            obj = json.loads(data) if data else {}
+            if response.status >= 400:
+                raise ServiceClientError(
+                    response.status, obj.get("error", data or "request failed")
+                )
+            return obj
+        finally:
+            conn.close()
+
+    # -- verbs -----------------------------------------------------------------
+
+    def health(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, tenant: str, spec: Optional[Dict] = None) -> Dict:
+        return self._request(
+            "POST", "/jobs", {"tenant": tenant, "spec": spec or {}}
+        )
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Dict]:
+        path = "/jobs" if tenant is None else f"/jobs?tenant={tenant}"
+        return self._request("GET", path)["jobs"]
+
+    def status(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def pause(self, job_id: str) -> Dict:
+        return self._request("POST", f"/jobs/{job_id}/pause")
+
+    def resume(self, job_id: str) -> Dict:
+        return self._request("POST", f"/jobs/{job_id}/resume")
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def snapshot(self, job_id: str) -> str:
+        return self._request("POST", f"/jobs/{job_id}/snapshot")["snapshot"]
+
+    def fork(
+        self,
+        job_id: str,
+        snapshot_id: str,
+        tenant: str,
+        rounds: Optional[int] = None,
+    ) -> Dict:
+        body: Dict = {"snapshot": snapshot_id, "tenant": tenant}
+        if rounds is not None:
+            body["rounds"] = rounds
+        return self._request("POST", f"/jobs/{job_id}/fork", body)
+
+    def packages(self, job_id: str) -> Dict[str, Dict]:
+        return self._request("GET", f"/jobs/{job_id}/packages")["packages"]
+
+    def summary(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}/summary")
+
+    def trace(
+        self, job_id: str, offset: int = 0, limit: int = 1000
+    ) -> Tuple[int, List[str]]:
+        obj = self._request(
+            "GET", f"/jobs/{job_id}/trace?offset={offset}&limit={limit}"
+        )
+        return obj["offset"], obj["lines"]
+
+    # -- conveniences ----------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll: float = 0.2,
+    ) -> Dict:
+        """Block until the job reaches a terminal state; returns status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    0,
+                    f"job {job_id!r} still {status['state']!r} after "
+                    f"{timeout:.0f}s",
+                )
+            time.sleep(poll)
+
+    def watch(
+        self, job_id: str, poll: float = 0.2
+    ) -> Iterator[str]:
+        """Yield trace lines live until the job is terminal and drained."""
+        offset = 0
+        while True:
+            offset, lines = self.trace(job_id, offset)
+            yield from lines
+            if lines:
+                continue  # drain before re-checking state
+            if self.status(job_id)["state"] in TERMINAL_STATES:
+                offset, lines = self.trace(job_id, offset)
+                yield from lines
+                return
+            time.sleep(poll)

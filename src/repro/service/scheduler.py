@@ -1,0 +1,66 @@
+"""Fair scheduling: round-robin over runnable jobs at round granularity.
+
+Fairness policy: a FIFO turn queue.  Every runnable job appears at most
+once; a turn pops the head, runs exactly one campaign round, and (if
+the job is still runnable) re-appends it at the tail.  With N active
+jobs each therefore gets every Nth round of engine time regardless of
+submit order or campaign size — a tenant's 100-round campaign cannot
+starve a 2-round one, and a newly submitted job waits at most one full
+rotation for its first round.
+
+The queue itself is bookkeeping, not truth: lifecycle state lives on
+the :class:`~repro.service.jobs.CampaignJob`, and the daemon re-checks
+it under the service lock when the turn starts (a job cancelled while
+queued simply gets dropped when its turn comes).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+
+class FairScheduler:
+    """Thread-safe FIFO of job ids awaiting their next round."""
+
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+        self._queued: set = set()
+        self._cv = threading.Condition()
+
+    def enqueue(self, job_id: str) -> None:
+        """Add a job to the tail (idempotent while already queued)."""
+        with self._cv:
+            if job_id in self._queued:
+                return
+            self._queued.add(job_id)
+            self._queue.append(job_id)
+            self._cv.notify()
+
+    def dequeue(self, job_id: str) -> None:
+        """Drop a queued job (pause/cancel); no-op when absent."""
+        with self._cv:
+            if job_id not in self._queued:
+                return
+            self._queued.discard(job_id)
+            self._queue.remove(job_id)
+
+    def next_turn(self, timeout: Optional[float] = None) -> Optional[str]:
+        """Pop the next job id, waiting up to ``timeout`` for one."""
+        with self._cv:
+            if not self._queue:
+                self._cv.wait(timeout)
+            if not self._queue:
+                return None
+            job_id = self._queue.popleft()
+            self._queued.discard(job_id)
+            return job_id
+
+    def __len__(self) -> int:
+        with self._cv:
+            return len(self._queue)
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._cv:
+            return job_id in self._queued

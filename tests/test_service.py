@@ -1,0 +1,423 @@
+"""The multi-tenant campaign service (engine layer, in-process).
+
+Contracts pinned here:
+
+* **Solo equivalence** — N jobs interleaved round-robin through
+  :class:`CampaignService` each produce a summary, funnel totals and
+  reproduction packages bit-identical to the same spec run solo through
+  ``run_rounds(spec.rounds)`` — including a job on the multi-process
+  fleet.
+* **Restart recovery** — abandon the service mid-campaign (stand-in for
+  SIGKILL: no close, no flush beyond the journals' own discipline),
+  reopen the same data directory, and every job resumes to the same
+  bit-identical summary; jobs that owned a turn come back ``pending``.
+* The job state machine rejects illegal edges, pause/resume/cancel act
+  at round boundaries, and snapshot/fork spawn children that continue
+  the parent's campaign bit-identically.
+* The registry journal replays across reopen, tolerates a torn tail,
+  and refuses records that fail their digest check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import JsonlSink, Observer
+from repro.obs.stats import funnel_totals, load_stats
+from repro.orchestrate.pipeline import Snowboard
+from repro.service import (
+    CANCELLED,
+    DONE,
+    PAUSED,
+    PENDING,
+    RUNNING,
+    TERMINAL_STATES,
+    CampaignJob,
+    FairScheduler,
+    InvalidTransition,
+    JobRegistry,
+    JobSpec,
+    RegistryError,
+)
+from repro.service.daemon import CampaignService, ServiceError
+
+BASE = dict(
+    rounds=2,
+    round_budget=5,
+    seed=11,
+    corpus_budget=60,
+    trials=4,
+    max_instructions=40_000,
+)
+SPECS = {
+    "alice": dict(BASE),
+    "bob": dict(BASE, seed=13, rounds=3),
+    "carol": dict(BASE, seed=17, workers=2, fleet="processes"),
+}
+
+
+def run_solo(spec_obj, trace_path=None):
+    """The reference: the same spec through one ``run_rounds`` call."""
+    spec = JobSpec.from_obj(spec_obj)
+    observer = None
+    if trace_path is not None:
+        observer = Observer(JsonlSink(trace_path, header={"solo": True}))
+    snowboard = Snowboard(spec.config(), observer=observer)
+    result = snowboard.run_rounds(
+        spec.rounds,
+        round_budget=spec.round_budget,
+        strategy=spec.strategy,
+        scheduler_kind=spec.scheduler_kind,
+        trials=spec.trials,
+        workers=spec.workers,
+        corpus_growth=spec.growth(),
+        fleet=spec.fleet,
+    )
+    if observer is not None:
+        observer.close()
+    return snowboard, result
+
+
+def drain(service, max_turns=100):
+    turns = 0
+    while any(j["state"] not in TERMINAL_STATES for j in service.jobs()):
+        assert service.run_turn(timeout=0.1), "queue empty with live jobs"
+        turns += 1
+        assert turns < max_turns, "service failed to converge"
+    return turns
+
+
+@pytest.fixture(scope="module")
+def solo(tmp_path_factory):
+    """Reference summaries/packages/funnels for every tenant's spec."""
+    root = tmp_path_factory.mktemp("solo")
+    out = {}
+    for tenant, spec_obj in SPECS.items():
+        trace = str(root / f"{tenant}.jsonl")
+        snowboard, result = run_solo(spec_obj, trace)
+        out[tenant] = {
+            "summary": result.summary(),
+            "packages": {
+                bug: json.loads(pkg.to_json())
+                for bug, pkg in snowboard.repro_packages.items()
+            },
+            "funnel": funnel_totals(load_stats(trace)),
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def interleaved(tmp_path_factory, solo):
+    """One service interleaving all three tenants' jobs to completion."""
+    root = str(tmp_path_factory.mktemp("service"))
+    service = CampaignService(root)
+    ids = {t: service.submit(t, s)["job_id"] for t, s in SPECS.items()}
+    drain(service)
+    yield service, ids, root
+    service.stop()
+
+
+class TestJobSpec:
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown JobSpec fields"):
+            JobSpec.from_obj({"rounds": 1, "budget": 9})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"rounds": 0},
+            {"round_budget": 0},
+            {"trials": 0},
+            {"workers": 0},
+            {"fleet": "boats"},
+            {"fleet": "processes", "workers": 1},
+        ],
+    )
+    def test_rejects_invalid_values(self, bad):
+        with pytest.raises(ValueError):
+            JobSpec.from_obj(bad)
+
+    def test_growth_matches_run_rounds_default(self):
+        # run_rounds defaults growth to half the corpus budget; the spec
+        # must resolve identically or stepped campaigns diverge.
+        assert JobSpec(corpus_budget=60).growth() == 30
+        assert JobSpec(corpus_budget=1).growth() == 1
+        assert JobSpec(corpus_growth=7).growth() == 7
+
+    def test_roundtrips_through_obj(self):
+        spec = JobSpec.from_obj(SPECS["carol"])
+        assert JobSpec.from_obj(spec.to_obj()) == spec
+
+    def test_extended_only_grows(self):
+        spec = JobSpec(rounds=3)
+        assert spec.extended(5).rounds == 5
+        with pytest.raises(ValueError, match="below parent target"):
+            spec.extended(2)
+
+
+class TestStateMachine:
+    def job(self):
+        return CampaignJob(job_id="job-0001", tenant="t", spec=JobSpec())
+
+    def test_happy_path(self):
+        job = self.job()
+        for state in (RUNNING, PAUSED, PENDING, RUNNING, DONE):
+            job.transition(state)
+        assert job.terminal
+
+    def test_terminal_states_are_final(self):
+        job = self.job()
+        job.transition(CANCELLED)
+        with pytest.raises(InvalidTransition):
+            job.transition(PENDING)
+
+    def test_pending_cannot_finish_directly(self):
+        with pytest.raises(InvalidTransition):
+            self.job().transition(DONE)
+
+
+class TestFairScheduler:
+    def test_fifo_rotation(self):
+        sched = FairScheduler()
+        for job_id in ("a", "b", "c"):
+            sched.enqueue(job_id)
+        assert sched.next_turn(0) == "a"
+        sched.enqueue("a")  # back of the line after its round
+        assert [sched.next_turn(0) for _ in range(3)] == ["b", "c", "a"]
+
+    def test_enqueue_is_idempotent(self):
+        sched = FairScheduler()
+        sched.enqueue("a")
+        sched.enqueue("a")
+        assert len(sched) == 1
+
+    def test_dequeue_and_empty_timeout(self):
+        sched = FairScheduler()
+        sched.enqueue("a")
+        sched.dequeue("a")
+        assert "a" not in sched
+        assert sched.next_turn(0) is None
+
+
+class TestInterleavedEqualsSolo:
+    def test_all_jobs_finish(self, interleaved):
+        service, ids, _ = interleaved
+        for job in service.jobs():
+            assert job["state"] == DONE
+            assert job["rounds_done"] == job["spec"]["rounds"]
+
+    @pytest.mark.parametrize("tenant", sorted(SPECS))
+    def test_summary_bit_identical(self, interleaved, solo, tenant):
+        service, ids, _ = interleaved
+        assert service.summary(ids[tenant]) == solo[tenant]["summary"]
+
+    @pytest.mark.parametrize("tenant", sorted(SPECS))
+    def test_packages_bit_identical(self, interleaved, solo, tenant):
+        service, ids, _ = interleaved
+        assert service.packages(ids[tenant]) == solo[tenant]["packages"]
+
+    @pytest.mark.parametrize("tenant", sorted(SPECS))
+    def test_funnel_totals_match_solo(self, interleaved, solo, tenant):
+        # No restarts in this fixture, so the per-job trace carries the
+        # full uninterrupted funnel — it must match the solo campaign's.
+        service, ids, _ = interleaved
+        stats = load_stats(service.registry.trace_path(ids[tenant]))
+        assert funnel_totals(stats) == solo[tenant]["funnel"]
+
+    def test_persisted_summary_file_matches_api(self, interleaved):
+        service, ids, _ = interleaved
+        path = service.registry.summary_path(ids["alice"])
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle) == service.summary(ids["alice"])
+
+    def test_trace_streams_complete_lines(self, interleaved):
+        service, ids, _ = interleaved
+        offset, lines, chunks = 0, [], 0
+        while True:
+            offset, chunk = service.trace(ids["alice"], offset, limit=7)
+            if not chunk:
+                break
+            chunks += 1
+            lines.extend(chunk)
+        assert chunks > 1  # offset-resumed streaming actually paged
+        records = [json.loads(line) for line in lines]
+        assert records[0]["kind"] == "header"
+        assert records[0]["job_id"] == ids["alice"]
+        assert any(r["kind"] == "metrics" for r in records)
+
+    def test_tenant_filter(self, interleaved):
+        service, ids, _ = interleaved
+        jobs = service.jobs(tenant="bob")
+        assert [j["job_id"] for j in jobs] == [ids["bob"]]
+
+
+class TestRestartRecovery:
+    def test_killed_service_resumes_bit_identically(self, tmp_path, solo):
+        root = str(tmp_path / "svc")
+        service = CampaignService(root)
+        ids = {t: service.submit(t, s)["job_id"] for t, s in SPECS.items()}
+        for _ in range(4):  # partial progress across all three jobs
+            assert service.run_turn(timeout=0.1)
+        # Simulated SIGKILL: abandon the instance without stop().
+        del service
+        revived = CampaignService(root)
+        states = {j["job_id"]: j["state"] for j in revived.jobs()}
+        assert set(states.values()) <= {PENDING, DONE}
+        drain(revived)
+        for tenant, job_id in ids.items():
+            assert revived.summary(job_id) == solo[tenant]["summary"]
+            assert revived.packages(job_id) == solo[tenant]["packages"]
+        revived.stop()
+
+    def test_every_kill_point_recovers(self, tmp_path, solo):
+        # Kill after each possible number of completed turns of a
+        # two-round campaign; every restart must land on the solo summary.
+        spec = SPECS["alice"]
+        for kill_after in (0, 1, 2):
+            root = str(tmp_path / f"svc-{kill_after}")
+            service = CampaignService(root)
+            job_id = service.submit("alice", spec)["job_id"]
+            for _ in range(kill_after):
+                service.run_turn(timeout=0.1)
+            del service  # simulated SIGKILL
+            revived = CampaignService(root)
+            drain(revived)
+            assert revived.summary(job_id) == solo["alice"]["summary"]
+            revived.stop()
+
+
+class TestLifecycle:
+    def test_pause_resume_round_trip(self, tmp_path, solo):
+        service = CampaignService(str(tmp_path / "svc"))
+        job_id = service.submit("alice", SPECS["alice"])["job_id"]
+        service.run_turn(timeout=0.1)
+        assert service.pause(job_id)["state"] == PAUSED
+        assert service.run_turn(timeout=0) is False  # nothing runnable
+        assert service.resume(job_id)["state"] == PENDING
+        drain(service)
+        assert service.summary(job_id) == solo["alice"]["summary"]
+        service.stop()
+
+    def test_cancel_is_terminal(self, tmp_path):
+        service = CampaignService(str(tmp_path / "svc"))
+        job_id = service.submit("alice", SPECS["alice"])["job_id"]
+        assert service.cancel(job_id)["state"] == CANCELLED
+        with pytest.raises(ServiceError) as err:
+            service.resume(job_id)
+        assert err.value.status == 409
+        assert service.run_turn(timeout=0) is False  # dequeued on cancel
+        service.stop()
+
+    def test_summary_before_done_conflicts(self, tmp_path):
+        service = CampaignService(str(tmp_path / "svc"))
+        job_id = service.submit("alice", SPECS["alice"])["job_id"]
+        with pytest.raises(ServiceError) as err:
+            service.summary(job_id)
+        assert err.value.status == 409
+        service.stop()
+
+    def test_unknown_job_is_404(self, tmp_path):
+        service = CampaignService(str(tmp_path / "svc"))
+        with pytest.raises(ServiceError) as err:
+            service.status("job-9999")
+        assert err.value.status == 404
+        service.stop()
+
+    def test_bad_spec_is_400(self, tmp_path):
+        service = CampaignService(str(tmp_path / "svc"))
+        with pytest.raises(ServiceError) as err:
+            service.submit("alice", {"rounds": 0})
+        assert err.value.status == 400
+        service.stop()
+
+
+class TestSnapshotFork:
+    def test_fork_from_mid_campaign_snapshot(self, tmp_path, solo):
+        service = CampaignService(str(tmp_path / "svc"))
+        parent = service.submit("alice", SPECS["alice"])["job_id"]
+        service.run_turn(timeout=0.1)  # round 1 of 2 journalled
+        snap = service.snapshot(parent)["snapshot"]
+        child = service.fork(parent, snap, "alice-fork")["job_id"]
+        drain(service)
+        # The child replayed the parent's first round from the snapshot
+        # and ran the rest live: same campaign, bit for bit.
+        assert service.summary(child) == solo["alice"]["summary"]
+        assert service.summary(parent) == solo["alice"]["summary"]
+        assert service.status(child)["forked_from"] == f"{parent}/{snap}"
+        service.stop()
+
+    def test_fork_extends_rounds(self, tmp_path, solo):
+        service = CampaignService(str(tmp_path / "svc"))
+        parent = service.submit("bob", SPECS["bob"])["job_id"]
+        drain(service)
+        snap = service.snapshot(parent)["snapshot"]
+        child = service.fork(parent, snap, "bob", rounds=4)["job_id"]
+        drain(service)
+        _, extended = run_solo(dict(SPECS["bob"], rounds=4))
+        assert service.summary(child) == extended.summary()
+        service.stop()
+
+    def test_fork_unknown_snapshot_is_400(self, tmp_path):
+        service = CampaignService(str(tmp_path / "svc"))
+        parent = service.submit("alice", SPECS["alice"])["job_id"]
+        with pytest.raises(ServiceError) as err:
+            service.fork(parent, "snap-9999", "x")
+        assert err.value.status == 400
+        service.stop()
+
+
+class TestRegistry:
+    def test_replay_preserves_jobs_and_specs(self, tmp_path):
+        root = str(tmp_path / "reg")
+        registry = JobRegistry(root)
+        spec = JobSpec.from_obj(SPECS["bob"])
+        job = registry.submit("bob", spec)
+        job.transition(RUNNING)
+        job.rounds_done = 1
+        registry.record_state(job)
+        registry.close()
+        revived = JobRegistry(root)
+        back = revived.job(job.job_id)
+        assert back.spec == spec
+        assert back.rounds_done == 1
+        assert back.state == PENDING  # running demoted on recovery
+        revived.close()
+
+    def test_submit_seq_survives_restart(self, tmp_path):
+        root = str(tmp_path / "reg")
+        registry = JobRegistry(root)
+        first = registry.submit("a", JobSpec())
+        registry.close()
+        revived = JobRegistry(root)
+        second = revived.submit("b", JobSpec())
+        assert second.submit_seq == first.submit_seq + 1
+        assert second.job_id != first.job_id
+        revived.close()
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        root = str(tmp_path / "reg")
+        registry = JobRegistry(root)
+        job = registry.submit("a", JobSpec())
+        registry.close()
+        with open(os.path.join(root, "registry.jsonl"), "a") as handle:
+            handle.write('{"kind": "state", "job_id"')  # torn mid-record
+        revived = JobRegistry(root)
+        assert revived.job(job.job_id).state == PENDING
+        revived.close()
+
+    def test_digest_corruption_is_refused(self, tmp_path):
+        root = str(tmp_path / "reg")
+        registry = JobRegistry(root)
+        registry.submit("a", JobSpec())
+        registry.close()
+        path = os.path.join(root, "registry.jsonl")
+        with open(path, encoding="utf-8") as handle:
+            record = json.loads(handle.readline())
+        record["job"]["tenant"] = "mallory"  # digest now stale
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        with pytest.raises(RegistryError, match="digest"):
+            JobRegistry(root)
