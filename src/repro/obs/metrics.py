@@ -128,12 +128,23 @@ class Metrics:
         return counter.value if counter is not None else default
 
     def snapshot(self) -> Dict[str, Dict]:
-        """A JSON-ready cumulative snapshot (the ``metrics`` record body)."""
+        """A JSON-ready cumulative snapshot (the ``metrics`` record body).
+
+        Iterates over point-in-time copies of the registries (``list``
+        on a dict is atomic under the GIL), so a concurrent reader —
+        the campaign service's status API polling mid-round — never
+        trips "dictionary changed size during iteration".
+        """
         return {
-            "counters": {k: c.value for k, c in sorted(self.counters.items())},
-            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "counters": {
+                k: c.value for k, c in sorted(list(self.counters.items()))
+            },
+            "gauges": {
+                k: g.value for k, g in sorted(list(self.gauges.items()))
+            },
             "histograms": {
-                k: h.summary() for k, h in sorted(self.histograms.items())
+                k: Histogram(list(h.values)).summary()
+                for k, h in sorted(list(self.histograms.items()))
             },
         }
 

@@ -188,6 +188,21 @@ class CampaignService:
         except InvalidTransition as error:
             raise ServiceError(409, str(error))
 
+    def _settle(self, job: CampaignJob, state: str) -> None:
+        """Drive a job whose round just finished (or raised) terminal.
+
+        A pause or pause+resume landing while the round executed leaves
+        the job PAUSED or PENDING; the round outcome wins that race, so
+        route back through the legal edges before the terminal hop, and
+        drop any queue entry a concurrent resume may have added.
+        """
+        if job.state == PAUSED:
+            job.transition(PENDING)
+        if job.state == PENDING:
+            job.transition(RUNNING)
+        job.transition(state)
+        self.scheduler.dequeue(job.job_id)
+
     # -- artifacts -------------------------------------------------------------
 
     def _read_summary(self, job_id: str) -> Optional[Dict]:
@@ -293,22 +308,35 @@ class CampaignService:
             error = f"{type(exc).__name__}: {exc}"
         with self._lock:
             self._active = None
-            if job.state == CANCELLED:
+            try:
+                if job.state == CANCELLED:
+                    self._close_runner(job_id)
+                elif error is not None:
+                    job.error = error
+                    self._settle(job, FAILED)
+                    self.registry.record_state(job)
+                    self._close_runner(job_id)
+                elif done:
+                    self._settle(job, DONE)
+                    self.registry.record_state(job)
+                    self._close_runner(job_id)
+                elif job.state == PAUSED:
+                    self.registry.record_state(job)  # parked, progress recorded
+                else:
+                    self.registry.record_state(job)
+                    self.scheduler.enqueue(job_id)
+            except Exception as exc:  # pragma: no cover - defensive backstop
+                # One job's epilogue must never take the scheduler loop
+                # (and every other tenant) down: force the job terminal
+                # and keep serving.
+                job.error = job.error or f"{type(exc).__name__}: {exc}"
+                job.state = FAILED
+                self.scheduler.dequeue(job_id)
                 self._close_runner(job_id)
-            elif error is not None:
-                job.error = error
-                self._transition(job, FAILED)
-                self.registry.record_state(job)
-                self._close_runner(job_id)
-            elif done:
-                self._transition(job, DONE)
-                self.registry.record_state(job)
-                self._close_runner(job_id)
-            elif job.state == PAUSED:
-                self.registry.record_state(job)  # parked, progress recorded
-            else:
-                self.registry.record_state(job)
-                self.scheduler.enqueue(job_id)
+                try:
+                    self.registry.record_state(job)
+                except Exception:
+                    pass
         return True
 
     def stop(self) -> None:
@@ -353,6 +381,21 @@ def _make_handler(service: CampaignService):
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
+
+        def _int_param(self, value, name: str, minimum: int = 0) -> int:
+            """Parse a client-supplied integer; out-of-range or
+            non-numeric values are the client's fault (400, not 500)."""
+            try:
+                number = int(value)
+            except (TypeError, ValueError):
+                raise ServiceError(
+                    400, f"{name} must be an integer, got {value!r}"
+                )
+            if number < minimum:
+                raise ServiceError(
+                    400, f"{name} must be >= {minimum}, got {number}"
+                )
+            return number
 
         def _body(self) -> Dict:
             length = int(self.headers.get("Content-Length") or 0)
@@ -413,22 +456,21 @@ def _make_handler(service: CampaignService):
                 snapshot = str(body.get("snapshot") or "")
                 tenant = str(body.get("tenant") or "")
                 rounds = body.get("rounds")
+                if rounds is not None:
+                    rounds = self._int_param(rounds, "rounds", minimum=1)
                 self._reply(
                     201,
-                    service.fork(
-                        groups[0],
-                        snapshot,
-                        tenant,
-                        rounds=None if rounds is None else int(rounds),
-                    ),
+                    service.fork(groups[0], snapshot, tenant, rounds=rounds),
                 )
             elif name == "packages":
                 self._reply(200, {"packages": service.packages(groups[0])})
             elif name == "summary":
                 self._reply(200, service.summary(groups[0]))
             elif name == "trace":
-                offset = int(query.get("offset", ["0"])[0])
-                limit = int(query.get("limit", ["1000"])[0])
+                offset = self._int_param(query.get("offset", ["0"])[0], "offset")
+                limit = self._int_param(
+                    query.get("limit", ["1000"])[0], "limit", minimum=1
+                )
                 new_offset, lines = service.trace(groups[0], offset, limit)
                 self._reply(200, {"offset": new_offset, "lines": lines})
             else:  # pragma: no cover - route table and names stay in sync

@@ -49,7 +49,14 @@ class JobRegistry:
         self.path = os.path.join(self.root, "registry.jsonl")
         self.jobs: Dict[str, CampaignJob] = {}
         self._next_id = 1
-        self._replay()
+        valid_bytes = self._replay()
+        if os.path.exists(self.path) and os.path.getsize(self.path) > valid_bytes:
+            # A SIGKILL mid-append left a torn tail.  Cut it off before
+            # reopening for append: writing the next record glued onto
+            # the partial line would make the *following* replay stop at
+            # the mangled line and silently drop every record after it.
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_bytes)
         self._handle = open(self.path, "a", encoding="utf-8")
 
     # -- journal ---------------------------------------------------------------
@@ -59,31 +66,44 @@ class JobRegistry:
         self._handle.write(json.dumps(obj, sort_keys=True) + "\n")
         self._handle.flush()
 
-    def _replay(self) -> None:
+    def _replay(self) -> int:
+        """Rebuild the job table from the journal.
+
+        Returns the byte length of the fully-parsed prefix; anything
+        past it is a torn tail that ``__init__`` truncates before the
+        append handle is opened.
+        """
+        valid = 0
         if not os.path.exists(self.path):
-            return
-        with open(self.path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    obj = json.loads(line)
-                except json.JSONDecodeError:
+            return valid
+        with open(self.path, "rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
                     break  # torn tail: keep the valid prefix
-                digest = obj.pop("digest", None)
-                if digest != record_digest(obj):
-                    raise RegistryError(
-                        f"registry {self.path!r}: record failed its digest "
-                        f"check ({obj.get('kind')!r})"
-                    )
-                self._apply(obj)
+                try:
+                    line = raw.decode("utf-8").strip()
+                except UnicodeDecodeError:
+                    break
+                if line:
+                    try:
+                        obj = json.loads(line)
+                    except json.JSONDecodeError:
+                        break
+                    digest = obj.pop("digest", None)
+                    if digest != record_digest(obj):
+                        raise RegistryError(
+                            f"registry {self.path!r}: record failed its digest "
+                            f"check ({obj.get('kind')!r})"
+                        )
+                    self._apply(obj)
+                valid += len(raw)
         # Jobs that owned a scheduler turn when the daemon died come
         # back as pending — their campaign journal holds every merged
         # task, so the replayed rounds land bit-identically.
         for job in self.jobs.values():
             if job.state == RUNNING:
                 job.state = PENDING
+        return valid
 
     def _apply(self, obj: Dict) -> None:
         kind = obj.get("kind")
@@ -125,7 +145,11 @@ class JobRegistry:
         return [j for j in jobs if j.tenant == tenant]
 
     def submit(
-        self, tenant: str, spec: JobSpec, forked_from: str = ""
+        self,
+        tenant: str,
+        spec: JobSpec,
+        forked_from: str = "",
+        checkpoint_source: str = "",
     ) -> CampaignJob:
         spec.validate()
         if not tenant:
@@ -140,6 +164,18 @@ class JobRegistry:
             submit_seq=seq,
         )
         os.makedirs(self.job_dir(job.job_id), exist_ok=True)
+        # The checkpoint must exist before the submit record is
+        # journalled: a crash between the two otherwise recovers a
+        # forked child that silently starts from round one while its
+        # forked_from provenance claims the snapshot.  The inverse
+        # crash (checkpoint copied, record never landed) leaves an
+        # orphan under a job id that will be reused — clear it so a
+        # fresh submit never adopts another job's journal.
+        checkpoint = self.checkpoint_path(job.job_id)
+        if os.path.exists(checkpoint):
+            os.remove(checkpoint)
+        if checkpoint_source and os.path.getsize(checkpoint_source) > 0:
+            shutil.copyfile(checkpoint_source, checkpoint)
         self.jobs[job.job_id] = job
         self._append({"kind": "submit", "job": job.to_obj()})
         return job
@@ -237,12 +273,12 @@ class JobRegistry:
         spec = parent.spec
         if rounds is not None:
             spec = spec.extended(rounds)
-        child = self.submit(
-            tenant, spec, forked_from=f"{job_id}/{snapshot_id}"
+        return self.submit(
+            tenant,
+            spec,
+            forked_from=f"{job_id}/{snapshot_id}",
+            checkpoint_source=source,
         )
-        if os.path.getsize(source) > 0:
-            shutil.copyfile(source, self.checkpoint_path(child.job_id))
-        return child
 
     def close(self) -> None:
         if not self._handle.closed:

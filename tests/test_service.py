@@ -31,6 +31,7 @@ from repro.orchestrate.pipeline import Snowboard
 from repro.service import (
     CANCELLED,
     DONE,
+    FAILED,
     PAUSED,
     PENDING,
     RUNNING,
@@ -43,6 +44,7 @@ from repro.service import (
     RegistryError,
 )
 from repro.service.daemon import CampaignService, ServiceError
+from repro.service.runner import JobRunner
 
 BASE = dict(
     rounds=2,
@@ -333,6 +335,68 @@ class TestLifecycle:
         assert err.value.status == 400
         service.stop()
 
+    def test_pause_landing_mid_final_round_settles_done(
+        self, tmp_path, solo, monkeypatch
+    ):
+        # A pause arriving while the campaign's last round executes must
+        # not crash the scheduler loop: the round outcome wins the race.
+        service = CampaignService(str(tmp_path / "svc"))
+        job_id = service.submit("alice", SPECS["alice"])["job_id"]
+        service.run_turn(timeout=0.1)  # round 1 of 2
+        orig_step = JobRunner.step
+
+        def step_then_pause(runner):
+            done = orig_step(runner)
+            service.pause(runner.job.job_id)  # lands "mid-round"
+            return done
+
+        monkeypatch.setattr(JobRunner, "step", step_then_pause)
+        assert service.run_turn(timeout=0.1)  # must not raise
+        monkeypatch.setattr(JobRunner, "step", orig_step)
+        assert service.status(job_id)["state"] == DONE
+        assert service.summary(job_id) == solo["alice"]["summary"]
+        service.stop()
+
+    def test_pause_resume_mid_final_round_settles_done(
+        self, tmp_path, solo, monkeypatch
+    ):
+        service = CampaignService(str(tmp_path / "svc"))
+        job_id = service.submit("alice", SPECS["alice"])["job_id"]
+        service.run_turn(timeout=0.1)  # round 1 of 2
+        orig_step = JobRunner.step
+
+        def step_then_pause_resume(runner):
+            done = orig_step(runner)
+            service.pause(runner.job.job_id)
+            service.resume(runner.job.job_id)  # job is PENDING + queued
+            return done
+
+        monkeypatch.setattr(JobRunner, "step", step_then_pause_resume)
+        assert service.run_turn(timeout=0.1)  # must not raise
+        monkeypatch.setattr(JobRunner, "step", orig_step)
+        assert service.status(job_id)["state"] == DONE
+        # The resume's queue entry was dropped with the terminal hop.
+        assert service.run_turn(timeout=0) is False
+        assert service.summary(job_id) == solo["alice"]["summary"]
+        service.stop()
+
+    def test_pause_mid_round_failure_settles_failed(
+        self, tmp_path, monkeypatch
+    ):
+        service = CampaignService(str(tmp_path / "svc"))
+        job_id = service.submit("alice", SPECS["alice"])["job_id"]
+
+        def step_pause_boom(runner):
+            service.pause(runner.job.job_id)
+            raise RuntimeError("engine exploded mid-round")
+
+        monkeypatch.setattr(JobRunner, "step", step_pause_boom)
+        assert service.run_turn(timeout=0.1)  # must not raise
+        status = service.status(job_id)
+        assert status["state"] == FAILED
+        assert "engine exploded" in status["error"]
+        service.stop()
+
 
 class TestSnapshotFork:
     def test_fork_from_mid_campaign_snapshot(self, tmp_path, solo):
@@ -406,6 +470,53 @@ class TestRegistry:
             handle.write('{"kind": "state", "job_id"')  # torn mid-record
         revived = JobRegistry(root)
         assert revived.job(job.job_id).state == PENDING
+        revived.close()
+
+    def test_torn_tail_is_truncated_before_new_appends(self, tmp_path):
+        # A torn tail must be cut off on reopen: appending the next
+        # record glued onto the partial line would make the *following*
+        # replay stop there and silently drop everything after it.
+        root = str(tmp_path / "reg")
+        registry = JobRegistry(root)
+        first = registry.submit("a", JobSpec())
+        registry.close()
+        with open(os.path.join(root, "registry.jsonl"), "a") as handle:
+            handle.write('{"kind": "state", "job_id"')  # torn mid-record
+        revived = JobRegistry(root)
+        second = revived.submit("b", JobSpec())
+        revived.close()
+        third = JobRegistry(root)
+        assert set(third.jobs) == {first.job_id, second.job_id}
+        assert third.job(second.job_id).tenant == "b"
+        third.close()
+
+    def test_fork_copies_checkpoint_before_submit_record(self, tmp_path):
+        # Crash contract: if the child's submit record made it into the
+        # journal, its checkpoint must already be on disk — never a
+        # recovered fork that silently restarts from round one.
+        root = str(tmp_path / "reg")
+        registry = JobRegistry(root)
+        parent = registry.submit("a", JobSpec())
+        with open(registry.checkpoint_path(parent.job_id), "w") as handle:
+            handle.write('{"kind": "round"}\n')
+        snap = registry.snapshot(parent.job_id)
+
+        def boom(obj):
+            raise RuntimeError("simulated crash at the submit record")
+
+        registry._append = boom  # instance override: crash before append
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            registry.fork(parent.job_id, snap, "b")
+        del registry._append
+        # The copy preceded the (never-written) record ...
+        assert os.path.exists(registry.checkpoint_path("job-0002"))
+        registry.close()
+        # ... and on recovery the orphan id is reused by a fresh submit,
+        # which must not adopt the dead fork's journal.
+        revived = JobRegistry(root)
+        fresh = revived.submit("c", JobSpec())
+        assert fresh.job_id == "job-0002"
+        assert not os.path.exists(revived.checkpoint_path(fresh.job_id))
         revived.close()
 
     def test_digest_corruption_is_refused(self, tmp_path):

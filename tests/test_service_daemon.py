@@ -16,6 +16,7 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 
 import pytest
@@ -144,3 +145,38 @@ def test_daemon_sigkill_restart_is_bit_identical(tmp_path_factory, solo):
 def test_client_reports_missing_daemon(tmp_path):
     with pytest.raises(ServiceClientError, match="endpoint"):
         ServiceClient.connect(str(tmp_path))
+
+
+def test_malformed_numbers_are_client_errors(tmp_path):
+    """Bad query/body numbers are the client's fault: 400, never 500."""
+    from repro.service.daemon import ServiceDaemon
+
+    data = str(tmp_path / "svc")
+    daemon = ServiceDaemon(data)
+    thread = threading.Thread(
+        target=daemon._httpd.serve_forever, daemon=True
+    )
+    thread.start()
+    try:
+        client = ServiceClient.connect(data)
+        job_id = client.submit("alice", SPECS["alice"])["job_id"]
+        for path in (
+            f"/jobs/{job_id}/trace?offset=abc",
+            f"/jobs/{job_id}/trace?offset=-3",
+            f"/jobs/{job_id}/trace?limit=abc",
+            f"/jobs/{job_id}/trace?limit=0",
+        ):
+            with pytest.raises(ServiceClientError) as err:
+                client._request("GET", path)
+            assert err.value.status == 400, path
+        with pytest.raises(ServiceClientError) as err:
+            client._request(
+                "POST",
+                f"/jobs/{job_id}/fork",
+                {"snapshot": "snap-0001", "tenant": "x", "rounds": "x"},
+            )
+        assert err.value.status == 400
+    finally:
+        daemon._httpd.shutdown()
+        thread.join(timeout=10)
+        daemon.service.stop()
