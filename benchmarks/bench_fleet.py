@@ -1,4 +1,4 @@
-"""Experiment — process fleet vs thread fleet throughput.
+"""Experiment — process fleet vs thread fleet vs socket fleet throughput.
 
 CPython threads serialize the interpreter hot path behind the GIL, so
 the PR-2 thread fleet buys fault isolation but no parallel speedup.  The
@@ -9,6 +9,11 @@ container the speedup inverts (spawn + pickle overhead, no second core),
 so the figure asserted here is *equality of results* and the throughput
 numbers are recorded for the gate to compare against their own baseline
 on the same machine class.
+
+The socket fleet runs the same worker bodies over localhost TCP
+(length-prefixed JSON frames instead of pickled queue messages); its leg
+quantifies what the network transport costs relative to the
+multiprocessing queues on the same machine.
 
 Results are appended to ``BENCH_fleet.json`` at the repo root in the
 same trajectory shape as ``BENCH_hot_path.json``; ``scripts/bench_gate.py``
@@ -61,10 +66,19 @@ def measure_fleet(snowboard: Snowboard, budget: int, workers: int) -> Dict[str, 
     )
     process_wall = time.perf_counter() - start
 
+    socket_sb = Snowboard(config).prepare()
+    start = time.perf_counter()
+    socket_campaign = socket_sb.run_campaign(
+        STRATEGY, test_budget=budget, workers=workers, fleet="sockets"
+    )
+    socket_wall = time.perf_counter() - start
+
     assert process_campaign.summary() == thread_campaign.summary()
+    assert socket_campaign.summary() == thread_campaign.summary()
 
     thread_epm = thread_campaign.executions_per_minute
     process_epm = process_campaign.executions_per_minute
+    socket_epm = socket_campaign.executions_per_minute
     return {
         "budget": budget,
         "workers": workers,
@@ -72,15 +86,24 @@ def measure_fleet(snowboard: Snowboard, budget: int, workers: int) -> Dict[str, 
         "trials": thread_campaign.trials,
         "thread_wall_seconds": round(thread_wall, 3),
         "process_wall_seconds": round(process_wall, 3),
+        "socket_wall_seconds": round(socket_wall, 3),
         "thread_executions_per_min": round(thread_epm, 1),
         "process_executions_per_min": round(process_epm, 1),
+        "socket_executions_per_min": round(socket_epm, 1),
         "process_speedup": round(process_epm / thread_epm, 2) if thread_epm else 0.0,
+        "socket_overhead": (
+            round(process_epm / socket_epm, 2) if socket_epm else 0.0
+        ),
         "campaign_summary": thread_campaign.summary(),
     }
 
 
 #: The figures the regression gate compares (higher is better).
-THROUGHPUT_KEYS = ("thread_executions_per_min", "process_executions_per_min")
+THROUGHPUT_KEYS = (
+    "thread_executions_per_min",
+    "process_executions_per_min",
+    "socket_executions_per_min",
+)
 
 
 def test_fleet_throughput(snowboard):
@@ -91,7 +114,8 @@ def test_fleet_throughput(snowboard):
         f"\nfleet ({record['workers']} workers, {record['cpu_count']} cores): "
         f"threads {record['thread_executions_per_min']:,.0f} exec/min, "
         f"processes {record['process_executions_per_min']:,.0f} exec/min "
-        f"({record['process_speedup']:.2f}x)"
+        f"({record['process_speedup']:.2f}x), "
+        f"sockets {record['socket_executions_per_min']:,.0f} exec/min"
     )
     assert record["trials"] > 0
     # The >= 1.5x claim needs real cores; on small containers the spawn

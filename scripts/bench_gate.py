@@ -132,7 +132,13 @@ def main(argv=None) -> int:
             f"({baseline['label']!r})"
         )
         for key in keys:
-            now, then = record[key], baseline[key]
+            now, then = record[key], baseline.get(key)
+            if then is None:
+                # A key added after the baseline was recorded: nothing to
+                # compare yet; the figure enters the gate at the next
+                # --set-baseline.
+                print(f"  {key:>25}: {now:>12,.1f} (no baseline yet)")
+                continue
             ratio = now / then if then else float("inf")
             status = "ok"
             if ratio < 1.0 - TOLERANCE:

@@ -41,12 +41,15 @@
 #                  campaign is killed after round 1, resumed, and the
 #                  resumed summary must be bit-identical to an
 #                  uninterrupted run.
-#  5. smoke-fleet — the multi-process fleet under fire
-#                  (scripts/smoke_fleet.py): a worker SIGKILLs itself
-#                  mid-task, then a checkpointed process-fleet campaign
-#                  is killed and resumed; both must land bit-identical
-#                  to serial.  A second CLI campaign then runs
-#                  --fleet processes --checkpoint-fsync end to end.
+#  5. smoke-fleet — the worker fleets under fire
+#                  (scripts/smoke_fleet.py): a process worker SIGKILLs
+#                  itself mid-task, a socket worker does the same (its
+#                  death visible only through the missed-heartbeat
+#                  deadline), then a checkpointed process-fleet campaign
+#                  is killed and resumed; all must land bit-identical
+#                  to serial.  Two CLI campaigns then run
+#                  --fleet processes --checkpoint-fsync and
+#                  --fleet sockets end to end.
 #  6. smoke-store — kill-and-resume for the out-of-core PMC store
 #                  (scripts/smoke_store.py): a tiny campaign spilled to
 #                  segment files with the hot tier forced to 1/10 of the
@@ -135,7 +138,7 @@ if [[ "$LEG" == "smokes" || "$LEG" == "all" ]]; then
     echo "== smoke: round-based kill-and-resume =="
     python scripts/smoke_incremental.py "$ARTIFACTS_DIR/smoke_incremental_checkpoint.jsonl"
 
-    echo "== smoke: process fleet under fire =="
+    echo "== smoke: worker fleets under fire =="
     python scripts/smoke_fleet.py "$ARTIFACTS_DIR/smoke_fleet_checkpoint.jsonl"
     FLEET_CHECKPOINT="$ARTIFACTS_DIR/smoke_fleet_cli_checkpoint.jsonl"
     rm -f "$FLEET_CHECKPOINT"
@@ -143,6 +146,12 @@ if [[ "$LEG" == "smokes" || "$LEG" == "all" ]]; then
         --strategy S-INS-PAIR --budget 4 --trials 4 --seed 7 --corpus 120 \
         --workers 2 --fleet processes \
         --checkpoint "$FLEET_CHECKPOINT" --checkpoint-fsync
+    SOCKET_CHECKPOINT="$ARTIFACTS_DIR/smoke_socket_cli_checkpoint.jsonl"
+    rm -f "$SOCKET_CHECKPOINT"
+    python -m repro campaign \
+        --strategy S-INS-PAIR --budget 4 --trials 4 --seed 7 --corpus 120 \
+        --workers 2 --fleet sockets \
+        --checkpoint "$SOCKET_CHECKPOINT"
 
     echo "== smoke: spilled PMC store kill-and-resume =="
     python scripts/smoke_store.py "$ARTIFACTS_DIR/smoke_store_work"

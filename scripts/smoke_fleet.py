@@ -1,14 +1,19 @@
 #!/usr/bin/env python
-"""CI smoke: the multi-process fleet under fire.
+"""CI smoke: the worker fleets under fire.
 
-Two end-to-end fault drills against a serial reference run, exercising
-the exact code paths ``campaign --workers N --fleet processes`` uses:
+Three end-to-end fault drills against a serial reference run, exercising
+the exact code paths ``campaign --workers N --fleet processes|sockets``
+use:
 
 1. **SIGKILLed worker** — a worker process kills itself mid-task
    (``FleetFault.kill_task_id``); the coordinator must reclaim the
    lease, respawn the worker, and finish with a summary bit-identical
    to serial.
-2. **Killed coordinator** — a checkpointed process-fleet campaign is
+2. **SIGKILLed socket worker** — the same drill over the TCP transport:
+   the coordinator only learns of the death through the missed-heartbeat
+   deadline (a dead socket worker sends no FIN it can rely on), reclaims
+   the lease, spawns a fresh worker, and still matches serial.
+3. **Killed coordinator** — a checkpointed process-fleet campaign is
    'crashed' after its journal records a few tasks, then resumed by a
    fresh coordinator over a fresh fleet; the resumed summary must be
    bit-identical to the uninterrupted serial run.
@@ -38,6 +43,12 @@ CONFIG = SnowboardConfig(
     corpus_budget=120,
     trials_per_pmc=4,
     fleet_start_method=os.environ.get("FLEET_START_METHOD", "spawn"),
+    # Tight liveness knobs so the SIGKILL drills detect the dead worker
+    # in seconds, not the production 10 s deadline.  Tuning only: the
+    # serial reference ignores them, summaries are unaffected.
+    fleet_heartbeat_interval=0.1,
+    fleet_heartbeat_timeout=2.0,
+    fleet_boot_grace=60.0,
 )
 BUDGET = 4
 WORKERS = 2
@@ -67,6 +78,37 @@ def drill_sigkilled_worker(expected) -> int:
         print(
             f"smoke_fleet: FAILED — expected 1 respawn/0 failures, got "
             f"{campaign.worker_respawns}/{campaign.task_failures}"
+        )
+        return 1
+    return 0
+
+
+def drill_sigkilled_socket_worker(expected) -> int:
+    """Socket worker SIGKILLs itself; death is seen only via heartbeats."""
+    sb = Snowboard(CONFIG).prepare()
+    with tempfile.TemporaryDirectory() as tmp:
+        sb.fleet_fault = FleetFault(
+            kill_task_id=1, once_marker=os.path.join(tmp, "kill.marker")
+        )
+        campaign = sb.run_campaign(
+            STRATEGY, test_budget=BUDGET, workers=WORKERS, fleet="sockets"
+        )
+    if campaign.summary() != expected.summary():
+        print("smoke_fleet: FAILED — post-SIGKILL socket summary diverged")
+        print(f"  expected: {expected.summary()}")
+        print(f"  got:      {campaign.summary()}")
+        return 1
+    if campaign.worker_respawns != 1 or campaign.task_failures != 0:
+        print(
+            f"smoke_fleet: FAILED — expected 1 respawn/0 failures, got "
+            f"{campaign.worker_respawns}/{campaign.task_failures}"
+        )
+        return 1
+    missed = sum(s.heartbeats_missed for s in campaign.worker_stats)
+    if missed != 1:
+        print(
+            f"smoke_fleet: FAILED — expected exactly 1 missed-heartbeat "
+            f"reclaim, got {missed}"
         )
         return 1
     return 0
@@ -129,13 +171,16 @@ def main() -> int:
     status = drill_sigkilled_worker(expected)
     if status:
         return status
+    status = drill_sigkilled_socket_worker(expected)
+    if status:
+        return status
     status = drill_killed_coordinator(expected, path)
     if status:
         return status
 
     print(
-        f"smoke_fleet: green — SIGKILLed worker and killed coordinator "
-        f"both recovered to the serial summary "
+        f"smoke_fleet: green — SIGKILLed process worker, SIGKILLed socket "
+        f"worker and killed coordinator all recovered to the serial summary "
         f"(start_method={CONFIG.fleet_start_method}, trials={expected.trials}, "
         f"journal={path})"
     )

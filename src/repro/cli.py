@@ -60,11 +60,33 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--fleet",
-        choices=("threads", "processes"),
+        choices=("threads", "processes", "sockets"),
         default="threads",
-        help="worker substrate for --workers > 1: in-process threads, or "
-        "spawned worker processes behind the picklable wire format "
-        "(bit-identical results either way)",
+        help="worker substrate for --workers > 1: in-process threads, "
+        "spawned worker processes behind the picklable wire format, or "
+        "socket workers speaking the same envelopes as length-prefixed "
+        "JSON frames over TCP (bit-identical results in every case)",
+    )
+    campaign.add_argument(
+        "--fleet-listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="socket-fleet listen endpoint (default 127.0.0.1:0 = "
+        "ephemeral port; requires --fleet sockets)",
+    )
+    campaign.add_argument(
+        "--fleet-token",
+        metavar="TOKEN",
+        default=None,
+        help="shared handshake token for socket workers (default: a "
+        "fresh random token per round; requires --fleet sockets)",
+    )
+    campaign.add_argument(
+        "--fleet-external",
+        action="store_true",
+        help="do not auto-spawn local socket workers; wait for external "
+        "'repro fleet-worker --connect' workers instead (requires "
+        "--fleet sockets, --fleet-listen and --fleet-token)",
     )
     campaign.add_argument(
         "--fixed",
@@ -185,6 +207,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--minimize", action="store_true", help="ddmin the schedule first"
     )
 
+    worker = sub.add_parser(
+        "fleet-worker",
+        help="join a socket-fleet coordinator as a Stage-4 worker",
+    )
+    worker.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        required=True,
+        help="coordinator endpoint (the campaign's --fleet-listen)",
+    )
+    worker.add_argument(
+        "--token",
+        metavar="TOKEN",
+        required=True,
+        help="shared handshake token (the campaign's --fleet-token)",
+    )
+    worker.add_argument(
+        "--once",
+        action="store_true",
+        help="serve a single connection and exit instead of reconnecting "
+        "as a fresh worker after a lost link",
+    )
+    worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=20.0,
+        metavar="SECONDS",
+        help="how long to keep redialing a refused/unreachable endpoint "
+        "before giving up (default 20)",
+    )
+
     sub.add_parser("strategies", help="list the clustering strategies")
     sub.add_parser("bugs", help="list the Table 2 bug catalog")
 
@@ -222,10 +275,29 @@ def _cmd_campaign(args) -> int:
     if args.checkpoint_fsync and not args.checkpoint:
         print("error: --checkpoint-fsync requires --checkpoint", file=sys.stderr)
         return 2
-    if args.fleet == "processes" and args.workers <= 1:
+    if args.fleet in ("processes", "sockets") and args.workers <= 1:
         print(
-            "error: --fleet processes requires --workers > 1 "
+            f"error: --fleet {args.fleet} requires --workers > 1 "
             "(one worker runs the serial path)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fleet != "sockets" and (
+        args.fleet_listen is not None
+        or args.fleet_token is not None
+        or args.fleet_external
+    ):
+        print(
+            "error: --fleet-listen/--fleet-token/--fleet-external require "
+            "--fleet sockets",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fleet_external and (args.fleet_listen is None or args.fleet_token is None):
+        print(
+            "error: --fleet-external requires --fleet-listen and "
+            "--fleet-token (external workers must know where to dial and "
+            "what to present)",
             file=sys.stderr,
         )
         return 2
@@ -250,6 +322,13 @@ def _cmd_campaign(args) -> int:
         # The hot tier holds parsed tuples, not packed records; the
         # fixed record width is still the natural sizing unit.
         pmc_hot_records = max(1, int(args.pmc_hot_mb * 1024 * 1024) // RECORD_SIZE)
+    fleet_knobs = {}
+    if args.fleet_listen is not None:
+        fleet_knobs["fleet_listen"] = args.fleet_listen
+    if args.fleet_token is not None:
+        fleet_knobs["fleet_token"] = args.fleet_token
+    if args.fleet_external:
+        fleet_knobs["fleet_spawn_workers"] = False
     config = SnowboardConfig(
         seed=args.seed,
         corpus_budget=args.corpus,
@@ -259,6 +338,7 @@ def _cmd_campaign(args) -> int:
         pmc_hot_records=pmc_hot_records,
         prefix_fork=not args.no_prefix_fork,
         prune_commuting=args.prune_commuting,
+        **fleet_knobs,
     )
     observer = _make_observer(args)
     snowboard = Snowboard(config, observer=observer).prepare()
@@ -511,6 +591,39 @@ def _cmd_bugs(_args) -> int:
     return 0
 
 
+def _cmd_fleet_worker(args) -> int:
+    from repro.orchestrate.fleet import WireFormatError
+    from repro.orchestrate.socketfleet import socket_worker_main
+
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not host or not (0 < port < 65536):
+        print(
+            f"error: --connect expects HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        return socket_worker_main(
+            host,
+            port,
+            args.token,
+            reconnect=not args.once,
+            connect_deadline=args.connect_timeout,
+        )
+    except WireFormatError as error:
+        print(f"error: handshake rejected: {error}", file=sys.stderr)
+        return 2
+    except PermissionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _dispatch(_build_parser().parse_args(argv))
@@ -541,6 +654,8 @@ def _dispatch(args) -> int:
         return _cmd_strategies(args)
     if args.command == "bugs":
         return _cmd_bugs(args)
+    if args.command == "fleet-worker":
+        return _cmd_fleet_worker(args)
     from repro.service import cli as service_cli
 
     if service_cli.handles(args.command):

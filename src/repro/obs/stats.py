@@ -246,6 +246,49 @@ def round_rows(stats: TraceStats) -> List[List[str]]:
     return rows
 
 
+# -- the per-worker fleet table ------------------------------------------------
+
+#: ``fleet.wN.<metric>`` counter names emitted at campaign finish.
+_FLEET_WORKER_COUNTER = re.compile(
+    r"^fleet\.w(\d+)\.(tasks|retries|respawns|missed_heartbeats)$"
+)
+
+#: Per-worker metrics in display order (column label, counter suffix).
+FLEET_WORKER_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("tasks", "tasks"),
+    ("retries", "retries"),
+    ("respawns", "respawns"),
+    ("missed heartbeats", "missed_heartbeats"),
+)
+
+
+def fleet_worker_counters(stats: TraceStats) -> Dict[int, Dict[str, Number]]:
+    """Per-worker fleet health, keyed by worker id.
+
+    Empty for serial traces — only campaigns that ran a worker fleet
+    emit ``fleet.wN.*`` counters."""
+    workers: Dict[int, Dict[str, Number]] = {}
+    for name, value in stats.counters.items():
+        match = _FLEET_WORKER_COUNTER.match(name)
+        if match is not None:
+            workers.setdefault(int(match.group(1)), {})[match.group(2)] = value
+    return workers
+
+
+def fleet_worker_rows(stats: TraceStats) -> List[List[str]]:
+    """Rows for the per-worker fleet table (empty for serial traces)."""
+    workers = fleet_worker_counters(stats)
+    rows: List[List[str]] = []
+    for worker_id in sorted(workers):
+        data = workers[worker_id]
+        row = [f"w{worker_id}"]
+        for _label, suffix in FLEET_WORKER_METRICS:
+            value = data.get(suffix)
+            row.append("-" if value is None else f"{value:,}")
+        rows.append(row)
+    return rows
+
+
 # -- the per-stage time breakdown ----------------------------------------------
 
 def stage_time_rows(stats: TraceStats) -> List[List[str]]:
@@ -308,11 +351,13 @@ def stats_to_obj(stats: TraceStats) -> Dict:
         if value is not None:
             funnel[name] = value
     rounds = round_counters(stats)
+    workers = fleet_worker_counters(stats)
     return {
         "header": dict(stats.header),
         "funnel": funnel,
         "store_tiers": store_tiers(stats),
         "rounds": [{"round": n, **rounds[n]} for n in sorted(rounds)],
+        "fleet_workers": [{"worker": n, **workers[n]} for n in sorted(workers)],
         "stage_times": [
             {
                 "name": agg.name,
@@ -335,6 +380,7 @@ def render_stats(stats: TraceStats, markdown: bool = False) -> str:
     """The full ``repro stats`` report: funnel, stage times, latency —
     plus the per-round funnel when the trace came from ``run_rounds``."""
     from repro.orchestrate.reporting import (
+        render_fleet_workers,
         render_funnel,
         render_rounds,
         render_stage_times,
@@ -363,6 +409,11 @@ def render_stats(stats: TraceStats, markdown: bool = False) -> str:
         parts.append("")
         parts.append("== Per-round funnel ==")
         parts.append(render_rounds(rounds, markdown=markdown))
+    workers = fleet_worker_rows(stats)
+    if workers:
+        parts.append("")
+        parts.append("== Fleet workers ==")
+        parts.append(render_fleet_workers(workers, markdown=markdown))
     parts.append("")
     parts.append("== Per-stage wall time ==")
     parts.append(render_stage_times(stage_time_rows(stats), markdown=markdown))

@@ -1,55 +1,71 @@
-"""Multi-process campaign fleet: coordinator/worker over a wire format.
+"""Transport-agnostic campaign fleet: coordinator/worker over a wire format.
 
 The paper's real deployment pushed concurrent tests "to cloud workers
 through a lightweight distributed queue" (§4.4.1) and ran for weeks on a
-GCP fleet.  This module is that topology one rung up from the PR-2
-thread fleet: a coordinator process owning the queue semantics, and N
-worker *processes*, each booting a private kernel, connected only by
-``multiprocessing`` queues.  Everything that crosses the boundary is a
-versioned, fully picklable envelope — the same shape a real network
-transport (Redis, gRPC) would carry.
+GCP fleet.  This module is the coordinator half of that topology: a
+:class:`FleetCoordinator` owning queue semantics (leases, retries,
+respawns, pool-exhaustion drain) over an abstract *transport* — the
+thing that actually moves envelopes to workers and back.  Two transports
+exist today:
+
+* :class:`~repro.orchestrate.transport.MultiprocessingTransport` — N
+  local worker processes connected by ``multiprocessing`` queues
+  (``--fleet processes``).
+* :class:`~repro.orchestrate.socketfleet.SocketTransport` — workers
+  connected over TCP with length-prefixed JSON frames of the same
+  envelopes (``--fleet sockets``; workers join via
+  ``repro fleet-worker --connect HOST:PORT``).
 
 Topology::
 
-    coordinator ──(TaskEnvelope)──> inq[i] ──> worker i  (private kernel)
-    coordinator <─(ResultEnvelope)─ results <── worker i
+    coordinator ──(TaskEnvelope)──> transport ──> worker i  (private kernel)
+    coordinator <─(ResultEnvelope │ HeartbeatEnvelope)─ transport <── worker i
 
-Each worker has a *private* dispatch queue and at most one outstanding
-task; the assignment *is* the lease.  The fault model ports PR-2's
-across the process boundary:
+Each worker has at most one outstanding task; the assignment *is* the
+lease.  Liveness is message-based, not handle-based: every worker emits
+a :class:`HeartbeatEnvelope` on the results channel every
+``heartbeat_interval`` seconds (starting *before* its kernel boots), and
+the coordinator declares a worker dead when no beat arrives for
+``heartbeat_timeout`` seconds (``boot_grace`` covers the spawn-to-first-
+beat window).  No ``Process.exitcode`` is consulted anywhere, which is
+what lets a socket worker on another machine participate in the same
+lease protocol.  The fault model:
 
 * **Task failure** — ``run_task_trials`` raises ``Exception`` in the
   worker.  The worker survives and reports a ``task_error`` envelope;
   the coordinator re-dispatches the (deterministic) task up to
   ``max_task_retries`` times, then records a
   :class:`~repro.orchestrate.queue.TaskFailure`.
-* **Worker death** — the process exits without reporting (SIGKILL, OOM,
-  a segfaulting extension): detected via ``Process.exitcode``, or via
-  *lease expiry* when the process wedges without dying.  The leased task
-  is reclaimed and re-dispatched (counting one retry, exactly like the
-  thread fleet's ``BaseException`` path), and the worker is respawned —
-  fresh process, fresh kernel — up to ``max_worker_respawns`` times.
+* **Worker death** — the worker stops beating (SIGKILL, OOM, a
+  segfaulting extension, a dropped network link), or its lease expires
+  while it still beats (wedged).  Before reclaiming, the coordinator
+  drains the results channel: a final result already queued wins and the
+  task is *not* charged a retry.  Otherwise the leased task is reclaimed
+  and re-dispatched (counting one retry), and the worker is respawned —
+  fresh process or fresh connection slot, fresh kernel — up to
+  ``max_worker_respawns`` times.  Results and beats carry the worker's
+  spawn ``generation``; anything stamped with a stale generation is
+  discarded, so a reclaimed-then-slow predecessor can never corrupt its
+  successor's accounting.
 * **Pool exhaustion** — every worker is dead for good.  Unfinished tasks
   are drained into ``TaskFailure`` results ("worker pool exhausted"),
   so callers always get one result per task: no hang, no missing key.
 
 Determinism contract: schedulers are seeded ``config.seed + task_id``
 and the coordinator merges results in task order, so a re-run after any
-of the faults above — or a whole campaign under ``--fleet processes`` —
-is bit-identical to serial and to thread workers.
+of the faults above — or a whole campaign under ``--fleet processes`` or
+``--fleet sockets`` — is bit-identical to serial and to thread workers.
 """
 
 from __future__ import annotations
 
 import os
-import queue as stdqueue
 import signal
+import threading
 import time
 import traceback
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
-
-import multiprocessing as mp
 
 from repro.detect.report import observation_from_obj, observation_to_obj
 from repro.obs import NULL_OBSERVER
@@ -61,7 +77,9 @@ from repro.pmc.model import AccessKey, PMC
 #: built from different checkouts must fail loudly, not mis-decode.
 #: v2: outcome ``forked`` flag, task prefix-fork/prune-commuting knobs,
 #: obs buffer prelude (the prefix-recording span).
-WIRE_VERSION = 2
+#: v3: heartbeat liveness (``HeartbeatEnvelope``/``HelloEnvelope``),
+#: spawn ``generation`` stamped on results, socket transport framing.
+WIRE_VERSION = 3
 
 
 class WireFormatError(ValueError):
@@ -218,6 +236,11 @@ class ResultEnvelope:
     ``status`` is ``"ok"`` (decode ``outcomes``/obs buffers) or
     ``"task_error"`` (the worker survived but the task raised; the error
     travels as the same serializable record :class:`TaskFailure` uses).
+    ``generation`` is the spawn generation the producing worker was
+    handed at boot/handshake; the coordinator discards results whose
+    generation no longer matches the slot (a reclaimed predecessor
+    reporting late).  ``-1`` means "unstamped" — accepted for
+    compatibility with hand-built envelopes in tests.
     """
 
     task_id: int
@@ -230,6 +253,7 @@ class ResultEnvelope:
     error_type: str = ""
     message: str = ""
     traceback_str: str = ""
+    generation: int = -1
     version: int = WIRE_VERSION
 
     def decode(self):
@@ -248,11 +272,40 @@ class ResultEnvelope:
 
 
 @dataclass(frozen=True)
+class HeartbeatEnvelope:
+    """Worker → coordinator: "generation g of worker w is alive".
+
+    Emitted every ``heartbeat_interval`` seconds from a thread started
+    *before* the worker's kernel boots, so a slow boot never reads as a
+    death.  Stale generations (a killed predecessor's last beats still
+    draining) are ignored by the coordinator.
+    """
+
+    worker_id: int
+    generation: int
+    version: int = WIRE_VERSION
+
+
+@dataclass(frozen=True)
+class HelloEnvelope:
+    """Worker → coordinator: first message after spawn/handshake.
+
+    Carries the worker's wire version so an incompatible build is
+    rejected with :class:`WireFormatError` *before* any envelope of its
+    making is decoded.  Doubles as the first liveness signal.
+    """
+
+    worker_id: int
+    generation: int
+    version: int = WIRE_VERSION
+
+
+@dataclass(frozen=True)
 class _BootFailed:
     """Worker → coordinator: the private kernel failed to boot.
 
     Carries the worker's spawn ``generation`` so the coordinator can
-    discard a stale report — the exitcode path may have noticed the
+    discard a stale report — the heartbeat path may have noticed the
     death and respawned the slot before this message drained, and the
     replacement must not be punished for its predecessor's crash.
     """
@@ -297,22 +350,24 @@ class FleetFault:
         return True
 
 
-# -- worker process ----------------------------------------------------------------
+# -- worker body -------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
 class WorkerSpec:
-    """Everything a worker process needs to boot — fully picklable.
+    """Everything a worker needs to boot — fully picklable and JSON-able.
 
     ``config`` is the campaign's SnowboardConfig (seed, budgets, fixed
     kernel, setup program); ``obs_epoch`` is the coordinator tracer's
-    epoch so buffered worker events replay with comparable timestamps.
+    epoch so buffered worker events replay with comparable timestamps;
+    ``heartbeat_interval`` paces the worker's liveness beats.
     """
 
     config: Any
     obs_enabled: bool = False
     obs_epoch: float = 0.0
     fault: Optional[FleetFault] = None
+    heartbeat_interval: float = 0.5
 
 
 def _boot_worker(spec: WorkerSpec):
@@ -328,7 +383,13 @@ def _boot_worker(spec: WorkerSpec):
     return Executor(kernel, snapshot, max_instructions=config.max_instructions)
 
 
-def _execute_envelope(executor, spec: WorkerSpec, worker_id: int, envelope: TaskEnvelope):
+def _execute_envelope(
+    executor,
+    spec: WorkerSpec,
+    worker_id: int,
+    envelope: TaskEnvelope,
+    generation: int = -1,
+):
     """Run one task envelope; never raises (errors become envelopes)."""
     from repro.orchestrate.pipeline import build_scheduler, run_task_trials
 
@@ -355,6 +416,7 @@ def _execute_envelope(executor, spec: WorkerSpec, worker_id: int, envelope: Task
             error_type=type(error).__name__,
             message=str(error),
             traceback_str=traceback.format_exc(),
+            generation=generation,
         )
     return ResultEnvelope(
         task_id=envelope.task_id,
@@ -366,43 +428,82 @@ def _execute_envelope(executor, spec: WorkerSpec, worker_id: int, envelope: Task
             tuple(tuple(chunk) for chunk in buffer["trials"]) if buffer else ()
         ),
         obs_tail=tuple(buffer["tail"]) if buffer else (),
+        generation=generation,
     )
+
+
+def start_heartbeat(beat, interval: float) -> threading.Event:
+    """Start a daemon thread invoking ``beat()`` every ``interval``
+    seconds; returns the stop event.  The loop exits on the first
+    failing beat — a dead results channel means the coordinator is gone
+    and there is nobody left to reassure."""
+    stop = threading.Event()
+
+    def loop() -> None:
+        while not stop.wait(interval):
+            try:
+                beat()
+            except Exception:  # noqa: BLE001 - channel gone, nothing to do
+                return
+
+    threading.Thread(target=loop, daemon=True).start()
+    return stop
 
 
 def fleet_worker_main(
     worker_id: int, generation: int, spec: WorkerSpec, inq, outq
 ) -> None:
-    """Entry point of one worker process.
+    """Entry point of one multiprocessing worker.
 
-    Boot a private kernel (reporting :class:`_BootFailed` and exiting if
-    that raises), then serve envelopes from the private dispatch queue
-    until the ``None`` shutdown sentinel arrives.
+    Announce itself (:class:`HelloEnvelope` — the version handshake and
+    first liveness signal), start the heartbeat thread, boot a private
+    kernel (reporting :class:`_BootFailed` and exiting if that raises),
+    then serve envelopes from the private dispatch queue until the
+    ``None`` shutdown sentinel arrives.
     """
+    outq.put(HelloEnvelope(worker_id, generation))
+    stop_beats = start_heartbeat(
+        lambda: outq.put(HeartbeatEnvelope(worker_id, generation)),
+        spec.heartbeat_interval,
+    )
     fault = spec.fault
-    if fault is not None and fault.kill_at_boot and fault.claim():
-        os.kill(os.getpid(), signal.SIGKILL)
     try:
-        executor = _boot_worker(spec)
-    except Exception as error:  # noqa: BLE001 - boot crash -> respawn decision
-        outq.put(
-            _BootFailed(
-                worker_id,
-                generation,
-                type(error).__name__,
-                str(error),
-                traceback.format_exc(),
-            )
-        )
-        return
-    while True:
-        envelope = inq.get()
-        if envelope is None:
-            return
-        if fault is not None and envelope.task_id == fault.kill_task_id and fault.claim():
+        if fault is not None and fault.kill_at_boot and fault.claim():
             os.kill(os.getpid(), signal.SIGKILL)
-        if fault is not None and envelope.task_id == fault.hang_task_id and fault.claim():
-            time.sleep(3600.0)
-        outq.put(_execute_envelope(executor, spec, worker_id, envelope))
+        try:
+            executor = _boot_worker(spec)
+        except Exception as error:  # noqa: BLE001 - boot crash -> respawn decision
+            outq.put(
+                _BootFailed(
+                    worker_id,
+                    generation,
+                    type(error).__name__,
+                    str(error),
+                    traceback.format_exc(),
+                )
+            )
+            return
+        while True:
+            envelope = inq.get()
+            if envelope is None:
+                return
+            if (
+                fault is not None
+                and envelope.task_id == fault.kill_task_id
+                and fault.claim()
+            ):
+                os.kill(os.getpid(), signal.SIGKILL)
+            if (
+                fault is not None
+                and envelope.task_id == fault.hang_task_id
+                and fault.claim()
+            ):
+                time.sleep(3600.0)
+            outq.put(
+                _execute_envelope(executor, spec, worker_id, envelope, generation)
+            )
+    finally:
+        stop_beats.set()
 
 
 # -- coordinator -------------------------------------------------------------------
@@ -410,113 +511,113 @@ def fleet_worker_main(
 
 @dataclass
 class _WorkerSlot:
-    """Coordinator-side state of one worker: process, dispatch queue,
-    current lease and its deadline, health counters."""
+    """Coordinator-side state of one worker: its transport handle,
+    current lease and its deadline, liveness clock, health counters."""
 
     worker_id: int
     stats: WorkerStats
-    process: Optional[Any] = None
-    inq: Optional[Any] = None
+    handle: Optional[Any] = None
     lease: Optional[TaskEnvelope] = None
     deadline: float = 0.0
     generation: int = 0
+    last_beat: float = 0.0
+    beaten: bool = False  # first heartbeat of this generation seen
 
 
-class ProcessFleet:
-    """Coordinator over N worker processes (the §4.4.1 queue in miniature).
+class FleetCoordinator:
+    """Coordinator over N workers behind a transport (§4.4.1 in miniature).
 
-    :meth:`run` dispatches :class:`TaskEnvelope`s, enforces the lease
-    protocol described in the module docstring, and returns one result —
-    a :class:`ResultEnvelope` or a :class:`TaskFailure` — per envelope.
-    Per-worker health counters are left in :attr:`worker_stats`, in the
-    same shape the thread fleet leaves on its ``WorkQueue``.
+    :meth:`run` dispatches :class:`TaskEnvelope`s, enforces the lease +
+    heartbeat protocol described in the module docstring, and returns
+    one result — a :class:`ResultEnvelope` or a :class:`TaskFailure` —
+    per envelope.  Per-worker health counters are left in
+    :attr:`worker_stats`, in the same shape the thread fleet leaves on
+    its ``WorkQueue``.
+
+    The coordinator never looks at a process handle: everything it knows
+    about a worker arrives as a message (hello, heartbeat, result, boot
+    failure), which is what makes the loop identical for local process
+    workers and remote socket workers.  A coordinator is single-use —
+    :meth:`run` closes the transport on the way out.
     """
 
     def __init__(
         self,
-        spec: WorkerSpec,
+        transport,
         nworkers: int = 2,
         max_task_retries: int = 0,
         max_worker_respawns: int = 2,
         lease_timeout: float = 120.0,
+        heartbeat_timeout: float = 10.0,
+        boot_grace: float = 60.0,
         poll_interval: float = 0.02,
-        start_method: str = "spawn",
         obs=NULL_OBSERVER,
     ):
-        self.spec = spec
+        self.transport = transport
         self.nworkers = max(1, nworkers)
         self.max_task_retries = max_task_retries
         self.max_worker_respawns = max_worker_respawns
         self.lease_timeout = lease_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self.boot_grace = boot_grace
         self.poll_interval = poll_interval
         self.obs = obs
-        self._ctx = mp.get_context(start_method)
-        self._results_q = None
         self.worker_stats: List[WorkerStats] = []
+        self._slots: List[_WorkerSlot] = []
+        self._pending: List[TaskEnvelope] = []
+        self._results: Dict[int, Any] = {}
+        self._attempts: Dict[int, int] = {}
+        self._envelope_by_id: Dict[int, TaskEnvelope] = {}
 
     # -- lifecycle ------------------------------------------------------------
 
     def _spawn(self, slot: _WorkerSlot) -> None:
-        """Start (or restart) one worker process with a fresh dispatch
-        queue — fresh so a task dispatched to a dead worker can never be
-        double-claimed by its successor."""
+        """Start (or restart) one worker through the transport.  A fresh
+        generation gets a fresh dispatch channel, so a task dispatched to
+        a dead worker can never be double-claimed by its successor."""
         slot.generation += 1
-        slot.inq = self._ctx.Queue()
-        slot.process = self._ctx.Process(
-            target=fleet_worker_main,
-            args=(slot.worker_id, slot.generation, self.spec, slot.inq, self._results_q),
-            daemon=True,
-        )
-        slot.process.start()
+        slot.handle = self.transport.spawn(slot.worker_id, slot.generation)
         slot.lease = None
+        slot.last_beat = time.monotonic()
+        slot.beaten = False
 
     def _retire(self, slot: _WorkerSlot) -> None:
-        """Drop a dead worker's process handle and dispatch queue."""
-        if slot.process is not None:
-            slot.process.join(timeout=5.0)
-            if slot.process.is_alive():  # pragma: no cover - last resort
-                slot.process.kill()
-                slot.process.join(timeout=5.0)
-        slot.process = None
-        if slot.inq is not None:
-            slot.inq.close()
-            slot.inq = None
+        """Drop a dead worker's transport handle."""
+        if slot.handle is not None:
+            slot.handle.kill()
+            slot.handle.join(timeout=5.0)
+        slot.handle = None
 
-    def _shutdown(self, slots: List[_WorkerSlot]) -> None:
-        for slot in slots:
-            if slot.process is not None and slot.inq is not None:
-                try:
-                    slot.inq.put(None)
-                except Exception:  # pragma: no cover - feeder already gone
-                    pass
-        for slot in slots:
-            if slot.process is not None:
-                slot.process.join(timeout=5.0)
-                if slot.process.is_alive():  # pragma: no cover - stragglers
-                    slot.process.kill()
-                    slot.process.join(timeout=5.0)
-            slot.process = None
+    def _shutdown(self) -> None:
+        for slot in self._slots:
+            if slot.handle is not None:
+                slot.handle.stop()
+        for slot in self._slots:
+            if slot.handle is not None:
+                slot.handle.join(timeout=5.0)
+                slot.handle.kill()
+            slot.handle = None
 
     # -- fault handling -------------------------------------------------------
 
     def _record_worker_error(self, stats: WorkerStats, message: str) -> None:
         stats.last_error = RuntimeError(message)
 
-    def _handle_death(
-        self,
-        slot: _WorkerSlot,
-        reason: str,
-        pending: List[TaskEnvelope],
-        results: Dict[int, Any],
-        attempts: Dict[int, int],
-    ) -> None:
-        """One worker died (exitcode, boot failure, or expired lease):
-        reclaim its lease, charge a respawn, restart or retire it.
+    def _handle_death(self, slot: _WorkerSlot, reason: str) -> None:
+        """One worker died (missed heartbeat, boot failure, or expired
+        lease): reclaim its lease, charge a respawn, restart or retire it.
 
         Mirrors the thread fleet's ``BaseException`` semantics: the
         reclaimed task consumes one retry; when the worker's respawn
-        budget is exhausted its leased task fails with it.
+        budget is exhausted its leased task fails with it.  Before
+        reclaiming, the results channel is drained — a final result the
+        worker managed to queue before dying wins the race and its task
+        is *not* charged a retry.
         """
+        generation = slot.generation
+        self._drain(block=False)
+        if slot.generation != generation or slot.handle is None:
+            return  # the drain already settled this slot's fate
         stats = slot.stats
         lease = slot.lease
         slot.lease = None
@@ -534,22 +635,22 @@ class ProcessFleet:
                 task=lease.task_id if lease is not None else None,
                 respawned=not out_of_respawns,
             )
-        if lease is not None and lease.task_id not in results:
+        if lease is not None and lease.task_id not in self._results:
             task_id = lease.task_id
-            attempts[task_id] = attempts.get(task_id, 0) + 1
-            if out_of_respawns or attempts[task_id] > self.max_task_retries:
-                results[task_id] = TaskFailure(
+            self._attempts[task_id] = self._attempts.get(task_id, 0) + 1
+            if out_of_respawns or self._attempts[task_id] > self.max_task_retries:
+                self._results[task_id] = TaskFailure(
                     task_id=task_id,
                     error_type="RuntimeError",
                     message=f"worker {slot.worker_id} died mid-task: {reason}",
-                    attempts=attempts[task_id],
+                    attempts=self._attempts[task_id],
                 )
             else:
                 stats.retries += 1
                 # Reclaimed leases go to the front: the task was next in
                 # line before the death, and re-running it soonest keeps
                 # retry latency bounded.
-                pending.insert(0, lease)
+                self._pending.insert(0, lease)
                 if self.obs.enabled:
                     self.obs.event(
                         "fleet.lease_reclaimed", task=task_id, reason=reason
@@ -557,160 +658,144 @@ class ProcessFleet:
         if not out_of_respawns:
             self._spawn(slot)
 
-    def _handle_message(
-        self,
-        msg,
-        slots: List[_WorkerSlot],
-        pending: List[TaskEnvelope],
-        results: Dict[int, Any],
-        attempts: Dict[int, int],
-    ) -> None:
+    def _handle_message(self, msg) -> None:
+        if isinstance(msg, (HeartbeatEnvelope, HelloEnvelope)):
+            if isinstance(msg, HelloEnvelope):
+                _check_version(
+                    msg.version, f"hello from worker {msg.worker_id}"
+                )
+            slot = self._slots[msg.worker_id]
+            if msg.generation == slot.generation and slot.handle is not None:
+                slot.last_beat = time.monotonic()
+                slot.beaten = True
+            return
         if isinstance(msg, _BootFailed):
-            slot = slots[msg.worker_id]
+            slot = self._slots[msg.worker_id]
             if msg.generation != slot.generation:
-                return  # stale: the exitcode path already handled this death
+                return  # stale: the heartbeat path already handled this death
             self._handle_death(
-                slot,
-                f"boot failed: {msg.error_type}: {msg.message}",
-                pending,
-                results,
-                attempts,
+                slot, f"boot failed: {msg.error_type}: {msg.message}"
             )
             return
-        slot = slots[msg.worker_id]
+        slot = self._slots[msg.worker_id]
+        if msg.generation >= 0 and msg.generation != slot.generation:
+            # A stale-generation result: its producer's lease was
+            # reclaimed (heartbeat miss or lease expiry) and the slot
+            # respawned, but the predecessor lived long enough to report.
+            # The reclaimed task is already re-dispatched; both
+            # executions are bit-identical, so dropping is lossless.
+            if self.obs.enabled:
+                self.obs.event(
+                    "fleet.stale_result",
+                    worker_id=msg.worker_id,
+                    task=msg.task_id,
+                    generation=msg.generation,
+                )
+            return
+        slot.last_beat = time.monotonic()
+        slot.beaten = True
         if slot.lease is not None and slot.lease.task_id == msg.task_id:
             lease = slot.lease
             slot.lease = None
         else:
-            # A result for a task this worker no longer leases: its lease
-            # expired and the task was reclaimed, but the worker was
-            # merely slow, not dead.  First result wins (both executions
-            # are bit-identical anyway); drop the duplicate.
             lease = None
-        if msg.task_id in results:
-            return
+        if msg.task_id in self._results:
+            return  # first result wins; drop the duplicate
         if msg.status == "ok":
             slot.stats.tasks_done += 1
-            results[msg.task_id] = msg
+            self._results[msg.task_id] = msg
             return
         # task_error: the worker survived; retry on any live worker.
-        attempts[msg.task_id] = attempts.get(msg.task_id, 0) + 1
+        self._attempts[msg.task_id] = self._attempts.get(msg.task_id, 0) + 1
         self._record_worker_error(
             slot.stats, f"{msg.error_type}: {msg.message}"
         )
-        if attempts[msg.task_id] <= self.max_task_retries:
+        if self._attempts[msg.task_id] <= self.max_task_retries:
             slot.stats.retries += 1
             envelope = lease if lease is not None else self._envelope_by_id[msg.task_id]
-            pending.insert(0, envelope)
+            self._pending.insert(0, envelope)
         else:
-            results[msg.task_id] = TaskFailure(
+            self._results[msg.task_id] = TaskFailure(
                 task_id=msg.task_id,
                 error_type=msg.error_type,
                 message=msg.message,
                 traceback_str=msg.traceback_str,
-                attempts=attempts[msg.task_id],
+                attempts=self._attempts[msg.task_id],
             )
 
     # -- main loop ------------------------------------------------------------
 
-    def _assign(
-        self,
-        slots: List[_WorkerSlot],
-        pending: List[TaskEnvelope],
-        results: Dict[int, Any],
-    ) -> None:
-        for slot in slots:
-            if not pending:
+    def _assign(self) -> None:
+        for slot in self._slots:
+            if not self._pending:
                 return
-            if slot.process is None or slot.lease is not None:
+            if (
+                slot.handle is None
+                or slot.lease is not None
+                or not slot.handle.ready()
+            ):
                 continue
-            while pending and pending[0].task_id in results:
-                pending.pop(0)  # failed via another path while queued
-            if not pending:
+            while self._pending and self._pending[0].task_id in self._results:
+                self._pending.pop(0)  # failed via another path while queued
+            if not self._pending:
                 return
-            envelope = pending.pop(0)
+            envelope = self._pending.pop(0)
             slot.lease = envelope
             slot.deadline = time.monotonic() + self.lease_timeout
-            slot.inq.put(envelope)
+            slot.handle.send(envelope)
 
-    def _drain(
-        self,
-        slots: List[_WorkerSlot],
-        pending: List[TaskEnvelope],
-        results: Dict[int, Any],
-        attempts: Dict[int, int],
-        block: bool = True,
-    ) -> None:
-        """Process queued results: one blocking poll, then everything
+    def _drain(self, block: bool = True) -> None:
+        """Process queued messages: one timed poll, then everything
         immediately available."""
-        try:
-            msg = self._results_q.get(timeout=self.poll_interval if block else 0)
-        except stdqueue.Empty:
-            return
-        self._handle_message(msg, slots, pending, results, attempts)
-        while True:
-            try:
-                msg = self._results_q.get_nowait()
-            except stdqueue.Empty:
-                return
-            self._handle_message(msg, slots, pending, results, attempts)
+        msg = self.transport.recv(self.poll_interval if block else 0.0)
+        while msg is not None:
+            self._handle_message(msg)
+            msg = self.transport.recv(0.0)
 
-    def _reap(
-        self,
-        slots: List[_WorkerSlot],
-        pending: List[TaskEnvelope],
-        results: Dict[int, Any],
-        attempts: Dict[int, int],
-    ) -> None:
-        """Detect dead and wedged workers (exitcode / lease expiry)."""
+    def _reap(self) -> None:
+        """Detect dead and wedged workers (missed heartbeat / expired
+        lease).  Both verdicts kill through the handle first: a wedged
+        worker must not keep executing a task the coordinator is about
+        to re-dispatch."""
         now = time.monotonic()
-        for slot in slots:
-            if slot.process is None:
+        for slot in self._slots:
+            if slot.handle is None:
                 continue
-            if slot.process.exitcode is not None:
+            grace = self.heartbeat_timeout if slot.beaten else self.boot_grace
+            if now > slot.last_beat + grace:
+                slot.stats.heartbeats_missed += 1
+                slot.handle.kill()
                 self._handle_death(
                     slot,
-                    f"process exited with code {slot.process.exitcode}",
-                    pending,
-                    results,
-                    attempts,
+                    f"missed heartbeat for {grace:.1f}s "
+                    f"(generation {slot.generation})",
                 )
             elif slot.lease is not None and now > slot.deadline:
-                slot.process.kill()
+                slot.handle.kill()
                 self._handle_death(
-                    slot,
-                    f"lease expired after {self.lease_timeout:.1f}s",
-                    pending,
-                    results,
-                    attempts,
+                    slot, f"lease expired after {self.lease_timeout:.1f}s"
                 )
 
-    def _drain_exhausted(
-        self,
-        slots: List[_WorkerSlot],
-        expected: Sequence[int],
-        results: Dict[int, Any],
-        attempts: Dict[int, int],
-    ) -> None:
+    def _drain_exhausted(self, expected: Sequence[int]) -> None:
         """Pool exhaustion: every worker is dead for good.  Record a
         TaskFailure for every unfinished task, chaining the last worker
         error as the cause (the thread fleet's drain, ported)."""
         boot_error = next(
             (
                 str(slot.stats.last_error)
-                for slot in slots
+                for slot in self._slots
                 if slot.stats.failed and slot.stats.last_error is not None
             ),
             "",
         )
         for task_id in expected:
-            if task_id in results:
+            if task_id in self._results:
                 continue
-            results[task_id] = TaskFailure(
+            self._results[task_id] = TaskFailure(
                 task_id=task_id,
                 error_type="RuntimeError",
                 message=f"worker pool exhausted before task {task_id} ran",
-                attempts=attempts.get(task_id, 0),
+                attempts=self._attempts.get(task_id, 0),
                 cause_type="RuntimeError" if boot_error else "",
                 cause_message=boot_error,
             )
@@ -725,36 +810,40 @@ class ProcessFleet:
         expected = [e.task_id for e in envelopes]
         if len(set(expected)) != len(expected):
             raise ValueError("duplicate task ids in fleet dispatch")
-        if not envelopes:
+        try:
             self.worker_stats = [
                 WorkerStats(worker_id=i) for i in range(self.nworkers)
             ]
-            return {}
-        self._envelope_by_id = {e.task_id: e for e in envelopes}
-        self._results_q = self._ctx.Queue()
-        slots = [_WorkerSlot(i, WorkerStats(worker_id=i)) for i in range(self.nworkers)]
-        self.worker_stats = [slot.stats for slot in slots]
-        pending: List[TaskEnvelope] = sorted(envelopes, key=lambda e: e.task_id)
-        results: Dict[int, Any] = {}
-        attempts: Dict[int, int] = {}
-        for slot in slots:
-            self._spawn(slot)
-        try:
-            while len(results) < len(expected):
-                self._assign(slots, pending, results)
-                self._drain(slots, pending, results, attempts)
-                self._reap(slots, pending, results, attempts)
-                if all(slot.process is None for slot in slots):
-                    # Late messages may still sit in the queue (a worker
-                    # can report and die before the coordinator looks).
-                    self._drain(slots, pending, results, attempts, block=False)
-                    self._drain_exhausted(slots, expected, results, attempts)
+            if not envelopes:
+                return {}
+            self._envelope_by_id = {e.task_id: e for e in envelopes}
+            self._slots = [
+                _WorkerSlot(i, self.worker_stats[i]) for i in range(self.nworkers)
+            ]
+            self._pending = sorted(envelopes, key=lambda e: e.task_id)
+            self._results = {}
+            self._attempts = {}
+            for slot in self._slots:
+                self._spawn(slot)
+            try:
+                while len(self._results) < len(expected):
+                    self._assign()
+                    self._drain()
+                    self._reap()
+                    if all(slot.handle is None for slot in self._slots):
+                        # Late messages may still sit in the channel (a
+                        # worker can report and die before the
+                        # coordinator looks).
+                        self._drain(block=False)
+                        self._drain_exhausted(expected)
+            finally:
+                self._shutdown()
         finally:
-            self._shutdown(slots)
+            self.transport.close()
         if self.obs.enabled:
             # One health event per worker, in worker-id order — the same
             # records the thread fleet emits, so traces stay comparable.
-            for slot in slots:
+            for slot in self._slots:
                 stats = slot.stats
                 self.obs.event(
                     "fleet.worker",
@@ -762,6 +851,44 @@ class ProcessFleet:
                     tasks_done=stats.tasks_done,
                     retries=stats.retries,
                     respawns=stats.respawns,
+                    heartbeats_missed=stats.heartbeats_missed,
                     failed=stats.failed,
                 )
-        return results
+        return self._results
+
+
+class ProcessFleet(FleetCoordinator):
+    """The classic multi-process fleet: :class:`FleetCoordinator` over a
+    :class:`~repro.orchestrate.transport.MultiprocessingTransport`.
+
+    Kept as the stable constructor for local process workers (the shape
+    PR 6 introduced); the coordinator logic itself is transport-blind.
+    """
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        nworkers: int = 2,
+        max_task_retries: int = 0,
+        max_worker_respawns: int = 2,
+        lease_timeout: float = 120.0,
+        heartbeat_timeout: float = 10.0,
+        boot_grace: float = 60.0,
+        poll_interval: float = 0.02,
+        start_method: str = "spawn",
+        obs=NULL_OBSERVER,
+    ):
+        from repro.orchestrate.transport import MultiprocessingTransport
+
+        self.spec = spec
+        super().__init__(
+            MultiprocessingTransport(spec, start_method=start_method),
+            nworkers=nworkers,
+            max_task_retries=max_task_retries,
+            max_worker_respawns=max_worker_respawns,
+            lease_timeout=lease_timeout,
+            heartbeat_timeout=heartbeat_timeout,
+            boot_grace=boot_grace,
+            poll_interval=poll_interval,
+            obs=obs,
+        )

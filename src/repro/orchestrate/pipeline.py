@@ -109,6 +109,23 @@ class SnowboardConfig:
     # value turns healthy-but-slow workers into respawn churn.
     fleet_lease_timeout: float = 120.0
     fleet_start_method: str = "spawn"
+    # Heartbeat liveness (process and socket fleets): workers beat on the
+    # results channel every ``fleet_heartbeat_interval`` seconds; a slot
+    # whose last beat is older than ``fleet_heartbeat_timeout`` is
+    # declared dead and its lease reclaimed.  ``fleet_boot_grace`` is the
+    # pre-first-beat allowance (interpreter start / snapshot import /
+    # socket dial-in all happen before the first beat).
+    fleet_heartbeat_interval: float = 0.5
+    fleet_heartbeat_timeout: float = 10.0
+    fleet_boot_grace: float = 60.0
+    # Socket-fleet knobs (``fleet="sockets"``): the listen endpoint
+    # (port 0 = ephemeral), the shared handshake token (empty = generate
+    # a fresh one per round), and whether the transport auto-spawns
+    # local worker processes (False = wait for external
+    # ``repro fleet-worker --connect`` workers).
+    fleet_listen: str = "127.0.0.1:0"
+    fleet_token: str = ""
+    fleet_spawn_workers: bool = True
     # Out-of-core PMC store (DESIGN §2.14): when set, the access index
     # writes every insert through to an append-only segment store in
     # this directory, and ``pmc_hot_records`` bounds how many records the
@@ -885,24 +902,28 @@ class Snowboard:
         campaign.adopt_worker_stats(work.worker_stats)
         return {index: results.get(queue_ids[index]) for index, _ in todo}
 
-    def _run_process_fleet(
+    def _run_transport_fleet(
         self,
         todo: Sequence[Tuple[int, ConcurrentTest]],
         campaign: CampaignResult,
         scheduler_kind: str,
         trials: int,
         workers: int,
+        fleet: str = "processes",
     ) -> Dict[int, object]:
-        """Execute ``(task_id, test)`` items over the multi-process fleet.
+        """Execute ``(task_id, test)`` items over an out-of-process fleet.
 
-        Tasks cross the process boundary as :class:`TaskEnvelope`s (the
-        incidental-adoption universe precomputed coordinator-side, since
-        workers have no corpus); results come back as
-        :class:`ResultEnvelope`s and are decoded to the same outcome
-        lists the thread fleet produces, with worker obs buffers
-        installed for in-order replay at merge.
+        Tasks cross the process (or machine) boundary as
+        :class:`TaskEnvelope`s (the incidental-adoption universe
+        precomputed coordinator-side, since workers have no corpus);
+        results come back as :class:`ResultEnvelope`s and are decoded to
+        the same outcome lists the thread fleet produces, with worker obs
+        buffers installed for in-order replay at merge.  ``fleet`` picks
+        the transport under the shared coordinator: ``"processes"``
+        (multiprocessing queues) or ``"sockets"`` (length-prefixed JSON
+        frames over TCP).
         """
-        from repro.orchestrate.fleet import ProcessFleet, TaskEnvelope, WorkerSpec
+        from repro.orchestrate.fleet import FleetCoordinator, TaskEnvelope, WorkerSpec
 
         envelopes = []
         for index, test in todo:
@@ -923,18 +944,38 @@ class Snowboard:
             obs_enabled=obs.enabled,
             obs_epoch=obs.tracer.epoch if obs.enabled else 0.0,
             fault=self.fleet_fault,
+            heartbeat_interval=self.config.fleet_heartbeat_interval,
         )
-        fleet = ProcessFleet(
-            spec,
+        if fleet == "sockets":
+            from repro.orchestrate.socketfleet import SocketTransport
+
+            host, _, port = self.config.fleet_listen.rpartition(":")
+            transport = SocketTransport(
+                spec,
+                host=host or "127.0.0.1",
+                port=int(port or 0),
+                token=self.config.fleet_token or None,
+                spawn_workers=self.config.fleet_spawn_workers,
+                start_method=self.config.fleet_start_method,
+            )
+        else:
+            from repro.orchestrate.transport import MultiprocessingTransport
+
+            transport = MultiprocessingTransport(
+                spec, start_method=self.config.fleet_start_method
+            )
+        coordinator = FleetCoordinator(
+            transport,
             nworkers=workers,
             max_task_retries=self.config.task_retries,
             max_worker_respawns=self.config.worker_respawns,
             lease_timeout=self.config.fleet_lease_timeout,
-            start_method=self.config.fleet_start_method,
+            heartbeat_timeout=self.config.fleet_heartbeat_timeout,
+            boot_grace=self.config.fleet_boot_grace,
             obs=obs,
         )
-        raw = fleet.run(envelopes)
-        campaign.adopt_worker_stats(fleet.worker_stats)
+        raw = coordinator.run(envelopes)
+        campaign.adopt_worker_stats(coordinator.worker_stats)
         out: Dict[int, object] = {}
         for index, _ in todo:
             result = raw.get(index)
@@ -971,11 +1012,14 @@ class Snowboard:
         positions aligned with the serial run.
 
         ``fleet`` picks the worker substrate: ``"threads"`` (private
-        kernels in this process, the PR-2 fleet) or ``"processes"``
-        (:class:`~repro.orchestrate.fleet.ProcessFleet`, private kernels
-        in spawned worker processes behind the picklable wire format).
-        Both run :func:`run_task_trials` verbatim and merge here in task
-        order, so the choice never changes campaign results.
+        kernels in this process, the PR-2 fleet), ``"processes"``
+        (:class:`~repro.orchestrate.fleet.FleetCoordinator` over
+        multiprocessing queues, private kernels in spawned worker
+        processes behind the picklable wire format), or ``"sockets"``
+        (the same coordinator over TCP-framed envelopes — workers may
+        auto-spawn locally or join via ``repro fleet-worker``).  All run
+        :func:`run_task_trials` verbatim and merge here in task order,
+        so the choice never changes campaign results.
 
         ``completed`` names task ids already merged by a resumed
         checkpoint (skipped here); ``on_task_merged(task_id)`` is invoked
@@ -985,7 +1029,7 @@ class Snowboard:
         separately, but ids — and hence scheduler seeds and journal
         records — stay campaign-global).
         """
-        if fleet not in ("threads", "processes"):
+        if fleet not in ("threads", "processes", "sockets"):
             raise ValueError(f"unknown fleet kind {fleet!r}")
         trials = trials or self.config.trials_per_pmc
         completed = completed or frozenset()
@@ -999,9 +1043,9 @@ class Snowboard:
             for local, test in enumerate(tests)
             if task_offset + local not in completed
         ]
-        if fleet == "processes":
-            results = self._run_process_fleet(
-                todo, campaign, scheduler_kind, trials, workers
+        if fleet in ("processes", "sockets"):
+            results = self._run_transport_fleet(
+                todo, campaign, scheduler_kind, trials, workers, fleet
             )
         else:
             results = self._run_thread_fleet(
@@ -1132,10 +1176,11 @@ class Snowboard:
         """One full Table 3 campaign: generate, prioritise, execute.
 
         ``workers > 1`` runs Stage 4 through the work queue with that many
-        private-kernel workers — in this process (``fleet="threads"``) or
-        in spawned worker processes (``fleet="processes"``); results (bug
-        sets, trial counts, first-find positions) are identical to the
-        serial run for the same seed either way.
+        private-kernel workers — in this process (``fleet="threads"``),
+        in spawned worker processes (``fleet="processes"``), or behind a
+        TCP listener (``fleet="sockets"``); results (bug sets, trial
+        counts, first-find positions) are identical to the serial run for
+        the same seed in every case.
 
         ``checkpoint_path`` journals every merged Stage-4 task to a JSONL
         file as it completes; with ``resume=True`` an existing journal is
@@ -1249,6 +1294,26 @@ class Snowboard:
         obs.count("fleet.task_failures", campaign.task_failures)
         obs.count("fleet.task_retries", campaign.task_retries)
         obs.count("fleet.worker_respawns", campaign.worker_respawns)
+        # Per-worker fleet health (the ``repro stats`` worker table).
+        # Aggregated by worker id — multi-round campaigns run one fleet
+        # per round and the same id re-appears each round.  Serial runs
+        # have no worker stats and emit nothing, keeping their stats
+        # files byte-identical to the pre-table format; parallel funnel
+        # equality is untouched because funnel totals only read the
+        # FUNNEL_LAYOUT names.
+        per_worker: Dict[int, Dict[str, int]] = {}
+        for stats in campaign.worker_stats:
+            agg = per_worker.setdefault(
+                stats.worker_id,
+                {"tasks": 0, "retries": 0, "respawns": 0, "missed_heartbeats": 0},
+            )
+            agg["tasks"] += stats.tasks_done
+            agg["retries"] += stats.retries
+            agg["respawns"] += stats.respawns
+            agg["missed_heartbeats"] += stats.heartbeats_missed
+        for worker_id in sorted(per_worker):
+            for name, value in per_worker[worker_id].items():
+                obs.count(f"fleet.w{worker_id}.{name}", value)
         obs.gauge("stage4.bugs", campaign.distinct_bugs)
         obs.gauge("campaign.workers", campaign.workers)
         obs.gauge("campaign.wall_seconds", round(campaign.wall_seconds, 6))

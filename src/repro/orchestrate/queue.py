@@ -136,6 +136,7 @@ class WorkerStats:
     tasks_done: int = 0
     retries: int = 0  # payload attempts that failed and were re-run
     respawns: int = 0  # factory rebuilds (boot crash or payload BaseException)
+    heartbeats_missed: int = 0  # liveness deadlines blown (process/socket fleets)
     failed: bool = False  # respawn budget exhausted; worker permanently dead
     last_error: Optional[BaseException] = field(default=None, repr=False)
 
@@ -358,6 +359,7 @@ def run_workers(
                 tasks_done=stats.tasks_done,
                 retries=stats.retries,
                 respawns=stats.respawns,
+                heartbeats_missed=stats.heartbeats_missed,
                 failed=stats.failed,
             )
     return work.results

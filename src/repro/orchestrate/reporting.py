@@ -127,6 +127,20 @@ def render_rounds(rows: Sequence[List[str]], markdown: bool = False) -> str:
     return _render(header, list(rows), markdown)
 
 
+def render_fleet_workers(
+    rows: Sequence[List[str]], markdown: bool = False
+) -> str:
+    """Render the per-worker fleet health table of a parallel campaign.
+
+    ``rows`` come from :func:`repro.obs.stats.fleet_worker_rows`: one
+    row per worker id with tasks completed, retries charged, respawns,
+    and heartbeat deadlines missed (summed across rounds when the trace
+    is round-based).
+    """
+    header = ["Worker", "Tasks", "Retries", "Respawns", "Missed heartbeats"]
+    return _render(header, list(rows), markdown)
+
+
 def render_store_tiers(
     tiers: Mapping[str, float], markdown: bool = False
 ) -> str:

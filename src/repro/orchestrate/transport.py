@@ -1,0 +1,145 @@
+"""The fleet transport protocol and its multiprocessing implementation.
+
+:class:`~repro.orchestrate.fleet.FleetCoordinator` is transport-blind:
+everything it does to a worker goes through two small protocols defined
+here.  A **Transport** owns the results channel and mints worker
+handles; a **WorkerHandle** is one spawned worker generation — send it
+a task, stop it, kill it.  Liveness never appears in either protocol:
+it is message-based (:class:`~repro.orchestrate.fleet.HeartbeatEnvelope`
+on the results channel), which is the property that lets the same
+coordinator drive local processes and remote socket workers.
+
+Implementations:
+
+* :class:`MultiprocessingTransport` (here) — ``--fleet processes``:
+  local worker processes over ``multiprocessing`` queues.
+* :class:`~repro.orchestrate.socketfleet.SocketTransport` —
+  ``--fleet sockets``: workers over TCP with length-prefixed JSON
+  frames; workers may live on other machines and join via
+  ``repro fleet-worker --connect HOST:PORT``.
+"""
+
+from __future__ import annotations
+
+import queue as stdqueue
+from typing import Any, Optional, Protocol, runtime_checkable
+
+import multiprocessing as mp
+
+from repro.orchestrate.fleet import TaskEnvelope, WorkerSpec, fleet_worker_main
+
+
+@runtime_checkable
+class WorkerHandle(Protocol):
+    """One spawned worker generation, as the coordinator sees it."""
+
+    def send(self, envelope: TaskEnvelope) -> None:
+        """Dispatch a task (best-effort: a broken channel is surfaced by
+        the missed-heartbeat path, not by this call)."""
+
+    def ready(self) -> bool:
+        """True when the handle can accept a task right now (a socket
+        worker is not ready until its handshake completes)."""
+
+    def stop(self) -> None:
+        """Request a graceful exit (shutdown sentinel / frame)."""
+
+    def kill(self) -> None:
+        """Hard-kill the worker / sever its connection.  Idempotent."""
+
+    def join(self, timeout: float = 5.0) -> None:
+        """Best-effort wait for the worker to be gone."""
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Spawns worker handles and carries their messages back.
+
+    ``recv`` returns one message — a ``ResultEnvelope``,
+    ``HeartbeatEnvelope``, ``HelloEnvelope`` or ``_BootFailed`` — or
+    ``None`` when ``timeout`` elapses with nothing queued.  A transport
+    is single-use: ``close`` releases the channel (and, for sockets, the
+    listening port) and no spawn may follow it.
+    """
+
+    def spawn(self, worker_id: int, generation: int) -> WorkerHandle:
+        """Start one worker generation; returns its handle."""
+
+    def recv(self, timeout: float) -> Optional[Any]:
+        """Next queued worker message, or None after ``timeout``."""
+
+    def close(self) -> None:
+        """Release the results channel and every spawned resource."""
+
+
+class _ProcessHandle:
+    """A local worker process plus its private dispatch queue."""
+
+    def __init__(self, process, inq):
+        self.process = process
+        self.inq = inq
+
+    def send(self, envelope: TaskEnvelope) -> None:
+        try:
+            self.inq.put(envelope)
+        except Exception:  # pragma: no cover - feeder already gone
+            pass  # the missed-heartbeat path reclaims the lease
+
+    def ready(self) -> bool:
+        return True  # queue buffers: dispatchable from the moment of spawn
+
+    def stop(self) -> None:
+        try:
+            self.inq.put(None)
+        except Exception:  # pragma: no cover - feeder already gone
+            pass
+
+    def kill(self) -> None:
+        self.process.kill()
+
+    def join(self, timeout: float = 5.0) -> None:
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join(timeout=timeout)
+        if self.inq is not None:
+            self.inq.close()
+            self.inq = None
+
+
+class MultiprocessingTransport:
+    """Local worker processes over ``multiprocessing`` queues.
+
+    One shared results queue (heartbeats and results interleave on it),
+    one private dispatch queue per worker generation — private so a task
+    dispatched to a dead worker can never be double-claimed by its
+    successor.
+    """
+
+    def __init__(self, spec: WorkerSpec, start_method: str = "spawn"):
+        self.spec = spec
+        self._ctx = mp.get_context(start_method)
+        self._results_q = self._ctx.Queue()
+
+    def spawn(self, worker_id: int, generation: int) -> _ProcessHandle:
+        inq = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=fleet_worker_main,
+            args=(worker_id, generation, self.spec, inq, self._results_q),
+            daemon=True,
+        )
+        process.start()
+        return _ProcessHandle(process, inq)
+
+    def recv(self, timeout: float) -> Optional[Any]:
+        try:
+            if timeout <= 0:
+                return self._results_q.get_nowait()
+            return self._results_q.get(timeout=timeout)
+        except stdqueue.Empty:
+            return None
+
+    def close(self) -> None:
+        # Queues are reclaimed by GC; joining the feeder here would block
+        # on any unread late messages, which are legitimate after a kill.
+        self._results_q = None

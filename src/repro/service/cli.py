@@ -27,7 +27,20 @@ _SPEC_FLAGS = (
     ("--corpus-growth", "corpus_growth", int, "fuzz executions per round"),
     ("--strategy", "strategy", str, "clustering strategy"),
     ("--workers", "workers", int, "Stage-4 worker count"),
-    ("--fleet", "fleet", str, "worker substrate: threads or processes"),
+    ("--fleet", "fleet", str, "worker substrate: threads, processes or sockets"),
+    ("--lease-timeout", "lease_timeout", float, "fleet task lease in seconds"),
+    (
+        "--heartbeat-interval",
+        "heartbeat_interval",
+        float,
+        "fleet worker heartbeat period in seconds",
+    ),
+    (
+        "--heartbeat-timeout",
+        "heartbeat_timeout",
+        float,
+        "seconds without a heartbeat before a fleet worker is declared dead",
+    ),
 )
 
 

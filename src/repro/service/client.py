@@ -55,6 +55,13 @@ def resolve_endpoint(target: str) -> Tuple[str, int]:
 class ServiceClient:
     """Verb-per-method wrapper over the daemon's JSON API."""
 
+    #: Exponential-backoff schedule for refused connections: the daemon
+    #: publishes its endpoint file just before ``serve_forever`` starts
+    #: accepting, so ``repro submit``/``watch`` fired right after
+    #: ``repro serve`` can hit a bound-but-not-listening window.
+    CONNECT_RETRIES = 4
+    CONNECT_BACKOFF = 0.05  # seconds; doubles per attempt
+
     def __init__(self, host: str, port: int, timeout: float = 30.0):
         self.host = host
         self.port = port
@@ -66,6 +73,21 @@ class ServiceClient:
         return cls(host, port, timeout=timeout)
 
     def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Dict:
+        # Every verb is idempotent-or-safe to retry *before* any bytes
+        # reach the daemon, which is exactly what ConnectionRefusedError
+        # guarantees — the TCP connect itself failed.
+        for attempt in range(self.CONNECT_RETRIES + 1):
+            try:
+                return self._request_once(method, path, body)
+            except ConnectionRefusedError:
+                if attempt == self.CONNECT_RETRIES:
+                    raise
+                time.sleep(self.CONNECT_BACKOFF * (2**attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(
         self, method: str, path: str, body: Optional[Dict] = None
     ) -> Dict:
         conn = http.client.HTTPConnection(

@@ -77,6 +77,13 @@ class JobSpec:
     max_instructions: int = 60_000
     prefix_fork: bool = True
     prune_commuting: bool = False
+    # Per-job fleet knobs (None = the pipeline's defaults).  A job with
+    # these set runs each turn on its own transport-backed fleet; the
+    # knobs are tuning only — summaries stay bit-identical to a solo
+    # ``run_rounds`` with the same values, and to the defaults.
+    lease_timeout: Optional[float] = None
+    heartbeat_interval: Optional[float] = None
+    heartbeat_timeout: Optional[float] = None
 
     def validate(self) -> None:
         if self.rounds < 1:
@@ -89,13 +96,24 @@ class JobSpec:
             raise ValueError(f"trials must be at least 1, got {self.trials}")
         if self.workers < 1:
             raise ValueError(f"workers must be at least 1, got {self.workers}")
-        if self.fleet not in ("threads", "processes"):
+        if self.fleet not in ("threads", "processes", "sockets"):
             raise ValueError(f"unknown fleet kind {self.fleet!r}")
-        if self.fleet == "processes" and self.workers <= 1:
-            raise ValueError("fleet 'processes' requires workers > 1")
+        if self.fleet in ("processes", "sockets") and self.workers <= 1:
+            raise ValueError(f"fleet {self.fleet!r} requires workers > 1")
+        for name in ("lease_timeout", "heartbeat_interval", "heartbeat_timeout"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
 
     def config(self) -> SnowboardConfig:
         """The pipeline config this spec describes."""
+        fleet_knobs = {}
+        if self.lease_timeout is not None:
+            fleet_knobs["fleet_lease_timeout"] = self.lease_timeout
+        if self.heartbeat_interval is not None:
+            fleet_knobs["fleet_heartbeat_interval"] = self.heartbeat_interval
+        if self.heartbeat_timeout is not None:
+            fleet_knobs["fleet_heartbeat_timeout"] = self.heartbeat_timeout
         return SnowboardConfig(
             seed=self.seed,
             corpus_budget=self.corpus_budget,
@@ -104,6 +122,7 @@ class JobSpec:
             fixed_kernel=self.fixed_kernel,
             prefix_fork=self.prefix_fork,
             prune_commuting=self.prune_commuting,
+            **fleet_knobs,
         )
 
     def growth(self) -> int:

@@ -34,7 +34,17 @@ from repro.orchestrate.queue import TIMED_OUT, TaskFailure, WorkQueue
 from repro.pmc.model import AccessKey, PMC
 
 CONFIG = SnowboardConfig(
-    seed=7, corpus_budget=120, trials_per_pmc=8, max_instructions=40_000
+    seed=7,
+    corpus_budget=120,
+    trials_per_pmc=8,
+    max_instructions=40_000,
+    # Fast liveness so fault drills (boot kills, mid-task SIGKILLs)
+    # are detected in seconds, not the production 10s deadline.  The
+    # boot grace stays generous: a spawned interpreter importing the
+    # kernel has not beaten yet and must not be declared dead.
+    fleet_heartbeat_interval=0.1,
+    fleet_heartbeat_timeout=1.5,
+    fleet_boot_grace=30.0,
 )
 STRATEGY = "S-INS-PAIR"
 BUDGET = 6
@@ -56,6 +66,15 @@ def process_run():
     sb = Snowboard(CONFIG).prepare()
     campaign = sb.run_campaign(
         STRATEGY, test_budget=BUDGET, workers=2, fleet="processes"
+    )
+    return sb, campaign
+
+
+@pytest.fixture(scope="module")
+def socket_run():
+    sb = Snowboard(CONFIG).prepare()
+    campaign = sb.run_campaign(
+        STRATEGY, test_budget=BUDGET, workers=2, fleet="sockets"
     )
     return sb, campaign
 
@@ -202,13 +221,29 @@ class TestProcessSerialEquivalence:
         for bug_id, package in sb_serial.repro_packages.items():
             assert sb_process.repro_packages[bug_id].to_json() == package.to_json()
 
+    def test_socket_fleet_identical_summary(self, serial_campaign, socket_run):
+        _, serial = serial_campaign
+        _, socketc = socket_run
+        assert socketc.summary() == serial.summary()
+        assert socketc.workers == 2
+        assert socketc.task_failures == 0
+
+    def test_socket_fleet_identical_repro_packages(
+        self, serial_campaign, socket_run
+    ):
+        sb_serial, _ = serial_campaign
+        sb_socket, _ = socket_run
+        assert set(sb_socket.repro_packages) == set(sb_serial.repro_packages)
+        for bug_id, package in sb_serial.repro_packages.items():
+            assert sb_socket.repro_packages[bug_id].to_json() == package.to_json()
+
     def test_traced_funnels_identical_across_fleets(self, tmp_path):
-        """Worker obs buffers replay in task order: thread- and
-        process-fleet traces produce identical funnel totals, and tracing
-        changes neither campaign's summary."""
+        """Worker obs buffers replay in task order: thread-, process- and
+        socket-fleet traces produce identical funnel totals, and tracing
+        changes no campaign's summary."""
         totals = {}
         summaries = {}
-        for fleet in ("threads", "processes"):
+        for fleet in ("threads", "processes", "sockets"):
             path = str(tmp_path / f"{fleet}.jsonl")
             obs = Observer(JsonlSink(path))
             sb = Snowboard(CONFIG, observer=obs).prepare()
@@ -219,21 +254,24 @@ class TestProcessSerialEquivalence:
             totals[fleet] = funnel_totals(load_stats(path))
             summaries[fleet] = campaign.summary()
         assert totals["processes"] == totals["threads"]
+        assert totals["sockets"] == totals["threads"]
         assert summaries["processes"] == summaries["threads"]
+        assert summaries["sockets"] == summaries["threads"]
 
-    def test_rounds_campaign_identical(self):
+    @pytest.mark.parametrize("fleet", ["processes", "sockets"])
+    def test_rounds_campaign_identical(self, fleet):
         serial = Snowboard(CONFIG)
         serial_result = serial.run_rounds(
             2, round_budget=3, strategy=STRATEGY, corpus_growth=40
         )
-        fleet = Snowboard(CONFIG)
-        fleet_result = fleet.run_rounds(
+        parallel = Snowboard(CONFIG)
+        fleet_result = parallel.run_rounds(
             2,
             round_budget=3,
             strategy=STRATEGY,
             corpus_growth=40,
             workers=2,
-            fleet="processes",
+            fleet=fleet,
         )
         assert fleet_result.summary() == serial_result.summary()
 
@@ -272,6 +310,26 @@ class TestFleetFaults:
         )
         assert campaign.task_failures == 0
         assert campaign.worker_respawns == 1
+        assert campaign.summary() == fault_serial.summary()
+
+    def test_sigkilled_socket_worker_reclaimed_via_heartbeat(
+        self, fault_serial, tmp_path
+    ):
+        """A socket worker SIGKILLs itself mid-task.  There is no local
+        process handle and no exitcode — the coordinator notices purely
+        through the missed heartbeat deadline, reclaims the lease, and
+        the respawned worker converges bit-identical to serial."""
+        sb = Snowboard(CONFIG).prepare()
+        sb.fleet_fault = FleetFault(
+            kill_task_id=1, once_marker=str(tmp_path / "kill.marker")
+        )
+        campaign = sb.run_campaign(
+            STRATEGY, test_budget=FAULT_BUDGET, workers=2, fleet="sockets"
+        )
+        assert campaign.task_failures == 0
+        assert campaign.worker_respawns == 1
+        assert campaign.task_retries == 1
+        assert sum(s.heartbeats_missed for s in campaign.worker_stats) == 1
         assert campaign.summary() == fault_serial.summary()
 
     def test_boot_death_exhausts_pool_without_hanging(self):
@@ -323,12 +381,15 @@ class TestCoordinatorKillAndResume:
         _, tasks = load_checkpoint(path)
         assert len(tasks) == 3  # the journal stops at the kill point
 
+        # Resume under a *different* fleet kind: the journal is fleet-
+        # blind, so a campaign checkpointed under processes restarts on
+        # a socket fleet and still lands bit-identical.
         sb2 = Snowboard(CONFIG).prepare()
         resumed = sb2.run_campaign(
             STRATEGY,
             test_budget=BUDGET,
             workers=2,
-            fleet="processes",
+            fleet="sockets",
             checkpoint_path=path,
             resume=True,
         )

@@ -414,7 +414,10 @@ class TestSavingsCounters:
 
 class TestWireV2:
     def test_wire_version_bumped(self):
-        assert WIRE_VERSION == 2
+        # v2 added the memo knobs below; v3 added heartbeat/hello
+        # envelopes and generation-stamped results for the transport
+        # layer.  The roundtrip tests in this class pin the v2 fields.
+        assert WIRE_VERSION == 3
 
     def test_outcome_roundtrips_forked_flag(self):
         outcome = TrialOutcome(

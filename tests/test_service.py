@@ -5,8 +5,8 @@ Contracts pinned here:
 * **Solo equivalence** — N jobs interleaved round-robin through
   :class:`CampaignService` each produce a summary, funnel totals and
   reproduction packages bit-identical to the same spec run solo through
-  ``run_rounds(spec.rounds)`` — including a job on the multi-process
-  fleet.
+  ``run_rounds(spec.rounds)`` — including jobs on the multi-process
+  and socket fleets (the latter with every per-job fleet knob set).
 * **Restart recovery** — abandon the service mid-campaign (stand-in for
   SIGKILL: no close, no flush beyond the journals' own discipline),
   reopen the same data directory, and every job resumes to the same
@@ -58,6 +58,17 @@ SPECS = {
     "alice": dict(BASE),
     "bob": dict(BASE, seed=13, rounds=3),
     "carol": dict(BASE, seed=17, workers=2, fleet="processes"),
+    # Socket fleet with every per-job fleet knob set: the knobs are
+    # tuning only, so dana must stay bit-identical to her solo run too.
+    "dana": dict(
+        BASE,
+        seed=19,
+        workers=2,
+        fleet="sockets",
+        lease_timeout=60.0,
+        heartbeat_interval=0.1,
+        heartbeat_timeout=5.0,
+    ),
 }
 
 
@@ -113,7 +124,7 @@ def solo(tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def interleaved(tmp_path_factory, solo):
-    """One service interleaving all three tenants' jobs to completion."""
+    """One service interleaving every tenant's job to completion."""
     root = str(tmp_path_factory.mktemp("service"))
     service = CampaignService(root)
     ids = {t: service.submit(t, s)["job_id"] for t, s in SPECS.items()}
@@ -136,6 +147,10 @@ class TestJobSpec:
             {"workers": 0},
             {"fleet": "boats"},
             {"fleet": "processes", "workers": 1},
+            {"fleet": "sockets", "workers": 1},
+            {"lease_timeout": 0},
+            {"heartbeat_interval": 0.0},
+            {"heartbeat_timeout": -1.0},
         ],
     )
     def test_rejects_invalid_values(self, bad):
@@ -150,8 +165,15 @@ class TestJobSpec:
         assert JobSpec(corpus_growth=7).growth() == 7
 
     def test_roundtrips_through_obj(self):
-        spec = JobSpec.from_obj(SPECS["carol"])
-        assert JobSpec.from_obj(spec.to_obj()) == spec
+        for tenant in ("carol", "dana"):
+            spec = JobSpec.from_obj(SPECS[tenant])
+            assert JobSpec.from_obj(spec.to_obj()) == spec
+
+    def test_fleet_knobs_reach_pipeline_config(self):
+        config = JobSpec.from_obj(SPECS["dana"]).config()
+        assert config.fleet_lease_timeout == 60.0
+        assert config.fleet_heartbeat_interval == 0.1
+        assert config.fleet_heartbeat_timeout == 5.0
 
     def test_extended_only_grows(self):
         spec = JobSpec(rounds=3)
@@ -261,7 +283,7 @@ class TestRestartRecovery:
         root = str(tmp_path / "svc")
         service = CampaignService(root)
         ids = {t: service.submit(t, s)["job_id"] for t, s in SPECS.items()}
-        for _ in range(4):  # partial progress across all three jobs
+        for _ in range(4):  # partial progress across the jobs
             assert service.run_turn(timeout=0.1)
         # Simulated SIGKILL: abandon the instance without stop().
         del service

@@ -147,6 +147,53 @@ def test_client_reports_missing_daemon(tmp_path):
         ServiceClient.connect(str(tmp_path))
 
 
+class TestConnectRetry:
+    """Refused connections retry with backoff, then surface.
+
+    The daemon publishes its endpoint file just before it starts
+    accepting, so a client fired immediately after ``repro serve`` can
+    hit a bound-but-not-listening window; the retry loop papers over
+    exactly that and nothing else.
+    """
+
+    def client(self, monkeypatch, outcomes):
+        monkeypatch.setattr(ServiceClient, "CONNECT_BACKOFF", 0.001)
+        client = ServiceClient("127.0.0.1", 1)
+        calls = []
+
+        def fake_request_once(method, path, body=None):
+            calls.append((method, path))
+            outcome = outcomes[min(len(calls), len(outcomes)) - 1]
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        monkeypatch.setattr(client, "_request_once", fake_request_once)
+        return client, calls
+
+    def test_refused_connect_retries_until_listening(self, monkeypatch):
+        client, calls = self.client(
+            monkeypatch,
+            [ConnectionRefusedError(), ConnectionRefusedError(), {"ok": True}],
+        )
+        assert client.health() == {"ok": True}
+        assert len(calls) == 3
+
+    def test_retries_are_bounded(self, monkeypatch):
+        client, calls = self.client(monkeypatch, [ConnectionRefusedError()])
+        with pytest.raises(ConnectionRefusedError):
+            client.health()
+        assert len(calls) == ServiceClient.CONNECT_RETRIES + 1
+
+    def test_api_errors_do_not_retry(self, monkeypatch):
+        client, calls = self.client(
+            monkeypatch, [ServiceClientError(404, "no such job")]
+        )
+        with pytest.raises(ServiceClientError):
+            client.status("job-9999")
+        assert len(calls) == 1
+
+
 def test_malformed_numbers_are_client_errors(tmp_path):
     """Bad query/body numbers are the client's fault: 400, never 500."""
     from repro.service.daemon import ServiceDaemon

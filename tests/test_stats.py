@@ -13,6 +13,7 @@ import pytest
 from repro.obs import Observer, JsonlSink
 from repro.obs.stats import (
     aggregate_trace,
+    fleet_worker_rows,
     funnel_rows,
     funnel_totals,
     load_stats,
@@ -150,6 +151,41 @@ class TestRendering:
         stats = aggregate_trace({}, [span("stage4.trial", 0.0, 0.01)])
         text = render_stats(stats, markdown=True)
         assert "|" in text and "---" in text
+
+    def test_fleet_worker_rows_from_counters(self):
+        stats = aggregate_trace(
+            {},
+            [
+                {
+                    "kind": "metrics",
+                    "counters": {
+                        "fleet.w1.tasks": 3,
+                        "fleet.w1.retries": 1,
+                        "fleet.w0.tasks": 4,
+                        "fleet.w0.respawns": 1,
+                        "fleet.w0.missed_heartbeats": 1,
+                        "stage4.trials": 7,  # non-fleet counters ignored
+                    },
+                    "gauges": {},
+                }
+            ],
+        )
+        rows = fleet_worker_rows(stats)
+        # "-" marks counters the trace never emitted (real campaigns
+        # emit explicit zeros for every worker).
+        assert rows == [
+            ["w0", "4", "-", "1", "1"],
+            ["w1", "3", "1", "-", "-"],
+        ]
+        assert "== Fleet workers ==" in render_stats(stats)
+
+    def test_fleet_worker_section_absent_for_serial_traces(self):
+        stats = aggregate_trace(
+            {},
+            [{"kind": "metrics", "counters": {"stage4.trials": 7}, "gauges": {}}],
+        )
+        assert fleet_worker_rows(stats) == []
+        assert "Fleet workers" not in render_stats(stats)
 
 
 # -- integration: real traced campaigns ----------------------------------------
